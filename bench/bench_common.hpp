@@ -1,0 +1,80 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench prints a header naming the paper item it reproduces, the
+// paper's claim (where one exists), and our measured rows, so the combined
+// `for b in build/bench/*; do $b; done` output reads as the full evaluation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/time_format.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace hc::bench {
+
+inline void print_header(const std::string& id, const std::string& title,
+                         const std::string& paper_claim) {
+    std::printf("\n================================================================\n");
+    std::printf("%s — %s\n", id.c_str(), title.c_str());
+    if (!paper_claim.empty()) std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf("================================================================\n");
+}
+
+/// A mixed campus trace with a given Windows demand share (by core-seconds,
+/// approximately), used by the utilisation experiments. Runtimes are scaled
+/// down so a day-long horizon simulates in milliseconds.
+inline std::vector<workload::JobSpec> mixed_trace(double windows_share, std::uint64_t seed,
+                                                  double rate_per_hour = 10.0,
+                                                  sim::Duration horizon = sim::hours(20)) {
+    workload::GeneratorConfig cfg;
+    cfg.arrival_rate_per_hour = rate_per_hour;
+    cfg.horizon = horizon;
+    cfg.max_nodes = 4;
+    cfg.runtime_scale = 0.25;
+    // Steer the flexible jobs to hit the requested Windows share.
+    cfg.flexible_policy = windows_share > 0.25 ? workload::FlexiblePolicy::kPreferWindows
+                                               : workload::FlexiblePolicy::kSplit;
+    workload::WorkloadGenerator gen(workload::AppCatalog::huddersfield(), cfg, seed);
+    auto trace = gen.generate();
+    if (windows_share <= 0.05) {
+        // Pure-Linux variant: retarget every flexible job, drop W-only jobs.
+        std::vector<workload::JobSpec> filtered;
+        for (auto job : trace) {
+            if (job.os == cluster::OsType::kWindows && !job.flexible) continue;
+            job.os = cluster::OsType::kLinux;
+            filtered.push_back(job);
+        }
+        return filtered;
+    }
+    return trace;
+}
+
+/// One row of a scenario-comparison table.
+inline std::vector<std::string> scenario_row(const core::ScenarioResult& r) {
+    const auto& s = r.summary;
+    return {r.label,
+            std::to_string(s.completed) + "/" + std::to_string(s.submitted),
+            util::format_fixed(s.utilisation * 100.0, 1) + "%",
+            util::format_duration(static_cast<std::int64_t>(s.mean_wait_s)),
+            util::format_duration(static_cast<std::int64_t>(s.mean_wait_windows_s)),
+            util::format_duration(static_cast<std::int64_t>(s.p95_wait_s)),
+            std::to_string(s.os_switches),
+            util::format_fixed(s.switch_overhead * 100.0, 2) + "%"};
+}
+
+inline util::Table scenario_table() {
+    util::Table table({"scenario", "done", "util", "mean wait", "wait(W)", "p95 wait",
+                       "switches", "reboot loss"});
+    table.set_alignment({util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight});
+    return table;
+}
+
+}  // namespace hc::bench

@@ -1,0 +1,73 @@
+// E4 — §IV.B: the Distributed/Parallel MATLAB (MDCS) Genetic Algorithm case
+// study on "Eridani".
+//
+// Replays the scripted three-phase trace (Linux MD background, MDCS worker
+// wave, Linux resumption) and prints the node-ownership timeline, showing
+// the middleware shifting capacity to Windows and back — "As load shifted
+// between the two OS environment, the system seamlessly adjusted."
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/hybrid.hpp"
+#include "workload/timeline.hpp"
+
+using namespace hc;
+
+namespace {
+
+void run_policy(core::PolicyKind policy, const char* label) {
+    sim::Engine engine;
+    core::HybridConfig cfg;
+    cfg.cluster.node_count = 16;
+    cfg.policy = policy;
+    cfg.poll_interval = sim::minutes(10);
+    core::HybridCluster hybrid(engine, cfg);
+    workload::OwnershipTimeline timeline(hybrid.cluster());
+    hybrid.start();
+    hybrid.settle();
+    hybrid.replay(workload::mdcs_ga_case_study(42));
+
+    std::printf("\n--- policy: %s ---\n", label);
+    std::printf("%-8s %8s %8s %10s %10s %10s\n", "time", "linux", "windows", "pbs R/Q",
+                "hpc R/Q", "switches");
+    const sim::Duration step = sim::minutes(30);
+    for (int tick = 0; tick <= 24; ++tick) {
+        const sim::TimePoint target = sim::TimePoint{} + step * tick;
+        engine.run_until(target < engine.now() ? engine.now() : target);
+        char pbs_state[16], hpc_state[16];
+        std::snprintf(pbs_state, sizeof pbs_state, "%zu/%zu",
+                      hybrid.pbs().running_jobs().size(), hybrid.pbs().queued_jobs().size());
+        std::snprintf(hpc_state, sizeof hpc_state, "%d/%d",
+                      hybrid.winhpc().running_job_count(), hybrid.winhpc().queued_job_count());
+        std::printf("%-8s %8d %8d %10s %10s %10llu\n",
+                    util::format_duration(engine.now().whole_seconds()).c_str(),
+                    hybrid.cluster().count_running(cluster::OsType::kLinux),
+                    hybrid.cluster().count_running(cluster::OsType::kWindows), pbs_state,
+                    hpc_state,
+                    static_cast<unsigned long long>(hybrid.counters().os_switches));
+    }
+    engine.run_until(sim::TimePoint{} + sim::hours(20));
+    const auto summary = hybrid.metrics().summarise(hybrid.counters(),
+                                                    sim::hours(20).seconds());
+    std::printf("%s", workload::render_summary(label, summary).c_str());
+    std::printf("\nownership Gantt (1 column = 20 min):\n%s",
+                timeline
+                    .render_gantt(sim::TimePoint{}, sim::TimePoint{} + sim::hours(12),
+                                  sim::minutes(20))
+                    .c_str());
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("E4 (§IV.B case study)", "MDCS Genetic Algorithm on Eridani",
+                        "MATLAB+MDCS workers run on the Windows side; \"As load shifted "
+                        "between the two OS environment, the system seamlessly adjusted.\"");
+    run_policy(core::PolicyKind::kFcfs, "fcfs (paper's shipped rule)");
+    run_policy(core::PolicyKind::kFairShare, "fair-share (paper's future work)");
+    std::printf(
+        "\nshape check: FCFS frees only enough nodes for the first stuck MDCS job, so\n"
+        "the GA wave drains serially; fair-share shifts a block of nodes and the wave\n"
+        "completes in parallel — both finish all 19 jobs.\n");
+    return 0;
+}

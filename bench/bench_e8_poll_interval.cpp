@@ -1,0 +1,69 @@
+// E8 — the polling cycle: Fig 1 says "Per 5 mins", §IV.A.3 says "fixed
+// cycles (intervals), e.g. 10mins".
+//
+// Sweeps the communicator interval and reports Windows-side wait (reaction
+// latency is bounded below by the cycle), switch counts (short cycles can
+// flap), and message volume — the trade the authors navigated between the
+// two figures.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace hc;
+
+int main() {
+    bench::print_header("E8 (Fig 1 / §IV.A.3)", "poll-interval sensitivity",
+                        "v1 exchanged state per 5 mins; v2 per fixed cycle, e.g. 10 mins");
+
+    const std::vector<std::uint64_t> kSeeds = {11, 12, 13, 14};
+    std::printf("averaged over %zu workload seeds (~150 jobs, ~15%% Windows demand each)\n",
+                kSeeds.size());
+
+    util::Table table({"cycle", "done", "util", "wait(W)", "p95 wait", "switches",
+                       "reboot loss", "records sent"});
+    table.set_alignment({util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight});
+    for (double minutes : {1.0, 2.0, 5.0, 10.0, 20.0, 30.0}) {
+        double done = 0, submitted = 0, util_sum = 0, wait_w = 0, p95 = 0, overhead = 0;
+        double switches = 0, records = 0;
+        for (std::uint64_t seed : kSeeds) {
+            const auto trace = bench::mixed_trace(0.3, seed, 8.0);
+            core::ScenarioConfig cfg;
+            cfg.kind = core::ScenarioKind::kBiStableHybrid;
+            cfg.policy = core::PolicyKind::kFcfs;
+            cfg.linux_nodes = 16;
+            cfg.poll_interval = sim::minutes(minutes);
+            cfg.horizon = sim::hours(40);
+            cfg.seed = seed;
+            const auto result = core::run_scenario(cfg, trace);
+            const auto& s = result.summary;
+            done += static_cast<double>(s.completed);
+            submitted += static_cast<double>(s.submitted);
+            util_sum += s.utilisation;
+            wait_w += s.mean_wait_windows_s;
+            p95 += s.p95_wait_s;
+            overhead += s.switch_overhead;
+            switches += static_cast<double>(s.os_switches);
+            records += static_cast<double>(result.windows_daemon.records_sent);
+        }
+        const double n = static_cast<double>(kSeeds.size());
+        table.add_row({util::format_fixed(minutes, 0) + "m",
+                       util::format_fixed(done / n, 0) + "/" +
+                           util::format_fixed(submitted / n, 0),
+                       util::format_fixed(util_sum / n * 100.0, 1) + "%",
+                       util::format_duration(static_cast<std::int64_t>(wait_w / n)),
+                       util::format_duration(static_cast<std::int64_t>(p95 / n)),
+                       util::format_fixed(switches / n, 1),
+                       util::format_fixed(overhead / n * 100.0, 2) + "%",
+                       util::format_fixed(records / n, 0)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nshape check: Windows-side wait grows with the cycle (detection latency adds\n"
+        "half a cycle on average, on top of one ~4min reboot). Very short cycles are\n"
+        "actively harmful: the daemon re-observes \"stuck\" while reboots are still in\n"
+        "flight and flaps nodes back and forth (see the switch counts at 1-2m), hurting\n"
+        "completion. The sweet spot sits right where the paper settled: 5-10 minutes.\n");
+    return 0;
+}

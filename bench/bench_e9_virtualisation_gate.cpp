@@ -1,0 +1,92 @@
+// E9 — the §II alternatives analysis: virtualisation vs multi-boot.
+//
+// "the virtualisation has become applicable to PC and Workstation based
+// machines since Intel (VT-x) and AMD (AMD-V) have started to support
+// hardware-assisted virtualisation ... However, hardware support was not
+// provided for their entire range of products. ... A Beowulf cluster at the
+// University of Huddersfield was built from re-used laboratory computers
+// with Intel Core 2 Quad-core Q8200 processor that have no virtualisation
+// support."
+//
+// This bench makes the §II pros/cons table quantitative: on the legacy
+// Q8200 cluster virtualisation is simply unavailable (the capability gate),
+// while multi-boot works at a measured ~4-minute switch cost; on a
+// hypothetical VT-x cluster, instant switching (the oracle scenario) shows
+// what that cost buys.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+
+using namespace hc;
+
+int main() {
+    bench::print_header("E9 (§II analysis)", "virtualisation vs multi-boot on legacy hardware",
+                        "multi-boot: wide compatibility, no performance loss, ~5min reboot; "
+                        "virtualisation: needs VT-x the Q8200s lack");
+
+    // The capability gate, checked against the modelled hardware.
+    {
+        sim::Engine engine;
+        cluster::ClusterConfig legacy;  // Eridani defaults: Q8200, no VT-x
+        cluster::Cluster eridani(engine, legacy);
+        int vtx_nodes = 0;
+        for (int i = 0; i < eridani.node_count(); ++i)
+            if (eridani.node(i).vtx_capable()) ++vtx_nodes;
+        std::printf("Eridani (Core 2 Quad Q8200): %d/%d nodes VT-x capable -> "
+                    "virtualisation %s\n",
+                    vtx_nodes, eridani.node_count(),
+                    vtx_nodes == 0 ? "UNAVAILABLE" : "available");
+    }
+
+    // What each strategy delivers on the same trace: moderate load with a
+    // Windows-leaning mix the static split was not provisioned for.
+    const auto trace = bench::mixed_trace(0.45, 21, 5.0);
+    const auto stats = workload::compute_trace_stats(trace);
+    std::printf("\ntrace: %zu jobs, %.0f%% Windows demand\n", stats.jobs,
+                stats.windows_share() * 100.0);
+
+    auto table = bench::scenario_table();
+    {
+        core::ScenarioConfig cfg;
+        cfg.kind = core::ScenarioKind::kStaticSplit;
+        cfg.linux_nodes = 12;
+        cfg.horizon = sim::hours(40);
+        cfg.seed = 21;
+        auto r = core::run_scenario(cfg, trace);
+        r.label = "legacy: static split (no dualboot)";
+        table.add_row(bench::scenario_row(r));
+    }
+    {
+        core::ScenarioConfig cfg;
+        cfg.kind = core::ScenarioKind::kBiStableHybrid;
+        cfg.policy = core::PolicyKind::kFairShare;
+        cfg.fair_share_cooldown = 2;
+        cfg.linux_nodes = 16;
+        cfg.horizon = sim::hours(40);
+        cfg.seed = 21;
+        auto r = core::run_scenario(cfg, trace);
+        r.label = "legacy: multi-boot (dualboot-oscar)";
+        table.add_row(bench::scenario_row(r));
+    }
+    {
+        core::ScenarioConfig cfg;
+        cfg.kind = core::ScenarioKind::kOracle;  // instant switch = idealised VMs
+        cfg.policy = core::PolicyKind::kFairShare;
+        cfg.fair_share_cooldown = 2;
+        cfg.linux_nodes = 16;
+        cfg.horizon = sim::hours(40);
+        cfg.seed = 21;
+        auto r = core::run_scenario(cfg, trace);
+        r.label = "VT-x: virtualised (instant switch)";
+        table.add_row(bench::scenario_row(r));
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nshape check: multi-boot beats the static split on the mismatched mix and\n"
+        "trails idealised virtualisation only by the reboot overhead (compare the\n"
+        "reboot-loss and wait columns) — and on this hardware virtualisation is not an\n"
+        "option at all: \"A multi-boot approach is in our opinion, better suited for\n"
+        "the legacy machines that have no hardware virtualisation support.\"\n");
+    return 0;
+}

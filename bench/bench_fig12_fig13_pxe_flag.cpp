@@ -1,0 +1,90 @@
+// F12/F13 — Figures 12 & 13: per-MAC PXE menus vs the single OS flag.
+//
+// The paper moved from per-node menu files (Fig 12) to one shared flag
+// (Fig 13) because the head daemon cannot easily learn which node the
+// scheduler picked. This bench quantifies the trade: the flag design herds
+// *unrelated* reboots (manual power cycles) to the flag OS while a switch
+// window is open; per-MAC pins do not.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/hybrid.hpp"
+
+using namespace hc;
+
+namespace {
+
+struct HerdResult {
+    int herded = 0;       ///< unrelated reboots that landed on the wrong OS
+    int switched = 0;     ///< intended switches completed
+};
+
+HerdResult run_mode(core::ControllerV2::Mode mode, std::uint64_t seed) {
+    sim::Engine engine;
+    core::HybridConfig cfg;
+    cfg.cluster.node_count = 16;
+    cfg.cluster.seed = seed;
+    cfg.v2_mode = mode;
+    cfg.poll_interval = sim::minutes(10);
+    core::HybridCluster hybrid(engine, cfg);
+    hybrid.start();
+    hybrid.settle();
+
+    // Windows demand for 2 nodes opens a switch window.
+    workload::JobSpec spec;
+    spec.app = "Opera";
+    spec.os = cluster::OsType::kWindows;
+    spec.nodes = 2;
+    spec.runtime = sim::hours(3);
+    hybrid.submit_now(spec);
+
+    // While the window is open, three unrelated Linux nodes power-cycle
+    // (crash, power blip, an admin's finger).
+    util::Rng rng(seed);
+    engine.schedule_after(sim::minutes(11), [&hybrid, &rng] {
+        for (int i = 0; i < 3; ++i) {
+            auto& node = hybrid.cluster().node(
+                static_cast<int>(rng.uniform_int(8, 15)));  // far from the switch pool
+            if (node.is_up() && node.os() == cluster::OsType::kLinux) node.hard_power_cycle();
+        }
+    });
+    engine.run_until(sim::TimePoint{} + sim::hours(1));
+
+    HerdResult result;
+    result.switched = hybrid.cluster().count_running(cluster::OsType::kWindows);
+    // Anything beyond the 2 intended nodes was herded.
+    result.herded = result.switched > 2 ? result.switched - 2 : 0;
+    return result;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header(
+        "F12/F13 (Figures 12-13)", "per-MAC PXE menus vs the single OS flag",
+        "\"All the rebooting nodes will be led to the same operating system, because "
+        "the whole dual-boot cluster will only need one system at one time.\"");
+
+    util::Table table({"seed", "flag: windows nodes", "flag: herded", "per-MAC: windows nodes",
+                       "per-MAC: herded"});
+    table.set_alignment({util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight});
+    int flag_herded_total = 0, mac_herded_total = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const HerdResult flag = run_mode(core::ControllerV2::Mode::kGlobalFlag, seed);
+        const HerdResult mac = run_mode(core::ControllerV2::Mode::kPerMac, seed);
+        flag_herded_total += flag.herded;
+        mac_herded_total += mac.herded;
+        table.add_row({std::to_string(seed), std::to_string(flag.switched),
+                       std::to_string(flag.herded), std::to_string(mac.switched),
+                       std::to_string(mac.herded)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nherded reboots (3 injected power cycles during a 2-node switch window):\n"
+        "  single flag (Fig 13, shipped) : %d total — concise but herds bystanders\n"
+        "  per-MAC menus (Fig 12)        : %d total — precise but needs the node-ID\n"
+        "                                  round trip the paper found impractical\n",
+        flag_herded_total, mac_herded_total);
+    return 0;
+}

@@ -1,0 +1,53 @@
+// F4 — Figure 4: the PBS OS-switch job script.
+//
+// Regenerates the script verbatim, pushes it through the real qsub text
+// path, and micro-benchmarks script parsing.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/switch_job.hpp"
+#include "pbs/job_script.hpp"
+
+using namespace hc;
+
+namespace {
+
+void BM_ParseFig4Script(benchmark::State& state) {
+    const std::string text = core::fig4_switch_script_text(cluster::OsType::kWindows);
+    for (auto _ : state) {
+        auto script = pbs::JobScript::parse(text);
+        benchmark::DoNotOptimize(script);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_ParseFig4Script);
+
+void BM_EmitCanonicalScript(benchmark::State& state) {
+    const pbs::JobScript script = core::make_switch_job_script(cluster::OsType::kLinux);
+    for (auto _ : state) {
+        std::string text = script.emit();
+        benchmark::DoNotOptimize(text);
+    }
+}
+BENCHMARK(BM_EmitCanonicalScript);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::print_header("F4 (Figure 4)", "the OS-switch PBS job (release_1_node)",
+                        "books one full node (nodes=1:ppn=4), edits GRUB config, reboots, "
+                        "sleep 10 so the reboot kills the job");
+    std::printf("--- regenerated switch script ---%s\n",
+                core::fig4_switch_script_text(cluster::OsType::kWindows).c_str());
+    const pbs::JobScript parsed = core::make_switch_job_script(cluster::OsType::kWindows);
+    std::printf("parsed directives: -l %s  -N %s  -q %s  -j %s  -o %s  -r %s\n",
+                parsed.resources.to_string().c_str(), parsed.name.c_str(),
+                parsed.queue.c_str(), parsed.join_oe ? "oe" : "-", parsed.output_path.c_str(),
+                parsed.rerunnable ? "y" : "n");
+    std::printf("\n--- parser micro-benchmarks ---\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

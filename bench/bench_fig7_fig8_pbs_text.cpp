@@ -1,0 +1,93 @@
+// F7/F8 — Figures 7 & 8: pbsnodes and qstat -f output.
+//
+// Regenerates both listings from a live server in the same state as the
+// paper's examples (one full-node job running) and micro-benchmarks the
+// text-generation path the detector polls on every cycle.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "pbs/server.hpp"
+
+using namespace hc;
+
+namespace {
+
+std::unique_ptr<sim::Engine> g_engine;
+std::unique_ptr<cluster::Cluster> g_cluster;
+std::unique_ptr<pbs::PbsServer> g_pbs;
+
+void build_rig() {
+    g_engine = std::make_unique<sim::Engine>();
+    cluster::ClusterConfig ccfg;
+    ccfg.node_count = 16;
+    ccfg.timing.jitter = 0;
+    g_cluster = std::make_unique<cluster::Cluster>(*g_engine, ccfg);
+    g_pbs = std::make_unique<pbs::PbsServer>(*g_engine);
+    for (auto* node : g_cluster->nodes()) {
+        node->set_boot_resolver([](const cluster::Node&) {
+            cluster::BootDecision d;
+            d.os = cluster::OsType::kLinux;
+            return d;
+        });
+        g_pbs->attach_node(*node);
+        node->power_on();
+    }
+    g_engine->run_all();
+    // Reproduce the Fig 8 state: release_1_node running on one full node.
+    pbs::JobScript script;
+    script.resources.ppn = 4;
+    script.name = "release_1_node";
+    script.queue = "default";
+    script.join_oe = true;
+    pbs::JobBehavior behavior;
+    behavior.run_time = sim::hours(2);
+    (void)g_pbs->submit(script, "sliang", std::move(behavior));
+}
+
+void BM_PbsnodesOutput(benchmark::State& state) {
+    for (auto _ : state) {
+        std::string out = g_pbs->pbsnodes_output();
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_PbsnodesOutput);
+
+void BM_QstatFOutput(benchmark::State& state) {
+    for (auto _ : state) {
+        std::string out = g_pbs->qstat_f_output();
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_QstatFOutput);
+
+std::string first_n_lines(const std::string& text, int n) {
+    std::string out;
+    int count = 0;
+    for (const auto& line : util::split_lines(text)) {
+        out += line + "\n";
+        if (++count == n) break;
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::print_header("F7/F8 (Figures 7-8)", "pbsnodes and qstat -f listings",
+                        "the text interfaces the Perl detector parses (PBS has no API)");
+    build_rig();
+    std::printf("--- pbsnodes (first node block, cf. Fig 7) ---\n%s\n",
+                first_n_lines(g_pbs->pbsnodes_output(), 7).c_str());
+    std::printf("--- qstat -f (cf. Fig 8) ---\n%s\n", g_pbs->qstat_f_output().c_str());
+    std::printf("--- text-layer micro-benchmarks (16-node cluster) ---\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    g_pbs.reset();
+    g_cluster.reset();
+    g_engine.reset();
+    return 0;
+}

@@ -1,0 +1,48 @@
+// F9/F10 — Figures 9 & 10: stock vs dualboot-oscar diskpart.txt.
+//
+// Regenerates both scripts and demonstrates their effects on a dual-boot
+// disk: the stock script consumes the whole disk; the sized script reserves
+// the Linux space — but both wipe, which is the v1 limitation (E6 measures
+// the consequence).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "boot/disk_layouts.hpp"
+#include "deploy/diskpart.hpp"
+#include "deploy/reimage.hpp"
+
+using namespace hc;
+
+namespace {
+
+void show_effect(const char* label, const deploy::DiskpartScript& script) {
+    cluster::Disk disk = boot::make_v1_dualboot_disk();
+    const bool had_linux = deploy::linux_intact(disk);
+    const auto effect = deploy::apply_diskpart(disk, script);
+    std::printf("%s:\n", label);
+    if (!effect.ok()) {
+        std::printf("  failed: %s\n", effect.error_message().c_str());
+        return;
+    }
+    std::printf("  wiped disk      : %s\n", effect.value().wiped_disk ? "yes" : "no");
+    std::printf("  windows partition: %lld MB NTFS '%s'\n",
+                static_cast<long long>(disk.find(1)->size_mb), disk.find(1)->label.c_str());
+    std::printf("  linux survived  : %s (was %s)\n",
+                deploy::linux_intact(disk) ? "yes" : "no", had_linux ? "intact" : "absent");
+    std::printf("  resulting layout:\n%s\n", disk.describe().c_str());
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("F9/F10 (Figures 9-10)", "diskpart.txt: stock vs dualboot-oscar",
+                        "stock wipes and takes the whole 250GB disk; the patched script "
+                        "reserves 150GB for Windows (but still wipes — install Windows first)");
+    std::printf("--- original diskpart.txt (Fig 9) ---\n%s\n",
+                deploy::DiskpartScript::original().emit().c_str());
+    std::printf("--- modified diskpart.txt in dualboot-oscar 1.0 (Fig 10) ---\n%s\n",
+                deploy::DiskpartScript::sized(150'000).emit().c_str());
+    show_effect("effect of Fig 9 on a dual-boot node", deploy::DiskpartScript::original());
+    show_effect("effect of Fig 10 on a dual-boot node", deploy::DiskpartScript::sized(150'000));
+    return 0;
+}

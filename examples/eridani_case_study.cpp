@@ -1,0 +1,74 @@
+// The §IV.B case study as a runnable walkthrough: Genetic Algorithm
+// optimisation under Distributed and Parallel MATLAB (MDCS) on "Eridani".
+//
+// A researcher (the paper cites Haupt's GA parallelisation thesis) submits a
+// wave of MDCS worker jobs to the Windows head while the cluster is busy
+// with Linux molecular dynamics. Watch dualboot-oscar shift nodes to
+// Windows, run the wave, and drift back as Linux demand resumes.
+//
+// Build & run:  ./build/examples/eridani_case_study
+#include <cstdio>
+
+#include "core/hybrid.hpp"
+#include "util/time_format.hpp"
+#include "workload/generator.hpp"
+#include "workload/timeline.hpp"
+
+using namespace hc;
+
+int main() {
+    sim::Engine engine;
+    core::HybridConfig config;
+    config.cluster.node_count = 16;  // Eridani: 16 nodes, 64 cores
+    config.version = deploy::MiddlewareVersion::kV2;
+    config.policy = core::PolicyKind::kFairShare;  // load-following extension
+    config.poll_interval = sim::minutes(10);
+
+    core::HybridCluster hybrid(engine, config);
+    workload::OwnershipTimeline timeline(hybrid.cluster());
+
+    // Narrate every switch decision as it happens.
+    hybrid.engine().logger().set_min_level(util::LogLevel::kInfo);
+    hybrid.engine().logger().add_sink([](const util::LogRecord& r) {
+        std::printf("  [%s] %s: %s\n",
+                    util::format_duration(r.sim_time).c_str(), r.component.c_str(),
+                    r.message.c_str());
+    });
+
+    hybrid.start();
+    hybrid.settle();
+    std::printf("Eridani up: %d nodes in Linux.\n\n",
+                hybrid.cluster().count_running(cluster::OsType::kLinux));
+
+    std::printf("Replaying the three-phase MDCS-GA trace:\n");
+    std::printf("  phase 1 (t=0h): 6 DL_POLY molecular-dynamics jobs (Linux)\n");
+    std::printf("  phase 2 (t=1h): 8 MDCS GA worker jobs (Windows, 1 node each)\n");
+    std::printf("  phase 3 (t=4h): 5 LAMMPS jobs (Linux) pull capacity back\n\n");
+    hybrid.replay(workload::mdcs_ga_case_study(/*seed=*/2012));
+
+    engine.run_until(sim::TimePoint{} + sim::hours(18));
+
+    const auto counters = hybrid.counters();
+    const auto summary = hybrid.metrics().summarise(counters, sim::hours(18).seconds());
+    std::printf("\ncase-study results:\n");
+    std::printf("  jobs completed     : %zu / %zu\n", summary.completed, summary.submitted);
+    std::printf("  OS switches        : %llu\n",
+                static_cast<unsigned long long>(counters.os_switches));
+    std::printf("  mean wait (Linux)  : %s\n",
+                util::format_duration(
+                    static_cast<std::int64_t>(summary.mean_wait_linux_s)).c_str());
+    std::printf("  mean wait (Windows): %s\n",
+                util::format_duration(
+                    static_cast<std::int64_t>(summary.mean_wait_windows_s)).c_str());
+    std::printf("  final split        : %d Linux / %d Windows\n",
+                hybrid.cluster().count_running(cluster::OsType::kLinux),
+                hybrid.cluster().count_running(cluster::OsType::kWindows));
+    std::printf("\nnode ownership over the first 10 hours (1 column = 15 min):\n%s",
+                timeline
+                    .render_gantt(sim::TimePoint{}, sim::TimePoint{} + sim::hours(10),
+                                  sim::minutes(15))
+                    .c_str());
+    std::printf("\n\"As load shifted between the two OS environment, the system seamlessly\n"
+                "adjusted.\" — §IV.B\n");
+    return 0;
+}

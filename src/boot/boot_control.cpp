@@ -1,0 +1,55 @@
+#include "boot/boot_control.hpp"
+
+#include "boot/grub_config.hpp"
+#include "util/errors.hpp"
+
+namespace hc::boot {
+
+using cluster::FileStore;
+using cluster::OsType;
+using util::Error;
+using util::Result;
+using util::Status;
+
+Status bootcontrol_pl(FileStore& fat, const std::string& control_path, OsType target) {
+    if (target != OsType::kLinux && target != OsType::kWindows)
+        return Error{"bootcontrol.pl: target must be linux or windows"};
+    auto text = fat.read(control_path);
+    if (!text) return Error{"bootcontrol.pl: " + text.error_message()};
+    auto cfg = GrubConfig::parse(text.value());
+    if (!cfg) return Error{"bootcontrol.pl: corrupt control file: " + cfg.error_message()};
+    GrubConfig config = std::move(cfg).take();
+    if (!config.set_default_os(target))
+        return Error{std::string("bootcontrol.pl: no menu entry for ") + cluster::os_name(target)};
+    fat.write(control_path, config.emit());
+    return Status::ok_status();
+}
+
+Status batch_switch(FileStore& fat, OsType target) {
+    const char* staged = nullptr;
+    if (target == OsType::kLinux) staged = kControlToLinuxPath;
+    else if (target == OsType::kWindows) staged = kControlToWindowsPath;
+    else return Error{"batch_switch: target must be linux or windows"};
+    // The .bat/.sh scripts copy (keeping the source for next time) rather
+    // than parse; if an admin deleted the staged file the switch fails,
+    // which is exactly the v1 fragility the deployment tests exercise.
+    return fat.copy(staged, kControlMenuPath);
+}
+
+void stage_control_files(FileStore& fat, bool install_live, OsType initial) {
+    fat.write(kControlToLinuxPath, make_eridani_control_menu(OsType::kLinux).emit());
+    fat.write(kControlToWindowsPath, make_eridani_control_menu(OsType::kWindows).emit());
+    if (install_live) fat.write(kControlMenuPath, make_eridani_control_menu(initial).emit());
+}
+
+Result<OsType> read_control_default(const FileStore& fat, const std::string& control_path) {
+    auto text = fat.read(control_path);
+    if (!text) return Error{text.error_message()};
+    auto cfg = GrubConfig::parse(text.value());
+    if (!cfg) return Error{cfg.error_message()};
+    const GrubEntry* entry = cfg.value().default_entry();
+    if (entry == nullptr) return Error{"control file has no entries"};
+    return entry->classify();
+}
+
+}  // namespace hc::boot

@@ -1,0 +1,41 @@
+// OS-switch scripts operating on the shared FAT control partition (v1).
+//
+// Two generations of switch mechanism from §III.B.1:
+//  * Carter's universal perl script (`bootcontrol.pl <file> <os>`): parses
+//    the live controlmenu.lst and rewrites its `default` to point at the
+//    requested OS entry.
+//  * The dualboot-oscar replacement (.bat/.sh): no parsing at all — copy the
+//    pre-staged controlmenu_to_<os>.lst over controlmenu.lst. This removed
+//    the need to install Perl on Windows compute nodes.
+// Both are pure FileStore transformations so they can run "inside" a
+// simulated switch job.
+#pragma once
+
+#include "boot/grub_config.hpp"
+#include "cluster/disk.hpp"
+#include "cluster/os.hpp"
+#include "util/result.hpp"
+
+namespace hc::boot {
+
+/// Carter-style switch: parse `control_path` in `fat`, retarget `default`
+/// at the first entry classified as `target`, write it back.
+/// Fails if the file is missing/corrupt or has no entry for `target`.
+[[nodiscard]] util::Status bootcontrol_pl(cluster::FileStore& fat,
+                                          const std::string& control_path,
+                                          cluster::OsType target);
+
+/// dualboot-oscar batch-script switch: copy controlmenu_to_<target>.lst over
+/// controlmenu.lst. Fails if the staged variant is missing.
+[[nodiscard]] util::Status batch_switch(cluster::FileStore& fat, cluster::OsType target);
+
+/// (Re-)stage the two pre-configured control variants (and, if
+/// `install_live` is set, an initial live controlmenu.lst for `initial`).
+void stage_control_files(cluster::FileStore& fat, bool install_live = true,
+                         cluster::OsType initial = cluster::OsType::kLinux);
+
+/// Read which OS the live controlmenu.lst currently selects.
+[[nodiscard]] util::Result<cluster::OsType> read_control_default(
+    const cluster::FileStore& fat, const std::string& control_path = kControlMenuPath);
+
+}  // namespace hc::boot

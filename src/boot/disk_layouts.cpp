@@ -1,0 +1,91 @@
+#include "boot/disk_layouts.hpp"
+
+#include "boot/grub_config.hpp"
+#include "util/errors.hpp"
+
+namespace hc::boot {
+
+using cluster::Disk;
+using cluster::FsType;
+using cluster::MbrCode;
+using cluster::OsType;
+using cluster::Partition;
+
+namespace {
+
+Partition part(int index, FsType fs, std::int64_t size_mb, std::string label = {},
+               std::string mount = {}) {
+    Partition p;
+    p.index = index;
+    p.fs = fs;
+    p.size_mb = size_mb;
+    p.label = std::move(label);
+    p.mount = std::move(mount);
+    if (fs != FsType::kEmpty && fs != FsType::kExtended) p.generation = 1;
+    return p;
+}
+
+void must(util::Status s) { util::ensure(s.ok(), "disk layout construction failed: " + s.error_message()); }
+
+}  // namespace
+
+Disk make_v1_dualboot_disk(const V1DiskOptions& opts) {
+    Disk disk(250'000);
+
+    Partition win = part(kV1WindowsPartition,
+                         opts.windows_installed ? FsType::kNtfs : FsType::kEmpty,
+                         opts.windows_mb, opts.windows_installed ? "Node" : "");
+    must(disk.add_partition(std::move(win)));
+    must(disk.add_partition(part(kV1BootPartition,
+                                 opts.linux_installed ? FsType::kExt3 : FsType::kEmpty, 100, "",
+                                 "/boot")));
+    must(disk.add_partition(part(3, FsType::kExtended, 0)));
+    must(disk.add_partition(part(kV1SwapPartition, FsType::kSwap, 512)));
+    must(disk.add_partition(part(kV1FatPartition, FsType::kFat, 64)));
+    must(disk.add_partition(
+        part(kV1RootPartition, opts.linux_installed ? FsType::kExt3 : FsType::kEmpty, -1, "", "/")));
+
+    if (opts.windows_installed) must(disk.set_active(kV1WindowsPartition));
+
+    if (opts.linux_installed) {
+        // OSCAR installs GRUB stage1 to the MBR, reading menu.lst from /boot.
+        disk.mbr().code = MbrCode::kGrubStage1;
+        disk.mbr().grub_config_partition = kV1BootPartition;
+        disk.find(kV1BootPartition)
+            ->files.write(kMenuLstPath, make_redirect_menu().emit());
+    } else if (opts.windows_installed) {
+        disk.mbr().code = MbrCode::kWindowsMbr;
+    }
+
+    // Stage the FAT control files (§III.B.1): the live controlmenu.lst plus
+    // the two pre-configured variants the batch scripts copy into place.
+    auto& fat = disk.find(kV1FatPartition)->files;
+    fat.write(kControlToLinuxPath, make_eridani_control_menu(OsType::kLinux).emit());
+    fat.write(kControlToWindowsPath, make_eridani_control_menu(OsType::kWindows).emit());
+    fat.write(kControlMenuPath, make_eridani_control_menu(opts.control_default).emit());
+
+    return disk;
+}
+
+Disk make_v2_disk(bool windows_installed, bool linux_installed) {
+    Disk disk(250'000);
+    Partition win = part(kV2WindowsPartition, windows_installed ? FsType::kNtfs : FsType::kEmpty,
+                         16'000, windows_installed ? "Node" : "");
+    must(disk.add_partition(std::move(win)));
+    must(disk.add_partition(part(kV2BootPartition,
+                                 linux_installed ? FsType::kExt3 : FsType::kEmpty, 100, "",
+                                 "/boot")));
+    must(disk.add_partition(part(3, FsType::kExtended, 0)));
+    must(disk.add_partition(part(kV2SwapPartition, FsType::kSwap, 512)));
+    must(disk.add_partition(
+        part(kV2RootPartition, linux_installed ? FsType::kExt3 : FsType::kEmpty, -1, "", "/")));
+    if (windows_installed) {
+        must(disk.set_active(kV2WindowsPartition));
+        // Windows setup stamped its MBR; v2 never repairs it (and never
+        // needs to — nodes PXE-boot).
+        disk.mbr().code = MbrCode::kWindowsMbr;
+    }
+    return disk;
+}
+
+}  // namespace hc::boot

@@ -1,0 +1,58 @@
+// Canonical Eridani compute-node disk layouts.
+//
+// The v1 layout (derived from §III.C.1 and the Fig 2/3 device numbers):
+//   sda1  NTFS 150GB   Windows system, active         (hd0,0)
+//   sda2  ext3 100MB   /boot, holds grub/menu.lst     (hd0,1)
+//   sda3  extended container
+//   sda5  swap 512MB
+//   sda6  FAT          shared dual-boot control part. (hd0,5)
+//   sda7  ext3 *       Linux /                        root=/dev/sda7
+//   MBR: GRUB stage1 reading its config from sda2.
+//
+// The v2 layout (Fig 14's ide.disk): the FAT partition disappears (control
+// moved to the head's /tftpboot), Windows gets a `skip` placeholder, and the
+// MBR no longer matters because nodes PXE-boot first.
+//   sda1  skip 16000MB  reserved for Windows
+//   sda2  ext3 100MB    /boot (bootable)
+//   sda3  extended container
+//   sda5  swap 512MB
+//   sda6  ext3 *        Linux /
+#pragma once
+
+#include "cluster/disk.hpp"
+#include "cluster/os.hpp"
+
+namespace hc::boot {
+
+/// Options for building a ready-to-run v1 dual-boot disk.
+struct V1DiskOptions {
+    std::int64_t windows_mb = 150'000;
+    bool windows_installed = true;   ///< NTFS formatted + active
+    bool linux_installed = true;     ///< ext3 partitions formatted, GRUB in MBR
+    cluster::OsType control_default = cluster::OsType::kLinux;
+};
+
+/// Partition indices fixed by the layout above.
+inline constexpr int kV1WindowsPartition = 1;
+inline constexpr int kV1BootPartition = 2;
+inline constexpr int kV1SwapPartition = 5;
+inline constexpr int kV1FatPartition = 6;
+inline constexpr int kV1RootPartition = 7;
+
+inline constexpr int kV2WindowsPartition = 1;
+inline constexpr int kV2BootPartition = 2;
+inline constexpr int kV2SwapPartition = 5;
+inline constexpr int kV2RootPartition = 6;
+
+/// Build the fully-deployed v1 dual-boot disk: partitions, GRUB-in-MBR,
+/// the Fig 2 redirect menu in /boot, and the three control files (active
+/// controlmenu.lst plus the two pre-staged variants) in the FAT partition.
+[[nodiscard]] cluster::Disk make_v1_dualboot_disk(const V1DiskOptions& opts = {});
+
+/// Build the v2 disk per Fig 14 (no FAT partition, `skip` Windows slot).
+/// `windows_installed` formats sda1 as NTFS and stamps a Windows MBR (which
+/// is harmless in v2 — nodes PXE-boot).
+[[nodiscard]] cluster::Disk make_v2_disk(bool windows_installed = true,
+                                         bool linux_installed = true);
+
+}  // namespace hc::boot

@@ -1,0 +1,50 @@
+#include "boot/flag.hpp"
+
+namespace hc::boot {
+
+using cluster::Mac;
+using cluster::OsType;
+using util::Error;
+using util::Result;
+
+void OsFlagStore::set_flag(OsType os) {
+    pxe_.tftp_root().write(kPxeDefaultMenu, make_eridani_control_menu(os).emit());
+}
+
+Result<OsType> OsFlagStore::flag() const {
+    auto text = pxe_.tftp_root().read(kPxeDefaultMenu);
+    if (!text) return Error{"flag not set: " + text.error_message()};
+    return parse_menu_os(text.value());
+}
+
+void OsFlagStore::set_node_target(const Mac& mac, OsType os) {
+    pxe_.tftp_root().write(std::string(kPxeMenuDir) + mac.grub4dos_menu_name(),
+                           make_eridani_control_menu(os).emit());
+}
+
+void OsFlagStore::clear_node_target(const Mac& mac) {
+    pxe_.tftp_root().remove(std::string(kPxeMenuDir) + mac.grub4dos_menu_name());
+}
+
+Result<OsType> OsFlagStore::target_for(const Mac& mac) const {
+    auto per_mac = pxe_.tftp_root().read(std::string(kPxeMenuDir) + mac.grub4dos_menu_name());
+    if (per_mac) return parse_menu_os(per_mac.value());
+    return flag();
+}
+
+std::size_t OsFlagStore::pinned_count() const {
+    std::size_t count = 0;
+    for (const auto& path : pxe_.tftp_root().list_prefix(kPxeMenuDir))
+        if (path != kPxeDefaultMenu) ++count;
+    return count;
+}
+
+Result<OsType> OsFlagStore::parse_menu_os(const std::string& text) {
+    auto cfg = GrubConfig::parse(text);
+    if (!cfg) return Error{"menu corrupt: " + cfg.error_message()};
+    const GrubEntry* entry = cfg.value().default_entry();
+    if (entry == nullptr) return Error{"menu has no entries"};
+    return entry->classify();
+}
+
+}  // namespace hc::boot

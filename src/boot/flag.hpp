@@ -1,0 +1,50 @@
+// The v2 boot-target control surface on top of the PXE server's TFTP tree.
+//
+// Two generations within v2 (§IV.A.1, Figs 12–13):
+//  * per-MAC menus: write menu.lst/<01-MAC> so a *specific* machine boots a
+//    specific OS. Precise, but the OSCAR-side daemon "would not easily get
+//    information about which machine is scheduled to be rebooted", so...
+//  * the single flag: one shared menu.lst/default; every rebooting node is
+//    herded to the same OS "because the whole dual-boot cluster will only
+//    need one system at one time".
+// Both are implemented; the controllers pick one, and bench F12/F13
+// quantifies the herding cost of the flag design.
+#pragma once
+
+#include "boot/grub_config.hpp"
+#include "boot/pxe.hpp"
+#include "cluster/mac.hpp"
+#include "cluster/os.hpp"
+#include "util/result.hpp"
+
+namespace hc::boot {
+
+class OsFlagStore {
+public:
+    explicit OsFlagStore(PxeServer& pxe) : pxe_(pxe) {}
+
+    /// Set the cluster-wide target OS flag (rewrites menu.lst/default).
+    void set_flag(cluster::OsType os);
+
+    /// Read the flag back by parsing the shared menu.
+    [[nodiscard]] util::Result<cluster::OsType> flag() const;
+
+    /// Per-MAC control (the Fig 12 design): pin one node's next boot.
+    void set_node_target(const cluster::Mac& mac, cluster::OsType os);
+
+    /// Remove a per-MAC pin so the node follows the shared flag again.
+    void clear_node_target(const cluster::Mac& mac);
+
+    /// Which OS the given MAC would be served right now.
+    [[nodiscard]] util::Result<cluster::OsType> target_for(const cluster::Mac& mac) const;
+
+    /// Number of per-MAC menu files currently present.
+    [[nodiscard]] std::size_t pinned_count() const;
+
+private:
+    [[nodiscard]] static util::Result<cluster::OsType> parse_menu_os(const std::string& text);
+
+    PxeServer& pxe_;
+};
+
+}  // namespace hc::boot

@@ -1,0 +1,241 @@
+#include "boot/grub_config.hpp"
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace hc::boot {
+
+using cluster::OsType;
+using util::Error;
+using util::Result;
+
+Result<GrubDevice> GrubDevice::parse(const std::string& text) {
+    const auto s = util::trim(text);
+    if (s.size() < 7 || s.front() != '(' || s.back() != ')')
+        return Error{"bad GRUB device (expected \"(hdD,P)\"): " + text};
+    const auto inner = s.substr(1, s.size() - 2);
+    const auto comma = inner.find(',');
+    if (comma == std::string_view::npos || inner.substr(0, 2) != "hd")
+        return Error{"bad GRUB device (expected \"(hdD,P)\"): " + text};
+    const long long disk = util::parse_uint(inner.substr(2, comma - 2));
+    const long long part = util::parse_uint(inner.substr(comma + 1));
+    if (disk < 0 || part < 0) return Error{"bad GRUB device numbers: " + text};
+    return GrubDevice{static_cast<int>(disk), static_cast<int>(part)};
+}
+
+std::string GrubDevice::to_string() const {
+    return "(hd" + std::to_string(disk) + "," + std::to_string(partition) + ")";
+}
+
+OsType GrubEntry::classify() const {
+    // Title convention used by the dualboot-oscar scripts ("..._..-linux").
+    const std::string lower = util::to_lower(title);
+    auto ends_with = [&](const char* suffix) {
+        const std::string suf(suffix);
+        return lower.size() >= suf.size() &&
+               lower.compare(lower.size() - suf.size(), suf.size(), suf) == 0;
+    };
+    if (ends_with("-linux") || ends_with("_linux")) return OsType::kLinux;
+    if (ends_with("-windows") || ends_with("_windows")) return OsType::kWindows;
+    // Structural fallback.
+    if (!configfile.empty()) return OsType::kNone;
+    if (chainloader) return OsType::kWindows;
+    if (!kernel_path.empty()) return OsType::kLinux;
+    return OsType::kNone;
+}
+
+Result<GrubConfig> GrubConfig::parse(const std::string& text) {
+    GrubConfig cfg;
+    cfg.timeout.reset();
+    GrubEntry* current = nullptr;
+    int line_no = 0;
+    for (const std::string& raw : util::split_lines(text)) {
+        ++line_no;
+        const std::string line(util::trim(raw));
+        if (line.empty() || line.front() == '#') continue;
+
+        // Header/entry directives all have the shape "keyword rest" where
+        // "keyword=rest" is also accepted (GRUB's tolerant parsing).
+        std::string keyword;
+        std::string rest;
+        const auto eq = line.find('=');
+        const auto sp = line.find_first_of(" \t");
+        bool used_equals = false;
+        if (eq != std::string::npos && (sp == std::string::npos || eq < sp)) {
+            keyword = line.substr(0, eq);
+            rest = std::string(util::trim(line.substr(eq + 1)));
+            used_equals = true;
+        } else if (sp != std::string::npos) {
+            keyword = line.substr(0, sp);
+            rest = std::string(util::trim(line.substr(sp + 1)));
+        } else {
+            keyword = line;
+        }
+
+        if (keyword == "title") {
+            cfg.entries.emplace_back();
+            current = &cfg.entries.back();
+            current->title = rest;
+            continue;
+        }
+
+        if (current == nullptr) {
+            // Global header directives.
+            if (keyword == "default") {
+                const long long v = util::parse_uint(rest);
+                if (v < 0) return Error{"bad default index: " + rest, line_no};
+                cfg.default_index = static_cast<int>(v);
+                cfg.default_uses_equals = used_equals;
+            } else if (keyword == "fallback") {
+                const long long v = util::parse_uint(rest);
+                if (v < 0) return Error{"bad fallback index: " + rest, line_no};
+                cfg.fallback_index = static_cast<int>(v);
+            } else if (keyword == "timeout") {
+                const long long v = util::parse_uint(rest);
+                if (v < 0) return Error{"bad timeout: " + rest, line_no};
+                cfg.timeout = static_cast<int>(v);
+            } else if (keyword == "splashimage") {
+                cfg.splashimage = rest;
+            } else if (keyword == "hiddenmenu") {
+                cfg.hiddenmenu = true;
+            } else {
+                return Error{"unknown global directive: " + keyword, line_no};
+            }
+            continue;
+        }
+
+        // Entry-scoped commands.
+        if (keyword == "root" || keyword == "rootnoverify") {
+            auto dev = GrubDevice::parse(rest);
+            if (!dev) return Error{dev.error().message, line_no};
+            current->root = dev.value();
+            current->root_noverify = (keyword == "rootnoverify");
+        } else if (keyword == "kernel") {
+            const auto space = rest.find(' ');
+            if (space == std::string::npos) {
+                current->kernel_path = rest;
+            } else {
+                current->kernel_path = rest.substr(0, space);
+                current->kernel_args = std::string(util::trim(rest.substr(space + 1)));
+            }
+        } else if (keyword == "initrd") {
+            current->initrd_path = rest;
+        } else if (keyword == "chainloader") {
+            current->chainloader = true;
+            current->chainloader_arg = rest.empty() ? "+1" : rest;
+        } else if (keyword == "configfile") {
+            if (rest.empty()) return Error{"configfile needs a path", line_no};
+            current->configfile = rest;
+        } else if (keyword == "savedefault" || keyword == "makeactive" || keyword == "map" ||
+                   keyword == "boot") {
+            current->extra_commands.push_back(line);
+        } else {
+            return Error{"unknown entry command: " + keyword, line_no};
+        }
+    }
+    return cfg;
+}
+
+std::string GrubConfig::emit() const {
+    std::string out;
+    out += default_uses_equals ? "default=" + std::to_string(default_index)
+                               : "default " + std::to_string(default_index);
+    out += '\n';
+    if (fallback_index.has_value()) out += "fallback=" + std::to_string(*fallback_index) + "\n";
+    if (timeout.has_value()) out += "timeout=" + std::to_string(*timeout) + "\n";
+    if (!splashimage.empty()) out += "splashimage=" + splashimage + "\n";
+    if (hiddenmenu) out += "hiddenmenu\n";
+    for (const auto& e : entries) {
+        out += '\n';
+        out += "title " + e.title + "\n";
+        if (e.root.has_value())
+            out += std::string(e.root_noverify ? "rootnoverify " : "root ") +
+                   e.root->to_string() + "\n";
+        if (!e.kernel_path.empty()) {
+            out += "kernel " + e.kernel_path;
+            if (!e.kernel_args.empty()) out += " " + e.kernel_args;
+            out += '\n';
+        }
+        if (!e.initrd_path.empty()) out += "initrd " + e.initrd_path + "\n";
+        if (e.chainloader) out += "chainloader " + e.chainloader_arg + "\n";
+        if (!e.configfile.empty()) out += "configfile " + e.configfile + "\n";
+        for (const auto& cmd : e.extra_commands) out += cmd + "\n";
+    }
+    return out;
+}
+
+const GrubEntry* GrubConfig::default_entry() const {
+    if (entries.empty()) return nullptr;
+    // GRUB falls back to entry 0 when `default` is out of range.
+    const std::size_t idx = default_index >= 0 &&
+                                    static_cast<std::size_t>(default_index) < entries.size()
+                                ? static_cast<std::size_t>(default_index)
+                                : 0;
+    return &entries[idx];
+}
+
+const GrubEntry* GrubConfig::fallback_entry() const {
+    if (!fallback_index.has_value()) return nullptr;
+    if (*fallback_index < 0 || static_cast<std::size_t>(*fallback_index) >= entries.size())
+        return nullptr;
+    return &entries[static_cast<std::size_t>(*fallback_index)];
+}
+
+std::optional<int> GrubConfig::find_entry_by_os(OsType os) const {
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        if (entries[i].classify() == os) return static_cast<int>(i);
+    return std::nullopt;
+}
+
+bool GrubConfig::set_default_os(OsType os) {
+    const auto idx = find_entry_by_os(os);
+    if (!idx.has_value()) return false;
+    default_index = *idx;
+    return true;
+}
+
+GrubConfig make_redirect_menu(GrubDevice fat_device, GrubDevice splash_device) {
+    GrubConfig cfg;
+    cfg.default_index = 0;
+    cfg.timeout = 5;
+    cfg.splashimage = splash_device.to_string() + "/grub/splash.xpm.gz";
+    cfg.hiddenmenu = true;
+    cfg.default_uses_equals = true;  // Fig 2 spells "default=0"
+
+    GrubEntry redirect;
+    redirect.title = "changing to control file";
+    redirect.root = fat_device;
+    redirect.configfile = "/controlmenu.lst";
+    cfg.entries.push_back(std::move(redirect));
+    return cfg;
+}
+
+GrubConfig make_eridani_control_menu(OsType default_os) {
+    util::require(default_os == OsType::kLinux || default_os == OsType::kWindows,
+                  "make_eridani_control_menu: default_os must be linux or windows");
+    GrubConfig cfg;
+    cfg.timeout = 10;
+    cfg.splashimage = "(hd0,1)/grub/splash.xpm.gz";
+    cfg.default_uses_equals = false;  // Fig 3 spells "default 0"
+
+    GrubEntry linux_entry;
+    linux_entry.title = "CentOS-5.4_Oscar-5b2-linux";
+    linux_entry.root = GrubDevice{0, 1};  // (hd0,1) = /dev/sda2, the /boot partition
+    linux_entry.kernel_path = "/vmlinuz-2.6.18-164.el5";
+    linux_entry.kernel_args = "ro root=/dev/sda7 enforcing=0";
+    linux_entry.initrd_path = "/sc-initrd-2.6.18-164.el5.gz";
+
+    GrubEntry windows_entry;
+    windows_entry.title = "Win_Server_2K8_R2-windows";
+    windows_entry.root = GrubDevice{0, 0};  // (hd0,0) = /dev/sda1, the NTFS partition
+    windows_entry.root_noverify = true;
+    windows_entry.chainloader = true;
+
+    cfg.entries.push_back(std::move(linux_entry));
+    cfg.entries.push_back(std::move(windows_entry));
+    const bool found = cfg.set_default_os(default_os);
+    util::ensure(found, "make_eridani_control_menu: entry classification failed");
+    return cfg;
+}
+
+}  // namespace hc::boot

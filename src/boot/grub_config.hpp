@@ -1,0 +1,114 @@
+// GRUB configuration model: parse and emit menu.lst files.
+//
+// The v1 switching mechanism is pure GRUB-config manipulation: the node's
+// MBR GRUB reads /boot/grub/menu.lst (Fig 2), which redirects via
+// `configfile` to /controlmenu.lst on a shared FAT partition (Fig 3); the
+// middleware swaps that file to change the default OS. v2 serves equivalent
+// menus over TFTP to GRUB4DOS. This module is the single source of truth for
+// that file format: the emitter reproduces the paper's listings exactly and
+// the parser accepts everything the emitter produces plus the syntax
+// variants GRUB 0.97 / GRUB4DOS tolerate (`default 0` vs `default=0`).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/os.hpp"
+#include "util/result.hpp"
+
+namespace hc::boot {
+
+/// A "(hd0,1)" device specifier. GRUB numbers partitions from 0, so
+/// (hd0,1) is the second partition = /dev/sda2.
+struct GrubDevice {
+    int disk = 0;
+    int partition = 0;
+
+    /// 1-based partition index as the kernel names it (sdaN).
+    [[nodiscard]] int partition_index() const { return partition + 1; }
+
+    [[nodiscard]] static util::Result<GrubDevice> parse(const std::string& text);
+    [[nodiscard]] std::string to_string() const;
+
+    auto operator<=>(const GrubDevice&) const = default;
+};
+
+/// One `title ...` stanza.
+struct GrubEntry {
+    std::string title;
+
+    std::optional<GrubDevice> root;  ///< `root` or `rootnoverify` target
+    bool root_noverify = false;      ///< Windows entries use rootnoverify
+
+    std::string kernel_path;  ///< `kernel /vmlinuz-... <args>` (Linux entries)
+    std::string kernel_args;
+    std::string initrd_path;
+
+    bool chainloader = false;          ///< Windows: `chainloader +1`
+    std::string chainloader_arg = "+1";
+
+    std::string configfile;  ///< redirect to another config (the Fig 2 trick)
+
+    /// Commands we preserve verbatim but do not interpret (savedefault,
+    /// makeactive, map, ...).
+    std::vector<std::string> extra_commands;
+
+    /// Which OS booting this entry yields. The dualboot-oscar scripts encode
+    /// the OS in the title suffix ("...-linux", "...-windows"); failing
+    /// that we classify structurally: chainloader => Windows, kernel =>
+    /// Linux, configfile => none (it is a redirect, not a bootable target).
+    [[nodiscard]] cluster::OsType classify() const;
+
+    [[nodiscard]] bool is_redirect() const { return !configfile.empty(); }
+};
+
+/// A whole menu.lst.
+struct GrubConfig {
+    int default_index = 0;
+    std::optional<int> fallback_index;  ///< GRUB `fallback`: tried if default fails
+    std::optional<int> timeout;  ///< seconds the menu is shown
+    std::string splashimage;     ///< kept verbatim, e.g. "(hd0,1)/grub/splash.xpm.gz"
+    bool hiddenmenu = false;
+    std::vector<GrubEntry> entries;
+
+    /// The paper writes `default=0` in Fig 2 but `default 0` in Fig 3; GRUB
+    /// accepts both. Track the spelling so golden output round-trips.
+    bool default_uses_equals = true;
+
+    [[nodiscard]] static util::Result<GrubConfig> parse(const std::string& text);
+
+    /// Render in the exact layout of the paper's listings: header block,
+    /// blank line, entries separated by blank lines.
+    [[nodiscard]] std::string emit() const;
+
+    [[nodiscard]] const GrubEntry* default_entry() const;
+
+    /// The fallback entry, if `fallback` is configured and in range.
+    [[nodiscard]] const GrubEntry* fallback_entry() const;
+
+    /// Index of the first entry classified as `os`, if any.
+    [[nodiscard]] std::optional<int> find_entry_by_os(cluster::OsType os) const;
+
+    /// Point `default_index` at the first entry for `os`.
+    /// Returns false if no entry for that OS exists.
+    [[nodiscard]] bool set_default_os(cluster::OsType os);
+};
+
+/// Standard file names used throughout the middleware.
+inline constexpr const char* kMenuLstPath = "grub/menu.lst";         ///< inside /boot
+inline constexpr const char* kControlMenuPath = "controlmenu.lst";   ///< FAT partition root
+inline constexpr const char* kControlToLinuxPath = "controlmenu_to_linux.lst";
+inline constexpr const char* kControlToWindowsPath = "controlmenu_to_windows.lst";
+
+/// Factory: the Fig 2 menu.lst — redirect from /boot GRUB into the FAT
+/// control partition. `fat_device` defaults to (hd0,5) = /dev/sda6 and
+/// `splash_device` to (hd0,1) as in the paper.
+[[nodiscard]] GrubConfig make_redirect_menu(GrubDevice fat_device = {0, 5},
+                                            GrubDevice splash_device = {0, 1});
+
+/// Factory: the Fig 3 controlmenu.lst — one CentOS entry, one Windows
+/// entry, `default` selecting `default_os`.
+[[nodiscard]] GrubConfig make_eridani_control_menu(cluster::OsType default_os);
+
+}  // namespace hc::boot

@@ -1,0 +1,154 @@
+#include "boot/local_boot.hpp"
+
+#include "util/strings.hpp"
+
+namespace hc::boot {
+
+using cluster::BootDecision;
+using cluster::Disk;
+using cluster::FsType;
+using cluster::MbrCode;
+using cluster::Node;
+using cluster::OsType;
+using cluster::Partition;
+
+namespace {
+
+BootDecision fail(std::string via) {
+    BootDecision d;
+    d.os = OsType::kNone;
+    d.via = std::move(via);
+    return d;
+}
+
+/// Strip a leading '/' so GRUB paths map onto FileStore keys.
+std::string store_path(const std::string& grub_path) {
+    return grub_path.size() > 1 && grub_path.front() == '/' ? grub_path.substr(1) : grub_path;
+}
+
+BootDecision boot_active_partition(const Disk& disk, const char* via_prefix) {
+    const Disk& d = disk;
+    const Partition* active = nullptr;
+    for (const auto& p : d.partitions())
+        if (p.active) {
+            active = &p;
+            break;
+        }
+    if (active == nullptr) return fail(std::string(via_prefix) + ":no-active-partition");
+    if (active->fs == FsType::kNtfs)
+        return BootDecision{OsType::kWindows, {}, std::string(via_prefix) + ":active-ntfs"};
+    if (active->fs == FsType::kExt3 && active->bootable)
+        return BootDecision{OsType::kLinux, {}, std::string(via_prefix) + ":active-ext3"};
+    return fail(std::string(via_prefix) + ":active-partition-not-bootable");
+}
+
+}  // namespace
+
+namespace {
+BootDecision resolve_one_entry(const Disk& disk, const GrubConfig& config,
+                               const GrubEntry* entry, int redirect_depth);
+}  // namespace
+
+BootDecision resolve_grub_entry(const Disk& disk, const GrubConfig& config, int redirect_depth) {
+    if (redirect_depth > kMaxConfigRedirects) return fail("grub:configfile-loop");
+
+    const GrubEntry* entry = config.default_entry();
+    if (entry == nullptr) return fail("grub:empty-menu");
+
+    BootDecision decision = resolve_one_entry(disk, config, entry, redirect_depth);
+    if (decision.os != OsType::kNone) return decision;
+
+    // GRUB 0.97 `fallback`: when the default entry fails to boot, try the
+    // configured fallback entry once.
+    const GrubEntry* fallback = config.fallback_entry();
+    if (fallback != nullptr && fallback != entry) {
+        BootDecision second = resolve_one_entry(disk, config, fallback, redirect_depth);
+        if (second.os != OsType::kNone) {
+            second.via = "fallback>" + second.via;
+            return second;
+        }
+    }
+    return decision;
+}
+
+namespace {
+
+BootDecision resolve_one_entry(const Disk& disk, const GrubConfig& config,
+                               const GrubEntry* entry, int redirect_depth) {
+    // Menu delay: GRUB waits `timeout` seconds before booting the default
+    // (hiddenmenu still honours the timeout, it just hides the list).
+    BootDecision decision;
+    decision.menu_delay = sim::seconds(config.timeout.value_or(0));
+
+    if (entry->is_redirect()) {
+        // `configfile` re-reads another menu, typically on another partition
+        // (Fig 2's jump into the FAT partition). `root` selects the source.
+        if (!entry->root.has_value()) return fail("grub:configfile-without-root");
+        const Partition* src = disk.find(entry->root->partition_index());
+        if (src == nullptr) return fail("grub:configfile-partition-missing");
+        auto text = src->files.read(store_path(entry->configfile));
+        if (!text) return fail("grub:configfile-missing:" + entry->configfile);
+        auto next = GrubConfig::parse(text.value());
+        if (!next) return fail("grub:configfile-corrupt");
+        BootDecision inner = resolve_grub_entry(disk, next.value(), redirect_depth + 1);
+        inner.menu_delay = inner.menu_delay + decision.menu_delay;
+        if (inner.os != OsType::kNone) inner.via = "grub:redirect>" + inner.via;
+        return inner;
+    }
+
+    if (entry->chainloader) {
+        // Windows path: chainload the boot sector of `root`.
+        if (!entry->root.has_value()) return fail("grub:chainloader-without-root");
+        const Partition* target = disk.find(entry->root->partition_index());
+        if (target == nullptr || target->fs != FsType::kNtfs)
+            return fail("grub:chainloader-target-not-ntfs");
+        decision.os = OsType::kWindows;
+        decision.via = "grub:chainloader";
+        return decision;
+    }
+
+    if (!entry->kernel_path.empty()) {
+        // Linux path: the kernel image lives on the `root` partition
+        // (/boot); it must be a formatted ext3 partition.
+        if (!entry->root.has_value()) return fail("grub:kernel-without-root");
+        const Partition* bootp = disk.find(entry->root->partition_index());
+        if (bootp == nullptr || bootp->fs != FsType::kExt3)
+            return fail("grub:kernel-partition-not-ext3");
+        decision.os = OsType::kLinux;
+        decision.via = "grub:kernel";
+        return decision;
+    }
+
+    return fail("grub:entry-not-bootable");
+}
+
+}  // namespace
+
+BootDecision resolve_local_boot(const Disk& disk) {
+    switch (disk.mbr().code) {
+        case MbrCode::kNone:
+            return fail("mbr:none");
+        case MbrCode::kGeneric:
+            return boot_active_partition(disk, "mbr:generic");
+        case MbrCode::kWindowsMbr:
+            return boot_active_partition(disk, "mbr:windows");
+        case MbrCode::kGrubStage1: {
+            const Partition* cfg_part = disk.find(disk.mbr().grub_config_partition);
+            if (cfg_part == nullptr) return fail("mbr:grub:config-partition-missing");
+            auto text = cfg_part->files.read(kMenuLstPath);
+            if (!text) return fail("mbr:grub:menu.lst-missing");
+            auto cfg = GrubConfig::parse(text.value());
+            if (!cfg) return fail("mbr:grub:menu.lst-corrupt");
+            BootDecision d = resolve_grub_entry(disk, cfg.value());
+            if (d.os != OsType::kNone) d.via = "mbr:" + d.via;
+            return d;
+        }
+    }
+    return fail("mbr:unknown");
+}
+
+Node::BootResolver make_local_boot_resolver() {
+    return [](const Node& node) { return resolve_local_boot(node.disk()); };
+}
+
+}  // namespace hc::boot

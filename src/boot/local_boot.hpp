@@ -1,0 +1,44 @@
+// Local (MBR-path) boot resolution.
+//
+// Given only a node's own disk, decide which OS its firmware would bring up:
+//
+//   MBR code          behaviour
+//   ---------------   -----------------------------------------------------
+//   none              nothing bootable -> hang at "no boot device"
+//   generic / windows jump to the *active* partition's boot sector
+//   GRUB stage1       ignore the active flag; load menu.lst from the
+//                     configured /boot partition, follow `configfile`
+//                     redirects (the Fig 2 -> Fig 3 chain), boot the default
+//                     entry
+//
+// This is the v1 boot path, and also what a v2 node does if PXE is
+// unavailable (head node down) and the ROM falls through to local boot.
+#pragma once
+
+#include "boot/grub_config.hpp"
+#include "cluster/disk.hpp"
+#include "cluster/node.hpp"
+#include "util/result.hpp"
+
+namespace hc::boot {
+
+/// Maximum `configfile` redirects followed before declaring a loop.
+inline constexpr int kMaxConfigRedirects = 4;
+
+/// Resolve what the given disk boots. Pure function of disk state.
+[[nodiscard]] cluster::BootDecision resolve_local_boot(const cluster::Disk& disk);
+
+/// Resolve a parsed GRUB config against a disk: follow redirects, pick the
+/// default entry, and verify the target partition actually contains a
+/// bootable system of the right type (NTFS for chainloader, ext3 for
+/// kernel). Exposed separately because the PXE/GRUB4DOS path reuses it with
+/// head-served configs.
+[[nodiscard]] cluster::BootDecision resolve_grub_entry(const cluster::Disk& disk,
+                                                       const GrubConfig& config,
+                                                       int redirect_depth = 0);
+
+/// Build a Node::BootResolver that only consults the node's local disk
+/// (the v1 wiring).
+[[nodiscard]] cluster::Node::BootResolver make_local_boot_resolver();
+
+}  // namespace hc::boot

@@ -1,0 +1,146 @@
+#include "boot/pxe.hpp"
+
+#include "boot/local_boot.hpp"
+
+namespace hc::boot {
+
+using cluster::BootDecision;
+using cluster::Mac;
+using cluster::Node;
+using cluster::OsType;
+
+const char* pxe_rom_name(PxeRom rom) {
+    switch (rom) {
+        case PxeRom::kNone: return "none";
+        case PxeRom::kPxelinux: return "pxelinux";
+        case PxeRom::kPxegrub097: return "pxegrub-0.97";
+        case PxeRom::kGrub4dos: return "grub4dos";
+    }
+    return "?";
+}
+
+PxeServer::PxeServer() {
+    // GRUB 0.97 shipped drivers for the NICs of its era; the Eridani
+    // replacement lab machines had newer Realtek parts, which is what forced
+    // the move to GRUB4DOS. Callers can override.
+    pxegrub_drivers_ = {"e1000", "3c90x", "tg3", "eepro100"};
+}
+
+void PxeServer::set_rom_for_mac(const Mac& mac, PxeRom rom) {
+    mac_roms_[mac.to_string()] = rom;
+}
+
+void PxeServer::clear_rom_for_mac(const Mac& mac) { mac_roms_.erase(mac.to_string()); }
+
+PxeRom PxeServer::rom_for(const Mac& mac) const {
+    auto it = mac_roms_.find(mac.to_string());
+    return it == mac_roms_.end() ? default_rom_ : it->second;
+}
+
+void PxeServer::set_pxegrub_nic_drivers(std::set<std::string> drivers) {
+    pxegrub_drivers_ = std::move(drivers);
+}
+
+bool PxeServer::pxegrub_supports(const std::string& driver) const {
+    return pxegrub_drivers_.contains(driver);
+}
+
+BootDecision PxeServer::resolve_grub4dos(const Node& node) const {
+    // GRUB4DOS PXE reads menu.lst/<01-mac-dashes>, else the shared default.
+    const std::string per_mac = std::string(kPxeMenuDir) + node.mac().grub4dos_menu_name();
+    auto text = tftp_.read(per_mac);
+    std::string source = "per-mac";
+    if (!text) {
+        text = tftp_.read(kPxeDefaultMenu);
+        source = "default";
+    }
+    if (!text) {
+        // No menu at all: GRUB4DOS drops to its command prompt — node hangs.
+        BootDecision d;
+        d.via = "pxe:grub4dos:no-menu";
+        return d;
+    }
+    auto cfg = GrubConfig::parse(text.value());
+    if (!cfg) {
+        BootDecision d;
+        d.via = "pxe:grub4dos:menu-corrupt";
+        return d;
+    }
+    // The menu entries chainload/boot *local* partitions — resolve against
+    // the node's own disk, same as the local GRUB path.
+    BootDecision d = resolve_grub_entry(node.disk(), cfg.value());
+    d.menu_delay = d.menu_delay + handshake_delay_;
+    if (d.os != OsType::kNone) d.via = "pxe:grub4dos:" + source + ">" + d.via;
+    return d;
+}
+
+BootDecision PxeServer::resolve_pxegrub(const Node& node) const {
+    if (!pxegrub_supports(node.config().nic_driver)) {
+        // GRUB 0.97 has no driver for this card; the ROM cannot talk to the
+        // network and the BIOS falls through to the local boot order.
+        BootDecision d = resolve_local_boot(node.disk());
+        d.via = "pxe:pxegrub:nic-unsupported(" + node.config().nic_driver + ")>" + d.via;
+        return d;
+    }
+    // With a working driver PXEGRUB behaves like GRUB4DOS minus the per-MAC
+    // directory convention: it reads the shared menu only.
+    auto text = tftp_.read(kPxeDefaultMenu);
+    if (!text) {
+        BootDecision d;
+        d.via = "pxe:pxegrub:no-menu";
+        return d;
+    }
+    auto cfg = GrubConfig::parse(text.value());
+    if (!cfg) {
+        BootDecision d;
+        d.via = "pxe:pxegrub:menu-corrupt";
+        return d;
+    }
+    BootDecision d = resolve_grub_entry(node.disk(), cfg.value());
+    d.menu_delay = d.menu_delay + handshake_delay_;
+    if (d.os != OsType::kNone) d.via = "pxe:pxegrub>" + d.via;
+    return d;
+}
+
+BootDecision PxeServer::resolve(const Node& node) const {
+    if (!online_) {
+        // DHCP timeout, BIOS falls through to local boot order.
+        BootDecision d = resolve_local_boot(node.disk());
+        d.menu_delay = d.menu_delay + sim::seconds(15);  // DHCP retry timeout
+        d.via = "pxe:server-down>" + d.via;
+        return d;
+    }
+    PxeRom rom = rom_for(node.mac());
+    if (rom == PxeRom::kPxelinux) {
+        // PXELINUX either chains a more capable ROM or quits to local boot.
+        if (pxelinux_chain_ == PxeRom::kNone) {
+            BootDecision d = resolve_local_boot(node.disk());
+            d.menu_delay = d.menu_delay + handshake_delay_;
+            d.via = "pxe:pxelinux:localboot>" + d.via;
+            return d;
+        }
+        rom = pxelinux_chain_;
+    }
+    switch (rom) {
+        case PxeRom::kNone: {
+            BootDecision d = resolve_local_boot(node.disk());
+            d.via = "pxe:no-rom>" + d.via;
+            return d;
+        }
+        case PxeRom::kGrub4dos:
+            return resolve_grub4dos(node);
+        case PxeRom::kPxegrub097:
+            return resolve_pxegrub(node);
+        case PxeRom::kPxelinux:
+            break;  // unreachable: handled above
+    }
+    BootDecision d;
+    d.via = "pxe:unreachable";
+    return d;
+}
+
+Node::BootResolver PxeServer::make_resolver() {
+    return [this](const Node& node) { return resolve(node); };
+}
+
+}  // namespace hc::boot

@@ -1,0 +1,107 @@
+// PXE network-boot stack (v2).
+//
+// dualboot-oscar v2 moves boot control off the compute nodes entirely: the
+// OSCAR head runs DHCP + TFTP, hands each node a boot ROM, and the ROM reads
+// its menu from /tftpboot. The paper walked through three ROM generations:
+//
+//   PXELINUX      — what OSCAR already uses for deployment. "has less
+//                   ability in controlling local partitions booting. It only
+//                   can quit PXE and lead to normal boot order", so alone it
+//                   can merely fall through to the local MBR; but it can
+//                   chainload another ROM.
+//   PXEGRUB 0.97  — compiled with --enable-diskless; worked in VM tests but
+//                   "new models of LAN cards are not supported" (GRUB 0.97
+//                   development discontinued), so it fails on newer NICs.
+//   GRUB4DOS      — the shipped solution: easy PXE ROM, reads per-node menu
+//                   files /tftpboot/menu.lst/<01-MAC> or the shared default.
+//
+// All three are modelled, including the NIC-support failure mode, because
+// experiment E5 reproduces why the authors ended up on GRUB4DOS.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "boot/grub_config.hpp"
+#include "cluster/disk.hpp"
+#include "cluster/node.hpp"
+#include "util/result.hpp"
+
+namespace hc::boot {
+
+enum class PxeRom {
+    kNone,        ///< DHCP offers no boot program: straight to local boot
+    kPxelinux,    ///< deploy-only ROM: quits to local boot (or chains)
+    kPxegrub097,  ///< GRUB 0.97 PXE build: NIC-driver gated
+    kGrub4dos,    ///< the v2 production ROM
+};
+
+[[nodiscard]] const char* pxe_rom_name(PxeRom rom);
+
+/// Directory inside the TFTP root holding GRUB4DOS menu files.
+inline constexpr const char* kPxeMenuDir = "menu.lst/";
+/// The shared menu every node reads when it has no per-MAC file — the
+/// single "flag" of Fig 13.
+inline constexpr const char* kPxeDefaultMenu = "menu.lst/default";
+
+/// DHCP + TFTP services of the head node, collapsed into one object (they
+/// run on the same host and the middleware configures them together).
+class PxeServer {
+public:
+    PxeServer();
+
+    /// The /tftpboot file tree.
+    [[nodiscard]] cluster::FileStore& tftp_root() { return tftp_; }
+    [[nodiscard]] const cluster::FileStore& tftp_root() const { return tftp_; }
+
+    /// ROM offered to clients by default (DHCP filename option).
+    void set_default_rom(PxeRom rom) { default_rom_ = rom; }
+    [[nodiscard]] PxeRom default_rom() const { return default_rom_; }
+
+    /// Per-MAC ROM override (DHCP host entries).
+    void set_rom_for_mac(const cluster::Mac& mac, PxeRom rom);
+    void clear_rom_for_mac(const cluster::Mac& mac);
+    [[nodiscard]] PxeRom rom_for(const cluster::Mac& mac) const;
+
+    /// PXELINUX can be configured to chainload a second-stage ROM (the
+    /// paper's PXELINUX -> PXEGRUB idea). kNone = quit to local boot.
+    void set_pxelinux_chain(PxeRom rom) { pxelinux_chain_ = rom; }
+    [[nodiscard]] PxeRom pxelinux_chain() const { return pxelinux_chain_; }
+
+    /// NIC drivers the PXEGRUB 0.97 build was compiled with
+    /// (--enable-<driver>). GRUB4DOS/PXELINUX use the universal UNDI path
+    /// and are not gated.
+    void set_pxegrub_nic_drivers(std::set<std::string> drivers);
+    [[nodiscard]] bool pxegrub_supports(const std::string& driver) const;
+
+    /// Head-node outage injection: with the server down, DHCP times out and
+    /// every node falls through to local boot.
+    void set_online(bool online) { online_ = online; }
+    [[nodiscard]] bool online() const { return online_; }
+
+    /// Simulated DHCP+TFTP handshake latency added to the boot path.
+    void set_handshake_delay(sim::Duration d) { handshake_delay_ = d; }
+
+    /// Full resolution for one node: run the offered ROM against the TFTP
+    /// tree and the node's local disk. Falls back to local boot where the
+    /// real chain would (server down, unsupported NIC, PXELINUX quit,
+    /// missing menu -> GRUB4DOS drops to its prompt = hang).
+    [[nodiscard]] cluster::BootDecision resolve(const cluster::Node& node) const;
+
+    /// Build the Node::BootResolver for v2 wiring (PXE first).
+    [[nodiscard]] cluster::Node::BootResolver make_resolver();
+
+private:
+    [[nodiscard]] cluster::BootDecision resolve_grub4dos(const cluster::Node& node) const;
+    [[nodiscard]] cluster::BootDecision resolve_pxegrub(const cluster::Node& node) const;
+
+    cluster::FileStore tftp_;
+    PxeRom default_rom_ = PxeRom::kGrub4dos;
+    PxeRom pxelinux_chain_ = PxeRom::kNone;
+    std::map<std::string, PxeRom> mac_roms_;
+    std::set<std::string> pxegrub_drivers_;
+    bool online_ = true;
+    sim::Duration handshake_delay_ = sim::seconds(4);
+};
+
+}  // namespace hc::boot

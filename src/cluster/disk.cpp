@@ -1,0 +1,179 @@
+#include "cluster/disk.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/errors.hpp"
+
+namespace hc::cluster {
+
+const char* fs_name(FsType fs) {
+    switch (fs) {
+        case FsType::kEmpty: return "empty";
+        case FsType::kExt3: return "ext3";
+        case FsType::kNtfs: return "ntfs";
+        case FsType::kFat: return "fat";
+        case FsType::kSwap: return "swap";
+        case FsType::kExtended: return "extended";
+    }
+    return "?";
+}
+
+const char* mbr_code_name(MbrCode code) {
+    switch (code) {
+        case MbrCode::kNone: return "none";
+        case MbrCode::kGeneric: return "generic";
+        case MbrCode::kGrubStage1: return "grub-stage1";
+        case MbrCode::kWindowsMbr: return "windows-mbr";
+    }
+    return "?";
+}
+
+void FileStore::write(const std::string& path, std::string content) {
+    files_[path] = std::move(content);
+}
+
+bool FileStore::exists(const std::string& path) const { return files_.contains(path); }
+
+util::Result<std::string> FileStore::read(const std::string& path) const {
+    auto it = files_.find(path);
+    if (it == files_.end()) return util::Error{"no such file: " + path};
+    return it->second;
+}
+
+util::Status FileStore::rename(const std::string& from, const std::string& to) {
+    auto it = files_.find(from);
+    if (it == files_.end()) return util::Error{"rename: no such file: " + from};
+    files_[to] = std::move(it->second);
+    files_.erase(from);
+    return util::Status::ok_status();
+}
+
+util::Status FileStore::copy(const std::string& from, const std::string& to) {
+    auto it = files_.find(from);
+    if (it == files_.end()) return util::Error{"copy: no such file: " + from};
+    files_[to] = it->second;
+    return util::Status::ok_status();
+}
+
+bool FileStore::remove(const std::string& path) { return files_.erase(path) > 0; }
+
+void FileStore::clear() { files_.clear(); }
+
+std::vector<std::string> FileStore::list() const {
+    std::vector<std::string> out;
+    out.reserve(files_.size());
+    for (const auto& [path, _] : files_) out.push_back(path);
+    return out;
+}
+
+std::vector<std::string> FileStore::list_prefix(const std::string& prefix) const {
+    std::vector<std::string> out;
+    for (const auto& [path, _] : files_)
+        if (path.rfind(prefix, 0) == 0) out.push_back(path);
+    return out;
+}
+
+util::Status Disk::add_partition(Partition p) {
+    if (p.index < 1) return util::Error{"partition index must be >= 1"};
+    if (find(p.index) != nullptr)
+        return util::Error{"partition index already in use: " + std::to_string(p.index)};
+    if (p.index <= 4) {
+        int primaries = 0;
+        for (const auto& q : parts_)
+            if (q.index <= 4) ++primaries;
+        if (primaries >= 4) return util::Error{"MBR allows at most 4 primary partitions"};
+    } else {
+        // Logical partitions need an extended container.
+        const bool has_extended =
+            std::any_of(parts_.begin(), parts_.end(),
+                        [](const Partition& q) { return q.fs == FsType::kExtended; });
+        if (!has_extended)
+            return util::Error{"logical partition " + std::to_string(p.index) +
+                               " requires an extended partition"};
+    }
+    if (p.size_mb >= 0 && allocated_mb() + p.size_mb > size_mb_)
+        return util::Error{"partition exceeds disk size"};
+    parts_.push_back(std::move(p));
+    std::sort(parts_.begin(), parts_.end(),
+              [](const Partition& a, const Partition& b) { return a.index < b.index; });
+    return util::Status::ok_status();
+}
+
+void Disk::wipe() {
+    parts_.clear();
+    mbr_ = Mbr{};
+}
+
+bool Disk::remove_partition(int index) {
+    auto it = std::find_if(parts_.begin(), parts_.end(),
+                           [&](const Partition& p) { return p.index == index; });
+    if (it == parts_.end()) return false;
+    parts_.erase(it);
+    return true;
+}
+
+Partition* Disk::find(int index) {
+    for (auto& p : parts_)
+        if (p.index == index) return &p;
+    return nullptr;
+}
+
+const Partition* Disk::find(int index) const {
+    for (const auto& p : parts_)
+        if (p.index == index) return &p;
+    return nullptr;
+}
+
+Partition* Disk::active_partition() {
+    for (auto& p : parts_)
+        if (p.active) return &p;
+    return nullptr;
+}
+
+util::Status Disk::set_active(int index) {
+    Partition* target = find(index);
+    if (target == nullptr) return util::Error{"set_active: no partition " + std::to_string(index)};
+    for (auto& p : parts_) p.active = false;
+    target->active = true;
+    return util::Status::ok_status();
+}
+
+util::Status Disk::format(int index, FsType fs, const std::string& label) {
+    Partition* p = find(index);
+    if (p == nullptr) return util::Error{"format: no partition " + std::to_string(index)};
+    if (fs == FsType::kExtended) return util::Error{"format: cannot format an extended partition"};
+    p->fs = fs;
+    p->label = label;
+    p->files.clear();
+    ++p->generation;
+    return util::Status::ok_status();
+}
+
+std::int64_t Disk::allocated_mb() const {
+    std::int64_t total = 0;
+    for (const auto& p : parts_) {
+        // Logical partitions live inside the extended container; counting
+        // both would double-book space.
+        if (p.index > 4) continue;
+        if (p.size_mb > 0) total += p.size_mb;
+    }
+    return total;
+}
+
+std::string Disk::describe() const {
+    std::string out = "disk " + std::to_string(size_mb_) + "MB, mbr=" +
+                      mbr_code_name(mbr_.code) + "\n";
+    for (const auto& p : parts_) {
+        char line[160];
+        std::snprintf(line, sizeof line, "  sda%-2d %8lldMB %-8s %-6s %s%s%s\n", p.index,
+                      static_cast<long long>(p.size_mb), fs_name(p.fs),
+                      p.label.empty() ? "-" : p.label.c_str(),
+                      p.mount.empty() ? "" : p.mount.c_str(), p.active ? " [active]" : "",
+                      p.bootable ? " [bootable]" : "");
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace hc::cluster

@@ -1,0 +1,145 @@
+// Byte-less disk model: MBR, partition table, per-partition file stores.
+//
+// The dual-boot mechanics the paper describes are all disk-layout games —
+// GRUB in the MBR vs chainloading, a shared FAT partition holding
+// controlmenu.lst, Windows reimaging clobbering the MBR, the v2 `skip`
+// partition label. We model exactly the state those games read and write:
+// the MBR boot code, the partition table, and named files inside partitions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace hc::cluster {
+
+/// Filesystem type of a partition.
+enum class FsType {
+    kEmpty,     ///< allocated but unformatted (the v1 "empty partition for Windows")
+    kExt3,      ///< Linux data/boot partitions
+    kNtfs,      ///< Windows system partition
+    kFat,       ///< the v1 shared control partition
+    kSwap,
+    kExtended,  ///< container for logical partitions
+};
+
+[[nodiscard]] const char* fs_name(FsType fs);
+
+/// A flat file namespace inside one partition. Only the handful of small
+/// control artefacts matter (GRUB configs, boot flags), so files are
+/// path→content strings.
+class FileStore {
+public:
+    /// Write (create or replace).
+    void write(const std::string& path, std::string content);
+
+    [[nodiscard]] bool exists(const std::string& path) const;
+    [[nodiscard]] util::Result<std::string> read(const std::string& path) const;
+
+    /// POSIX-rename semantics: atomically replace `to` with `from`'s content.
+    /// This is how the v1 batch scripts switch OS (§III.B.1).
+    [[nodiscard]] util::Status rename(const std::string& from, const std::string& to);
+
+    /// Copy keeping the source (the pre-staged controlmenu_to_*.lst files).
+    [[nodiscard]] util::Status copy(const std::string& from, const std::string& to);
+
+    bool remove(const std::string& path);
+    void clear();
+
+    [[nodiscard]] std::vector<std::string> list() const;
+
+    /// Paths that start with `prefix` (directory-style listing).
+    [[nodiscard]] std::vector<std::string> list_prefix(const std::string& prefix) const;
+
+    [[nodiscard]] std::size_t size() const { return files_.size(); }
+
+private:
+    std::map<std::string, std::string> files_;
+};
+
+/// One partition. `index` is the 1-based device number (sda1 = 1); logical
+/// partitions start at 5 per MBR convention.
+struct Partition {
+    int index = 0;
+    FsType fs = FsType::kEmpty;
+    std::int64_t size_mb = 0;  ///< -1 = "fill remaining" (the '*' in ide.disk)
+    std::string label;         ///< e.g. "Node" for the Windows NTFS partition
+    std::string mount;         ///< mount point in the installed OS ("/boot", "/")
+    bool active = false;       ///< MBR active flag (what a generic MBR boots)
+    bool bootable = false;     ///< ide.disk "bootable" option
+    FileStore files;
+    std::uint64_t generation = 0;  ///< bumped on every format/reimage
+
+    [[nodiscard]] std::string device(const std::string& disk_device = "/dev/sda") const {
+        return disk_device + std::to_string(index);
+    }
+};
+
+/// What lives in the MBR's 440 code bytes.
+enum class MbrCode {
+    kNone,         ///< blank disk
+    kGeneric,      ///< DOS-style: jump to the active partition's boot sector
+    kGrubStage1,   ///< GRUB 0.97 installed to the MBR; ignores the active flag
+    kWindowsMbr,   ///< written by Windows setup; boots the active partition
+};
+
+[[nodiscard]] const char* mbr_code_name(MbrCode code);
+
+struct Mbr {
+    MbrCode code = MbrCode::kNone;
+    /// Partition index GRUB stage1 reads stage2/menu.lst from (the /boot
+    /// partition). Meaningful only when code == kGrubStage1.
+    int grub_config_partition = 0;
+};
+
+/// A single disk with a DOS partition table (4 primaries, logicals >= 5).
+class Disk {
+public:
+    explicit Disk(std::int64_t size_mb = 250'000) : size_mb_(size_mb) {}
+
+    [[nodiscard]] std::int64_t size_mb() const { return size_mb_; }
+
+    [[nodiscard]] Mbr& mbr() { return mbr_; }
+    [[nodiscard]] const Mbr& mbr() const { return mbr_; }
+
+    /// Add a partition with the given 1-based index. Fails if the index is
+    /// taken, more than 4 primaries are requested, or sizes exceed the disk.
+    [[nodiscard]] util::Status add_partition(Partition p);
+
+    /// Remove every partition and clear the MBR ("diskpart clean").
+    void wipe();
+
+    bool remove_partition(int index);
+
+    [[nodiscard]] Partition* find(int index);
+    [[nodiscard]] const Partition* find(int index) const;
+
+    /// The partition with the MBR active flag set, if any.
+    [[nodiscard]] Partition* active_partition();
+
+    /// Marks exactly one partition active.
+    [[nodiscard]] util::Status set_active(int index);
+
+    /// Reformat a partition: sets fs/label, clears files, bumps generation.
+    [[nodiscard]] util::Status format(int index, FsType fs, const std::string& label);
+
+    [[nodiscard]] const std::vector<Partition>& partitions() const { return parts_; }
+    [[nodiscard]] std::vector<Partition>& partitions() { return parts_; }
+
+    /// MB already allocated to primary partitions (fill-remaining counts 0).
+    [[nodiscard]] std::int64_t allocated_mb() const;
+
+    /// Human-readable layout dump for debugging and examples.
+    [[nodiscard]] std::string describe() const;
+
+private:
+    std::int64_t size_mb_;
+    Mbr mbr_;
+    std::vector<Partition> parts_;  ///< kept sorted by index
+};
+
+}  // namespace hc::cluster

@@ -1,0 +1,52 @@
+#include "cluster/mac.hpp"
+
+#include <cstdio>
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace hc::cluster {
+
+Mac Mac::for_node_index(int index) {
+    util::require(index >= 0 && index <= 0xFFFF, "Mac::for_node_index: index out of range");
+    std::array<std::uint8_t, 6> b{0x02, 0x00, 0x00, 0x00, 0x00, 0x00};
+    b[4] = static_cast<std::uint8_t>((index >> 8) & 0xFF);
+    b[5] = static_cast<std::uint8_t>(index & 0xFF);
+    return Mac(b);
+}
+
+util::Result<Mac> Mac::parse(const std::string& text) {
+    const char sep = text.find(':') != std::string::npos ? ':' : '-';
+    const auto parts = util::split(text, sep);
+    if (parts.size() != 6) return util::Error{"MAC must have 6 octets: " + text};
+    std::array<std::uint8_t, 6> b{};
+    for (std::size_t i = 0; i < 6; ++i) {
+        if (parts[i].size() != 2) return util::Error{"bad MAC octet: " + parts[i]};
+        unsigned v = 0;
+        for (char c : parts[i]) {
+            v <<= 4;
+            if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+            else return util::Error{"bad MAC octet: " + parts[i]};
+        }
+        b[i] = static_cast<std::uint8_t>(v);
+    }
+    return Mac(b);
+}
+
+std::string Mac::to_string() const {
+    char buf[18];
+    std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1],
+                  bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+    return buf;
+}
+
+std::string Mac::grub4dos_menu_name() const {
+    char buf[21];
+    std::snprintf(buf, sizeof buf, "01-%02x-%02x-%02x-%02x-%02x-%02x", bytes_[0], bytes_[1],
+                  bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+    return buf;
+}
+
+}  // namespace hc::cluster

@@ -1,0 +1,45 @@
+// MAC addresses.
+//
+// dualboot-oscar v2 controls per-node boot via GRUB4DOS menu files named
+// after each node's NIC MAC under /tftpboot/menu.lst/, so MAC identity and
+// its on-disk spelling matter.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace hc::cluster {
+
+class Mac {
+public:
+    Mac() = default;
+    explicit Mac(std::array<std::uint8_t, 6> bytes) : bytes_(bytes) {}
+
+    /// Deterministically derive a MAC for the nth node of a simulated
+    /// cluster (locally-administered prefix 02:00:...).
+    [[nodiscard]] static Mac for_node_index(int index);
+
+    /// Parse "aa:bb:cc:dd:ee:ff" or "AA-BB-CC-DD-EE-FF".
+    [[nodiscard]] static util::Result<Mac> parse(const std::string& text);
+
+    /// Canonical colon form, lower case: "02:00:00:00:00:01".
+    [[nodiscard]] std::string to_string() const;
+
+    /// GRUB4DOS menu-file name: ARP hardware type 01 prefix, dash-separated,
+    /// lower case — "01-02-00-00-00-00-01". This is the convention the
+    /// paper's /tftpboot/menu.lst/ directory uses (same as pxelinux.cfg).
+    [[nodiscard]] std::string grub4dos_menu_name() const;
+
+    [[nodiscard]] const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+
+    auto operator<=>(const Mac&) const = default;
+
+private:
+    std::array<std::uint8_t, 6> bytes_{};
+};
+
+}  // namespace hc::cluster

@@ -1,0 +1,56 @@
+#include "cluster/network.hpp"
+
+#include "util/errors.hpp"
+
+namespace hc::cluster {
+
+Network::Network(sim::Engine& engine, std::uint64_t seed)
+    : engine_(engine), rng_(util::Rng(seed).fork("network")) {}
+
+util::Status Network::bind(const std::string& host, int port, Handler handler) {
+    util::require(static_cast<bool>(handler), "Network::bind: null handler");
+    const auto key = std::make_pair(host, port);
+    if (handlers_.contains(key))
+        return util::Error{"port already bound: " + host + ":" + std::to_string(port)};
+    handlers_[key] = std::move(handler);
+    return util::Status::ok_status();
+}
+
+void Network::unbind(const std::string& host, int port) {
+    handlers_.erase(std::make_pair(host, port));
+}
+
+bool Network::is_bound(const std::string& host, int port) const {
+    return handlers_.contains(std::make_pair(host, port));
+}
+
+void Network::send(const std::string& src_host, int src_port, const std::string& dst_host,
+                   int dst_port, std::string payload) {
+    ++stats_.sent;
+    if (rng_.chance(drop_probability_)) {
+        ++stats_.dropped_injected;
+        return;
+    }
+    Message msg{src_host, src_port, dst_host, dst_port, std::move(payload)};
+    engine_.schedule_after(latency_, [this, msg = std::move(msg)]() {
+        auto it = handlers_.find(std::make_pair(msg.dst_host, msg.dst_port));
+        if (it == handlers_.end()) {
+            ++stats_.dropped_unbound;
+            return;
+        }
+        ++stats_.delivered;
+        it->second(msg);
+    });
+}
+
+void Network::set_latency(sim::Duration latency) {
+    util::require(latency.ms >= 0, "Network::set_latency: negative latency");
+    latency_ = latency;
+}
+
+void Network::set_drop_probability(double p) {
+    util::require(p >= 0.0 && p <= 1.0, "Network::set_drop_probability: p outside [0,1]");
+    drop_probability_ = p;
+}
+
+}  // namespace hc::cluster

@@ -1,0 +1,70 @@
+// Simulated cluster LAN.
+//
+// The head-node communicators exchange the Fig-5 queue-state records over a
+// TCP socket; PXE/DHCP/TFTP also ride this network. We model a reliable,
+// in-order datagram service with configurable latency plus optional loss
+// injection (used by the robustness experiments, E5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace hc::cluster {
+
+/// A delivered message as seen by the receiving handler.
+struct Message {
+    std::string src_host;
+    int src_port = 0;
+    std::string dst_host;
+    int dst_port = 0;
+    std::string payload;
+};
+
+struct NetworkStats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_injected = 0;   ///< lost to fault injection
+    std::uint64_t dropped_unbound = 0;    ///< no listener at destination
+};
+
+class Network {
+public:
+    using Handler = std::function<void(const Message&)>;
+
+    Network(sim::Engine& engine, std::uint64_t seed);
+
+    /// Register a listener. Fails if the (host, port) pair is taken.
+    [[nodiscard]] util::Status bind(const std::string& host, int port, Handler handler);
+    void unbind(const std::string& host, int port);
+    [[nodiscard]] bool is_bound(const std::string& host, int port) const;
+
+    /// Queue a message for delivery after the configured latency. Succeeds
+    /// even if the destination is unbound *at send time* (the drop is
+    /// counted at delivery time, like a RST on a real network).
+    void send(const std::string& src_host, int src_port, const std::string& dst_host,
+              int dst_port, std::string payload);
+
+    void set_latency(sim::Duration latency);
+    [[nodiscard]] sim::Duration latency() const { return latency_; }
+
+    /// Fault injection: probability each message is silently lost.
+    void set_drop_probability(double p);
+
+    [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+private:
+    sim::Engine& engine_;
+    util::Rng rng_;
+    sim::Duration latency_ = sim::milliseconds(2);
+    double drop_probability_ = 0.0;
+    std::map<std::pair<std::string, int>, Handler> handlers_;
+    NetworkStats stats_;
+};
+
+}  // namespace hc::cluster

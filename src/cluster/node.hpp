@@ -1,0 +1,164 @@
+// Compute-node model: the boot state machine.
+//
+// A node is the unit the middleware flips between operating systems. The
+// paper's nodes are re-used lab PCs (Core 2 Quad Q8200, quad core, no VT-x)
+// that take "no more than five minutes" to switch OS; the state machine
+// reproduces that reboot path stage by stage:
+//
+//   kUp --reboot()--> kShuttingDown --> kFirmware (BIOS POST + PXE ROM)
+//     --> kBootLoader (GRUB / GRUB4DOS menu, OS decided HERE via the
+//         injected BootResolver) --> kBootingOs --> kUp (new OS)
+//
+// Which OS comes up is *not* the node's decision: it is resolved by the boot
+// environment (local MBR+GRUB in v1, PXE+GRUB4DOS flag in v2), which is
+// exactly the seam dualboot-oscar manipulates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/disk.hpp"
+#include "cluster/mac.hpp"
+#include "cluster/os.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace hc::cluster {
+
+enum class PowerState {
+    kOff,
+    kShuttingDown,
+    kFirmware,    ///< BIOS POST, PXE ROM download
+    kBootLoader,  ///< GRUB/GRUB4DOS menu; boot target resolved here
+    kBootingOs,   ///< kernel / Windows startup
+    kUp,
+    kHung,        ///< boot failure (fault injection); needs a power cycle
+};
+
+[[nodiscard]] const char* power_state_name(PowerState s);
+
+/// Outcome of boot-target resolution, produced by the boot environment.
+struct BootDecision {
+    OsType os = OsType::kNone;      ///< kNone = nothing bootable -> node hangs
+    sim::Duration menu_delay{};     ///< bootloader menu timeout (GRUB `timeout`)
+    std::string via;                ///< provenance for logs ("pxe:grub4dos:flag", "mbr:grub")
+};
+
+/// Stage-latency model. Values follow the paper's ballpark: a full switch
+/// (shutdown + POST + loader + OS boot) lands around 3–5 minutes, Windows
+/// slower than Linux.
+struct BootTimingModel {
+    sim::Duration shutdown = sim::seconds(25);
+    sim::Duration firmware = sim::seconds(35);
+    sim::Duration linux_boot = sim::seconds(95);
+    sim::Duration windows_boot = sim::seconds(160);
+    double jitter = 0.15;           ///< multiplicative uniform jitter, +-fraction
+    double hang_probability = 0.0;  ///< fault injection: chance a boot hangs
+
+    /// Sample a stage latency with jitter applied.
+    [[nodiscard]] sim::Duration sample(util::Rng& rng, sim::Duration mean) const;
+};
+
+/// Lifetime/diagnostic counters.
+struct NodeStats {
+    std::uint64_t boots = 0;        ///< completed transitions to kUp
+    std::uint64_t os_switches = 0;  ///< boots that changed the OS identity
+    std::uint64_t hangs = 0;
+    std::uint64_t hard_power_cycles = 0;
+    std::int64_t total_downtime_ms = 0;  ///< accumulated time not kUp
+    sim::Duration last_boot_duration{};  ///< wall time of the last down->up cycle
+};
+
+struct NodeConfig {
+    int index = 0;              ///< 0-based position in the cluster
+    std::string hostname;       ///< FQDN, e.g. "enode01.eridani.qgg.hud.ac.uk"
+    Mac mac;
+    int np = 4;                 ///< processors (cores) exposed to the schedulers
+    std::int64_t totmem_kb = 15'881'584;   ///< matches the Fig 7 pbsnodes listing
+    std::int64_t physmem_kb = 8'069'096;
+    bool vtx_capable = false;   ///< Q8200 has no VT-x — the paper's whole premise
+    std::string nic_driver = "r8169";      ///< NIC driver family (PXEGRUB 0.97 support gate)
+    std::int64_t disk_mb = 250'000;        ///< "In our case, it is a 250GB hard disk"
+    BootTimingModel timing;
+};
+
+class Node {
+public:
+    using BootResolver = std::function<BootDecision(const Node&)>;
+    using UpHandler = std::function<void(Node&, OsType)>;
+    using DownHandler = std::function<void(Node&)>;
+
+    Node(sim::Engine& engine, NodeConfig config, util::Rng rng);
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    [[nodiscard]] int index() const { return config_.index; }
+    [[nodiscard]] const std::string& hostname() const { return config_.hostname; }
+    /// Short name before the first dot ("enode01").
+    [[nodiscard]] std::string short_name() const;
+    [[nodiscard]] const Mac& mac() const { return config_.mac; }
+    [[nodiscard]] int np() const { return config_.np; }
+    [[nodiscard]] bool vtx_capable() const { return config_.vtx_capable; }
+    [[nodiscard]] const NodeConfig& config() const { return config_; }
+
+    [[nodiscard]] Disk& disk() { return disk_; }
+    [[nodiscard]] const Disk& disk() const { return disk_; }
+
+    [[nodiscard]] PowerState state() const { return state_; }
+    [[nodiscard]] OsType os() const { return os_; }
+    [[nodiscard]] bool is_up() const { return state_ == PowerState::kUp; }
+    [[nodiscard]] const NodeStats& stats() const { return stats_; }
+
+    /// The boot environment (set by the Cluster once the boot stack exists).
+    void set_boot_resolver(BootResolver resolver) { resolver_ = std::move(resolver); }
+
+    /// Subscribe to OS-up / node-down transitions (scheduler heartbeats).
+    void on_up(UpHandler handler) { up_handlers_.push_back(std::move(handler)); }
+    void on_down(DownHandler handler) { down_handlers_.push_back(std::move(handler)); }
+
+    /// Power on from kOff.
+    void power_on();
+
+    /// Graceful reboot (the switch job's `sudo reboot`). Requires kUp.
+    void reboot();
+
+    /// Graceful shutdown to kOff. Requires kUp.
+    void shutdown();
+
+    /// Yank the power: valid in any state, cancels whatever stage was in
+    /// flight, restarts from firmware. This is the "physically power reset"
+    /// the v2 design must survive (§IV.A.1).
+    void hard_power_cycle();
+
+    /// Fault injection: force the node to hang right now (as if the kernel
+    /// panicked). Valid when not kOff.
+    void inject_hang();
+
+private:
+    void enter(PowerState next);
+    void begin_boot_sequence();                 ///< -> kFirmware
+    void stage_bootloader();
+    void stage_booting(const BootDecision& d);
+    void finish_boot(OsType os);
+    void mark_down();
+
+    sim::Engine& engine_;
+    NodeConfig config_;
+    util::Rng rng_;
+    Disk disk_;
+    PowerState state_ = PowerState::kOff;
+    OsType os_ = OsType::kNone;
+    BootResolver resolver_;
+    std::vector<UpHandler> up_handlers_;
+    std::vector<DownHandler> down_handlers_;
+    sim::EventId pending_{};       ///< the in-flight stage-completion event
+    sim::TimePoint went_down_{};   ///< when we last left kUp (or powered on)
+    bool was_up_before_ = false;   ///< had reached kUp at least once
+    OsType previous_up_os_ = OsType::kNone;  ///< OS of the last completed boot
+    NodeStats stats_;
+};
+
+}  // namespace hc::cluster

@@ -1,0 +1,14 @@
+#include "cluster/os.hpp"
+
+#include "util/errors.hpp"
+
+namespace hc::cluster {
+
+OsType parse_os(const std::string& s) {
+    if (s == "linux") return OsType::kLinux;
+    if (s == "windows") return OsType::kWindows;
+    if (s == "none") return OsType::kNone;
+    throw util::PreconditionError("parse_os: unknown OS token '" + s + "'");
+}
+
+}  // namespace hc::cluster

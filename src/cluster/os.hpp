@@ -1,0 +1,38 @@
+// Operating-system identity used across the whole library.
+//
+// The paper's cluster is *bi-stable*: every compute node is either a CentOS
+// 5.x/OSCAR node or a Windows Server 2008 R2/HPC node at any instant, and
+// flips between the two by rebooting.
+#pragma once
+
+#include <string>
+
+namespace hc::cluster {
+
+enum class OsType {
+    kNone,     ///< no OS running (powered off / mid-boot / unformatted disk)
+    kLinux,    ///< CentOS 5.x + OSCAR + TORQUE/PBS
+    kWindows,  ///< Windows Server 2008 R2 + Windows HPC Pack
+};
+
+[[nodiscard]] constexpr const char* os_name(OsType os) {
+    switch (os) {
+        case OsType::kNone: return "none";
+        case OsType::kLinux: return "linux";
+        case OsType::kWindows: return "windows";
+    }
+    return "?";
+}
+
+/// The opposite stable state; switching a node always targets this.
+[[nodiscard]] constexpr OsType other_os(OsType os) {
+    if (os == OsType::kLinux) return OsType::kWindows;
+    if (os == OsType::kWindows) return OsType::kLinux;
+    return OsType::kNone;
+}
+
+/// Parse "linux"/"windows" (case-sensitive, as the middleware scripts use
+/// lowercase tokens in file names like controlmenu_to_linux.lst).
+[[nodiscard]] OsType parse_os(const std::string& s);
+
+}  // namespace hc::cluster

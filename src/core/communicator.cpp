@@ -1,0 +1,190 @@
+#include "core/communicator.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace hc::core {
+
+using util::Error;
+using util::Result;
+using util::Status;
+
+std::string encode_wire(const QueueSnapshot& snap, bool extended) {
+    std::string wire = snap.record.encode();
+    if (!extended) return wire;
+    wire = util::pad_right(wire, 5 + kJobIdFieldWidth);  // through position 67
+    char ext[24];
+    std::snprintf(ext, sizeof ext, "I%04dQ%04dR%04d", snap.idle_nodes, snap.queued,
+                  snap.running);
+    return wire + ext;
+}
+
+Result<WireDecode> decode_wire(const std::string& payload) {
+    WireDecode out;
+    auto record = QueueStateRecord::decode(payload);
+    if (!record) return record.error();
+    out.record = record.value();
+    const std::size_t ext = 5 + kJobIdFieldWidth;
+    auto field = [&](std::size_t offset, char tag) -> std::optional<int> {
+        if (payload.size() < offset + 5 || payload[offset] != tag) return std::nullopt;
+        const long long v = util::parse_uint(payload.substr(offset + 1, 4));
+        if (v < 0) return std::nullopt;
+        return static_cast<int>(v);
+    };
+    out.idle_nodes = field(ext, 'I');
+    out.queued = field(ext + 5, 'Q');
+    out.running = field(ext + 10, 'R');
+    return out;
+}
+
+WindowsCommunicator::WindowsCommunicator(sim::Engine& engine, cluster::Network& network,
+                                         std::string host, std::string peer_host,
+                                         Detector& detector, sim::Duration interval)
+    : engine_(engine),
+      network_(network),
+      host_(std::move(host)),
+      peer_host_(std::move(peer_host)),
+      detector_(detector),
+      task_(engine, interval, [this] { tick(); }) {}
+
+void WindowsCommunicator::start(sim::Duration initial_delay) { task_.start(initial_delay); }
+
+void WindowsCommunicator::stop() { task_.stop(); }
+
+void WindowsCommunicator::tick() {
+    ++stats_.polls;
+    const QueueSnapshot snap = detector_.check();
+    const std::string payload = encode_wire(snap, extended_);
+    engine_.logger().debug("WINHEAD/communicator",
+                           "send queue state: " + snap.record.encode());
+    network_.send(host_, kCommunicatorPort, peer_host_, kCommunicatorPort, payload);
+    ++stats_.records_sent;
+}
+
+LinuxCommunicator::LinuxCommunicator(sim::Engine& engine, cluster::Network& network,
+                                     std::string host, Detector& pbs_detector,
+                                     SwitchPolicy& policy, SwitchController& controller,
+                                     int cores_per_node)
+    : engine_(engine),
+      network_(network),
+      host_(std::move(host)),
+      pbs_detector_(pbs_detector),
+      policy_(policy),
+      controller_(controller),
+      cores_per_node_(cores_per_node) {}
+
+LinuxCommunicator::~LinuxCommunicator() { stop(); }
+
+Status LinuxCommunicator::start() {
+    if (bound_) return Status::ok_status();
+    auto status = network_.bind(host_, kCommunicatorPort,
+                                [this](const cluster::Message& msg) {
+                                    on_windows_record(msg.payload);
+                                });
+    if (status.ok()) {
+        bound_ = true;
+        arm_watchdog();
+    }
+    return status;
+}
+
+void LinuxCommunicator::stop() {
+    if (!bound_) return;
+    network_.unbind(host_, kCommunicatorPort);
+    engine_.cancel(watchdog_event_);
+    watchdog_event_ = sim::EventId{};
+    bound_ = false;
+}
+
+void LinuxCommunicator::enable_watchdog(sim::Duration timeout) {
+    util::require(timeout.ms > 0, "enable_watchdog: timeout must be positive");
+    watchdog_timeout_ = timeout;
+    if (bound_) arm_watchdog();
+}
+
+void LinuxCommunicator::arm_watchdog() {
+    if (watchdog_timeout_.ms <= 0) return;
+    engine_.cancel(watchdog_event_);
+    watchdog_event_ = engine_.schedule_after(watchdog_timeout_, [this] { on_watchdog(); });
+}
+
+void LinuxCommunicator::on_watchdog() {
+    ++watchdog_firings_;
+    if (!peer_stale_) {
+        peer_stale_ = true;
+        engine_.logger().warn("LINHEAD/communicator",
+                              "no queue state from WINHEAD for " +
+                                  sim::to_string(watchdog_timeout_) +
+                                  "; deciding on local state only");
+    }
+    // Conservative unknown-peer snapshot: the Windows side is assumed alive
+    // but unhelpful (not stuck — we must not steal its nodes blindly) while
+    // still allowing it to act as a donor of *parked* capacity: nodes this
+    // cluster sees running Windows and the WinHPC scheduler would list idle
+    // are unknowable here, so idle_nodes falls back to the optimistic bound
+    // the way the non-extended protocol does.
+    QueueSnapshot unknown;
+    unknown.idle_nodes = 0;
+    decide_and_act(unknown);
+    arm_watchdog();
+}
+
+void LinuxCommunicator::on_windows_record(const std::string& payload) {
+    ++stats_.records_received;
+    if (peer_stale_) {
+        peer_stale_ = false;
+        engine_.logger().info("LINHEAD/communicator", "WINHEAD is talking again");
+    }
+    arm_watchdog();
+    auto decoded = decode_wire(payload);
+    if (!decoded) {
+        ++stats_.decode_failures;
+        engine_.logger().warn("LINHEAD/communicator",
+                              "undecodable record: " + decoded.error_message());
+        return;
+    }
+    QueueSnapshot windows_snap;
+    windows_snap.record = decoded.value().record;
+    windows_snap.idle_nodes = decoded.value().idle_nodes.value_or(-1);  // -1 = unknown
+    windows_snap.queued =
+        decoded.value().queued.value_or(decoded.value().record.stuck ? 1 : 0);
+    windows_snap.running = decoded.value().running.value_or(0);
+    decide_and_act(windows_snap);
+}
+
+void LinuxCommunicator::decide_and_act(const QueueSnapshot& windows_snap) {
+    // Step 3: fetch the local PBS state.
+    ++stats_.polls;
+    SwitchContext ctx;
+    ctx.linux_snap = pbs_detector_.check();
+    ctx.windows_snap = windows_snap;
+    // Without the idle extension the donor's idle capacity is unknown; use
+    // the stuck job's own need as the optimistic bound (the donor scheduler
+    // will queue any excess switch jobs until nodes free up).
+    if (ctx.windows_snap.idle_nodes < 0)
+        ctx.windows_snap.idle_nodes =
+            nodes_for_cpus(ctx.linux_snap.record.needed_cpus, cores_per_node_);
+    ctx.cores_per_node = cores_per_node_;
+    ctx.now_unix = engine_.unix_now();
+
+    // Step 4: decide.
+    ++stats_.decisions_made;
+    last_decision_ = policy_.decide(ctx);
+    engine_.logger().debug("LINHEAD/communicator",
+                           "decision: " + (last_decision_.act()
+                                               ? std::to_string(last_decision_.node_count) +
+                                                     " -> " + os_name(last_decision_.target)
+                                               : std::string("none")) +
+                               " (" + last_decision_.reason + ")");
+    if (!last_decision_.act()) return;
+
+    // Step 5: send the reboot orders via the controller.
+    ++stats_.switches_ordered;
+    auto status = controller_.execute(last_decision_);
+    if (!status.ok())
+        engine_.logger().error("LINHEAD/communicator",
+                               "switch execution failed: " + status.error_message());
+}
+
+}  // namespace hc::core

@@ -1,0 +1,127 @@
+#include "core/controller.hpp"
+
+#include "boot/boot_control.hpp"
+#include "cluster/disk.hpp"
+#include "util/errors.hpp"
+
+namespace hc::core {
+
+using cluster::Node;
+using cluster::OsType;
+using util::Error;
+using util::Status;
+
+namespace {
+
+/// The v1 per-node switch action: run the batch script against the node's
+/// own FAT control partition.
+Status v1_fat_switch(Node& node, OsType target) {
+    cluster::Partition* fat = nullptr;
+    for (auto& p : node.disk().partitions())
+        if (p.fs == cluster::FsType::kFat) {
+            fat = &p;
+            break;
+        }
+    if (fat == nullptr)
+        return Error{"node " + node.short_name() + " has no FAT control partition"};
+    return boot::batch_switch(fat->files, target);
+}
+
+}  // namespace
+
+ControllerV1::ControllerV1(sim::Engine& engine, cluster::Cluster& cluster, pbs::PbsServer& pbs,
+                           winhpc::HpcScheduler& winhpc, RebootLog* log)
+    : engine_(engine), cluster_(cluster), pbs_(pbs), winhpc_(winhpc), log_(log) {}
+
+Status ControllerV1::execute(const SwitchDecision& decision) {
+    if (!decision.act()) return Status::ok_status();
+    ++stats_.decisions_executed;
+    engine_.logger().info("controller/v1",
+                          "switch " + std::to_string(decision.node_count) + " node(s) to " +
+                              os_name(decision.target) + " — " + decision.reason);
+    SwitchAction action = v1_fat_switch;
+    for (int i = 0; i < decision.node_count; ++i) {
+        if (decision.target == OsType::kWindows) {
+            // Donor is the Linux side: qsub the Fig 4 script through the
+            // real text path.
+            auto behavior = make_pbs_switch_behavior(engine_, cluster_, decision.target, action,
+                                                     log_);
+            auto id = pbs_.qsub(fig4_switch_script_text(decision.target), "sliang",
+                                std::move(behavior));
+            if (!id.ok()) {
+                ++stats_.submit_failures;
+                return Error{"v1 switch qsub failed: " + id.error_message()};
+            }
+            ++stats_.switch_jobs_pbs;
+        } else {
+            auto spec = make_winhpc_switch_spec(engine_, cluster_, decision.target, action, log_);
+            (void)winhpc_.submit_job(std::move(spec));
+            ++stats_.switch_jobs_winhpc;
+        }
+    }
+    return Status::ok_status();
+}
+
+ControllerV2::ControllerV2(sim::Engine& engine, cluster::Cluster& cluster, pbs::PbsServer& pbs,
+                           winhpc::HpcScheduler& winhpc, boot::OsFlagStore& flag, RebootLog* log,
+                           Mode mode)
+    : engine_(engine),
+      cluster_(cluster),
+      pbs_(pbs),
+      winhpc_(winhpc),
+      flag_(flag),
+      log_(log),
+      mode_(mode) {
+    if (mode_ == Mode::kPerMac) {
+        // Fig 12 design: per-MAC pins are one-shot; clear a node's pin once
+        // it has booted, so later manual reboots follow the shared default.
+        for (Node* node : cluster_.nodes())
+            node->on_up([this](Node& n, OsType) { flag_.clear_node_target(n.mac()); });
+    }
+}
+
+Status ControllerV2::execute(const SwitchDecision& decision) {
+    if (!decision.act()) return Status::ok_status();
+    ++stats_.decisions_executed;
+    engine_.logger().info("controller/v2",
+                          "switch " + std::to_string(decision.node_count) + " node(s) to " +
+                              os_name(decision.target) + " — " + decision.reason);
+
+    SwitchAction action;
+    if (mode_ == Mode::kGlobalFlag) {
+        // Fig 13: set the single target-OS flag before any reboot order; the
+        // switch job itself only reboots.
+        flag_.set_flag(decision.target);
+        ++stats_.flag_sets;
+        action = SwitchAction{};  // nothing to do on the node
+    } else {
+        // Fig 12: each switch job reports the node the scheduler picked and
+        // the head pins that MAC.
+        action = [this](Node& node, OsType target) -> Status {
+            flag_.set_node_target(node.mac(), target);
+            ++stats_.per_mac_pins;
+            return Status::ok_status();
+        };
+    }
+
+    for (int i = 0; i < decision.node_count; ++i) {
+        if (decision.target == OsType::kWindows) {
+            auto behavior =
+                make_pbs_switch_behavior(engine_, cluster_, decision.target, action, log_);
+            auto id = pbs_.qsub(fig4_switch_script_text(decision.target), "sliang",
+                                std::move(behavior));
+            if (!id.ok()) {
+                ++stats_.submit_failures;
+                return Error{"v2 switch qsub failed: " + id.error_message()};
+            }
+            ++stats_.switch_jobs_pbs;
+        } else {
+            auto spec = make_winhpc_switch_spec(engine_, cluster_, decision.target, action, log_);
+            (void)winhpc_.submit_job(std::move(spec));
+            ++stats_.switch_jobs_winhpc;
+        }
+    }
+    return Status::ok_status();
+}
+
+}  // namespace hc::core

@@ -1,0 +1,90 @@
+// Switch controllers: turn a SwitchDecision into scheduler-mediated reboots.
+//
+// Both generations submit the reboot as a *job* on the donor side so the
+// scheduler "can automatically locate free nodes, and all the running jobs
+// can be protected" — the difference is how the boot target is communicated
+// to the node:
+//   v1  — the switch job edits the node's own FAT controlmenu.lst before
+//         rebooting (§III.B).
+//   v2  — the head flips the PXE flag (or, in the abandoned Fig 12 design,
+//         pins the node's MAC) and the switch job merely reboots (§IV.A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "boot/flag.hpp"
+#include "cluster/cluster.hpp"
+#include "core/policy.hpp"
+#include "core/switch_job.hpp"
+#include "pbs/server.hpp"
+#include "winhpc/scheduler.hpp"
+
+namespace hc::core {
+
+struct ControllerStats {
+    std::uint64_t decisions_executed = 0;
+    std::uint64_t switch_jobs_pbs = 0;      ///< linux-side jobs (to donate to Windows)
+    std::uint64_t switch_jobs_winhpc = 0;   ///< windows-side jobs (to donate to Linux)
+    std::uint64_t flag_sets = 0;
+    std::uint64_t per_mac_pins = 0;
+    std::uint64_t submit_failures = 0;
+};
+
+class SwitchController {
+public:
+    virtual ~SwitchController() = default;
+    /// Execute a decision (Fig 11 steps 4-5). A no-op decision is ignored.
+    [[nodiscard]] virtual util::Status execute(const SwitchDecision& decision) = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+
+protected:
+    ControllerStats stats_;
+};
+
+/// v1: FAT-partition control files, edited per node by the switch job.
+class ControllerV1 : public SwitchController {
+public:
+    ControllerV1(sim::Engine& engine, cluster::Cluster& cluster, pbs::PbsServer& pbs,
+                 winhpc::HpcScheduler& winhpc, RebootLog* log);
+
+    [[nodiscard]] util::Status execute(const SwitchDecision& decision) override;
+    [[nodiscard]] std::string name() const override { return "dualboot-oscar v1 (FAT+GRUB)"; }
+
+private:
+    sim::Engine& engine_;
+    cluster::Cluster& cluster_;
+    pbs::PbsServer& pbs_;
+    winhpc::HpcScheduler& winhpc_;
+    RebootLog* log_;
+};
+
+/// v2: PXE boot control. kGlobalFlag is the shipped Fig 13 design; kPerMac
+/// is the abandoned Fig 12 design, kept for the F12/F13 comparison bench.
+class ControllerV2 : public SwitchController {
+public:
+    enum class Mode { kGlobalFlag, kPerMac };
+
+    ControllerV2(sim::Engine& engine, cluster::Cluster& cluster, pbs::PbsServer& pbs,
+                 winhpc::HpcScheduler& winhpc, boot::OsFlagStore& flag, RebootLog* log,
+                 Mode mode = Mode::kGlobalFlag);
+
+    [[nodiscard]] util::Status execute(const SwitchDecision& decision) override;
+    [[nodiscard]] std::string name() const override {
+        return mode_ == Mode::kGlobalFlag ? "dualboot-oscar v2 (PXE flag)"
+                                          : "dualboot-oscar v2 (per-MAC menus)";
+    }
+    [[nodiscard]] Mode mode() const { return mode_; }
+
+private:
+    sim::Engine& engine_;
+    cluster::Cluster& cluster_;
+    pbs::PbsServer& pbs_;
+    winhpc::HpcScheduler& winhpc_;
+    boot::OsFlagStore& flag_;
+    RebootLog* log_;
+    Mode mode_;
+};
+
+}  // namespace hc::core

@@ -1,0 +1,180 @@
+#include "core/detector.hpp"
+
+#include "util/strings.hpp"
+#include "util/time_format.hpp"
+
+namespace hc::core {
+
+using util::Error;
+using util::Result;
+
+PbsDetector::PbsDetector(TextProvider qstat_f, TextProvider pbsnodes,
+                         std::function<std::int64_t()> unix_clock)
+    : qstat_f_(std::move(qstat_f)),
+      pbsnodes_(std::move(pbsnodes)),
+      unix_clock_(std::move(unix_clock)) {}
+
+PbsDetector::PbsDetector(const pbs::PbsServer& server)
+    : PbsDetector(
+          [&server] { return server.qstat_f_output(); },
+          [&server] { return server.pbsnodes_output(); },
+          [&server] { return const_cast<pbs::PbsServer&>(server).engine().unix_now(); }) {}
+
+Result<PbsDetector::QstatParse> PbsDetector::parse_qstat_f(const std::string& text) {
+    QstatParse parse;
+    std::string current_id;
+    char current_state = '?';
+    std::string current_name;
+    std::string current_owner;
+    std::string current_nodes_spec;
+
+    auto flush = [&]() -> util::Status {
+        if (current_id.empty()) return util::Status::ok_status();
+        if (current_state == 'R' || current_state == 'E') {
+            ++parse.running;
+            if (parse.first_running_id.empty()) {
+                parse.first_running_id = current_id;
+                parse.first_running_name = current_name;
+                parse.first_running_owner = current_owner;
+            }
+        } else if (current_state == 'Q') {
+            ++parse.queued;
+            if (parse.first_queued_id.empty()) {
+                parse.first_queued_id = current_id;
+                auto rl = pbs::ResourceList::parse("nodes=" + current_nodes_spec);
+                if (!rl)
+                    return Error{"bad Resource_List.nodes for " + current_id + ": " +
+                                 rl.error_message()};
+                parse.first_queued_cpus = rl.value().total_cpus();
+            }
+        }
+        current_id.clear();
+        current_state = '?';
+        current_name.clear();
+        current_owner.clear();
+        current_nodes_spec.clear();
+        return util::Status::ok_status();
+    };
+
+    for (const std::string& raw : util::split_lines(text)) {
+        const std::string line(util::trim(raw));
+        if (line.rfind("Job Id:", 0) == 0) {
+            if (auto st = flush(); !st.ok()) return st.error();
+            current_id = std::string(util::trim(line.substr(7)));
+            continue;
+        }
+        const auto eq = line.find(" = ");
+        if (eq == std::string::npos) continue;
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 3);
+        if (key == "job_state" && !value.empty()) current_state = value[0];
+        else if (key == "Job_Name") current_name = value;
+        else if (key == "Job_Owner") current_owner = value;
+        else if (key == "Resource_List.nodes") current_nodes_spec = value;
+    }
+    if (auto st = flush(); !st.ok()) return st.error();
+    return parse;
+}
+
+int PbsDetector::count_idle_nodes(const std::string& pbsnodes_text) {
+    // A node block starts at a non-indented line (the hostname); it is an
+    // idle candidate when "state = free" and no "jobs =" line appears.
+    int idle = 0;
+    bool in_block = false;
+    bool is_free = false;
+    bool has_jobs = false;
+    auto close_block = [&] {
+        if (in_block && is_free && !has_jobs) ++idle;
+        is_free = false;
+        has_jobs = false;
+    };
+    for (const std::string& raw : util::split_lines(pbsnodes_text)) {
+        if (raw.empty()) continue;
+        const bool indented = raw.front() == ' ' || raw.front() == '\t';
+        if (!indented) {
+            close_block();
+            in_block = true;
+            continue;
+        }
+        const std::string line(util::trim(raw));
+        if (line == "state = free") is_free = true;
+        if (line.rfind("jobs = ", 0) == 0) has_jobs = true;
+    }
+    close_block();
+    return idle;
+}
+
+QueueSnapshot PbsDetector::check() {
+    QueueSnapshot snap;
+    const std::string qstat = qstat_f_();
+    const std::string nodes = pbsnodes_();
+    auto parsed = parse_qstat_f(qstat);
+    if (!parsed) {
+        // A scrape failure reads as "other state" — the daemon must never
+        // crash on odd scheduler output; it just reports not-stuck.
+        snap.debug_text = "parse error: " + parsed.error_message() + "\n";
+        snap.record = QueueStateRecord{};
+        return snap;
+    }
+    const QstatParse& p = parsed.value();
+    snap.running = p.running;
+    snap.queued = p.queued;
+    snap.idle_nodes = count_idle_nodes(nodes);
+    snap.record.stuck = p.running == 0 && p.queued > 0;
+    if (snap.record.stuck) {
+        snap.record.needed_cpus = p.first_queued_cpus;
+        snap.record.stuck_job_id = p.first_queued_id;
+    }
+
+    // Reproduce the Fig 6 presentation: wire record first, then the debug
+    // block (including the paper's "Job_Ownner" spelling).
+    snap.debug_text = snap.record.encode() + "\n";
+    if (snap.record.stuck) {
+        snap.debug_text += "Queue stuck\n";
+        snap.debug_text +=
+            "R=" + std::to_string(p.running) + " nR=" + std::to_string(p.queued) + "\n";
+    } else if (p.running > 0 && p.queued == 0) {
+        snap.debug_text += "Job running, no queuing.\n";
+        snap.debug_text +=
+            "R=" + std::to_string(p.running) + " nR=" + std::to_string(p.queued) + "\n";
+        snap.debug_text += p.first_running_id + "\n";
+        snap.debug_text += "    Job_Name=" + p.first_running_name + "\n";
+        snap.debug_text += "    Job_Ownner=" + p.first_running_owner + "\n";
+        snap.debug_text += "    state=R\n";
+        snap.debug_text += "    time=" + util::format_detector_time(unix_clock_()) + "\n";
+    } else {
+        snap.debug_text += "Other state\n";
+        snap.debug_text +=
+            "R=" + std::to_string(p.running) + " nR=" + std::to_string(p.queued) + "\n";
+    }
+    return snap;
+}
+
+WinHpcDetector::WinHpcDetector(const winhpc::HpcScheduler& scheduler, int cores_per_node)
+    : scheduler_(scheduler), cores_per_node_(cores_per_node) {}
+
+QueueSnapshot WinHpcDetector::check() {
+    QueueSnapshot snap;
+    snap.running = scheduler_.running_job_count();
+    snap.queued = scheduler_.queued_job_count();
+    snap.idle_nodes = static_cast<int>(scheduler_.fully_idle_nodes().size());
+    snap.record.stuck = snap.running == 0 && snap.queued > 0;
+    if (snap.record.stuck) {
+        const winhpc::HpcJob* first = scheduler_.first_queued_job();
+        if (first != nullptr) {
+            snap.record.needed_cpus = first->needed_cpus(cores_per_node_);
+            // Windows job ids are ints; frame them like the PBS side so the
+            // wire format stays uniform.
+            snap.record.stuck_job_id = std::to_string(first->id) + ".winhpc";
+        } else {
+            snap.record.stuck = false;  // raced a start; report calm state
+        }
+    }
+    snap.debug_text = snap.record.encode() + "\n" +
+                      (snap.record.stuck ? "Queue stuck\n" : "Other state\n") +
+                      "R=" + std::to_string(snap.running) + " nR=" + std::to_string(snap.queued) +
+                      "\n";
+    return snap;
+}
+
+}  // namespace hc::core

@@ -1,0 +1,81 @@
+// Queue-state detectors (§III.B.4).
+//
+// One detector per head node, behind a common interface — but with the
+// paper's deliberate asymmetry:
+//  * the PBS detector is a TEXT SCRAPER: "PBS does not provide APIs for
+//    other programs. Several Perl programs had been written for parsing the
+//    output of PBS commands" — so it consumes `qstat -f` / `pbsnodes`
+//    *output strings*, never the server object's internals;
+//  * the Windows detector uses the typed SDK ("Microsoft provides a SDK for
+//    programs to fetch the data").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/queue_state.hpp"
+#include "pbs/server.hpp"
+#include "winhpc/scheduler.hpp"
+
+namespace hc::core {
+
+class Detector {
+public:
+    virtual ~Detector() = default;
+    /// One poll: compute the queue state now.
+    [[nodiscard]] virtual QueueSnapshot check() = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The checkqueue.pl equivalent: parse qstat -f and pbsnodes text.
+class PbsDetector : public Detector {
+public:
+    using TextProvider = std::function<std::string()>;
+
+    /// Wire to arbitrary text sources (tests feed canned listings).
+    PbsDetector(TextProvider qstat_f, TextProvider pbsnodes,
+                std::function<std::int64_t()> unix_clock);
+
+    /// Convenience wiring to a live server — still via its text layer only.
+    explicit PbsDetector(const pbs::PbsServer& server);
+
+    [[nodiscard]] QueueSnapshot check() override;
+    [[nodiscard]] std::string name() const override { return "checkqueue.pl"; }
+
+    /// Parse a qstat -f listing into (running, queued, first-queued id,
+    /// first-queued CPUs, first-running job block). Exposed for tests.
+    struct QstatParse {
+        int running = 0;
+        int queued = 0;
+        std::string first_queued_id;
+        int first_queued_cpus = 0;
+        std::string first_running_id;
+        std::string first_running_name;
+        std::string first_running_owner;
+    };
+    [[nodiscard]] static util::Result<QstatParse> parse_qstat_f(const std::string& text);
+
+    /// Count fully idle (state = free, no jobs line) nodes in pbsnodes text.
+    [[nodiscard]] static int count_idle_nodes(const std::string& pbsnodes_text);
+
+private:
+    TextProvider qstat_f_;
+    TextProvider pbsnodes_;
+    std::function<std::int64_t()> unix_clock_;
+};
+
+/// The SDK-based Windows detector.
+class WinHpcDetector : public Detector {
+public:
+    explicit WinHpcDetector(const winhpc::HpcScheduler& scheduler, int cores_per_node = 4);
+
+    [[nodiscard]] QueueSnapshot check() override;
+    [[nodiscard]] std::string name() const override { return "winhpc-detector"; }
+
+private:
+    const winhpc::HpcScheduler& scheduler_;
+    int cores_per_node_;
+};
+
+}  // namespace hc::core

@@ -1,0 +1,242 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+
+#include "boot/disk_layouts.hpp"
+#include "boot/local_boot.hpp"
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace hc::core {
+
+using cluster::Node;
+using cluster::OsType;
+using deploy::MiddlewareVersion;
+
+const char* policy_kind_name(PolicyKind p) {
+    switch (p) {
+        case PolicyKind::kFcfs: return "fcfs";
+        case PolicyKind::kThreshold: return "threshold";
+        case PolicyKind::kFairShare: return "fair-share";
+        case PolicyKind::kPredictive: return "predictive";
+        case PolicyKind::kMonoStable: return "mono-stable";
+        case PolicyKind::kNever: return "never";
+        case PolicyKind::kCalendar: return "calendar";
+    }
+    return "?";
+}
+
+HybridCluster::HybridCluster(sim::Engine& engine, HybridConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      cluster_(engine,
+               [&] {
+                   cluster::ClusterConfig cc = config_.cluster;
+                   cc.timing.hang_probability = config_.boot_hang_probability;
+                   return cc;
+               }()),
+      pbs_(engine,
+           [&] {
+               pbs::PbsServerConfig pc;
+               pc.strict_fifo = config_.strict_fifo;
+               return pc;
+           }()),
+      winhpc_(engine, [&] {
+          winhpc::HpcSchedulerConfig wc;
+          wc.strict_fifo = config_.strict_fifo;
+          return wc;
+      }()) {
+    util::require(config_.initial_windows_nodes >= 0 &&
+                      config_.initial_windows_nodes <= cluster_.node_count(),
+                  "HybridCluster: initial_windows_nodes out of range");
+    cluster_.network().set_drop_probability(config_.message_drop_probability);
+
+    provision_disks();
+    wire_boot_environment();
+
+    for (Node* node : cluster_.nodes()) {
+        pbs_.attach_node(*node);
+        winhpc_.attach_node(*node);
+    }
+
+    build_policy_and_controller();
+
+    pbs_detector_ = std::make_unique<PbsDetector>(pbs_);
+    win_detector_ = std::make_unique<WinHpcDetector>(winhpc_, config_.cluster.cores_per_node);
+    win_comm_ = std::make_unique<WindowsCommunicator>(
+        engine_, cluster_.network(), cluster_.windows_head_host(), cluster_.linux_head_host(),
+        *win_detector_, config_.poll_interval);
+    win_comm_->set_extended_protocol(config_.extended_protocol);
+    linux_comm_ = std::make_unique<LinuxCommunicator>(
+        engine_, cluster_.network(), cluster_.linux_head_host(), *pbs_detector_, *policy_,
+        *controller_, config_.cluster.cores_per_node);
+    if (config_.watchdog_timeout.ms > 0)
+        linux_comm_->enable_watchdog(config_.watchdog_timeout);
+}
+
+void HybridCluster::provision_disks() {
+    for (Node* node : cluster_.nodes()) {
+        const bool windows_first = node->index() < config_.initial_windows_nodes;
+        if (config_.version == MiddlewareVersion::kV1) {
+            boot::V1DiskOptions opts;
+            opts.control_default = windows_first ? OsType::kWindows : OsType::kLinux;
+            node->disk() = boot::make_v1_dualboot_disk(opts);
+        } else {
+            node->disk() = boot::make_v2_disk();
+        }
+    }
+}
+
+void HybridCluster::wire_boot_environment() {
+    if (config_.version == MiddlewareVersion::kV1) {
+        for (Node* node : cluster_.nodes())
+            node->set_boot_resolver(boot::make_local_boot_resolver());
+        return;
+    }
+    pxe_ = std::make_unique<boot::PxeServer>();
+    pxe_->set_default_rom(boot::PxeRom::kGrub4dos);
+    flag_ = std::make_unique<boot::OsFlagStore>(*pxe_);
+    flag_->set_flag(OsType::kLinux);
+    // Nodes that should first boot Windows get one-shot per-MAC pins; the
+    // pin is cleared the moment the node is up so subsequent reboots follow
+    // the shared flag (Fig 13 semantics).
+    for (Node* node : cluster_.nodes()) {
+        if (node->index() < config_.initial_windows_nodes) {
+            flag_->set_node_target(node->mac(), OsType::kWindows);
+            pending_initial_pins_.push_back(node->mac().to_string());
+        }
+        node->set_boot_resolver(pxe_->make_resolver());
+        node->on_up([this](Node& n, OsType) {
+            auto it = std::find(pending_initial_pins_.begin(), pending_initial_pins_.end(),
+                                n.mac().to_string());
+            if (it != pending_initial_pins_.end()) {
+                flag_->clear_node_target(n.mac());
+                pending_initial_pins_.erase(it);
+            }
+        });
+    }
+}
+
+void HybridCluster::build_policy_and_controller() {
+    switch (config_.policy) {
+        case PolicyKind::kFcfs: policy_ = std::make_unique<FcfsPolicy>(); break;
+        case PolicyKind::kThreshold:
+            policy_ = std::make_unique<ThresholdPolicy>(config_.threshold_consecutive);
+            break;
+        case PolicyKind::kFairShare:
+            policy_ = std::make_unique<FairSharePolicy>(config_.fair_share_cooldown);
+            break;
+        case PolicyKind::kPredictive: policy_ = std::make_unique<PredictivePolicy>(); break;
+        case PolicyKind::kMonoStable:
+            policy_ = std::make_unique<MonoStablePolicy>(cluster_.node_count());
+            break;
+        case PolicyKind::kNever: policy_ = std::make_unique<NeverSwitchPolicy>(); break;
+        case PolicyKind::kCalendar:
+            policy_ = std::make_unique<CalendarPolicy>(
+                std::make_unique<FcfsPolicy>(), config_.calendar_start_hour,
+                config_.calendar_end_hour, config_.calendar_windows_nodes);
+            break;
+    }
+    if (config_.version == MiddlewareVersion::kV1) {
+        controller_ =
+            std::make_unique<ControllerV1>(engine_, cluster_, pbs_, winhpc_, &reboot_log_);
+    } else {
+        controller_ = std::make_unique<ControllerV2>(engine_, cluster_, pbs_, winhpc_, *flag_,
+                                                     &reboot_log_, config_.v2_mode);
+    }
+}
+
+boot::PxeServer* HybridCluster::pxe() { return pxe_.get(); }
+boot::OsFlagStore* HybridCluster::flag() { return flag_.get(); }
+
+void HybridCluster::start() {
+    util::require(!started_, "HybridCluster::start: already started");
+    started_ = true;
+    for (Node* node : cluster_.nodes()) node->power_on();
+    auto status = linux_comm_->start();
+    util::ensure(status.ok(), "HybridCluster: linux communicator bind failed: " +
+                                  status.error_message());
+    // Let the cluster finish first boot before the first poll fires.
+    win_comm_->start(sim::minutes(5));
+}
+
+void HybridCluster::settle(sim::Duration limit) {
+    const sim::TimePoint deadline = engine_.now() + limit;
+    while (engine_.now() < deadline) {
+        bool all_up = true;
+        for (Node* node : cluster_.nodes())
+            if (!node->is_up()) {
+                all_up = false;
+                break;
+            }
+        if (all_up) return;
+        if (!engine_.step()) return;  // nothing left to simulate
+    }
+}
+
+void HybridCluster::submit_now(const workload::JobSpec& spec) {
+    const std::int64_t submit_unix = engine_.unix_now();
+    if (spec.os == OsType::kLinux) {
+        pbs::JobScript script;
+        script.resources.nodes = spec.nodes;
+        script.resources.ppn = spec.ppn;
+        script.name = util::replace_all(spec.app, " ", "_");
+        pbs::JobBehavior behavior;
+        behavior.run_time = spec.runtime;
+        behavior.on_finish = [this, spec, submit_unix](pbs::Job& job) {
+            workload::JobOutcome outcome;
+            outcome.spec = spec;
+            outcome.completed = job.completion == pbs::CompletionKind::kNormal;
+            outcome.wait_s = job.stime_unix > 0 ? job.stime_unix - submit_unix : 0;
+            outcome.turnaround_s = job.etime_unix - submit_unix;
+            outcome.ran_s = job.stime_unix > 0 ? job.etime_unix - job.stime_unix : 0;
+            metrics_.add(std::move(outcome));
+        };
+        auto id = pbs_.submit(script, spec.owner, std::move(behavior));
+        util::ensure(id.ok(), "submit_now: pbs submit failed: " + id.error_message());
+    } else {
+        winhpc::HpcJobSpec hpc;
+        hpc.name = spec.app;
+        hpc.owner = "HPC\\" + spec.owner;
+        hpc.unit = winhpc::JobUnitType::kNode;
+        hpc.min_resources = spec.nodes;
+        hpc.run_time = spec.runtime;
+        // Model the job as one worker task per node (the MDCS shape): same
+        // completion time, but per-task records for the SDK surface.
+        for (int i = 0; i < spec.nodes; ++i)
+            hpc.tasks.push_back(winhpc::HpcTaskSpec{"worker.exe", spec.runtime});
+        hpc.rerun_on_failure = true;
+        hpc.on_finish = [this, spec, submit_unix](winhpc::HpcJob& job) {
+            workload::JobOutcome outcome;
+            outcome.spec = spec;
+            outcome.completed = job.state == winhpc::HpcJobState::kFinished;
+            outcome.wait_s = job.start_unix > 0 ? job.start_unix - submit_unix : 0;
+            outcome.turnaround_s = job.end_unix - submit_unix;
+            outcome.ran_s = job.start_unix > 0 ? job.end_unix - job.start_unix : 0;
+            metrics_.add(std::move(outcome));
+        };
+        (void)winhpc_.submit_job(std::move(hpc));
+    }
+}
+
+void HybridCluster::replay(const std::vector<workload::JobSpec>& trace) {
+    for (const auto& spec : trace) {
+        const sim::TimePoint at = spec.submit < engine_.now() ? engine_.now() : spec.submit;
+        engine_.schedule_at(at, [this, spec] { submit_now(spec); });
+    }
+}
+
+workload::ClusterCounters HybridCluster::counters() const {
+    workload::ClusterCounters counters;
+    counters.cores_per_node = config_.cluster.cores_per_node;
+    for (int i = 0; i < cluster_.node_count(); ++i) {
+        const Node& node = cluster_.node(i);
+        counters.total_cores += node.np();
+        counters.os_switches += node.stats().os_switches;
+        counters.reboots += node.stats().boots;
+        counters.reboot_downtime_s += node.stats().total_downtime_ms / 1000;
+    }
+    return counters;
+}
+
+}  // namespace hc::core

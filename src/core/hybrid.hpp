@@ -1,0 +1,130 @@
+// The HybridCluster façade: the full dualboot-oscar deployment in one object.
+//
+// Wires together everything the paper's Figures 1 and 11 show: the Eridani
+// node cluster, the OSCAR/PBS and Windows HPC head services, the boot
+// substrate for the chosen middleware version (local GRUB + FAT control
+// files for v1, PXE/GRUB4DOS + flag for v2), the detectors, the decision
+// policy, the controller, and the two communicator daemons. Also routes
+// workload JobSpecs to the right scheduler and collects outcome metrics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "boot/flag.hpp"
+#include "boot/pxe.hpp"
+#include "cluster/cluster.hpp"
+#include "core/communicator.hpp"
+#include "core/controller.hpp"
+#include "core/detector.hpp"
+#include "core/policy.hpp"
+#include "core/switch_job.hpp"
+#include "deploy/reimage.hpp"
+#include "pbs/server.hpp"
+#include "sim/engine.hpp"
+#include "winhpc/scheduler.hpp"
+#include "workload/generator.hpp"
+#include "workload/metrics.hpp"
+
+namespace hc::core {
+
+enum class PolicyKind {
+    kFcfs,
+    kThreshold,
+    kFairShare,
+    kPredictive,
+    kMonoStable,
+    kNever,
+    kCalendar,  ///< daily Windows reservation over an FCFS base
+};
+
+[[nodiscard]] const char* policy_kind_name(PolicyKind p);
+
+struct HybridConfig {
+    cluster::ClusterConfig cluster;
+    deploy::MiddlewareVersion version = deploy::MiddlewareVersion::kV2;
+    ControllerV2::Mode v2_mode = ControllerV2::Mode::kGlobalFlag;
+    sim::Duration poll_interval = sim::minutes(10);  ///< Fig 11 fixed cycle
+    int initial_windows_nodes = 0;  ///< nodes that first boot Windows; rest Linux
+    PolicyKind policy = PolicyKind::kFcfs;
+    int threshold_consecutive = 2;      ///< for PolicyKind::kThreshold
+    int fair_share_cooldown = 0;        ///< for PolicyKind::kFairShare (anti-flap)
+    int calendar_start_hour = 9;        ///< for PolicyKind::kCalendar
+    int calendar_end_hour = 17;
+    int calendar_windows_nodes = 4;
+    /// Scheduler discipline. Strict FIFO is what TORQUE's default scheduler
+    /// does (and what makes queues go "stuck"); false enables naive backfill
+    /// (later jobs may start around a blocked head) — an ablation knob.
+    bool strict_fifo = true;
+    bool extended_protocol = true;      ///< carry idle counts in the undefined bytes
+    /// Staleness watchdog on the Linux daemon; 0 disables (paper-faithful).
+    sim::Duration watchdog_timeout{};
+    double message_drop_probability = 0.0;  ///< fault injection (E5)
+    double boot_hang_probability = 0.0;     ///< fault injection (E5)
+};
+
+class HybridCluster {
+public:
+    HybridCluster(sim::Engine& engine, HybridConfig config);
+
+    HybridCluster(const HybridCluster&) = delete;
+    HybridCluster& operator=(const HybridCluster&) = delete;
+
+    /// Power on every node and start the daemons. Call once; then drive the
+    /// engine (run_for / run_until).
+    void start();
+
+    [[nodiscard]] sim::Engine& engine() { return engine_; }
+    [[nodiscard]] const HybridConfig& config() const { return config_; }
+    [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+    [[nodiscard]] pbs::PbsServer& pbs() { return pbs_; }
+    [[nodiscard]] winhpc::HpcScheduler& winhpc() { return winhpc_; }
+    /// Non-null in v2 wiring only.
+    [[nodiscard]] boot::PxeServer* pxe();
+    [[nodiscard]] boot::OsFlagStore* flag();
+    [[nodiscard]] SwitchController& controller() { return *controller_; }
+    [[nodiscard]] SwitchPolicy& policy() { return *policy_; }
+    [[nodiscard]] WindowsCommunicator& windows_daemon() { return *win_comm_; }
+    [[nodiscard]] LinuxCommunicator& linux_daemon() { return *linux_comm_; }
+    [[nodiscard]] RebootLog& reboot_log() { return reboot_log_; }
+
+    /// Submit one workload job right now (routes by spec.os).
+    void submit_now(const workload::JobSpec& spec);
+
+    /// Schedule a whole trace by each spec's submit time (must be >= now).
+    void replay(const std::vector<workload::JobSpec>& trace);
+
+    [[nodiscard]] workload::MetricsCollector& metrics() { return metrics_; }
+
+    /// Cluster-level counters for the metrics Summary.
+    [[nodiscard]] workload::ClusterCounters counters() const;
+
+    /// Wait until every node reaches kUp once (post power-on settling): runs
+    /// the engine until the first boot completes or `limit` elapses.
+    void settle(sim::Duration limit = sim::minutes(10));
+
+private:
+    void provision_disks();
+    void wire_boot_environment();
+    void build_policy_and_controller();
+
+    sim::Engine& engine_;
+    HybridConfig config_;
+    cluster::Cluster cluster_;
+    pbs::PbsServer pbs_;
+    winhpc::HpcScheduler winhpc_;
+    std::unique_ptr<boot::PxeServer> pxe_;
+    std::unique_ptr<boot::OsFlagStore> flag_;
+    RebootLog reboot_log_;
+    std::unique_ptr<SwitchPolicy> policy_;
+    std::unique_ptr<SwitchController> controller_;
+    std::unique_ptr<PbsDetector> pbs_detector_;
+    std::unique_ptr<WinHpcDetector> win_detector_;
+    std::unique_ptr<WindowsCommunicator> win_comm_;
+    std::unique_ptr<LinuxCommunicator> linux_comm_;
+    workload::MetricsCollector metrics_;
+    std::vector<std::string> pending_initial_pins_;  ///< MACs pinned for first boot
+    bool started_ = false;
+};
+
+}  // namespace hc::core

@@ -1,0 +1,259 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.hpp"
+#include "util/time_format.hpp"
+
+namespace hc::core {
+
+using cluster::OsType;
+
+int nodes_for_cpus(int cpus, int cores_per_node) {
+    util::require(cores_per_node > 0, "nodes_for_cpus: cores_per_node must be positive");
+    if (cpus <= 0) return 0;
+    return (cpus + cores_per_node - 1) / cores_per_node;
+}
+
+SwitchDecision FcfsPolicy::decide(const SwitchContext& ctx) {
+    const bool linux_stuck = ctx.linux_snap.record.stuck;
+    const bool windows_stuck = ctx.windows_snap.record.stuck;
+    SwitchDecision d;
+    if (linux_stuck && windows_stuck) {
+        d.reason = "both queues stuck; no donor";
+        return d;
+    }
+    if (linux_stuck) {
+        const int needed = nodes_for_cpus(ctx.linux_snap.record.needed_cpus, ctx.cores_per_node);
+        const int available = ctx.windows_snap.idle_nodes;
+        d.node_count = std::min(needed, available);
+        if (d.node_count > 0) {
+            d.target = OsType::kLinux;
+            d.reason = "linux stuck on " + ctx.linux_snap.record.stuck_job_id + " needing " +
+                       std::to_string(ctx.linux_snap.record.needed_cpus) + " cpus";
+        } else {
+            d.node_count = 0;
+            d.reason = "linux stuck but windows side has no idle nodes";
+        }
+        return d;
+    }
+    if (windows_stuck) {
+        const int needed =
+            nodes_for_cpus(ctx.windows_snap.record.needed_cpus, ctx.cores_per_node);
+        const int available = ctx.linux_snap.idle_nodes;
+        d.node_count = std::min(needed, available);
+        if (d.node_count > 0) {
+            d.target = OsType::kWindows;
+            d.reason = "windows stuck on " + ctx.windows_snap.record.stuck_job_id + " needing " +
+                       std::to_string(ctx.windows_snap.record.needed_cpus) + " cpus";
+        } else {
+            d.node_count = 0;
+            d.reason = "windows stuck but linux side has no idle nodes";
+        }
+        return d;
+    }
+    d.reason = "no queue stuck";
+    return d;
+}
+
+ThresholdPolicy::ThresholdPolicy(int required_consecutive) : required_(required_consecutive) {
+    util::require(required_ >= 1, "ThresholdPolicy: required_consecutive must be >= 1");
+}
+
+std::string ThresholdPolicy::name() const {
+    return "threshold(" + std::to_string(required_) + ")";
+}
+
+SwitchDecision ThresholdPolicy::decide(const SwitchContext& ctx) {
+    linux_streak_ = ctx.linux_snap.record.stuck ? linux_streak_ + 1 : 0;
+    windows_streak_ = ctx.windows_snap.record.stuck ? windows_streak_ + 1 : 0;
+    // Mask stuck flags that have not persisted long enough, then fall back
+    // to the FCFS rule on the filtered view.
+    SwitchContext filtered = ctx;
+    if (linux_streak_ < required_) filtered.linux_snap.record.stuck = false;
+    if (windows_streak_ < required_) filtered.windows_snap.record.stuck = false;
+    FcfsPolicy base;
+    SwitchDecision d = base.decide(filtered);
+    if (!d.act() && (ctx.linux_snap.record.stuck || ctx.windows_snap.record.stuck))
+        d.reason += " (threshold: streak L=" + std::to_string(linux_streak_) +
+                    " W=" + std::to_string(windows_streak_) + "/" + std::to_string(required_) +
+                    ")";
+    // Reset the streak we just acted on so we do not re-fire next poll
+    // while the reboots are still in flight.
+    if (d.act()) {
+        if (d.target == OsType::kLinux) linux_streak_ = 0;
+        else windows_streak_ = 0;
+    }
+    return d;
+}
+
+FairSharePolicy::FairSharePolicy(int cooldown_polls) : cooldown_polls_(cooldown_polls) {
+    util::require(cooldown_polls_ >= 0, "FairSharePolicy: cooldown_polls must be >= 0");
+}
+
+std::string FairSharePolicy::name() const {
+    return cooldown_polls_ > 0 ? "fair-share+cooldown(" + std::to_string(cooldown_polls_) + ")"
+                               : "fair-share";
+}
+
+SwitchDecision FairSharePolicy::decide(const SwitchContext& ctx) {
+    SwitchDecision d;
+    if (cooldown_remaining_ > 0) {
+        --cooldown_remaining_;
+        d.reason = "fair-share: cooling down (" + std::to_string(cooldown_remaining_ + 1) +
+                   " polls left)";
+        return d;
+    }
+    const int linux_pressure = ctx.linux_snap.queued;
+    const int windows_pressure = ctx.windows_snap.queued;
+    // Move capacity toward the only side with waiting work.
+    if (linux_pressure > 0 && windows_pressure == 0 && ctx.windows_snap.idle_nodes > 0) {
+        const int needed = std::max(
+            1, nodes_for_cpus(ctx.linux_snap.record.needed_cpus, ctx.cores_per_node));
+        d.target = OsType::kLinux;
+        d.node_count = std::min(ctx.windows_snap.idle_nodes, std::max(needed, linux_pressure));
+        d.reason = "fair-share: linux pressure " + std::to_string(linux_pressure) +
+                   ", windows idle " + std::to_string(ctx.windows_snap.idle_nodes);
+        cooldown_remaining_ = cooldown_polls_;
+        return d;
+    }
+    if (windows_pressure > 0 && linux_pressure == 0 && ctx.linux_snap.idle_nodes > 0) {
+        const int needed = std::max(
+            1, nodes_for_cpus(ctx.windows_snap.record.needed_cpus, ctx.cores_per_node));
+        d.target = OsType::kWindows;
+        d.node_count = std::min(ctx.linux_snap.idle_nodes, std::max(needed, windows_pressure));
+        d.reason = "fair-share: windows pressure " + std::to_string(windows_pressure) +
+                   ", linux idle " + std::to_string(ctx.linux_snap.idle_nodes);
+        cooldown_remaining_ = cooldown_polls_;
+        return d;
+    }
+    d.reason = "fair-share: balanced or no donor capacity";
+    return d;
+}
+
+PredictivePolicy::PredictivePolicy(double alpha, double act_threshold_cpus)
+    : alpha_(alpha), threshold_(act_threshold_cpus) {
+    util::require(alpha_ > 0.0 && alpha_ <= 1.0, "PredictivePolicy: alpha in (0,1]");
+}
+
+SwitchDecision PredictivePolicy::decide(const SwitchContext& ctx) {
+    const double linux_demand =
+        ctx.linux_snap.record.stuck ? ctx.linux_snap.record.needed_cpus
+                                    : static_cast<double>(ctx.linux_snap.queued) *
+                                          static_cast<double>(ctx.cores_per_node);
+    const double windows_demand =
+        ctx.windows_snap.record.stuck ? ctx.windows_snap.record.needed_cpus
+                                      : static_cast<double>(ctx.windows_snap.queued) *
+                                            static_cast<double>(ctx.cores_per_node);
+    linux_demand_ewma_ = alpha_ * linux_demand + (1 - alpha_) * linux_demand_ewma_;
+    windows_demand_ewma_ = alpha_ * windows_demand + (1 - alpha_) * windows_demand_ewma_;
+
+    SwitchDecision d;
+    if (linux_demand_ewma_ >= threshold_ && windows_demand_ewma_ < threshold_ &&
+        ctx.windows_snap.idle_nodes > 0) {
+        d.target = OsType::kLinux;
+        d.node_count = std::min(
+            ctx.windows_snap.idle_nodes,
+            std::max(1, nodes_for_cpus(static_cast<int>(std::ceil(linux_demand_ewma_)),
+                                       ctx.cores_per_node)));
+        d.reason = "predictive: linux demand ewma " + std::to_string(linux_demand_ewma_);
+        linux_demand_ewma_ = 0;  // consumed
+        return d;
+    }
+    if (windows_demand_ewma_ >= threshold_ && linux_demand_ewma_ < threshold_ &&
+        ctx.linux_snap.idle_nodes > 0) {
+        d.target = OsType::kWindows;
+        d.node_count = std::min(
+            ctx.linux_snap.idle_nodes,
+            std::max(1, nodes_for_cpus(static_cast<int>(std::ceil(windows_demand_ewma_)),
+                                       ctx.cores_per_node)));
+        d.reason = "predictive: windows demand ewma " + std::to_string(windows_demand_ewma_);
+        windows_demand_ewma_ = 0;
+        return d;
+    }
+    d.reason = "predictive: below threshold";
+    return d;
+}
+
+CalendarPolicy::CalendarPolicy(std::unique_ptr<SwitchPolicy> base, int start_hour, int end_hour,
+                               int windows_nodes)
+    : base_(std::move(base)),
+      start_hour_(start_hour),
+      end_hour_(end_hour),
+      windows_nodes_(windows_nodes) {
+    util::require(base_ != nullptr, "CalendarPolicy: base policy required");
+    util::require(start_hour_ >= 0 && start_hour_ < 24, "CalendarPolicy: start_hour 0..23");
+    util::require(end_hour_ >= 0 && end_hour_ <= 24, "CalendarPolicy: end_hour 0..24");
+    util::require(windows_nodes_ > 0, "CalendarPolicy: windows_nodes must be positive");
+}
+
+std::string CalendarPolicy::name() const {
+    return "calendar(" + std::to_string(start_hour_) + "-" + std::to_string(end_hour_) + "h W" +
+           std::to_string(windows_nodes_) + ")+" + base_->name();
+}
+
+bool CalendarPolicy::in_window(std::int64_t unix_time) const {
+    const int hour = util::unix_to_civil(unix_time).hour;
+    if (start_hour_ <= end_hour_) return hour >= start_hour_ && hour < end_hour_;
+    return hour >= start_hour_ || hour < end_hour_;  // wraps midnight
+}
+
+SwitchDecision CalendarPolicy::decide(const SwitchContext& ctx) {
+    if (in_window(ctx.now_unix)) {
+        // Inside the reservation: top the Windows block up from idle Linux
+        // nodes. idle_nodes on the Windows side counts nodes ALREADY in
+        // Windows with nothing to do; the deficit is served from Linux idle.
+        const int windows_present = ctx.windows_snap.idle_nodes + ctx.windows_snap.running;
+        const int deficit = windows_nodes_ - windows_present;
+        if (deficit > 0 && ctx.linux_snap.idle_nodes > 0) {
+            SwitchDecision d;
+            d.target = cluster::OsType::kWindows;
+            d.node_count = std::min(deficit, ctx.linux_snap.idle_nodes);
+            d.reason = "calendar: reservation window, topping Windows block up by " +
+                       std::to_string(d.node_count);
+            return d;
+        }
+        // Within the window the base policy still serves Linux-stuck cases
+        // from *surplus* Windows capacity, so delegate.
+    } else {
+        // Outside the window: release idle Windows nodes back to Linux
+        // before consulting the base policy.
+        if (ctx.windows_snap.idle_nodes > 0 && ctx.windows_snap.queued == 0) {
+            SwitchDecision d;
+            d.target = cluster::OsType::kLinux;
+            d.node_count = ctx.windows_snap.idle_nodes;
+            d.reason = "calendar: window closed, releasing idle Windows nodes";
+            return d;
+        }
+    }
+    return base_->decide(ctx);
+}
+
+MonoStablePolicy::MonoStablePolicy(int total_nodes) : total_nodes_(total_nodes) {
+    util::require(total_nodes_ > 0, "MonoStablePolicy: total_nodes must be positive");
+}
+
+SwitchDecision MonoStablePolicy::decide(const SwitchContext& ctx) {
+    SwitchDecision d;
+    const bool linux_drained = ctx.linux_snap.running == 0 && ctx.linux_snap.queued == 0;
+    if (ctx.windows_snap.record.stuck && !ctx.linux_snap.record.stuck && linux_drained) {
+        d.target = cluster::OsType::kWindows;
+        d.node_count = total_nodes_;
+        d.reason = "mono-stable: whole cluster flips to windows";
+        return d;
+    }
+    // The reverse flip needs the Windows side fully idle; with the extended
+    // protocol its idle count is exact, otherwise this conservatively waits.
+    if (ctx.linux_snap.record.stuck && !ctx.windows_snap.record.stuck &&
+        ctx.windows_snap.idle_nodes >= total_nodes_) {
+        d.target = cluster::OsType::kLinux;
+        d.node_count = total_nodes_;
+        d.reason = "mono-stable: whole cluster flips to linux";
+        return d;
+    }
+    d.reason = "mono-stable: waiting for full drain";
+    return d;
+}
+
+}  // namespace hc::core

@@ -1,0 +1,153 @@
+// Switch decision policies.
+//
+// The shipped rule is plain first-come-first-serve (§V: "Currently the
+// daemons for queue monitoring are still following the rule 'first-come
+// first-serve'. This could be improved to adapt the rules from diverse
+// administration requirements.") — so FcfsPolicy is the paper's behaviour
+// and the other policies implement that future work, ablated in bench E7.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cluster/os.hpp"
+#include "core/queue_state.hpp"
+
+namespace hc::core {
+
+/// Everything the Linux-head daemon knows when it decides (Fig 11 step 4).
+struct SwitchContext {
+    QueueSnapshot linux_snap;
+    QueueSnapshot windows_snap;
+    int cores_per_node = 4;
+    std::int64_t now_unix = 0;
+};
+
+struct SwitchDecision {
+    cluster::OsType target = cluster::OsType::kNone;  ///< kNone = do nothing
+    int node_count = 0;
+    std::string reason;
+
+    [[nodiscard]] bool act() const {
+        return target != cluster::OsType::kNone && node_count > 0;
+    }
+};
+
+class SwitchPolicy {
+public:
+    virtual ~SwitchPolicy() = default;
+    [[nodiscard]] virtual SwitchDecision decide(const SwitchContext& ctx) = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Nodes needed to satisfy `cpus` at `cores_per_node` per node.
+[[nodiscard]] int nodes_for_cpus(int cpus, int cores_per_node);
+
+/// The paper's rule: if exactly one scheduler is stuck and the other side
+/// has fully idle nodes, switch just enough idle nodes to run the first
+/// stuck job. Both stuck, or donor has nothing idle => no action.
+class FcfsPolicy : public SwitchPolicy {
+public:
+    [[nodiscard]] SwitchDecision decide(const SwitchContext& ctx) override;
+    [[nodiscard]] std::string name() const override { return "fcfs"; }
+};
+
+/// FCFS with hysteresis: only act after the same side has been stuck for
+/// `required_consecutive` consecutive polls. Damps flapping when jobs are
+/// short relative to the reboot time.
+class ThresholdPolicy : public SwitchPolicy {
+public:
+    explicit ThresholdPolicy(int required_consecutive = 2);
+    [[nodiscard]] SwitchDecision decide(const SwitchContext& ctx) override;
+    [[nodiscard]] std::string name() const override;
+
+private:
+    int required_;
+    int linux_streak_ = 0;
+    int windows_streak_ = 0;
+};
+
+/// Pressure balancing: acts on queue *pressure* (queued jobs), not only on
+/// full stalls — moves idle nodes toward the side with strictly positive
+/// pressure when the donor has none.
+///
+/// Optional anti-flap cooldown: after ordering a switch, sit out the next
+/// `cooldown_polls` polls so the reboots land and the queues re-equilibrate
+/// before moving capacity again. cooldown_polls = 0 reproduces the naive
+/// variant (which the E7 ablation shows flapping under sustained load).
+class FairSharePolicy : public SwitchPolicy {
+public:
+    explicit FairSharePolicy(int cooldown_polls = 0);
+    [[nodiscard]] SwitchDecision decide(const SwitchContext& ctx) override;
+    [[nodiscard]] std::string name() const override;
+
+private:
+    int cooldown_polls_;
+    int cooldown_remaining_ = 0;
+};
+
+/// EWMA demand prediction: smooths each side's queued-CPU demand and
+/// switches when the smoothed demand stays above the donor's idle capacity.
+class PredictivePolicy : public SwitchPolicy {
+public:
+    explicit PredictivePolicy(double alpha = 0.5, double act_threshold_cpus = 2.0);
+    [[nodiscard]] SwitchDecision decide(const SwitchContext& ctx) override;
+    [[nodiscard]] std::string name() const override { return "predictive-ewma"; }
+
+private:
+    double alpha_;
+    double threshold_;
+    double linux_demand_ewma_ = 0;
+    double windows_demand_ewma_ = 0;
+};
+
+/// Ablation for E7: never switch (what a static cluster's "policy" is).
+class NeverSwitchPolicy : public SwitchPolicy {
+public:
+    [[nodiscard]] SwitchDecision decide(const SwitchContext&) override { return {}; }
+    [[nodiscard]] std::string name() const override { return "never"; }
+};
+
+/// Calendar rule — another instance of the paper's "rules from diverse
+/// administration requirements". Eridani was "built from re-used laboratory
+/// computers"; a typical campus arrangement dedicates such machines to a
+/// Windows teaching lab by day and Linux HPC by night. This policy reserves
+/// a Windows block during a daily window and otherwise delegates to a base
+/// policy (demand-driven switching continues outside the reservation).
+class CalendarPolicy : public SwitchPolicy {
+public:
+    /// Reserve `windows_nodes` for Windows between `start_hour` (inclusive)
+    /// and `end_hour` (exclusive), local cluster time, every day.
+    CalendarPolicy(std::unique_ptr<SwitchPolicy> base, int start_hour, int end_hour,
+                   int windows_nodes);
+    [[nodiscard]] SwitchDecision decide(const SwitchContext& ctx) override;
+    [[nodiscard]] std::string name() const override;
+
+    /// True when `unix_time` falls inside the daily reservation window.
+    [[nodiscard]] bool in_window(std::int64_t unix_time) const;
+
+private:
+    std::unique_ptr<SwitchPolicy> base_;
+    int start_hour_;
+    int end_hour_;
+    int windows_nodes_;
+};
+
+/// The mono-stable baseline from the paper's comparison (§III, ref [5]):
+/// the whole cluster lives in one OS and flips *entirely* when the other
+/// side has work and this side is completely drained. "Keeping two job
+/// schedulers and both Windows and Linux server in bi-stable mode gives
+/// flexibility and speed-up, compared with other one-Linux-scheduler hybrid
+/// cluster in mono-stable mode."
+class MonoStablePolicy : public SwitchPolicy {
+public:
+    explicit MonoStablePolicy(int total_nodes);
+    [[nodiscard]] SwitchDecision decide(const SwitchContext& ctx) override;
+    [[nodiscard]] std::string name() const override { return "mono-stable"; }
+
+private:
+    int total_nodes_;
+};
+
+}  // namespace hc::core

@@ -1,0 +1,40 @@
+#include "core/queue_state.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace hc::core {
+
+using util::Error;
+using util::Result;
+
+std::string QueueStateRecord::encode() const {
+    char head[8];
+    std::snprintf(head, sizeof head, "%d%04d", stuck ? 1 : 0, needed_cpus);
+    std::string id = stuck_job_id.empty() ? "none" : stuck_job_id;
+    if (id.size() > kJobIdFieldWidth) id.resize(kJobIdFieldWidth);
+    return std::string(head) + id;
+}
+
+Result<QueueStateRecord> QueueStateRecord::decode(const std::string& wire) {
+    if (wire.size() < 6) return Error{"record too short (need state+cpus+id): " + wire};
+    QueueStateRecord rec;
+    if (wire[0] == '1') rec.stuck = true;
+    else if (wire[0] == '0') rec.stuck = false;
+    else return Error{"bad queue-state byte: " + wire.substr(0, 1)};
+    const std::string cpus = wire.substr(1, 4);
+    const long long n = util::parse_uint(cpus);
+    if (n < 0) return Error{"bad needed-CPUs field: " + cpus};
+    rec.needed_cpus = static_cast<int>(n);
+    // Positions 5..67 carry the id; 68+ is undefined and ignored.
+    std::string id = wire.substr(5, kJobIdFieldWidth);
+    // Strip padding some senders might add.
+    id = std::string(util::trim(id));
+    rec.stuck_job_id = id.empty() ? "none" : id;
+    if (rec.stuck && rec.stuck_job_id == "none")
+        return Error{"stuck record without a job id: " + wire};
+    return rec;
+}
+
+}  // namespace hc::core

@@ -1,0 +1,54 @@
+// Scenario runner: the comparison systems of the evaluation benches.
+//
+// Four ways to run the same trace on the same 16-node cluster:
+//   kBiStableHybrid — dualboot-oscar (the paper's system, v1 or v2)
+//   kStaticSplit    — the §I strawman: hard partition, k Linux / N-k Windows
+//   kMonoStable     — the ref-[5] baseline: whole cluster flips at once
+//   kOracle         — upper bound: bi-stable with near-zero reboot cost and
+//                     a tight poll cycle (what instant OS switching would buy)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hybrid.hpp"
+#include "workload/metrics.hpp"
+
+namespace hc::core {
+
+enum class ScenarioKind { kBiStableHybrid, kStaticSplit, kMonoStable, kOracle };
+
+[[nodiscard]] const char* scenario_kind_name(ScenarioKind k);
+
+struct ScenarioConfig {
+    ScenarioKind kind = ScenarioKind::kBiStableHybrid;
+    int node_count = 16;
+    int cores_per_node = 4;
+    /// Static split: nodes assigned to Linux (rest Windows). Also the
+    /// initial split for the hybrid scenarios.
+    int linux_nodes = 12;
+    deploy::MiddlewareVersion version = deploy::MiddlewareVersion::kV2;
+    PolicyKind policy = PolicyKind::kFcfs;
+    int fair_share_cooldown = 0;
+    bool strict_fifo = true;
+    sim::Duration poll_interval = sim::minutes(10);
+    sim::Duration horizon = sim::hours(24);
+    double message_drop_probability = 0.0;
+    double boot_hang_probability = 0.0;
+    std::uint64_t seed = 42;
+};
+
+struct ScenarioResult {
+    std::string label;
+    workload::Summary summary;
+    ControllerStats controller;
+    CommunicatorStats windows_daemon;
+    CommunicatorStats linux_daemon;
+};
+
+/// Run `trace` under the scenario and summarise. The engine is created
+/// internally so scenarios are fully independent and reproducible.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config,
+                                          const std::vector<workload::JobSpec>& trace);
+
+}  // namespace hc::core

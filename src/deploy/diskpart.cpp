@@ -1,0 +1,221 @@
+#include "deploy/diskpart.hpp"
+
+#include "util/strings.hpp"
+
+namespace hc::deploy {
+
+using cluster::Disk;
+using cluster::FsType;
+using cluster::Partition;
+using util::Error;
+using util::Result;
+
+Result<DiskpartScript> DiskpartScript::parse(const std::string& text) {
+    DiskpartScript script;
+    int line_no = 0;
+    for (const std::string& raw : util::split_lines(text)) {
+        ++line_no;
+        const std::string line = util::to_lower(std::string(util::trim(raw)));
+        if (line.empty() || line.front() == '#' || line.rfind("rem", 0) == 0) continue;
+        const auto tokens = util::split_ws(line);
+        DiskpartCommand cmd{};
+        if (tokens[0] == "select" && tokens.size() >= 3 && tokens[1] == "disk") {
+            cmd.kind = DiskpartCommand::Kind::kSelectDisk;
+            cmd.number = util::parse_uint(tokens[2]);
+            if (cmd.number < 0) return Error{"bad disk number", line_no};
+        } else if (tokens[0] == "select" && tokens.size() >= 3 && tokens[1] == "partition") {
+            cmd.kind = DiskpartCommand::Kind::kSelectPartition;
+            cmd.number = util::parse_uint(tokens[2]);
+            if (cmd.number <= 0) return Error{"bad partition number", line_no};
+        } else if (tokens[0] == "clean") {
+            cmd.kind = DiskpartCommand::Kind::kClean;
+        } else if (tokens[0] == "create" && tokens.size() >= 3 && tokens[1] == "partition" &&
+                   tokens[2] == "primary") {
+            cmd.kind = DiskpartCommand::Kind::kCreatePrimary;
+            for (std::size_t i = 3; i < tokens.size(); ++i) {
+                if (tokens[i].rfind("size=", 0) == 0) {
+                    cmd.number = util::parse_uint(tokens[i].substr(5));
+                    if (cmd.number <= 0) return Error{"bad size=", line_no};
+                    cmd.has_size = true;
+                }
+            }
+        } else if (tokens[0] == "assign") {
+            cmd.kind = DiskpartCommand::Kind::kAssignLetter;
+        } else if (tokens[0] == "format") {
+            cmd.kind = DiskpartCommand::Kind::kFormat;
+            for (std::size_t i = 1; i < tokens.size(); ++i) {
+                if (tokens[i].rfind("fs=", 0) == 0) {
+                    std::string fs = tokens[i].substr(3);
+                    for (char& c : fs) c = static_cast<char>(std::toupper(
+                        static_cast<unsigned char>(c)));
+                    cmd.fs = fs;
+                } else if (tokens[i].rfind("label=", 0) == 0) {
+                    std::string label = tokens[i].substr(6);
+                    // strip quotes
+                    std::string clean;
+                    for (char c : label)
+                        if (c != '"') clean += c;
+                    // restore original case "Node" — labels are quoted in
+                    // the source; we lower-cased for keyword matching, so
+                    // recover case from the raw line.
+                    const auto pos = util::to_lower(raw).find("label=");
+                    if (pos != std::string::npos) {
+                        std::string orig = std::string(util::trim(raw)).substr(pos + 6);
+                        const auto space = orig.find(' ');
+                        if (space != std::string::npos) orig = orig.substr(0, space);
+                        clean.clear();
+                        for (char c : orig)
+                            if (c != '"') clean += c;
+                    }
+                    cmd.label = clean;
+                }
+            }
+        } else if (tokens[0] == "active") {
+            cmd.kind = DiskpartCommand::Kind::kActive;
+        } else if (tokens[0] == "exit") {
+            cmd.kind = DiskpartCommand::Kind::kExit;
+        } else {
+            return Error{"unknown diskpart command: " + tokens[0], line_no};
+        }
+        script.commands.push_back(cmd);
+    }
+    if (script.commands.empty()) return Error{"empty diskpart script"};
+    return script;
+}
+
+std::string DiskpartScript::emit() const {
+    std::string out;
+    for (const auto& cmd : commands) {
+        switch (cmd.kind) {
+            case DiskpartCommand::Kind::kSelectDisk:
+                out += "select disk " + std::to_string(cmd.number) + "\n";
+                break;
+            case DiskpartCommand::Kind::kSelectPartition:
+                out += "select partition " + std::to_string(cmd.number) + "\n";
+                break;
+            case DiskpartCommand::Kind::kClean:
+                out += "clean\n";
+                break;
+            case DiskpartCommand::Kind::kCreatePrimary:
+                out += "create partition primary";
+                if (cmd.has_size) out += " size=" + std::to_string(cmd.number);
+                out += "\n";
+                break;
+            case DiskpartCommand::Kind::kAssignLetter:
+                out += "assign letter=c\n";
+                break;
+            case DiskpartCommand::Kind::kFormat:
+                out += "format FS=" + cmd.fs + " LABEL=\"" + cmd.label + "\" QUICK OVERRIDE\n";
+                break;
+            case DiskpartCommand::Kind::kActive:
+                out += "active\n";
+                break;
+            case DiskpartCommand::Kind::kExit:
+                out += "exit\n";
+                break;
+        }
+    }
+    return out;
+}
+
+DiskpartScript DiskpartScript::original() {
+    DiskpartScript s;
+    s.commands = {
+        {DiskpartCommand::Kind::kSelectDisk, 0, false, "NTFS", ""},
+        {DiskpartCommand::Kind::kClean, 0, false, "NTFS", ""},
+        {DiskpartCommand::Kind::kCreatePrimary, 0, false, "NTFS", ""},
+        {DiskpartCommand::Kind::kAssignLetter, 0, false, "NTFS", ""},
+        {DiskpartCommand::Kind::kFormat, 0, false, "NTFS", "Node"},
+        {DiskpartCommand::Kind::kActive, 0, false, "NTFS", ""},
+        {DiskpartCommand::Kind::kExit, 0, false, "NTFS", ""},
+    };
+    return s;
+}
+
+DiskpartScript DiskpartScript::sized(std::int64_t size_mb) {
+    DiskpartScript s = original();
+    s.commands[2].number = size_mb;
+    s.commands[2].has_size = true;
+    return s;
+}
+
+DiskpartScript DiskpartScript::reimage_only() {
+    DiskpartScript s;
+    s.commands = {
+        {DiskpartCommand::Kind::kSelectDisk, 0, false, "NTFS", ""},
+        {DiskpartCommand::Kind::kSelectPartition, 1, false, "NTFS", ""},
+        {DiskpartCommand::Kind::kFormat, 0, false, "NTFS", "Node"},
+        {DiskpartCommand::Kind::kActive, 0, false, "NTFS", ""},
+        {DiskpartCommand::Kind::kExit, 0, false, "NTFS", ""},
+    };
+    return s;
+}
+
+Result<DiskpartEffect> apply_diskpart(Disk& disk, const DiskpartScript& script) {
+    DiskpartEffect effect;
+    bool disk_selected = false;
+    int selected_partition = 0;
+    for (const auto& cmd : script.commands) {
+        switch (cmd.kind) {
+            case DiskpartCommand::Kind::kSelectDisk:
+                if (cmd.number != 0) return Error{"only disk 0 exists on compute nodes"};
+                disk_selected = true;
+                break;
+            case DiskpartCommand::Kind::kSelectPartition: {
+                if (!disk_selected) return Error{"select partition before select disk"};
+                if (disk.find(static_cast<int>(cmd.number)) == nullptr)
+                    return Error{"no partition " + std::to_string(cmd.number) + " to select"};
+                selected_partition = static_cast<int>(cmd.number);
+                break;
+            }
+            case DiskpartCommand::Kind::kClean:
+                if (!disk_selected) return Error{"clean before select disk"};
+                disk.wipe();
+                effect.wiped_disk = true;
+                selected_partition = 0;
+                break;
+            case DiskpartCommand::Kind::kCreatePrimary: {
+                if (!disk_selected) return Error{"create before select disk"};
+                int index = 0;
+                for (int i = 1; i <= 4; ++i)
+                    if (disk.find(i) == nullptr) {
+                        index = i;
+                        break;
+                    }
+                if (index == 0) return Error{"no free primary slot"};
+                Partition p;
+                p.index = index;
+                p.fs = FsType::kEmpty;
+                p.size_mb = cmd.has_size ? cmd.number : -1;
+                auto st = disk.add_partition(std::move(p));
+                if (!st.ok()) return Error{"create partition: " + st.error_message()};
+                effect.partitions_created.push_back(index);
+                selected_partition = index;  // diskpart focuses the new partition
+                break;
+            }
+            case DiskpartCommand::Kind::kAssignLetter:
+                if (selected_partition == 0) return Error{"assign with no partition selected"};
+                break;  // drive letters are invisible to the simulation
+            case DiskpartCommand::Kind::kFormat: {
+                if (selected_partition == 0) return Error{"format with no partition selected"};
+                if (cmd.fs != "NTFS") return Error{"only NTFS format is modelled"};
+                auto st = disk.format(selected_partition, FsType::kNtfs, cmd.label);
+                if (!st.ok()) return Error{"format: " + st.error_message()};
+                effect.partitions_formatted.push_back(selected_partition);
+                break;
+            }
+            case DiskpartCommand::Kind::kActive: {
+                if (selected_partition == 0) return Error{"active with no partition selected"};
+                auto st = disk.set_active(selected_partition);
+                if (!st.ok()) return Error{"active: " + st.error_message()};
+                effect.active_partition = selected_partition;
+                break;
+            }
+            case DiskpartCommand::Kind::kExit:
+                return effect;
+        }
+    }
+    return effect;
+}
+
+}  // namespace hc::deploy

@@ -1,0 +1,69 @@
+// Windows HPC deployment scripts: diskpart.txt.
+//
+// Windows HPC Pack stores its node-deployment disk script as clear text
+// ("C:/Program Files/Microsoft HPC Pack 2008 R2/Data/InstallShare/Config/
+// diskpart.txt"); dualboot-oscar patches it. Three variants from the paper:
+//   Fig 9  — stock: `clean` + full-disk primary (wipes Linux!)
+//   Fig 10 — v1/v2 install: `create partition primary size=150000`
+//   Fig 15 — v2 reimage: `select partition 1` + format (Linux untouched)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/disk.hpp"
+#include "util/result.hpp"
+
+namespace hc::deploy {
+
+/// One parsed diskpart command.
+struct DiskpartCommand {
+    enum class Kind {
+        kSelectDisk,        ///< select disk N
+        kSelectPartition,   ///< select partition N
+        kClean,             ///< wipe the selected disk
+        kCreatePrimary,     ///< create partition primary [size=N]
+        kAssignLetter,      ///< assign letter=c
+        kFormat,            ///< format FS=NTFS LABEL="..." QUICK OVERRIDE
+        kActive,            ///< mark the selected partition active
+        kExit,
+    };
+    Kind kind;
+    std::int64_t number = 0;   ///< disk/partition number, or size for create
+    bool has_size = false;     ///< create had an explicit size=
+    std::string fs = "NTFS";   ///< format FS
+    std::string label;         ///< format LABEL
+};
+
+struct DiskpartScript {
+    std::vector<DiskpartCommand> commands;
+
+    [[nodiscard]] static util::Result<DiskpartScript> parse(const std::string& text);
+    [[nodiscard]] std::string emit() const;
+
+    /// Fig 9: the stock HPC Pack script (wipes the whole disk).
+    [[nodiscard]] static DiskpartScript original();
+
+    /// Fig 10: dualboot-oscar's sized install script.
+    [[nodiscard]] static DiskpartScript sized(std::int64_t size_mb = 150'000);
+
+    /// Fig 15: the v2 reimage script (format partition 1 in place).
+    [[nodiscard]] static DiskpartScript reimage_only();
+};
+
+/// Side effects of running a script against a disk.
+struct DiskpartEffect {
+    bool wiped_disk = false;
+    std::vector<int> partitions_created;
+    std::vector<int> partitions_formatted;
+    int active_partition = 0;  ///< 0 = unchanged
+};
+
+/// Execute the script on a disk (what Windows setup's unattended pass does).
+/// Partition numbering follows diskpart: created primaries take the lowest
+/// free primary slot.
+[[nodiscard]] util::Result<DiskpartEffect> apply_diskpart(cluster::Disk& disk,
+                                                          const DiskpartScript& script);
+
+}  // namespace hc::deploy

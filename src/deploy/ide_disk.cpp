@@ -1,0 +1,205 @@
+#include "deploy/ide_disk.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace hc::deploy {
+
+using cluster::Disk;
+using cluster::FsType;
+using cluster::Partition;
+using util::Error;
+using util::Result;
+
+int IdeDiskEntry::partition_index() const {
+    // "/dev/sda7" -> 7. Anything not matching /dev/sd?N is a mount row.
+    if (device.rfind("/dev/sd", 0) != 0 || device.size() < 9) return 0;
+    const long long n = util::parse_uint(device.substr(8));
+    return n > 0 ? static_cast<int>(n) : 0;
+}
+
+Result<IdeDiskFile> IdeDiskFile::parse(const std::string& text) {
+    IdeDiskFile file;
+    int line_no = 0;
+    for (const std::string& raw : util::split_lines(text)) {
+        ++line_no;
+        const std::string line(util::trim(raw));
+        if (line.empty() || line.front() == '#') continue;
+        const auto fields = util::split_ws(line);
+        if (fields.size() < 3) return Error{"ide.disk row needs device, size, type", line_no};
+        IdeDiskEntry e;
+        e.device = fields[0];
+        if (fields[1] == "*") {
+            e.fill_remaining = true;
+        } else if (fields[1] == "-") {
+            // no size (tmpfs/nfs rows)
+        } else {
+            const long long mb = util::parse_uint(fields[1]);
+            if (mb < 0) return Error{"bad size: " + fields[1], line_no};
+            e.size_mb = mb;
+        }
+        e.fs = fields[2];
+        if (fields.size() > 3) e.mount = fields[3];
+        if (fields.size() > 4) e.options = fields[4];
+        for (std::size_t i = 5; i < fields.size(); ++i)
+            if (fields[i] == "bootable") e.bootable = true;
+        // "bootable" can also be field 4 or 5 depending on options presence.
+        if (e.options == "bootable") {
+            e.options.clear();
+            e.bootable = true;
+        }
+        file.entries.push_back(std::move(e));
+    }
+    if (file.entries.empty()) return Error{"empty ide.disk"};
+    return file;
+}
+
+std::string IdeDiskFile::emit() const {
+    std::string out;
+    for (const auto& e : entries) {
+        out += e.device + " ";
+        if (e.fill_remaining) out += "*";
+        else if (e.size_mb.has_value()) out += std::to_string(*e.size_mb);
+        else out += "-";
+        out += " " + e.fs;
+        if (!e.mount.empty()) out += " " + e.mount;
+        if (!e.options.empty()) out += " " + e.options;
+        if (e.bootable) out += " bootable";
+        out += "\n";
+    }
+    return out;
+}
+
+const IdeDiskEntry* IdeDiskFile::find_device(const std::string& device) const {
+    for (const auto& e : entries)
+        if (e.device == device) return &e;
+    return nullptr;
+}
+
+IdeDiskFile IdeDiskFile::v2_standard() {
+    IdeDiskFile f;
+    f.entries = {
+        IdeDiskEntry{"/dev/sda1", 16'000, false, "skip", "", "", false},
+        IdeDiskEntry{"/dev/sda2", 100, false, "ext3", "/boot", "defaults", true},
+        IdeDiskEntry{"/dev/sda5", 512, false, "swap", "", "", false},
+        IdeDiskEntry{"/dev/sda6", std::nullopt, true, "ext3", "/", "defaults", false},
+        IdeDiskEntry{"/dev/shm", std::nullopt, false, "tmpfs", "/dev/shm", "defaults", false},
+        IdeDiskEntry{"nfs_oscar:/home", std::nullopt, false, "nfs", "/home", "rw", false},
+    };
+    return f;
+}
+
+IdeDiskFile IdeDiskFile::v1_manual(std::int64_t windows_mb) {
+    IdeDiskFile f;
+    f.entries = {
+        // Reserved for Windows: declared so systemimager leaves room, but
+        // with stock tools it is recreated-unformatted, not skipped. The
+        // stock script also emits fstab/umount lines for it — the errors
+        // the §III.C.1 manual edits remove.
+        IdeDiskEntry{"/dev/sda1", windows_mb, false, "ntfs", "/windows", "", false},
+        IdeDiskEntry{"/dev/sda2", 100, false, "ext3", "/boot", "defaults", true},
+        IdeDiskEntry{"/dev/sda5", 512, false, "swap", "", "", false},
+        IdeDiskEntry{"/dev/sda6", 64, false, "fat", "", "", false},
+        IdeDiskEntry{"/dev/sda7", std::nullopt, true, "ext3", "/", "defaults", false},
+        IdeDiskEntry{"/dev/shm", std::nullopt, false, "tmpfs", "/dev/shm", "defaults", false},
+        IdeDiskEntry{"nfs_oscar:/home", std::nullopt, false, "nfs", "/home", "rw", false},
+    };
+    return f;
+}
+
+namespace {
+
+Result<FsType> fs_from_label(const std::string& fs) {
+    if (fs == "ext3") return FsType::kExt3;
+    if (fs == "swap") return FsType::kSwap;
+    if (fs == "fat" || fs == "vfat") return FsType::kFat;
+    if (fs == "ntfs") return FsType::kNtfs;
+    return Error{"unsupported partition fs in ide.disk: " + fs};
+}
+
+}  // namespace
+
+Result<ApplyReport> apply_ide_disk(Disk& disk, const IdeDiskFile& plan,
+                                   const SystemImagerOptions& options) {
+    ApplyReport report;
+
+    // Pass 1: validate and decide per-partition fate before touching the
+    // disk; systemimager aborts cleanly on a bad plan.
+    struct Action {
+        const IdeDiskEntry* entry;
+        enum class Kind { kSkip, kPreserve, kRecreate } kind;
+    };
+    std::vector<Action> actions;
+    bool needs_extended = false;
+    for (const auto& e : plan.entries) {
+        if (!e.is_disk_partition()) continue;  // tmpfs/nfs rows
+        const int idx = e.partition_index();
+        if (idx > 4) needs_extended = true;
+        if (e.fs == "skip") {
+            if (!options.skip_label_supported)
+                return Error{"ide.disk uses the `skip` label but systemimager is unpatched (" +
+                             e.device + ")"};
+            if (disk.find(idx) == nullptr)
+                return Error{"`skip` partition does not exist on disk: " + e.device};
+            actions.push_back({&e, Action::Kind::kSkip});
+            continue;
+        }
+        auto fs = fs_from_label(e.fs);
+        if (!fs) return Error{fs.error_message()};
+        const cluster::Partition* existing = disk.find(idx);
+        const bool same_geometry =
+            existing != nullptr && existing->fs == fs.value() &&
+            ((e.fill_remaining && existing->size_mb == -1) ||
+             (e.size_mb.has_value() && existing->size_mb == *e.size_mb));
+        actions.push_back({&e, same_geometry ? Action::Kind::kPreserve : Action::Kind::kRecreate});
+    }
+
+    // Pass 2: realise. Remove partitions being recreated (but never skips or
+    // preserves), ensure the extended container, then add fresh entries.
+    for (const auto& a : actions)
+        if (a.kind == Action::Kind::kRecreate) disk.remove_partition(a.entry->partition_index());
+    if (needs_extended && disk.find(3) == nullptr && disk.find(4) == nullptr) {
+        Partition ext;
+        ext.index = 3;
+        ext.fs = FsType::kExtended;
+        ext.size_mb = 0;
+        auto st = disk.add_partition(std::move(ext));
+        if (!st.ok()) return Error{"creating extended partition: " + st.error_message()};
+    }
+    for (const auto& a : actions) {
+        const IdeDiskEntry& e = *a.entry;
+        const int idx = e.partition_index();
+        if (a.kind != Action::Kind::kRecreate) {
+            report.preserved.push_back(idx);
+            if (disk.find(idx)->fs == FsType::kFat) report.fat_formatted = true;
+            continue;
+        }
+        auto fs = fs_from_label(e.fs);  // validated in pass 1
+        Partition p;
+        p.index = idx;
+        p.size_mb = e.fill_remaining ? -1 : e.size_mb.value_or(0);
+        p.mount = e.mount;
+        p.bootable = e.bootable;
+        // mkpart creates the table entry; mkpartfs also formats. FAT left
+        // unformatted is the v1 deployment bug.
+        const bool formats = options.use_mkpartfs || fs.value() != FsType::kFat;
+        if (formats && fs.value() != FsType::kNtfs) {
+            p.fs = fs.value();
+            p.generation = 1;
+            if (fs.value() == FsType::kFat) report.fat_formatted = true;
+        } else if (fs.value() == FsType::kNtfs) {
+            // NTFS reservation: systemimager cannot format NTFS; Windows
+            // setup does that later. Table entry only.
+            p.fs = FsType::kEmpty;
+        } else {
+            p.fs = FsType::kEmpty;  // unformatted FAT reservation
+        }
+        auto st = disk.add_partition(std::move(p));
+        if (!st.ok()) return Error{"creating " + e.device + ": " + st.error_message()};
+        report.created.push_back(idx);
+    }
+    return report;
+}
+
+}  // namespace hc::deploy

@@ -1,0 +1,93 @@
+// OSCAR/systemimager disk description files (ide.disk).
+//
+// OSCAR builds compute-node images with systemimager; ide.disk declares the
+// partition plan the generated oscarimage.master script realises. The paper
+// shows the v2 file (Fig 14) with the new `skip` label its patched
+// systemimager understands — the Windows partition is declared but never
+// touched, which is what makes independent reimaging possible.
+//
+//   /dev/sda1 16000 skip
+//   /dev/sda2 100 ext3 /boot defaults bootable
+//   /dev/sda5 512 swap
+//   /dev/sda6 * ext3 / defaults
+//   /dev/shm - tmpfs /dev/shm defaults
+//   nfs_oscar:/home - nfs /home rw
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/disk.hpp"
+#include "util/result.hpp"
+
+namespace hc::deploy {
+
+struct IdeDiskEntry {
+    std::string device;   ///< "/dev/sda1", "/dev/shm", "nfs_oscar:/home"
+    std::optional<std::int64_t> size_mb;  ///< absent for '*' and '-'
+    bool fill_remaining = false;          ///< '*'
+    std::string fs;       ///< "ext3", "swap", "fat", "skip", "ntfs", "tmpfs", "nfs"
+    std::string mount;
+    std::string options;  ///< "defaults", "rw", ...
+    bool bootable = false;
+
+    /// 1-based sdaN partition index; 0 for non-disk rows (tmpfs, nfs).
+    [[nodiscard]] int partition_index() const;
+
+    /// Rows describing a real on-disk partition (as opposed to tmpfs/nfs
+    /// mounts that ride along in the same file).
+    [[nodiscard]] bool is_disk_partition() const { return partition_index() > 0; }
+};
+
+struct IdeDiskFile {
+    std::vector<IdeDiskEntry> entries;
+
+    [[nodiscard]] static util::Result<IdeDiskFile> parse(const std::string& text);
+    [[nodiscard]] std::string emit() const;
+
+    [[nodiscard]] const IdeDiskEntry* find_device(const std::string& device) const;
+
+    /// Fig 14 verbatim: the v2 standard layout.
+    [[nodiscard]] static IdeDiskFile v2_standard();
+
+    /// The v1 hand-edited layout (§III.C.1): Windows NTFS reservation,
+    /// /boot, swap, the dual-boot FAT partition, and / — the edits an admin
+    /// had to redo "each time administrator rebuilds the node image".
+    [[nodiscard]] static IdeDiskFile v1_manual(std::int64_t windows_mb = 150'000);
+};
+
+/// Capabilities of the systemimager/systeminstaller stack on the head node.
+/// Stock OSCAR 5.1b2 has none of the patches; dualboot-oscar v2 patches all
+/// three in (§IV.B.1), and v1 required the admin to hand-edit the generated
+/// script to the same effect (§III.C.1).
+struct SystemImagerOptions {
+    bool skip_label_supported = false;  ///< v2 patch: honour `skip` rows
+    bool use_mkpartfs = false;          ///< v1 manual edit / v2 patch: format FAT
+    bool rsync_fat_flags = false;       ///< --modify-window=1 --size-only for FAT sync
+};
+
+/// What applying an ide.disk to a disk did.
+struct ApplyReport {
+    std::vector<int> created;    ///< partition indices newly created/reformatted
+    std::vector<int> preserved;  ///< indices left untouched (skip or identical)
+    bool fat_formatted = false;  ///< the FAT partition ended up usable
+};
+
+/// Realise an ide.disk plan on a disk (what oscarimage.master does).
+///
+/// Per-partition semantics:
+///  * `skip`  — partition must already exist; left untouched. Errors if the
+///              stack lacks the skip patch (stock systemimager chokes).
+///  * same index/size/fs as an existing partition — table entry recreated,
+///              contents preserved (mkpart does not format).
+///  * anything else — (re)created and formatted; old contents lost. FAT is
+///              only *formatted* when use_mkpartfs is set; otherwise the
+///              partition exists but is unusable (the v1 bug the manual
+///              mkpart->mkpartfs edit fixed).
+[[nodiscard]] util::Result<ApplyReport> apply_ide_disk(cluster::Disk& disk,
+                                                       const IdeDiskFile& plan,
+                                                       const SystemImagerOptions& options);
+
+}  // namespace hc::deploy

@@ -1,0 +1,42 @@
+// oscarimage.master generation.
+//
+// systemimager turns ide.disk into a deployment shell script
+// (oscarimage.master). In v1 the admin had to re-edit that generated script
+// after *every* image rebuild (§III.C.1): replace mkpart with mkpartfs so
+// the FAT partition is actually formatted, add rsync flags that can sync
+// FAT, and strip the Windows-partition fstab/umount lines that would error.
+// v2 patches systemimager/systeminstaller so the generated script is right
+// the first time. This module renders both generations so the deployment
+// benches can diff them and count the manual edits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "deploy/ide_disk.hpp"
+
+namespace hc::deploy {
+
+/// Render the deployment script for a plan under the given stack
+/// capabilities. Stock output (all options false) reproduces the v1
+/// pre-edit state, including its three classes of bugs.
+[[nodiscard]] std::string generate_master_script(const IdeDiskFile& plan,
+                                                 const SystemImagerOptions& options);
+
+/// One manual fix the v1 admin applies to a freshly generated script.
+struct ManualEdit {
+    std::string description;
+    std::string before;  ///< text fragment replaced
+    std::string after;
+};
+
+/// The §III.C.1 edit list, in order.
+[[nodiscard]] std::vector<ManualEdit> v1_manual_edits();
+
+/// Apply the v1 manual edits to a stock script (what the admin did by hand).
+/// Returns the edited script and appends a record of applied edits.
+[[nodiscard]] std::string apply_manual_edits(std::string script,
+                                             const std::vector<ManualEdit>& edits,
+                                             std::vector<std::string>* applied = nullptr);
+
+}  // namespace hc::deploy

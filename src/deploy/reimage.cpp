@@ -1,0 +1,180 @@
+#include "deploy/reimage.hpp"
+
+#include "boot/boot_control.hpp"
+#include "boot/disk_layouts.hpp"
+#include "boot/grub_config.hpp"
+#include "deploy/master_script.hpp"
+#include "util/errors.hpp"
+
+namespace hc::deploy {
+
+using cluster::Disk;
+using cluster::FsType;
+using cluster::MbrCode;
+using cluster::Node;
+using cluster::Partition;
+using util::Error;
+
+const char* middleware_version_name(MiddlewareVersion v) {
+    return v == MiddlewareVersion::kV1 ? "dualboot-oscar v1.0" : "dualboot-oscar v2.0";
+}
+
+void AdminEffortLog::record(std::string description, bool manual) {
+    actions_.push_back(AdminAction{std::move(description), manual});
+}
+
+int AdminEffortLog::manual_count() const {
+    int count = 0;
+    for (const auto& a : actions_)
+        if (a.manual) ++count;
+    return count;
+}
+
+int AdminEffortLog::automated_count() const {
+    return static_cast<int>(actions_.size()) - manual_count();
+}
+
+bool linux_intact(const Disk& disk) {
+    const Partition* boot = nullptr;
+    const Partition* root = nullptr;
+    for (const auto& p : disk.partitions()) {
+        if (p.fs != FsType::kExt3 || p.generation == 0) continue;
+        if (p.mount == "/boot") boot = &p;
+        if (p.mount == "/") root = &p;
+    }
+    return boot != nullptr && root != nullptr;
+}
+
+bool windows_intact(const Disk& disk) {
+    for (const auto& p : disk.partitions())
+        if (p.fs == FsType::kNtfs && p.generation > 0) return true;
+    return false;
+}
+
+Deployer::Deployer(MiddlewareVersion version) : version_(version) {}
+
+SystemImagerOptions Deployer::imager_options() const {
+    SystemImagerOptions opts;
+    if (version_ == MiddlewareVersion::kV2) {
+        opts.skip_label_supported = true;
+        opts.use_mkpartfs = true;
+        opts.rsync_fat_flags = true;
+    }
+    return opts;
+}
+
+NodeDeployResult Deployer::deploy_windows(Node& node) {
+    NodeDeployResult result;
+    Disk& disk = node.disk();
+    const bool had_linux = linux_intact(disk);
+    const bool had_windows = windows_intact(disk);
+
+    DiskpartScript script;
+    if (version_ == MiddlewareVersion::kV1) {
+        // v1 patched diskpart.txt is the sized variant, but it still begins
+        // with `clean`: "Because this diskpart.txt script wipes out the
+        // whole disk, the Windows partition has to be installed first, and
+        // each time during reinstallation of Windows, Linux needs to be
+        // reinstalled as well."
+        script = DiskpartScript::sized(150'000);
+        log_.record("run Windows HPC deployment (full-wipe sized diskpart.txt)", false);
+    } else if (had_windows && had_linux) {
+        // v2 reimage-in-place: swap in the Fig 15 script.
+        script = DiskpartScript::reimage_only();
+        log_.record("swap diskpart.txt for reimage variant and redeploy Windows", false);
+    } else {
+        // First install on a blank (or Linux-less) disk: Fig 10 sized
+        // script. v2 reserves 16GB per the Fig 14 plan.
+        script = DiskpartScript::sized(16'000);
+        log_.record("run Windows HPC first deployment (sized diskpart.txt)", false);
+    }
+
+    auto effect = apply_diskpart(disk, script);
+    if (!effect) {
+        result.status = Error{"deploy_windows: " + effect.error_message()};
+        return result;
+    }
+    result.used_full_wipe = effect.value().wiped_disk;
+
+    // Windows setup stamps its own MBR code — this is the write that
+    // "always rewrites MBR and damages GRUB which boots Linux" (§IV.A).
+    disk.mbr().code = MbrCode::kWindowsMbr;
+    disk.mbr().grub_config_partition = 0;
+
+    result.destroyed_linux = had_linux && !linux_intact(disk);
+    result.destroyed_windows = false;
+    if (result.destroyed_linux)
+        log_.record("Linux install lost to Windows full-wipe deployment; reinstall required",
+                    false);
+    return result;
+}
+
+NodeDeployResult Deployer::deploy_linux(Node& node) {
+    NodeDeployResult result;
+    Disk& disk = node.disk();
+    const bool had_windows = windows_intact(disk);
+
+    IdeDiskFile plan;
+    SystemImagerOptions options = imager_options();
+    if (version_ == MiddlewareVersion::kV1) {
+        plan = IdeDiskFile::v1_manual();
+        // The per-rebuild manual ritual (§III.C.1): edit ide.disk, then fix
+        // the generated oscarimage.master by hand.
+        log_.record("edit ide.disk: add Windows and dual-boot FAT partitions", true);
+        std::vector<std::string> applied;
+        const std::string stock = generate_master_script(plan, SystemImagerOptions{});
+        (void)apply_manual_edits(stock, v1_manual_edits(), &applied);
+        for (const auto& description : applied) log_.record(description, true);
+        // The edited script behaves as if the stack had the capabilities.
+        options.use_mkpartfs = true;
+        options.rsync_fat_flags = true;
+    } else {
+        plan = IdeDiskFile::v2_standard();
+        if (disk.find(1) == nullptr) {
+            // `skip` needs the Windows partition to exist. Reserve the slot
+            // unformatted — the patched stack does this automatically when
+            // deploying onto a blank disk.
+            Partition reserve;
+            reserve.index = 1;
+            reserve.fs = FsType::kEmpty;
+            reserve.size_mb = 16'000;
+            auto st = disk.add_partition(std::move(reserve));
+            if (!st.ok()) {
+                result.status = Error{"deploy_linux: reserving sda1: " + st.error_message()};
+                return result;
+            }
+            log_.record("reserve unformatted Windows slot (sda1) on blank disk", false);
+        }
+        log_.record("run patched OSCAR deployment (skip label, auto-generated script)", false);
+    }
+
+    auto report = apply_ide_disk(disk, plan, options);
+    if (!report) {
+        result.status = Error{"deploy_linux: " + report.error_message()};
+        return result;
+    }
+
+    if (version_ == MiddlewareVersion::kV1) {
+        // OSCAR installs GRUB stage1 into the MBR (overwriting the Windows
+        // MBR — intended: GRUB chainloads Windows from its menu), writes the
+        // Fig 2 redirect into /boot, and stages the FAT control files.
+        disk.mbr().code = MbrCode::kGrubStage1;
+        disk.mbr().grub_config_partition = boot::kV1BootPartition;
+        Partition* boot_part = disk.find(boot::kV1BootPartition);
+        util::ensure(boot_part != nullptr, "deploy_linux: /boot partition missing after apply");
+        boot_part->files.write(boot::kMenuLstPath, boot::make_redirect_menu().emit());
+        Partition* fat = disk.find(boot::kV1FatPartition);
+        util::ensure(fat != nullptr, "deploy_linux: FAT partition missing after apply");
+        boot::stage_control_files(fat->files);
+        log_.record("install GRUB to MBR and stage FAT control files", false);
+    } else {
+        log_.record("leave MBR untouched (v2 nodes PXE-boot)", false);
+    }
+
+    result.destroyed_windows = had_windows && !windows_intact(disk);
+    if (result.destroyed_windows)
+        log_.record("Windows install lost during Linux deployment", false);
+    return result;
+}
+
+}  // namespace hc::deploy

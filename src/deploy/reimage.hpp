@@ -1,0 +1,88 @@
+// The reimaging engine: deploy/reimage nodes under v1 or v2 rules, with
+// admin-effort accounting.
+//
+// The whole point of dualboot-oscar v2's deployment work (§IV.B) is captured
+// by two invariants this module lets the benches measure:
+//  * v1: Windows (re)deployment wipes the whole disk -> Linux must be
+//    reinstalled afterwards, and every Linux image rebuild needs manual
+//    edits to the generated script. Windows reimaging also rewrites the MBR
+//    and "damages GRUB which boots Linux".
+//  * v2: either OS reimages in place without corrupting the other, zero
+//    manual edits, and the MBR is irrelevant because nodes PXE-boot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "deploy/diskpart.hpp"
+#include "deploy/ide_disk.hpp"
+#include "util/result.hpp"
+
+namespace hc::deploy {
+
+enum class MiddlewareVersion { kV1, kV2 };
+
+[[nodiscard]] const char* middleware_version_name(MiddlewareVersion v);
+
+struct AdminAction {
+    std::string description;
+    bool manual = false;  ///< required a human at a keyboard
+};
+
+/// Ledger of everything deployment did, split manual vs automated — the E6
+/// experiment's raw data.
+class AdminEffortLog {
+public:
+    void record(std::string description, bool manual);
+    [[nodiscard]] int manual_count() const;
+    [[nodiscard]] int automated_count() const;
+    [[nodiscard]] const std::vector<AdminAction>& actions() const { return actions_; }
+    void clear() { actions_.clear(); }
+
+private:
+    std::vector<AdminAction> actions_;
+};
+
+struct NodeDeployResult {
+    util::Status status = util::Status::ok_status();
+    bool destroyed_linux = false;    ///< a previously intact Linux install was lost
+    bool destroyed_windows = false;
+    bool used_full_wipe = false;     ///< the diskpart script ran `clean`
+};
+
+/// Is a bootable Linux install present (formatted /boot + root ext3)?
+[[nodiscard]] bool linux_intact(const cluster::Disk& disk);
+/// Is a bootable Windows install present (formatted NTFS system partition)?
+[[nodiscard]] bool windows_intact(const cluster::Disk& disk);
+
+class Deployer {
+public:
+    explicit Deployer(MiddlewareVersion version);
+
+    [[nodiscard]] MiddlewareVersion version() const { return version_; }
+    [[nodiscard]] AdminEffortLog& log() { return log_; }
+    [[nodiscard]] const AdminEffortLog& log() const { return log_; }
+
+    /// The systemimager capabilities in effect. v2 has the patches baked in;
+    /// v1 reports a stock stack (the per-rebuild manual edits are recorded
+    /// when deploy_linux runs).
+    [[nodiscard]] SystemImagerOptions imager_options() const;
+
+    /// Deploy or reimage Windows on a node. v1 always runs the full-wipe
+    /// sized script (Fig 10); v2 uses Fig 10 for first install and the
+    /// partition-scoped Fig 15 when both OSes are already present.
+    [[nodiscard]] NodeDeployResult deploy_windows(cluster::Node& node);
+
+    /// Deploy or reimage Linux. v1 replays the manual-edit ritual each
+    /// time and installs GRUB to the MBR + the FAT control files; v2 is a
+    /// zero-touch patched run that skips the Windows partition and leaves
+    /// the MBR alone.
+    [[nodiscard]] NodeDeployResult deploy_linux(cluster::Node& node);
+
+private:
+    MiddlewareVersion version_;
+    AdminEffortLog log_;
+};
+
+}  // namespace hc::deploy

@@ -1,0 +1,113 @@
+#include "grid/gateway.hpp"
+
+#include "util/errors.hpp"
+
+namespace hc::grid {
+
+const char* routing_rule_name(RoutingRule rule) {
+    switch (rule) {
+        case RoutingRule::kFirstCapable: return "first-capable";
+        case RoutingRule::kRoundRobin: return "round-robin";
+        case RoutingRule::kLeastPressure: return "least-pressure";
+    }
+    return "?";
+}
+
+GridGateway::GridGateway(sim::Engine& engine, RoutingRule rule)
+    : engine_(engine), rule_(rule) {}
+
+GridMember& GridGateway::add_member(std::unique_ptr<GridMember> member) {
+    util::require(member != nullptr, "add_member: null member");
+    members_.push_back(std::move(member));
+    return *members_.back();
+}
+
+void GridGateway::start() {
+    util::require(!members_.empty(), "GridGateway::start: no members");
+    for (auto& member : members_) member->start();
+}
+
+GridMember& GridGateway::member(std::size_t index) {
+    util::require(index < members_.size(), "GridGateway::member: index out of range");
+    return *members_[index];
+}
+
+GridMember* GridGateway::route(const workload::JobSpec& spec) {
+    GridMember* chosen = nullptr;
+    switch (rule_) {
+        case RoutingRule::kFirstCapable:
+            for (auto& member : members_) {
+                if (member->capable(spec.os)) {
+                    chosen = member.get();
+                    break;
+                }
+            }
+            break;
+        case RoutingRule::kRoundRobin: {
+            for (std::size_t probe = 0; probe < members_.size(); ++probe) {
+                auto& member = members_[(rr_cursor_ + probe) % members_.size()];
+                if (member->capable(spec.os)) {
+                    chosen = member.get();
+                    rr_cursor_ = (rr_cursor_ + probe + 1) % members_.size();
+                    break;
+                }
+            }
+            break;
+        }
+        case RoutingRule::kLeastPressure: {
+            double best_pressure = 0;
+            int best_free = -1;
+            for (auto& member : members_) {
+                if (!member->capable(spec.os)) continue;
+                const MemberLoad load = member->load(spec.os);
+                const double pressure = load.pressure();
+                if (chosen == nullptr || pressure < best_pressure ||
+                    (pressure == best_pressure && load.free_cpus > best_free)) {
+                    chosen = member.get();
+                    best_pressure = pressure;
+                    best_free = load.free_cpus;
+                }
+            }
+            break;
+        }
+    }
+    if (chosen == nullptr) {
+        ++stats_.rejected;
+        engine_.logger().warn("qgg/gateway",
+                              "no member can serve os=" + std::string(os_name(spec.os)));
+        return nullptr;
+    }
+    ++stats_.routed;
+    chosen->submit(spec);
+    return chosen;
+}
+
+void GridGateway::replay(const std::vector<workload::JobSpec>& trace) {
+    for (const auto& spec : trace) {
+        const sim::TimePoint at = spec.submit < engine_.now() ? engine_.now() : spec.submit;
+        engine_.schedule_at(at, [this, spec] { (void)route(spec); });
+    }
+}
+
+workload::Summary GridGateway::grid_summary(double horizon_s) {
+    workload::MetricsCollector merged;
+    workload::ClusterCounters counters;
+    for (auto& member : members_) {
+        for (const auto& outcome : member->metrics().outcomes()) merged.add(outcome);
+        const auto member_counters = member->cluster().counters();
+        counters.total_cores += member_counters.total_cores;
+        counters.cores_per_node = member_counters.cores_per_node;
+        counters.os_switches += member_counters.os_switches;
+        counters.reboots += member_counters.reboots;
+        counters.reboot_downtime_s += member_counters.reboot_downtime_s;
+    }
+    workload::Summary summary = merged.summarise(counters, horizon_s);
+    summary.submitted = stats_.routed + stats_.rejected;
+    summary.completion_rate =
+        summary.submitted > 0
+            ? static_cast<double>(summary.completed) / static_cast<double>(summary.submitted)
+            : 0;
+    return summary;
+}
+
+}  // namespace hc::grid

@@ -1,0 +1,65 @@
+// The campus-grid gateway: routes incoming jobs to member clusters.
+//
+// Models the QGG submission front end. Three routing rules, from dumbest to
+// the one a real grid broker approximates:
+//   kFirstCapable — first member that can run the job's OS
+//   kRoundRobin   — rotate among capable members
+//   kLeastPressure— member with the least queued-work-per-capacity for the
+//                   job's OS (free capacity breaks ties)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "grid/member.hpp"
+#include "workload/metrics.hpp"
+
+namespace hc::grid {
+
+enum class RoutingRule { kFirstCapable, kRoundRobin, kLeastPressure };
+
+[[nodiscard]] const char* routing_rule_name(RoutingRule rule);
+
+struct GatewayStats {
+    std::size_t routed = 0;
+    std::size_t rejected = 0;  ///< no capable member
+};
+
+class GridGateway {
+public:
+    GridGateway(sim::Engine& engine, RoutingRule rule);
+
+    GridGateway(const GridGateway&) = delete;
+    GridGateway& operator=(const GridGateway&) = delete;
+
+    /// Register a member. The gateway owns it.
+    GridMember& add_member(std::unique_ptr<GridMember> member);
+
+    /// Power up every member.
+    void start();
+
+    [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+    [[nodiscard]] GridMember& member(std::size_t index);
+
+    /// Route one job now. Returns the chosen member, or nullptr if no member
+    /// can serve the job's OS (counted as rejected).
+    GridMember* route(const workload::JobSpec& spec);
+
+    /// Schedule a whole trace through the gateway by submit time.
+    void replay(const std::vector<workload::JobSpec>& trace);
+
+    [[nodiscard]] const GatewayStats& stats() const { return stats_; }
+
+    /// Merge every member's job outcomes plus cluster counters into one
+    /// grid-wide summary over `horizon_s`.
+    [[nodiscard]] workload::Summary grid_summary(double horizon_s);
+
+private:
+    sim::Engine& engine_;
+    RoutingRule rule_;
+    std::vector<std::unique_ptr<GridMember>> members_;
+    std::size_t rr_cursor_ = 0;
+    GatewayStats stats_;
+};
+
+}  // namespace hc::grid

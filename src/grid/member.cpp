@@ -1,0 +1,86 @@
+#include "grid/member.hpp"
+
+#include "util/errors.hpp"
+
+namespace hc::grid {
+
+using cluster::OsType;
+
+const char* grid_member_kind_name(GridMember::Kind kind) {
+    switch (kind) {
+        case GridMember::Kind::kDedicatedLinux: return "dedicated-linux";
+        case GridMember::Kind::kDedicatedWindows: return "dedicated-windows";
+        case GridMember::Kind::kHybrid: return "hybrid (dualboot-oscar)";
+    }
+    return "?";
+}
+
+GridMember::GridMember(sim::Engine& engine, std::string name, Kind kind, int nodes,
+                       core::PolicyKind hybrid_policy)
+    : name_(std::move(name)), kind_(kind) {
+    util::require(nodes > 0, "GridMember: nodes must be positive");
+    core::HybridConfig config;
+    config.cluster.node_count = nodes;
+    // Distinct domains/head hostnames keep the members' simulated LANs and
+    // logs tellable apart.
+    config.cluster.domain = name_ + ".qgg.hud.ac.uk";
+    config.cluster.linux_head_host = name_ + ".qgg.hud.ac.uk";
+    config.cluster.windows_head_host = "win-" + name_ + ".qgg.hud.ac.uk";
+    switch (kind_) {
+        case Kind::kDedicatedLinux:
+            config.policy = core::PolicyKind::kNever;
+            config.initial_windows_nodes = 0;
+            break;
+        case Kind::kDedicatedWindows:
+            config.policy = core::PolicyKind::kNever;
+            config.initial_windows_nodes = nodes;
+            break;
+        case Kind::kHybrid:
+            config.policy = hybrid_policy;
+            config.fair_share_cooldown = 2;
+            config.initial_windows_nodes = 0;
+            config.poll_interval = sim::minutes(10);
+            break;
+    }
+    hybrid_ = std::make_unique<core::HybridCluster>(engine, config);
+}
+
+void GridMember::start() {
+    hybrid_->start();
+    hybrid_->settle();
+}
+
+bool GridMember::capable(OsType os) const {
+    switch (kind_) {
+        case Kind::kDedicatedLinux: return os == OsType::kLinux;
+        case Kind::kDedicatedWindows: return os == OsType::kWindows;
+        case Kind::kHybrid: return os == OsType::kLinux || os == OsType::kWindows;
+    }
+    return false;
+}
+
+MemberLoad GridMember::load(OsType os) {
+    MemberLoad load;
+    if (!capable(os)) return load;
+    // Capable capacity: for the hybrid, every node can in principle serve
+    // either OS; for dedicated members it is the whole cluster anyway.
+    load.capable_cpus = hybrid_->cluster().total_cores();
+    if (os == OsType::kLinux) {
+        load.free_cpus = hybrid_->pbs().free_cpus();
+        for (const auto* job : hybrid_->pbs().queued_jobs())
+            load.queued_cpus += job->resources.total_cpus();
+    } else {
+        load.free_cpus = hybrid_->winhpc().free_cores();
+        for (const auto* job : hybrid_->winhpc().get_jobs(winhpc::HpcJobState::kQueued))
+            load.queued_cpus += job->needed_cpus(hybrid_->config().cluster.cores_per_node);
+    }
+    return load;
+}
+
+void GridMember::submit(const workload::JobSpec& spec) {
+    util::require(capable(spec.os), "GridMember::submit: member cannot serve this OS");
+    ++jobs_received_;
+    hybrid_->submit_now(spec);
+}
+
+}  // namespace hc::grid

@@ -1,0 +1,71 @@
+// Campus-grid member clusters.
+//
+// The paper's cluster does not live alone: "This hybrid cluster is utilised
+// as part of the University of Huddersfield campus grid" (the Queensgate
+// Grid, QGG — ref [2] describes it as a grid of OSCAR clusters plus Windows
+// resources). This module models grid members as schedulable pools a gateway
+// can route jobs to: dedicated single-OS clusters and the dualboot-oscar
+// hybrid, each wrapping a fully simulated HybridCluster.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/hybrid.hpp"
+
+namespace hc::grid {
+
+/// Point-in-time load figures a gateway uses for routing.
+struct MemberLoad {
+    int capable_cpus = 0;   ///< cpus that can (eventually) serve the given OS
+    int free_cpus = 0;      ///< cpus idle right now on that OS
+    int queued_cpus = 0;    ///< cpus requested by jobs waiting for that OS
+    /// Routing pressure: waiting work per unit of capable capacity.
+    [[nodiscard]] double pressure() const {
+        return capable_cpus > 0 ? static_cast<double>(queued_cpus) /
+                                      static_cast<double>(capable_cpus)
+                                : 1e9;
+    }
+};
+
+/// One member cluster of the campus grid.
+class GridMember {
+public:
+    /// kind: dedicated clusters serve exactly one OS; the hybrid serves both.
+    enum class Kind { kDedicatedLinux, kDedicatedWindows, kHybrid };
+
+    GridMember(sim::Engine& engine, std::string name, Kind kind, int nodes,
+               core::PolicyKind hybrid_policy = core::PolicyKind::kFairShare);
+
+    GridMember(const GridMember&) = delete;
+    GridMember& operator=(const GridMember&) = delete;
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] Kind kind() const { return kind_; }
+
+    /// Bring the member online (power on, start daemons, settle).
+    void start();
+
+    /// Can this member ever run a job needing `os`?
+    [[nodiscard]] bool capable(cluster::OsType os) const;
+
+    /// Current load as seen for the given OS.
+    [[nodiscard]] MemberLoad load(cluster::OsType os);
+
+    /// Submit (the gateway routes here). Requires capable(spec.os).
+    void submit(const workload::JobSpec& spec);
+
+    [[nodiscard]] core::HybridCluster& cluster() { return *hybrid_; }
+    [[nodiscard]] workload::MetricsCollector& metrics() { return hybrid_->metrics(); }
+    [[nodiscard]] std::size_t jobs_received() const { return jobs_received_; }
+
+private:
+    std::string name_;
+    Kind kind_;
+    std::unique_ptr<core::HybridCluster> hybrid_;
+    std::size_t jobs_received_ = 0;
+};
+
+[[nodiscard]] const char* grid_member_kind_name(GridMember::Kind kind);
+
+}  // namespace hc::grid

@@ -1,0 +1,85 @@
+// PBS job records.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pbs/resource_list.hpp"
+#include "sim/time.hpp"
+
+namespace hc::pbs {
+
+/// TORQUE job states (the subset the paper's cluster exercises).
+enum class JobState {
+    kQueued,     ///< Q
+    kRunning,    ///< R
+    kExiting,    ///< E
+    kCompleted,  ///< C
+    kHeld,       ///< H
+};
+
+[[nodiscard]] char job_state_char(JobState s);
+
+/// One "host/cpu" element of an exec_host string ("node16.../3").
+struct ExecSlot {
+    std::string host;
+    int cpu = 0;
+};
+
+/// How a job behaves once it runs. Real PBS executes a shell script; the
+/// simulation attaches the script's *effects* instead: a natural run time
+/// and an optional on_start hook (switch jobs use it to rewrite boot
+/// configs and reboot their node).
+struct JobBehavior {
+    sim::Duration run_time = sim::seconds(1);
+    std::function<void(struct Job&)> on_start;
+    std::function<void(struct Job&)> on_finish;  ///< fires on any terminal transition
+};
+
+/// Why a job reached kCompleted.
+enum class CompletionKind {
+    kNone,          ///< not completed yet
+    kNormal,
+    kDeleted,       ///< qdel
+    kNodeFailure,   ///< executing node went down (and job was not rerunnable)
+    kWalltime,      ///< killed at its walltime limit
+};
+
+[[nodiscard]] const char* completion_kind_name(CompletionKind k);
+
+struct Job {
+    std::string id;         ///< "1185.eridani.qgg.hud.ac.uk"
+    std::uint64_t seq = 0;  ///< numeric part of the id
+    std::string name;
+    std::string owner;      ///< "sliang@eridani.qgg.hud.ac.uk"
+    JobState state = JobState::kQueued;
+    std::string queue;
+    std::string server;
+    ResourceList resources;
+    bool rerunnable = true;
+    bool join_oe = false;
+    std::string output_path;
+    std::vector<std::string> variable_list;  ///< "PBS_O_HOME=/home/sliang", ...
+    int priority = 0;
+
+    std::int64_t qtime_unix = 0;   ///< submission time
+    std::int64_t stime_unix = 0;   ///< start time (0 = never started)
+    std::int64_t etime_unix = 0;   ///< end time (0 = not ended)
+
+    std::vector<ExecSlot> exec_slots;     ///< filled while running
+    std::vector<int> exec_node_indices;   ///< cluster node indices allocated
+    CompletionKind completion = CompletionKind::kNone;
+    int requeue_count = 0;
+
+    JobBehavior behavior;
+
+    /// "node16.../3+node16.../2+..." as qstat -f prints it (Fig 8).
+    [[nodiscard]] std::string exec_host_string() const;
+
+    /// Time spent waiting in the queue (so far, or total if started).
+    [[nodiscard]] std::int64_t wait_seconds(std::int64_t now_unix) const;
+};
+
+}  // namespace hc::pbs

@@ -1,0 +1,76 @@
+#include "pbs/job_script.hpp"
+
+#include "util/strings.hpp"
+
+namespace hc::pbs {
+
+using util::Error;
+using util::Result;
+
+Result<JobScript> JobScript::parse(const std::string& text) {
+    JobScript script;
+    bool saw_resources = false;
+    int line_no = 0;
+    for (const std::string& raw : util::split_lines(text)) {
+        ++line_no;
+        const std::string line(util::trim(raw));
+        if (line.rfind("#PBS", 0) != 0) {
+            if (line.rfind("#!", 0) == 0) continue;  // shebang
+            if (!line.empty() && line.front() == '#') continue;  // plain comment
+            if (!line.empty()) script.body.push_back(line);
+            continue;
+        }
+        const auto tokens = util::split_ws(line.substr(4));
+        if (tokens.empty()) return Error{"empty #PBS directive", line_no};
+        const std::string& flag = tokens[0];
+        auto value_of = [&](std::size_t i) -> std::string {
+            // Re-join everything after the flag so values with spaces work.
+            std::vector<std::string> rest(tokens.begin() + static_cast<long>(i), tokens.end());
+            return util::join(rest, " ");
+        };
+        if (flag == "-l") {
+            if (tokens.size() < 2) return Error{"#PBS -l needs a value", line_no};
+            auto rl = ResourceList::parse(value_of(1));
+            if (!rl) return Error{"#PBS -l: " + rl.error_message(), line_no};
+            script.resources = rl.value();
+            saw_resources = true;
+        } else if (flag == "-N") {
+            if (tokens.size() < 2) return Error{"#PBS -N needs a value", line_no};
+            script.name = value_of(1);
+        } else if (flag == "-q") {
+            if (tokens.size() < 2) return Error{"#PBS -q needs a value", line_no};
+            script.queue = tokens[1];
+        } else if (flag == "-j") {
+            script.join_oe = tokens.size() >= 2 && tokens[1] == "oe";
+        } else if (flag == "-o") {
+            if (tokens.size() < 2) return Error{"#PBS -o needs a value", line_no};
+            script.output_path = tokens[1];
+        } else if (flag == "-r") {
+            if (tokens.size() < 2) return Error{"#PBS -r needs y or n", line_no};
+            if (tokens[1] != "y" && tokens[1] != "n")
+                return Error{"#PBS -r needs y or n, got " + tokens[1], line_no};
+            script.rerunnable = tokens[1] == "y";
+        } else {
+            return Error{"unsupported #PBS flag: " + flag, line_no};
+        }
+    }
+    if (!saw_resources) {
+        // qsub defaults to nodes=1 when no -l is given.
+        script.resources = ResourceList{};
+    }
+    return script;
+}
+
+std::string JobScript::emit() const {
+    std::string out = "#!/bin/bash\n";
+    out += "#PBS -l " + resources.to_string() + "\n";
+    out += "#PBS -N " + name + "\n";
+    if (!queue.empty()) out += "#PBS -q " + queue + "\n";
+    if (join_oe) out += "#PBS -j oe\n";
+    if (!output_path.empty()) out += "#PBS -o " + output_path + "\n";
+    out += std::string("#PBS -r ") + (rerunnable ? "y" : "n") + "\n";
+    for (const auto& line : body) out += line + "\n";
+    return out;
+}
+
+}  // namespace hc::pbs

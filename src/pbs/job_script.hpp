@@ -1,0 +1,42 @@
+// PBS job scripts: the `#PBS` directive format of Fig 4.
+//
+// The middleware's switch orders are themselves job scripts, and the
+// detector reasons about jobs submitted as scripts, so this parser/emitter
+// covers the directives the paper uses:
+//   #PBS -l <resources>   resource request
+//   #PBS -N <name>        job name
+//   #PBS -q <queue>       destination queue
+//   #PBS -j oe            join stdout/stderr
+//   #PBS -o <path>        output path
+//   #PBS -r y|n           rerunnable
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pbs/resource_list.hpp"
+#include "util/result.hpp"
+
+namespace hc::pbs {
+
+struct JobScript {
+    ResourceList resources;
+    std::string name = "STDIN";     ///< qsub's default when -N is absent
+    std::string queue;              ///< empty = server default queue
+    bool join_oe = false;
+    std::string output_path;
+    bool rerunnable = true;         ///< TORQUE default is -r y
+    std::vector<std::string> body;  ///< non-directive script lines, in order
+
+    /// Parse a full script text. Directive lines may appear anywhere before
+    /// the first executable line per qsub semantics; we accept them anywhere
+    /// (qsub -C behaviour differs, but the paper's scripts interleave
+    /// comments and directives, so be liberal).
+    [[nodiscard]] static util::Result<JobScript> parse(const std::string& text);
+
+    /// Render a canonical script (shebang, directives, body).
+    [[nodiscard]] std::string emit() const;
+};
+
+}  // namespace hc::pbs

@@ -1,0 +1,83 @@
+#include "pbs/resource_list.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace hc::pbs {
+
+using util::Error;
+using util::Result;
+
+Result<sim::Duration> parse_walltime(const std::string& text) {
+    const auto parts = util::split(text, ':');
+    if (parts.empty() || parts.size() > 3) return Error{"bad walltime: " + text};
+    std::int64_t total = 0;
+    for (const auto& p : parts) {
+        const long long v = util::parse_uint(std::string(util::trim(p)));
+        if (v < 0) return Error{"bad walltime component: " + p};
+        total = total * 60 + v;
+    }
+    return sim::seconds(static_cast<double>(total));
+}
+
+std::string format_walltime(sim::Duration d) {
+    const std::int64_t s = d.whole_seconds();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%02lld:%02lld:%02lld", static_cast<long long>(s / 3600),
+                  static_cast<long long>((s / 60) % 60), static_cast<long long>(s % 60));
+    return buf;
+}
+
+Result<ResourceList> ResourceList::parse(const std::string& spec) {
+    ResourceList rl;
+    bool saw_nodes = false;
+    for (const auto& item : util::split(spec, ',')) {
+        const std::string entry(util::trim(item));
+        if (entry.empty()) continue;
+        const auto eq = entry.find('=');
+        if (eq == std::string::npos) return Error{"bad resource item: " + entry};
+        const std::string key = entry.substr(0, eq);
+        const std::string value = entry.substr(eq + 1);
+        if (key == "nodes") {
+            // nodes=<count>[:ppn=<n>][:prop]...
+            const auto fields = util::split(value, ':');
+            const long long count = util::parse_uint(fields[0]);
+            if (count <= 0) return Error{"bad node count: " + fields[0]};
+            rl.nodes = static_cast<int>(count);
+            for (std::size_t i = 1; i < fields.size(); ++i) {
+                if (fields[i].rfind("ppn=", 0) == 0) {
+                    const long long ppn = util::parse_uint(fields[i].substr(4));
+                    if (ppn <= 0) return Error{"bad ppn: " + fields[i]};
+                    rl.ppn = static_cast<int>(ppn);
+                } else if (!fields[i].empty()) {
+                    rl.properties.push_back(fields[i]);
+                }
+            }
+            saw_nodes = true;
+        } else if (key == "walltime") {
+            auto wt = parse_walltime(value);
+            if (!wt) return Error{wt.error_message()};
+            rl.walltime = wt.value();
+        } else {
+            return Error{"unsupported resource: " + key};
+        }
+    }
+    if (!saw_nodes) return Error{"resource list missing nodes=..."};
+    return rl;
+}
+
+std::string ResourceList::to_string() const {
+    std::string out = "nodes=" + nodes_spec();
+    if (walltime.has_value()) out += ",walltime=" + format_walltime(*walltime);
+    return out;
+}
+
+std::string ResourceList::nodes_spec() const {
+    std::string out = std::to_string(nodes);
+    if (ppn != 1) out += ":ppn=" + std::to_string(ppn);
+    for (const auto& p : properties) out += ":" + p;
+    return out;
+}
+
+}  // namespace hc::pbs

@@ -1,0 +1,452 @@
+#include "pbs/server.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+
+namespace hc::pbs {
+
+using cluster::Node;
+using cluster::OsType;
+using util::Error;
+using util::Result;
+using util::Status;
+
+const char* node_state_name(NodeState s) {
+    switch (s) {
+        case NodeState::kFree: return "free";
+        case NodeState::kJobExclusive: return "job-exclusive";
+        case NodeState::kDown: return "down";
+        case NodeState::kOffline: return "offline";
+    }
+    return "?";
+}
+
+int NodeRecord::free_cpus() const {
+    int free = 0;
+    for (const auto& owner : cpu_owner)
+        if (owner.empty()) ++free;
+    return free;
+}
+
+int NodeRecord::used_cpus() const { return static_cast<int>(cpu_owner.size()) - free_cpus(); }
+
+bool NodeRecord::reachable() const {
+    return node != nullptr && node->is_up() && node->os() == OsType::kLinux;
+}
+
+NodeState NodeRecord::state() const {
+    if (offline) return NodeState::kOffline;
+    if (!reachable()) return NodeState::kDown;
+    return free_cpus() == 0 ? NodeState::kJobExclusive : NodeState::kFree;
+}
+
+bool NodeRecord::has_properties(const std::vector<std::string>& required) const {
+    for (const auto& want : required)
+        if (std::find(properties.begin(), properties.end(), want) == properties.end())
+            return false;
+    return true;
+}
+
+PbsServer::PbsServer(sim::Engine& engine, PbsServerConfig config)
+    : engine_(engine), config_(std::move(config)), next_seq_(config_.first_job_seq) {
+    util::require(!config_.server_name.empty(), "PbsServer: server_name required");
+}
+
+void PbsServer::attach_node(Node& node) {
+    util::require(record_for(node) == nullptr, "PbsServer::attach_node: node already attached");
+    NodeRecord rec;
+    rec.node = &node;
+    rec.cpu_owner.assign(static_cast<std::size_t>(node.np()), std::string{});
+    rec.idle_since_unix = engine_.unix_now();
+    nodes_.push_back(std::move(rec));
+    node.on_up([this](Node& n, OsType os) { handle_node_up(n, os); });
+    node.on_down([this](Node& n) { handle_node_down(n); });
+}
+
+NodeRecord* PbsServer::record_for(const Node& node) {
+    for (auto& rec : nodes_)
+        if (rec.node == &node) return &rec;
+    return nullptr;
+}
+
+std::string PbsServer::make_job_id() {
+    return std::to_string(next_seq_++) + "." + config_.server_name;
+}
+
+Result<std::string> PbsServer::qsub(const std::string& script_text, const std::string& owner,
+                                    JobBehavior behavior) {
+    auto script = JobScript::parse(script_text);
+    if (!script) return Error{"qsub: " + script.error_message()};
+    return submit(script.value(), owner, std::move(behavior));
+}
+
+Result<std::string> PbsServer::submit(const JobScript& script, const std::string& owner,
+                                      JobBehavior behavior) {
+    if (owner.empty()) return Error{"submit: owner required"};
+    auto job = std::make_unique<Job>();
+    job->seq = next_seq_;
+    job->id = make_job_id();
+    job->name = script.name;
+    job->owner = owner.find('@') != std::string::npos
+                     ? owner
+                     : owner + "@" + config_.server_name;
+    job->queue = script.queue.empty() ? config_.default_queue : script.queue;
+    job->server = config_.server_name;
+    job->resources = script.resources;
+    job->rerunnable = script.rerunnable;
+    job->join_oe = script.join_oe;
+    job->output_path = script.output_path;
+    job->qtime_unix = engine_.unix_now();
+    job->behavior = std::move(behavior);
+    job->variable_list = {"PBS_O_HOME=/home/" + owner.substr(0, owner.find('@')),
+                          "PBS_O_LANG=en_US.UTF-8",
+                          "PBS_O_PATH=/usr/kerberos/bin:/usr/local/bin:/usr/bin:/bin"};
+
+    const std::string id = job->id;
+    queue_order_.push_back(id);
+    jobs_[id] = std::move(job);
+    ++stats_.submitted;
+    engine_.logger().debug("pbs/" + config_.server_name, "qsub " + id);
+    emit_event(JobEvent::kQueued, *jobs_[id]);
+    request_cycle();
+    return id;
+}
+
+Status PbsServer::qdel(const std::string& job_id) {
+    Job* job = find_job(job_id);
+    if (job == nullptr) return Error{"qdel: unknown job " + job_id};
+    switch (job->state) {
+        case JobState::kQueued:
+        case JobState::kHeld:
+            queue_order_.erase(std::remove(queue_order_.begin(), queue_order_.end(), job_id),
+                               queue_order_.end());
+            finish_job(*job, CompletionKind::kDeleted);
+            return Status::ok_status();
+        case JobState::kRunning:
+        case JobState::kExiting:
+            finish_job(*job, CompletionKind::kDeleted);
+            return Status::ok_status();
+        case JobState::kCompleted:
+            return Error{"qdel: job already completed: " + job_id};
+    }
+    return Error{"qdel: bad state"};
+}
+
+Status PbsServer::qhold(const std::string& job_id) {
+    Job* job = find_job(job_id);
+    if (job == nullptr) return Error{"qhold: unknown job " + job_id};
+    if (job->state != JobState::kQueued)
+        return Error{"qhold: job not in a holdable state: " + job_id};
+    job->state = JobState::kHeld;
+    engine_.logger().debug("pbs/" + config_.server_name, "hold " + job_id);
+    // Holding the head job can unblock the rest of a strict-FIFO queue.
+    request_cycle();
+    return Status::ok_status();
+}
+
+Status PbsServer::qrls(const std::string& job_id) {
+    Job* job = find_job(job_id);
+    if (job == nullptr) return Error{"qrls: unknown job " + job_id};
+    if (job->state != JobState::kHeld) return Error{"qrls: job not held: " + job_id};
+    job->state = JobState::kQueued;
+    engine_.logger().debug("pbs/" + config_.server_name, "release " + job_id);
+    request_cycle();
+    return Status::ok_status();
+}
+
+Status PbsServer::set_node_offline(const std::string& hostname, bool offline) {
+    for (auto& rec : nodes_) {
+        if (rec.node->hostname() == hostname || rec.node->short_name() == hostname) {
+            rec.offline = offline;
+            if (!offline) request_cycle();
+            return Status::ok_status();
+        }
+    }
+    return Error{"unknown node: " + hostname};
+}
+
+Job* PbsServer::find_job(const std::string& job_id) {
+    auto it = jobs_.find(job_id);
+    return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+const Job* PbsServer::find_job(const std::string& job_id) const {
+    auto it = jobs_.find(job_id);
+    return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Job*> PbsServer::queued_jobs() const {
+    std::vector<const Job*> out;
+    for (const auto& id : queue_order_) {
+        auto it = jobs_.find(id);
+        if (it != jobs_.end() && it->second->state == JobState::kQueued)
+            out.push_back(it->second.get());
+    }
+    return out;
+}
+
+std::vector<const Job*> PbsServer::running_jobs() const {
+    std::vector<const Job*> out;
+    for (const auto& [_, job] : jobs_)
+        if (job->state == JobState::kRunning || job->state == JobState::kExiting)
+            out.push_back(job.get());
+    std::sort(out.begin(), out.end(),
+              [](const Job* a, const Job* b) { return a->seq < b->seq; });
+    return out;
+}
+
+std::vector<const Job*> PbsServer::all_jobs() const {
+    std::vector<const Job*> out;
+    out.reserve(jobs_.size());
+    for (const auto& [_, job] : jobs_) out.push_back(job.get());
+    std::sort(out.begin(), out.end(),
+              [](const Job* a, const Job* b) { return a->seq < b->seq; });
+    return out;
+}
+
+int PbsServer::total_cpus() const {
+    int total = 0;
+    for (const auto& rec : nodes_) total += static_cast<int>(rec.cpu_owner.size());
+    return total;
+}
+
+int PbsServer::free_cpus() const {
+    int total = 0;
+    for (const auto& rec : nodes_) {
+        const NodeState s = rec.state();
+        if (s == NodeState::kFree || s == NodeState::kJobExclusive) total += rec.free_cpus();
+    }
+    return total;
+}
+
+std::vector<const NodeRecord*> PbsServer::fully_idle_nodes() const {
+    std::vector<const NodeRecord*> out;
+    for (const auto& rec : nodes_)
+        if (rec.state() == NodeState::kFree && rec.used_cpus() == 0) out.push_back(&rec);
+    return out;
+}
+
+void PbsServer::on_job_terminal(std::function<void(const Job&)> fn) {
+    terminal_subscribers_.push_back(std::move(fn));
+}
+
+void PbsServer::on_job_event(std::function<void(JobEvent, const Job&)> fn) {
+    event_subscribers_.push_back(std::move(fn));
+}
+
+void PbsServer::emit_event(JobEvent event, const Job& job) {
+    for (const auto& fn : event_subscribers_) fn(event, job);
+}
+
+std::optional<std::vector<int>> PbsServer::try_place(const Job& job) const {
+    // Each of the `nodes` chunks goes on a distinct node with >= ppn free
+    // cpus and the required properties.
+    std::vector<int> chosen;
+    for (std::size_t i = 0; i < nodes_.size() && static_cast<int>(chosen.size()) < job.resources.nodes;
+         ++i) {
+        const NodeRecord& rec = nodes_[i];
+        const NodeState s = rec.state();
+        if (s != NodeState::kFree) continue;
+        if (rec.free_cpus() < job.resources.ppn) continue;
+        if (!rec.has_properties(job.resources.properties)) continue;
+        chosen.push_back(static_cast<int>(i));
+    }
+    if (static_cast<int>(chosen.size()) < job.resources.nodes) return std::nullopt;
+    return chosen;
+}
+
+void PbsServer::schedule_cycle() {
+    if (in_cycle_) {
+        cycle_again_ = true;
+        return;
+    }
+    in_cycle_ = true;
+    do {
+        cycle_again_ = false;
+        ++stats_.scheduler_cycles;
+        // Walk the queue head-first; with strict FIFO a blocked head stops
+        // the pass (this is what makes a queue "stuck" in the Fig 5 sense).
+        for (auto it = queue_order_.begin(); it != queue_order_.end();) {
+            Job* job = find_job(*it);
+            if (job != nullptr && job->state == JobState::kHeld) {
+                // Held jobs keep their slot but are skipped, and (TORQUE
+                // behaviour) do not block the rest of a strict-FIFO queue.
+                ++it;
+                continue;
+            }
+            if (job == nullptr || job->state != JobState::kQueued) {
+                it = queue_order_.erase(it);
+                continue;
+            }
+            auto placement = try_place(*job);
+            if (!placement.has_value()) {
+                if (config_.strict_fifo) break;
+                ++it;
+                continue;
+            }
+            it = queue_order_.erase(it);
+            start_job(*job, *placement);
+        }
+    } while (cycle_again_);
+    in_cycle_ = false;
+}
+
+void PbsServer::request_cycle() { schedule_cycle(); }
+
+void PbsServer::start_job(Job& job, const std::vector<int>& record_indices) {
+    job.state = JobState::kRunning;
+    job.stime_unix = engine_.unix_now();
+    job.exec_slots.clear();
+    job.exec_node_indices.clear();
+    for (int idx : record_indices) {
+        NodeRecord& rec = nodes_[static_cast<std::size_t>(idx)];
+        // TORQUE hands out cpu indices descending (Fig 8: .../3+.../2+...).
+        int assigned = 0;
+        for (int cpu = static_cast<int>(rec.cpu_owner.size()) - 1;
+             cpu >= 0 && assigned < job.resources.ppn; --cpu) {
+            if (!rec.cpu_owner[static_cast<std::size_t>(cpu)].empty()) continue;
+            rec.cpu_owner[static_cast<std::size_t>(cpu)] = job.id;
+            job.exec_slots.push_back(ExecSlot{rec.node->hostname(), cpu});
+            ++assigned;
+        }
+        util::ensure(assigned == job.resources.ppn, "start_job: placement raced allocation");
+        job.exec_node_indices.push_back(rec.node->index());
+    }
+    ++stats_.started;
+    engine_.logger().debug("pbs/" + config_.server_name,
+                           "run " + job.id + " on " + job.exec_host_string());
+    emit_event(JobEvent::kStarted, job);
+
+    if (job.behavior.on_start) job.behavior.on_start(job);
+
+    // Natural completion.
+    completion_events_[job.id] = engine_.schedule_after(job.behavior.run_time, [this, id = job.id] {
+        completion_events_.erase(id);
+        Job* j = find_job(id);
+        if (j != nullptr && j->state == JobState::kRunning)
+            finish_job(*j, CompletionKind::kNormal);
+    });
+
+    // Walltime enforcement.
+    if (config_.enforce_walltime && job.resources.walltime.has_value() &&
+        *job.resources.walltime < job.behavior.run_time) {
+        walltime_events_[job.id] =
+            engine_.schedule_after(*job.resources.walltime, [this, id = job.id] {
+                walltime_events_.erase(id);
+                Job* j = find_job(id);
+                if (j != nullptr && j->state == JobState::kRunning)
+                    finish_job(*j, CompletionKind::kWalltime);
+            });
+    }
+}
+
+void PbsServer::release_allocation(Job& job) {
+    for (auto& rec : nodes_) {
+        bool touched = false;
+        for (auto& owner : rec.cpu_owner) {
+            if (owner == job.id) {
+                owner.clear();
+                touched = true;
+            }
+        }
+        if (touched && rec.used_cpus() == 0) rec.idle_since_unix = engine_.unix_now();
+    }
+    job.exec_slots.clear();
+}
+
+void PbsServer::finish_job(Job& job, CompletionKind kind) {
+    // Cancel any pending timers for this job.
+    if (auto it = completion_events_.find(job.id); it != completion_events_.end()) {
+        engine_.cancel(it->second);
+        completion_events_.erase(it);
+    }
+    if (auto it = walltime_events_.find(job.id); it != walltime_events_.end()) {
+        engine_.cancel(it->second);
+        walltime_events_.erase(it);
+    }
+    release_allocation(job);
+    job.state = JobState::kCompleted;
+    job.completion = kind;
+    job.etime_unix = engine_.unix_now();
+    switch (kind) {
+        case CompletionKind::kNormal: ++stats_.completed_normal; break;
+        case CompletionKind::kDeleted: ++stats_.deleted; break;
+        case CompletionKind::kNodeFailure: ++stats_.aborted_node_failure; break;
+        case CompletionKind::kWalltime: ++stats_.killed_walltime; break;
+        case CompletionKind::kNone: break;
+    }
+    engine_.logger().debug("pbs/" + config_.server_name,
+                           "job " + job.id + " completed (" + completion_kind_name(kind) + ")");
+    switch (kind) {
+        case CompletionKind::kNormal: emit_event(JobEvent::kEnded, job); break;
+        case CompletionKind::kDeleted: emit_event(JobEvent::kDeleted, job); break;
+        case CompletionKind::kNodeFailure:
+        case CompletionKind::kWalltime: emit_event(JobEvent::kAborted, job); break;
+        case CompletionKind::kNone: break;
+    }
+    if (job.behavior.on_finish) job.behavior.on_finish(job);
+    for (const auto& fn : terminal_subscribers_) fn(job);
+    request_cycle();
+}
+
+void PbsServer::handle_node_up(Node& node, OsType os) {
+    NodeRecord* rec = record_for(node);
+    util::ensure(rec != nullptr, "handle_node_up: unknown node");
+    if (os == OsType::kLinux) {
+        rec->idle_since_unix = engine_.unix_now();
+        request_cycle();
+    }
+    // A node that came up in Windows stays kDown from PBS's point of view;
+    // nothing to do — state() derives that from the node itself.
+}
+
+void PbsServer::handle_node_down(Node& node) {
+    NodeRecord* rec = record_for(node);
+    util::ensure(rec != nullptr, "handle_node_down: unknown node");
+    // Abort or requeue every job with an allocation on this node.
+    std::vector<std::string> victims;
+    for (const auto& owner : rec->cpu_owner)
+        if (!owner.empty() &&
+            std::find(victims.begin(), victims.end(), owner) == victims.end())
+            victims.push_back(owner);
+    for (const auto& id : victims) {
+        Job* job = find_job(id);
+        if (job == nullptr || job->state != JobState::kRunning) continue;
+        if (job->rerunnable) {
+            // Requeue: release everything, restore queued state. The job
+            // keeps its original qtime, so FCFS order is preserved (it goes
+            // back to the head region of the queue by seq order).
+            if (auto it = completion_events_.find(id); it != completion_events_.end()) {
+                engine_.cancel(it->second);
+                completion_events_.erase(it);
+            }
+            if (auto it = walltime_events_.find(id); it != walltime_events_.end()) {
+                engine_.cancel(it->second);
+                walltime_events_.erase(it);
+            }
+            release_allocation(*job);
+            job->state = JobState::kQueued;
+            job->stime_unix = 0;
+            job->exec_node_indices.clear();
+            ++job->requeue_count;
+            ++stats_.requeued;
+            // Reinsert preserving seq (arrival) order among queued ids.
+            auto pos = queue_order_.begin();
+            while (pos != queue_order_.end()) {
+                const Job* other = find_job(*pos);
+                if (other != nullptr && other->seq > job->seq) break;
+                ++pos;
+            }
+            queue_order_.insert(pos, id);
+            engine_.logger().info("pbs/" + config_.server_name,
+                                  "requeued " + id + " after node failure");
+            emit_event(JobEvent::kRequeued, *job);
+        } else {
+            finish_job(*job, CompletionKind::kNodeFailure);
+        }
+    }
+    request_cycle();
+}
+
+}  // namespace hc::pbs

@@ -1,0 +1,186 @@
+// The TORQUE/PBS-style batch server that owns the Linux side of the hybrid
+// cluster: queues, node records, a strictly first-come-first-served
+// scheduler (the paper: "the daemons for queue monitoring are still
+// following the rule 'first-come first-serve'"), and the text command layer
+// (pbsnodes / qstat -f) the detector scrapes because "PBS does not provide
+// APIs for other programs".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "pbs/job.hpp"
+#include "pbs/job_script.hpp"
+#include "sim/engine.hpp"
+#include "util/result.hpp"
+
+namespace hc::pbs {
+
+/// Administrative + derived state of one compute node as PBS sees it.
+enum class NodeState {
+    kFree,          ///< up, running Linux, has idle cores
+    kJobExclusive,  ///< every core allocated
+    kDown,          ///< mom not reporting (off, rebooting, or running Windows)
+    kOffline,       ///< administratively disabled
+};
+
+[[nodiscard]] const char* node_state_name(NodeState s);
+
+/// Per-node bookkeeping.
+struct NodeRecord {
+    cluster::Node* node = nullptr;
+    bool offline = false;        ///< admin flag (pbsnodes -o)
+    std::vector<std::string> cpu_owner;  ///< job id per cpu slot ("" = free)
+    std::int64_t idle_since_unix = 0;
+    std::vector<std::string> properties{"all"};
+
+    [[nodiscard]] int free_cpus() const;
+    [[nodiscard]] int used_cpus() const;
+    [[nodiscard]] bool reachable() const;  ///< node up and running Linux
+    [[nodiscard]] NodeState state() const;
+    [[nodiscard]] bool has_properties(const std::vector<std::string>& required) const;
+};
+
+struct ServerStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t started = 0;
+    std::uint64_t completed_normal = 0;
+    std::uint64_t deleted = 0;
+    std::uint64_t aborted_node_failure = 0;
+    std::uint64_t killed_walltime = 0;
+    std::uint64_t requeued = 0;
+    std::uint64_t scheduler_cycles = 0;
+};
+
+struct PbsServerConfig {
+    std::string server_name = "eridani.qgg.hud.ac.uk";
+    std::string default_queue = "default";
+    bool strict_fifo = true;       ///< pure FCFS: blocked head blocks the queue
+    bool enforce_walltime = true;
+    std::uint64_t first_job_seq = 1185;  ///< ids start near the paper's listings
+};
+
+class PbsServer {
+public:
+    PbsServer(sim::Engine& engine, PbsServerConfig config = {});
+
+    PbsServer(const PbsServer&) = delete;
+    PbsServer& operator=(const PbsServer&) = delete;
+
+    [[nodiscard]] const std::string& server_name() const { return config_.server_name; }
+    [[nodiscard]] const PbsServerConfig& server_config() const { return config_; }
+
+    /// Register a compute node: subscribes to its up/down transitions so the
+    /// record tracks reboots (the pbs_mom heartbeat).
+    void attach_node(cluster::Node& node);
+
+    /// qsub: parse a script and enqueue. Returns the new job id.
+    [[nodiscard]] util::Result<std::string> qsub(const std::string& script_text,
+                                                 const std::string& owner,
+                                                 JobBehavior behavior = {});
+
+    /// API-level submit for pre-parsed scripts (workload replay).
+    [[nodiscard]] util::Result<std::string> submit(const JobScript& script,
+                                                   const std::string& owner,
+                                                   JobBehavior behavior = {});
+
+    /// qdel: delete a job (kills it if running).
+    [[nodiscard]] util::Status qdel(const std::string& job_id);
+
+    /// qhold: place a user hold on a queued job (it keeps its queue slot but
+    /// the scheduler skips it; under strict FIFO a held head job no longer
+    /// blocks the queue — TORQUE behaviour).
+    [[nodiscard]] util::Status qhold(const std::string& job_id);
+
+    /// qrls: release a held job back to eligible-to-run.
+    [[nodiscard]] util::Status qrls(const std::string& job_id);
+
+    /// Administrative node control (pbsnodes -o / -c).
+    [[nodiscard]] util::Status set_node_offline(const std::string& hostname, bool offline);
+
+    [[nodiscard]] Job* find_job(const std::string& job_id);
+    [[nodiscard]] const Job* find_job(const std::string& job_id) const;
+
+    /// Jobs currently queued, in service (arrival) order.
+    [[nodiscard]] std::vector<const Job*> queued_jobs() const;
+    [[nodiscard]] std::vector<const Job*> running_jobs() const;
+    [[nodiscard]] std::vector<const Job*> all_jobs() const;
+
+    [[nodiscard]] const std::vector<NodeRecord>& node_records() const { return nodes_; }
+    [[nodiscard]] int total_cpus() const;
+    [[nodiscard]] int free_cpus() const;
+    /// Nodes in kFree with *all* cpus idle — candidates for an OS switch.
+    [[nodiscard]] std::vector<const NodeRecord*> fully_idle_nodes() const;
+
+    [[nodiscard]] const ServerStats& stats() const { return stats_; }
+    [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+    /// Subscribe to terminal job transitions (metrics collectors).
+    void on_job_terminal(std::function<void(const Job&)> fn);
+
+    /// Job lifecycle events, in the order the server's accounting sees them.
+    enum class JobEvent {
+        kQueued,    ///< accepted by qsub (accounting 'Q')
+        kStarted,   ///< allocation made, script launched ('S')
+        kEnded,     ///< ran to completion ('E')
+        kDeleted,   ///< removed by qdel ('D')
+        kAborted,   ///< killed by node failure or walltime ('A')
+        kRequeued,  ///< rerunnable job returned to the queue ('R')
+    };
+
+    /// Subscribe to every lifecycle event (the accounting log uses this).
+    void on_job_event(std::function<void(JobEvent, const Job&)> fn);
+
+    /// Run one scheduler pass now. Normally triggered automatically by
+    /// submissions, completions, and node-up events.
+    void schedule_cycle();
+
+    // ---- text command layer (Figs 7 & 8), implemented in text_output.cpp ----
+
+    /// `pbsnodes` (all nodes, long format).
+    [[nodiscard]] std::string pbsnodes_output() const;
+
+    /// `qstat -f` (full display of queued + running jobs, id order).
+    [[nodiscard]] std::string qstat_f_output() const;
+
+    /// Plain `qstat` (the brief table users run by hand).
+    [[nodiscard]] std::string qstat_output() const;
+
+private:
+    friend struct PbsTextFormatter;
+
+    [[nodiscard]] std::string make_job_id();
+    void start_job(Job& job, const std::vector<int>& record_indices);
+    void finish_job(Job& job, CompletionKind kind);
+    void release_allocation(Job& job);
+    void handle_node_up(cluster::Node& node, cluster::OsType os);
+    void handle_node_down(cluster::Node& node);
+    [[nodiscard]] std::optional<std::vector<int>> try_place(const Job& job) const;
+    [[nodiscard]] NodeRecord* record_for(const cluster::Node& node);
+    void request_cycle();
+
+    sim::Engine& engine_;
+    PbsServerConfig config_;
+    std::uint64_t next_seq_;
+    std::vector<NodeRecord> nodes_;
+    std::map<std::string, std::unique_ptr<Job>> jobs_;   ///< by id
+    std::deque<std::string> queue_order_;                ///< queued ids, FCFS order
+    std::map<std::string, sim::EventId> completion_events_;
+    std::map<std::string, sim::EventId> walltime_events_;
+    void emit_event(JobEvent event, const Job& job);
+
+    std::vector<std::function<void(const Job&)>> terminal_subscribers_;
+    std::vector<std::function<void(JobEvent, const Job&)>> event_subscribers_;
+    bool in_cycle_ = false;
+    bool cycle_again_ = false;
+    ServerStats stats_;
+};
+
+}  // namespace hc::pbs

@@ -1,0 +1,144 @@
+// The PBS text command layer: pbsnodes and qstat -f.
+//
+// These formats are load-bearing: "PBS does not provide APIs for other
+// programs. Several Perl programs had been written for parsing the output of
+// PBS commands" (§III.B.3). Our detector does the same parsing against this
+// output, so the layout follows TORQUE's real rendering of the fields shown
+// in Figs 7 and 8.
+#include <cstdio>
+
+#include "pbs/server.hpp"
+#include "util/time_format.hpp"
+
+namespace hc::pbs {
+
+namespace {
+
+/// The status attribute string of one healthy node (Fig 7's `status =` line).
+std::string node_status_string(const NodeRecord& rec, std::int64_t now_unix) {
+    const cluster::Node& node = *rec.node;
+    const auto& cfg = node.config();
+    char buf[640];
+    // netload is a monotone counter on real moms; derive a deterministic one
+    // from uptime so repeated calls move forward like the real thing.
+    const long long netload =
+        154'924'801'596LL + now_unix * (1000LL + node.index() * 37LL);
+    std::snprintf(
+        buf, sizeof buf,
+        "opsys=linux,uname=Linux %s 2.6.18-164.el5 #1 SMP Fri Sep 9 03:28:30 EDT 2011 x86_64,"
+        "sessions=? 0,nsessions=? 0,nusers=0,idletime=%lld,totmem=%lldkb,availmem=%lldkb,"
+        "physmem=%lldkb,ncpus=%d,loadave=%.2f,netload=%lld,state=%s,jobs=? 0,rectime=%lld",
+        node.hostname().c_str(),
+        static_cast<long long>(now_unix - rec.idle_since_unix),
+        static_cast<long long>(cfg.totmem_kb),
+        static_cast<long long>(cfg.totmem_kb - 55'844),  // availmem a little under totmem
+        static_cast<long long>(cfg.physmem_kb), node.np(),
+        static_cast<double>(rec.used_cpus()), netload, node_state_name(rec.state()),
+        static_cast<long long>(now_unix));
+    return buf;
+}
+
+}  // namespace
+
+std::string PbsServer::pbsnodes_output() const {
+    std::string out;
+    const std::int64_t now_unix = engine_.unix_now();
+    for (const auto& rec : nodes_) {
+        const NodeState state = rec.state();
+        out += rec.node->hostname() + "\n";
+        out += "     state = " + std::string(node_state_name(state)) + "\n";
+        out += "     np = " + std::to_string(rec.node->np()) + "\n";
+        std::string props;
+        for (std::size_t i = 0; i < rec.properties.size(); ++i) {
+            if (i > 0) props += ",";
+            props += rec.properties[i];
+        }
+        out += "     properties = " + props + "\n";
+        out += "     ntype = cluster\n";
+        // jobs line: "cpu/jobid" pairs, only when something is running here.
+        if (rec.used_cpus() > 0) {
+            std::string jobs;
+            for (std::size_t cpu = 0; cpu < rec.cpu_owner.size(); ++cpu) {
+                if (rec.cpu_owner[cpu].empty()) continue;
+                if (!jobs.empty()) jobs += ", ";
+                jobs += std::to_string(cpu) + "/" + rec.cpu_owner[cpu];
+            }
+            out += "     jobs = " + jobs + "\n";
+        }
+        // Moms that are down report no status attributes.
+        if (state != NodeState::kDown)
+            out += "     status = " + node_status_string(rec, now_unix) + "\n";
+        out += "\n";
+    }
+    return out;
+}
+
+std::string PbsServer::qstat_output() const {
+    std::string out;
+    bool any = false;
+    for (const Job* job : all_jobs()) {
+        if (job->state == JobState::kCompleted) continue;
+        if (!any) {
+            out += "Job ID                    Name             User            Time Use S Queue\n";
+            out += "------------------------- ---------------- --------------- -------- - -----\n";
+            any = true;
+        }
+        // TORQUE truncates the server suffix in the brief view.
+        std::string short_id = job->id;
+        const auto first_dot = short_id.find('.');
+        if (first_dot != std::string::npos) {
+            const auto second_dot = short_id.find('.', first_dot + 1);
+            if (second_dot != std::string::npos) short_id = short_id.substr(0, second_dot);
+        }
+        const std::string user = job->owner.substr(0, job->owner.find('@'));
+        const std::int64_t cpu_time =
+            job->stime_unix > 0 ? engine_.unix_now() - job->stime_unix : 0;
+        char line[160];
+        std::snprintf(line, sizeof line, "%-25s %-16.16s %-15.15s %8s %c %s\n",
+                      short_id.c_str(), job->name.c_str(), user.c_str(),
+                      job->stime_unix > 0 ? util::format_duration(cpu_time).c_str() : "0",
+                      job_state_char(job->state), job->queue.c_str());
+        out += line;
+    }
+    return out;
+}
+
+std::string PbsServer::qstat_f_output() const {
+    std::string out;
+    bool first = true;
+    for (const Job* job : all_jobs()) {
+        // qstat -f lists active (non-completed) jobs.
+        if (job->state == JobState::kCompleted) continue;
+        if (!first) out += "\n";
+        first = false;
+        out += "Job Id: " + job->id + "\n";
+        out += "    Job_Name = " + job->name + "\n";
+        out += "    Job_Owner = " + job->owner + "\n";
+        out += "    job_state = " + std::string(1, job_state_char(job->state)) + "\n";
+        out += "    queue = " + job->queue + "\n";
+        out += "    server = " + job->server + "\n";
+        if (job->join_oe) out += "    Join_Path = oe\n";
+        if (!job->output_path.empty()) out += "    Output_Path = " + job->output_path + "\n";
+        out += std::string("    Rerunable = ") + (job->rerunnable ? "True" : "False") + "\n";
+        if (job->state == JobState::kRunning || job->state == JobState::kExiting)
+            out += "    exec_host = " + job->exec_host_string() + "\n";
+        out += "    Priority = " + std::to_string(job->priority) + "\n";
+        out += "    qtime = " + util::format_pbs_time(job->qtime_unix) + "\n";
+        out += "    Resource_List.nodes = " + job->resources.nodes_spec() + "\n";
+        if (job->resources.walltime.has_value())
+            out += "    Resource_List.walltime = " + format_walltime(*job->resources.walltime) +
+                   "\n";
+        if (!job->variable_list.empty()) {
+            // TORQUE wraps Variable_List with tab continuations.
+            out += "    Variable_List = ";
+            for (std::size_t i = 0; i < job->variable_list.size(); ++i) {
+                if (i > 0) out += ",\n\t";
+                out += job->variable_list[i];
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+}  // namespace hc::pbs

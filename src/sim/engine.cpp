@@ -1,0 +1,129 @@
+#include "sim/engine.hpp"
+
+#include <cstdio>
+
+#include "util/errors.hpp"
+#include "util/time_format.hpp"
+
+namespace hc::sim {
+
+std::string to_string(TimePoint t) { return to_string(Duration{t.ms}); }
+
+std::string to_string(Duration d) {
+    std::int64_t ms = d.ms;
+    const bool neg = ms < 0;
+    if (neg) ms = -ms;
+    const std::int64_t s = ms / 1000;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s%02lld:%02lld:%02lld.%03lld", neg ? "-" : "",
+                  static_cast<long long>(s / 3600), static_cast<long long>((s / 60) % 60),
+                  static_cast<long long>(s % 60), static_cast<long long>(ms % 1000));
+    return buf;
+}
+
+Engine::Engine(std::int64_t unix_epoch)
+    : epoch_(unix_epoch >= 0 ? unix_epoch : util::default_sim_epoch()) {
+    logger_.set_clock([this] { return now_.whole_seconds(); });
+}
+
+EventId Engine::schedule_at(TimePoint at, Callback fn) {
+    util::require(at >= now_, "Engine::schedule_at: cannot schedule in the past");
+    util::require(static_cast<bool>(fn), "Engine::schedule_at: null callback");
+    const std::uint64_t id = next_id_++;
+    queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+    pending_ids_.insert(id);
+    ++stats_.scheduled;
+    return EventId{id};
+}
+
+EventId Engine::schedule_after(Duration delay, Callback fn) {
+    util::require(delay.ms >= 0, "Engine::schedule_after: negative delay");
+    return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+    // Lazy cancellation: remove the id from the pending set; the queue entry
+    // is discarded when popped. (priority_queue has no random removal.)
+    if (!id.valid()) return false;
+    const bool was_pending = pending_ids_.erase(id.value) > 0;
+    if (was_pending) ++stats_.cancelled;
+    return was_pending;
+}
+
+void Engine::dispatch(Entry&& e) {
+    now_ = e.at;
+    ++stats_.dispatched;
+    e.fn();
+}
+
+void Engine::run_until(TimePoint until) {
+    util::require(until >= now_, "Engine::run_until: target is in the past");
+    while (!queue_.empty() && queue_.top().at <= until) {
+        Entry e = queue_.top();
+        queue_.pop();
+        if (pending_ids_.erase(e.id) == 0) continue;  // cancelled
+        dispatch(std::move(e));
+    }
+    now_ = until;
+}
+
+std::uint64_t Engine::run_all(std::uint64_t max_events) {
+    std::uint64_t n = 0;
+    while (!queue_.empty()) {
+        util::ensure(n < max_events, "Engine::run_all: event budget exhausted (runaway loop?)");
+        Entry e = queue_.top();
+        queue_.pop();
+        if (pending_ids_.erase(e.id) == 0) continue;  // cancelled
+        dispatch(std::move(e));
+        ++n;
+    }
+    return n;
+}
+
+bool Engine::step() {
+    while (!queue_.empty()) {
+        Entry e = queue_.top();
+        queue_.pop();
+        if (pending_ids_.erase(e.id) == 0) continue;  // cancelled
+        dispatch(std::move(e));
+        return true;
+    }
+    return false;
+}
+
+PeriodicTask::PeriodicTask(Engine& engine, Duration interval, Tick tick)
+    : engine_(engine), interval_(interval), tick_(std::move(tick)) {
+    util::require(interval_.ms > 0, "PeriodicTask: interval must be positive");
+    util::require(static_cast<bool>(tick_), "PeriodicTask: null tick callback");
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start(Duration initial_delay) {
+    util::require(!running_, "PeriodicTask::start: already running");
+    running_ = true;
+    arm(initial_delay);
+}
+
+void PeriodicTask::stop() {
+    if (!running_) return;
+    running_ = false;
+    engine_.cancel(pending_);
+    pending_ = EventId{};
+}
+
+void PeriodicTask::set_interval(Duration interval) {
+    util::require(interval.ms > 0, "PeriodicTask::set_interval: interval must be positive");
+    interval_ = interval;
+}
+
+void PeriodicTask::arm(Duration delay) {
+    pending_ = engine_.schedule_after(delay, [this] {
+        if (!running_) return;
+        tick_();
+        // tick_ may stop() us; only re-arm if still running.
+        if (running_) arm(interval_);
+    });
+}
+
+}  // namespace hc::sim

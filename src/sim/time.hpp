@@ -1,0 +1,62 @@
+// Simulated time types.
+//
+// Time is an integer count of milliseconds since simulation start. Integer
+// ticks (not doubles) keep event ordering exact and runs bit-reproducible.
+// Millisecond resolution is fine enough for network latencies and coarse
+// enough that a week-long cluster trace fits comfortably in int64.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace hc::sim {
+
+/// A span of simulated time.
+struct Duration {
+    std::int64_t ms = 0;
+
+    [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ms) / 1000.0; }
+    [[nodiscard]] constexpr std::int64_t whole_seconds() const { return ms / 1000; }
+
+    constexpr auto operator<=>(const Duration&) const = default;
+    constexpr Duration operator+(Duration o) const { return {ms + o.ms}; }
+    constexpr Duration operator-(Duration o) const { return {ms - o.ms}; }
+    constexpr Duration operator*(std::int64_t k) const { return {ms * k}; }
+    constexpr Duration operator/(std::int64_t k) const { return {ms / k}; }
+};
+
+/// An instant in simulated time (ms since simulation start).
+struct TimePoint {
+    std::int64_t ms = 0;
+
+    [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ms) / 1000.0; }
+    [[nodiscard]] constexpr std::int64_t whole_seconds() const { return ms / 1000; }
+
+    constexpr auto operator<=>(const TimePoint&) const = default;
+    constexpr TimePoint operator+(Duration d) const { return {ms + d.ms}; }
+    constexpr TimePoint operator-(Duration d) const { return {ms - d.ms}; }
+    constexpr Duration operator-(TimePoint o) const { return {ms - o.ms}; }
+};
+
+/// Convenience constructors. `5min` polling cycles and `10s` sleeps from the
+/// paper read naturally as minutes(5), seconds(10).
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t v) { return {v}; }
+[[nodiscard]] constexpr Duration seconds(double v) {
+    return {static_cast<std::int64_t>(v * 1000.0)};
+}
+[[nodiscard]] constexpr Duration minutes(double v) {
+    return {static_cast<std::int64_t>(v * 60.0 * 1000.0)};
+}
+[[nodiscard]] constexpr Duration hours(double v) {
+    return {static_cast<std::int64_t>(v * 3600.0 * 1000.0)};
+}
+[[nodiscard]] constexpr Duration days(double v) {
+    return {static_cast<std::int64_t>(v * 86400.0 * 1000.0)};
+}
+
+/// "03:25:17.250"-style rendering for logs and debugging.
+[[nodiscard]] std::string to_string(TimePoint t);
+[[nodiscard]] std::string to_string(Duration d);
+
+}  // namespace hc::sim

@@ -1,0 +1,46 @@
+// Error taxonomy shared by every hc_* library.
+//
+// Recoverable, data-dependent failures (malformed config text, unknown host,
+// bad resource string) are reported through hc::util::Result — see result.hpp.
+// Exceptions are reserved for programming errors (violated preconditions) and
+// construction-time failures where a half-built object would be unusable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hc::util {
+
+/// Thrown when an API precondition is violated by the caller.
+/// These indicate bugs in the calling code, not bad input data.
+class PreconditionError : public std::logic_error {
+public:
+    explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant fails; indicates a bug in hc itself.
+class InvariantError : public std::logic_error {
+public:
+    explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown by simulation components when asked to do something impossible in
+/// the current simulated state (e.g. submit a job to a head node that is down).
+class SimStateError : public std::runtime_error {
+public:
+    explicit SimStateError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Precondition check helper. Unlike assert() this is always on: the library
+/// simulates infrastructure, and silent precondition violations would corrupt
+/// experiment results rather than crash visibly.
+inline void require(bool cond, const std::string& msg) {
+    if (!cond) throw PreconditionError(msg);
+}
+
+/// Invariant check helper for internal consistency.
+inline void ensure(bool cond, const std::string& msg) {
+    if (!cond) throw InvariantError(msg);
+}
+
+}  // namespace hc::util

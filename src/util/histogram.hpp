@@ -1,0 +1,44 @@
+// Fixed-bucket histogram with ASCII rendering, for bench distributions
+// (switch times, waits).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hc::util {
+
+class Histogram {
+public:
+    /// Buckets span [lo, hi) uniformly; values outside clamp to the edge
+    /// buckets so nothing is silently dropped.
+    Histogram(double lo, double hi, int buckets);
+
+    void add(double value);
+
+    [[nodiscard]] std::size_t count() const { return count_; }
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+
+    /// Linear-interpolated percentile from the raw samples (kept, not
+    /// bucket-approximated). p in [0, 1].
+    [[nodiscard]] double percentile(double p) const;
+
+    /// One row per bucket: "[ lo,  hi)  ########  12".
+    [[nodiscard]] std::string render(int bar_width = 40,
+                                     const std::string& unit = "") const;
+
+private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> buckets_;
+    mutable std::vector<double> samples_;  ///< sorted lazily for percentiles
+    mutable bool sorted_ = true;
+    std::size_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+}  // namespace hc::util

@@ -1,0 +1,124 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/errors.hpp"
+
+namespace hc::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+std::uint64_t fnv1a(const std::string& s) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+Rng::Rng(std::uint64_t seed) {
+    // A seed of zero would put xoshiro in its fixed point; SplitMix64 seeding
+    // avoids that for every input.
+    std::uint64_t x = seed;
+    for (auto& word : s_) word = splitmix64(x);
+}
+
+Rng Rng::fork(const std::string& name) const {
+    // Derive from the stream's *initial* identity, independent of how many
+    // numbers have been drawn: mix the current state words with the name hash.
+    std::uint64_t mixed = fnv1a(name);
+    for (auto word : s_) mixed = mixed * 0x2545F4914F6CDD1Dull + word;
+    return Rng(mixed);
+}
+
+std::uint64_t Rng::next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    require(lo <= hi, "Rng::uniform_int: lo > hi");
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit span
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform(double lo, double hi) {
+    require(lo <= hi, "Rng::uniform: lo > hi");
+    return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double mean) {
+    require(mean > 0.0, "Rng::exponential: mean must be positive");
+    double u = next_double();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log(1.0 - u);
+}
+
+double Rng::normal(double mean, double stddev) {
+    // Box–Muller; one value per call keeps the stream layout simple.
+    double u1 = next_double();
+    const double u2 = next_double();
+    if (u1 <= 0.0) u1 = 1e-300;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double Rng::lognormal_median(double median, double sigma) {
+    require(median > 0.0, "Rng::lognormal_median: median must be positive");
+    return median * std::exp(normal(0.0, sigma));
+}
+
+bool Rng::chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights)
+        if (w > 0.0) total += w;
+    require(total > 0.0, "Rng::weighted_index: no positive weight");
+    double target = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (weights[i] <= 0.0) continue;
+        target -= weights[i];
+        if (target < 0.0) return i;
+    }
+    // Floating point edge: return the last positive-weight index.
+    for (std::size_t i = weights.size(); i > 0; --i)
+        if (weights[i - 1] > 0.0) return i - 1;
+    ensure(false, "Rng::weighted_index: unreachable");
+    return 0;
+}
+
+}  // namespace hc::util

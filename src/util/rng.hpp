@@ -1,0 +1,70 @@
+// Deterministic random number generation for the simulation.
+//
+// Every stochastic component (boot latency, job arrivals, failure injection)
+// draws from its own Rng seeded from the experiment seed, so experiments are
+// bit-reproducible and adding a new consumer does not perturb existing draws.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hc::util {
+
+/// xoshiro256** with SplitMix64 seeding. Small, fast, and good enough for
+/// event-timing randomness; not for cryptography.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed);
+
+    /// Derive an independent stream for a named sub-component. Same (seed,
+    /// name) always yields the same stream.
+    [[nodiscard]] Rng fork(const std::string& name) const;
+
+    [[nodiscard]] std::uint64_t next_u64();
+
+    /// Uniform in [0, 1).
+    [[nodiscard]] double next_double();
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform real in [lo, hi). Requires lo <= hi.
+    [[nodiscard]] double uniform(double lo, double hi);
+
+    /// Exponential with the given mean (= 1/rate). Requires mean > 0.
+    [[nodiscard]] double exponential(double mean);
+
+    /// Normal via Box–Muller.
+    [[nodiscard]] double normal(double mean, double stddev);
+
+    /// Log-normal parameterised by the *target* median and a shape sigma
+    /// (runtime distributions in the workload generator).
+    [[nodiscard]] double lognormal_median(double median, double sigma);
+
+    /// Bernoulli trial.
+    [[nodiscard]] bool chance(double p);
+
+    /// Index into `weights` drawn proportionally to the weights.
+    /// Requires at least one strictly positive weight.
+    [[nodiscard]] std::size_t weighted_index(std::span<const double> weights);
+
+    /// Fisher–Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+            using std::swap;
+            swap(v[i - 1], v[j]);
+        }
+    }
+
+private:
+    std::uint64_t s_[4];
+};
+
+/// FNV-1a hash used for Rng::fork stream derivation.
+[[nodiscard]] std::uint64_t fnv1a(const std::string& s);
+
+}  // namespace hc::util

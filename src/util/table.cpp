@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include "util/errors.hpp"
+#include "util/strings.hpp"
+
+namespace hc::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    require(!headers_.empty(), "Table: need at least one column");
+    aligns_.assign(headers_.size(), Align::kLeft);
+}
+
+void Table::set_alignment(std::vector<Align> aligns) {
+    require(aligns.size() == headers_.size(), "Table::set_alignment: column count mismatch");
+    aligns_ = std::move(aligns);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    require(cells.size() == headers_.size(), "Table::add_row: column count mismatch");
+    rows_.push_back(Row{std::move(cells), pending_rule_});
+    pending_rule_ = false;
+}
+
+void Table::add_rule() { pending_rule_ = true; }
+
+std::vector<std::size_t> Table::column_widths() const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            if (row.cells[c].size() > w[c]) w[c] = row.cells[c].size();
+    return w;
+}
+
+std::string Table::render() const {
+    const auto w = column_widths();
+    auto rule = [&] {
+        std::string s = "+";
+        for (std::size_t c = 0; c < w.size(); ++c) {
+            s.append(w[c] + 2, '-');
+            s += '+';
+        }
+        s += '\n';
+        return s;
+    };
+    auto line = [&](const std::vector<std::string>& cells) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const std::string cell = aligns_[c] == Align::kLeft ? pad_right(cells[c], w[c])
+                                                                : pad_left(cells[c], w[c]);
+            s += ' ';
+            s += cell;
+            s += " |";
+        }
+        s += '\n';
+        return s;
+    };
+    std::string out = rule() + line(headers_) + rule();
+    for (const auto& row : rows_) {
+        if (row.rule_before) out += rule();
+        out += line(row.cells);
+    }
+    out += rule();
+    return out;
+}
+
+std::string Table::render_markdown() const {
+    std::string out = "| " + join(headers_, " | ") + " |\n|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        out += aligns_[c] == Align::kRight ? "---:|" : "---|";
+    out += '\n';
+    for (const auto& row : rows_) out += "| " + join(row.cells, " | ") + " |\n";
+    return out;
+}
+
+}  // namespace hc::util

@@ -1,0 +1,51 @@
+// ASCII table renderer for bench binaries and EXPERIMENTS.md output.
+//
+// Every bench prints "paper says / we measured" rows; this keeps the format
+// consistent across all experiment binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hc::util {
+
+/// Column alignment for Table cells.
+enum class Align { kLeft, kRight };
+
+/// Simple monospaced table. Cells are strings; numeric callers format first
+/// (format_fixed / std::to_string) so the table stays allocation-simple.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Set alignment per column; default is left for all.
+    void set_alignment(std::vector<Align> aligns);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Insert a horizontal rule before the next added row.
+    void add_rule();
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+    /// Render with box-drawing ASCII (+---+ style).
+    [[nodiscard]] std::string render() const;
+
+    /// Render as a GitHub-flavoured markdown table (for EXPERIMENTS.md).
+    [[nodiscard]] std::string render_markdown() const;
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool rule_before = false;
+    };
+
+    [[nodiscard]] std::vector<std::size_t> column_widths() const;
+
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+    bool pending_rule_ = false;
+};
+
+}  // namespace hc::util

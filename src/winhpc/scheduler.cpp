@@ -1,0 +1,436 @@
+#include "winhpc/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/errors.hpp"
+
+namespace hc::winhpc {
+
+using cluster::Node;
+using cluster::OsType;
+using util::Error;
+using util::Status;
+
+const char* hpc_job_state_name(HpcJobState s) {
+    switch (s) {
+        case HpcJobState::kConfiguring: return "Configuring";
+        case HpcJobState::kQueued: return "Queued";
+        case HpcJobState::kRunning: return "Running";
+        case HpcJobState::kFinished: return "Finished";
+        case HpcJobState::kFailed: return "Failed";
+        case HpcJobState::kCanceled: return "Canceled";
+    }
+    return "?";
+}
+
+const char* hpc_node_state_name(HpcNodeState s) {
+    switch (s) {
+        case HpcNodeState::kOnline: return "Online";
+        case HpcNodeState::kOffline: return "Offline";
+        case HpcNodeState::kDraining: return "Draining";
+        case HpcNodeState::kUnreachable: return "Unreachable";
+    }
+    return "?";
+}
+
+int HpcNodeRecord::free_cores() const {
+    int free = 0;
+    for (int owner : core_owner)
+        if (owner == 0) ++free;
+    return free;
+}
+
+int HpcNodeRecord::used_cores() const { return static_cast<int>(core_owner.size()) - free_cores(); }
+
+bool HpcNodeRecord::reachable() const {
+    return node != nullptr && node->is_up() && node->os() == OsType::kWindows;
+}
+
+HpcNodeState HpcNodeRecord::state() const {
+    if (!reachable()) return HpcNodeState::kUnreachable;
+    if (admin_offline) return used_cores() > 0 ? HpcNodeState::kDraining : HpcNodeState::kOffline;
+    return HpcNodeState::kOnline;
+}
+
+HpcScheduler::HpcScheduler(sim::Engine& engine, HpcSchedulerConfig config)
+    : engine_(engine), config_(std::move(config)) {}
+
+void HpcScheduler::attach_node(Node& node) {
+    util::require(record_for(node) == nullptr, "HpcScheduler::attach_node: already attached");
+    HpcNodeRecord rec;
+    rec.node = &node;
+    rec.node_template = config_.node_template;
+    rec.core_owner.assign(static_cast<std::size_t>(node.np()), 0);
+    nodes_.push_back(std::move(rec));
+    node.on_up([this](Node& n, OsType os) { handle_node_up(n, os); });
+    node.on_down([this](Node& n) { handle_node_down(n); });
+}
+
+HpcNodeRecord* HpcScheduler::record_for(const Node& node) {
+    for (auto& rec : nodes_)
+        if (rec.node == &node) return &rec;
+    return nullptr;
+}
+
+int HpcScheduler::submit_job(HpcJobSpec spec) {
+    util::require(spec.min_resources > 0, "submit_job: min_resources must be positive");
+    auto job = std::make_unique<HpcJob>();
+    job->id = next_id_++;
+    job->name = std::move(spec.name);
+    job->owner = std::move(spec.owner);
+    job->unit = spec.unit;
+    job->min_resources = spec.min_resources;
+    job->rerun_on_failure = spec.rerun_on_failure;
+    job->run_time = spec.run_time;
+    for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
+        HpcTask task;
+        task.id = static_cast<int>(i) + 1;
+        task.command_line = spec.tasks[i].command_line;
+        task.run_time = spec.tasks[i].run_time;
+        task.state = HpcJobState::kQueued;
+        job->tasks.push_back(std::move(task));
+    }
+    job->runtime_limit = spec.runtime_limit;
+    job->on_start = std::move(spec.on_start);
+    job->on_finish = std::move(spec.on_finish);
+    job->submit_unix = engine_.unix_now();
+    job->state = HpcJobState::kQueued;
+    const int id = job->id;
+    jobs_[id] = std::move(job);
+    queue_order_.push_back(id);
+    ++stats_.submitted;
+    engine_.logger().debug("winhpc/" + config_.cluster_name, "submit job " + std::to_string(id));
+    schedule_cycle();
+    return id;
+}
+
+Status HpcScheduler::cancel_job(int id) {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return Error{"cancel_job: unknown job " + std::to_string(id)};
+    HpcJob& job = *it->second;
+    if (job.state == HpcJobState::kQueued) {
+        queue_order_.erase(std::remove(queue_order_.begin(), queue_order_.end(), id),
+                           queue_order_.end());
+        finish_job(job, HpcJobState::kCanceled, "canceled while queued");
+        return Status::ok_status();
+    }
+    if (job.state == HpcJobState::kRunning) {
+        finish_job(job, HpcJobState::kCanceled, "canceled while running");
+        return Status::ok_status();
+    }
+    return Error{"cancel_job: job not active"};
+}
+
+const HpcJob* HpcScheduler::get_job(int id) const {
+    auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const HpcJob*> HpcScheduler::get_jobs(std::optional<HpcJobState> filter) const {
+    std::vector<const HpcJob*> out;
+    for (const auto& [_, job] : jobs_)
+        if (!filter.has_value() || job->state == *filter) out.push_back(job.get());
+    return out;
+}
+
+int HpcScheduler::queued_job_count() const {
+    int count = 0;
+    for (int id : queue_order_) {
+        const HpcJob* job = get_job(id);
+        if (job != nullptr && job->state == HpcJobState::kQueued) ++count;
+    }
+    return count;
+}
+
+int HpcScheduler::running_job_count() const {
+    int count = 0;
+    for (const auto& [_, job] : jobs_)
+        if (job->state == HpcJobState::kRunning) ++count;
+    return count;
+}
+
+const HpcJob* HpcScheduler::first_queued_job() const {
+    for (int id : queue_order_) {
+        const HpcJob* job = get_job(id);
+        if (job != nullptr && job->state == HpcJobState::kQueued) return job;
+    }
+    return nullptr;
+}
+
+int HpcScheduler::total_cores() const {
+    int total = 0;
+    for (const auto& rec : nodes_) total += static_cast<int>(rec.core_owner.size());
+    return total;
+}
+
+int HpcScheduler::free_cores() const {
+    int total = 0;
+    for (const auto& rec : nodes_)
+        if (rec.state() == HpcNodeState::kOnline) total += rec.free_cores();
+    return total;
+}
+
+std::vector<const HpcNodeRecord*> HpcScheduler::fully_idle_nodes() const {
+    std::vector<const HpcNodeRecord*> out;
+    for (const auto& rec : nodes_)
+        if (rec.state() == HpcNodeState::kOnline && rec.used_cores() == 0) out.push_back(&rec);
+    return out;
+}
+
+Status HpcScheduler::set_node_online(const std::string& name, bool online) {
+    for (auto& rec : nodes_) {
+        if (rec.node->hostname() == name || rec.node->short_name() == name) {
+            rec.admin_offline = !online;
+            if (online) schedule_cycle();
+            return Status::ok_status();
+        }
+    }
+    return Error{"unknown node: " + name};
+}
+
+void HpcScheduler::on_job_terminal(std::function<void(const HpcJob&)> fn) {
+    terminal_subscribers_.push_back(std::move(fn));
+}
+
+std::optional<std::vector<int>> HpcScheduler::try_place(const HpcJob& job) const {
+    std::vector<int> chosen;
+    if (job.unit == JobUnitType::kNode) {
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            const HpcNodeRecord& rec = nodes_[i];
+            if (rec.state() != HpcNodeState::kOnline || rec.used_cores() > 0) continue;
+            chosen.push_back(static_cast<int>(i));
+            if (static_cast<int>(chosen.size()) == job.min_resources) return chosen;
+        }
+        return std::nullopt;
+    }
+    // Core unit: accumulate free cores across online nodes.
+    int cores_found = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const HpcNodeRecord& rec = nodes_[i];
+        if (rec.state() != HpcNodeState::kOnline || rec.free_cores() == 0) continue;
+        chosen.push_back(static_cast<int>(i));
+        cores_found += rec.free_cores();
+        if (cores_found >= job.min_resources) return chosen;
+    }
+    return std::nullopt;
+}
+
+void HpcScheduler::schedule_cycle() {
+    if (in_cycle_) {
+        cycle_again_ = true;
+        return;
+    }
+    in_cycle_ = true;
+    do {
+        cycle_again_ = false;
+        for (auto it = queue_order_.begin(); it != queue_order_.end();) {
+            HpcJob* job = nullptr;
+            if (auto jit = jobs_.find(*it); jit != jobs_.end()) job = jit->second.get();
+            if (job == nullptr || job->state != HpcJobState::kQueued) {
+                it = queue_order_.erase(it);
+                continue;
+            }
+            auto placement = try_place(*job);
+            if (!placement.has_value()) {
+                if (config_.strict_fifo) break;
+                ++it;
+                continue;
+            }
+            it = queue_order_.erase(it);
+            start_job(*job, *placement);
+        }
+    } while (cycle_again_);
+    in_cycle_ = false;
+}
+
+void HpcScheduler::start_job(HpcJob& job, const std::vector<int>& record_indices) {
+    job.state = HpcJobState::kRunning;
+    job.start_unix = engine_.unix_now();
+    int cores_needed = job.unit == JobUnitType::kCore ? job.min_resources : 0;
+    for (int idx : record_indices) {
+        HpcNodeRecord& rec = nodes_[static_cast<std::size_t>(idx)];
+        int to_take = job.unit == JobUnitType::kNode
+                          ? static_cast<int>(rec.core_owner.size())
+                          : std::min(cores_needed, rec.free_cores());
+        for (std::size_t c = 0; c < rec.core_owner.size() && to_take > 0; ++c) {
+            if (rec.core_owner[c] != 0) continue;
+            rec.core_owner[c] = job.id;
+            --to_take;
+            if (job.unit == JobUnitType::kCore) --cores_needed;
+        }
+        job.allocated_node_indices.push_back(rec.node->index());
+        job.allocated_node_names.push_back(rec.node->short_name());
+    }
+    ++stats_.started;
+    engine_.logger().debug("winhpc/" + config_.cluster_name,
+                           "job " + std::to_string(job.id) + " running");
+    if (job.on_start) job.on_start(job);
+    if (job.tasks.empty()) {
+        // Implicit single activity: the whole job runs for run_time.
+        completion_events_[job.id] = engine_.schedule_after(job.run_time, [this, id = job.id] {
+            completion_events_.erase(id);
+            auto it = jobs_.find(id);
+            if (it != jobs_.end() && it->second->state == HpcJobState::kRunning)
+                finish_job(*it->second, HpcJobState::kFinished, "completed");
+        });
+    } else {
+        // Task-parallel job: one lane per allocated node (node unit) or per
+        // booked core (core unit); each finishing task pulls the next.
+        const int lanes = std::min(static_cast<int>(job.tasks.size()),
+                                   job.unit == JobUnitType::kNode
+                                       ? static_cast<int>(job.allocated_node_indices.size())
+                                       : job.min_resources);
+        job.next_task_index = 0;
+        for (int lane = 0; lane < lanes; ++lane) launch_next_task(job.id);
+    }
+    if (job.runtime_limit.has_value() && *job.runtime_limit < job.run_time) {
+        limit_events_[job.id] = engine_.schedule_after(*job.runtime_limit, [this, id = job.id] {
+            limit_events_.erase(id);
+            auto it = jobs_.find(id);
+            if (it != jobs_.end() && it->second->state == HpcJobState::kRunning) {
+                ++stats_.killed_runtime_limit;
+                finish_job(*it->second, HpcJobState::kFailed, "runtime limit");
+            }
+        });
+    }
+}
+
+void HpcScheduler::launch_next_task(int job_id) {
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end() || it->second->state != HpcJobState::kRunning) return;
+    HpcJob& job = *it->second;
+    if (job.next_task_index >= static_cast<int>(job.tasks.size())) return;
+    HpcTask& task = job.tasks[static_cast<std::size_t>(job.next_task_index++)];
+    task.state = HpcJobState::kRunning;
+    task.start_unix = engine_.unix_now();
+    const int task_id = task.id;
+    const auto event = engine_.schedule_after(task.run_time, [this, job_id, task_id] {
+        auto jit = jobs_.find(job_id);
+        if (jit == jobs_.end() || jit->second->state != HpcJobState::kRunning) return;
+        HpcJob& running = *jit->second;
+        HpcTask& done = running.tasks[static_cast<std::size_t>(task_id) - 1];
+        done.state = HpcJobState::kFinished;
+        done.end_unix = engine_.unix_now();
+        ++running.tasks_finished;
+        if (running.tasks_finished == static_cast<int>(running.tasks.size())) {
+            finish_job(running, HpcJobState::kFinished, "all tasks finished");
+        } else {
+            launch_next_task(job_id);
+        }
+    });
+    task_events_[job_id].push_back(event);
+}
+
+void HpcScheduler::release_allocation(HpcJob& job) {
+    for (auto& rec : nodes_)
+        for (auto& owner : rec.core_owner)
+            if (owner == job.id) owner = 0;
+    job.allocated_node_indices.clear();
+    job.allocated_node_names.clear();
+}
+
+void HpcScheduler::finish_job(HpcJob& job, HpcJobState terminal, const char* why) {
+    if (auto it = completion_events_.find(job.id); it != completion_events_.end()) {
+        engine_.cancel(it->second);
+        completion_events_.erase(it);
+    }
+    if (auto it = task_events_.find(job.id); it != task_events_.end()) {
+        for (auto& event : it->second) engine_.cancel(event);
+        task_events_.erase(it);
+    }
+    // Tasks still in flight share the job's fate.
+    for (auto& task : job.tasks)
+        if (task.state == HpcJobState::kRunning || task.state == HpcJobState::kQueued)
+            task.state = terminal == HpcJobState::kFinished ? HpcJobState::kFinished : terminal;
+    if (auto it = limit_events_.find(job.id); it != limit_events_.end()) {
+        engine_.cancel(it->second);
+        limit_events_.erase(it);
+    }
+    release_allocation(job);
+    job.state = terminal;
+    job.end_unix = engine_.unix_now();
+    if (terminal == HpcJobState::kFinished) ++stats_.finished;
+    if (terminal == HpcJobState::kCanceled) ++stats_.canceled;
+    engine_.logger().debug("winhpc/" + config_.cluster_name,
+                           "job " + std::to_string(job.id) + " " +
+                               hpc_job_state_name(terminal) + " (" + why + ")");
+    if (job.on_finish) job.on_finish(job);
+    for (const auto& fn : terminal_subscribers_) fn(job);
+    schedule_cycle();
+}
+
+void HpcScheduler::requeue_job(HpcJob& job) {
+    if (auto it = completion_events_.find(job.id); it != completion_events_.end()) {
+        engine_.cancel(it->second);
+        completion_events_.erase(it);
+    }
+    if (auto it = task_events_.find(job.id); it != task_events_.end()) {
+        for (auto& event : it->second) engine_.cancel(event);
+        task_events_.erase(it);
+    }
+    if (auto it = limit_events_.find(job.id); it != limit_events_.end()) {
+        engine_.cancel(it->second);
+        limit_events_.erase(it);
+    }
+    release_allocation(job);
+    // Tasks restart from scratch on the next placement.
+    for (auto& task : job.tasks) {
+        task.state = HpcJobState::kQueued;
+        task.start_unix = 0;
+        task.end_unix = 0;
+    }
+    job.tasks_finished = 0;
+    job.next_task_index = 0;
+    job.state = HpcJobState::kQueued;
+    job.start_unix = 0;
+    ++job.requeue_count;
+    ++stats_.requeued;
+    // Preserve submission order among queued jobs.
+    auto pos = queue_order_.begin();
+    while (pos != queue_order_.end()) {
+        const HpcJob* other = get_job(*pos);
+        if (other != nullptr && other->id > job.id) break;
+        ++pos;
+    }
+    queue_order_.insert(pos, job.id);
+}
+
+void HpcScheduler::handle_node_up(Node& /*node*/, OsType os) {
+    if (os == OsType::kWindows) schedule_cycle();
+}
+
+void HpcScheduler::handle_node_down(Node& node) {
+    HpcNodeRecord* rec = record_for(node);
+    util::ensure(rec != nullptr, "handle_node_down: unknown node");
+    std::vector<int> victims;
+    for (int owner : rec->core_owner)
+        if (owner != 0 && std::find(victims.begin(), victims.end(), owner) == victims.end())
+            victims.push_back(owner);
+    for (int id : victims) {
+        auto it = jobs_.find(id);
+        if (it == jobs_.end() || it->second->state != HpcJobState::kRunning) continue;
+        if (it->second->rerun_on_failure) {
+            requeue_job(*it->second);
+        } else {
+            ++stats_.failed_node_loss;
+            finish_job(*it->second, HpcJobState::kFailed, "node lost");
+        }
+    }
+    schedule_cycle();
+}
+
+std::string HpcScheduler::node_list_output() const {
+    std::string out = "Node Name        State         Cores In Use  Template\n";
+    for (const auto& rec : nodes_) {
+        char line[160];
+        std::snprintf(line, sizeof line, "%-16s %-13s %5d %6d  %s\n",
+                      rec.node->short_name().c_str(), hpc_node_state_name(rec.state()),
+                      static_cast<int>(rec.core_owner.size()), rec.used_cores(),
+                      rec.node_template.c_str());
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace hc::winhpc

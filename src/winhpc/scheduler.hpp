@@ -1,0 +1,212 @@
+// Windows HPC Server 2008 R2 -style scheduler.
+//
+// The Windows side of the hybrid cluster. Unlike PBS, "Microsoft provides a
+// SDK for programs to fetch the data and send the tasks, e.g. get the queue
+// state and nodes state" (§III.B.3) — so this substrate exposes a typed API
+// (modelled on IScheduler/ISchedulerJob) and the Windows detector consumes
+// it directly, preserving the paper's asymmetry with the text-scraping PBS
+// detector.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "sim/engine.hpp"
+#include "util/result.hpp"
+
+namespace hc::winhpc {
+
+enum class HpcJobState {
+    kConfiguring,
+    kQueued,
+    kRunning,
+    kFinished,
+    kFailed,
+    kCanceled,
+};
+
+[[nodiscard]] const char* hpc_job_state_name(HpcJobState s);
+
+/// Resource unit granularity (JobUnitType in the real SDK).
+enum class JobUnitType { kCore, kNode };
+
+enum class HpcNodeState {
+    kOnline,       ///< reachable and accepting work
+    kOffline,      ///< admin-paused
+    kDraining,     ///< finishing current work, accepting none
+    kUnreachable,  ///< heartbeat lost (off, rebooting, or running Linux)
+};
+
+[[nodiscard]] const char* hpc_node_state_name(HpcNodeState s);
+
+/// One task inside a job (ISchedulerTask). MDCS submits a job with one
+/// worker task per lab; tasks share the job's allocation and run in
+/// parallel, one per allocated lane.
+struct HpcTaskSpec {
+    std::string command_line = "worker.exe";
+    sim::Duration run_time = sim::seconds(1);
+};
+
+struct HpcTask {
+    int id = 0;  ///< 1-based within the job
+    std::string command_line;
+    sim::Duration run_time{};
+    HpcJobState state = HpcJobState::kConfiguring;
+    std::int64_t start_unix = 0;
+    std::int64_t end_unix = 0;
+};
+
+struct HpcJobSpec {
+    std::string name = "Job";
+    std::string owner = "HPC\\user";
+    JobUnitType unit = JobUnitType::kNode;
+    int min_resources = 1;  ///< nodes or cores depending on unit
+    sim::Duration run_time = sim::seconds(1);  ///< used when `tasks` is empty
+    /// Optional explicit task list. When non-empty, the job runs its tasks
+    /// in parallel over its allocation (one per node for node-unit jobs,
+    /// one per core for core-unit jobs) and finishes when all tasks do;
+    /// `run_time` is ignored.
+    std::vector<HpcTaskSpec> tasks;
+    std::optional<sim::Duration> runtime_limit;  ///< job template runtime cap
+    bool rerun_on_failure = false;
+    std::function<void(struct HpcJob&)> on_start;
+    std::function<void(struct HpcJob&)> on_finish;
+};
+
+struct HpcJob {
+    int id = 0;
+    std::string name;
+    std::string owner;
+    JobUnitType unit = JobUnitType::kNode;
+    int min_resources = 1;
+    HpcJobState state = HpcJobState::kConfiguring;
+    bool rerun_on_failure = false;
+    std::int64_t submit_unix = 0;
+    std::int64_t start_unix = 0;
+    std::int64_t end_unix = 0;
+    std::vector<int> allocated_node_indices;
+    std::vector<std::string> allocated_node_names;
+    int requeue_count = 0;
+    sim::Duration run_time{};
+    std::vector<HpcTask> tasks;   ///< empty for implicit single-activity jobs
+    int tasks_finished = 0;
+    int next_task_index = 0;      ///< dispatch cursor while running
+    std::optional<sim::Duration> runtime_limit;
+    std::function<void(HpcJob&)> on_start;
+    std::function<void(HpcJob&)> on_finish;
+
+    /// CPUs this job books (the Fig 5 [Needed CPUs] field on the Windows
+    /// side). Node-unit jobs count cores_per_node per node.
+    [[nodiscard]] int needed_cpus(int cores_per_node) const {
+        return unit == JobUnitType::kNode ? min_resources * cores_per_node : min_resources;
+    }
+};
+
+/// Per-node record as the HPC management service sees it.
+struct HpcNodeRecord {
+    cluster::Node* node = nullptr;
+    bool admin_offline = false;
+    std::string node_template = "Eridani Compute";
+    std::vector<int> core_owner;  ///< job id per core (0 = free)
+
+    [[nodiscard]] int free_cores() const;
+    [[nodiscard]] int used_cores() const;
+    [[nodiscard]] bool reachable() const;  ///< up and running Windows
+    [[nodiscard]] HpcNodeState state() const;
+};
+
+struct HpcStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t started = 0;
+    std::uint64_t finished = 0;
+    std::uint64_t failed_node_loss = 0;
+    std::uint64_t canceled = 0;
+    std::uint64_t killed_runtime_limit = 0;
+    std::uint64_t requeued = 0;
+};
+
+struct HpcSchedulerConfig {
+    std::string cluster_name = "WINHEAD";
+    std::string node_template = "Eridani Compute";
+    bool strict_fifo = true;
+};
+
+class HpcScheduler {
+public:
+    HpcScheduler(sim::Engine& engine, HpcSchedulerConfig config = {});
+
+    HpcScheduler(const HpcScheduler&) = delete;
+    HpcScheduler& operator=(const HpcScheduler&) = delete;
+
+    [[nodiscard]] const std::string& cluster_name() const { return config_.cluster_name; }
+
+    /// Register a compute node (deployed from the node template).
+    void attach_node(cluster::Node& node);
+
+    /// Submit a job; returns its integer id (Windows HPC job ids are ints).
+    [[nodiscard]] int submit_job(HpcJobSpec spec);
+
+    [[nodiscard]] util::Status cancel_job(int id);
+
+    [[nodiscard]] const HpcJob* get_job(int id) const;
+    [[nodiscard]] std::vector<const HpcJob*> get_jobs(
+        std::optional<HpcJobState> filter = std::nullopt) const;
+
+    /// SDK-style queue metrics (what the Windows detector reads).
+    [[nodiscard]] int queued_job_count() const;
+    [[nodiscard]] int running_job_count() const;
+    [[nodiscard]] const HpcJob* first_queued_job() const;
+
+    [[nodiscard]] const std::vector<HpcNodeRecord>& node_records() const { return nodes_; }
+    [[nodiscard]] int total_cores() const;
+    [[nodiscard]] int free_cores() const;
+    /// Online nodes with zero allocation — OS-switch candidates.
+    [[nodiscard]] std::vector<const HpcNodeRecord*> fully_idle_nodes() const;
+
+    [[nodiscard]] util::Status set_node_online(const std::string& name, bool online);
+
+    [[nodiscard]] const HpcStats& stats() const { return stats_; }
+    [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+    void on_job_terminal(std::function<void(const HpcJob&)> fn);
+
+    /// One scheduler pass (normally automatic).
+    void schedule_cycle();
+
+    /// Cluster-manager-style text listing (`node list` view) for examples.
+    [[nodiscard]] std::string node_list_output() const;
+
+private:
+    void start_job(HpcJob& job, const std::vector<int>& record_indices);
+    void launch_next_task(int job_id);
+    void finish_job(HpcJob& job, HpcJobState terminal, const char* why);
+    void release_allocation(HpcJob& job);
+    void handle_node_up(cluster::Node& node, cluster::OsType os);
+    void handle_node_down(cluster::Node& node);
+    void requeue_job(HpcJob& job);
+    [[nodiscard]] std::optional<std::vector<int>> try_place(const HpcJob& job) const;
+    [[nodiscard]] HpcNodeRecord* record_for(const cluster::Node& node);
+
+    sim::Engine& engine_;
+    HpcSchedulerConfig config_;
+    int next_id_ = 1;
+    std::vector<HpcNodeRecord> nodes_;
+    std::map<int, std::unique_ptr<HpcJob>> jobs_;
+    std::deque<int> queue_order_;
+    std::map<int, sim::EventId> completion_events_;
+    std::map<int, std::vector<sim::EventId>> task_events_;  ///< pending task completions
+    std::map<int, sim::EventId> limit_events_;
+    std::vector<std::function<void(const HpcJob&)>> terminal_subscribers_;
+    bool in_cycle_ = false;
+    bool cycle_again_ = false;
+    HpcStats stats_;
+};
+
+}  // namespace hc::winhpc

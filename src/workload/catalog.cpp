@@ -1,0 +1,94 @@
+#include "workload/catalog.hpp"
+
+#include "util/errors.hpp"
+#include "util/table.hpp"
+
+namespace hc::workload {
+
+const char* os_support_label(OsSupport s) {
+    switch (s) {
+        case OsSupport::kLinuxOnly: return "L";
+        case OsSupport::kWindowsOnly: return "W";
+        case OsSupport::kBoth: return "W&L";
+    }
+    return "?";
+}
+
+AppCatalog::AppCatalog(std::vector<Application> apps) : apps_(std::move(apps)) {
+    util::require(!apps_.empty(), "AppCatalog: needs at least one application");
+}
+
+AppCatalog AppCatalog::huddersfield() {
+    // Table I rows, in the paper's alphabetical order. Shape parameters are
+    // synthetic: MD/QM codes run long on several nodes, render jobs are
+    // short and many, FEA sits in between.
+    std::vector<Application> apps = {
+        {"Abaqus", "Finite Element Analysis", OsSupport::kLinuxOnly, 1.0, 1, 2, 7200, 0.7},
+        {"Amber", "Assisted Model Building with Energy Refinement aimed at biological systems",
+         OsSupport::kLinuxOnly, 0.8, 1, 4, 14400, 0.9},
+        {"Backburner", "Rendering software for 3ds Max", OsSupport::kWindowsOnly, 1.6, 1, 4,
+         1800, 1.0},
+        {"Blender", "Open Source 3D Modeller and Renderer", OsSupport::kLinuxOnly, 0.7, 1, 2,
+         2400, 1.0},
+        {"CASTEP", "CAmbridge Sequential Total Energy Package", OsSupport::kLinuxOnly, 0.9, 1,
+         4, 10800, 0.8},
+        {"COMSOL", "Multiphysics Modelling, Finite Element Analysis, Engineering Simulation "
+                   "Software",
+         OsSupport::kBoth, 0.9, 1, 2, 5400, 0.8},
+        {"DL_POLY", "General purpose classical molecular dynamics (MD) simulation software",
+         OsSupport::kLinuxOnly, 2.0, 2, 4, 21600, 0.9},
+        {"ANSYS FLUENT", "Computational Fluid Dynamics (CFD)", OsSupport::kBoth, 1.4, 1, 4,
+         9000, 0.8},
+        {"GAMESS-UK", "Molecular QM code", OsSupport::kLinuxOnly, 0.8, 1, 2, 12600, 0.9},
+        {"GULP", "General Utility Lattice Program", OsSupport::kLinuxOnly, 0.5, 1, 1, 3600,
+         0.7},
+        {"LAMMPS", "Large-scale Atomic/Molecular Massively Parallel Simulator",
+         OsSupport::kLinuxOnly, 1.2, 2, 4, 18000, 0.9},
+        {"MATLAB", "Numerical Computing Environment", OsSupport::kBoth, 1.5, 1, 4, 3600, 1.0},
+        {"METADISE", "Minimum Energy Techniques Applied to Defects, Interfaces and Surface "
+                     "Energies",
+         OsSupport::kLinuxOnly, 0.4, 1, 1, 5400, 0.7},
+        {"NWChem", "Multi-purpose QM and MM code", OsSupport::kLinuxOnly, 0.8, 1, 4, 14400,
+         0.9},
+        {"Opera", "Finite Element Analysis for Electromagnetics", OsSupport::kWindowsOnly, 0.7,
+         1, 2, 5400, 0.7},
+    };
+    return AppCatalog(std::move(apps));
+}
+
+const Application* AppCatalog::find(const std::string& name) const {
+    for (const auto& app : apps_)
+        if (app.name == name) return &app;
+    return nullptr;
+}
+
+double AppCatalog::total_weight() const {
+    double total = 0;
+    for (const auto& app : apps_) total += app.demand_weight;
+    return total;
+}
+
+double AppCatalog::exclusive_share(cluster::OsType os) const {
+    const OsSupport want = os == cluster::OsType::kLinux ? OsSupport::kLinuxOnly
+                                                         : OsSupport::kWindowsOnly;
+    double share = 0;
+    for (const auto& app : apps_)
+        if (app.support == want) share += app.demand_weight;
+    return share / total_weight();
+}
+
+double AppCatalog::flexible_share() const {
+    double share = 0;
+    for (const auto& app : apps_)
+        if (app.support == OsSupport::kBoth) share += app.demand_weight;
+    return share / total_weight();
+}
+
+std::string AppCatalog::render_table() const {
+    util::Table table({"Software Name", "Description", "OS"});
+    for (const auto& app : apps_)
+        table.add_row({app.name, app.description, os_support_label(app.support)});
+    return table.render();
+}
+
+}  // namespace hc::workload

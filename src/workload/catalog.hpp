@@ -1,0 +1,64 @@
+// The application catalogue: Table I of the paper.
+//
+// Fifteen packages used on the Huddersfield campus cluster, each bound to
+// Windows (W), Linux (L), or both (W&L). The OS-support column is verbatim
+// from the paper; the demand weights and job-shape parameters are synthetic
+// (the paper publishes no workload statistics) and documented as such in
+// DESIGN.md — they are chosen so the aggregate OS mix is roughly 2/3 Linux,
+// 1/6 Windows, 1/6 flexible, which is what makes a hybrid cluster
+// interesting at all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/os.hpp"
+
+namespace hc::workload {
+
+enum class OsSupport {
+    kLinuxOnly,    ///< "L"
+    kWindowsOnly,  ///< "W"
+    kBoth,         ///< "W&L"
+};
+
+[[nodiscard]] const char* os_support_label(OsSupport s);  ///< "L", "W", "W&L"
+
+struct Application {
+    std::string name;
+    std::string description;   ///< Table I wording
+    OsSupport support;
+
+    // Synthetic job-shape parameters (per-application demand model).
+    double demand_weight = 1.0;      ///< relative share of submitted jobs
+    int min_nodes = 1;
+    int max_nodes = 4;
+    double runtime_median_s = 3600;  ///< log-normal median
+    double runtime_sigma = 0.8;      ///< log-normal shape
+};
+
+class AppCatalog {
+public:
+    /// The Huddersfield campus catalogue — Table I's fifteen rows.
+    [[nodiscard]] static AppCatalog huddersfield();
+
+    explicit AppCatalog(std::vector<Application> apps);
+
+    [[nodiscard]] const std::vector<Application>& apps() const { return apps_; }
+    [[nodiscard]] const Application* find(const std::string& name) const;
+    [[nodiscard]] std::size_t size() const { return apps_.size(); }
+
+    /// Demand-weighted share of jobs that can only run on the given OS.
+    [[nodiscard]] double exclusive_share(cluster::OsType os) const;
+    /// Demand-weighted share of OS-flexible (W&L) jobs.
+    [[nodiscard]] double flexible_share() const;
+
+    /// Render Table I (name, description, OS) for the T1 bench.
+    [[nodiscard]] std::string render_table() const;
+
+private:
+    [[nodiscard]] double total_weight() const;
+    std::vector<Application> apps_;
+};
+
+}  // namespace hc::workload

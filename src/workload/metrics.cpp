@@ -1,0 +1,98 @@
+#include "workload/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/errors.hpp"
+#include "util/time_format.hpp"
+
+namespace hc::workload {
+
+void MetricsCollector::add(JobOutcome outcome) { outcomes_.push_back(std::move(outcome)); }
+
+namespace {
+
+double percentile(std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0;
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary MetricsCollector::summarise(const ClusterCounters& counters, double horizon_s) const {
+    util::require(horizon_s > 0, "summarise: horizon must be positive");
+    Summary s;
+    s.submitted = outcomes_.size();
+    s.os_switches = counters.os_switches;
+    s.reboots = counters.reboots;
+    s.reboot_downtime_s = static_cast<double>(counters.reboot_downtime_s);
+
+    std::vector<double> waits;
+    double wait_sum = 0, turnaround_sum = 0;
+    double wait_linux_sum = 0, wait_windows_sum = 0;
+    std::size_t linux_n = 0, windows_n = 0;
+    double last_finish = 0, first_submit = -1;
+    for (const auto& o : outcomes_) {
+        if (first_submit < 0 || o.spec.submit.seconds() < first_submit)
+            first_submit = o.spec.submit.seconds();
+        if (!o.completed) continue;
+        ++s.completed;
+        waits.push_back(static_cast<double>(o.wait_s));
+        wait_sum += static_cast<double>(o.wait_s);
+        turnaround_sum += static_cast<double>(o.turnaround_s);
+        s.delivered_core_seconds +=
+            static_cast<double>(o.spec.total_cpus()) * static_cast<double>(o.ran_s);
+        const double finish = o.spec.submit.seconds() + static_cast<double>(o.turnaround_s);
+        last_finish = std::max(last_finish, finish);
+        if (o.spec.os == cluster::OsType::kWindows) {
+            wait_windows_sum += static_cast<double>(o.wait_s);
+            ++windows_n;
+        } else {
+            wait_linux_sum += static_cast<double>(o.wait_s);
+            ++linux_n;
+        }
+    }
+    s.completion_rate =
+        s.submitted > 0 ? static_cast<double>(s.completed) / static_cast<double>(s.submitted) : 0;
+    if (s.completed > 0) {
+        s.mean_wait_s = wait_sum / static_cast<double>(s.completed);
+        s.mean_turnaround_s = turnaround_sum / static_cast<double>(s.completed);
+        std::sort(waits.begin(), waits.end());
+        s.median_wait_s = percentile(waits, 0.5);
+        s.p95_wait_s = percentile(waits, 0.95);
+        s.max_wait_s = waits.back();
+    }
+    if (linux_n > 0) s.mean_wait_linux_s = wait_linux_sum / static_cast<double>(linux_n);
+    if (windows_n > 0) s.mean_wait_windows_s = wait_windows_sum / static_cast<double>(windows_n);
+    if (first_submit >= 0 && last_finish > first_submit) s.makespan_s = last_finish - first_submit;
+    if (counters.total_cores > 0) {
+        const double capacity = static_cast<double>(counters.total_cores) * horizon_s;
+        s.utilisation = s.delivered_core_seconds / capacity;
+        // Downtime is counted in node-seconds; each down node idles all its cores.
+        s.switch_overhead =
+            s.reboot_downtime_s * static_cast<double>(counters.cores_per_node) / capacity;
+    }
+    return s;
+}
+
+std::string render_summary(const std::string& label, const Summary& s) {
+    char buf[640];
+    std::snprintf(
+        buf, sizeof buf,
+        "%-28s jobs %3zu/%3zu  util %5.1f%%  wait mean %s (L %s / W %s)  p95 %s  "
+        "switches %llu  reboot-loss %s\n",
+        label.c_str(), s.completed, s.submitted, s.utilisation * 100.0,
+        util::format_duration(static_cast<std::int64_t>(s.mean_wait_s)).c_str(),
+        util::format_duration(static_cast<std::int64_t>(s.mean_wait_linux_s)).c_str(),
+        util::format_duration(static_cast<std::int64_t>(s.mean_wait_windows_s)).c_str(),
+        util::format_duration(static_cast<std::int64_t>(s.p95_wait_s)).c_str(),
+        static_cast<unsigned long long>(s.os_switches),
+        util::format_duration(static_cast<std::int64_t>(s.reboot_downtime_s)).c_str());
+    return buf;
+}
+
+}  // namespace hc::workload

@@ -1,0 +1,78 @@
+// Experiment metrics.
+//
+// Aggregates per-job outcomes plus cluster-level counters into the summary
+// rows the benches print (utilisation, waits, switches, reboot downtime).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/os.hpp"
+#include "sim/time.hpp"
+#include "workload/generator.hpp"
+
+namespace hc::workload {
+
+/// What happened to one replayed job.
+struct JobOutcome {
+    JobSpec spec;
+    bool completed = false;
+    std::int64_t wait_s = 0;        ///< submit -> start
+    std::int64_t turnaround_s = 0;  ///< submit -> finish
+    std::int64_t ran_s = 0;         ///< start -> finish (actual)
+};
+
+/// Cluster-level counters a scenario reports alongside job outcomes.
+struct ClusterCounters {
+    int total_cores = 0;
+    int cores_per_node = 4;
+    std::uint64_t os_switches = 0;
+    std::uint64_t reboots = 0;
+    std::int64_t reboot_downtime_s = 0;  ///< node-seconds of downtime, summed across nodes
+};
+
+struct Summary {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    double completion_rate = 0;
+
+    double mean_wait_s = 0;
+    double median_wait_s = 0;
+    double p95_wait_s = 0;
+    double max_wait_s = 0;
+    double mean_wait_linux_s = 0;
+    double mean_wait_windows_s = 0;
+
+    double mean_turnaround_s = 0;
+    double makespan_s = 0;  ///< first submit -> last completion
+
+    /// Delivered core-seconds / (cores x horizon).
+    double utilisation = 0;
+    double delivered_core_seconds = 0;
+
+    std::uint64_t os_switches = 0;
+    std::uint64_t reboots = 0;
+    double reboot_downtime_s = 0;
+    /// Fraction of capacity lost to reboots.
+    double switch_overhead = 0;
+};
+
+class MetricsCollector {
+public:
+    void add(JobOutcome outcome);
+    [[nodiscard]] const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
+    [[nodiscard]] std::size_t size() const { return outcomes_.size(); }
+
+    /// Fold everything into a Summary. `horizon_s` is the observation
+    /// window used for utilisation.
+    [[nodiscard]] Summary summarise(const ClusterCounters& counters, double horizon_s) const;
+
+private:
+    std::vector<JobOutcome> outcomes_;
+};
+
+/// Render a one-scenario summary block for bench output.
+[[nodiscard]] std::string render_summary(const std::string& label, const Summary& s);
+
+}  // namespace hc::workload

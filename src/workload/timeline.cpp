@@ -1,0 +1,125 @@
+#include "workload/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/errors.hpp"
+
+namespace hc::workload {
+
+using cluster::Node;
+using cluster::OsType;
+
+OwnershipTimeline::OwnershipTimeline(cluster::Cluster& cluster) : engine_(cluster.engine()) {
+    per_node_.resize(static_cast<std::size_t>(cluster.node_count()));
+    for (auto* node : cluster.nodes()) {
+        const int index = node->index();
+        // Initial phase reflects the node's current state (usually kOff).
+        record(index, node->is_up()
+                          ? (node->os() == OsType::kWindows ? NodePhase::kWindows
+                                                            : NodePhase::kLinux)
+                          : NodePhase::kOff);
+        node->on_up([this, index](Node&, OsType os) {
+            record(index,
+                   os == OsType::kWindows ? NodePhase::kWindows : NodePhase::kLinux);
+        });
+        node->on_down([this, index](Node&) { record(index, NodePhase::kBooting); });
+    }
+}
+
+void OwnershipTimeline::record(int node_index, NodePhase phase) {
+    auto& events = per_node_[static_cast<std::size_t>(node_index)];
+    // A node powering on goes kOff -> kBooting implicitly via power_on();
+    // since power_on has no down-callback, patch the gap: if the first
+    // transition we see is "up", synthesize nothing — the Gantt simply shows
+    // off until up, which is accurate enough for initial boot.
+    events.push_back(Event{engine_.now(), phase});
+}
+
+NodePhase OwnershipTimeline::phase_at(int node_index, sim::TimePoint at) const {
+    util::require(node_index >= 0 &&
+                      node_index < static_cast<int>(per_node_.size()),
+                  "phase_at: node index out of range");
+    const auto& events = per_node_[static_cast<std::size_t>(node_index)];
+    NodePhase phase = NodePhase::kOff;
+    for (const auto& event : events) {
+        if (event.at > at) break;
+        phase = event.phase;
+    }
+    return phase;
+}
+
+std::string OwnershipTimeline::render_gantt(sim::TimePoint from, sim::TimePoint to,
+                                            sim::Duration bucket) const {
+    util::require(bucket.ms > 0, "render_gantt: bucket must be positive");
+    util::require(to > from, "render_gantt: empty interval");
+    const int columns =
+        static_cast<int>((to.ms - from.ms + bucket.ms - 1) / bucket.ms);
+    std::string out;
+    // Ruler: hour marks every max(1, columns/8) columns.
+    out += "          ";
+    const int ruler_step = std::max(1, columns / 8);
+    for (int c = 0; c < columns; ++c) {
+        if (c % ruler_step == 0) {
+            char mark[16];
+            const double hours = (from + bucket * c).seconds() / 3600.0;
+            std::snprintf(mark, sizeof mark, "|%-*.1f", ruler_step - 1, hours);
+            out += std::string(mark).substr(0, static_cast<std::size_t>(ruler_step));
+        }
+    }
+    out += "  (hours)\n";
+    for (std::size_t node = 0; node < per_node_.size(); ++node) {
+        char label[24];
+        std::snprintf(label, sizeof label, "enode%02d   ", static_cast<int>(node) + 1);
+        out += label;
+        for (int c = 0; c < columns; ++c)
+            out += static_cast<char>(phase_at(static_cast<int>(node), from + bucket * c));
+        out += '\n';
+    }
+    out += "          L=linux W=windows ~=rebooting .=off\n";
+    return out;
+}
+
+OwnershipTimeline::PhaseTotals OwnershipTimeline::totals(sim::TimePoint from,
+                                                         sim::TimePoint to) const {
+    util::require(to > from, "totals: empty interval");
+    PhaseTotals totals;
+    for (std::size_t node = 0; node < per_node_.size(); ++node) {
+        const auto& events = per_node_[node];
+        // Walk the piecewise-constant phase function across [from, to).
+        NodePhase phase = NodePhase::kOff;
+        sim::TimePoint cursor = from;
+        for (const auto& event : events) {
+            if (event.at <= from) {
+                phase = event.phase;
+                continue;
+            }
+            if (event.at >= to) break;
+            const double span = (event.at - cursor).seconds();
+            switch (phase) {
+                case NodePhase::kOff: totals.off_s += span; break;
+                case NodePhase::kBooting: totals.booting_s += span; break;
+                case NodePhase::kLinux: totals.linux_s += span; break;
+                case NodePhase::kWindows: totals.windows_s += span; break;
+            }
+            cursor = event.at;
+            phase = event.phase;
+        }
+        const double tail = (to - cursor).seconds();
+        switch (phase) {
+            case NodePhase::kOff: totals.off_s += tail; break;
+            case NodePhase::kBooting: totals.booting_s += tail; break;
+            case NodePhase::kLinux: totals.linux_s += tail; break;
+            case NodePhase::kWindows: totals.windows_s += tail; break;
+        }
+    }
+    return totals;
+}
+
+std::size_t OwnershipTimeline::event_count() const {
+    std::size_t count = 0;
+    for (const auto& events : per_node_) count += events.size();
+    return count;
+}
+
+}  // namespace hc::workload

@@ -1,0 +1,69 @@
+// Node-ownership timeline: who owned each node, when.
+//
+// Records every node OS transition and renders an ASCII Gantt chart — the
+// visual the paper's "as load shifted ... the system seamlessly adjusted"
+// claim begs for. Also integrates per-OS node-time, which the E4 bench uses
+// to report capacity shares.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/time.hpp"
+
+namespace hc::workload {
+
+/// Gantt cell states.
+enum class NodePhase : char {
+    kOff = '.',
+    kBooting = '~',   ///< down / rebooting / hung
+    kLinux = 'L',
+    kWindows = 'W',
+};
+
+class OwnershipTimeline {
+public:
+    /// Subscribe to every node of the cluster. Construct *before* power-on
+    /// to capture boot history from the beginning.
+    explicit OwnershipTimeline(cluster::Cluster& cluster);
+
+    /// Phase of one node at an instant (events are replayed; O(log n)).
+    [[nodiscard]] NodePhase phase_at(int node_index, sim::TimePoint at) const;
+
+    /// ASCII Gantt: one row per node, one column per `bucket` of time,
+    /// sampled at each bucket's start. Includes a time ruler.
+    [[nodiscard]] std::string render_gantt(sim::TimePoint from, sim::TimePoint to,
+                                           sim::Duration bucket) const;
+
+    /// Node-seconds spent in each phase over [from, to).
+    struct PhaseTotals {
+        double off_s = 0;
+        double booting_s = 0;
+        double linux_s = 0;
+        double windows_s = 0;
+
+        [[nodiscard]] double total() const { return off_s + booting_s + linux_s + windows_s; }
+        [[nodiscard]] double windows_share() const {
+            const double up = linux_s + windows_s;
+            return up > 0 ? windows_s / up : 0;
+        }
+    };
+    [[nodiscard]] PhaseTotals totals(sim::TimePoint from, sim::TimePoint to) const;
+
+    [[nodiscard]] std::size_t event_count() const;
+
+private:
+    struct Event {
+        sim::TimePoint at;
+        NodePhase phase;
+    };
+
+    void record(int node_index, NodePhase phase);
+
+    sim::Engine& engine_;
+    std::vector<std::vector<Event>> per_node_;  ///< events in time order
+};
+
+}  // namespace hc::workload

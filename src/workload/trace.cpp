@@ -1,0 +1,99 @@
+#include "workload/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace hc::workload {
+
+using cluster::OsType;
+using util::Error;
+using util::Result;
+
+namespace {
+
+// Percent-escape spaces (and the escape itself) so names like "DL_POLY"
+// (real underscore) and "ANSYS FLUENT" (real space) both round-trip.
+std::string mangle(const std::string& s) {
+    return util::replace_all(util::replace_all(s, "%", "%25"), " ", "%20");
+}
+std::string demangle(const std::string& s) {
+    return util::replace_all(util::replace_all(s, "%20", " "), "%25", "%");
+}
+
+}  // namespace
+
+std::string serialize_trace(const std::vector<JobSpec>& trace) {
+    std::string out;
+    out += "# submit_s app os flexible nodes ppn runtime_s owner\n";
+    for (const auto& job : trace) {
+        char line[256];
+        std::snprintf(line, sizeof line, "%.3f %s %s %d %d %d %.3f %s\n", job.submit.seconds(),
+                      mangle(job.app).c_str(), cluster::os_name(job.os), job.flexible ? 1 : 0,
+                      job.nodes, job.ppn, job.runtime.seconds(), mangle(job.owner).c_str());
+        out += line;
+    }
+    return out;
+}
+
+Result<std::vector<JobSpec>> parse_trace(const std::string& text) {
+    std::vector<JobSpec> trace;
+    int line_no = 0;
+    for (const std::string& raw : util::split_lines(text)) {
+        ++line_no;
+        const std::string line(util::trim(raw));
+        if (line.empty() || line.front() == '#') continue;
+        const auto fields = util::split_ws(line);
+        if (fields.size() != 8) return Error{"trace row needs 8 fields", line_no};
+        JobSpec job;
+        char* end = nullptr;
+        const double submit_s = std::strtod(fields[0].c_str(), &end);
+        if (end == fields[0].c_str()) return Error{"bad submit time", line_no};
+        // Round (not truncate) to milliseconds so serialise/parse round-trips.
+        job.submit = sim::TimePoint{sim::TimePoint{}.ms +
+                                    static_cast<std::int64_t>(std::llround(submit_s * 1000.0))};
+        job.app = demangle(fields[1]);
+        if (fields[2] == "linux") job.os = OsType::kLinux;
+        else if (fields[2] == "windows") job.os = OsType::kWindows;
+        else return Error{"bad os: " + fields[2], line_no};
+        job.flexible = fields[3] == "1";
+        const long long nodes = util::parse_uint(fields[4]);
+        const long long ppn = util::parse_uint(fields[5]);
+        if (nodes <= 0 || ppn <= 0) return Error{"bad nodes/ppn", line_no};
+        job.nodes = static_cast<int>(nodes);
+        job.ppn = static_cast<int>(ppn);
+        const double runtime_s = std::strtod(fields[6].c_str(), &end);
+        if (end == fields[6].c_str() || runtime_s <= 0) return Error{"bad runtime", line_no};
+        job.runtime = sim::Duration{static_cast<std::int64_t>(std::llround(runtime_s * 1000.0))};
+        job.owner = demangle(fields[7]);
+        trace.push_back(std::move(job));
+    }
+    return trace;
+}
+
+TraceStats compute_trace_stats(const std::vector<JobSpec>& trace) {
+    TraceStats stats;
+    stats.jobs = trace.size();
+    if (trace.empty()) return stats;
+    double runtime_sum = 0;
+    double cpu_sum = 0;
+    stats.first_submit = trace.front().submit;
+    stats.last_submit = trace.front().submit;
+    for (const auto& job : trace) {
+        const double cs = job.core_seconds();
+        if (job.os == OsType::kWindows) stats.windows_core_seconds += cs;
+        else stats.linux_core_seconds += cs;
+        if (job.flexible) stats.flexible_core_seconds += cs;
+        runtime_sum += job.runtime.seconds();
+        cpu_sum += job.total_cpus();
+        if (job.submit < stats.first_submit) stats.first_submit = job.submit;
+        if (job.submit > stats.last_submit) stats.last_submit = job.submit;
+    }
+    stats.mean_runtime_s = runtime_sum / static_cast<double>(trace.size());
+    stats.mean_cpus = cpu_sum / static_cast<double>(trace.size());
+    return stats;
+}
+
+}  // namespace hc::workload

@@ -1,0 +1,49 @@
+// Trace record/replay serialisation.
+//
+// A trace is one JobSpec per line in a stable text format, so experiments
+// can be archived, diffed, and replayed across middleware versions:
+//
+//   <submit_s> <app> <os> <flexible> <nodes> <ppn> <runtime_s> <owner>
+//
+// Fields are whitespace-separated; app and owner use '_' in place of spaces
+// (no Table I name needs more).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "workload/generator.hpp"
+
+namespace hc::workload {
+
+/// Serialise a trace (one line per job, submit-time order preserved).
+[[nodiscard]] std::string serialize_trace(const std::vector<JobSpec>& trace);
+
+/// Parse a serialised trace. Round-trips serialize_trace exactly.
+[[nodiscard]] util::Result<std::vector<JobSpec>> parse_trace(const std::string& text);
+
+/// Aggregate shape statistics of a trace (for bench headers and sanity
+/// tests of the generator).
+struct TraceStats {
+    std::size_t jobs = 0;
+    double linux_core_seconds = 0;
+    double windows_core_seconds = 0;
+    double flexible_core_seconds = 0;  ///< subset of the above from W&L apps
+    double mean_runtime_s = 0;
+    double mean_cpus = 0;
+    sim::TimePoint first_submit{};
+    sim::TimePoint last_submit{};
+
+    [[nodiscard]] double total_core_seconds() const {
+        return linux_core_seconds + windows_core_seconds;
+    }
+    [[nodiscard]] double windows_share() const {
+        const double total = total_core_seconds();
+        return total > 0 ? windows_core_seconds / total : 0;
+    }
+};
+
+[[nodiscard]] TraceStats compute_trace_stats(const std::vector<JobSpec>& trace);
+
+}  // namespace hc::workload

@@ -1,0 +1,241 @@
+// Tests for the v1 switch scripts, the canonical disk layouts, and local
+// (MBR-path) boot resolution.
+#include <gtest/gtest.h>
+
+#include "boot/boot_control.hpp"
+#include "boot/disk_layouts.hpp"
+#include "boot/grub_config.hpp"
+#include "boot/local_boot.hpp"
+
+namespace hc::boot {
+namespace {
+
+using cluster::Disk;
+using cluster::FsType;
+using cluster::MbrCode;
+using cluster::OsType;
+
+// ---------- boot control scripts ----------
+
+TEST(BootControl, BatchSwitchCopiesStagedFile) {
+    cluster::FileStore fat;
+    stage_control_files(fat, /*install_live=*/true, OsType::kLinux);
+    EXPECT_EQ(read_control_default(fat).value(), OsType::kLinux);
+    ASSERT_TRUE(batch_switch(fat, OsType::kWindows).ok());
+    EXPECT_EQ(read_control_default(fat).value(), OsType::kWindows);
+    // Staged sources survive (copy, not rename) so we can switch back.
+    ASSERT_TRUE(batch_switch(fat, OsType::kLinux).ok());
+    EXPECT_EQ(read_control_default(fat).value(), OsType::kLinux);
+}
+
+TEST(BootControl, BatchSwitchFailsWithoutStagedFiles) {
+    cluster::FileStore fat;
+    EXPECT_FALSE(batch_switch(fat, OsType::kWindows).ok());
+}
+
+TEST(BootControl, CarterScriptRewritesDefault) {
+    cluster::FileStore fat;
+    fat.write(kControlMenuPath, make_eridani_control_menu(OsType::kLinux).emit());
+    ASSERT_TRUE(bootcontrol_pl(fat, kControlMenuPath, OsType::kWindows).ok());
+    EXPECT_EQ(read_control_default(fat).value(), OsType::kWindows);
+    // The file is rewritten in place, entries unchanged.
+    const auto cfg = GrubConfig::parse(fat.read(kControlMenuPath).value());
+    ASSERT_TRUE(cfg.ok());
+    EXPECT_EQ(cfg.value().entries.size(), 2u);
+}
+
+TEST(BootControl, CarterScriptFailsOnMissingOrCorruptFile) {
+    cluster::FileStore fat;
+    EXPECT_FALSE(bootcontrol_pl(fat, kControlMenuPath, OsType::kWindows).ok());
+    fat.write(kControlMenuPath, "garbage !!!\n");
+    EXPECT_FALSE(bootcontrol_pl(fat, kControlMenuPath, OsType::kWindows).ok());
+}
+
+TEST(BootControl, CarterScriptFailsWhenOsMissing) {
+    cluster::FileStore fat;
+    fat.write(kControlMenuPath, make_redirect_menu().emit());  // no windows entry
+    EXPECT_FALSE(bootcontrol_pl(fat, kControlMenuPath, OsType::kWindows).ok());
+}
+
+TEST(BootControl, ReadDefaultRejectsCorruptFile) {
+    cluster::FileStore fat;
+    fat.write(kControlMenuPath, "wibble\n");
+    EXPECT_FALSE(read_control_default(fat).ok());
+}
+
+// ---------- disk layouts ----------
+
+TEST(DiskLayout, V1HasAllPartitions) {
+    const Disk disk = make_v1_dualboot_disk();
+    EXPECT_EQ(disk.find(kV1WindowsPartition)->fs, FsType::kNtfs);
+    EXPECT_EQ(disk.find(kV1BootPartition)->fs, FsType::kExt3);
+    EXPECT_EQ(disk.find(kV1SwapPartition)->fs, FsType::kSwap);
+    EXPECT_EQ(disk.find(kV1FatPartition)->fs, FsType::kFat);
+    EXPECT_EQ(disk.find(kV1RootPartition)->fs, FsType::kExt3);
+    EXPECT_EQ(disk.mbr().code, MbrCode::kGrubStage1);
+    EXPECT_EQ(disk.mbr().grub_config_partition, kV1BootPartition);
+}
+
+TEST(DiskLayout, V1DeviceNumbersMatchPaperFigures) {
+    // Fig 2: root (hd0,5) = sda6 = FAT; splash on (hd0,1) = sda2 = /boot.
+    // Fig 3: kernel root=/dev/sda7; windows chainload (hd0,0) = sda1.
+    EXPECT_EQ(kV1FatPartition, (GrubDevice{0, 5}).partition_index());
+    EXPECT_EQ(kV1BootPartition, (GrubDevice{0, 1}).partition_index());
+    EXPECT_EQ(kV1WindowsPartition, (GrubDevice{0, 0}).partition_index());
+    EXPECT_EQ(kV1RootPartition, 7);
+}
+
+TEST(DiskLayout, V1StagesControlFiles) {
+    const Disk disk = make_v1_dualboot_disk();
+    const auto& fat = disk.find(kV1FatPartition)->files;
+    EXPECT_TRUE(fat.exists(kControlMenuPath));
+    EXPECT_TRUE(fat.exists(kControlToLinuxPath));
+    EXPECT_TRUE(fat.exists(kControlToWindowsPath));
+    EXPECT_TRUE(disk.find(kV1BootPartition)->files.exists(kMenuLstPath));
+}
+
+TEST(DiskLayout, V2MatchesFig14) {
+    const Disk disk = make_v2_disk();
+    EXPECT_EQ(disk.find(1)->size_mb, 16'000);
+    EXPECT_EQ(disk.find(2)->size_mb, 100);
+    EXPECT_EQ(disk.find(2)->mount, "/boot");
+    EXPECT_EQ(disk.find(5)->fs, FsType::kSwap);
+    EXPECT_EQ(disk.find(6)->size_mb, -1);  // '*' fill
+    EXPECT_EQ(disk.find(6)->mount, "/");
+    EXPECT_EQ(disk.find(7), nullptr);  // no FAT partition in v2
+}
+
+// ---------- local boot resolution ----------
+
+TEST(LocalBoot, V1DefaultBootsLinux) {
+    const Disk disk = make_v1_dualboot_disk();  // control default = linux
+    const auto d = resolve_local_boot(disk);
+    EXPECT_EQ(d.os, OsType::kLinux);
+    // Fig 2 (timeout 5) + Fig 3 (timeout 10) menu delays accumulate.
+    EXPECT_EQ(d.menu_delay.whole_seconds(), 15);
+    EXPECT_NE(d.via.find("redirect"), std::string::npos);
+}
+
+TEST(LocalBoot, ControlFileSelectsWindows) {
+    Disk disk = make_v1_dualboot_disk();
+    ASSERT_TRUE(batch_switch(disk.find(kV1FatPartition)->files, OsType::kWindows).ok());
+    EXPECT_EQ(resolve_local_boot(disk).os, OsType::kWindows);
+}
+
+TEST(LocalBoot, EmptyMbrHangs) {
+    Disk disk(1000);
+    const auto d = resolve_local_boot(disk);
+    EXPECT_EQ(d.os, OsType::kNone);
+    EXPECT_EQ(d.via, "mbr:none");
+}
+
+TEST(LocalBoot, WindowsMbrBootsActiveNtfs) {
+    // The post-reimage state: Windows stamped its MBR over GRUB.
+    Disk disk = make_v1_dualboot_disk();
+    disk.mbr().code = MbrCode::kWindowsMbr;
+    const auto d = resolve_local_boot(disk);
+    EXPECT_EQ(d.os, OsType::kWindows);  // Linux unreachable despite being installed
+}
+
+TEST(LocalBoot, WindowsMbrWithNoActivePartitionHangs) {
+    Disk disk = make_v1_dualboot_disk();
+    disk.mbr().code = MbrCode::kWindowsMbr;
+    for (auto& p : disk.partitions()) p.active = false;
+    EXPECT_EQ(resolve_local_boot(disk).os, OsType::kNone);
+}
+
+TEST(LocalBoot, MissingMenuLstHangs) {
+    Disk disk = make_v1_dualboot_disk();
+    disk.find(kV1BootPartition)->files.remove(kMenuLstPath);
+    const auto d = resolve_local_boot(disk);
+    EXPECT_EQ(d.os, OsType::kNone);
+    EXPECT_NE(d.via.find("menu.lst-missing"), std::string::npos);
+}
+
+TEST(LocalBoot, MissingControlFileHangs) {
+    Disk disk = make_v1_dualboot_disk();
+    disk.find(kV1FatPartition)->files.remove(kControlMenuPath);
+    EXPECT_EQ(resolve_local_boot(disk).os, OsType::kNone);
+}
+
+TEST(LocalBoot, ChainloaderToUnformattedPartitionFails) {
+    // Windows selected but never installed: the chainload target is empty.
+    V1DiskOptions opts;
+    opts.windows_installed = false;
+    opts.control_default = OsType::kWindows;
+    Disk disk = make_v1_dualboot_disk(opts);
+    const auto d = resolve_local_boot(disk);
+    EXPECT_EQ(d.os, OsType::kNone);
+    EXPECT_NE(d.via.find("not-ntfs"), std::string::npos);
+}
+
+TEST(LocalBoot, FallbackRescuesBrokenDefault) {
+    // Default selects Windows but Windows was never installed; with
+    // fallback=0 pointing at the Linux entry, GRUB 0.97 boots Linux instead
+    // of hanging.
+    V1DiskOptions opts;
+    opts.windows_installed = false;
+    opts.control_default = OsType::kLinux;
+    Disk disk = make_v1_dualboot_disk(opts);
+    GrubConfig menu = make_eridani_control_menu(OsType::kWindows);
+    menu.fallback_index = 0;  // the Linux entry
+    disk.find(kV1FatPartition)->files.write(kControlMenuPath, menu.emit());
+    const auto d = resolve_local_boot(disk);
+    EXPECT_EQ(d.os, OsType::kLinux);
+    EXPECT_NE(d.via.find("fallback>"), std::string::npos);
+}
+
+TEST(LocalBoot, FallbackNotUsedWhenDefaultWorks) {
+    Disk disk = make_v1_dualboot_disk();
+    GrubConfig menu = make_eridani_control_menu(OsType::kLinux);
+    menu.fallback_index = 1;
+    disk.find(kV1FatPartition)->files.write(kControlMenuPath, menu.emit());
+    const auto d = resolve_local_boot(disk);
+    EXPECT_EQ(d.os, OsType::kLinux);
+    EXPECT_EQ(d.via.find("fallback>"), std::string::npos);
+}
+
+TEST(LocalBoot, RedirectLoopDetected) {
+    Disk disk = make_v1_dualboot_disk();
+    // Make controlmenu.lst redirect to itself.
+    GrubConfig loop;
+    GrubEntry entry;
+    entry.title = "loop";
+    entry.root = GrubDevice{0, 5};
+    entry.configfile = "/controlmenu.lst";
+    loop.entries.push_back(entry);
+    disk.find(kV1FatPartition)->files.write(kControlMenuPath, loop.emit());
+    const auto d = resolve_local_boot(disk);
+    EXPECT_EQ(d.os, OsType::kNone);
+    EXPECT_NE(d.via.find("configfile-loop"), std::string::npos);
+}
+
+TEST(LocalBoot, ResolverWiresIntoNode) {
+    sim::Engine engine;
+    cluster::NodeConfig cfg;
+    cfg.hostname = "n1.test";
+    cfg.timing.jitter = 0;
+    cluster::Node node(engine, cfg, util::Rng(1));
+    node.disk() = make_v1_dualboot_disk();
+    node.set_boot_resolver(make_local_boot_resolver());
+    node.power_on();
+    engine.run_all();
+    EXPECT_EQ(node.os(), OsType::kLinux);
+}
+
+TEST(LocalBoot, GenericMbrBootsActiveBootableExt3) {
+    Disk disk(1000);
+    cluster::Partition p;
+    p.index = 1;
+    p.fs = FsType::kExt3;
+    p.size_mb = 500;
+    p.bootable = true;
+    p.generation = 1;
+    ASSERT_TRUE(disk.add_partition(std::move(p)).ok());
+    ASSERT_TRUE(disk.set_active(1).ok());
+    disk.mbr().code = MbrCode::kGeneric;
+    EXPECT_EQ(resolve_local_boot(disk).os, OsType::kLinux);
+}
+
+}  // namespace
+}  // namespace hc::boot

@@ -1,0 +1,212 @@
+// GRUB config model tests, including byte-exact goldens against the paper's
+// Figure 2 (menu.lst) and Figure 3 (controlmenu.lst) listings.
+#include <gtest/gtest.h>
+
+#include "boot/grub_config.hpp"
+
+namespace hc::boot {
+namespace {
+
+using cluster::OsType;
+
+// ---------- GrubDevice ----------
+
+TEST(GrubDevice, ParseAndEmit) {
+    const auto d = GrubDevice::parse("(hd0,1)").value();
+    EXPECT_EQ(d.disk, 0);
+    EXPECT_EQ(d.partition, 1);
+    EXPECT_EQ(d.partition_index(), 2);  // GRUB counts from 0, sdaN from 1
+    EXPECT_EQ(d.to_string(), "(hd0,1)");
+    EXPECT_EQ(GrubDevice::parse(" (hd1,6) ").value().partition_index(), 7);
+}
+
+TEST(GrubDevice, RejectsMalformed) {
+    EXPECT_FALSE(GrubDevice::parse("hd0,1").ok());
+    EXPECT_FALSE(GrubDevice::parse("(sd0,1)").ok());
+    EXPECT_FALSE(GrubDevice::parse("(hd0)").ok());
+    EXPECT_FALSE(GrubDevice::parse("(hd0,x)").ok());
+    EXPECT_FALSE(GrubDevice::parse("").ok());
+}
+
+// ---------- goldens ----------
+
+constexpr const char* kFig2MenuLst =
+    "default=0\n"
+    "timeout=5\n"
+    "splashimage=(hd0,1)/grub/splash.xpm.gz\n"
+    "hiddenmenu\n"
+    "\n"
+    "title changing to control file\n"
+    "root (hd0,5)\n"
+    "configfile /controlmenu.lst\n";
+
+constexpr const char* kFig3ControlMenu =
+    "default 0\n"
+    "timeout=10\n"
+    "splashimage=(hd0,1)/grub/splash.xpm.gz\n"
+    "\n"
+    "title CentOS-5.4_Oscar-5b2-linux\n"
+    "root (hd0,1)\n"
+    "kernel /vmlinuz-2.6.18-164.el5 ro root=/dev/sda7 enforcing=0\n"
+    "initrd /sc-initrd-2.6.18-164.el5.gz\n"
+    "\n"
+    "title Win_Server_2K8_R2-windows\n"
+    "rootnoverify (hd0,0)\n"
+    "chainloader +1\n";
+
+TEST(GrubGolden, Fig2MenuLstEmitsVerbatim) {
+    EXPECT_EQ(make_redirect_menu().emit(), kFig2MenuLst);
+}
+
+TEST(GrubGolden, Fig3ControlMenuEmitsVerbatim) {
+    EXPECT_EQ(make_eridani_control_menu(OsType::kLinux).emit(), kFig3ControlMenu);
+}
+
+TEST(GrubGolden, Fig3WindowsDefaultChangesOnlyDefaultLine) {
+    const std::string win = make_eridani_control_menu(OsType::kWindows).emit();
+    EXPECT_EQ(win.substr(0, 10), "default 1\n");
+    EXPECT_EQ(win.substr(10), std::string(kFig3ControlMenu).substr(10));
+}
+
+TEST(GrubGolden, PaperTextsParseBack) {
+    const auto fig2 = GrubConfig::parse(kFig2MenuLst);
+    ASSERT_TRUE(fig2.ok()) << fig2.error_message();
+    EXPECT_EQ(fig2.value().entries.size(), 1u);
+    EXPECT_TRUE(fig2.value().hiddenmenu);
+    EXPECT_TRUE(fig2.value().entries[0].is_redirect());
+
+    const auto fig3 = GrubConfig::parse(kFig3ControlMenu);
+    ASSERT_TRUE(fig3.ok()) << fig3.error_message();
+    ASSERT_EQ(fig3.value().entries.size(), 2u);
+    EXPECT_EQ(fig3.value().entries[0].classify(), OsType::kLinux);
+    EXPECT_EQ(fig3.value().entries[1].classify(), OsType::kWindows);
+}
+
+TEST(GrubGolden, RoundTripIsExact) {
+    // parse(emit(x)) == x for both golden configs, byte for byte.
+    EXPECT_EQ(GrubConfig::parse(kFig2MenuLst).value().emit(), kFig2MenuLst);
+    EXPECT_EQ(GrubConfig::parse(kFig3ControlMenu).value().emit(), kFig3ControlMenu);
+}
+
+// ---------- parser behaviour ----------
+
+TEST(GrubParse, AcceptsBothDefaultSpellings) {
+    EXPECT_EQ(GrubConfig::parse("default=2\n").value().default_index, 2);
+    EXPECT_EQ(GrubConfig::parse("default 2\n").value().default_index, 2);
+    EXPECT_TRUE(GrubConfig::parse("default=2\n").value().default_uses_equals);
+    EXPECT_FALSE(GrubConfig::parse("default 2\n").value().default_uses_equals);
+}
+
+TEST(GrubParse, CommentsAndBlanksIgnored) {
+    const auto cfg = GrubConfig::parse("# a comment\n\ndefault=0\n\n# more\ntimeout=5\n");
+    ASSERT_TRUE(cfg.ok());
+    EXPECT_EQ(cfg.value().timeout, 5);
+}
+
+TEST(GrubParse, KernelArgsPreserved) {
+    const auto cfg = GrubConfig::parse(
+        "title t\nkernel /vmlinuz ro root=/dev/sda7 enforcing=0\n");
+    ASSERT_TRUE(cfg.ok());
+    EXPECT_EQ(cfg.value().entries[0].kernel_path, "/vmlinuz");
+    EXPECT_EQ(cfg.value().entries[0].kernel_args, "ro root=/dev/sda7 enforcing=0");
+}
+
+TEST(GrubParse, ChainloaderDefaultsToPlusOne) {
+    const auto cfg = GrubConfig::parse("title w\nrootnoverify (hd0,0)\nchainloader\n");
+    ASSERT_TRUE(cfg.ok());
+    EXPECT_TRUE(cfg.value().entries[0].chainloader);
+    EXPECT_EQ(cfg.value().entries[0].chainloader_arg, "+1");
+}
+
+TEST(GrubParse, RejectsUnknownDirectives) {
+    EXPECT_FALSE(GrubConfig::parse("frobnicate=1\n").ok());
+    EXPECT_FALSE(GrubConfig::parse("title t\nfrobnicate everything\n").ok());
+}
+
+TEST(GrubParse, RejectsBadNumbers) {
+    EXPECT_FALSE(GrubConfig::parse("default=x\n").ok());
+    EXPECT_FALSE(GrubConfig::parse("timeout=-5\n").ok());
+}
+
+TEST(GrubParse, ExtraCommandsPreserved) {
+    const auto cfg = GrubConfig::parse("title t\nroot (hd0,0)\nsavedefault\nmakeactive\n");
+    ASSERT_TRUE(cfg.ok());
+    EXPECT_EQ(cfg.value().entries[0].extra_commands.size(), 2u);
+    const std::string emitted = cfg.value().emit();
+    EXPECT_NE(emitted.find("savedefault"), std::string::npos);
+}
+
+// ---------- classification & defaults ----------
+
+TEST(GrubClassify, TitleSuffixWins) {
+    GrubEntry e;
+    e.title = "Anything_at_all-windows";
+    e.kernel_path = "/vmlinuz";  // structurally Linux, but the title says Windows
+    EXPECT_EQ(e.classify(), OsType::kWindows);
+}
+
+TEST(GrubClassify, StructuralFallback) {
+    GrubEntry chain;
+    chain.title = "untagged";
+    chain.chainloader = true;
+    EXPECT_EQ(chain.classify(), OsType::kWindows);
+
+    GrubEntry kernel;
+    kernel.title = "untagged";
+    kernel.kernel_path = "/vmlinuz";
+    EXPECT_EQ(kernel.classify(), OsType::kLinux);
+
+    GrubEntry redirect;
+    redirect.title = "untagged";
+    redirect.configfile = "/x.lst";
+    EXPECT_EQ(redirect.classify(), OsType::kNone);
+}
+
+TEST(GrubDefault, OutOfRangeFallsBackToFirst) {
+    GrubConfig cfg = make_eridani_control_menu(OsType::kLinux);
+    cfg.default_index = 99;
+    ASSERT_NE(cfg.default_entry(), nullptr);
+    EXPECT_EQ(cfg.default_entry()->classify(), OsType::kLinux);
+}
+
+TEST(GrubDefault, EmptyMenuHasNoDefault) {
+    GrubConfig cfg;
+    EXPECT_EQ(cfg.default_entry(), nullptr);
+}
+
+TEST(GrubDefault, SetDefaultOsFailsWhenMissing) {
+    GrubConfig cfg = make_redirect_menu();  // only a redirect entry
+    EXPECT_FALSE(cfg.set_default_os(OsType::kWindows));
+}
+
+TEST(GrubFallback, ParsedAndEmitted) {
+    const auto cfg = GrubConfig::parse("default=0\nfallback=1\ntitle a\ntitle b\n");
+    ASSERT_TRUE(cfg.ok()) << cfg.error_message();
+    ASSERT_TRUE(cfg.value().fallback_index.has_value());
+    EXPECT_EQ(*cfg.value().fallback_index, 1);
+    EXPECT_NE(cfg.value().emit().find("fallback=1\n"), std::string::npos);
+    EXPECT_EQ(GrubConfig::parse(cfg.value().emit()).value().emit(), cfg.value().emit());
+}
+
+TEST(GrubFallback, OutOfRangeOrAbsentIsNull) {
+    GrubConfig cfg = make_eridani_control_menu(cluster::OsType::kLinux);
+    EXPECT_EQ(cfg.fallback_entry(), nullptr);
+    cfg.fallback_index = 99;
+    EXPECT_EQ(cfg.fallback_entry(), nullptr);
+    cfg.fallback_index = 1;
+    ASSERT_NE(cfg.fallback_entry(), nullptr);
+    EXPECT_EQ(cfg.fallback_entry()->classify(), cluster::OsType::kWindows);
+}
+
+TEST(GrubFallback, RejectsBadIndex) {
+    EXPECT_FALSE(GrubConfig::parse("fallback=x\n").ok());
+}
+
+TEST(GrubDefault, FindEntryByOs) {
+    const GrubConfig cfg = make_eridani_control_menu(OsType::kLinux);
+    EXPECT_EQ(cfg.find_entry_by_os(OsType::kLinux).value(), 0);
+    EXPECT_EQ(cfg.find_entry_by_os(OsType::kWindows).value(), 1);
+}
+
+}  // namespace
+}  // namespace hc::boot

@@ -1,0 +1,179 @@
+// Tests for the PXE stack and the v2 OS flag store.
+#include <gtest/gtest.h>
+
+#include "boot/disk_layouts.hpp"
+#include "boot/flag.hpp"
+#include "boot/pxe.hpp"
+
+namespace hc::boot {
+namespace {
+
+using cluster::BootDecision;
+using cluster::Node;
+using cluster::NodeConfig;
+using cluster::OsType;
+
+NodeConfig node_config(int index, const std::string& nic = "r8169") {
+    NodeConfig cfg;
+    cfg.index = index;
+    cfg.hostname = "enode0" + std::to_string(index + 1) + ".test";
+    cfg.mac = cluster::Mac::for_node_index(index + 1);
+    cfg.nic_driver = nic;
+    cfg.timing.jitter = 0;
+    return cfg;
+}
+
+struct PxeFixture : ::testing::Test {
+    sim::Engine engine;
+    PxeServer pxe;
+    Node node{engine, node_config(0), util::Rng(1)};
+
+    void SetUp() override { node.disk() = make_v2_disk(); }
+};
+
+TEST_F(PxeFixture, Grub4dosBootsFlagOs) {
+    OsFlagStore flag(pxe);
+    flag.set_flag(OsType::kWindows);
+    const BootDecision d = pxe.resolve(node);
+    EXPECT_EQ(d.os, OsType::kWindows);
+    EXPECT_NE(d.via.find("grub4dos:default"), std::string::npos);
+}
+
+TEST_F(PxeFixture, PerMacMenuOverridesDefault) {
+    OsFlagStore flag(pxe);
+    flag.set_flag(OsType::kWindows);
+    flag.set_node_target(node.mac(), OsType::kLinux);
+    const BootDecision d = pxe.resolve(node);
+    EXPECT_EQ(d.os, OsType::kLinux);
+    EXPECT_NE(d.via.find("per-mac"), std::string::npos);
+    EXPECT_EQ(flag.pinned_count(), 1u);
+    flag.clear_node_target(node.mac());
+    EXPECT_EQ(pxe.resolve(node).os, OsType::kWindows);
+    EXPECT_EQ(flag.pinned_count(), 0u);
+}
+
+TEST_F(PxeFixture, NoMenuMeansGrub4dosPromptHang) {
+    const BootDecision d = pxe.resolve(node);
+    EXPECT_EQ(d.os, OsType::kNone);
+    EXPECT_NE(d.via.find("no-menu"), std::string::npos);
+}
+
+TEST_F(PxeFixture, CorruptMenuHangs) {
+    pxe.tftp_root().write(kPxeDefaultMenu, "!! not grub !!\n");
+    EXPECT_EQ(pxe.resolve(node).os, OsType::kNone);
+}
+
+TEST_F(PxeFixture, ServerDownFallsBackToLocalBoot) {
+    // v2 disks carry a Windows MBR; with the head down the node still boots
+    // *something* — Windows via the local path.
+    OsFlagStore flag(pxe);
+    flag.set_flag(OsType::kLinux);
+    pxe.set_online(false);
+    const BootDecision d = pxe.resolve(node);
+    EXPECT_EQ(d.os, OsType::kWindows);
+    EXPECT_NE(d.via.find("server-down"), std::string::npos);
+}
+
+TEST_F(PxeFixture, PxelinuxAloneQuitsToLocalBoot) {
+    // "PXELINUX ... only can quit PXE and lead to normal boot order."
+    pxe.set_default_rom(PxeRom::kPxelinux);
+    OsFlagStore flag(pxe);
+    flag.set_flag(OsType::kLinux);  // irrelevant: PXELINUX cannot read it
+    const BootDecision d = pxe.resolve(node);
+    EXPECT_EQ(d.os, OsType::kWindows);  // local Windows MBR wins
+    EXPECT_NE(d.via.find("pxelinux:localboot"), std::string::npos);
+}
+
+TEST_F(PxeFixture, PxelinuxCanChainGrub4dos) {
+    pxe.set_default_rom(PxeRom::kPxelinux);
+    pxe.set_pxelinux_chain(PxeRom::kGrub4dos);
+    OsFlagStore flag(pxe);
+    flag.set_flag(OsType::kLinux);
+    EXPECT_EQ(pxe.resolve(node).os, OsType::kLinux);
+}
+
+TEST_F(PxeFixture, PxegrubWorksOnSupportedNic) {
+    pxe.set_default_rom(PxeRom::kPxegrub097);
+    pxe.set_pxegrub_nic_drivers({"r8169"});
+    OsFlagStore flag(pxe);
+    flag.set_flag(OsType::kLinux);
+    const BootDecision d = pxe.resolve(node);
+    EXPECT_EQ(d.os, OsType::kLinux);
+    EXPECT_NE(d.via.find("pxegrub"), std::string::npos);
+}
+
+TEST_F(PxeFixture, PxegrubFailsOnNewNic) {
+    // "Due to the discontinued development of GRUB 0.97, new models of LAN
+    // cards are not supported. Therefore, we needed to change our approach."
+    pxe.set_default_rom(PxeRom::kPxegrub097);
+    // default driver set omits r8169 (a newer Realtek part)
+    OsFlagStore flag(pxe);
+    flag.set_flag(OsType::kLinux);
+    const BootDecision d = pxe.resolve(node);
+    EXPECT_EQ(d.os, OsType::kWindows);  // fell through to local boot
+    EXPECT_NE(d.via.find("nic-unsupported"), std::string::npos);
+}
+
+TEST_F(PxeFixture, PerMacRomOverride) {
+    pxe.set_default_rom(PxeRom::kNone);
+    pxe.set_rom_for_mac(node.mac(), PxeRom::kGrub4dos);
+    OsFlagStore flag(pxe);
+    flag.set_flag(OsType::kLinux);
+    EXPECT_EQ(pxe.resolve(node).os, OsType::kLinux);
+    pxe.clear_rom_for_mac(node.mac());
+    EXPECT_EQ(pxe.rom_for(node.mac()), PxeRom::kNone);
+}
+
+TEST_F(PxeFixture, HandshakeDelayAddsToMenuDelay) {
+    OsFlagStore flag(pxe);
+    flag.set_flag(OsType::kLinux);
+    pxe.set_handshake_delay(sim::seconds(10));
+    const BootDecision d = pxe.resolve(node);
+    // menu timeout (10s from the control menu) + handshake (10s)
+    EXPECT_EQ(d.menu_delay.whole_seconds(), 20);
+}
+
+TEST_F(PxeFixture, ResolverBootsNodeEndToEnd) {
+    OsFlagStore flag(pxe);
+    flag.set_flag(OsType::kWindows);
+    node.set_boot_resolver(pxe.make_resolver());
+    node.power_on();
+    engine.run_all();
+    EXPECT_EQ(node.os(), OsType::kWindows);
+    // Flip the flag; any reboot — including a hard power cycle, the v2
+    // robustness property — lands on the new OS.
+    flag.set_flag(OsType::kLinux);
+    node.hard_power_cycle();
+    engine.run_all();
+    EXPECT_EQ(node.os(), OsType::kLinux);
+}
+
+TEST(OsFlag, FlagReadsBackWhatWasSet) {
+    PxeServer pxe;
+    OsFlagStore flag(pxe);
+    EXPECT_FALSE(flag.flag().ok());  // unset
+    flag.set_flag(OsType::kWindows);
+    EXPECT_EQ(flag.flag().value(), OsType::kWindows);
+    flag.set_flag(OsType::kLinux);
+    EXPECT_EQ(flag.flag().value(), OsType::kLinux);
+}
+
+TEST(OsFlag, TargetForFallsBackToFlag) {
+    PxeServer pxe;
+    OsFlagStore flag(pxe);
+    flag.set_flag(OsType::kLinux);
+    const auto mac = cluster::Mac::for_node_index(3);
+    EXPECT_EQ(flag.target_for(mac).value(), OsType::kLinux);
+    flag.set_node_target(mac, OsType::kWindows);
+    EXPECT_EQ(flag.target_for(mac).value(), OsType::kWindows);
+}
+
+TEST(PxeRomNames, AllNamed) {
+    EXPECT_STREQ(pxe_rom_name(PxeRom::kNone), "none");
+    EXPECT_STREQ(pxe_rom_name(PxeRom::kPxelinux), "pxelinux");
+    EXPECT_STREQ(pxe_rom_name(PxeRom::kPxegrub097), "pxegrub-0.97");
+    EXPECT_STREQ(pxe_rom_name(PxeRom::kGrub4dos), "grub4dos");
+}
+
+}  // namespace
+}  // namespace hc::boot

@@ -1,0 +1,465 @@
+// Unit tests for hc_cluster: MACs, disks, file stores, the node boot state
+// machine, the network, and the cluster aggregate.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/disk.hpp"
+#include "cluster/mac.hpp"
+#include "cluster/network.hpp"
+#include "cluster/node.hpp"
+#include "cluster/os.hpp"
+#include "util/errors.hpp"
+
+namespace hc::cluster {
+namespace {
+
+// ---------- OsType ----------
+
+TEST(Os, NamesAndParse) {
+    EXPECT_STREQ(os_name(OsType::kLinux), "linux");
+    EXPECT_STREQ(os_name(OsType::kWindows), "windows");
+    EXPECT_EQ(parse_os("linux"), OsType::kLinux);
+    EXPECT_EQ(parse_os("windows"), OsType::kWindows);
+    EXPECT_THROW((void)parse_os("Linux"), util::PreconditionError);
+}
+
+TEST(Os, OtherOsFlips) {
+    EXPECT_EQ(other_os(OsType::kLinux), OsType::kWindows);
+    EXPECT_EQ(other_os(OsType::kWindows), OsType::kLinux);
+    EXPECT_EQ(other_os(OsType::kNone), OsType::kNone);
+}
+
+// ---------- Mac ----------
+
+TEST(Mac, ForNodeIndexIsDeterministic) {
+    const Mac a = Mac::for_node_index(1);
+    const Mac b = Mac::for_node_index(1);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, Mac::for_node_index(2));
+    EXPECT_EQ(a.to_string(), "02:00:00:00:00:01");
+}
+
+TEST(Mac, ParseColonAndDashForms) {
+    EXPECT_EQ(Mac::parse("02:00:00:00:00:10").value().bytes()[5], 0x10);
+    EXPECT_EQ(Mac::parse("AA-BB-CC-DD-EE-FF").value().to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(Mac, ParseRejectsBadInput) {
+    EXPECT_FALSE(Mac::parse("02:00:00:00:00").ok());
+    EXPECT_FALSE(Mac::parse("02:00:00:00:00:GG").ok());
+    EXPECT_FALSE(Mac::parse("0200.0000.0001").ok());
+}
+
+TEST(Mac, Grub4dosMenuNameUsesArpPrefix) {
+    // The pxelinux.cfg / GRUB4DOS convention: 01- + dashed lowercase MAC.
+    EXPECT_EQ(Mac::for_node_index(1).grub4dos_menu_name(), "01-02-00-00-00-00-01");
+}
+
+TEST(Mac, RoundTrip) {
+    const Mac m = Mac::for_node_index(300);
+    EXPECT_EQ(Mac::parse(m.to_string()).value(), m);
+}
+
+// ---------- FileStore ----------
+
+TEST(FileStore, WriteReadExists) {
+    FileStore fs;
+    EXPECT_FALSE(fs.exists("a"));
+    fs.write("a", "hello");
+    EXPECT_TRUE(fs.exists("a"));
+    EXPECT_EQ(fs.read("a").value(), "hello");
+    EXPECT_FALSE(fs.read("missing").ok());
+}
+
+TEST(FileStore, RenameMovesContent) {
+    FileStore fs;
+    fs.write("from", "data");
+    fs.write("to", "old");
+    ASSERT_TRUE(fs.rename("from", "to").ok());
+    EXPECT_FALSE(fs.exists("from"));
+    EXPECT_EQ(fs.read("to").value(), "data");
+    EXPECT_FALSE(fs.rename("ghost", "x").ok());
+}
+
+TEST(FileStore, CopyKeepsSource) {
+    FileStore fs;
+    fs.write("src", "payload");
+    ASSERT_TRUE(fs.copy("src", "dst").ok());
+    EXPECT_EQ(fs.read("src").value(), "payload");
+    EXPECT_EQ(fs.read("dst").value(), "payload");
+}
+
+TEST(FileStore, ListPrefix) {
+    FileStore fs;
+    fs.write("menu.lst/default", "a");
+    fs.write("menu.lst/01-aa", "b");
+    fs.write("other", "c");
+    EXPECT_EQ(fs.list_prefix("menu.lst/").size(), 2u);
+    EXPECT_EQ(fs.list().size(), 3u);
+}
+
+TEST(FileStore, RemoveAndClear) {
+    FileStore fs;
+    fs.write("x", "1");
+    EXPECT_TRUE(fs.remove("x"));
+    EXPECT_FALSE(fs.remove("x"));
+    fs.write("y", "2");
+    fs.clear();
+    EXPECT_EQ(fs.size(), 0u);
+}
+
+// ---------- Disk ----------
+
+Partition make_part(int index, FsType fs, std::int64_t size) {
+    Partition p;
+    p.index = index;
+    p.fs = fs;
+    p.size_mb = size;
+    return p;
+}
+
+TEST(Disk, AddAndFindPartitions) {
+    Disk disk(1000);
+    ASSERT_TRUE(disk.add_partition(make_part(1, FsType::kNtfs, 500)).ok());
+    ASSERT_TRUE(disk.add_partition(make_part(2, FsType::kExt3, 100)).ok());
+    EXPECT_NE(disk.find(1), nullptr);
+    EXPECT_EQ(disk.find(3), nullptr);
+    EXPECT_EQ(disk.allocated_mb(), 600);
+}
+
+TEST(Disk, RejectsDuplicateIndex) {
+    Disk disk(1000);
+    ASSERT_TRUE(disk.add_partition(make_part(1, FsType::kNtfs, 100)).ok());
+    EXPECT_FALSE(disk.add_partition(make_part(1, FsType::kExt3, 100)).ok());
+}
+
+TEST(Disk, RejectsFifthPrimary) {
+    Disk disk(10000);
+    for (int i = 1; i <= 4; ++i)
+        ASSERT_TRUE(disk.add_partition(make_part(i, FsType::kExt3, 10)).ok());
+    // Index 5 would be logical, which needs an extended container first.
+    EXPECT_FALSE(disk.add_partition(make_part(5, FsType::kSwap, 10)).ok());
+}
+
+TEST(Disk, LogicalNeedsExtended) {
+    Disk disk(10000);
+    EXPECT_FALSE(disk.add_partition(make_part(5, FsType::kSwap, 10)).ok());
+    ASSERT_TRUE(disk.add_partition(make_part(3, FsType::kExtended, 0)).ok());
+    EXPECT_TRUE(disk.add_partition(make_part(5, FsType::kSwap, 10)).ok());
+}
+
+TEST(Disk, RejectsOversizedPartition) {
+    Disk disk(100);
+    EXPECT_FALSE(disk.add_partition(make_part(1, FsType::kNtfs, 200)).ok());
+}
+
+TEST(Disk, SetActiveIsExclusive) {
+    Disk disk(1000);
+    ASSERT_TRUE(disk.add_partition(make_part(1, FsType::kNtfs, 100)).ok());
+    ASSERT_TRUE(disk.add_partition(make_part(2, FsType::kExt3, 100)).ok());
+    ASSERT_TRUE(disk.set_active(1).ok());
+    ASSERT_TRUE(disk.set_active(2).ok());
+    EXPECT_FALSE(disk.find(1)->active);
+    EXPECT_TRUE(disk.find(2)->active);
+    EXPECT_FALSE(disk.set_active(9).ok());
+}
+
+TEST(Disk, FormatClearsFilesAndBumpsGeneration) {
+    Disk disk(1000);
+    ASSERT_TRUE(disk.add_partition(make_part(1, FsType::kFat, 100)).ok());
+    disk.find(1)->files.write("f", "x");
+    const auto gen = disk.find(1)->generation;
+    ASSERT_TRUE(disk.format(1, FsType::kNtfs, "Node").ok());
+    EXPECT_EQ(disk.find(1)->files.size(), 0u);
+    EXPECT_EQ(disk.find(1)->fs, FsType::kNtfs);
+    EXPECT_EQ(disk.find(1)->label, "Node");
+    EXPECT_GT(disk.find(1)->generation, gen);
+}
+
+TEST(Disk, WipeRemovesEverything) {
+    Disk disk(1000);
+    ASSERT_TRUE(disk.add_partition(make_part(1, FsType::kNtfs, 100)).ok());
+    disk.mbr().code = MbrCode::kGrubStage1;
+    disk.wipe();
+    EXPECT_TRUE(disk.partitions().empty());
+    EXPECT_EQ(disk.mbr().code, MbrCode::kNone);
+}
+
+// ---------- Node boot state machine ----------
+
+NodeConfig test_node_config() {
+    NodeConfig cfg;
+    cfg.index = 0;
+    cfg.hostname = "enode01.eridani.qgg.hud.ac.uk";
+    cfg.mac = Mac::for_node_index(1);
+    cfg.timing.jitter = 0.0;  // deterministic stage lengths for assertions
+    return cfg;
+}
+
+Node::BootResolver always(OsType os) {
+    return [os](const Node&) {
+        BootDecision d;
+        d.os = os;
+        d.via = "test";
+        return d;
+    };
+}
+
+TEST(Node, PowerOnBootsThroughStages) {
+    sim::Engine engine;
+    Node node(engine, test_node_config(), util::Rng(1));
+    node.set_boot_resolver(always(OsType::kLinux));
+    EXPECT_EQ(node.state(), PowerState::kOff);
+    node.power_on();
+    EXPECT_EQ(node.state(), PowerState::kFirmware);
+    engine.run_all();
+    EXPECT_EQ(node.state(), PowerState::kUp);
+    EXPECT_EQ(node.os(), OsType::kLinux);
+    EXPECT_EQ(node.stats().boots, 1u);
+}
+
+TEST(Node, ShortNameStripsDomain) {
+    sim::Engine engine;
+    Node node(engine, test_node_config(), util::Rng(1));
+    EXPECT_EQ(node.short_name(), "enode01");
+}
+
+TEST(Node, RebootTakesPaperishTime) {
+    sim::Engine engine;
+    auto cfg = test_node_config();
+    Node node(engine, cfg, util::Rng(1));
+    node.set_boot_resolver(always(OsType::kWindows));
+    node.power_on();
+    engine.run_all();
+    const auto before = engine.now();
+    node.reboot();
+    engine.run_all();
+    const double secs = (engine.now() - before).seconds();
+    // shutdown 25 + firmware 35 + windows 160 = 220s; "no more than 5 mins".
+    EXPECT_GT(secs, 120.0);
+    EXPECT_LT(secs, 300.0);
+}
+
+TEST(Node, OsSwitchCountsOnlyChanges) {
+    sim::Engine engine;
+    Node node(engine, test_node_config(), util::Rng(1));
+    OsType next = OsType::kLinux;
+    node.set_boot_resolver([&next](const Node&) {
+        BootDecision d;
+        d.os = next;
+        return d;
+    });
+    node.power_on();
+    engine.run_all();
+    EXPECT_EQ(node.stats().os_switches, 0u);  // first boot is not a switch
+    next = OsType::kWindows;
+    node.reboot();
+    engine.run_all();
+    EXPECT_EQ(node.stats().os_switches, 1u);
+    node.reboot();  // same OS again
+    engine.run_all();
+    EXPECT_EQ(node.stats().os_switches, 1u);
+    EXPECT_EQ(node.stats().boots, 3u);
+}
+
+TEST(Node, RebootRequiresUp) {
+    sim::Engine engine;
+    Node node(engine, test_node_config(), util::Rng(1));
+    EXPECT_THROW(node.reboot(), util::PreconditionError);
+}
+
+TEST(Node, NoResolverMeansHang) {
+    sim::Engine engine;
+    Node node(engine, test_node_config(), util::Rng(1));
+    node.power_on();
+    engine.run_all();
+    EXPECT_EQ(node.state(), PowerState::kHung);
+    EXPECT_EQ(node.stats().hangs, 1u);
+}
+
+TEST(Node, HardPowerCycleRecoversHungNode) {
+    sim::Engine engine;
+    Node node(engine, test_node_config(), util::Rng(1));
+    node.power_on();
+    engine.run_all();
+    ASSERT_EQ(node.state(), PowerState::kHung);
+    node.set_boot_resolver(always(OsType::kLinux));
+    node.hard_power_cycle();
+    engine.run_all();
+    EXPECT_EQ(node.state(), PowerState::kUp);
+    EXPECT_EQ(node.stats().hard_power_cycles, 1u);
+}
+
+TEST(Node, HardPowerCycleWhileUpReboots) {
+    sim::Engine engine;
+    Node node(engine, test_node_config(), util::Rng(1));
+    node.set_boot_resolver(always(OsType::kLinux));
+    node.power_on();
+    engine.run_all();
+    node.hard_power_cycle();
+    EXPECT_EQ(node.state(), PowerState::kFirmware);
+    engine.run_all();
+    EXPECT_EQ(node.state(), PowerState::kUp);
+}
+
+TEST(Node, ShutdownReachesOff) {
+    sim::Engine engine;
+    Node node(engine, test_node_config(), util::Rng(1));
+    node.set_boot_resolver(always(OsType::kLinux));
+    node.power_on();
+    engine.run_all();
+    node.shutdown();
+    engine.run_all();
+    EXPECT_EQ(node.state(), PowerState::kOff);
+    EXPECT_EQ(node.os(), OsType::kNone);
+}
+
+TEST(Node, UpDownCallbacksFire) {
+    sim::Engine engine;
+    Node node(engine, test_node_config(), util::Rng(1));
+    node.set_boot_resolver(always(OsType::kLinux));
+    int ups = 0, downs = 0;
+    OsType last_os = OsType::kNone;
+    node.on_up([&](Node&, OsType os) {
+        ++ups;
+        last_os = os;
+    });
+    node.on_down([&](Node&) { ++downs; });
+    node.power_on();
+    engine.run_all();
+    EXPECT_EQ(ups, 1);
+    EXPECT_EQ(downs, 0);
+    EXPECT_EQ(last_os, OsType::kLinux);
+    node.reboot();
+    EXPECT_EQ(downs, 1);  // down fires immediately at reboot start
+    engine.run_all();
+    EXPECT_EQ(ups, 2);
+}
+
+TEST(Node, MenuDelayExtendsBoot) {
+    sim::Engine engine;
+    auto cfg = test_node_config();
+    Node fast(engine, cfg, util::Rng(1));
+    fast.set_boot_resolver(always(OsType::kLinux));
+    fast.power_on();
+    engine.run_all();
+    const auto fast_boot = fast.stats().last_boot_duration;
+
+    sim::Engine engine2;
+    Node slow(engine2, cfg, util::Rng(1));
+    slow.set_boot_resolver([](const Node&) {
+        BootDecision d;
+        d.os = OsType::kLinux;
+        d.menu_delay = sim::seconds(30);
+        return d;
+    });
+    slow.power_on();
+    engine2.run_all();
+    EXPECT_EQ((slow.stats().last_boot_duration - fast_boot).ms, sim::seconds(30).ms);
+}
+
+TEST(Node, InjectHangWhileUp) {
+    sim::Engine engine;
+    Node node(engine, test_node_config(), util::Rng(1));
+    node.set_boot_resolver(always(OsType::kLinux));
+    node.power_on();
+    engine.run_all();
+    int downs = 0;
+    node.on_down([&](Node&) { ++downs; });
+    node.inject_hang();
+    EXPECT_EQ(node.state(), PowerState::kHung);
+    EXPECT_EQ(downs, 1);
+}
+
+// ---------- Network ----------
+
+TEST(Network, DeliversAfterLatency) {
+    sim::Engine engine;
+    Network net(engine, 1);
+    net.set_latency(sim::milliseconds(50));
+    std::string got;
+    ASSERT_TRUE(net.bind("b", 1, [&](const Message& m) { got = m.payload; }).ok());
+    net.send("a", 9, "b", 1, "hello");
+    EXPECT_EQ(got, "");
+    engine.run_all();
+    EXPECT_EQ(got, "hello");
+    EXPECT_EQ(engine.now().ms, 50);
+    EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(Network, UnboundDestinationCountsDrop) {
+    sim::Engine engine;
+    Network net(engine, 1);
+    net.send("a", 1, "nowhere", 2, "x");
+    engine.run_all();
+    EXPECT_EQ(net.stats().dropped_unbound, 1u);
+}
+
+TEST(Network, DoubleBindFails) {
+    sim::Engine engine;
+    Network net(engine, 1);
+    ASSERT_TRUE(net.bind("h", 1, [](const Message&) {}).ok());
+    EXPECT_FALSE(net.bind("h", 1, [](const Message&) {}).ok());
+    net.unbind("h", 1);
+    EXPECT_TRUE(net.bind("h", 1, [](const Message&) {}).ok());
+}
+
+TEST(Network, DropProbabilityLosesMessages) {
+    sim::Engine engine;
+    Network net(engine, 7);
+    net.set_drop_probability(1.0);
+    int received = 0;
+    ASSERT_TRUE(net.bind("b", 1, [&](const Message&) { ++received; }).ok());
+    for (int i = 0; i < 10; ++i) net.send("a", 1, "b", 1, "x");
+    engine.run_all();
+    EXPECT_EQ(received, 0);
+    EXPECT_EQ(net.stats().dropped_injected, 10u);
+}
+
+// ---------- Cluster ----------
+
+TEST(Cluster, EridaniDefaults) {
+    sim::Engine engine;
+    Cluster cluster(engine, ClusterConfig{});
+    EXPECT_EQ(cluster.node_count(), 16);
+    EXPECT_EQ(cluster.total_cores(), 64);  // "16 compute nodes ... and 64 processors"
+    EXPECT_EQ(cluster.node(0).hostname(), "enode01.eridani.qgg.hud.ac.uk");
+    EXPECT_EQ(cluster.node(15).hostname(), "enode16.eridani.qgg.hud.ac.uk");
+    EXPECT_FALSE(cluster.node(0).vtx_capable());  // Q8200: no VT-x
+}
+
+TEST(Cluster, FindByName) {
+    sim::Engine engine;
+    Cluster cluster(engine, ClusterConfig{});
+    EXPECT_NE(cluster.find_by_short_name("enode07"), nullptr);
+    EXPECT_NE(cluster.find_by_hostname("enode07.eridani.qgg.hud.ac.uk"), nullptr);
+    EXPECT_EQ(cluster.find_by_short_name("enode99"), nullptr);
+}
+
+TEST(Cluster, CountRunningPerOs) {
+    sim::Engine engine;
+    Cluster cluster(engine, ClusterConfig{});
+    for (Node* node : cluster.nodes()) {
+        node->set_boot_resolver([](const Node& n) {
+            BootDecision d;
+            d.os = n.index() % 2 == 0 ? OsType::kLinux : OsType::kWindows;
+            return d;
+        });
+        node->power_on();
+    }
+    engine.run_all();
+    EXPECT_EQ(cluster.count_running(OsType::kLinux), 8);
+    EXPECT_EQ(cluster.count_running(OsType::kWindows), 8);
+    EXPECT_EQ(cluster.nodes_running(OsType::kLinux).size(), 8u);
+}
+
+TEST(Cluster, UniqueMacs) {
+    sim::Engine engine;
+    Cluster cluster(engine, ClusterConfig{});
+    for (int i = 0; i < cluster.node_count(); ++i)
+        for (int j = i + 1; j < cluster.node_count(); ++j)
+            EXPECT_NE(cluster.node(i).mac(), cluster.node(j).mac());
+}
+
+}  // namespace
+}  // namespace hc::cluster

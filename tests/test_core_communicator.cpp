@@ -1,0 +1,230 @@
+// Communicator tests: wire protocol, the Fig 11 five-step loop, and
+// fault tolerance of the daemons.
+#include <gtest/gtest.h>
+
+#include "core/communicator.hpp"
+#include "core/hybrid.hpp"
+
+namespace hc::core {
+namespace {
+
+using cluster::OsType;
+
+// ---------- wire protocol ----------
+
+TEST(Wire, PlainRecordDecodesWithoutExtension) {
+    QueueSnapshot snap;
+    snap.record.stuck = true;
+    snap.record.needed_cpus = 8;
+    snap.record.stuck_job_id = "7.winhpc";
+    snap.idle_nodes = 3;
+    const std::string payload = encode_wire(snap, /*extended=*/false);
+    EXPECT_EQ(payload, "100087.winhpc");
+    const auto decoded = decode_wire(payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().record, snap.record);
+    EXPECT_FALSE(decoded.value().idle_nodes.has_value());
+}
+
+TEST(Wire, ExtendedRecordCarriesIdleQueuedRunning) {
+    QueueSnapshot snap;
+    snap.idle_nodes = 12;
+    snap.queued = 7;
+    snap.running = 3;
+    const std::string payload = encode_wire(snap, /*extended=*/true);
+    EXPECT_EQ(payload.size(), 5u + kJobIdFieldWidth + 15u);
+    EXPECT_EQ(payload.substr(5 + kJobIdFieldWidth), "I0012Q0007R0003");
+    const auto decoded = decode_wire(payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().idle_nodes.value(), 12);
+    EXPECT_EQ(decoded.value().queued.value(), 7);
+    EXPECT_EQ(decoded.value().running.value(), 3);
+    EXPECT_FALSE(decoded.value().record.stuck);
+}
+
+TEST(Wire, ExtensionLivesInUndefinedBytes) {
+    // A paper-faithful receiver reading only positions 0..67 still decodes
+    // the record correctly from an extended payload.
+    QueueSnapshot snap;
+    snap.record.stuck = true;
+    snap.record.needed_cpus = 4;
+    snap.record.stuck_job_id = "1191.eridani.qgg.hud.ac.uk";
+    snap.idle_nodes = 5;
+    const std::string payload = encode_wire(snap, true);
+    const auto rec = QueueStateRecord::decode(payload.substr(0, 5 + kJobIdFieldWidth));
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec.value(), snap.record);
+}
+
+TEST(Wire, DecodeRejectsGarbage) {
+    EXPECT_FALSE(decode_wire("xx").ok());
+    EXPECT_FALSE(decode_wire("").ok());
+}
+
+// ---------- daemons end-to-end (via HybridCluster wiring) ----------
+
+struct CommFixture : ::testing::Test {
+    sim::Engine engine;
+
+    HybridConfig base_config() {
+        HybridConfig cfg;
+        cfg.cluster.node_count = 4;
+        cfg.cluster.timing.jitter = 0;
+        cfg.poll_interval = sim::minutes(5);
+        return cfg;
+    }
+};
+
+TEST_F(CommFixture, WindowsDaemonSendsOnEveryCycle) {
+    HybridCluster hybrid(engine, base_config());
+    hybrid.start();
+    hybrid.settle();
+    engine.run_until(sim::TimePoint{} + sim::minutes(31));
+    // First poll at ~5min, then every 5min: polls at 5,10,15,20,25,30 = 6.
+    EXPECT_GE(hybrid.windows_daemon().stats().polls, 5u);
+    EXPECT_EQ(hybrid.windows_daemon().stats().polls,
+              hybrid.windows_daemon().stats().records_sent);
+    EXPECT_EQ(hybrid.linux_daemon().stats().records_received,
+              hybrid.windows_daemon().stats().records_sent);
+    EXPECT_EQ(hybrid.linux_daemon().stats().decode_failures, 0u);
+}
+
+TEST_F(CommFixture, StuckWindowsQueueTriggersSwitch) {
+    HybridCluster hybrid(engine, base_config());
+    hybrid.start();
+    hybrid.settle();
+    workload::JobSpec spec;
+    spec.app = "Backburner";
+    spec.os = OsType::kWindows;
+    spec.nodes = 2;
+    spec.runtime = sim::hours(1);
+    hybrid.submit_now(spec);
+    engine.run_until(sim::TimePoint{} + sim::hours(2));
+    EXPECT_EQ(hybrid.cluster().count_running(OsType::kWindows), 2);
+    EXPECT_GE(hybrid.linux_daemon().stats().switches_ordered, 1u);
+    EXPECT_EQ(hybrid.winhpc().stats().finished, 1u);
+}
+
+TEST_F(CommFixture, DroppedMessagesDelayButDoNotBreak) {
+    HybridConfig cfg = base_config();
+    cfg.message_drop_probability = 0.5;  // half the queue-state records vanish
+    HybridCluster hybrid(engine, cfg);
+    hybrid.start();
+    hybrid.settle();
+    workload::JobSpec spec;
+    spec.app = "Backburner";
+    spec.os = OsType::kWindows;
+    spec.nodes = 1;
+    spec.runtime = sim::minutes(30);
+    hybrid.submit_now(spec);
+    engine.run_until(sim::TimePoint{} + sim::hours(6));
+    // The fixed-cycle retransmission makes the system self-healing: the job
+    // eventually runs despite the lossy link.
+    EXPECT_EQ(hybrid.winhpc().stats().finished, 1u);
+    EXPECT_GT(hybrid.cluster().network().stats().dropped_injected, 0u);
+}
+
+TEST_F(CommFixture, LinuxDaemonIgnoresUndecodableRecords) {
+    HybridCluster hybrid(engine, base_config());
+    hybrid.start();
+    hybrid.settle();
+    hybrid.linux_daemon().on_windows_record("!!!! garbage !!!!");
+    EXPECT_EQ(hybrid.linux_daemon().stats().decode_failures, 1u);
+    // And the daemon still works afterwards.
+    hybrid.linux_daemon().on_windows_record("00000none");
+    EXPECT_EQ(hybrid.linux_daemon().stats().decisions_made, 1u);
+}
+
+TEST_F(CommFixture, NonExtendedProtocolStillSwitches) {
+    HybridConfig cfg = base_config();
+    cfg.extended_protocol = false;  // paper-faithful 68-byte records only
+    HybridCluster hybrid(engine, cfg);
+    hybrid.start();
+    hybrid.settle();
+    workload::JobSpec spec;
+    spec.app = "Opera";
+    spec.os = OsType::kWindows;
+    spec.nodes = 1;
+    spec.runtime = sim::minutes(20);
+    hybrid.submit_now(spec);
+    engine.run_until(sim::TimePoint{} + sim::hours(2));
+    EXPECT_EQ(hybrid.winhpc().stats().finished, 1u);
+}
+
+TEST_F(CommFixture, IdleClusterNeverSwitches) {
+    HybridCluster hybrid(engine, base_config());
+    hybrid.start();
+    hybrid.settle();
+    engine.run_until(sim::TimePoint{} + sim::hours(4));
+    EXPECT_EQ(hybrid.controller().stats().decisions_executed, 0u);
+    EXPECT_EQ(hybrid.counters().os_switches, 0u);
+}
+
+TEST_F(CommFixture, WatchdogFiresWhenWindowsHeadGoesSilent) {
+    HybridConfig cfg = base_config();
+    cfg.watchdog_timeout = sim::minutes(12);  // > 2 poll cycles
+    HybridCluster hybrid(engine, cfg);
+    hybrid.start();
+    hybrid.settle();
+    engine.run_until(sim::TimePoint{} + sim::minutes(20));
+    EXPECT_FALSE(hybrid.linux_daemon().peer_stale());  // peer is chatty
+    // Kill the Windows daemon: silence follows.
+    hybrid.windows_daemon().stop();
+    engine.run_until(sim::TimePoint{} + sim::hours(2));
+    EXPECT_TRUE(hybrid.linux_daemon().peer_stale());
+    EXPECT_GE(hybrid.linux_daemon().watchdog_firings(), 4u);
+}
+
+TEST_F(CommFixture, WatchdogKeepsLinuxRecoveryAlive) {
+    // Scenario: some nodes are parked in Windows, the Windows head dies, and
+    // Linux demand needs those nodes back. Without a watchdog the system is
+    // frozen forever; with it, the Linux daemon keeps deciding. (The donor's
+    // scheduler is also dead, so switch jobs can't run — but decisions and
+    // logging continue; this guards the daemon liveness property.)
+    HybridConfig cfg = base_config();
+    cfg.watchdog_timeout = sim::minutes(12);
+    HybridCluster hybrid(engine, cfg);
+    hybrid.start();
+    hybrid.settle();
+    hybrid.windows_daemon().stop();
+    const auto decisions_before = hybrid.linux_daemon().stats().decisions_made;
+    engine.run_until(sim::TimePoint{} + sim::hours(1));
+    EXPECT_GT(hybrid.linux_daemon().stats().decisions_made, decisions_before);
+}
+
+TEST_F(CommFixture, WatchdogClearsWhenPeerReturns) {
+    HybridConfig cfg = base_config();
+    cfg.watchdog_timeout = sim::minutes(12);
+    HybridCluster hybrid(engine, cfg);
+    hybrid.start();
+    hybrid.settle();
+    hybrid.windows_daemon().stop();
+    engine.run_until(sim::TimePoint{} + sim::hours(1));
+    ASSERT_TRUE(hybrid.linux_daemon().peer_stale());
+    hybrid.windows_daemon().start(sim::seconds(1));
+    engine.run_until(sim::TimePoint{} + sim::hours(1) + sim::minutes(2));
+    EXPECT_FALSE(hybrid.linux_daemon().peer_stale());
+}
+
+TEST_F(CommFixture, WatchdogDisabledByDefault) {
+    HybridCluster hybrid(engine, base_config());
+    hybrid.start();
+    hybrid.settle();
+    hybrid.windows_daemon().stop();
+    engine.run_until(sim::TimePoint{} + sim::hours(3));
+    EXPECT_EQ(hybrid.linux_daemon().watchdog_firings(), 0u);  // paper-faithful
+}
+
+TEST_F(CommFixture, StopHaltsThePollingCycle) {
+    HybridCluster hybrid(engine, base_config());
+    hybrid.start();
+    hybrid.settle();
+    engine.run_until(sim::TimePoint{} + sim::minutes(12));
+    const auto polls = hybrid.windows_daemon().stats().polls;
+    hybrid.windows_daemon().stop();
+    engine.run_until(sim::TimePoint{} + sim::hours(1));
+    EXPECT_EQ(hybrid.windows_daemon().stats().polls, polls);
+}
+
+}  // namespace
+}  // namespace hc::core

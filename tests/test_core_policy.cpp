@@ -1,0 +1,257 @@
+// Switch-policy tests: the paper's FCFS rule plus the future-work policies.
+#include <gtest/gtest.h>
+
+#include "core/policy.hpp"
+
+namespace hc::core {
+namespace {
+
+using cluster::OsType;
+
+SwitchContext make_ctx(bool linux_stuck, int linux_cpus, int linux_idle, bool windows_stuck,
+                       int windows_cpus, int windows_idle) {
+    SwitchContext ctx;
+    ctx.cores_per_node = 4;
+    ctx.linux_snap.record.stuck = linux_stuck;
+    ctx.linux_snap.record.needed_cpus = linux_cpus;
+    ctx.linux_snap.record.stuck_job_id = linux_stuck ? "L.job" : "none";
+    ctx.linux_snap.idle_nodes = linux_idle;
+    ctx.linux_snap.queued = linux_stuck ? 1 : 0;
+    ctx.windows_snap.record.stuck = windows_stuck;
+    ctx.windows_snap.record.needed_cpus = windows_cpus;
+    ctx.windows_snap.record.stuck_job_id = windows_stuck ? "W.job" : "none";
+    ctx.windows_snap.idle_nodes = windows_idle;
+    ctx.windows_snap.queued = windows_stuck ? 1 : 0;
+    return ctx;
+}
+
+TEST(NodesForCpus, CeilingDivision) {
+    EXPECT_EQ(nodes_for_cpus(0, 4), 0);
+    EXPECT_EQ(nodes_for_cpus(1, 4), 1);
+    EXPECT_EQ(nodes_for_cpus(4, 4), 1);
+    EXPECT_EQ(nodes_for_cpus(5, 4), 2);
+    EXPECT_EQ(nodes_for_cpus(16, 4), 4);
+    EXPECT_THROW((void)nodes_for_cpus(4, 0), util::PreconditionError);
+}
+
+// ---------- FCFS (the paper's rule) ----------
+
+TEST(Fcfs, NoStuckNoAction) {
+    FcfsPolicy policy;
+    const auto d = policy.decide(make_ctx(false, 0, 4, false, 0, 4));
+    EXPECT_FALSE(d.act());
+    EXPECT_EQ(d.target, OsType::kNone);
+}
+
+TEST(Fcfs, WindowsStuckPullsLinuxIdleNodes) {
+    FcfsPolicy policy;
+    const auto d = policy.decide(make_ctx(false, 0, 4, true, 8, 0));
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.target, OsType::kWindows);
+    EXPECT_EQ(d.node_count, 2);  // 8 cpus / 4 per node
+    EXPECT_NE(d.reason.find("W.job"), std::string::npos);
+}
+
+TEST(Fcfs, LinuxStuckPullsWindowsIdleNodes) {
+    FcfsPolicy policy;
+    const auto d = policy.decide(make_ctx(true, 4, 0, false, 0, 3));
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.target, OsType::kLinux);
+    EXPECT_EQ(d.node_count, 1);
+}
+
+TEST(Fcfs, CappedByDonorIdleNodes) {
+    FcfsPolicy policy;
+    const auto d = policy.decide(make_ctx(true, 16, 0, false, 0, 2));
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.node_count, 2);  // wanted 4 nodes, donor has 2 idle
+}
+
+TEST(Fcfs, NoDonorCapacityNoAction) {
+    FcfsPolicy policy;
+    const auto d = policy.decide(make_ctx(true, 4, 0, false, 0, 0));
+    EXPECT_FALSE(d.act());
+    EXPECT_NE(d.reason.find("no idle nodes"), std::string::npos);
+}
+
+TEST(Fcfs, BothStuckDeadlockDoesNothing) {
+    FcfsPolicy policy;
+    const auto d = policy.decide(make_ctx(true, 4, 0, true, 4, 0));
+    EXPECT_FALSE(d.act());
+    EXPECT_NE(d.reason.find("both"), std::string::npos);
+}
+
+TEST(Fcfs, OddCpuCountRoundsUp) {
+    FcfsPolicy policy;
+    const auto d = policy.decide(make_ctx(false, 0, 4, true, 5, 0));
+    EXPECT_EQ(d.node_count, 2);
+}
+
+// ---------- Threshold (hysteresis) ----------
+
+TEST(Threshold, ActsOnlyAfterConsecutiveStuckPolls) {
+    ThresholdPolicy policy(3);
+    const auto ctx = make_ctx(false, 0, 4, true, 4, 0);
+    EXPECT_FALSE(policy.decide(ctx).act());  // streak 1
+    EXPECT_FALSE(policy.decide(ctx).act());  // streak 2
+    EXPECT_TRUE(policy.decide(ctx).act());   // streak 3
+}
+
+TEST(Threshold, StreakResetsWhenUnstuck) {
+    ThresholdPolicy policy(2);
+    const auto stuck = make_ctx(false, 0, 4, true, 4, 0);
+    const auto calm = make_ctx(false, 0, 4, false, 0, 0);
+    EXPECT_FALSE(policy.decide(stuck).act());
+    EXPECT_FALSE(policy.decide(calm).act());   // reset
+    EXPECT_FALSE(policy.decide(stuck).act());  // streak 1 again
+    EXPECT_TRUE(policy.decide(stuck).act());
+}
+
+TEST(Threshold, StreakResetsAfterActing) {
+    ThresholdPolicy policy(2);
+    const auto stuck = make_ctx(false, 0, 4, true, 4, 0);
+    (void)policy.decide(stuck);
+    ASSERT_TRUE(policy.decide(stuck).act());
+    // Acting consumed the streak; the next poll must not immediately re-fire.
+    EXPECT_FALSE(policy.decide(stuck).act());
+}
+
+TEST(Threshold, OneIsEquivalentToFcfs) {
+    ThresholdPolicy policy(1);
+    EXPECT_TRUE(policy.decide(make_ctx(false, 0, 4, true, 4, 0)).act());
+}
+
+TEST(Threshold, NameIncludesParameter) {
+    EXPECT_EQ(ThresholdPolicy(2).name(), "threshold(2)");
+    EXPECT_THROW(ThresholdPolicy(0), util::PreconditionError);
+}
+
+// ---------- FairShare ----------
+
+TEST(FairShare, ActsOnPressureWithoutFullStall) {
+    FairSharePolicy policy;
+    // Windows has queued work (but also running jobs — not "stuck"); Linux
+    // is idle: fair-share moves nodes anyway.
+    SwitchContext ctx = make_ctx(false, 0, 3, false, 0, 0);
+    ctx.windows_snap.queued = 2;
+    ctx.windows_snap.running = 1;
+    ctx.windows_snap.record.needed_cpus = 8;
+    const auto d = policy.decide(ctx);
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.target, OsType::kWindows);
+    EXPECT_EQ(d.node_count, 2);
+}
+
+TEST(FairShare, BalancedPressureNoAction) {
+    FairSharePolicy policy;
+    SwitchContext ctx = make_ctx(false, 0, 2, false, 0, 2);
+    ctx.linux_snap.queued = 1;
+    ctx.windows_snap.queued = 1;
+    EXPECT_FALSE(policy.decide(ctx).act());
+}
+
+TEST(FairShare, MovesTowardLinux) {
+    FairSharePolicy policy;
+    SwitchContext ctx = make_ctx(false, 0, 0, false, 0, 4);
+    ctx.linux_snap.queued = 3;
+    const auto d = policy.decide(ctx);
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.target, OsType::kLinux);
+    EXPECT_EQ(d.node_count, 3);
+}
+
+TEST(FairShare, CooldownSuppressesConsecutiveActions) {
+    FairSharePolicy policy(2);
+    SwitchContext ctx = make_ctx(false, 0, 0, false, 0, 4);
+    ctx.linux_snap.queued = 3;
+    EXPECT_TRUE(policy.decide(ctx).act());   // acts, arms cooldown
+    EXPECT_FALSE(policy.decide(ctx).act());  // cooling
+    EXPECT_FALSE(policy.decide(ctx).act());  // cooling
+    EXPECT_TRUE(policy.decide(ctx).act());   // ready again
+}
+
+TEST(FairShare, CooldownZeroIsNaiveVariant) {
+    FairSharePolicy policy(0);
+    SwitchContext ctx = make_ctx(false, 0, 0, false, 0, 4);
+    ctx.linux_snap.queued = 3;
+    EXPECT_TRUE(policy.decide(ctx).act());
+    EXPECT_TRUE(policy.decide(ctx).act());  // no suppression
+}
+
+TEST(FairShare, CooldownNameAndValidation) {
+    EXPECT_EQ(FairSharePolicy(3).name(), "fair-share+cooldown(3)");
+    EXPECT_EQ(FairSharePolicy().name(), "fair-share");
+    EXPECT_THROW(FairSharePolicy(-1), util::PreconditionError);
+}
+
+// ---------- Predictive ----------
+
+TEST(Predictive, SmoothsDemandBeforeActing) {
+    PredictivePolicy policy(0.5, 4.0);
+    SwitchContext ctx = make_ctx(false, 0, 4, true, 8, 0);
+    // EWMA after first poll = 0.5*8 = 4.0 >= threshold -> acts.
+    const auto d = policy.decide(ctx);
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.target, OsType::kWindows);
+}
+
+TEST(Predictive, LowDemandBelowThresholdWaits) {
+    PredictivePolicy policy(0.25, 4.0);
+    SwitchContext ctx = make_ctx(false, 0, 4, true, 4, 0);
+    EXPECT_FALSE(policy.decide(ctx).act());  // ewma 1.0
+    EXPECT_FALSE(policy.decide(ctx).act());  // ewma 1.75
+    EXPECT_FALSE(policy.decide(ctx).act());  // 2.3
+    EXPECT_FALSE(policy.decide(ctx).act());  // 2.7
+    // keeps growing toward 4.0 but never quite reaches it with alpha 0.25
+}
+
+TEST(Predictive, RejectsBadAlpha) {
+    EXPECT_THROW(PredictivePolicy(0.0, 1.0), util::PreconditionError);
+    EXPECT_THROW(PredictivePolicy(1.5, 1.0), util::PreconditionError);
+}
+
+// ---------- MonoStable ----------
+
+TEST(MonoStable, FlipsWholeClusterWhenDrained) {
+    MonoStablePolicy policy(16);
+    SwitchContext ctx = make_ctx(false, 0, 16, true, 4, 0);
+    ctx.linux_snap.running = 0;
+    ctx.linux_snap.queued = 0;
+    const auto d = policy.decide(ctx);
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.target, OsType::kWindows);
+    EXPECT_EQ(d.node_count, 16);
+}
+
+TEST(MonoStable, WaitsWhileLinuxBusy) {
+    MonoStablePolicy policy(16);
+    SwitchContext ctx = make_ctx(false, 0, 10, true, 4, 0);
+    ctx.linux_snap.running = 2;
+    EXPECT_FALSE(policy.decide(ctx).act());
+}
+
+TEST(MonoStable, FlipsBackWhenWindowsFullyIdle) {
+    MonoStablePolicy policy(16);
+    SwitchContext ctx = make_ctx(true, 4, 0, false, 0, 16);
+    const auto d = policy.decide(ctx);
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.target, OsType::kLinux);
+    EXPECT_EQ(d.node_count, 16);
+}
+
+TEST(MonoStable, WaitsWhileWindowsPartiallyBusy) {
+    MonoStablePolicy policy(16);
+    SwitchContext ctx = make_ctx(true, 4, 0, false, 0, 12);
+    EXPECT_FALSE(policy.decide(ctx).act());
+}
+
+// ---------- Never ----------
+
+TEST(Never, NeverActs) {
+    NeverSwitchPolicy policy;
+    EXPECT_FALSE(policy.decide(make_ctx(true, 16, 0, true, 16, 0)).act());
+    EXPECT_EQ(policy.name(), "never");
+}
+
+}  // namespace
+}  // namespace hc::core

@@ -1,0 +1,103 @@
+// Tests for the Fig 5 wire record — including the paper's own example
+// strings from Fig 6.
+#include <gtest/gtest.h>
+
+#include "core/queue_state.hpp"
+
+namespace hc::core {
+namespace {
+
+TEST(QueueState, DefaultRecordEncodesPaperIdleString) {
+    // Fig 6, first two invocations: "00000none".
+    QueueStateRecord rec;
+    EXPECT_EQ(rec.encode(), "00000none");
+}
+
+TEST(QueueState, StuckRecordEncodesPaperStuckString) {
+    // Fig 6, third invocation: "100041191.eridani.qgg.hud.ac.uk"
+    QueueStateRecord rec;
+    rec.stuck = true;
+    rec.needed_cpus = 4;
+    rec.stuck_job_id = "1191.eridani.qgg.hud.ac.uk";
+    EXPECT_EQ(rec.encode(), "100041191.eridani.qgg.hud.ac.uk");
+}
+
+TEST(QueueState, DecodePaperIdleString) {
+    const auto rec = QueueStateRecord::decode("00000none");
+    ASSERT_TRUE(rec.ok()) << rec.error_message();
+    EXPECT_FALSE(rec.value().stuck);
+    EXPECT_EQ(rec.value().needed_cpus, 0);
+    EXPECT_EQ(rec.value().stuck_job_id, "none");
+}
+
+TEST(QueueState, DecodePaperStuckString) {
+    const auto rec = QueueStateRecord::decode("100041191.eridani.qgg.hud.ac.uk");
+    ASSERT_TRUE(rec.ok()) << rec.error_message();
+    EXPECT_TRUE(rec.value().stuck);
+    EXPECT_EQ(rec.value().needed_cpus, 4);
+    EXPECT_EQ(rec.value().stuck_job_id, "1191.eridani.qgg.hud.ac.uk");
+}
+
+TEST(QueueState, RoundTrip) {
+    QueueStateRecord rec;
+    rec.stuck = true;
+    rec.needed_cpus = 128;
+    rec.stuck_job_id = "42.test";
+    const auto back = QueueStateRecord::decode(rec.encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), rec);
+}
+
+TEST(QueueState, CpusFieldIsFourDigitsZeroPadded) {
+    QueueStateRecord rec;
+    rec.stuck = true;
+    rec.needed_cpus = 7;
+    rec.stuck_job_id = "x.y";
+    EXPECT_EQ(rec.encode().substr(0, 5), "10007");
+}
+
+TEST(QueueState, LongJobIdTruncatedToFieldWidth) {
+    QueueStateRecord rec;
+    rec.stuck = true;
+    rec.needed_cpus = 4;
+    rec.stuck_job_id = std::string(100, 'j');
+    const std::string wire = rec.encode();
+    EXPECT_EQ(wire.size(), 5u + kJobIdFieldWidth);
+}
+
+TEST(QueueState, DecodeIgnoresUndefinedTail) {
+    // "Position 68-: [Undefined]" — anything there must not break decoding.
+    QueueStateRecord rec;
+    rec.stuck = true;
+    rec.needed_cpus = 4;
+    rec.stuck_job_id = "1.t";
+    std::string wire = rec.encode();
+    wire.resize(5 + kJobIdFieldWidth, ' ');
+    wire += "GARBAGE-BYTES";
+    const auto back = QueueStateRecord::decode(wire);
+    ASSERT_TRUE(back.ok()) << back.error_message();
+    EXPECT_EQ(back.value().stuck_job_id, "1.t");
+}
+
+TEST(QueueState, DecodeRejectsBadInput) {
+    EXPECT_FALSE(QueueStateRecord::decode("").ok());
+    EXPECT_FALSE(QueueStateRecord::decode("1000").ok());            // too short
+    EXPECT_FALSE(QueueStateRecord::decode("2000Xnone").ok());       // bad state byte
+    EXPECT_FALSE(QueueStateRecord::decode("1abcdjob.id").ok());     // bad cpus
+    EXPECT_FALSE(QueueStateRecord::decode("10004").ok());           // stuck without id
+}
+
+TEST(QueueState, DecodeEmptyIdBecomesNone) {
+    const auto rec = QueueStateRecord::decode("00000" + std::string(10, ' '));
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec.value().stuck_job_id, "none");
+}
+
+TEST(QueueState, EmptyIdEncodesAsNone) {
+    QueueStateRecord rec;
+    rec.stuck_job_id.clear();
+    EXPECT_EQ(rec.encode(), "00000none");
+}
+
+}  // namespace
+}  // namespace hc::core

@@ -1,0 +1,245 @@
+// Switch-job and controller tests, including the Fig 4 golden script.
+#include <gtest/gtest.h>
+
+#include "boot/boot_control.hpp"
+#include "boot/disk_layouts.hpp"
+#include "boot/flag.hpp"
+#include "boot/local_boot.hpp"
+#include "cluster/cluster.hpp"
+#include "core/controller.hpp"
+#include "core/switch_job.hpp"
+#include "pbs/server.hpp"
+#include "winhpc/scheduler.hpp"
+
+namespace hc::core {
+namespace {
+
+using cluster::OsType;
+
+TEST(Fig4Golden, ScriptTextMatchesPaper) {
+    const std::string script = fig4_switch_script_text(OsType::kWindows);
+    // The executable core of Fig 4, line for line.
+    EXPECT_NE(script.find("#PBS -l nodes=1:ppn=4\n"), std::string::npos);
+    EXPECT_NE(script.find("#PBS -N release_1_node\n"), std::string::npos);
+    EXPECT_NE(script.find("#PBS -q default\n"), std::string::npos);
+    EXPECT_NE(script.find("#PBS -j oe\n"), std::string::npos);
+    EXPECT_NE(script.find("#PBS -o reboot_log.out\n"), std::string::npos);
+    EXPECT_NE(script.find("#PBS -r n\n"), std::string::npos);
+    EXPECT_NE(script.find(
+                  "echo $PBS_JOBID >>/home/sliang/reboot_log/rebootjob.log #write logs\n"),
+              std::string::npos);
+    EXPECT_NE(script.find("sudo /boot/swap/bootcontrol.pl /boot/swap/controlmenu.lst windows "
+                          "#changes default boot OS\n"),
+              std::string::npos);
+    EXPECT_NE(script.find("sudo reboot #reboot node\n"), std::string::npos);
+    EXPECT_NE(
+        script.find("sleep 10 #leave 10 seconds to avoid job be finished before reboot\n"),
+        std::string::npos);
+    // Section banners survive too.
+    EXPECT_NE(script.find("### Job Submission Script ###"), std::string::npos);
+    EXPECT_NE(script.find("# Section 3: Executing Commands #"), std::string::npos);
+}
+
+TEST(Fig4Golden, TargetOsSelectsScriptArgument) {
+    EXPECT_NE(fig4_switch_script_text(OsType::kLinux).find("controlmenu.lst linux "),
+              std::string::npos);
+    EXPECT_THROW((void)fig4_switch_script_text(OsType::kNone), util::PreconditionError);
+}
+
+TEST(Fig4Golden, MakeSwitchJobScriptParses) {
+    const pbs::JobScript script = make_switch_job_script(OsType::kWindows);
+    EXPECT_EQ(script.name, "release_1_node");
+    EXPECT_EQ(script.resources.total_cpus(), 4);
+    EXPECT_FALSE(script.rerunnable);
+}
+
+// ---------- end-to-end controller fixtures ----------
+
+struct ControllerFixture : ::testing::Test {
+    sim::Engine engine;
+    cluster::Cluster cluster{engine, [] {
+                                 cluster::ClusterConfig cfg;
+                                 cfg.node_count = 4;
+                                 cfg.timing.jitter = 0;
+                                 return cfg;
+                             }()};
+    pbs::PbsServer pbs{engine};
+    winhpc::HpcScheduler winhpc{engine};
+    RebootLog log;
+
+    void wire_v1(int windows_nodes = 0) {
+        for (auto* node : cluster.nodes()) {
+            boot::V1DiskOptions opts;
+            opts.control_default = node->index() < windows_nodes ? OsType::kWindows
+                                                                 : OsType::kLinux;
+            node->disk() = boot::make_v1_dualboot_disk(opts);
+            node->set_boot_resolver(boot::make_local_boot_resolver());
+            pbs.attach_node(*node);
+            winhpc.attach_node(*node);
+            node->power_on();
+        }
+        engine.run_all();
+    }
+};
+
+TEST_F(ControllerFixture, V1SwitchesLinuxNodesToWindows) {
+    wire_v1();
+    ASSERT_EQ(cluster.count_running(OsType::kLinux), 4);
+    ControllerV1 controller(engine, cluster, pbs, winhpc, &log);
+    SwitchDecision decision;
+    decision.target = OsType::kWindows;
+    decision.node_count = 2;
+    decision.reason = "test";
+    ASSERT_TRUE(controller.execute(decision).ok());
+    EXPECT_EQ(controller.stats().switch_jobs_pbs, 2u);
+    engine.run_all();
+    EXPECT_EQ(cluster.count_running(OsType::kWindows), 2);
+    EXPECT_EQ(cluster.count_running(OsType::kLinux), 2);
+    // The switch jobs were killed by their own reboot (-r n, node failure).
+    EXPECT_EQ(pbs.stats().aborted_node_failure, 2u);
+    // And logged to rebootjob.log.
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.entries()[0].target, OsType::kWindows);
+    EXPECT_FALSE(log.entries()[0].action_failed);
+}
+
+TEST_F(ControllerFixture, V1SwitchesWindowsNodesToLinux) {
+    wire_v1(4);  // all four start in Windows
+    ASSERT_EQ(cluster.count_running(OsType::kWindows), 4);
+    ControllerV1 controller(engine, cluster, pbs, winhpc, &log);
+    SwitchDecision decision;
+    decision.target = OsType::kLinux;
+    decision.node_count = 1;
+    ASSERT_TRUE(controller.execute(decision).ok());
+    EXPECT_EQ(controller.stats().switch_jobs_winhpc, 1u);
+    engine.run_all();
+    EXPECT_EQ(cluster.count_running(OsType::kLinux), 1);
+}
+
+TEST_F(ControllerFixture, V1SkipsBusyNodes) {
+    wire_v1();
+    // Occupy two nodes with a long Linux job.
+    pbs::JobScript script;
+    script.resources.nodes = 2;
+    script.resources.ppn = 4;
+    pbs::JobBehavior behavior;
+    behavior.run_time = sim::hours(10);
+    const auto busy_id = pbs.submit(script, "u", std::move(behavior)).value();
+    ControllerV1 controller(engine, cluster, pbs, winhpc, &log);
+    SwitchDecision decision;
+    decision.target = OsType::kWindows;
+    decision.node_count = 2;
+    ASSERT_TRUE(controller.execute(decision).ok());
+    engine.run_until(sim::TimePoint{} + sim::hours(1));
+    // The busy job is untouched; exactly the two idle nodes switched.
+    EXPECT_EQ(pbs.find_job(busy_id)->state, pbs::JobState::kRunning);
+    EXPECT_EQ(cluster.count_running(OsType::kWindows), 2);
+}
+
+TEST_F(ControllerFixture, V1NoopDecisionIgnored) {
+    wire_v1();
+    ControllerV1 controller(engine, cluster, pbs, winhpc, &log);
+    ASSERT_TRUE(controller.execute(SwitchDecision{}).ok());
+    EXPECT_EQ(controller.stats().decisions_executed, 0u);
+}
+
+struct V2Fixture : ControllerFixture {
+    boot::PxeServer pxe;
+    std::unique_ptr<boot::OsFlagStore> flag;
+
+    void wire_v2() {
+        flag = std::make_unique<boot::OsFlagStore>(pxe);
+        flag->set_flag(OsType::kLinux);
+        for (auto* node : cluster.nodes()) {
+            node->disk() = boot::make_v2_disk();
+            node->set_boot_resolver(pxe.make_resolver());
+            pbs.attach_node(*node);
+            winhpc.attach_node(*node);
+            node->power_on();
+        }
+        engine.run_all();
+    }
+};
+
+TEST_F(V2Fixture, GlobalFlagSwitch) {
+    wire_v2();
+    ASSERT_EQ(cluster.count_running(OsType::kLinux), 4);
+    ControllerV2 controller(engine, cluster, pbs, winhpc, *flag, &log,
+                            ControllerV2::Mode::kGlobalFlag);
+    SwitchDecision decision;
+    decision.target = OsType::kWindows;
+    decision.node_count = 2;
+    ASSERT_TRUE(controller.execute(decision).ok());
+    EXPECT_EQ(controller.stats().flag_sets, 1u);
+    EXPECT_EQ(flag->flag().value(), OsType::kWindows);
+    engine.run_all();
+    EXPECT_EQ(cluster.count_running(OsType::kWindows), 2);
+    EXPECT_EQ(log.size(), 2u);
+}
+
+TEST_F(V2Fixture, GlobalFlagHerdsUnrelatedReboots) {
+    // The documented cost of the Fig 13 single-flag design: while the flag
+    // says Windows, ANY rebooting node is herded to Windows.
+    wire_v2();
+    ControllerV2 controller(engine, cluster, pbs, winhpc, *flag, &log);
+    SwitchDecision decision;
+    decision.target = OsType::kWindows;
+    decision.node_count = 1;
+    ASSERT_TRUE(controller.execute(decision).ok());
+    // An unrelated node power-cycles while the flag is set.
+    cluster.node(3).hard_power_cycle();
+    engine.run_all();
+    EXPECT_EQ(cluster.count_running(OsType::kWindows), 2);  // 1 intended + 1 herded
+}
+
+TEST_F(V2Fixture, PerMacSwitchDoesNotHerd) {
+    wire_v2();
+    ControllerV2 controller(engine, cluster, pbs, winhpc, *flag, &log,
+                            ControllerV2::Mode::kPerMac);
+    SwitchDecision decision;
+    decision.target = OsType::kWindows;
+    decision.node_count = 1;
+    ASSERT_TRUE(controller.execute(decision).ok());
+    cluster.node(3).hard_power_cycle();  // follows the (linux) default menu
+    engine.run_all();
+    EXPECT_EQ(cluster.count_running(OsType::kWindows), 1);
+    EXPECT_EQ(controller.stats().per_mac_pins, 1u);
+}
+
+TEST_F(V2Fixture, PerMacPinsAreClearedAfterBoot) {
+    wire_v2();
+    ControllerV2 controller(engine, cluster, pbs, winhpc, *flag, &log,
+                            ControllerV2::Mode::kPerMac);
+    SwitchDecision decision;
+    decision.target = OsType::kWindows;
+    decision.node_count = 2;
+    ASSERT_TRUE(controller.execute(decision).ok());
+    engine.run_all();
+    EXPECT_EQ(cluster.count_running(OsType::kWindows), 2);
+    EXPECT_EQ(flag->pinned_count(), 0u);  // one-shot pins
+}
+
+TEST_F(V2Fixture, SurvivesHardPowerCycleMidSwitch) {
+    // §IV.A.1: with PXE control "a compute node could be switched by any
+    // reboot action, including soft reboot and physically power reset".
+    wire_v2();
+    ControllerV2 controller(engine, cluster, pbs, winhpc, *flag, &log);
+    SwitchDecision decision;
+    decision.target = OsType::kWindows;
+    decision.node_count = 4;
+    ASSERT_TRUE(controller.execute(decision).ok());
+    // Yank power on a node while its switch job is still in flight.
+    engine.run_for(sim::seconds(1));
+    cluster.node(0).hard_power_cycle();
+    engine.run_all();
+    EXPECT_EQ(cluster.count_running(OsType::kWindows), 4);
+}
+
+TEST(SwitchBehavior, TimingConstantsMatchScript) {
+    EXPECT_LT(kSwitchLogDelayS, kSwitchActionDelayS);
+    EXPECT_LT(kSwitchActionDelayS, kSwitchRebootDelayS);
+    EXPECT_DOUBLE_EQ(kSwitchSleepS, 10.0);  // the paper's `sleep 10`
+}
+
+}  // namespace
+}  // namespace hc::core

@@ -1,0 +1,365 @@
+// Tests for the deployment substrate: ide.disk (Fig 14), diskpart.txt
+// (Figs 9/10/15), the generated oscarimage.master, and the v1/v2 reimaging
+// invariants.
+#include <gtest/gtest.h>
+
+#include "boot/disk_layouts.hpp"
+#include "cluster/node.hpp"
+#include "deploy/diskpart.hpp"
+#include "deploy/ide_disk.hpp"
+#include "deploy/master_script.hpp"
+#include "deploy/reimage.hpp"
+
+namespace hc::deploy {
+namespace {
+
+using cluster::Disk;
+using cluster::FsType;
+using cluster::MbrCode;
+
+// ---------- ide.disk ----------
+
+constexpr const char* kFig14IdeDisk =
+    "/dev/sda1 16000 skip\n"
+    "/dev/sda2 100 ext3 /boot defaults bootable\n"
+    "/dev/sda5 512 swap\n"
+    "/dev/sda6 * ext3 / defaults\n"
+    "/dev/shm - tmpfs /dev/shm defaults\n"
+    "nfs_oscar:/home - nfs /home rw\n";
+
+TEST(IdeDisk, Fig14EmitsVerbatim) {
+    EXPECT_EQ(IdeDiskFile::v2_standard().emit(), kFig14IdeDisk);
+}
+
+TEST(IdeDisk, Fig14ParsesBack) {
+    const auto file = IdeDiskFile::parse(kFig14IdeDisk);
+    ASSERT_TRUE(file.ok()) << file.error_message();
+    ASSERT_EQ(file.value().entries.size(), 6u);
+    const auto& sda1 = file.value().entries[0];
+    EXPECT_EQ(sda1.fs, "skip");
+    EXPECT_EQ(sda1.size_mb, 16'000);
+    EXPECT_EQ(sda1.partition_index(), 1);
+    const auto& sda2 = file.value().entries[1];
+    EXPECT_TRUE(sda2.bootable);
+    EXPECT_EQ(sda2.mount, "/boot");
+    const auto& sda6 = file.value().entries[3];
+    EXPECT_TRUE(sda6.fill_remaining);
+    EXPECT_FALSE(file.value().entries[4].is_disk_partition());  // tmpfs
+    EXPECT_FALSE(file.value().entries[5].is_disk_partition());  // nfs
+}
+
+TEST(IdeDisk, RoundTrip) {
+    EXPECT_EQ(IdeDiskFile::parse(kFig14IdeDisk).value().emit(), kFig14IdeDisk);
+    const std::string v1 = IdeDiskFile::v1_manual().emit();
+    EXPECT_EQ(IdeDiskFile::parse(v1).value().emit(), v1);
+}
+
+TEST(IdeDisk, ParseRejectsBadRows) {
+    EXPECT_FALSE(IdeDiskFile::parse("").ok());
+    EXPECT_FALSE(IdeDiskFile::parse("/dev/sda1 16000\n").ok());
+    EXPECT_FALSE(IdeDiskFile::parse("/dev/sda1 banana ext3\n").ok());
+}
+
+TEST(IdeDisk, FindDevice) {
+    const auto file = IdeDiskFile::v2_standard();
+    EXPECT_NE(file.find_device("/dev/sda2"), nullptr);
+    EXPECT_EQ(file.find_device("/dev/sda9"), nullptr);
+}
+
+// ---------- apply_ide_disk ----------
+
+TEST(ApplyIdeDisk, SkipRequiresPatchedStack) {
+    Disk disk = boot::make_v2_disk();
+    SystemImagerOptions stock;  // no patches
+    const auto report = apply_ide_disk(disk, IdeDiskFile::v2_standard(), stock);
+    ASSERT_FALSE(report.ok());
+    EXPECT_NE(report.error_message().find("skip"), std::string::npos);
+}
+
+TEST(ApplyIdeDisk, SkipPreservesWindowsPartition) {
+    Disk disk = boot::make_v2_disk();
+    disk.find(1)->files.write("windows/system32", "precious");
+    const auto gen_before = disk.find(1)->generation;
+    SystemImagerOptions patched;
+    patched.skip_label_supported = true;
+    patched.use_mkpartfs = true;
+    const auto report = apply_ide_disk(disk, IdeDiskFile::v2_standard(), patched);
+    ASSERT_TRUE(report.ok()) << report.error_message();
+    EXPECT_TRUE(disk.find(1)->files.exists("windows/system32"));
+    EXPECT_EQ(disk.find(1)->generation, gen_before);
+    EXPECT_EQ(disk.find(1)->fs, FsType::kNtfs);
+}
+
+TEST(ApplyIdeDisk, SkipFailsWhenPartitionMissing) {
+    Disk disk(250'000);
+    SystemImagerOptions patched;
+    patched.skip_label_supported = true;
+    EXPECT_FALSE(apply_ide_disk(disk, IdeDiskFile::v2_standard(), patched).ok());
+}
+
+TEST(ApplyIdeDisk, StockStackLeavesFatUnformatted) {
+    // The v1 bug: without the mkpartfs edit, the FAT partition exists but
+    // is not a usable filesystem.
+    Disk disk(250'000);
+    SystemImagerOptions stock;
+    const auto report = apply_ide_disk(disk, IdeDiskFile::v1_manual(), stock);
+    ASSERT_TRUE(report.ok()) << report.error_message();
+    EXPECT_FALSE(report.value().fat_formatted);
+    EXPECT_EQ(disk.find(boot::kV1FatPartition)->fs, FsType::kEmpty);
+}
+
+TEST(ApplyIdeDisk, MkpartfsFormatsFat) {
+    Disk disk(250'000);
+    SystemImagerOptions opts;
+    opts.use_mkpartfs = true;
+    const auto report = apply_ide_disk(disk, IdeDiskFile::v1_manual(), opts);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report.value().fat_formatted);
+    EXPECT_EQ(disk.find(boot::kV1FatPartition)->fs, FsType::kFat);
+    EXPECT_EQ(disk.find(boot::kV1RootPartition)->fs, FsType::kExt3);
+    EXPECT_EQ(disk.find(boot::kV1RootPartition)->size_mb, -1);
+}
+
+TEST(ApplyIdeDisk, IdenticalGeometryPreserved) {
+    Disk disk(250'000);
+    SystemImagerOptions opts;
+    opts.use_mkpartfs = true;
+    ASSERT_TRUE(apply_ide_disk(disk, IdeDiskFile::v1_manual(), opts).ok());
+    disk.find(boot::kV1BootPartition)->files.write("grub/menu.lst", "keep me");
+    // Re-apply the same plan: /boot has identical geometry -> preserved.
+    const auto report = apply_ide_disk(disk, IdeDiskFile::v1_manual(), opts);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(disk.find(boot::kV1BootPartition)->files.exists("grub/menu.lst"));
+}
+
+// ---------- diskpart ----------
+
+constexpr const char* kFig9Original =
+    "select disk 0\n"
+    "clean\n"
+    "create partition primary\n"
+    "assign letter=c\n"
+    "format FS=NTFS LABEL=\"Node\" QUICK OVERRIDE\n"
+    "active\n"
+    "exit\n";
+
+constexpr const char* kFig10Sized =
+    "select disk 0\n"
+    "clean\n"
+    "create partition primary size=150000\n"
+    "assign letter=c\n"
+    "format FS=NTFS LABEL=\"Node\" QUICK OVERRIDE\n"
+    "active\n"
+    "exit\n";
+
+constexpr const char* kFig15Reimage =
+    "select disk 0\n"
+    "select partition 1\n"
+    "format FS=NTFS LABEL=\"Node\" QUICK OVERRIDE\n"
+    "active\n"
+    "exit\n";
+
+TEST(Diskpart, GoldensEmitVerbatim) {
+    EXPECT_EQ(DiskpartScript::original().emit(), kFig9Original);
+    EXPECT_EQ(DiskpartScript::sized(150'000).emit(), kFig10Sized);
+    EXPECT_EQ(DiskpartScript::reimage_only().emit(), kFig15Reimage);
+}
+
+TEST(Diskpart, GoldensRoundTrip) {
+    for (const char* text : {kFig9Original, kFig10Sized, kFig15Reimage}) {
+        const auto script = DiskpartScript::parse(text);
+        ASSERT_TRUE(script.ok()) << script.error_message();
+        EXPECT_EQ(script.value().emit(), text);
+    }
+}
+
+TEST(Diskpart, ParseRejectsJunk) {
+    EXPECT_FALSE(DiskpartScript::parse("").ok());
+    EXPECT_FALSE(DiskpartScript::parse("explode disk 0\n").ok());
+    EXPECT_FALSE(DiskpartScript::parse("select disk x\n").ok());
+}
+
+TEST(Diskpart, OriginalWipesWholeDisk) {
+    Disk disk = boot::make_v1_dualboot_disk();
+    const auto effect = apply_diskpart(disk, DiskpartScript::original());
+    ASSERT_TRUE(effect.ok()) << effect.error_message();
+    EXPECT_TRUE(effect.value().wiped_disk);
+    EXPECT_EQ(disk.partitions().size(), 1u);      // one full-disk NTFS primary
+    EXPECT_EQ(disk.find(1)->fs, FsType::kNtfs);
+    EXPECT_EQ(disk.find(1)->label, "Node");
+    EXPECT_TRUE(disk.find(1)->active);
+}
+
+TEST(Diskpart, SizedLeavesRoomButStillWipes) {
+    Disk disk = boot::make_v1_dualboot_disk();
+    const auto effect = apply_diskpart(disk, DiskpartScript::sized(150'000));
+    ASSERT_TRUE(effect.ok());
+    EXPECT_TRUE(effect.value().wiped_disk);  // Fig 10 still begins with `clean`
+    EXPECT_EQ(disk.find(1)->size_mb, 150'000);
+    EXPECT_EQ(disk.find(2), nullptr);  // Linux partitions gone
+}
+
+TEST(Diskpart, ReimageOnlyTouchesPartitionOne) {
+    Disk disk = boot::make_v1_dualboot_disk();
+    disk.find(boot::kV1RootPartition)->files.write("etc/fstab", "keep");
+    const auto effect = apply_diskpart(disk, DiskpartScript::reimage_only());
+    ASSERT_TRUE(effect.ok()) << effect.error_message();
+    EXPECT_FALSE(effect.value().wiped_disk);
+    EXPECT_EQ(effect.value().partitions_formatted, std::vector<int>{1});
+    EXPECT_TRUE(disk.find(boot::kV1RootPartition)->files.exists("etc/fstab"));
+}
+
+TEST(Diskpart, ReimageFailsOnBlankDisk) {
+    Disk disk(250'000);
+    EXPECT_FALSE(apply_diskpart(disk, DiskpartScript::reimage_only()).ok());
+}
+
+// ---------- master script ----------
+
+TEST(MasterScript, StockHasTheV1Bugs) {
+    const std::string script =
+        generate_master_script(IdeDiskFile::v1_manual(), SystemImagerOptions{});
+    EXPECT_NE(script.find("mkpart primary fat 0 64"), std::string::npos);
+    EXPECT_EQ(script.find("mkpartfs"), std::string::npos);
+    EXPECT_EQ(script.find("--modify-window=1"), std::string::npos);
+    EXPECT_NE(script.find("echo '/dev/sda1 /windows ntfs"), std::string::npos);
+    EXPECT_NE(script.find("umount /a/windows"), std::string::npos);
+}
+
+TEST(MasterScript, ManualEditsFixAllFour) {
+    const std::string stock =
+        generate_master_script(IdeDiskFile::v1_manual(), SystemImagerOptions{});
+    std::vector<std::string> applied;
+    const std::string edited = apply_manual_edits(stock, v1_manual_edits(), &applied);
+    EXPECT_EQ(applied.size(), 4u);  // the four §III.C.1 edits
+    EXPECT_NE(edited.find("mkpartfs primary fat32"), std::string::npos);
+    EXPECT_NE(edited.find("--modify-window=1 --size-only"), std::string::npos);
+    EXPECT_NE(edited.find("# removed: echo '/dev/sda1"), std::string::npos);
+    EXPECT_NE(edited.find("# removed: umount /a/windows"), std::string::npos);
+}
+
+TEST(MasterScript, PatchedStackGeneratesCleanScript) {
+    SystemImagerOptions patched;
+    patched.skip_label_supported = true;
+    patched.use_mkpartfs = true;
+    patched.rsync_fat_flags = true;
+    const std::string script = generate_master_script(IdeDiskFile::v2_standard(), patched);
+    EXPECT_NE(script.find("# skip /dev/sda1 (preserved)"), std::string::npos);
+    EXPECT_EQ(script.find("ntfs"), std::string::npos);  // no Windows rows at all
+    // Nothing for the manual edits to do.
+    std::vector<std::string> applied;
+    (void)apply_manual_edits(script, v1_manual_edits(), &applied);
+    // Only the rsync edit could match textually; the patched script already
+    // carries the flags, so even that is a no-op.
+    EXPECT_TRUE(applied.empty());
+}
+
+// ---------- Deployer ----------
+
+cluster::Node make_node(sim::Engine& engine) {
+    cluster::NodeConfig cfg;
+    cfg.hostname = "enode01.test";
+    return cluster::Node(engine, cfg, util::Rng(1));
+}
+
+TEST(Deployer, V1WindowsReimageDestroysLinux) {
+    sim::Engine engine;
+    auto node = make_node(engine);
+    Deployer deployer(MiddlewareVersion::kV1);
+    node.disk() = boot::make_v1_dualboot_disk();  // both OSes installed
+    ASSERT_TRUE(linux_intact(node.disk()));
+    const auto result = deployer.deploy_windows(node);
+    ASSERT_TRUE(result.status.ok()) << result.status.error_message();
+    EXPECT_TRUE(result.used_full_wipe);
+    EXPECT_TRUE(result.destroyed_linux);  // "Linux needs to be reinstalled as well"
+    EXPECT_FALSE(linux_intact(node.disk()));
+    EXPECT_TRUE(windows_intact(node.disk()));
+    EXPECT_EQ(node.disk().mbr().code, MbrCode::kWindowsMbr);
+}
+
+TEST(Deployer, V1LinuxDeployNeedsManualEdits) {
+    sim::Engine engine;
+    auto node = make_node(engine);
+    Deployer deployer(MiddlewareVersion::kV1);
+    const auto result = deployer.deploy_linux(node);
+    ASSERT_TRUE(result.status.ok()) << result.status.error_message();
+    EXPECT_TRUE(linux_intact(node.disk()));
+    EXPECT_GE(deployer.log().manual_count(), 4);  // ide.disk + three script fixes
+    // v1 install leaves a working dual-boot stack: GRUB MBR + staged FAT.
+    EXPECT_EQ(node.disk().mbr().code, MbrCode::kGrubStage1);
+    EXPECT_TRUE(node.disk().find(boot::kV1FatPartition)->files.exists("controlmenu.lst"));
+}
+
+TEST(Deployer, V1WindowsThenLinuxPreservesWindows) {
+    sim::Engine engine;
+    auto node = make_node(engine);
+    Deployer deployer(MiddlewareVersion::kV1);
+    ASSERT_TRUE(deployer.deploy_windows(node).status.ok());
+    const auto result = deployer.deploy_linux(node);
+    ASSERT_TRUE(result.status.ok()) << result.status.error_message();
+    EXPECT_FALSE(result.destroyed_windows);
+    EXPECT_TRUE(windows_intact(node.disk()));
+    EXPECT_TRUE(linux_intact(node.disk()));
+}
+
+TEST(Deployer, V2WindowsReimagePreservesLinux) {
+    sim::Engine engine;
+    auto node = make_node(engine);
+    Deployer deployer(MiddlewareVersion::kV2);
+    node.disk() = boot::make_v2_disk();
+    node.disk().find(boot::kV2RootPartition)->files.write("home/data", "precious");
+    const auto result = deployer.deploy_windows(node);
+    ASSERT_TRUE(result.status.ok()) << result.status.error_message();
+    EXPECT_FALSE(result.used_full_wipe);  // Fig 15 script
+    EXPECT_FALSE(result.destroyed_linux);
+    EXPECT_TRUE(node.disk().find(boot::kV2RootPartition)->files.exists("home/data"));
+}
+
+TEST(Deployer, V2LinuxReimagePreservesWindows) {
+    sim::Engine engine;
+    auto node = make_node(engine);
+    Deployer deployer(MiddlewareVersion::kV2);
+    node.disk() = boot::make_v2_disk();
+    node.disk().find(1)->files.write("hpc/config", "keep");
+    const auto result = deployer.deploy_linux(node);
+    ASSERT_TRUE(result.status.ok()) << result.status.error_message();
+    EXPECT_FALSE(result.destroyed_windows);
+    EXPECT_TRUE(node.disk().find(1)->files.exists("hpc/config"));
+    EXPECT_EQ(deployer.log().manual_count(), 0);  // zero-touch
+    // v2 does not touch the MBR.
+    EXPECT_EQ(node.disk().mbr().code, MbrCode::kWindowsMbr);
+}
+
+TEST(Deployer, V2FreshInstallSequence) {
+    sim::Engine engine;
+    auto node = make_node(engine);
+    Deployer deployer(MiddlewareVersion::kV2);
+    // Blank disk: Linux first (reserves the Windows slot), then Windows.
+    ASSERT_TRUE(deployer.deploy_linux(node).status.ok());
+    EXPECT_TRUE(linux_intact(node.disk()));
+    const auto win = deployer.deploy_windows(node);
+    ASSERT_TRUE(win.status.ok()) << win.status.error_message();
+    EXPECT_TRUE(windows_intact(node.disk()));
+    // First Windows install wipes (Fig 10) so Linux must be redone once...
+    EXPECT_TRUE(win.used_full_wipe);
+    ASSERT_TRUE(deployer.deploy_linux(node).status.ok());
+    // ...but from here on every reimage is in place.
+    const auto re_win = deployer.deploy_windows(node);
+    ASSERT_TRUE(re_win.status.ok());
+    EXPECT_FALSE(re_win.used_full_wipe);
+    EXPECT_FALSE(re_win.destroyed_linux);
+    EXPECT_EQ(deployer.log().manual_count(), 0);
+}
+
+TEST(AdminEffort, CountsSplitCorrectly) {
+    AdminEffortLog log;
+    log.record("auto thing", false);
+    log.record("manual thing", true);
+    log.record("another manual", true);
+    EXPECT_EQ(log.manual_count(), 2);
+    EXPECT_EQ(log.automated_count(), 1);
+    EXPECT_EQ(log.actions().size(), 3u);
+}
+
+}  // namespace
+}  // namespace hc::deploy

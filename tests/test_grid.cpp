@@ -1,0 +1,161 @@
+// Tests for the campus-grid (QGG) layer: members, capability, routing rules,
+// and grid-wide summaries.
+#include <gtest/gtest.h>
+
+#include "grid/gateway.hpp"
+
+namespace hc::grid {
+namespace {
+
+using cluster::OsType;
+
+workload::JobSpec job(OsType os, int nodes, sim::Duration runtime) {
+    workload::JobSpec spec;
+    spec.app = os == OsType::kLinux ? "DL_POLY" : "Backburner";
+    spec.os = os;
+    spec.nodes = nodes;
+    spec.runtime = runtime;
+    return spec;
+}
+
+struct GridFixture : ::testing::Test {
+    sim::Engine engine;
+};
+
+TEST_F(GridFixture, MemberCapabilities) {
+    GridMember linux_member(engine, "tauceti", GridMember::Kind::kDedicatedLinux, 4);
+    GridMember windows_member(engine, "vega", GridMember::Kind::kDedicatedWindows, 4);
+    GridMember hybrid(engine, "eridani", GridMember::Kind::kHybrid, 4);
+    EXPECT_TRUE(linux_member.capable(OsType::kLinux));
+    EXPECT_FALSE(linux_member.capable(OsType::kWindows));
+    EXPECT_FALSE(windows_member.capable(OsType::kLinux));
+    EXPECT_TRUE(windows_member.capable(OsType::kWindows));
+    EXPECT_TRUE(hybrid.capable(OsType::kLinux));
+    EXPECT_TRUE(hybrid.capable(OsType::kWindows));
+}
+
+TEST_F(GridFixture, DedicatedMembersBootTheirOs) {
+    GridMember linux_member(engine, "tauceti", GridMember::Kind::kDedicatedLinux, 4);
+    GridMember windows_member(engine, "vega", GridMember::Kind::kDedicatedWindows, 4);
+    linux_member.start();
+    windows_member.start();
+    EXPECT_EQ(linux_member.cluster().cluster().count_running(OsType::kLinux), 4);
+    EXPECT_EQ(windows_member.cluster().cluster().count_running(OsType::kWindows), 4);
+}
+
+TEST_F(GridFixture, LoadReflectsQueuedWork) {
+    GridMember member(engine, "tauceti", GridMember::Kind::kDedicatedLinux, 2);
+    member.start();
+    EXPECT_EQ(member.load(OsType::kLinux).capable_cpus, 8);
+    EXPECT_EQ(member.load(OsType::kLinux).free_cpus, 8);
+    EXPECT_EQ(member.load(OsType::kLinux).queued_cpus, 0);
+    member.submit(job(OsType::kLinux, 2, sim::hours(1)));  // fills the cluster
+    member.submit(job(OsType::kLinux, 2, sim::hours(1)));  // queues
+    const auto load = member.load(OsType::kLinux);
+    EXPECT_EQ(load.free_cpus, 0);
+    EXPECT_EQ(load.queued_cpus, 8);
+    EXPECT_GT(load.pressure(), 0.9);
+    // Incapable OS reports unroutable pressure.
+    EXPECT_GT(member.load(OsType::kWindows).pressure(), 1e8);
+}
+
+TEST_F(GridFixture, SubmitToIncapableMemberThrows) {
+    GridMember member(engine, "tauceti", GridMember::Kind::kDedicatedLinux, 2);
+    member.start();
+    EXPECT_THROW(member.submit(job(OsType::kWindows, 1, sim::hours(1))),
+                 util::PreconditionError);
+}
+
+TEST_F(GridFixture, FirstCapableRouting) {
+    GridGateway gateway(engine, RoutingRule::kFirstCapable);
+    auto& a = gateway.add_member(
+        std::make_unique<GridMember>(engine, "tauceti", GridMember::Kind::kDedicatedLinux, 2));
+    auto& b = gateway.add_member(
+        std::make_unique<GridMember>(engine, "altair", GridMember::Kind::kDedicatedLinux, 2));
+    gateway.start();
+    for (int i = 0; i < 3; ++i) ASSERT_NE(gateway.route(job(OsType::kLinux, 1, sim::hours(1))),
+                                          nullptr);
+    EXPECT_EQ(a.jobs_received(), 3u);
+    EXPECT_EQ(b.jobs_received(), 0u);
+}
+
+TEST_F(GridFixture, RoundRobinRouting) {
+    GridGateway gateway(engine, RoutingRule::kRoundRobin);
+    auto& a = gateway.add_member(
+        std::make_unique<GridMember>(engine, "tauceti", GridMember::Kind::kDedicatedLinux, 2));
+    auto& b = gateway.add_member(
+        std::make_unique<GridMember>(engine, "altair", GridMember::Kind::kDedicatedLinux, 2));
+    gateway.start();
+    for (int i = 0; i < 4; ++i) ASSERT_NE(gateway.route(job(OsType::kLinux, 1, sim::hours(1))),
+                                          nullptr);
+    EXPECT_EQ(a.jobs_received(), 2u);
+    EXPECT_EQ(b.jobs_received(), 2u);
+}
+
+TEST_F(GridFixture, LeastPressureAvoidsTheBusyMember) {
+    GridGateway gateway(engine, RoutingRule::kLeastPressure);
+    auto& busy = gateway.add_member(
+        std::make_unique<GridMember>(engine, "tauceti", GridMember::Kind::kDedicatedLinux, 2));
+    auto& idle = gateway.add_member(
+        std::make_unique<GridMember>(engine, "altair", GridMember::Kind::kDedicatedLinux, 2));
+    gateway.start();
+    // Saturate the first member directly.
+    busy.submit(job(OsType::kLinux, 2, sim::hours(4)));
+    busy.submit(job(OsType::kLinux, 2, sim::hours(4)));
+    GridMember* chosen = gateway.route(job(OsType::kLinux, 1, sim::hours(1)));
+    EXPECT_EQ(chosen, &idle);
+}
+
+TEST_F(GridFixture, UnroutableJobIsRejected) {
+    GridGateway gateway(engine, RoutingRule::kLeastPressure);
+    gateway.add_member(
+        std::make_unique<GridMember>(engine, "tauceti", GridMember::Kind::kDedicatedLinux, 2));
+    gateway.start();
+    EXPECT_EQ(gateway.route(job(OsType::kWindows, 1, sim::hours(1))), nullptr);
+    EXPECT_EQ(gateway.stats().rejected, 1u);
+}
+
+TEST_F(GridFixture, HybridMemberAbsorbsWindowsOverflow) {
+    GridGateway gateway(engine, RoutingRule::kLeastPressure);
+    gateway.add_member(
+        std::make_unique<GridMember>(engine, "vega", GridMember::Kind::kDedicatedWindows, 2));
+    auto& hybrid = gateway.add_member(
+        std::make_unique<GridMember>(engine, "eridani", GridMember::Kind::kHybrid, 4));
+    gateway.start();
+    // Overload the dedicated Windows cluster; overflow should route to the
+    // hybrid, which then reboots nodes into Windows to serve it.
+    for (int i = 0; i < 6; ++i)
+        ASSERT_NE(gateway.route(job(OsType::kWindows, 2, sim::minutes(30))), nullptr);
+    EXPECT_GT(hybrid.jobs_received(), 0u);
+    engine.run_until(sim::TimePoint{} + sim::hours(8));
+    const auto summary = gateway.grid_summary(sim::hours(8).seconds());
+    EXPECT_EQ(summary.completed, 6u);
+    EXPECT_GT(hybrid.cluster().counters().os_switches, 0u);
+}
+
+TEST_F(GridFixture, ReplayRoutesByTime) {
+    GridGateway gateway(engine, RoutingRule::kFirstCapable);
+    gateway.add_member(
+        std::make_unique<GridMember>(engine, "tauceti", GridMember::Kind::kDedicatedLinux, 2));
+    gateway.start();
+    auto spec = job(OsType::kLinux, 1, sim::minutes(10));
+    spec.submit = sim::TimePoint{} + sim::hours(1);
+    gateway.replay({spec});
+    EXPECT_EQ(gateway.stats().routed, 0u);
+    engine.run_until(sim::TimePoint{} + sim::hours(2));
+    EXPECT_EQ(gateway.stats().routed, 1u);
+    EXPECT_EQ(gateway.grid_summary(sim::hours(2).seconds()).completed, 1u);
+}
+
+TEST_F(GridFixture, MemberAccessorsValidate) {
+    GridGateway gateway(engine, RoutingRule::kFirstCapable);
+    EXPECT_THROW(gateway.start(), util::PreconditionError);  // no members
+    gateway.add_member(
+        std::make_unique<GridMember>(engine, "tauceti", GridMember::Kind::kDedicatedLinux, 2));
+    EXPECT_EQ(gateway.member_count(), 1u);
+    EXPECT_NO_THROW((void)gateway.member(0));
+    EXPECT_THROW((void)gateway.member(1), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hc::grid

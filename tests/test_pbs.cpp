@@ -1,0 +1,406 @@
+// Tests for the TORQUE/PBS substrate: resource lists, job scripts (including
+// the paper's Fig 4 switch script), and the batch server's FCFS semantics.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "core/switch_job.hpp"
+#include "pbs/job_script.hpp"
+#include "pbs/resource_list.hpp"
+#include "pbs/server.hpp"
+
+namespace hc::pbs {
+namespace {
+
+using cluster::OsType;
+
+// ---------- ResourceList ----------
+
+TEST(ResourceList, ParsesPaperForm) {
+    const auto rl = ResourceList::parse("nodes=1:ppn=4").value();
+    EXPECT_EQ(rl.nodes, 1);
+    EXPECT_EQ(rl.ppn, 4);
+    EXPECT_EQ(rl.total_cpus(), 4);
+    EXPECT_EQ(rl.nodes_spec(), "1:ppn=4");
+}
+
+TEST(ResourceList, DefaultsPpnToOne) {
+    const auto rl = ResourceList::parse("nodes=3").value();
+    EXPECT_EQ(rl.ppn, 1);
+    EXPECT_EQ(rl.total_cpus(), 3);
+    EXPECT_EQ(rl.nodes_spec(), "3");
+}
+
+TEST(ResourceList, ParsesProperties) {
+    const auto rl = ResourceList::parse("nodes=2:ppn=4:bigmem").value();
+    ASSERT_EQ(rl.properties.size(), 1u);
+    EXPECT_EQ(rl.properties[0], "bigmem");
+    EXPECT_EQ(rl.nodes_spec(), "2:ppn=4:bigmem");
+}
+
+TEST(ResourceList, ParsesWalltime) {
+    const auto rl = ResourceList::parse("nodes=1:ppn=4,walltime=01:30:00").value();
+    ASSERT_TRUE(rl.walltime.has_value());
+    EXPECT_EQ(rl.walltime->whole_seconds(), 5400);
+    EXPECT_EQ(rl.to_string(), "nodes=1:ppn=4,walltime=01:30:00");
+}
+
+TEST(ResourceList, RejectsBadInput) {
+    EXPECT_FALSE(ResourceList::parse("").ok());
+    EXPECT_FALSE(ResourceList::parse("nodes=0").ok());
+    EXPECT_FALSE(ResourceList::parse("nodes=1:ppn=0").ok());
+    EXPECT_FALSE(ResourceList::parse("walltime=01:00:00").ok());  // missing nodes
+    EXPECT_FALSE(ResourceList::parse("mem=4gb").ok());
+    EXPECT_FALSE(ResourceList::parse("nodes").ok());
+}
+
+TEST(Walltime, Formats) {
+    EXPECT_EQ(parse_walltime("02:00:00").value().whole_seconds(), 7200);
+    EXPECT_EQ(parse_walltime("90:00").value().whole_seconds(), 5400);
+    EXPECT_EQ(parse_walltime("45").value().whole_seconds(), 45);
+    EXPECT_FALSE(parse_walltime("1:2:3:4").ok());
+    EXPECT_FALSE(parse_walltime("xx").ok());
+    EXPECT_EQ(format_walltime(sim::seconds(3725)), "01:02:05");
+}
+
+// ---------- JobScript ----------
+
+TEST(JobScript, ParsesFig4SwitchScript) {
+    // The verbatim Fig 4 text must parse through the same qsub path as any
+    // user script.
+    const auto script = JobScript::parse(core::fig4_switch_script_text(OsType::kWindows));
+    ASSERT_TRUE(script.ok()) << script.error_message();
+    const JobScript& s = script.value();
+    EXPECT_EQ(s.resources.nodes, 1);
+    EXPECT_EQ(s.resources.ppn, 4);
+    EXPECT_EQ(s.name, "release_1_node");
+    EXPECT_EQ(s.queue, "default");
+    EXPECT_TRUE(s.join_oe);
+    EXPECT_EQ(s.output_path, "reboot_log.out");
+    EXPECT_FALSE(s.rerunnable);  // -r n
+    ASSERT_EQ(s.body.size(), 4u);
+    EXPECT_NE(s.body[1].find("bootcontrol.pl"), std::string::npos);
+    EXPECT_NE(s.body[2].find("sudo reboot"), std::string::npos);
+    EXPECT_NE(s.body[3].find("sleep 10"), std::string::npos);
+}
+
+TEST(JobScript, DefaultsWithoutDirectives) {
+    const auto s = JobScript::parse("echo hello\n").value();
+    EXPECT_EQ(s.resources.nodes, 1);
+    EXPECT_EQ(s.name, "STDIN");
+    EXPECT_TRUE(s.rerunnable);
+    ASSERT_EQ(s.body.size(), 1u);
+}
+
+TEST(JobScript, EmitRoundTrips) {
+    JobScript s;
+    s.resources = ResourceList::parse("nodes=2:ppn=4").value();
+    s.name = "myjob";
+    s.queue = "default";
+    s.join_oe = true;
+    s.rerunnable = false;
+    s.body = {"echo hi"};
+    const auto back = JobScript::parse(s.emit()).value();
+    EXPECT_EQ(back.name, "myjob");
+    EXPECT_EQ(back.resources.nodes, 2);
+    EXPECT_FALSE(back.rerunnable);
+    EXPECT_EQ(back.body, s.body);
+}
+
+TEST(JobScript, RejectsBadDirectives) {
+    EXPECT_FALSE(JobScript::parse("#PBS -l\n").ok());
+    EXPECT_FALSE(JobScript::parse("#PBS -r maybe\n").ok());
+    EXPECT_FALSE(JobScript::parse("#PBS -z foo\n").ok());
+    EXPECT_FALSE(JobScript::parse("#PBS\n").ok());
+}
+
+// ---------- PbsServer ----------
+
+struct PbsFixture : ::testing::Test {
+    sim::Engine engine;
+    cluster::Cluster cluster{engine, [] {
+                                 cluster::ClusterConfig cfg;
+                                 cfg.node_count = 4;
+                                 cfg.timing.jitter = 0;
+                                 return cfg;
+                             }()};
+    PbsServer server{engine};
+
+    void SetUp() override {
+        for (auto* node : cluster.nodes()) {
+            node->set_boot_resolver([](const cluster::Node&) {
+                cluster::BootDecision d;
+                d.os = OsType::kLinux;
+                return d;
+            });
+            server.attach_node(*node);
+            node->power_on();
+        }
+        engine.run_all();
+    }
+
+    std::string submit(int nodes, int ppn, sim::Duration run_time,
+                       const std::string& name = "job") {
+        JobScript script;
+        script.resources.nodes = nodes;
+        script.resources.ppn = ppn;
+        script.name = name;
+        JobBehavior behavior;
+        behavior.run_time = run_time;
+        auto id = server.submit(script, "sliang", std::move(behavior));
+        EXPECT_TRUE(id.ok()) << id.error_message();
+        return id.value();
+    }
+};
+
+TEST_F(PbsFixture, JobIdsFollowPaperFormat) {
+    const std::string id = submit(1, 4, sim::seconds(10));
+    EXPECT_EQ(id, "1185.eridani.qgg.hud.ac.uk");  // ids start at the Fig 8 number
+    EXPECT_EQ(submit(1, 4, sim::seconds(10)), "1186.eridani.qgg.hud.ac.uk");
+}
+
+TEST_F(PbsFixture, JobRunsAndCompletes) {
+    const std::string id = submit(1, 4, sim::minutes(5));
+    const Job* job = server.find_job(id);
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(job->state, JobState::kRunning);  // placed immediately
+    engine.run_all();
+    EXPECT_EQ(job->state, JobState::kCompleted);
+    EXPECT_EQ(job->completion, CompletionKind::kNormal);
+    EXPECT_EQ(job->etime_unix - job->stime_unix, 300);
+    EXPECT_EQ(server.stats().completed_normal, 1u);
+}
+
+TEST_F(PbsFixture, ExecHostUsesDescendingCpus) {
+    const std::string id = submit(1, 4, sim::minutes(5));
+    const Job* job = server.find_job(id);
+    // Fig 8 pattern: host/3+host/2+host/1+host/0.
+    const std::string host = job->exec_slots[0].host;
+    EXPECT_EQ(job->exec_host_string(),
+              host + "/3+" + host + "/2+" + host + "/1+" + host + "/0");
+}
+
+TEST_F(PbsFixture, MultiNodeJobsSpanDistinctNodes) {
+    const std::string id = submit(3, 4, sim::minutes(5));
+    const Job* job = server.find_job(id);
+    ASSERT_EQ(job->exec_node_indices.size(), 3u);
+    EXPECT_NE(job->exec_node_indices[0], job->exec_node_indices[1]);
+    EXPECT_EQ(server.fully_idle_nodes().size(), 1u);
+}
+
+TEST_F(PbsFixture, StrictFifoBlocksBehindBigJob) {
+    submit(4, 4, sim::hours(1), "uses-everything");
+    submit(4, 4, sim::hours(1), "blocked-big");
+    const std::string small_id = submit(1, 1, sim::minutes(1), "small");
+    // Strict FIFO: the small job must NOT jump the blocked 4-node job.
+    EXPECT_EQ(server.find_job(small_id)->state, JobState::kQueued);
+    EXPECT_EQ(server.queued_jobs().size(), 2u);
+}
+
+TEST(PbsBackfill, SmallJobJumpsBlockedHeadWhenNotStrict) {
+    sim::Engine engine;
+    cluster::ClusterConfig ccfg;
+    ccfg.node_count = 4;
+    ccfg.timing.jitter = 0;
+    cluster::Cluster cluster(engine, ccfg);
+    PbsServerConfig scfg;
+    scfg.strict_fifo = false;
+    PbsServer server(engine, scfg);
+    for (auto* node : cluster.nodes()) {
+        node->set_boot_resolver([](const cluster::Node&) {
+            cluster::BootDecision d;
+            d.os = OsType::kLinux;
+            return d;
+        });
+        server.attach_node(*node);
+        node->power_on();
+    }
+    engine.run_all();
+
+    auto submit = [&](int nodes, sim::Duration run_time) {
+        JobScript script;
+        script.resources.nodes = nodes;
+        script.resources.ppn = 4;
+        JobBehavior behavior;
+        behavior.run_time = run_time;
+        return server.submit(script, "u", std::move(behavior)).value();
+    };
+    submit(3, sim::hours(1));                               // 3 of 4 nodes busy
+    const auto blocked = submit(4, sim::hours(1));          // blocked head (needs all 4)
+    const auto small = submit(1, sim::minutes(1));          // fits the idle node
+    // Backfill lets the small job flow around the blocked head immediately.
+    EXPECT_EQ(server.find_job(blocked)->state, JobState::kQueued);
+    EXPECT_EQ(server.find_job(small)->state, JobState::kRunning);
+    engine.run_for(sim::minutes(2));
+    EXPECT_EQ(server.find_job(small)->state, JobState::kCompleted);
+    EXPECT_EQ(server.find_job(blocked)->state, JobState::kQueued);
+}
+
+TEST_F(PbsFixture, CoresSharedBetweenSmallJobs) {
+    // Two ppn=2 jobs fit on one 4-core node.
+    const auto a = submit(1, 2, sim::hours(1));
+    const auto b = submit(1, 2, sim::hours(1));
+    EXPECT_EQ(server.find_job(a)->state, JobState::kRunning);
+    EXPECT_EQ(server.find_job(b)->state, JobState::kRunning);
+    EXPECT_EQ(server.free_cpus(), 12);
+}
+
+TEST_F(PbsFixture, QdelQueuedAndRunning) {
+    const auto big = submit(4, 4, sim::hours(1));
+    const auto waiting = submit(1, 4, sim::hours(1));
+    ASSERT_TRUE(server.qdel(waiting).ok());
+    EXPECT_EQ(server.find_job(waiting)->completion, CompletionKind::kDeleted);
+    ASSERT_TRUE(server.qdel(big).ok());
+    EXPECT_EQ(server.free_cpus(), 16);  // allocation released
+    EXPECT_FALSE(server.qdel(big).ok());  // already completed
+    EXPECT_FALSE(server.qdel("999.unknown").ok());
+}
+
+TEST_F(PbsFixture, WalltimeKillsOverrunningJob) {
+    JobScript script;
+    script.resources = ResourceList::parse("nodes=1:ppn=4,walltime=00:10:00").value();
+    JobBehavior behavior;
+    behavior.run_time = sim::hours(5);
+    const auto id = server.submit(script, "sliang", std::move(behavior)).value();
+    engine.run_all();
+    EXPECT_EQ(server.find_job(id)->completion, CompletionKind::kWalltime);
+    EXPECT_EQ(server.stats().killed_walltime, 1u);
+}
+
+TEST_F(PbsFixture, NodeDownAbortsNonRerunnableJob) {
+    JobScript script;
+    script.resources.ppn = 4;
+    script.rerunnable = false;
+    JobBehavior behavior;
+    behavior.run_time = sim::hours(1);
+    const auto id = server.submit(script, "sliang", std::move(behavior)).value();
+    const Job* job = server.find_job(id);
+    ASSERT_EQ(job->state, JobState::kRunning);
+    cluster.node(job->exec_node_indices[0]).reboot();
+    EXPECT_EQ(job->state, JobState::kCompleted);
+    EXPECT_EQ(job->completion, CompletionKind::kNodeFailure);
+}
+
+TEST_F(PbsFixture, NodeDownRequeuesRerunnableJob) {
+    const auto id = submit(4, 4, sim::hours(1));  // rerunnable by default
+    const Job* job = server.find_job(id);
+    const int victim = job->exec_node_indices[0];
+    cluster.node(victim).reboot();
+    EXPECT_EQ(job->state, JobState::kQueued);
+    EXPECT_EQ(job->requeue_count, 1);
+    engine.run_all();  // node comes back, job reruns to completion
+    EXPECT_EQ(job->state, JobState::kCompleted);
+    EXPECT_EQ(job->completion, CompletionKind::kNormal);
+}
+
+TEST_F(PbsFixture, NodeRunningWindowsIsDown) {
+    // Flip a node to Windows: PBS should see it down and not schedule there.
+    auto* node = cluster.nodes()[0];
+    node->set_boot_resolver([](const cluster::Node&) {
+        cluster::BootDecision d;
+        d.os = OsType::kWindows;
+        return d;
+    });
+    node->reboot();
+    engine.run_all();
+    EXPECT_EQ(node->os(), OsType::kWindows);
+    int down = 0;
+    for (const auto& rec : server.node_records())
+        if (rec.state() == NodeState::kDown) ++down;
+    EXPECT_EQ(down, 1);
+    EXPECT_EQ(server.free_cpus(), 12);
+}
+
+TEST_F(PbsFixture, OfflineNodeNotScheduled) {
+    ASSERT_TRUE(server.set_node_offline("enode01", true).ok());
+    const auto id = submit(4, 4, sim::hours(1));
+    EXPECT_EQ(server.find_job(id)->state, JobState::kQueued);  // only 3 usable nodes
+    ASSERT_TRUE(server.set_node_offline("enode01", false).ok());
+    EXPECT_EQ(server.find_job(id)->state, JobState::kRunning);
+    EXPECT_FALSE(server.set_node_offline("enode99", true).ok());
+}
+
+TEST_F(PbsFixture, QholdSkipsJobAndUnblocksQueue) {
+    submit(4, 4, sim::hours(1), "running");
+    const auto head = submit(4, 4, sim::hours(1), "will-be-held");
+    const auto small = submit(1, 4, sim::hours(1), "behind");
+    // Strict FIFO: `small` is blocked behind `head`.
+    EXPECT_EQ(server.find_job(small)->state, JobState::kQueued);
+    ASSERT_TRUE(server.qhold(head).ok());
+    EXPECT_EQ(server.find_job(head)->state, JobState::kHeld);
+    // The held head no longer blocks; there are no free nodes yet though.
+    engine.run_until(sim::TimePoint{} + sim::hours(2) + sim::minutes(10));
+    EXPECT_EQ(server.find_job(small)->state, JobState::kCompleted);
+    // The held job never ran.
+    EXPECT_EQ(server.find_job(head)->state, JobState::kHeld);
+    // Release: it becomes eligible and runs to completion.
+    ASSERT_TRUE(server.qrls(head).ok());
+    engine.run_all();
+    EXPECT_EQ(server.find_job(head)->state, JobState::kCompleted);
+    EXPECT_EQ(server.find_job(head)->completion, CompletionKind::kNormal);
+}
+
+TEST_F(PbsFixture, QholdValidation) {
+    const auto id = submit(1, 4, sim::hours(1));
+    EXPECT_FALSE(server.qhold(id).ok());  // running, not holdable
+    EXPECT_FALSE(server.qhold("999.unknown").ok());
+    EXPECT_FALSE(server.qrls(id).ok());  // not held
+    const auto waiting = submit(4, 4, sim::hours(1));
+    ASSERT_TRUE(server.qhold(waiting).ok());
+    EXPECT_FALSE(server.qhold(waiting).ok());  // already held
+    // Held jobs can still be deleted.
+    ASSERT_TRUE(server.qdel(waiting).ok());
+    EXPECT_EQ(server.find_job(waiting)->completion, CompletionKind::kDeleted);
+}
+
+TEST_F(PbsFixture, HeldJobShowsInQstatWithH) {
+    submit(4, 4, sim::hours(1));
+    const auto held = submit(1, 4, sim::hours(1));
+    ASSERT_TRUE(server.qhold(held).ok());
+    EXPECT_NE(server.qstat_f_output().find("job_state = H"), std::string::npos);
+    // Held jobs are not "queued" for stuck detection purposes.
+    EXPECT_TRUE(server.queued_jobs().empty());
+}
+
+TEST_F(PbsFixture, QueueDrainsInArrivalOrder) {
+    std::vector<std::string> finish_order;
+    for (int i = 0; i < 6; ++i) {
+        JobScript script;
+        script.resources.nodes = 4;
+        script.resources.ppn = 4;
+        script.name = "j" + std::to_string(i);
+        JobBehavior behavior;
+        behavior.run_time = sim::minutes(10);
+        behavior.on_finish = [&finish_order](Job& job) { finish_order.push_back(job.name); };
+        ASSERT_TRUE(server.submit(script, "u", std::move(behavior)).ok());
+    }
+    engine.run_all();
+    EXPECT_EQ(finish_order,
+              (std::vector<std::string>{"j0", "j1", "j2", "j3", "j4", "j5"}));
+}
+
+TEST_F(PbsFixture, OnStartHookSeesAllocation) {
+    JobScript script;
+    script.resources.ppn = 4;
+    JobBehavior behavior;
+    behavior.run_time = sim::seconds(5);
+    int seen_nodes = -1;
+    behavior.on_start = [&seen_nodes](Job& job) {
+        seen_nodes = static_cast<int>(job.exec_node_indices.size());
+    };
+    ASSERT_TRUE(server.submit(script, "u", std::move(behavior)).ok());
+    EXPECT_EQ(seen_nodes, 1);
+}
+
+TEST_F(PbsFixture, OwnerGetsServerSuffix) {
+    const auto id = submit(1, 1, sim::seconds(1));
+    EXPECT_EQ(server.find_job(id)->owner, "sliang@eridani.qgg.hud.ac.uk");
+}
+
+TEST_F(PbsFixture, SubmitValidation) {
+    JobScript script;
+    EXPECT_FALSE(server.submit(script, "").ok());
+    EXPECT_FALSE(server.qsub("#PBS -l nodes=zero\n", "u").ok());
+}
+
+}  // namespace
+}  // namespace hc::pbs

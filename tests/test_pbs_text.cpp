@@ -1,0 +1,166 @@
+// Tests for the PBS text command layer — the Fig 7 (pbsnodes) and Fig 8
+// (qstat -f) formats the detector scrapes.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "pbs/server.hpp"
+
+namespace hc::pbs {
+namespace {
+
+using cluster::OsType;
+
+struct TextFixture : ::testing::Test {
+    sim::Engine engine;
+    cluster::Cluster cluster{engine, [] {
+                                 cluster::ClusterConfig cfg;
+                                 cfg.node_count = 2;
+                                 cfg.timing.jitter = 0;
+                                 return cfg;
+                             }()};
+    PbsServer server{engine};
+
+    void SetUp() override {
+        for (auto* node : cluster.nodes()) {
+            node->set_boot_resolver([](const cluster::Node&) {
+                cluster::BootDecision d;
+                d.os = OsType::kLinux;
+                return d;
+            });
+            server.attach_node(*node);
+            node->power_on();
+        }
+        engine.run_all();
+    }
+};
+
+TEST_F(TextFixture, PbsnodesListsEveryNodeWithFig7Fields) {
+    const std::string out = server.pbsnodes_output();
+    // Fig 7 structure for a free node.
+    EXPECT_NE(out.find("enode01.eridani.qgg.hud.ac.uk\n"), std::string::npos);
+    EXPECT_NE(out.find("     state = free\n"), std::string::npos);
+    EXPECT_NE(out.find("     np = 4\n"), std::string::npos);
+    EXPECT_NE(out.find("     properties = all\n"), std::string::npos);
+    EXPECT_NE(out.find("     ntype = cluster\n"), std::string::npos);
+    EXPECT_NE(out.find("opsys=linux"), std::string::npos);
+    EXPECT_NE(out.find("totmem=15881584kb"), std::string::npos);  // Fig 7 value
+    EXPECT_NE(out.find("physmem=8069096kb"), std::string::npos);
+    EXPECT_NE(out.find("ncpus=4"), std::string::npos);
+    EXPECT_NE(out.find("enode02.eridani.qgg.hud.ac.uk\n"), std::string::npos);
+}
+
+TEST_F(TextFixture, PbsnodesShowsJobsAndExclusiveState) {
+    JobScript script;
+    script.resources.ppn = 4;
+    JobBehavior behavior;
+    behavior.run_time = sim::hours(1);
+    const auto id = server.submit(script, "sliang", std::move(behavior)).value();
+    const std::string out = server.pbsnodes_output();
+    EXPECT_NE(out.find("state = job-exclusive"), std::string::npos);
+    EXPECT_NE(out.find("jobs = 0/" + id), std::string::npos);
+    EXPECT_NE(out.find("3/" + id), std::string::npos);
+}
+
+TEST_F(TextFixture, PbsnodesShowsDownNode) {
+    cluster.node(0).reboot();
+    const std::string out = server.pbsnodes_output();
+    EXPECT_NE(out.find("state = down"), std::string::npos);
+    // Down nodes report no status attributes.
+    const auto block_start = out.find("enode01");
+    const auto block_end = out.find("\n\n", block_start);
+    EXPECT_EQ(out.substr(block_start, block_end - block_start).find("status ="),
+              std::string::npos);
+}
+
+TEST_F(TextFixture, QstatFMatchesFig8Layout) {
+    JobScript script;
+    script.resources.ppn = 4;
+    script.name = "release_1_node";
+    script.queue = "default";
+    script.join_oe = true;
+    JobBehavior behavior;
+    behavior.run_time = sim::hours(1);
+    const auto id = server.submit(script, "sliang", std::move(behavior)).value();
+    const std::string out = server.qstat_f_output();
+    EXPECT_NE(out.find("Job Id: " + id + "\n"), std::string::npos);
+    EXPECT_NE(out.find("    Job_Name = release_1_node\n"), std::string::npos);
+    EXPECT_NE(out.find("    Job_Owner = sliang@eridani.qgg.hud.ac.uk\n"), std::string::npos);
+    EXPECT_NE(out.find("    job_state = R\n"), std::string::npos);
+    EXPECT_NE(out.find("    queue = default\n"), std::string::npos);
+    EXPECT_NE(out.find("    server = eridani.qgg.hud.ac.uk\n"), std::string::npos);
+    EXPECT_NE(out.find("    exec_host = enode01.eridani.qgg.hud.ac.uk/3+"), std::string::npos);
+    EXPECT_NE(out.find("    Priority = 0\n"), std::string::npos);
+    EXPECT_NE(out.find("    qtime = Fri Apr 16 "), std::string::npos);  // sim epoch date
+    EXPECT_NE(out.find("    Resource_List.nodes = 1:ppn=4\n"), std::string::npos);
+    EXPECT_NE(out.find("    Variable_List = PBS_O_HOME=/home/sliang,"), std::string::npos);
+    EXPECT_NE(out.find("\n\tPBS_O_PATH="), std::string::npos);  // tab continuation
+}
+
+TEST_F(TextFixture, QstatFShowsQueuedJobWithoutExecHost) {
+    JobScript big;
+    big.resources.nodes = 2;
+    big.resources.ppn = 4;
+    JobBehavior long_run;
+    long_run.run_time = sim::hours(1);
+    ASSERT_TRUE(server.submit(big, "a", std::move(long_run)).ok());
+    JobScript blocked;
+    blocked.resources.nodes = 2;
+    blocked.resources.ppn = 4;
+    const auto id = server.submit(blocked, "b").value();
+    const std::string out = server.qstat_f_output();
+    const auto block = out.find("Job Id: " + id);
+    ASSERT_NE(block, std::string::npos);
+    EXPECT_NE(out.find("job_state = Q", block), std::string::npos);
+    EXPECT_EQ(out.find("exec_host", block), std::string::npos);
+}
+
+TEST_F(TextFixture, QstatFOmitsCompletedJobs) {
+    JobScript script;
+    JobBehavior behavior;
+    behavior.run_time = sim::seconds(5);
+    const auto id = server.submit(script, "u", std::move(behavior)).value();
+    engine.run_all();
+    EXPECT_EQ(server.qstat_f_output().find(id), std::string::npos);
+}
+
+TEST_F(TextFixture, QstatFEmptyWhenNoJobs) {
+    EXPECT_EQ(server.qstat_f_output(), "");
+}
+
+TEST_F(TextFixture, QstatBriefTableFormat) {
+    JobScript running;
+    running.resources.ppn = 4;
+    running.name = "release_1_node";
+    JobBehavior behavior;
+    behavior.run_time = sim::hours(2);
+    ASSERT_TRUE(server.submit(running, "sliang", std::move(behavior)).ok());
+    JobScript queued;
+    queued.resources.nodes = 2;
+    queued.resources.ppn = 4;
+    queued.name = "waiting";
+    ASSERT_TRUE(server.submit(queued, "ikureshi").ok());
+    engine.run_for(sim::minutes(5));
+    const std::string out = server.qstat_output();
+    EXPECT_NE(out.find("Job ID"), std::string::npos);
+    EXPECT_NE(out.find("1185.eridani "), std::string::npos);  // id truncated at 2nd dot
+    EXPECT_NE(out.find("release_1_node"), std::string::npos);
+    EXPECT_NE(out.find(" R default"), std::string::npos);
+    EXPECT_NE(out.find(" Q default"), std::string::npos);
+    EXPECT_NE(out.find("sliang"), std::string::npos);
+    EXPECT_NE(out.find("00:05:00"), std::string::npos);  // time in use
+}
+
+TEST_F(TextFixture, QstatBriefEmptyWhenIdle) {
+    EXPECT_EQ(server.qstat_output(), "");
+}
+
+TEST_F(TextFixture, WalltimeShownWhenRequested) {
+    JobScript script;
+    script.resources = ResourceList::parse("nodes=1:ppn=1,walltime=02:00:00").value();
+    ASSERT_TRUE(server.submit(script, "u").ok());
+    EXPECT_NE(server.qstat_f_output().find("    Resource_List.walltime = 02:00:00\n"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace hc::pbs

@@ -1,0 +1,222 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/errors.hpp"
+#include "util/time_format.hpp"
+
+namespace hc::sim {
+namespace {
+
+TEST(Time, ArithmeticAndConversions) {
+    EXPECT_EQ(seconds(1.5).ms, 1500);
+    EXPECT_EQ(minutes(5).ms, 300'000);
+    EXPECT_EQ(hours(1).ms, 3'600'000);
+    EXPECT_EQ(days(1).whole_seconds(), 86'400);
+    const TimePoint t = TimePoint{} + minutes(2);
+    EXPECT_EQ((t - TimePoint{}).ms, 120'000);
+    EXPECT_EQ((t + seconds(30)).seconds(), 150.0);
+}
+
+TEST(Time, ToStringFormats) {
+    EXPECT_EQ(to_string(Duration{3'661'250}), "01:01:01.250");
+    EXPECT_EQ(to_string(Duration{-1000}), "-00:00:01.000");
+}
+
+TEST(Engine, DispatchesInTimeOrder) {
+    Engine engine;
+    std::vector<int> order;
+    engine.schedule_after(seconds(3), [&] { order.push_back(3); });
+    engine.schedule_after(seconds(1), [&] { order.push_back(1); });
+    engine.schedule_after(seconds(2), [&] { order.push_back(2); });
+    engine.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SimultaneousEventsAreFifo) {
+    Engine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        engine.schedule_after(seconds(1), [&order, i] { order.push_back(i); });
+    engine.run_all();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NowAdvancesToEventTime) {
+    Engine engine;
+    TimePoint seen{};
+    engine.schedule_after(minutes(5), [&] { seen = engine.now(); });
+    engine.run_all();
+    EXPECT_EQ(seen, TimePoint{} + minutes(5));
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWithoutEvents) {
+    Engine engine;
+    engine.run_until(TimePoint{} + hours(1));
+    EXPECT_EQ(engine.now(), TimePoint{} + hours(1));
+}
+
+TEST(Engine, RunUntilDoesNotDispatchLaterEvents) {
+    Engine engine;
+    bool fired = false;
+    engine.schedule_after(seconds(10), [&] { fired = true; });
+    engine.run_until(TimePoint{} + seconds(5));
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(engine.pending_events(), 1u);
+    engine.run_all();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelPreventsDispatch) {
+    Engine engine;
+    bool fired = false;
+    const EventId id = engine.schedule_after(seconds(1), [&] { fired = true; });
+    EXPECT_TRUE(engine.cancel(id));
+    engine.run_all();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(engine.stats().cancelled, 1u);
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+    Engine engine;
+    const EventId id = engine.schedule_after(seconds(1), [] {});
+    EXPECT_TRUE(engine.cancel(id));
+    EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(Engine, CancelAfterDispatchReturnsFalse) {
+    Engine engine;
+    const EventId id = engine.schedule_after(seconds(1), [] {});
+    engine.run_all();
+    EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(Engine, CancelInvalidIdIsNoop) {
+    Engine engine;
+    EXPECT_FALSE(engine.cancel(EventId{}));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+    Engine engine;
+    engine.run_until(TimePoint{} + seconds(10));
+    EXPECT_THROW(engine.schedule_at(TimePoint{} + seconds(5), [] {}),
+                 util::PreconditionError);
+    EXPECT_THROW(engine.schedule_after(Duration{-1}, [] {}), util::PreconditionError);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+    Engine engine;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5) engine.schedule_after(seconds(1), recurse);
+    };
+    engine.schedule_after(seconds(1), recurse);
+    engine.run_all();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(engine.now(), TimePoint{} + seconds(5));
+}
+
+TEST(Engine, StepDispatchesExactlyOne) {
+    Engine engine;
+    int count = 0;
+    engine.schedule_after(seconds(1), [&] { ++count; });
+    engine.schedule_after(seconds(2), [&] { ++count; });
+    EXPECT_TRUE(engine.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(engine.step());
+    EXPECT_FALSE(engine.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, RunAllRespectsBudget) {
+    Engine engine;
+    std::function<void()> forever = [&] { engine.schedule_after(seconds(1), forever); };
+    engine.schedule_after(seconds(1), forever);
+    EXPECT_THROW(engine.run_all(100), util::InvariantError);
+}
+
+TEST(Engine, UnixNowTracksEpoch) {
+    Engine engine(1'000'000);
+    EXPECT_EQ(engine.unix_now(), 1'000'000);
+    engine.run_until(TimePoint{} + seconds(90));
+    EXPECT_EQ(engine.unix_now(), 1'000'090);
+}
+
+TEST(Engine, DefaultEpochIsPaperDate) {
+    Engine engine;
+    EXPECT_EQ(engine.unix_epoch(), util::default_sim_epoch());
+}
+
+TEST(Periodic, TicksAtInterval) {
+    Engine engine;
+    int ticks = 0;
+    PeriodicTask task(engine, minutes(10), [&] { ++ticks; });
+    task.start();
+    engine.run_until(TimePoint{} + minutes(35));
+    EXPECT_EQ(ticks, 4);  // t=0,10,20,30
+}
+
+TEST(Periodic, InitialDelayShiftsFirstTick) {
+    Engine engine;
+    int ticks = 0;
+    PeriodicTask task(engine, minutes(10), [&] { ++ticks; });
+    task.start(minutes(5));
+    engine.run_until(TimePoint{} + minutes(14));
+    EXPECT_EQ(ticks, 1);  // t=5 only
+}
+
+TEST(Periodic, StopHaltsTicks) {
+    Engine engine;
+    int ticks = 0;
+    PeriodicTask task(engine, seconds(1), [&] { ++ticks; });
+    task.start();
+    engine.run_until(TimePoint{} + seconds(3));
+    task.stop();
+    engine.run_until(TimePoint{} + seconds(10));
+    EXPECT_EQ(ticks, 4);
+    EXPECT_FALSE(task.running());
+}
+
+TEST(Periodic, TickCanStopItself) {
+    Engine engine;
+    int ticks = 0;
+    PeriodicTask task(engine, seconds(1), [&] {
+        if (++ticks == 3) {
+            // stop() from inside the tick must not re-arm
+        }
+    });
+    task.start();
+    engine.run_until(TimePoint{} + seconds(2));
+    task.stop();
+    engine.run_all();
+    EXPECT_LE(ticks, 3);
+}
+
+TEST(Periodic, SetIntervalTakesEffectNextArm) {
+    Engine engine;
+    std::vector<double> times;
+    PeriodicTask task(engine, minutes(10), [&] { times.push_back(engine.now().seconds()); });
+    task.start();
+    engine.run_until(TimePoint{} + minutes(10));  // ticks at 0, 600
+    task.set_interval(minutes(5));
+    engine.run_until(TimePoint{} + minutes(20));  // next at 900? no: armed at 600 with old 10m...
+    // The tick at t=600 re-armed with the *new* interval only if set before
+    // arming; we set it after, so the next tick is at 600+600=1200, then
+    // 1200+300=1500.
+    ASSERT_GE(times.size(), 3u);
+    EXPECT_DOUBLE_EQ(times[0], 0.0);
+    EXPECT_DOUBLE_EQ(times[1], 600.0);
+    EXPECT_DOUBLE_EQ(times[2], 1200.0);
+}
+
+TEST(Periodic, DoubleStartThrows) {
+    Engine engine;
+    PeriodicTask task(engine, seconds(1), [] {});
+    task.start();
+    EXPECT_THROW(task.start(), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace hc::sim

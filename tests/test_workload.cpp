@@ -1,0 +1,323 @@
+// Tests for the workload substrate: the Table I catalogue, generators,
+// trace serialisation, and metrics.
+#include <gtest/gtest.h>
+
+#include "workload/catalog.hpp"
+#include "workload/generator.hpp"
+#include "workload/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace hc::workload {
+namespace {
+
+using cluster::OsType;
+
+// ---------- catalogue (Table I) ----------
+
+TEST(Catalog, HasAllFifteenTableOneRows) {
+    const AppCatalog catalog = AppCatalog::huddersfield();
+    EXPECT_EQ(catalog.size(), 15u);
+    // Spot-check rows against Table I.
+    ASSERT_NE(catalog.find("DL_POLY"), nullptr);
+    EXPECT_EQ(catalog.find("DL_POLY")->support, OsSupport::kLinuxOnly);
+    ASSERT_NE(catalog.find("Backburner"), nullptr);
+    EXPECT_EQ(catalog.find("Backburner")->support, OsSupport::kWindowsOnly);
+    ASSERT_NE(catalog.find("Opera"), nullptr);
+    EXPECT_EQ(catalog.find("Opera")->support, OsSupport::kWindowsOnly);
+    ASSERT_NE(catalog.find("MATLAB"), nullptr);
+    EXPECT_EQ(catalog.find("MATLAB")->support, OsSupport::kBoth);
+    ASSERT_NE(catalog.find("ANSYS FLUENT"), nullptr);
+    EXPECT_EQ(catalog.find("ANSYS FLUENT")->support, OsSupport::kBoth);
+    ASSERT_NE(catalog.find("COMSOL"), nullptr);
+    EXPECT_EQ(catalog.find("COMSOL")->support, OsSupport::kBoth);
+    EXPECT_EQ(catalog.find("nonexistent"), nullptr);
+}
+
+TEST(Catalog, TableOneOsColumnCounts) {
+    // Table I: 10 Linux-only, 2 Windows-only, 3 both.
+    const AppCatalog catalog = AppCatalog::huddersfield();
+    int linux_only = 0, windows_only = 0, both = 0;
+    for (const auto& app : catalog.apps()) {
+        switch (app.support) {
+            case OsSupport::kLinuxOnly: ++linux_only; break;
+            case OsSupport::kWindowsOnly: ++windows_only; break;
+            case OsSupport::kBoth: ++both; break;
+        }
+    }
+    EXPECT_EQ(linux_only, 10);
+    EXPECT_EQ(windows_only, 2);
+    EXPECT_EQ(both, 3);
+}
+
+TEST(Catalog, SharesSumToOne) {
+    const AppCatalog catalog = AppCatalog::huddersfield();
+    const double total = catalog.exclusive_share(OsType::kLinux) +
+                         catalog.exclusive_share(OsType::kWindows) +
+                         catalog.flexible_share();
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GT(catalog.exclusive_share(OsType::kLinux), 0.5);  // Linux-dominant campus
+    EXPECT_GT(catalog.exclusive_share(OsType::kWindows), 0.05);
+}
+
+TEST(Catalog, RenderTableListsEveryApp) {
+    const std::string table = AppCatalog::huddersfield().render_table();
+    EXPECT_NE(table.find("DL_POLY"), std::string::npos);
+    EXPECT_NE(table.find("W&L"), std::string::npos);
+    EXPECT_NE(table.find("Software Name"), std::string::npos);
+}
+
+// ---------- generator ----------
+
+GeneratorConfig fast_config() {
+    GeneratorConfig cfg;
+    cfg.arrival_rate_per_hour = 20;
+    cfg.horizon = sim::hours(8);
+    return cfg;
+}
+
+TEST(Generator, DeterministicForSeed) {
+    WorkloadGenerator a(AppCatalog::huddersfield(), fast_config(), 42);
+    WorkloadGenerator b(AppCatalog::huddersfield(), fast_config(), 42);
+    const auto ta = a.generate();
+    const auto tb = b.generate();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_EQ(ta[i].app, tb[i].app);
+        EXPECT_EQ(ta[i].submit.ms, tb[i].submit.ms);
+        EXPECT_EQ(ta[i].runtime.ms, tb[i].runtime.ms);
+    }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+    WorkloadGenerator a(AppCatalog::huddersfield(), fast_config(), 1);
+    WorkloadGenerator b(AppCatalog::huddersfield(), fast_config(), 2);
+    EXPECT_NE(serialize_trace(a.generate()), serialize_trace(b.generate()));
+}
+
+TEST(Generator, ArrivalCountNearExpectation) {
+    WorkloadGenerator gen(AppCatalog::huddersfield(), fast_config(), 7);
+    const auto trace = gen.generate();
+    // 20/hour x 8 hours = 160 expected.
+    EXPECT_GT(trace.size(), 110u);
+    EXPECT_LT(trace.size(), 220u);
+}
+
+TEST(Generator, TraceSortedAndInHorizon) {
+    WorkloadGenerator gen(AppCatalog::huddersfield(), fast_config(), 7);
+    const auto trace = gen.generate();
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_LE(trace[i - 1].submit.ms, trace[i].submit.ms);
+    for (const auto& job : trace) {
+        EXPECT_LT(job.submit.seconds(), sim::hours(8).seconds());
+        EXPECT_GE(job.nodes, 1);
+        EXPECT_LE(job.nodes, 16);
+        EXPECT_GT(job.runtime.ms, 0);
+    }
+}
+
+TEST(Generator, OsAssignmentRespectsSupport) {
+    WorkloadGenerator gen(AppCatalog::huddersfield(), fast_config(), 7);
+    const AppCatalog catalog = AppCatalog::huddersfield();
+    for (const auto& job : gen.generate()) {
+        const Application* app = catalog.find(job.app);
+        ASSERT_NE(app, nullptr) << job.app;
+        if (app->support == OsSupport::kLinuxOnly) {
+            EXPECT_EQ(job.os, OsType::kLinux);
+        }
+        if (app->support == OsSupport::kWindowsOnly) {
+            EXPECT_EQ(job.os, OsType::kWindows);
+        }
+        EXPECT_EQ(job.flexible, app->support == OsSupport::kBoth);
+    }
+}
+
+TEST(Generator, FlexiblePolicyPreferLinux) {
+    GeneratorConfig cfg = fast_config();
+    cfg.flexible_policy = FlexiblePolicy::kPreferLinux;
+    WorkloadGenerator gen(AppCatalog::huddersfield(), cfg, 7);
+    for (const auto& job : gen.generate()) {
+        if (job.flexible) {
+            EXPECT_EQ(job.os, OsType::kLinux);
+        }
+    }
+}
+
+TEST(Generator, BurstStaysInWindow) {
+    WorkloadGenerator gen(AppCatalog::huddersfield(), fast_config(), 7);
+    const auto start = sim::TimePoint{} + sim::hours(2);
+    const auto burst = gen.burst("Backburner", 10, start, sim::minutes(30));
+    EXPECT_EQ(burst.size(), 10u);
+    for (const auto& job : burst) {
+        EXPECT_GE(job.submit.ms, start.ms);
+        EXPECT_LE(job.submit.ms, (start + sim::minutes(30)).ms);
+        EXPECT_EQ(job.os, OsType::kWindows);
+        EXPECT_EQ(job.app, "Backburner");
+    }
+}
+
+TEST(Generator, BurstUnknownAppThrows) {
+    WorkloadGenerator gen(AppCatalog::huddersfield(), fast_config(), 7);
+    EXPECT_THROW((void)gen.burst("NoSuchApp", 3, {}, sim::minutes(1)),
+                 util::PreconditionError);
+}
+
+TEST(Generator, RuntimeScaleShrinksJobs) {
+    GeneratorConfig small = fast_config();
+    small.runtime_scale = 0.01;
+    WorkloadGenerator gen(AppCatalog::huddersfield(), small, 7);
+    for (const auto& job : gen.generate()) EXPECT_LT(job.runtime.seconds(), 36000 * 0.01 * 20);
+}
+
+TEST(CaseStudy, MdcsTraceHasThreePhases) {
+    const auto trace = mdcs_ga_case_study(42);
+    ASSERT_EQ(trace.size(), 19u);  // 6 MD + 8 MDCS + 5 LAMMPS
+    int matlab = 0, linux_md = 0;
+    for (const auto& job : trace) {
+        if (job.app == "MATLAB") {
+            ++matlab;
+            EXPECT_EQ(job.os, OsType::kWindows);
+            EXPECT_TRUE(job.flexible);
+        } else {
+            ++linux_md;
+            EXPECT_EQ(job.os, OsType::kLinux);
+        }
+    }
+    EXPECT_EQ(matlab, 8);
+    EXPECT_EQ(linux_md, 11);
+    // Phase ordering: MDCS wave arrives after the MD background starts.
+    EXPECT_LT(trace.front().submit.seconds(), 1200.0);
+}
+
+// ---------- trace serialisation ----------
+
+TEST(Trace, RoundTripsExactly) {
+    WorkloadGenerator gen(AppCatalog::huddersfield(), fast_config(), 11);
+    const auto trace = gen.generate();
+    const std::string text = serialize_trace(trace);
+    const auto back = parse_trace(text);
+    ASSERT_TRUE(back.ok()) << back.error_message();
+    ASSERT_EQ(back.value().size(), trace.size());
+    EXPECT_EQ(serialize_trace(back.value()), text);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(back.value()[i].app, trace[i].app);
+        EXPECT_EQ(back.value()[i].os, trace[i].os);
+        EXPECT_EQ(back.value()[i].nodes, trace[i].nodes);
+        EXPECT_EQ(back.value()[i].owner, trace[i].owner);
+    }
+}
+
+TEST(Trace, AppNamesWithSpacesSurvive) {
+    JobSpec job;
+    job.app = "ANSYS FLUENT";
+    job.owner = "user one";
+    job.runtime = sim::seconds(100);
+    const auto back = parse_trace(serialize_trace({job}));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value()[0].app, "ANSYS FLUENT");
+    EXPECT_EQ(back.value()[0].owner, "user one");
+}
+
+TEST(Trace, ParseRejectsBadRows) {
+    EXPECT_FALSE(parse_trace("1.0 app linux 0 1\n").ok());          // too few fields
+    EXPECT_FALSE(parse_trace("x app linux 0 1 4 10 u\n").ok());     // bad submit
+    EXPECT_FALSE(parse_trace("1.0 app beos 0 1 4 10 u\n").ok());    // bad os
+    EXPECT_FALSE(parse_trace("1.0 app linux 0 0 4 10 u\n").ok());   // zero nodes
+    EXPECT_FALSE(parse_trace("1.0 app linux 0 1 4 -5 u\n").ok());   // bad runtime
+    EXPECT_TRUE(parse_trace("# only a comment\n").ok());            // empty ok
+}
+
+TEST(Trace, StatsComputeShares) {
+    std::vector<JobSpec> trace(2);
+    trace[0].os = OsType::kLinux;
+    trace[0].nodes = 1;
+    trace[0].ppn = 4;
+    trace[0].runtime = sim::seconds(100);  // 400 core-s
+    trace[1].os = OsType::kWindows;
+    trace[1].nodes = 3;
+    trace[1].ppn = 4;
+    trace[1].runtime = sim::seconds(100);  // 1200 core-s
+    trace[1].flexible = true;
+    trace[1].submit = sim::TimePoint{} + sim::seconds(50);
+    const TraceStats stats = compute_trace_stats(trace);
+    EXPECT_EQ(stats.jobs, 2u);
+    EXPECT_DOUBLE_EQ(stats.linux_core_seconds, 400);
+    EXPECT_DOUBLE_EQ(stats.windows_core_seconds, 1200);
+    EXPECT_DOUBLE_EQ(stats.flexible_core_seconds, 1200);
+    EXPECT_DOUBLE_EQ(stats.windows_share(), 0.75);
+    EXPECT_DOUBLE_EQ(stats.mean_cpus, 8.0);
+    EXPECT_EQ(stats.last_submit.seconds(), 50.0);
+}
+
+TEST(Trace, StatsEmptyTrace) {
+    const TraceStats stats = compute_trace_stats({});
+    EXPECT_EQ(stats.jobs, 0u);
+    EXPECT_DOUBLE_EQ(stats.windows_share(), 0.0);
+}
+
+// ---------- metrics ----------
+
+JobOutcome outcome(OsType os, bool completed, std::int64_t wait, std::int64_t ran) {
+    JobOutcome o;
+    o.spec.os = os;
+    o.spec.nodes = 1;
+    o.spec.ppn = 4;
+    o.completed = completed;
+    o.wait_s = wait;
+    o.ran_s = ran;
+    o.turnaround_s = wait + ran;
+    return o;
+}
+
+TEST(Metrics, SummaryBasics) {
+    MetricsCollector collector;
+    collector.add(outcome(OsType::kLinux, true, 100, 1000));
+    collector.add(outcome(OsType::kLinux, true, 300, 1000));
+    collector.add(outcome(OsType::kWindows, true, 500, 2000));
+    collector.add(outcome(OsType::kWindows, false, 0, 0));
+    ClusterCounters counters;
+    counters.total_cores = 8;
+    counters.cores_per_node = 4;
+    counters.os_switches = 3;
+    counters.reboot_downtime_s = 600;
+    const Summary s = collector.summarise(counters, 10'000);
+    EXPECT_EQ(s.submitted, 4u);
+    EXPECT_EQ(s.completed, 3u);
+    EXPECT_NEAR(s.completion_rate, 0.75, 1e-9);
+    EXPECT_NEAR(s.mean_wait_s, 300.0, 1e-9);
+    EXPECT_NEAR(s.mean_wait_linux_s, 200.0, 1e-9);
+    EXPECT_NEAR(s.mean_wait_windows_s, 500.0, 1e-9);
+    // delivered = 4*(1000+1000+2000) = 16000 core-s over 80000 capacity
+    EXPECT_NEAR(s.utilisation, 0.2, 1e-9);
+    EXPECT_EQ(s.os_switches, 3u);
+    EXPECT_NEAR(s.switch_overhead, 600.0 * 4 / 80'000, 1e-9);
+}
+
+TEST(Metrics, PercentilesOrdered) {
+    MetricsCollector collector;
+    for (int i = 1; i <= 100; ++i)
+        collector.add(outcome(OsType::kLinux, true, i * 10, 100));
+    const Summary s = collector.summarise(ClusterCounters{64, 4, 0, 0, 0}, 100'000);
+    EXPECT_LE(s.median_wait_s, s.p95_wait_s);
+    EXPECT_LE(s.p95_wait_s, s.max_wait_s);
+    EXPECT_NEAR(s.median_wait_s, 505.0, 10.0);
+    EXPECT_DOUBLE_EQ(s.max_wait_s, 1000.0);
+}
+
+TEST(Metrics, EmptyCollectorIsSafe) {
+    MetricsCollector collector;
+    const Summary s = collector.summarise(ClusterCounters{64, 4, 0, 0, 0}, 1000);
+    EXPECT_EQ(s.submitted, 0u);
+    EXPECT_DOUBLE_EQ(s.mean_wait_s, 0.0);
+}
+
+TEST(Metrics, RenderSummaryMentionsLabel) {
+    MetricsCollector collector;
+    collector.add(outcome(OsType::kLinux, true, 10, 100));
+    const Summary s = collector.summarise(ClusterCounters{64, 4, 2, 4, 120}, 1000);
+    const std::string line = render_summary("hybrid", s);
+    EXPECT_NE(line.find("hybrid"), std::string::npos);
+    EXPECT_NE(line.find("switches 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hc::workload

@@ -1,0 +1,188 @@
+// Tests for the ownership timeline and the calendar policy extension.
+#include <gtest/gtest.h>
+
+#include "core/policy.hpp"
+#include "util/time_format.hpp"
+#include "workload/timeline.hpp"
+
+namespace hc {
+namespace {
+
+using cluster::OsType;
+
+struct TimelineFixture : ::testing::Test {
+    sim::Engine engine;
+    cluster::Cluster cluster{engine, [] {
+                                 cluster::ClusterConfig cfg;
+                                 cfg.node_count = 3;
+                                 cfg.timing.jitter = 0;
+                                 return cfg;
+                             }()};
+    workload::OwnershipTimeline timeline{cluster};
+    OsType next_os = OsType::kLinux;
+
+    void boot_all() {
+        for (auto* node : cluster.nodes()) {
+            node->set_boot_resolver([this](const cluster::Node&) {
+                cluster::BootDecision d;
+                d.os = next_os;
+                return d;
+            });
+            node->power_on();
+        }
+        engine.run_all();
+    }
+};
+
+TEST_F(TimelineFixture, PhasesTrackTransitions) {
+    EXPECT_EQ(timeline.phase_at(0, engine.now()), workload::NodePhase::kOff);
+    boot_all();
+    EXPECT_EQ(timeline.phase_at(0, engine.now()), workload::NodePhase::kLinux);
+    next_os = OsType::kWindows;
+    engine.run_until(engine.now() + sim::minutes(5));  // dwell in Linux a while
+    const sim::TimePoint before_reboot = engine.now();
+    cluster.node(0).reboot();
+    EXPECT_EQ(timeline.phase_at(0, engine.now()), workload::NodePhase::kBooting);
+    engine.run_all();
+    EXPECT_EQ(timeline.phase_at(0, engine.now()), workload::NodePhase::kWindows);
+    // History is preserved: just before the reboot the node read Linux.
+    EXPECT_EQ(timeline.phase_at(0, before_reboot - sim::milliseconds(1)),
+              workload::NodePhase::kLinux);
+    // Other nodes were untouched.
+    EXPECT_EQ(timeline.phase_at(1, engine.now()), workload::NodePhase::kLinux);
+}
+
+TEST_F(TimelineFixture, GanttRendersRows) {
+    boot_all();
+    const std::string gantt =
+        timeline.render_gantt(sim::TimePoint{}, engine.now() + sim::minutes(10),
+                              sim::minutes(1));
+    EXPECT_NE(gantt.find("enode01"), std::string::npos);
+    EXPECT_NE(gantt.find("enode03"), std::string::npos);
+    EXPECT_NE(gantt.find('L'), std::string::npos);
+    EXPECT_NE(gantt.find("(hours)"), std::string::npos);
+    // Boot period shows as off at t=0.
+    const auto row_start = gantt.find("enode01");
+    EXPECT_EQ(gantt[row_start + 10], '.');
+}
+
+TEST_F(TimelineFixture, TotalsIntegrateNodeSeconds) {
+    boot_all();
+    const sim::TimePoint up_at = engine.now();
+    engine.run_until(up_at + sim::hours(1));
+    const auto totals = timeline.totals(sim::TimePoint{}, engine.now());
+    // 3 nodes, each off/booting until up_at, Linux for 1h after.
+    EXPECT_NEAR(totals.linux_s, 3 * 3600.0, 1.0);
+    EXPECT_NEAR(totals.off_s, 3 * up_at.seconds(), 1.0);
+    EXPECT_DOUBLE_EQ(totals.windows_s, 0.0);
+    EXPECT_NEAR(totals.total(), 3 * engine.now().seconds(), 1.0);
+    EXPECT_DOUBLE_EQ(totals.windows_share(), 0.0);
+}
+
+TEST_F(TimelineFixture, TotalsSplitAcrossSwitch) {
+    boot_all();
+    engine.run_until(engine.now() + sim::hours(1));
+    next_os = OsType::kWindows;
+    cluster.node(0).reboot();
+    engine.run_all();
+    const sim::TimePoint switch_done = engine.now();
+    engine.run_until(switch_done + sim::hours(1));
+    const auto totals = timeline.totals(sim::TimePoint{}, engine.now());
+    EXPECT_NEAR(totals.windows_s, 3600.0, 1.0);
+    EXPECT_GT(totals.booting_s, 100.0);  // the reboot window
+    EXPECT_GT(totals.windows_share(), 0.1);
+}
+
+TEST_F(TimelineFixture, EventCountGrows) {
+    const auto initial = timeline.event_count();
+    boot_all();
+    EXPECT_EQ(timeline.event_count(), initial + 3);  // one up-event per node
+}
+
+// ---------- CalendarPolicy ----------
+
+core::SwitchContext calendar_ctx(int linux_idle, int windows_idle, int windows_running,
+                                 int windows_queued, std::int64_t now_unix) {
+    core::SwitchContext ctx;
+    ctx.cores_per_node = 4;
+    ctx.linux_snap.idle_nodes = linux_idle;
+    ctx.windows_snap.idle_nodes = windows_idle;
+    ctx.windows_snap.running = windows_running;
+    ctx.windows_snap.queued = windows_queued;
+    ctx.now_unix = now_unix;
+    return ctx;
+}
+
+TEST(CalendarPolicy, WindowMembership) {
+    core::CalendarPolicy policy(std::make_unique<core::NeverSwitchPolicy>(), 9, 17, 4);
+    EXPECT_TRUE(policy.in_window(util::civil_to_unix(2010, 4, 16, 9, 0, 0)));
+    EXPECT_TRUE(policy.in_window(util::civil_to_unix(2010, 4, 16, 16, 59, 59)));
+    EXPECT_FALSE(policy.in_window(util::civil_to_unix(2010, 4, 16, 17, 0, 0)));
+    EXPECT_FALSE(policy.in_window(util::civil_to_unix(2010, 4, 16, 3, 0, 0)));
+}
+
+TEST(CalendarPolicy, WrapsMidnight) {
+    core::CalendarPolicy policy(std::make_unique<core::NeverSwitchPolicy>(), 22, 6, 4);
+    EXPECT_TRUE(policy.in_window(util::civil_to_unix(2010, 4, 16, 23, 0, 0)));
+    EXPECT_TRUE(policy.in_window(util::civil_to_unix(2010, 4, 16, 5, 0, 0)));
+    EXPECT_FALSE(policy.in_window(util::civil_to_unix(2010, 4, 16, 12, 0, 0)));
+}
+
+TEST(CalendarPolicy, TopsUpWindowsBlockInsideWindow) {
+    core::CalendarPolicy policy(std::make_unique<core::NeverSwitchPolicy>(), 9, 17, 4);
+    const auto noon = util::civil_to_unix(2010, 4, 16, 12, 0, 0);
+    // 1 Windows node present (idle), 4 required, 6 Linux idle -> pull 3.
+    const auto d = policy.decide(calendar_ctx(6, 1, 0, 0, noon));
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.target, OsType::kWindows);
+    EXPECT_EQ(d.node_count, 3);
+}
+
+TEST(CalendarPolicy, SatisfiedBlockDelegatesToBase) {
+    core::CalendarPolicy policy(std::make_unique<core::NeverSwitchPolicy>(), 9, 17, 4);
+    const auto noon = util::civil_to_unix(2010, 4, 16, 12, 0, 0);
+    // 2 idle + 2 running Windows nodes = block satisfied.
+    EXPECT_FALSE(policy.decide(calendar_ctx(6, 2, 2, 0, noon)).act());
+}
+
+TEST(CalendarPolicy, ReleasesIdleWindowsOutsideWindow) {
+    core::CalendarPolicy policy(std::make_unique<core::NeverSwitchPolicy>(), 9, 17, 4);
+    const auto night = util::civil_to_unix(2010, 4, 16, 22, 0, 0);
+    const auto d = policy.decide(calendar_ctx(0, 3, 1, 0, night));
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.target, OsType::kLinux);
+    EXPECT_EQ(d.node_count, 3);  // only the idle ones; the running node finishes
+}
+
+TEST(CalendarPolicy, DoesNotReleaseWhileWindowsHasQueue) {
+    core::CalendarPolicy policy(std::make_unique<core::NeverSwitchPolicy>(), 9, 17, 4);
+    const auto night = util::civil_to_unix(2010, 4, 16, 22, 0, 0);
+    EXPECT_FALSE(policy.decide(calendar_ctx(0, 3, 0, 2, night)).act());
+}
+
+TEST(CalendarPolicy, NameAndValidation) {
+    core::CalendarPolicy policy(std::make_unique<core::FcfsPolicy>(), 9, 17, 4);
+    EXPECT_EQ(policy.name(), "calendar(9-17h W4)+fcfs");
+    EXPECT_THROW(core::CalendarPolicy(nullptr, 9, 17, 4), util::PreconditionError);
+    EXPECT_THROW(core::CalendarPolicy(std::make_unique<core::FcfsPolicy>(), 25, 17, 4),
+                 util::PreconditionError);
+    EXPECT_THROW(core::CalendarPolicy(std::make_unique<core::FcfsPolicy>(), 9, 17, 0),
+                 util::PreconditionError);
+}
+
+TEST(CalendarPolicy, DelegatesToBaseOutsideReservationConcerns) {
+    // Outside the window with no idle Windows nodes, the base policy rules.
+    core::CalendarPolicy policy(std::make_unique<core::FcfsPolicy>(), 9, 17, 4);
+    const auto night = util::civil_to_unix(2010, 4, 16, 22, 0, 0);
+    core::SwitchContext ctx = calendar_ctx(3, 0, 0, 0, night);
+    ctx.windows_snap.record.stuck = true;
+    ctx.windows_snap.record.needed_cpus = 4;
+    ctx.windows_snap.record.stuck_job_id = "9.winhpc";
+    const auto d = policy.decide(ctx);
+    ASSERT_TRUE(d.act());  // FCFS serves the stuck Windows job
+    EXPECT_EQ(d.target, OsType::kWindows);
+    EXPECT_EQ(d.node_count, 1);
+}
+
+}  // namespace
+}  // namespace hc

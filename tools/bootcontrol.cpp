@@ -1,0 +1,67 @@
+// bootcontrol — Carter's bootcontrol.pl as a native tool (§III.B.1).
+//
+// Rewrites the `default` entry of a real GRUB control file on disk so the
+// next boot selects the requested OS:
+//
+//   usage: bootcontrol <controlmenu.lst> <linux|windows>
+//
+// Exits 0 on success; prints the selected entry. With no arguments, emits a
+// fresh Fig 3 controlmenu.lst to stdout (handy for bootstrapping).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "boot/grub_config.hpp"
+
+using namespace hc;
+
+int main(int argc, char** argv) {
+    if (argc == 1) {
+        std::fputs(boot::make_eridani_control_menu(cluster::OsType::kLinux).emit().c_str(),
+                   stdout);
+        return 0;
+    }
+    if (argc != 3) {
+        std::fprintf(stderr, "usage: %s <controlmenu.lst> <linux|windows>\n", argv[0]);
+        return 1;
+    }
+    cluster::OsType target;
+    if (std::strcmp(argv[2], "linux") == 0) target = cluster::OsType::kLinux;
+    else if (std::strcmp(argv[2], "windows") == 0) target = cluster::OsType::kWindows;
+    else {
+        std::fprintf(stderr, "bootcontrol: target must be linux or windows, got %s\n",
+                     argv[2]);
+        return 1;
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "bootcontrol: cannot open %s\n", argv[1]);
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    in.close();
+
+    auto config = boot::GrubConfig::parse(buffer.str());
+    if (!config) {
+        std::fprintf(stderr, "bootcontrol: %s is not a GRUB menu: %s\n", argv[1],
+                     config.error_message().c_str());
+        return 1;
+    }
+    boot::GrubConfig menu = std::move(config).take();
+    if (!menu.set_default_os(target)) {
+        std::fprintf(stderr, "bootcontrol: no %s entry in %s\n", argv[2], argv[1]);
+        return 1;
+    }
+    std::ofstream out(argv[1], std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "bootcontrol: cannot write %s\n", argv[1]);
+        return 1;
+    }
+    out << menu.emit();
+    std::printf("default OS set to %s (entry %d: %s)\n", argv[2], menu.default_index,
+                menu.entries[static_cast<std::size_t>(menu.default_index)].title.c_str());
+    return 0;
+}

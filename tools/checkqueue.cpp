@@ -1,0 +1,53 @@
+// checkqueue — the standalone detector, mirroring the paper's
+// /dualboot/checkqueue.pl (§III.B.4, Fig 6).
+//
+// Reads `qstat -f` output from a file (or stdin) and prints the detector's
+// wire record plus the Fig 6 debug block. Exit status: 0 = other/running,
+// 2 = queue stuck (so shell scripts can branch on it).
+//
+//   usage: checkqueue [qstat_f_output.txt] [pbsnodes_output.txt]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/detector.hpp"
+#include "util/time_format.hpp"
+
+namespace {
+
+std::string read_all(std::istream& in) {
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string read_file_or_die(const char* path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "checkqueue: cannot open %s\n", path);
+        std::exit(1);
+    }
+    return read_all(in);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string qstat_text;
+    std::string pbsnodes_text;
+    if (argc >= 2) {
+        qstat_text = read_file_or_die(argv[1]);
+    } else {
+        qstat_text = read_all(std::cin);
+    }
+    if (argc >= 3) pbsnodes_text = read_file_or_die(argv[2]);
+
+    hc::core::PbsDetector detector(
+        [&qstat_text] { return qstat_text; }, [&pbsnodes_text] { return pbsnodes_text; },
+        [] { return hc::util::default_sim_epoch(); });
+    const hc::core::QueueSnapshot snap = detector.check();
+    std::fputs(snap.debug_text.c_str(), stdout);
+    return snap.record.stuck ? 2 : 0;
+}

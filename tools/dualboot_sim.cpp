@@ -1,0 +1,175 @@
+// dualboot-sim — scenario runner CLI.
+//
+// Generate workload traces and replay them under any of the comparison
+// systems, from the shell:
+//
+//   dualboot-sim generate --rate 8 --hours 24 --seed 7 > trace.txt
+//   dualboot-sim run --trace trace.txt --scenario hybrid --policy fair-share
+//   dualboot-sim run --trace trace.txt --scenario static --linux-nodes 12
+//   dualboot-sim case-study                 # the §IV.B MDCS trace, inline
+//
+// Scenarios: hybrid | static | mono | oracle.
+// Policies : fcfs | threshold | fair-share | predictive | never | calendar.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "util/strings.hpp"
+#include "util/time_format.hpp"
+#include "workload/generator.hpp"
+#include "workload/metrics.hpp"
+#include "workload/trace.hpp"
+
+using namespace hc;
+
+namespace {
+
+/// Tiny --flag value parser: flags map to the string after them.
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int start) {
+    std::map<std::string, std::string> flags;
+    for (int i = start; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "dualboot-sim: unexpected argument %s\n", argv[i]);
+            std::exit(1);
+        }
+        key = key.substr(2);
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "dualboot-sim: --%s needs a value\n", key.c_str());
+            std::exit(1);
+        }
+        flags[key] = argv[++i];
+    }
+    return flags;
+}
+
+double flag_or(const std::map<std::string, std::string>& flags, const std::string& key,
+               double fallback) {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags, const std::string& key,
+                    const std::string& fallback) {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& flags) {
+    workload::GeneratorConfig cfg;
+    cfg.arrival_rate_per_hour = flag_or(flags, "rate", 8.0);
+    cfg.horizon = sim::hours(flag_or(flags, "hours", 24.0));
+    cfg.max_nodes = static_cast<int>(flag_or(flags, "max-nodes", 4.0));
+    cfg.runtime_scale = flag_or(flags, "runtime-scale", 1.0);
+    workload::WorkloadGenerator gen(workload::AppCatalog::huddersfield(), cfg,
+                                    static_cast<std::uint64_t>(flag_or(flags, "seed", 42.0)));
+    std::fputs(workload::serialize_trace(gen.generate()).c_str(), stdout);
+    return 0;
+}
+
+core::ScenarioKind parse_scenario(const std::string& name) {
+    if (name == "hybrid") return core::ScenarioKind::kBiStableHybrid;
+    if (name == "static") return core::ScenarioKind::kStaticSplit;
+    if (name == "mono") return core::ScenarioKind::kMonoStable;
+    if (name == "oracle") return core::ScenarioKind::kOracle;
+    std::fprintf(stderr, "dualboot-sim: unknown scenario %s\n", name.c_str());
+    std::exit(1);
+}
+
+core::PolicyKind parse_policy(const std::string& name) {
+    if (name == "fcfs") return core::PolicyKind::kFcfs;
+    if (name == "threshold") return core::PolicyKind::kThreshold;
+    if (name == "fair-share") return core::PolicyKind::kFairShare;
+    if (name == "predictive") return core::PolicyKind::kPredictive;
+    if (name == "never") return core::PolicyKind::kNever;
+    if (name == "calendar") return core::PolicyKind::kCalendar;
+    std::fprintf(stderr, "dualboot-sim: unknown policy %s\n", name.c_str());
+    std::exit(1);
+}
+
+int cmd_run(const std::map<std::string, std::string>& flags,
+            const std::vector<workload::JobSpec>& trace) {
+    core::ScenarioConfig cfg;
+    cfg.kind = parse_scenario(flag_or(flags, "scenario", std::string("hybrid")));
+    cfg.policy = parse_policy(flag_or(flags, "policy", std::string("fcfs")));
+    cfg.node_count = static_cast<int>(flag_or(flags, "nodes", 16.0));
+    cfg.linux_nodes = static_cast<int>(flag_or(flags, "linux-nodes",
+                                               static_cast<double>(cfg.node_count)));
+    cfg.version = flag_or(flags, "version", std::string("v2")) == "v1"
+                      ? deploy::MiddlewareVersion::kV1
+                      : deploy::MiddlewareVersion::kV2;
+    cfg.poll_interval = sim::minutes(flag_or(flags, "poll-minutes", 10.0));
+    cfg.horizon = sim::hours(flag_or(flags, "hours", 40.0));
+    cfg.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 42.0));
+    cfg.fair_share_cooldown = static_cast<int>(flag_or(flags, "cooldown", 0.0));
+
+    const auto result = core::run_scenario(cfg, trace);
+    const auto& s = result.summary;
+    std::printf("scenario  : %s\n", result.label.c_str());
+    std::printf("jobs      : %zu submitted, %zu completed (%.0f%%)\n", s.submitted,
+                s.completed, s.completion_rate * 100.0);
+    std::printf("waits     : mean %s (L %s / W %s), p95 %s\n",
+                util::format_duration(static_cast<std::int64_t>(s.mean_wait_s)).c_str(),
+                util::format_duration(static_cast<std::int64_t>(s.mean_wait_linux_s)).c_str(),
+                util::format_duration(
+                    static_cast<std::int64_t>(s.mean_wait_windows_s)).c_str(),
+                util::format_duration(static_cast<std::int64_t>(s.p95_wait_s)).c_str());
+    std::printf("capacity  : %.1f%% utilisation, %.2f%% lost to reboots\n",
+                s.utilisation * 100.0, s.switch_overhead * 100.0);
+    std::printf("switching : %llu OS switches, %llu switch orders\n",
+                static_cast<unsigned long long>(s.os_switches),
+                static_cast<unsigned long long>(result.linux_daemon.switches_ordered));
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s generate [--rate R --hours H --seed S --runtime-scale F]\n"
+                     "       %s run --trace FILE [--scenario hybrid|static|mono|oracle]\n"
+                     "              [--policy P --nodes N --linux-nodes K --hours H\n"
+                     "               --poll-minutes M --version v1|v2 --seed S]\n"
+                     "       %s case-study [run flags]\n",
+                     argv[0], argv[0], argv[0]);
+        return 1;
+    }
+    const std::string command = argv[1];
+    auto flags = parse_flags(argc, argv, 2);
+
+    if (command == "generate") return cmd_generate(flags);
+
+    if (command == "case-study")
+        return cmd_run(flags, workload::mdcs_ga_case_study(
+                                  static_cast<std::uint64_t>(flag_or(flags, "seed", 42.0))));
+
+    if (command == "run") {
+        const std::string path = flag_or(flags, "trace", std::string());
+        if (path.empty()) {
+            std::fprintf(stderr, "dualboot-sim run: --trace FILE is required\n");
+            return 1;
+        }
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "dualboot-sim: cannot open %s\n", path.c_str());
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        auto trace = workload::parse_trace(buffer.str());
+        if (!trace) {
+            std::fprintf(stderr, "dualboot-sim: bad trace: %s\n",
+                         trace.error_message().c_str());
+            return 1;
+        }
+        return cmd_run(flags, trace.value());
+    }
+
+    std::fprintf(stderr, "dualboot-sim: unknown command %s\n", command.c_str());
+    return 1;
+}
