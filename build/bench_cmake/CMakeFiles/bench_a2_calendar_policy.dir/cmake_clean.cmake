@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_calendar_policy"
+  "../bench/bench_a2_calendar_policy.pdb"
+  "CMakeFiles/bench_a2_calendar_policy.dir/bench_a2_calendar_policy.cpp.o"
+  "CMakeFiles/bench_a2_calendar_policy.dir/bench_a2_calendar_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_calendar_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

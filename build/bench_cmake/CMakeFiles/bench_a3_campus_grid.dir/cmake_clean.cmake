@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_campus_grid"
+  "../bench/bench_a3_campus_grid.pdb"
+  "CMakeFiles/bench_a3_campus_grid.dir/bench_a3_campus_grid.cpp.o"
+  "CMakeFiles/bench_a3_campus_grid.dir/bench_a3_campus_grid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_campus_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

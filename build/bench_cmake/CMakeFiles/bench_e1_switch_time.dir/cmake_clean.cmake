@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_switch_time"
+  "../bench/bench_e1_switch_time.pdb"
+  "CMakeFiles/bench_e1_switch_time.dir/bench_e1_switch_time.cpp.o"
+  "CMakeFiles/bench_e1_switch_time.dir/bench_e1_switch_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_switch_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

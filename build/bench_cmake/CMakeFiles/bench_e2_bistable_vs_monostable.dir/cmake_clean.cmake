@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_bistable_vs_monostable"
+  "../bench/bench_e2_bistable_vs_monostable.pdb"
+  "CMakeFiles/bench_e2_bistable_vs_monostable.dir/bench_e2_bistable_vs_monostable.cpp.o"
+  "CMakeFiles/bench_e2_bistable_vs_monostable.dir/bench_e2_bistable_vs_monostable.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_bistable_vs_monostable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

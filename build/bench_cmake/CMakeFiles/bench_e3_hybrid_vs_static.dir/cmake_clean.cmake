@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_hybrid_vs_static"
+  "../bench/bench_e3_hybrid_vs_static.pdb"
+  "CMakeFiles/bench_e3_hybrid_vs_static.dir/bench_e3_hybrid_vs_static.cpp.o"
+  "CMakeFiles/bench_e3_hybrid_vs_static.dir/bench_e3_hybrid_vs_static.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_hybrid_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_v1_vs_v2_robustness"
+  "../bench/bench_e5_v1_vs_v2_robustness.pdb"
+  "CMakeFiles/bench_e5_v1_vs_v2_robustness.dir/bench_e5_v1_vs_v2_robustness.cpp.o"
+  "CMakeFiles/bench_e5_v1_vs_v2_robustness.dir/bench_e5_v1_vs_v2_robustness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_v1_vs_v2_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e5_v1_vs_v2_robustness.
+# This may be replaced when dependencies are built.

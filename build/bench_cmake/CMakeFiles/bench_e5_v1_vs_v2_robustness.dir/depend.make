@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e5_v1_vs_v2_robustness.
+# This may be replaced when dependencies are built.

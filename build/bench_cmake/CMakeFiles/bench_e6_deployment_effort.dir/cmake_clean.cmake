@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_deployment_effort"
+  "../bench/bench_e6_deployment_effort.pdb"
+  "CMakeFiles/bench_e6_deployment_effort.dir/bench_e6_deployment_effort.cpp.o"
+  "CMakeFiles/bench_e6_deployment_effort.dir/bench_e6_deployment_effort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_deployment_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

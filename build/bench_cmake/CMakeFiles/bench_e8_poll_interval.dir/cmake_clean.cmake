@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_poll_interval"
+  "../bench/bench_e8_poll_interval.pdb"
+  "CMakeFiles/bench_e8_poll_interval.dir/bench_e8_poll_interval.cpp.o"
+  "CMakeFiles/bench_e8_poll_interval.dir/bench_e8_poll_interval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_poll_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

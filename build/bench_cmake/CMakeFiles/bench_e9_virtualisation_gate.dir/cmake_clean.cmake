@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_virtualisation_gate"
+  "../bench/bench_e9_virtualisation_gate.pdb"
+  "CMakeFiles/bench_e9_virtualisation_gate.dir/bench_e9_virtualisation_gate.cpp.o"
+  "CMakeFiles/bench_e9_virtualisation_gate.dir/bench_e9_virtualisation_gate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_virtualisation_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

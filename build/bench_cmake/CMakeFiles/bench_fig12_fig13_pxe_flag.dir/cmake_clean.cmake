@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_fig13_pxe_flag"
+  "../bench/bench_fig12_fig13_pxe_flag.pdb"
+  "CMakeFiles/bench_fig12_fig13_pxe_flag.dir/bench_fig12_fig13_pxe_flag.cpp.o"
+  "CMakeFiles/bench_fig12_fig13_pxe_flag.dir/bench_fig12_fig13_pxe_flag.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fig13_pxe_flag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_fig15_deploy_v2"
+  "../bench/bench_fig14_fig15_deploy_v2.pdb"
+  "CMakeFiles/bench_fig14_fig15_deploy_v2.dir/bench_fig14_fig15_deploy_v2.cpp.o"
+  "CMakeFiles/bench_fig14_fig15_deploy_v2.dir/bench_fig14_fig15_deploy_v2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fig15_deploy_v2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig14_fig15_deploy_v2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_fig3_grub_configs"
+  "../bench/bench_fig2_fig3_grub_configs.pdb"
+  "CMakeFiles/bench_fig2_fig3_grub_configs.dir/bench_fig2_fig3_grub_configs.cpp.o"
+  "CMakeFiles/bench_fig2_fig3_grub_configs.dir/bench_fig2_fig3_grub_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fig3_grub_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

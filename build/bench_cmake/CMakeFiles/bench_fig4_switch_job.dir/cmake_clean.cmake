@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_switch_job"
+  "../bench/bench_fig4_switch_job.pdb"
+  "CMakeFiles/bench_fig4_switch_job.dir/bench_fig4_switch_job.cpp.o"
+  "CMakeFiles/bench_fig4_switch_job.dir/bench_fig4_switch_job.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_switch_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_switch_job.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_fig6_detector"
+  "../bench/bench_fig5_fig6_detector.pdb"
+  "CMakeFiles/bench_fig5_fig6_detector.dir/bench_fig5_fig6_detector.cpp.o"
+  "CMakeFiles/bench_fig5_fig6_detector.dir/bench_fig5_fig6_detector.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fig6_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

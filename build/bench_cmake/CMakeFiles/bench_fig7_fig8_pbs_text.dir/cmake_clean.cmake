@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_fig8_pbs_text"
+  "../bench/bench_fig7_fig8_pbs_text.pdb"
+  "CMakeFiles/bench_fig7_fig8_pbs_text.dir/bench_fig7_fig8_pbs_text.cpp.o"
+  "CMakeFiles/bench_fig7_fig8_pbs_text.dir/bench_fig7_fig8_pbs_text.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fig8_pbs_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_fig10_diskpart"
+  "../bench/bench_fig9_fig10_diskpart.pdb"
+  "CMakeFiles/bench_fig9_fig10_diskpart.dir/bench_fig9_fig10_diskpart.cpp.o"
+  "CMakeFiles/bench_fig9_fig10_diskpart.dir/bench_fig9_fig10_diskpart.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fig10_diskpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

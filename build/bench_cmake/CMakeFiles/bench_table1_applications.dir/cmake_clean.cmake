@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_applications"
+  "../bench/bench_table1_applications.pdb"
+  "CMakeFiles/bench_table1_applications.dir/bench_table1_applications.cpp.o"
+  "CMakeFiles/bench_table1_applications.dir/bench_table1_applications.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_reimaging.dir/admin_reimaging.cpp.o"
+  "CMakeFiles/admin_reimaging.dir/admin_reimaging.cpp.o.d"
+  "admin_reimaging"
+  "admin_reimaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_reimaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

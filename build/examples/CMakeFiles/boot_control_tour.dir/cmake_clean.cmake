@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boot_control_tour.dir/boot_control_tour.cpp.o"
+  "CMakeFiles/boot_control_tour.dir/boot_control_tour.cpp.o.d"
+  "boot_control_tour"
+  "boot_control_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boot_control_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_grid_week.dir/campus_grid_week.cpp.o"
+  "CMakeFiles/campus_grid_week.dir/campus_grid_week.cpp.o.d"
+  "campus_grid_week"
+  "campus_grid_week.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_grid_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

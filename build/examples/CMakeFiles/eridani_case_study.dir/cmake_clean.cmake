@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eridani_case_study.dir/eridani_case_study.cpp.o"
+  "CMakeFiles/eridani_case_study.dir/eridani_case_study.cpp.o.d"
+  "eridani_case_study"
+  "eridani_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eridani_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queensgate_grid.dir/queensgate_grid.cpp.o"
+  "CMakeFiles/queensgate_grid.dir/queensgate_grid.cpp.o.d"
+  "queensgate_grid"
+  "queensgate_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queensgate_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

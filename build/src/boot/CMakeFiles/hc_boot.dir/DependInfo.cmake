@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boot/boot_control.cpp" "src/boot/CMakeFiles/hc_boot.dir/boot_control.cpp.o" "gcc" "src/boot/CMakeFiles/hc_boot.dir/boot_control.cpp.o.d"
+  "/root/repo/src/boot/disk_layouts.cpp" "src/boot/CMakeFiles/hc_boot.dir/disk_layouts.cpp.o" "gcc" "src/boot/CMakeFiles/hc_boot.dir/disk_layouts.cpp.o.d"
+  "/root/repo/src/boot/flag.cpp" "src/boot/CMakeFiles/hc_boot.dir/flag.cpp.o" "gcc" "src/boot/CMakeFiles/hc_boot.dir/flag.cpp.o.d"
+  "/root/repo/src/boot/grub_config.cpp" "src/boot/CMakeFiles/hc_boot.dir/grub_config.cpp.o" "gcc" "src/boot/CMakeFiles/hc_boot.dir/grub_config.cpp.o.d"
+  "/root/repo/src/boot/local_boot.cpp" "src/boot/CMakeFiles/hc_boot.dir/local_boot.cpp.o" "gcc" "src/boot/CMakeFiles/hc_boot.dir/local_boot.cpp.o.d"
+  "/root/repo/src/boot/pxe.cpp" "src/boot/CMakeFiles/hc_boot.dir/pxe.cpp.o" "gcc" "src/boot/CMakeFiles/hc_boot.dir/pxe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_boot.dir/boot_control.cpp.o"
+  "CMakeFiles/hc_boot.dir/boot_control.cpp.o.d"
+  "CMakeFiles/hc_boot.dir/disk_layouts.cpp.o"
+  "CMakeFiles/hc_boot.dir/disk_layouts.cpp.o.d"
+  "CMakeFiles/hc_boot.dir/flag.cpp.o"
+  "CMakeFiles/hc_boot.dir/flag.cpp.o.d"
+  "CMakeFiles/hc_boot.dir/grub_config.cpp.o"
+  "CMakeFiles/hc_boot.dir/grub_config.cpp.o.d"
+  "CMakeFiles/hc_boot.dir/local_boot.cpp.o"
+  "CMakeFiles/hc_boot.dir/local_boot.cpp.o.d"
+  "CMakeFiles/hc_boot.dir/pxe.cpp.o"
+  "CMakeFiles/hc_boot.dir/pxe.cpp.o.d"
+  "libhc_boot.a"
+  "libhc_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/hc_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/hc_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/disk.cpp" "src/cluster/CMakeFiles/hc_cluster.dir/disk.cpp.o" "gcc" "src/cluster/CMakeFiles/hc_cluster.dir/disk.cpp.o.d"
+  "/root/repo/src/cluster/mac.cpp" "src/cluster/CMakeFiles/hc_cluster.dir/mac.cpp.o" "gcc" "src/cluster/CMakeFiles/hc_cluster.dir/mac.cpp.o.d"
+  "/root/repo/src/cluster/network.cpp" "src/cluster/CMakeFiles/hc_cluster.dir/network.cpp.o" "gcc" "src/cluster/CMakeFiles/hc_cluster.dir/network.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/cluster/CMakeFiles/hc_cluster.dir/node.cpp.o" "gcc" "src/cluster/CMakeFiles/hc_cluster.dir/node.cpp.o.d"
+  "/root/repo/src/cluster/os.cpp" "src/cluster/CMakeFiles/hc_cluster.dir/os.cpp.o" "gcc" "src/cluster/CMakeFiles/hc_cluster.dir/os.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hc_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/hc_cluster.dir/disk.cpp.o"
+  "CMakeFiles/hc_cluster.dir/disk.cpp.o.d"
+  "CMakeFiles/hc_cluster.dir/mac.cpp.o"
+  "CMakeFiles/hc_cluster.dir/mac.cpp.o.d"
+  "CMakeFiles/hc_cluster.dir/network.cpp.o"
+  "CMakeFiles/hc_cluster.dir/network.cpp.o.d"
+  "CMakeFiles/hc_cluster.dir/node.cpp.o"
+  "CMakeFiles/hc_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/hc_cluster.dir/os.cpp.o"
+  "CMakeFiles/hc_cluster.dir/os.cpp.o.d"
+  "libhc_cluster.a"
+  "libhc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/communicator.cpp" "src/core/CMakeFiles/hc_core.dir/communicator.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/communicator.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/hc_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/hc_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/hc_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/hc_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/queue_state.cpp" "src/core/CMakeFiles/hc_core.dir/queue_state.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/queue_state.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/hc_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/switch_job.cpp" "src/core/CMakeFiles/hc_core.dir/switch_job.cpp.o" "gcc" "src/core/CMakeFiles/hc_core.dir/switch_job.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/boot/CMakeFiles/hc_boot.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbs/CMakeFiles/hc_pbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/winhpc/CMakeFiles/hc_winhpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/hc_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

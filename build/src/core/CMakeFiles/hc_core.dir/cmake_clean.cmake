@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_core.dir/communicator.cpp.o"
+  "CMakeFiles/hc_core.dir/communicator.cpp.o.d"
+  "CMakeFiles/hc_core.dir/controller.cpp.o"
+  "CMakeFiles/hc_core.dir/controller.cpp.o.d"
+  "CMakeFiles/hc_core.dir/detector.cpp.o"
+  "CMakeFiles/hc_core.dir/detector.cpp.o.d"
+  "CMakeFiles/hc_core.dir/hybrid.cpp.o"
+  "CMakeFiles/hc_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/hc_core.dir/policy.cpp.o"
+  "CMakeFiles/hc_core.dir/policy.cpp.o.d"
+  "CMakeFiles/hc_core.dir/queue_state.cpp.o"
+  "CMakeFiles/hc_core.dir/queue_state.cpp.o.d"
+  "CMakeFiles/hc_core.dir/scenario.cpp.o"
+  "CMakeFiles/hc_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/hc_core.dir/switch_job.cpp.o"
+  "CMakeFiles/hc_core.dir/switch_job.cpp.o.d"
+  "libhc_core.a"
+  "libhc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deploy/diskpart.cpp" "src/deploy/CMakeFiles/hc_deploy.dir/diskpart.cpp.o" "gcc" "src/deploy/CMakeFiles/hc_deploy.dir/diskpart.cpp.o.d"
+  "/root/repo/src/deploy/ide_disk.cpp" "src/deploy/CMakeFiles/hc_deploy.dir/ide_disk.cpp.o" "gcc" "src/deploy/CMakeFiles/hc_deploy.dir/ide_disk.cpp.o.d"
+  "/root/repo/src/deploy/master_script.cpp" "src/deploy/CMakeFiles/hc_deploy.dir/master_script.cpp.o" "gcc" "src/deploy/CMakeFiles/hc_deploy.dir/master_script.cpp.o.d"
+  "/root/repo/src/deploy/reimage.cpp" "src/deploy/CMakeFiles/hc_deploy.dir/reimage.cpp.o" "gcc" "src/deploy/CMakeFiles/hc_deploy.dir/reimage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/boot/CMakeFiles/hc_boot.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_deploy.dir/diskpart.cpp.o"
+  "CMakeFiles/hc_deploy.dir/diskpart.cpp.o.d"
+  "CMakeFiles/hc_deploy.dir/ide_disk.cpp.o"
+  "CMakeFiles/hc_deploy.dir/ide_disk.cpp.o.d"
+  "CMakeFiles/hc_deploy.dir/master_script.cpp.o"
+  "CMakeFiles/hc_deploy.dir/master_script.cpp.o.d"
+  "CMakeFiles/hc_deploy.dir/reimage.cpp.o"
+  "CMakeFiles/hc_deploy.dir/reimage.cpp.o.d"
+  "libhc_deploy.a"
+  "libhc_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_grid.dir/gateway.cpp.o"
+  "CMakeFiles/hc_grid.dir/gateway.cpp.o.d"
+  "CMakeFiles/hc_grid.dir/member.cpp.o"
+  "CMakeFiles/hc_grid.dir/member.cpp.o.d"
+  "libhc_grid.a"
+  "libhc_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pbs/accounting.cpp" "src/pbs/CMakeFiles/hc_pbs.dir/accounting.cpp.o" "gcc" "src/pbs/CMakeFiles/hc_pbs.dir/accounting.cpp.o.d"
+  "/root/repo/src/pbs/job.cpp" "src/pbs/CMakeFiles/hc_pbs.dir/job.cpp.o" "gcc" "src/pbs/CMakeFiles/hc_pbs.dir/job.cpp.o.d"
+  "/root/repo/src/pbs/job_script.cpp" "src/pbs/CMakeFiles/hc_pbs.dir/job_script.cpp.o" "gcc" "src/pbs/CMakeFiles/hc_pbs.dir/job_script.cpp.o.d"
+  "/root/repo/src/pbs/resource_list.cpp" "src/pbs/CMakeFiles/hc_pbs.dir/resource_list.cpp.o" "gcc" "src/pbs/CMakeFiles/hc_pbs.dir/resource_list.cpp.o.d"
+  "/root/repo/src/pbs/server.cpp" "src/pbs/CMakeFiles/hc_pbs.dir/server.cpp.o" "gcc" "src/pbs/CMakeFiles/hc_pbs.dir/server.cpp.o.d"
+  "/root/repo/src/pbs/text_output.cpp" "src/pbs/CMakeFiles/hc_pbs.dir/text_output.cpp.o" "gcc" "src/pbs/CMakeFiles/hc_pbs.dir/text_output.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

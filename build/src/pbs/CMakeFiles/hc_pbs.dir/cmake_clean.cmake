@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_pbs.dir/accounting.cpp.o"
+  "CMakeFiles/hc_pbs.dir/accounting.cpp.o.d"
+  "CMakeFiles/hc_pbs.dir/job.cpp.o"
+  "CMakeFiles/hc_pbs.dir/job.cpp.o.d"
+  "CMakeFiles/hc_pbs.dir/job_script.cpp.o"
+  "CMakeFiles/hc_pbs.dir/job_script.cpp.o.d"
+  "CMakeFiles/hc_pbs.dir/resource_list.cpp.o"
+  "CMakeFiles/hc_pbs.dir/resource_list.cpp.o.d"
+  "CMakeFiles/hc_pbs.dir/server.cpp.o"
+  "CMakeFiles/hc_pbs.dir/server.cpp.o.d"
+  "CMakeFiles/hc_pbs.dir/text_output.cpp.o"
+  "CMakeFiles/hc_pbs.dir/text_output.cpp.o.d"
+  "libhc_pbs.a"
+  "libhc_pbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_pbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_util.dir/histogram.cpp.o"
+  "CMakeFiles/hc_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/hc_util.dir/log.cpp.o"
+  "CMakeFiles/hc_util.dir/log.cpp.o.d"
+  "CMakeFiles/hc_util.dir/rng.cpp.o"
+  "CMakeFiles/hc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hc_util.dir/strings.cpp.o"
+  "CMakeFiles/hc_util.dir/strings.cpp.o.d"
+  "CMakeFiles/hc_util.dir/table.cpp.o"
+  "CMakeFiles/hc_util.dir/table.cpp.o.d"
+  "CMakeFiles/hc_util.dir/time_format.cpp.o"
+  "CMakeFiles/hc_util.dir/time_format.cpp.o.d"
+  "libhc_util.a"
+  "libhc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_winhpc.dir/scheduler.cpp.o"
+  "CMakeFiles/hc_winhpc.dir/scheduler.cpp.o.d"
+  "libhc_winhpc.a"
+  "libhc_winhpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_winhpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

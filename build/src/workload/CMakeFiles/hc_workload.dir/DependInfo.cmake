@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/hc_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/hc_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/hc_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/hc_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/metrics.cpp" "src/workload/CMakeFiles/hc_workload.dir/metrics.cpp.o" "gcc" "src/workload/CMakeFiles/hc_workload.dir/metrics.cpp.o.d"
+  "/root/repo/src/workload/timeline.cpp" "src/workload/CMakeFiles/hc_workload.dir/timeline.cpp.o" "gcc" "src/workload/CMakeFiles/hc_workload.dir/timeline.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/hc_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/hc_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

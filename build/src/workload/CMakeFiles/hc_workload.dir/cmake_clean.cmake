@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_workload.dir/catalog.cpp.o"
+  "CMakeFiles/hc_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/hc_workload.dir/generator.cpp.o"
+  "CMakeFiles/hc_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/hc_workload.dir/metrics.cpp.o"
+  "CMakeFiles/hc_workload.dir/metrics.cpp.o.d"
+  "CMakeFiles/hc_workload.dir/timeline.cpp.o"
+  "CMakeFiles/hc_workload.dir/timeline.cpp.o.d"
+  "CMakeFiles/hc_workload.dir/trace.cpp.o"
+  "CMakeFiles/hc_workload.dir/trace.cpp.o.d"
+  "libhc_workload.a"
+  "libhc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boot_grub.dir/test_boot_grub.cpp.o"
+  "CMakeFiles/test_boot_grub.dir/test_boot_grub.cpp.o.d"
+  "test_boot_grub"
+  "test_boot_grub.pdb"
+  "test_boot_grub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boot_grub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_boot_grub.
+# This may be replaced when dependencies are built.

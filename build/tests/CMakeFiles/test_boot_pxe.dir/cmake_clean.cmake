@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boot_pxe.dir/test_boot_pxe.cpp.o"
+  "CMakeFiles/test_boot_pxe.dir/test_boot_pxe.cpp.o.d"
+  "test_boot_pxe"
+  "test_boot_pxe.pdb"
+  "test_boot_pxe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boot_pxe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

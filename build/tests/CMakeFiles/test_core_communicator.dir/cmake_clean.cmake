@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_communicator.dir/test_core_communicator.cpp.o"
+  "CMakeFiles/test_core_communicator.dir/test_core_communicator.cpp.o.d"
+  "test_core_communicator"
+  "test_core_communicator.pdb"
+  "test_core_communicator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_communicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_queue_state.dir/test_core_queue_state.cpp.o"
+  "CMakeFiles/test_core_queue_state.dir/test_core_queue_state.cpp.o.d"
+  "test_core_queue_state"
+  "test_core_queue_state.pdb"
+  "test_core_queue_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_queue_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

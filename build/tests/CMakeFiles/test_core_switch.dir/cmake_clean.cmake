@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_switch.dir/test_core_switch.cpp.o"
+  "CMakeFiles/test_core_switch.dir/test_core_switch.cpp.o.d"
+  "test_core_switch"
+  "test_core_switch.pdb"
+  "test_core_switch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

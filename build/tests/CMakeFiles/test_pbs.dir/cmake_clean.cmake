@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbs.dir/test_pbs.cpp.o"
+  "CMakeFiles/test_pbs.dir/test_pbs.cpp.o.d"
+  "test_pbs"
+  "test_pbs.pdb"
+  "test_pbs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

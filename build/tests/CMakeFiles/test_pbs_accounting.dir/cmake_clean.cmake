@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbs_accounting.dir/test_pbs_accounting.cpp.o"
+  "CMakeFiles/test_pbs_accounting.dir/test_pbs_accounting.cpp.o.d"
+  "test_pbs_accounting"
+  "test_pbs_accounting.pdb"
+  "test_pbs_accounting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbs_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbs_text.dir/test_pbs_text.cpp.o"
+  "CMakeFiles/test_pbs_text.dir/test_pbs_text.cpp.o.d"
+  "test_pbs_text"
+  "test_pbs_text.pdb"
+  "test_pbs_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbs_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/test_property.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/test_property.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/hc_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbs/CMakeFiles/hc_pbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/winhpc/CMakeFiles/hc_winhpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/hc_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/boot/CMakeFiles/hc_boot.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_winhpc.dir/test_winhpc.cpp.o"
+  "CMakeFiles/test_winhpc.dir/test_winhpc.cpp.o.d"
+  "test_winhpc"
+  "test_winhpc.pdb"
+  "test_winhpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_winhpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_timeline.dir/test_workload_timeline.cpp.o"
+  "CMakeFiles/test_workload_timeline.dir/test_workload_timeline.cpp.o.d"
+  "test_workload_timeline"
+  "test_workload_timeline.pdb"
+  "test_workload_timeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

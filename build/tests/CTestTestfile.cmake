@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_boot_control[1]_include.cmake")
+include("/root/repo/build/tests/test_boot_grub[1]_include.cmake")
+include("/root/repo/build/tests/test_boot_pxe[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_core_communicator[1]_include.cmake")
+include("/root/repo/build/tests/test_core_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_core_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_core_queue_state[1]_include.cmake")
+include("/root/repo/build/tests/test_core_switch[1]_include.cmake")
+include("/root/repo/build/tests/test_deploy[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_pbs[1]_include.cmake")
+include("/root/repo/build/tests/test_pbs_accounting[1]_include.cmake")
+include("/root/repo/build/tests/test_pbs_text[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_winhpc[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_timeline[1]_include.cmake")

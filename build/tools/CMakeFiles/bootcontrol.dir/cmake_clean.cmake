@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootcontrol.dir/bootcontrol.cpp.o"
+  "CMakeFiles/bootcontrol.dir/bootcontrol.cpp.o.d"
+  "bootcontrol"
+  "bootcontrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootcontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

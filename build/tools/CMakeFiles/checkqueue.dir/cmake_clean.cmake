@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkqueue.dir/checkqueue.cpp.o"
+  "CMakeFiles/checkqueue.dir/checkqueue.cpp.o.d"
+  "checkqueue"
+  "checkqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for checkqueue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dualboot_sim.dir/dualboot_sim.cpp.o"
+  "CMakeFiles/dualboot_sim.dir/dualboot_sim.cpp.o.d"
+  "dualboot_sim"
+  "dualboot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dualboot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[tool_bootcontrol_emits_fig3]=] "/root/repo/build/tools/bootcontrol")
+set_tests_properties([=[tool_bootcontrol_emits_fig3]=] PROPERTIES  PASS_REGULAR_EXPRESSION "CentOS-5.4_Oscar-5b2-linux" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[tool_checkqueue_detects_stuck]=] "/root/repo/build/tools/checkqueue" "/root/repo/tools/testdata/qstat_stuck.txt")
+set_tests_properties([=[tool_checkqueue_detects_stuck]=] PROPERTIES  PASS_REGULAR_EXPRESSION "100041191.eridani.qgg.hud.ac.uk" WILL_FAIL "FALSE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[tool_checkqueue_running]=] "/root/repo/build/tools/checkqueue" "/root/repo/tools/testdata/qstat_running.txt")
+set_tests_properties([=[tool_checkqueue_running]=] PROPERTIES  PASS_REGULAR_EXPRESSION "Job running, no queuing." _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[tool_dualboot_sim_case_study]=] "/root/repo/build/tools/dualboot_sim" "case-study" "--hours" "16")
+set_tests_properties([=[tool_dualboot_sim_case_study]=] PROPERTIES  PASS_REGULAR_EXPRESSION "19 submitted, 19 completed" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
