@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -17,6 +19,117 @@
 #include "workload/trace.hpp"
 
 namespace hc::bench {
+
+// ---- machine-readable perf records (`--json <path>`) -----------------------
+//
+// Benches that track the perf trajectory emit one JSON object per run:
+//
+//   {"schema": "hc-bench-json/1", "bench": "P1", "records": [
+//     {"metric": "engine_events_per_sec", "value": 1.2e7, "unit": "events/s",
+//      "params": {"variant": "steady"}}, ...]}
+//
+// Records are append-only within a run and parameterised by string key/value
+// pairs (node counts, variants), so a later run of the same bench can be
+// diffed record-by-record: two records compare when `metric` and `params`
+// match exactly. See README "Benchmarks & perf trajectory".
+
+inline std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+class JsonReport {
+public:
+    explicit JsonReport(std::string bench_id) : bench_id_(std::move(bench_id)) {}
+
+    /// Append one measurement. `params` qualify the metric (scale, variant).
+    void add(std::string metric, double value, std::string unit,
+             std::vector<std::pair<std::string, std::string>> params = {}) {
+        records_.push_back(Record{std::move(metric), value, std::move(unit), std::move(params)});
+    }
+
+    [[nodiscard]] std::string render() const {
+        std::string out = "{\"schema\": \"hc-bench-json/1\", \"bench\": \"" +
+                          json_escape(bench_id_) + "\", \"records\": [";
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const Record& r = records_[i];
+            if (i > 0) out += ",";
+            char num[40];
+            std::snprintf(num, sizeof num, "%.9g", r.value);
+            out += "\n  {\"metric\": \"" + json_escape(r.metric) + "\", \"value\": " + num +
+                   ", \"unit\": \"" + json_escape(r.unit) + "\", \"params\": {";
+            for (std::size_t j = 0; j < r.params.size(); ++j) {
+                if (j > 0) out += ", ";
+                out += "\"" + json_escape(r.params[j].first) + "\": \"" +
+                       json_escape(r.params[j].second) + "\"";
+            }
+            out += "}}";
+        }
+        out += "\n]}\n";
+        return out;
+    }
+
+    /// Write the report to `path`. Returns false (and prints) on I/O failure.
+    bool write(const std::string& path) const {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+            return false;
+        }
+        const std::string text = render();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("\nwrote %zu perf record(s) to %s\n", records_.size(), path.c_str());
+        return true;
+    }
+
+private:
+    struct Record {
+        std::string metric;
+        double value;
+        std::string unit;
+        std::vector<std::pair<std::string, std::string>> params;
+    };
+    std::string bench_id_;
+    std::vector<Record> records_;
+};
+
+/// Parse `--json <path>` from the command line; empty string = flag absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--json") continue;
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "bench: --json requires a path\n");
+            std::exit(2);
+        }
+        return argv[i + 1];
+    }
+    return {};
+}
+
+/// True when `--quick` is present (CI smoke mode: smaller problem sizes).
+inline bool quick_mode(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--quick") return true;
+    return false;
+}
 
 inline void print_header(const std::string& id, const std::string& title,
                          const std::string& paper_claim) {

@@ -1,0 +1,226 @@
+// P1 — hot-path microbenchmarks: the perf trajectory record.
+//
+// Three costs dominate simulated wall-clock at campus-grid scale (§V
+// extrapolation): the event calendar's per-event overhead, the PBS
+// scheduler's per-cycle placement scan, and the detector's poll (text render
+// + parse). This bench measures all three at several scales and — with
+// `--json <path>` — emits a machine-readable record so successive PRs can
+// be compared (`--quick` shrinks problem sizes for CI smoke runs).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+#include "core/detector.hpp"
+#include "pbs/server.hpp"
+#include "sim/engine.hpp"
+
+using namespace hc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <class F>
+double time_s(F&& f) {
+    const auto t0 = Clock::now();
+    f();
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+constexpr std::uint64_t kLcgMul = 6364136223846793005ULL;
+constexpr std::uint64_t kLcgAdd = 1442695040888963407ULL;
+
+// ---- engine event throughput -----------------------------------------------
+
+// A self-rescheduling event chain. The callback captures `this` plus a
+// 16-byte payload — the shape of the repo's real callbacks (a daemon pointer
+// and a couple of ids), deliberately larger than std::function's inline
+// buffer so the bench reflects what the servers actually schedule.
+struct Chain {
+    sim::Engine& engine;
+    std::uint64_t remaining;
+    std::uint64_t seed;
+    std::uint64_t sink = 0;
+
+    void pump() {
+        if (remaining == 0) return;
+        --remaining;
+        seed = seed * kLcgMul + kLcgAdd;
+        const auto delay_ms = static_cast<std::int64_t>(1 + (seed >> 59));  // 1..32 ms
+        engine.schedule_after(sim::Duration{delay_ms},
+                              [this, a = seed, b = seed ^ kLcgAdd] {
+                                  sink += a ^ b;
+                                  pump();
+                              });
+    }
+};
+
+double engine_events_per_sec(std::uint64_t total_events) {
+    sim::Engine engine;
+    engine.logger().set_min_level(util::LogLevel::kError);
+    constexpr std::uint64_t kChains = 256;
+    std::vector<Chain> chains;
+    chains.reserve(kChains);
+    for (std::uint64_t c = 0; c < kChains; ++c)
+        chains.push_back(Chain{engine, total_events / kChains, c * 977 + 1});
+    const double elapsed = time_s([&] {
+        for (auto& chain : chains) chain.pump();
+        engine.run_all();
+    });
+    return static_cast<double>(engine.stats().dispatched) / elapsed;
+}
+
+// Cancel churn: every step schedules two events and cancels one immediately,
+// so half the calendar entries are tombstones (the walltime-timer pattern:
+// armed for every job, cancelled for almost all of them).
+struct ChurnChain {
+    sim::Engine& engine;
+    std::uint64_t remaining;
+    std::uint64_t seed;
+    std::uint64_t sink = 0;
+
+    void pump() {
+        if (remaining == 0) return;
+        --remaining;
+        seed = seed * kLcgMul + kLcgAdd;
+        const auto delay_ms = static_cast<std::int64_t>(1 + (seed >> 59));
+        const sim::EventId victim =
+            engine.schedule_after(sim::Duration{delay_ms + 7}, [this] { sink += 1; });
+        engine.schedule_after(sim::Duration{delay_ms}, [this, a = seed, b = seed ^ kLcgMul] {
+            sink += a ^ b;
+            pump();
+        });
+        engine.cancel(victim);
+    }
+};
+
+double engine_churn_events_per_sec(std::uint64_t steps) {
+    sim::Engine engine;
+    engine.logger().set_min_level(util::LogLevel::kError);
+    constexpr std::uint64_t kChains = 256;
+    std::vector<ChurnChain> chains;
+    chains.reserve(kChains);
+    for (std::uint64_t c = 0; c < kChains; ++c)
+        chains.push_back(ChurnChain{engine, steps / kChains, c * 977 + 1});
+    const double elapsed = time_s([&] {
+        for (auto& chain : chains) chain.pump();
+        engine.run_all();
+    });
+    // Count scheduled events (dispatched + cancelled): both sides paid for.
+    return static_cast<double>(engine.stats().scheduled) / elapsed;
+}
+
+// ---- scheduler cycle latency -----------------------------------------------
+
+struct Testbed {
+    sim::Engine engine;
+    cluster::Cluster cluster;
+    pbs::PbsServer server;
+
+    explicit Testbed(int node_count)
+        : cluster(engine,
+                  [&] {
+                      cluster::ClusterConfig cfg;
+                      cfg.node_count = node_count;
+                      cfg.timing.jitter = 0;
+                      return cfg;
+                  }()),
+          server(engine) {
+        engine.logger().set_min_level(util::LogLevel::kError);
+        for (auto* node : cluster.nodes()) {
+            node->set_boot_resolver([](const cluster::Node&) {
+                cluster::BootDecision d;
+                d.os = cluster::OsType::kLinux;
+                return d;
+            });
+            server.attach_node(*node);
+            node->power_on();
+        }
+        engine.run_all();
+    }
+
+    void submit(int nodes, int ppn, sim::Duration run_time) {
+        pbs::JobScript script;
+        script.resources.nodes = nodes;
+        script.resources.ppn = ppn;
+        script.name = "bench";
+        pbs::JobBehavior behavior;
+        behavior.run_time = run_time;
+        auto id = server.submit(script, "bench", std::move(behavior));
+        if (!id.ok()) std::fprintf(stderr, "submit failed: %s\n", id.error_message().c_str());
+    }
+};
+
+/// Per-cycle latency (us) with every core busy and a blocked queue — the
+/// Fig 5 "stuck" steady state the daemons poll through for hours.
+double scheduler_cycle_us(int node_count, int reps) {
+    Testbed bed(node_count);
+    for (int i = 0; i < node_count; ++i) bed.submit(1, 4, sim::hours(2000));
+    for (int i = 0; i < 64; ++i) bed.submit(1, 4, sim::hours(1));
+    const double elapsed = time_s([&] {
+        for (int i = 0; i < reps; ++i) bed.server.schedule_cycle();
+    });
+    return elapsed / reps * 1e6;
+}
+
+// ---- detector poll cost ----------------------------------------------------
+
+double detector_poll_us(bool advance_time, int reps) {
+    Testbed bed(16);
+    for (int i = 0; i < 16; ++i) bed.submit(1, 4, sim::hours(5000));
+    for (int i = 0; i < 48; ++i) bed.submit(1, 4, sim::hours(1));
+    core::PbsDetector detector(bed.server);
+    int queued_sink = 0;
+    const double elapsed = time_s([&] {
+        for (int i = 0; i < reps; ++i) {
+            if (advance_time) bed.engine.run_for(sim::minutes(10));
+            queued_sink += detector.check().queued;
+        }
+    });
+    if (queued_sink == 0) std::fprintf(stderr, "detector bench: unexpected empty queue\n");
+    return elapsed / reps * 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool quick = hc::bench::quick_mode(argc, argv);
+    const std::string json_path = hc::bench::json_path_from_args(argc, argv);
+    hc::bench::JsonReport report("P1");
+
+    hc::bench::print_header("P1 (perf trajectory)", "simulation-core hot paths",
+                            "engine calendar, scheduler cycle, detector poll");
+
+    const std::uint64_t n_events = quick ? 200'000 : 2'000'000;
+    const double steady = engine_events_per_sec(n_events);
+    std::printf("engine steady throughput:       %12.0f events/s  (%llu events)\n", steady,
+                static_cast<unsigned long long>(n_events));
+    report.add("engine_events_per_sec", steady, "events/s", {{"variant", "steady"}});
+
+    const double churn = engine_churn_events_per_sec(quick ? 100'000 : 1'000'000);
+    std::printf("engine cancel-churn throughput: %12.0f events/s\n", churn);
+    report.add("engine_events_per_sec", churn, "events/s", {{"variant", "cancel_churn"}});
+
+    std::printf("\nscheduler cycle latency (all cores busy, 64 jobs queued):\n");
+    for (int nodes : {16, 64, 256, 1024}) {
+        const int reps = quick ? 2'000 : 20'000;
+        const double us = scheduler_cycle_us(nodes, reps);
+        std::printf("  %5d nodes: %10.3f us/cycle\n", nodes, us);
+        report.add("scheduler_cycle_us", us, "us", {{"nodes", std::to_string(nodes)}});
+    }
+
+    std::printf("\ndetector poll cost (16 nodes, 48 queued jobs):\n");
+    const int poll_reps = quick ? 500 : 5'000;
+    const double poll_same = detector_poll_us(false, poll_reps);
+    std::printf("  steady state (no mutations):  %10.3f us/poll\n", poll_same);
+    report.add("detector_poll_us", poll_same, "us", {{"variant", "steady"}});
+    const double poll_adv = detector_poll_us(true, poll_reps / 5);
+    std::printf("  advancing clock (10 min/poll):%10.3f us/poll\n", poll_adv);
+    report.add("detector_poll_us", poll_adv, "us", {{"variant", "advancing"}});
+
+    if (!json_path.empty() && !report.write(json_path)) return 1;
+    return 0;
+}

@@ -106,9 +106,19 @@ int PbsDetector::count_idle_nodes(const std::string& pbsnodes_text) {
 
 QueueSnapshot PbsDetector::check() {
     QueueSnapshot snap;
-    const std::string qstat = qstat_f_();
-    const std::string nodes = pbsnodes_();
-    auto parsed = parse_qstat_f(qstat);
+    std::string qstat = qstat_f_();
+    std::string nodes = pbsnodes_();
+    if (!has_parse_ || qstat != last_qstat_text_) {
+        last_parse_ = parse_qstat_f(qstat);
+        last_qstat_text_ = std::move(qstat);
+        has_parse_ = true;
+    }
+    if (!has_idle_ || nodes != last_pbsnodes_text_) {
+        last_idle_nodes_ = count_idle_nodes(nodes);
+        last_pbsnodes_text_ = std::move(nodes);
+        has_idle_ = true;
+    }
+    const auto& parsed = last_parse_;
     if (!parsed) {
         // A scrape failure reads as "other state" — the daemon must never
         // crash on odd scheduler output; it just reports not-stuck.
@@ -119,7 +129,7 @@ QueueSnapshot PbsDetector::check() {
     const QstatParse& p = parsed.value();
     snap.running = p.running;
     snap.queued = p.queued;
-    snap.idle_nodes = count_idle_nodes(nodes);
+    snap.idle_nodes = last_idle_nodes_;
     snap.record.stuck = p.running == 0 && p.queued > 0;
     if (snap.record.stuck) {
         snap.record.needed_cpus = p.first_queued_cpus;

@@ -63,6 +63,17 @@ private:
     TextProvider qstat_f_;
     TextProvider pbsnodes_;
     std::function<std::int64_t()> unix_clock_;
+
+    // Parse cache keyed on string equality: the server memoizes its renders,
+    // so steady-state polls see byte-identical text and re-parsing it would
+    // dominate the poll cost. Comparing the text (never peeking at server
+    // internals) keeps the detector an honest scraper.
+    std::string last_qstat_text_;
+    util::Result<QstatParse> last_parse_{QstatParse{}};
+    bool has_parse_ = false;
+    std::string last_pbsnodes_text_;
+    int last_idle_nodes_ = 0;
+    bool has_idle_ = false;
 };
 
 /// The SDK-based Windows detector.

@@ -70,6 +70,7 @@ struct Job {
 
     std::vector<ExecSlot> exec_slots;     ///< filled while running
     std::vector<int> exec_node_indices;   ///< cluster node indices allocated
+    std::vector<int> exec_record_indices; ///< server NodeRecord indices (release fast path)
     CompletionKind completion = CompletionKind::kNone;
     int requeue_count = 0;
 

@@ -22,15 +22,6 @@ const char* node_state_name(NodeState s) {
     return "?";
 }
 
-int NodeRecord::free_cpus() const {
-    int free = 0;
-    for (const auto& owner : cpu_owner)
-        if (owner.empty()) ++free;
-    return free;
-}
-
-int NodeRecord::used_cpus() const { return static_cast<int>(cpu_owner.size()) - free_cpus(); }
-
 bool NodeRecord::reachable() const {
     return node != nullptr && node->is_up() && node->os() == OsType::kLinux;
 }
@@ -58,10 +49,53 @@ void PbsServer::attach_node(Node& node) {
     NodeRecord rec;
     rec.node = &node;
     rec.cpu_owner.assign(static_cast<std::size_t>(node.np()), std::string{});
+    rec.free_count = node.np();
     rec.idle_since_unix = engine_.unix_now();
     nodes_.push_back(std::move(rec));
+    total_cpus_ += node.np();
+    set_schedulable(nodes_.back(), nodes_.back().reachable());
     node.on_up([this](Node& n, OsType os) { handle_node_up(n, os); });
     node.on_down([this](Node& n) { handle_node_down(n); });
+    mark_mutation();
+}
+
+void PbsServer::mark_mutation() {
+    ++version_;
+    idle_dirty_ = true;
+}
+
+void PbsServer::adjust_free(NodeRecord& rec, int delta) {
+    rec.free_count += delta;
+    util::ensure(rec.free_count >= 0 &&
+                     rec.free_count <= static_cast<int>(rec.cpu_owner.size()),
+                 "PbsServer::adjust_free: free count out of range");
+    if (rec.in_free_agg) free_cpu_agg_ += delta;
+}
+
+void PbsServer::set_schedulable(NodeRecord& rec, bool schedulable) {
+    const bool want = schedulable && !rec.offline;
+    if (rec.in_free_agg == want) return;
+    rec.in_free_agg = want;
+    free_cpu_agg_ += want ? rec.free_count : -rec.free_count;
+}
+
+void PbsServer::verify_incremental_state() const {
+    int agg = 0;
+    int total = 0;
+    for (const auto& rec : nodes_) {
+        int free = 0;
+        for (const auto& owner : rec.cpu_owner)
+            if (owner.empty()) ++free;
+        util::ensure(free == rec.free_count,
+                     "consistency: cached free count diverged from cpu_owner");
+        const bool should_count = rec.reachable() && !rec.offline;
+        util::ensure(rec.in_free_agg == should_count,
+                     "consistency: in_free_agg diverged from node state");
+        if (should_count) agg += free;
+        total += static_cast<int>(rec.cpu_owner.size());
+    }
+    util::ensure(agg == free_cpu_agg_, "consistency: free-CPU aggregate diverged");
+    util::ensure(total == total_cpus_, "consistency: total-CPU count diverged");
 }
 
 NodeRecord* PbsServer::record_for(const Node& node) {
@@ -107,6 +141,7 @@ Result<std::string> PbsServer::submit(const JobScript& script, const std::string
     queue_order_.push_back(id);
     jobs_[id] = std::move(job);
     ++stats_.submitted;
+    mark_mutation();
     engine_.logger().debug("pbs/" + config_.server_name, "qsub " + id);
     emit_event(JobEvent::kQueued, *jobs_[id]);
     request_cycle();
@@ -139,6 +174,7 @@ Status PbsServer::qhold(const std::string& job_id) {
     if (job->state != JobState::kQueued)
         return Error{"qhold: job not in a holdable state: " + job_id};
     job->state = JobState::kHeld;
+    mark_mutation();
     engine_.logger().debug("pbs/" + config_.server_name, "hold " + job_id);
     // Holding the head job can unblock the rest of a strict-FIFO queue.
     request_cycle();
@@ -150,6 +186,7 @@ Status PbsServer::qrls(const std::string& job_id) {
     if (job == nullptr) return Error{"qrls: unknown job " + job_id};
     if (job->state != JobState::kHeld) return Error{"qrls: job not held: " + job_id};
     job->state = JobState::kQueued;
+    mark_mutation();
     engine_.logger().debug("pbs/" + config_.server_name, "release " + job_id);
     request_cycle();
     return Status::ok_status();
@@ -159,6 +196,8 @@ Status PbsServer::set_node_offline(const std::string& hostname, bool offline) {
     for (auto& rec : nodes_) {
         if (rec.node->hostname() == hostname || rec.node->short_name() == hostname) {
             rec.offline = offline;
+            set_schedulable(rec, rec.reachable());
+            mark_mutation();
             if (!offline) request_cycle();
             return Status::ok_status();
         }
@@ -205,26 +244,15 @@ std::vector<const Job*> PbsServer::all_jobs() const {
     return out;
 }
 
-int PbsServer::total_cpus() const {
-    int total = 0;
-    for (const auto& rec : nodes_) total += static_cast<int>(rec.cpu_owner.size());
-    return total;
-}
-
-int PbsServer::free_cpus() const {
-    int total = 0;
-    for (const auto& rec : nodes_) {
-        const NodeState s = rec.state();
-        if (s == NodeState::kFree || s == NodeState::kJobExclusive) total += rec.free_cpus();
+const std::vector<const NodeRecord*>& PbsServer::fully_idle_nodes() const {
+    if (idle_dirty_) {
+        idle_cache_.clear();
+        for (const auto& rec : nodes_)
+            if (rec.state() == NodeState::kFree && rec.used_cpus() == 0)
+                idle_cache_.push_back(&rec);
+        idle_dirty_ = false;
     }
-    return total;
-}
-
-std::vector<const NodeRecord*> PbsServer::fully_idle_nodes() const {
-    std::vector<const NodeRecord*> out;
-    for (const auto& rec : nodes_)
-        if (rec.state() == NodeState::kFree && rec.used_cpus() == 0) out.push_back(&rec);
-    return out;
+    return idle_cache_;
 }
 
 void PbsServer::on_job_terminal(std::function<void(const Job&)> fn) {
@@ -241,7 +269,8 @@ void PbsServer::emit_event(JobEvent event, const Job& job) {
 
 std::optional<std::vector<int>> PbsServer::try_place(const Job& job) const {
     // Each of the `nodes` chunks goes on a distinct node with >= ppn free
-    // cpus and the required properties.
+    // cpus and the required properties. free_cpus() is the incrementally
+    // maintained count, so the scan is O(nodes), not O(nodes x cores).
     std::vector<int> chosen;
     for (std::size_t i = 0; i < nodes_.size() && static_cast<int>(chosen.size()) < job.resources.nodes;
          ++i) {
@@ -249,6 +278,27 @@ std::optional<std::vector<int>> PbsServer::try_place(const Job& job) const {
         const NodeState s = rec.state();
         if (s != NodeState::kFree) continue;
         if (rec.free_cpus() < job.resources.ppn) continue;
+        if (!rec.has_properties(job.resources.properties)) continue;
+        chosen.push_back(static_cast<int>(i));
+    }
+    if (static_cast<int>(chosen.size()) < job.resources.nodes) return std::nullopt;
+    return chosen;
+}
+
+std::optional<std::vector<int>> PbsServer::try_place_bruteforce(const Job& job) const {
+    // The pre-optimization placement logic, kept as the reference for the
+    // consistency-check hook: recounts cpu_owner instead of trusting the
+    // cached free counts. Must stay byte-for-byte equivalent in outcome.
+    std::vector<int> chosen;
+    for (std::size_t i = 0; i < nodes_.size() && static_cast<int>(chosen.size()) < job.resources.nodes;
+         ++i) {
+        const NodeRecord& rec = nodes_[i];
+        if (rec.offline || !rec.reachable()) continue;
+        int free = 0;
+        for (const auto& owner : rec.cpu_owner)
+            if (owner.empty()) ++free;
+        if (free == 0) continue;  // kJobExclusive, not kFree
+        if (free < job.resources.ppn) continue;
         if (!rec.has_properties(job.resources.properties)) continue;
         chosen.push_back(static_cast<int>(i));
     }
@@ -265,6 +315,7 @@ void PbsServer::schedule_cycle() {
     do {
         cycle_again_ = false;
         ++stats_.scheduler_cycles;
+        if (consistency_checks_) verify_incremental_state();
         // Walk the queue head-first; with strict FIFO a blocked head stops
         // the pass (this is what makes a queue "stuck" in the Fig 5 sense).
         for (auto it = queue_order_.begin(); it != queue_order_.end();) {
@@ -279,7 +330,18 @@ void PbsServer::schedule_cycle() {
                 it = queue_order_.erase(it);
                 continue;
             }
-            auto placement = try_place(*job);
+            // Aggregate early-exit: the free-CPU total is an upper bound on
+            // what any placement can use, so a request above it cannot fit
+            // and the node scan is skipped. In the stuck steady state this
+            // makes the whole cycle O(1).
+            const bool may_fit = job->resources.total_cpus() <= free_cpu_agg_;
+            std::optional<std::vector<int>> placement;
+            if (may_fit) placement = try_place(*job);
+            if (consistency_checks_) {
+                const auto reference = try_place_bruteforce(*job);
+                util::ensure(placement == reference,
+                             "consistency: incremental placement diverged from brute force");
+            }
             if (!placement.has_value()) {
                 if (config_.strict_fifo) break;
                 ++it;
@@ -299,6 +361,7 @@ void PbsServer::start_job(Job& job, const std::vector<int>& record_indices) {
     job.stime_unix = engine_.unix_now();
     job.exec_slots.clear();
     job.exec_node_indices.clear();
+    job.exec_record_indices.clear();
     for (int idx : record_indices) {
         NodeRecord& rec = nodes_[static_cast<std::size_t>(idx)];
         // TORQUE hands out cpu indices descending (Fig 8: .../3+.../2+...).
@@ -311,9 +374,12 @@ void PbsServer::start_job(Job& job, const std::vector<int>& record_indices) {
             ++assigned;
         }
         util::ensure(assigned == job.resources.ppn, "start_job: placement raced allocation");
+        adjust_free(rec, -assigned);
         job.exec_node_indices.push_back(rec.node->index());
+        job.exec_record_indices.push_back(idx);
     }
     ++stats_.started;
+    mark_mutation();
     engine_.logger().debug("pbs/" + config_.server_name,
                            "run " + job.id + " on " + job.exec_host_string());
     emit_event(JobEvent::kStarted, job);
@@ -342,17 +408,24 @@ void PbsServer::start_job(Job& job, const std::vector<int>& record_indices) {
 }
 
 void PbsServer::release_allocation(Job& job) {
-    for (auto& rec : nodes_) {
-        bool touched = false;
+    // O(allocated): only the records the job actually ran on are touched,
+    // instead of rescanning every cpu_owner vector in the cluster.
+    for (int idx : job.exec_record_indices) {
+        NodeRecord& rec = nodes_[static_cast<std::size_t>(idx)];
+        int freed = 0;
         for (auto& owner : rec.cpu_owner) {
             if (owner == job.id) {
                 owner.clear();
-                touched = true;
+                ++freed;
             }
         }
-        if (touched && rec.used_cpus() == 0) rec.idle_since_unix = engine_.unix_now();
+        if (freed > 0) {
+            adjust_free(rec, freed);
+            if (rec.used_cpus() == 0) rec.idle_since_unix = engine_.unix_now();
+        }
     }
     job.exec_slots.clear();
+    job.exec_record_indices.clear();
 }
 
 void PbsServer::finish_job(Job& job, CompletionKind kind) {
@@ -369,6 +442,7 @@ void PbsServer::finish_job(Job& job, CompletionKind kind) {
     job.state = JobState::kCompleted;
     job.completion = kind;
     job.etime_unix = engine_.unix_now();
+    mark_mutation();
     switch (kind) {
         case CompletionKind::kNormal: ++stats_.completed_normal; break;
         case CompletionKind::kDeleted: ++stats_.deleted; break;
@@ -393,17 +467,24 @@ void PbsServer::finish_job(Job& job, CompletionKind kind) {
 void PbsServer::handle_node_up(Node& node, OsType os) {
     NodeRecord* rec = record_for(node);
     util::ensure(rec != nullptr, "handle_node_up: unknown node");
+    set_schedulable(*rec, rec->reachable());
+    mark_mutation();
     if (os == OsType::kLinux) {
         rec->idle_since_unix = engine_.unix_now();
         request_cycle();
     }
     // A node that came up in Windows stays kDown from PBS's point of view;
-    // nothing to do — state() derives that from the node itself.
+    // set_schedulable saw reachable() == false and left it out of the
+    // aggregate — state() derives the rest from the node itself.
 }
 
 void PbsServer::handle_node_down(Node& node) {
     NodeRecord* rec = record_for(node);
     util::ensure(rec != nullptr, "handle_node_down: unknown node");
+    // Drop the node from the free-CPU aggregate *before* releasing victim
+    // allocations, so the frees below don't count toward schedulable CPUs.
+    set_schedulable(*rec, false);
+    mark_mutation();
     // Abort or requeue every job with an allocation on this node.
     std::vector<std::string> victims;
     for (const auto& owner : rec->cpu_owner)

@@ -41,8 +41,15 @@ struct NodeRecord {
     std::int64_t idle_since_unix = 0;
     std::vector<std::string> properties{"all"};
 
-    [[nodiscard]] int free_cpus() const;
-    [[nodiscard]] int used_cpus() const;
+    // Incrementally maintained by the server (allocate/release/up/down), so
+    // free_cpus() and the placement scan never re-count cpu_owner.
+    int free_count = 0;       ///< cached number of empty cpu_owner slots
+    bool in_free_agg = false; ///< contributing to the server's free-CPU total
+
+    [[nodiscard]] int free_cpus() const { return free_count; }
+    [[nodiscard]] int used_cpus() const {
+        return static_cast<int>(cpu_owner.size()) - free_count;
+    }
     [[nodiscard]] bool reachable() const;  ///< node up and running Linux
     [[nodiscard]] NodeState state() const;
     [[nodiscard]] bool has_properties(const std::vector<std::string>& required) const;
@@ -114,10 +121,23 @@ public:
     [[nodiscard]] std::vector<const Job*> all_jobs() const;
 
     [[nodiscard]] const std::vector<NodeRecord>& node_records() const { return nodes_; }
-    [[nodiscard]] int total_cpus() const;
-    [[nodiscard]] int free_cpus() const;
+    [[nodiscard]] int total_cpus() const { return total_cpus_; }
+    /// Free CPUs across schedulable (up, Linux, not offline) nodes. O(1):
+    /// maintained incrementally on allocate/release and node transitions.
+    [[nodiscard]] int free_cpus() const { return free_cpu_agg_; }
     /// Nodes in kFree with *all* cpus idle — candidates for an OS switch.
-    [[nodiscard]] std::vector<const NodeRecord*> fully_idle_nodes() const;
+    /// Cached; recomputed only after a mutation dirtied it.
+    [[nodiscard]] const std::vector<const NodeRecord*>& fully_idle_nodes() const;
+
+    /// Monotonic mutation counter: bumps on every externally visible state
+    /// change (job lifecycle, node transitions, admin commands). The text
+    /// layer re-renders only when this moved; tests use it to pin caching.
+    [[nodiscard]] std::uint64_t version() const { return version_; }
+
+    /// Test hook: cross-check every incremental shortcut against the
+    /// original brute-force logic (placement rescans, aggregate recounts)
+    /// and throw on divergence. Used by the golden determinism test.
+    void enable_consistency_checks(bool on) { consistency_checks_ = on; }
 
     [[nodiscard]] const ServerStats& stats() const { return stats_; }
     [[nodiscard]] sim::Engine& engine() { return engine_; }
@@ -166,6 +186,30 @@ private:
     [[nodiscard]] NodeRecord* record_for(const cluster::Node& node);
     void request_cycle();
 
+    /// Bump the mutation counter and dirty the derived caches.
+    void mark_mutation();
+    /// Adjust a record's free count by `delta` and keep the aggregate exact.
+    void adjust_free(NodeRecord& rec, int delta);
+    /// Add/remove the record from the free-CPU aggregate (idempotent).
+    void set_schedulable(NodeRecord& rec, bool schedulable);
+    /// Brute-force recount of free counts and the aggregate; throws on
+    /// divergence from the incremental state (consistency-check hook).
+    void verify_incremental_state() const;
+    [[nodiscard]] std::optional<std::vector<int>> try_place_bruteforce(const Job& job) const;
+
+    // ---- cached text rendering (text_output.cpp) ----
+    struct TextCache {
+        std::uint64_t version = ~0ull;  ///< server version the text was built at
+        std::int64_t now_unix = -1;     ///< sim time it was built at
+        bool time_sensitive = false;    ///< render embeds the current clock
+        std::string text;
+    };
+    [[nodiscard]] const std::string& cached_text(TextCache& cache,
+                                                 std::string (PbsServer::*render)(bool&) const) const;
+    [[nodiscard]] std::string render_pbsnodes(bool& time_sensitive) const;
+    [[nodiscard]] std::string render_qstat_f(bool& time_sensitive) const;
+    [[nodiscard]] std::string render_qstat(bool& time_sensitive) const;
+
     sim::Engine& engine_;
     PbsServerConfig config_;
     std::uint64_t next_seq_;
@@ -181,6 +225,16 @@ private:
     bool in_cycle_ = false;
     bool cycle_again_ = false;
     ServerStats stats_;
+
+    std::uint64_t version_ = 0;     ///< monotonic mutation counter
+    int total_cpus_ = 0;
+    int free_cpu_agg_ = 0;          ///< free CPUs on schedulable nodes
+    bool consistency_checks_ = false;
+    mutable bool idle_dirty_ = true;
+    mutable std::vector<const NodeRecord*> idle_cache_;
+    mutable TextCache pbsnodes_cache_;
+    mutable TextCache qstat_f_cache_;
+    mutable TextCache qstat_cache_;
 };
 
 }  // namespace hc::pbs

@@ -40,7 +40,43 @@ std::string node_status_string(const NodeRecord& rec, std::int64_t now_unix) {
 
 }  // namespace
 
+// ---- render cache -------------------------------------------------------
+//
+// The detectors poll these commands every simulated few minutes, but the
+// server state usually hasn't moved between polls. Each output is cached
+// against the server's mutation counter; a render also reports whether it
+// embedded the current clock (pbsnodes status lines, qstat's Time Use
+// column), in which case the cache is additionally keyed on unix_now so a
+// later poll at a different instant re-renders.
+
+const std::string& PbsServer::cached_text(TextCache& cache,
+                                          std::string (PbsServer::*render)(bool&) const) const {
+    const std::int64_t now_unix = engine_.unix_now();
+    const bool fresh = cache.version == version_ &&
+                       (!cache.time_sensitive || cache.now_unix == now_unix);
+    if (!fresh) {
+        bool time_sensitive = false;
+        cache.text = (this->*render)(time_sensitive);
+        cache.version = version_;
+        cache.now_unix = now_unix;
+        cache.time_sensitive = time_sensitive;
+    }
+    return cache.text;
+}
+
 std::string PbsServer::pbsnodes_output() const {
+    return cached_text(pbsnodes_cache_, &PbsServer::render_pbsnodes);
+}
+
+std::string PbsServer::qstat_output() const {
+    return cached_text(qstat_cache_, &PbsServer::render_qstat);
+}
+
+std::string PbsServer::qstat_f_output() const {
+    return cached_text(qstat_f_cache_, &PbsServer::render_qstat_f);
+}
+
+std::string PbsServer::render_pbsnodes(bool& time_sensitive) const {
     std::string out;
     const std::int64_t now_unix = engine_.unix_now();
     for (const auto& rec : nodes_) {
@@ -66,14 +102,16 @@ std::string PbsServer::pbsnodes_output() const {
             out += "     jobs = " + jobs + "\n";
         }
         // Moms that are down report no status attributes.
-        if (state != NodeState::kDown)
+        if (state != NodeState::kDown) {
             out += "     status = " + node_status_string(rec, now_unix) + "\n";
+            time_sensitive = true;  // rectime/idletime/netload embed the clock
+        }
         out += "\n";
     }
     return out;
 }
 
-std::string PbsServer::qstat_output() const {
+std::string PbsServer::render_qstat(bool& time_sensitive) const {
     std::string out;
     bool any = false;
     for (const Job* job : all_jobs()) {
@@ -93,6 +131,7 @@ std::string PbsServer::qstat_output() const {
         const std::string user = job->owner.substr(0, job->owner.find('@'));
         const std::int64_t cpu_time =
             job->stime_unix > 0 ? engine_.unix_now() - job->stime_unix : 0;
+        if (job->stime_unix > 0) time_sensitive = true;  // Time Use column ticks
         char line[160];
         std::snprintf(line, sizeof line, "%-25s %-16.16s %-15.15s %8s %c %s\n",
                       short_id.c_str(), job->name.c_str(), user.c_str(),
@@ -103,7 +142,10 @@ std::string PbsServer::qstat_output() const {
     return out;
 }
 
-std::string PbsServer::qstat_f_output() const {
+std::string PbsServer::render_qstat_f(bool& time_sensitive) const {
+    // qstat -f prints absolute timestamps only (qtime); nothing here depends
+    // on the current clock, so the render is keyed purely on the version.
+    (void)time_sensitive;
     std::string out;
     bool first = true;
     for (const Job* job : all_jobs()) {

@@ -7,6 +7,22 @@
 
 namespace hc::sim {
 
+namespace {
+
+// EventId layout: high 32 bits = slot index + 1 (so value is never 0), low
+// 32 bits = the slot's generation at scheduling time.
+constexpr std::uint64_t pack_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(slot) + 1) << 32 | gen;
+}
+constexpr std::uint32_t slot_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> 32) - 1;
+}
+constexpr std::uint32_t gen_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id);
+}
+
+}  // namespace
+
 std::string to_string(TimePoint t) { return to_string(Duration{t.ms}); }
 
 std::string to_string(Duration d) {
@@ -24,14 +40,70 @@ std::string to_string(Duration d) {
 Engine::Engine(std::int64_t unix_epoch)
     : epoch_(unix_epoch >= 0 ? unix_epoch : util::default_sim_epoch()) {
     logger_.set_clock([this] { return now_.whole_seconds(); });
+    reserve(64);
+}
+
+void Engine::reserve(std::size_t events) {
+    heap_.reserve(events);
+    slot_meta_.reserve(events);
+    slot_fns_.reserve(events);
+    free_slots_.reserve(events);
+}
+
+void Engine::heap_push(Entry&& e) {
+    // Hole insertion: shift later parents down, drop `e` into the hole.
+    heap_.emplace_back();
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (!later(heap_[parent], e)) break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = e;
+}
+
+Engine::Entry Engine::heap_pop() {
+    const Entry out = heap_.front();
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        const std::size_t n = heap_.size();
+        std::size_t i = 0;
+        for (;;) {
+            const std::size_t first = 4 * i + 1;
+            if (first >= n) break;
+            std::size_t best = first;
+            const std::size_t end = first + 4 < n ? first + 4 : n;
+            for (std::size_t c = first + 1; c < end; ++c)
+                if (later(heap_[best], heap_[c])) best = c;
+            if (!later(last, heap_[best])) break;
+            heap_[i] = heap_[best];
+            i = best;
+        }
+        heap_[i] = last;
+    }
+    return out;
 }
 
 EventId Engine::schedule_at(TimePoint at, Callback fn) {
     util::require(at >= now_, "Engine::schedule_at: cannot schedule in the past");
     util::require(static_cast<bool>(fn), "Engine::schedule_at: null callback");
-    const std::uint64_t id = next_id_++;
-    queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
-    pending_ids_.insert(id);
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slot_meta_.size());
+        slot_meta_.emplace_back();
+        slot_fns_.emplace_back();
+    }
+    SlotMeta& s = slot_meta_[slot];
+    s.cancelled = false;
+    slot_fns_[slot] = std::move(fn);
+    const std::uint64_t id = pack_id(slot, s.gen);
+    heap_push(Entry{at, next_seq_++, slot});
+    ++live_count_;
     ++stats_.scheduled;
     return EventId{id};
 }
@@ -42,53 +114,81 @@ EventId Engine::schedule_after(Duration delay, Callback fn) {
 }
 
 bool Engine::cancel(EventId id) {
-    // Lazy cancellation: remove the id from the pending set; the queue entry
-    // is discarded when popped. (priority_queue has no random removal.)
+    // Lazy cancellation: flip the slot's tombstone flag; the heap entry is
+    // discarded when it reaches the top (a heap has no cheap random removal,
+    // and eager removal would reshuffle the calendar on every cancel).
     if (!id.valid()) return false;
-    const bool was_pending = pending_ids_.erase(id.value) > 0;
-    if (was_pending) ++stats_.cancelled;
-    return was_pending;
+    if ((id.value >> 32) == 0) return false;  // not an id this engine issued
+    const std::uint32_t slot = slot_of(id.value);
+    if (slot >= slot_meta_.size()) return false;
+    SlotMeta& s = slot_meta_[slot];
+    if (s.gen != gen_of(id.value) || s.cancelled) return false;  // already ran/cancelled
+    s.cancelled = true;
+    --live_count_;
+    ++stats_.cancelled;
+    return true;
 }
 
-void Engine::dispatch(Entry&& e) {
+void Engine::release_slot(std::uint32_t slot) {
+    // Bump the generation so the old EventId can never match again, then
+    // free-list the slot for reuse.
+    SlotMeta& s = slot_meta_[slot];
+    slot_fns_[slot].reset();
+    ++s.gen;
+    s.cancelled = false;
+    free_slots_.push_back(slot);
+}
+
+void Engine::drop_tombstones() {
+    // Discard cancelled entries sitting at the top, so after this call the
+    // heap is either empty or topped by a live event.
+    while (!heap_.empty()) {
+        const std::uint32_t slot = heap_.front().slot;
+        if (!slot_meta_[slot].cancelled) return;
+        (void)heap_pop();
+        release_slot(slot);
+    }
+}
+
+void Engine::dispatch_top() {
+    const Entry e = heap_pop();
+    // Move the callback out before invoking: the callback may schedule new
+    // events and reallocate the slot table under us.
+    Callback fn = std::move(slot_fns_[e.slot]);
+    release_slot(e.slot);
     now_ = e.at;
+    --live_count_;
     ++stats_.dispatched;
-    e.fn();
+    fn();
 }
 
 void Engine::run_until(TimePoint until) {
     util::require(until >= now_, "Engine::run_until: target is in the past");
-    while (!queue_.empty() && queue_.top().at <= until) {
-        Entry e = queue_.top();
-        queue_.pop();
-        if (pending_ids_.erase(e.id) == 0) continue;  // cancelled
-        dispatch(std::move(e));
+    for (;;) {
+        drop_tombstones();
+        if (heap_.empty() || heap_.front().at > until) break;
+        dispatch_top();
     }
     now_ = until;
 }
 
 std::uint64_t Engine::run_all(std::uint64_t max_events) {
     std::uint64_t n = 0;
-    while (!queue_.empty()) {
+    for (;;) {
+        drop_tombstones();
+        if (heap_.empty()) break;
         util::ensure(n < max_events, "Engine::run_all: event budget exhausted (runaway loop?)");
-        Entry e = queue_.top();
-        queue_.pop();
-        if (pending_ids_.erase(e.id) == 0) continue;  // cancelled
-        dispatch(std::move(e));
+        dispatch_top();
         ++n;
     }
     return n;
 }
 
 bool Engine::step() {
-    while (!queue_.empty()) {
-        Entry e = queue_.top();
-        queue_.pop();
-        if (pending_ids_.erase(e.id) == 0) continue;  // cancelled
-        dispatch(std::move(e));
-        return true;
-    }
-    return false;
+    drop_tombstones();
+    if (heap_.empty()) return false;
+    dispatch_top();
+    return true;
 }
 
 PeriodicTask::PeriodicTask(Engine& engine, Duration interval, Tick tick)

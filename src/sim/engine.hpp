@@ -5,27 +5,38 @@
 // simultaneous events run deterministically. Everything in the repository —
 // node reboots, daemon polling cycles, network delivery, job completion —
 // is driven by this engine.
+//
+// The calendar is built for throughput (see bench_p1_hotpath):
+//   * callbacks are InlineFunction with 48 bytes of inline storage, so the
+//     typical capture (a daemon `this` plus a few ids) never allocates;
+//   * cancellation is lazy — cancel() flips a per-event flag and the
+//     tombstoned heap entry is dropped when it reaches the top — so neither
+//     schedule nor cancel touches a hash table or reshuffles the heap;
+//   * a live-event count keeps empty()/pending_events() exact despite the
+//     tombstones, and the slot/generation event table makes stale EventIds
+//     (already run, already cancelled) safe no-ops.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/inline_function.hpp"
 #include "util/log.hpp"
 
 namespace hc::sim {
 
 /// Handle for cancelling a scheduled event. Default-constructed ids are
-/// invalid and safe to cancel (no-op).
+/// invalid and safe to cancel (no-op). Internally packs a slot index and a
+/// generation so ids from dispatched/cancelled events never alias new ones.
 struct EventId {
     std::uint64_t value = 0;
     [[nodiscard]] bool valid() const { return value != 0; }
 };
 
-/// Counters exposed for tests and bench sanity checks.
+/// Counters exposed for tests and bench sanity checks. Invariant:
+/// scheduled == dispatched + cancelled + pending_events().
 struct EngineStats {
     std::uint64_t scheduled = 0;
     std::uint64_t dispatched = 0;
@@ -34,7 +45,8 @@ struct EngineStats {
 
 class Engine {
 public:
-    using Callback = std::function<void()>;
+    /// 48 inline bytes: `this` + two 64-bit ids + spare, allocation-free.
+    using Callback = util::InlineFunction<void(), 48>;
 
     /// `unix_epoch` anchors simulated time to a calendar date for the text
     /// layers (qstat timestamps). Defaults to the paper's 2010-04-16.
@@ -48,6 +60,9 @@ public:
     /// Current simulated wall-clock (Unix seconds) for date formatting.
     [[nodiscard]] std::int64_t unix_now() const { return epoch_ + now_.whole_seconds(); }
     [[nodiscard]] std::int64_t unix_epoch() const { return epoch_; }
+
+    /// Pre-size the calendar for `events` simultaneous pending events.
+    void reserve(std::size_t events);
 
     /// Schedule `fn` to run at absolute time `at` (>= now).
     EventId schedule_at(TimePoint at, Callback fn);
@@ -71,35 +86,60 @@ public:
     /// Dispatch exactly one event if any is pending. Returns false if empty.
     bool step();
 
-    [[nodiscard]] bool empty() const { return pending_ids_.empty(); }
-    [[nodiscard]] std::size_t pending_events() const { return pending_ids_.size(); }
+    [[nodiscard]] bool empty() const { return live_count_ == 0; }
+    [[nodiscard]] std::size_t pending_events() const { return live_count_; }
     [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
     /// Shared logger; components attach it at construction.
     [[nodiscard]] util::Logger& logger() { return logger_; }
 
 private:
+    /// Heap entries are 24-byte PODs — the callback lives in the slot table —
+    /// so sifting the calendar copies plain words, never callables. The heap
+    /// is 4-ary: half the sift depth of a binary heap, and the four children
+    /// share a cache line's worth of entries.
     struct Entry {
         TimePoint at;
         std::uint64_t seq;  ///< tie-break: FIFO among simultaneous events
-        std::uint64_t id;
-        Callback fn;
-    };
-    struct Later {
-        bool operator()(const Entry& a, const Entry& b) const {
-            if (a.at != b.at) return a.at > b.at;
-            return a.seq > b.seq;
-        }
+        std::uint32_t slot;
     };
 
-    void dispatch(Entry&& e);
+    /// Per-event bookkeeping; slots are recycled via a free list once their
+    /// heap entry pops (dispatched or tombstoned). Metadata is kept apart
+    /// from the callbacks so cancel/tombstone checks touch 8 bytes, not a
+    /// callback-sized cache line.
+    struct SlotMeta {
+        std::uint32_t gen = 1;
+        bool cancelled = false;
+    };
+
+    /// True when `a` dispatches after `b`.
+    static bool later(const Entry& a, const Entry& b) {
+        if (a.at != b.at) return a.at > b.at;
+        return a.seq > b.seq;
+    }
+
+    void heap_push(Entry&& e);
+    [[nodiscard]] Entry heap_pop();
+
+    void release_slot(std::uint32_t slot);
+
+    /// Discard cancelled entries at the heap top; afterwards the heap is
+    /// empty or topped by a live event.
+    void drop_tombstones();
+
+    /// Pop the (live) top entry, move its callback out, recycle the slot,
+    /// and run it at its timestamp.
+    void dispatch_top();
 
     TimePoint now_{};
     std::int64_t epoch_;
     std::uint64_t next_seq_ = 1;
-    std::uint64_t next_id_ = 1;
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-    std::unordered_set<std::uint64_t> pending_ids_;  ///< ids scheduled and not yet run/cancelled
+    std::vector<Entry> heap_;            ///< 4-ary min-heap by (at, seq)
+    std::vector<SlotMeta> slot_meta_;
+    std::vector<Callback> slot_fns_;     ///< parallel to slot_meta_
+    std::vector<std::uint32_t> free_slots_;
+    std::size_t live_count_ = 0;         ///< heap entries that are not tombstones
     EngineStats stats_;
     util::Logger logger_;
 };

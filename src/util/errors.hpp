@@ -34,11 +34,25 @@ public:
 /// Precondition check helper. Unlike assert() this is always on: the library
 /// simulates infrastructure, and silent precondition violations would corrupt
 /// experiment results rather than crash visibly.
+///
+/// The const char* overloads matter: passing a literal to a const
+/// std::string& parameter materialises (and heap-allocates) the string at
+/// every call site even when the check passes, and these checks guard the
+/// event calendar's hot path. With the overload a passing check costs one
+/// predictable branch.
+inline void require(bool cond, const char* msg) {
+    if (!cond) [[unlikely]] throw PreconditionError(msg);
+}
+
 inline void require(bool cond, const std::string& msg) {
     if (!cond) throw PreconditionError(msg);
 }
 
 /// Invariant check helper for internal consistency.
+inline void ensure(bool cond, const char* msg) {
+    if (!cond) [[unlikely]] throw InvariantError(msg);
+}
+
 inline void ensure(bool cond, const std::string& msg) {
     if (!cond) throw InvariantError(msg);
 }

@@ -1,0 +1,123 @@
+// Small-buffer-optimised move-only callable.
+//
+// The event calendar schedules millions of short-lived callbacks per run;
+// std::function's inline buffer (16 bytes on libstdc++) is too small for the
+// repository's typical captures — a daemon `this` plus a couple of ids — so
+// every scheduled event used to heap-allocate. InlineFunction stores any
+// callable up to `InlineBytes` (default 48) in place and only falls back to
+// the heap for outsized captures, so the calendar's hot path never touches
+// the allocator.
+//
+// Differences from std::function, on purpose:
+//   * move-only (events are scheduled once and consumed once);
+//   * invoking an empty InlineFunction is undefined — callers check with
+//     operator bool at the API boundary (Engine::schedule_at does), not per
+//     dispatch.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hc::util {
+
+template <class Sig, std::size_t InlineBytes = 48>
+class InlineFunction;  // primary template left undefined
+
+template <class R, class... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+public:
+    InlineFunction() = default;
+
+    template <class F,
+              class D = std::decay_t<F>,
+              class = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                       std::is_invocable_r_v<R, D&, Args...>>>
+    InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): function-like
+        if constexpr (fits_inline<D>()) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+            vtable_ = &inline_vtable<D>;
+        } else {
+            ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+            vtable_ = &heap_vtable<D>;
+        }
+    }
+
+    InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+    InlineFunction& operator=(InlineFunction&& other) noexcept {
+        if (this != &other) {
+            reset();
+            steal(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction&) = delete;
+    InlineFunction& operator=(const InlineFunction&) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+    /// Precondition: *this is non-empty.
+    R operator()(Args... args) {
+        return vtable_->invoke(storage_, std::forward<Args>(args)...);
+    }
+
+    void reset() noexcept {
+        if (vtable_ != nullptr) {
+            vtable_->destroy(storage_);
+            vtable_ = nullptr;
+        }
+    }
+
+    /// True when a callable of type D would be stored without allocating.
+    template <class D>
+    [[nodiscard]] static constexpr bool fits_inline() {
+        return sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+private:
+    struct VTable {
+        R (*invoke)(void*, Args&&...);
+        void (*relocate)(void* dst, void* src);  ///< move-construct dst, destroy src
+        void (*destroy)(void*);
+    };
+
+    template <class D>
+    static constexpr VTable inline_vtable{
+        [](void* s, Args&&... args) -> R {
+            return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) {
+            ::new (dst) D(std::move(*static_cast<D*>(src)));
+            static_cast<D*>(src)->~D();
+        },
+        [](void* s) { static_cast<D*>(s)->~D(); },
+    };
+
+    template <class D>
+    static constexpr VTable heap_vtable{
+        [](void* s, Args&&... args) -> R {
+            return (**static_cast<D**>(s))(std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) { ::new (dst) D*(*static_cast<D**>(src)); },
+        [](void* s) { delete *static_cast<D**>(s); },
+    };
+
+    void steal(InlineFunction& other) noexcept {
+        if (other.vtable_ != nullptr) {
+            other.vtable_->relocate(storage_, other.storage_);
+            vtable_ = other.vtable_;
+            other.vtable_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+    const VTable* vtable_ = nullptr;
+};
+
+}  // namespace hc::util

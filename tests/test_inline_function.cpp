@@ -1,0 +1,138 @@
+// Unit tests for the small-buffer-optimised callable the event calendar
+// stores: inline vs heap storage selection, move semantics, and destruction.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/inline_function.hpp"
+
+namespace hc::util {
+namespace {
+
+using Fn = InlineFunction<void(), 48>;
+using IntFn = InlineFunction<int(int), 48>;
+
+TEST(InlineFunction, DefaultConstructedIsEmpty) {
+    Fn fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunction, InvokesInlineCapture) {
+    int hits = 0;
+    Fn fn([&hits] { ++hits; });
+    ASSERT_TRUE(static_cast<bool>(fn));
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, ForwardsArgumentsAndReturn) {
+    IntFn fn([](int x) { return x * 3; });
+    EXPECT_EQ(fn(7), 21);
+}
+
+TEST(InlineFunction, TypicalEngineCaptureFitsInline) {
+    // The calendar's common case: a `this`-like pointer plus two 64-bit ids.
+    struct Capture {
+        void* self;
+        std::uint64_t a, b;
+        void operator()() const {}
+    };
+    static_assert(Fn::fits_inline<Capture>());
+}
+
+TEST(InlineFunction, OversizedCaptureUsesHeapAndStillWorks) {
+    std::array<std::uint64_t, 12> big{};  // 96 bytes: larger than the buffer
+    for (std::size_t i = 0; i < big.size(); ++i) big[i] = i + 1;
+    auto lambda = [big] {
+        std::uint64_t sum = 0;
+        for (auto v : big) sum += v;
+        ASSERT_EQ(sum, 78u);
+    };
+    static_assert(!Fn::fits_inline<decltype(lambda)>());
+    Fn fn(std::move(lambda));
+    ASSERT_TRUE(static_cast<bool>(fn));
+    fn();
+}
+
+TEST(InlineFunction, MoveTransfersStateAndEmptiesSource) {
+    int hits = 0;
+    Fn a([&hits] { ++hits; });
+    Fn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): testing it
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MoveAssignReplacesAndDestroysOld) {
+    int destroyed = 0;
+    struct Tracker {
+        int* counter;
+        explicit Tracker(int* c) : counter(c) {}
+        Tracker(Tracker&& o) noexcept : counter(o.counter) { o.counter = nullptr; }
+        ~Tracker() {
+            if (counter != nullptr) ++*counter;
+        }
+        void operator()() const {}
+    };
+    Fn a(Tracker{&destroyed});
+    ASSERT_EQ(destroyed, 0);
+    a = Fn([] {});
+    EXPECT_EQ(destroyed, 1);  // the replaced tracker ran its destructor
+}
+
+TEST(InlineFunction, MoveOnlyCaptureIsSupported) {
+    auto p = std::make_unique<int>(41);
+    IntFn fn([p = std::move(p)](int add) { return *p + add; });
+    EXPECT_EQ(fn(1), 42);
+    IntFn moved(std::move(fn));
+    EXPECT_EQ(moved(2), 43);
+}
+
+TEST(InlineFunction, ResetDestroysAndEmpties) {
+    int destroyed = 0;
+    struct Tracker {
+        int* counter;
+        explicit Tracker(int* c) : counter(c) {}
+        Tracker(Tracker&& o) noexcept : counter(o.counter) { o.counter = nullptr; }
+        ~Tracker() {
+            if (counter != nullptr) ++*counter;
+        }
+        void operator()() const {}
+    };
+    Fn fn(Tracker{&destroyed});
+    fn.reset();
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_EQ(destroyed, 1);
+    fn.reset();  // idempotent
+    EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFunction, HeapCaptureDestructorRunsExactlyOnce) {
+    int destroyed = 0;
+    struct BigTracker {
+        int* counter;
+        std::array<std::uint64_t, 16> pad{};
+        explicit BigTracker(int* c) : counter(c) {}
+        BigTracker(BigTracker&& o) noexcept : counter(o.counter) { o.counter = nullptr; }
+        ~BigTracker() {
+            if (counter != nullptr) ++*counter;
+        }
+        void operator()() const {}
+    };
+    static_assert(!Fn::fits_inline<BigTracker>());
+    {
+        Fn a(BigTracker{&destroyed});
+        Fn b(std::move(a));  // heap relocate: pointer handoff, no destruction
+        EXPECT_EQ(destroyed, 0);
+        b();
+    }
+    EXPECT_EQ(destroyed, 1);
+}
+
+}  // namespace
+}  // namespace hc::util

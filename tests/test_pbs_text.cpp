@@ -162,5 +162,60 @@ TEST_F(TextFixture, WalltimeShownWhenRequested) {
               std::string::npos);
 }
 
+// ---- render cache invalidation ------------------------------------------
+// The outputs are memoized against the server's mutation counter; the risk
+// a cache introduces is *stale* text, so these tests mutate state and check
+// the very next render reflects it.
+
+TEST_F(TextFixture, VersionBumpsOnMutations) {
+    const std::uint64_t v0 = server.version();
+    JobScript script;
+    script.resources.ppn = 1;
+    const auto id = server.submit(script, "u").value();
+    const std::uint64_t v1 = server.version();
+    EXPECT_GT(v1, v0);
+    engine.run_all();  // job completes
+    EXPECT_GT(server.version(), v1);
+    EXPECT_EQ(server.find_job(id)->state, JobState::kCompleted);
+}
+
+TEST_F(TextFixture, CachedOutputsRefreshAfterMutation) {
+    const std::string idle_nodes = server.pbsnodes_output();
+    const std::string idle_qstat = server.qstat_output();
+    EXPECT_EQ(idle_qstat, "");
+    // Same instant, no mutation: repeated calls serve the cached text.
+    EXPECT_EQ(server.pbsnodes_output(), idle_nodes);
+
+    JobScript script;
+    script.resources.ppn = 4;
+    JobBehavior behavior;
+    behavior.run_time = sim::hours(1);
+    const auto id = server.submit(script, "sliang", std::move(behavior)).value();
+    // The mutation must invalidate all three outputs immediately, with no
+    // simulated time passing.
+    EXPECT_NE(server.pbsnodes_output(), idle_nodes);
+    EXPECT_NE(server.pbsnodes_output().find("jobs = 0/" + id), std::string::npos);
+    EXPECT_NE(server.qstat_output(), idle_qstat);
+    EXPECT_NE(server.qstat_f_output().find("Job Id: " + id), std::string::npos);
+}
+
+TEST_F(TextFixture, TimeSensitiveOutputsTickWithoutMutations) {
+    JobScript script;
+    script.resources.ppn = 1;
+    JobBehavior behavior;
+    behavior.run_time = sim::hours(2);
+    ASSERT_TRUE(server.submit(script, "sliang", std::move(behavior)).ok());
+    const std::uint64_t v = server.version();
+    const std::string qstat_before = server.qstat_output();
+    const std::string nodes_before = server.pbsnodes_output();
+    engine.run_for(sim::minutes(5));  // nothing schedules: version unchanged
+    ASSERT_EQ(server.version(), v);
+    // Time Use and rectime/idletime embed the clock, so the text must move
+    // even though no mutation occurred.
+    EXPECT_NE(server.qstat_output(), qstat_before);
+    EXPECT_NE(server.qstat_output().find("00:05:00"), std::string::npos);
+    EXPECT_NE(server.pbsnodes_output(), nodes_before);
+}
+
 }  // namespace
 }  // namespace hc::pbs

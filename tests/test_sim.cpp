@@ -211,6 +211,102 @@ TEST(Periodic, SetIntervalTakesEffectNextArm) {
     EXPECT_DOUBLE_EQ(times[2], 1200.0);
 }
 
+TEST(Engine, StaleIdAfterSlotReuseIsNoop) {
+    Engine engine;
+    // Dispatch one event so its slot goes back on the free list, then make
+    // sure the recycled slot's new occupant is immune to the stale id.
+    const EventId stale = engine.schedule_after(seconds(1), [] {});
+    engine.run_all();
+    bool fired = false;
+    engine.schedule_after(seconds(1), [&] { fired = true; });
+    EXPECT_FALSE(engine.cancel(stale));
+    engine.run_all();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Engine, ForeignIdIsRejected) {
+    Engine engine;
+    engine.schedule_after(seconds(1), [] {});
+    // Low-32-bits-only values (old-style sequence numbers) are not ids this
+    // engine issued; cancel must not treat them as slot 0.
+    EXPECT_FALSE(engine.cancel(EventId{42}));
+    EXPECT_EQ(engine.pending_events(), 1u);
+}
+
+TEST(Engine, CancelledEventsNeverFireUnderChurn) {
+    // Heavy schedule/cancel/dispatch interleaving: cancelled events must
+    // never fire, everything else fires exactly once, and the stats identity
+    // scheduled == dispatched + cancelled + pending holds at every point.
+    Engine engine;
+    constexpr int kRounds = 2000;
+    std::vector<char> fired(kRounds, 0);
+    std::vector<std::pair<EventId, int>> issued;  // includes already-run ids
+    std::vector<int> cancelled;
+    std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+    auto rnd = [&](std::uint64_t m) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return (lcg >> 33) % m;
+    };
+    for (int i = 0; i < kRounds; ++i) {
+        issued.emplace_back(
+            engine.schedule_after(milliseconds(1 + static_cast<std::int64_t>(rnd(40))),
+                                  [&fired, i] { fired[static_cast<std::size_t>(i)] = 1; }),
+            i);
+        if (rnd(3) == 0) {
+            // Cancel a random issued id — possibly stale (already dispatched
+            // or already cancelled), which must be a safe no-op.
+            const auto pick = rnd(issued.size());
+            if (engine.cancel(issued[pick].first)) cancelled.push_back(issued[pick].second);
+        }
+        if (i % 16 == 0) engine.run_for(milliseconds(static_cast<std::int64_t>(rnd(30))));
+        if (i % 100 == 0) {
+            const EngineStats& st = engine.stats();
+            ASSERT_EQ(st.scheduled, st.dispatched + st.cancelled + engine.pending_events());
+        }
+    }
+    engine.run_all();
+    EXPECT_TRUE(engine.empty());
+    EXPECT_EQ(engine.pending_events(), 0u);
+    for (int idx : cancelled) EXPECT_EQ(fired[static_cast<std::size_t>(idx)], 0);
+    std::size_t fired_count = 0;
+    for (char f : fired) fired_count += static_cast<std::size_t>(f);
+    EXPECT_EQ(fired_count + cancelled.size(), static_cast<std::size_t>(kRounds));
+    const EngineStats& st = engine.stats();
+    EXPECT_EQ(st.scheduled, static_cast<std::uint64_t>(kRounds));
+    EXPECT_EQ(st.dispatched, fired_count);
+    EXPECT_EQ(st.cancelled, cancelled.size());
+    EXPECT_EQ(st.scheduled, st.dispatched + st.cancelled);
+}
+
+TEST(Engine, PendingCountExactWithTombstonesAtHorizon) {
+    // run_until must not dispatch (or miscount) tombstones past the horizon.
+    Engine engine;
+    int fired = 0;
+    const EventId a = engine.schedule_after(seconds(10), [&] { ++fired; });
+    engine.schedule_after(seconds(20), [&] { ++fired; });
+    engine.schedule_after(seconds(30), [&] { ++fired; });
+    EXPECT_TRUE(engine.cancel(a));
+    EXPECT_EQ(engine.pending_events(), 2u);
+    EXPECT_FALSE(engine.empty());
+    engine.run_until(TimePoint{} + seconds(25));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(engine.pending_events(), 1u);
+    engine.run_all();
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(engine.empty());
+}
+
+TEST(Engine, ReserveDoesNotDisturbPendingEvents) {
+    Engine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        engine.schedule_after(seconds(i + 1), [&order, i] { order.push_back(i); });
+    engine.reserve(4096);
+    engine.run_all();
+    EXPECT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
 TEST(Periodic, DoubleStartThrows) {
     Engine engine;
     PeriodicTask task(engine, seconds(1), [] {});
