@@ -65,6 +65,16 @@ public:
         records_.push_back(Record{std::move(metric), value, std::move(unit), std::move(params)});
     }
 
+    /// Append a relative-overhead record: how much slower `measured` is than
+    /// `base`, as a percentage (negative = faster). Used for guardrails like
+    /// "instrumentation disabled must cost ~0%" — the driver diffs the
+    /// record across runs like any other metric.
+    void add_overhead_pct(std::string metric, double base, double measured,
+                          std::vector<std::pair<std::string, std::string>> params = {}) {
+        const double pct = base > 0 ? (measured - base) / base * 100.0 : 0.0;
+        add(std::move(metric), pct, "%", std::move(params));
+    }
+
     [[nodiscard]] std::string render() const {
         std::string out = "{\"schema\": \"hc-bench-json/1\", \"bench\": \"" +
                           json_escape(bench_id_) + "\", \"records\": [";

@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "cluster/cluster.hpp"
 #include "core/detector.hpp"
+#include "obs/obs.hpp"
 #include "pbs/server.hpp"
 #include "sim/engine.hpp"
 
@@ -117,11 +118,25 @@ double engine_churn_events_per_sec(std::uint64_t steps) {
 
 struct Testbed {
     sim::Engine engine;
+    // Runs between engine and cluster construction: obs handles latch
+    // enabled-ness when components register, so the hub must be configured
+    // first (declaration order is initialization order).
+    bool obs_init;
     cluster::Cluster cluster;
     pbs::PbsServer server;
 
-    explicit Testbed(int node_count)
-        : cluster(engine,
+    explicit Testbed(int node_count, bool obs_on = false)
+        : obs_init([&] {
+              if (obs_on) {
+                  hc::obs::ObsOptions opts;
+                  opts.metrics = true;
+                  opts.trace = true;
+                  opts.journal = true;
+                  engine.obs().configure(opts);
+              }
+              return obs_on;
+          }()),
+          cluster(engine,
                   [&] {
                       cluster::ClusterConfig cfg;
                       cfg.node_count = node_count;
@@ -155,9 +170,11 @@ struct Testbed {
 };
 
 /// Per-cycle latency (us) with every core busy and a blocked queue — the
-/// Fig 5 "stuck" steady state the daemons poll through for hours.
-double scheduler_cycle_us(int node_count, int reps) {
-    Testbed bed(node_count);
+/// Fig 5 "stuck" steady state the daemons poll through for hours. With
+/// `obs_on` every telemetry channel records; the default leaves the hub
+/// disabled, which must cost nothing (the PR-over-PR guardrail).
+double scheduler_cycle_us(int node_count, int reps, bool obs_on = false) {
+    Testbed bed(node_count, obs_on);
     for (int i = 0; i < node_count; ++i) bed.submit(1, 4, sim::hours(2000));
     for (int i = 0; i < 64; ++i) bed.submit(1, 4, sim::hours(1));
     const double elapsed = time_s([&] {
@@ -210,6 +227,20 @@ int main(int argc, char** argv) {
         const double us = scheduler_cycle_us(nodes, reps);
         std::printf("  %5d nodes: %10.3f us/cycle\n", nodes, us);
         report.add("scheduler_cycle_us", us, "us", {{"nodes", std::to_string(nodes)}});
+    }
+
+    std::printf("\nobs overhead on the scheduler cycle (64 nodes):\n");
+    {
+        const int reps = quick ? 2'000 : 20'000;
+        const double base_us = scheduler_cycle_us(64, reps, /*obs_on=*/false);
+        const double obs_us = scheduler_cycle_us(64, reps, /*obs_on=*/true);
+        std::printf("  obs disabled: %10.3f us/cycle\n", base_us);
+        std::printf("  obs enabled : %10.3f us/cycle  (%+.2f%%)\n", obs_us,
+                    base_us > 0 ? (obs_us - base_us) / base_us * 100.0 : 0.0);
+        report.add("scheduler_cycle_us", base_us, "us", {{"nodes", "64"}, {"obs", "off"}});
+        report.add("scheduler_cycle_us", obs_us, "us", {{"nodes", "64"}, {"obs", "on"}});
+        report.add_overhead_pct("obs_overhead_pct", base_us, obs_us,
+                                {{"path", "scheduler_cycle"}});
     }
 
     std::printf("\ndetector poll cost (16 nodes, 48 queued jobs):\n");

@@ -5,7 +5,19 @@
 namespace hc::cluster {
 
 Network::Network(sim::Engine& engine, std::uint64_t seed)
-    : engine_(engine), rng_(util::Rng(seed).fork("network")) {}
+    : engine_(engine), rng_(util::Rng(seed).fork("network")) {
+    // Channel-traffic stats already live in stats_; export them lazily so
+    // send() stays untouched. (The network must outlive metric snapshots,
+    // which holds for every runner in the repo.)
+    engine_.obs().metrics().add_provider([this](obs::Registry& reg) {
+        reg.gauge("cluster.net.sent").set(static_cast<double>(stats_.sent));
+        reg.gauge("cluster.net.delivered").set(static_cast<double>(stats_.delivered));
+        reg.gauge("cluster.net.dropped_injected")
+            .set(static_cast<double>(stats_.dropped_injected));
+        reg.gauge("cluster.net.dropped_unbound")
+            .set(static_cast<double>(stats_.dropped_unbound));
+    });
+}
 
 util::Status Network::bind(const std::string& host, int port, Handler handler) {
     util::require(static_cast<bool>(handler), "Network::bind: null handler");

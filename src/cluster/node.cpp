@@ -29,6 +29,11 @@ Node::Node(sim::Engine& engine, NodeConfig config, util::Rng rng)
     util::require(config_.np > 0, "Node: np must be positive");
     util::require(!config_.hostname.empty(), "Node: hostname required");
     disk_ = Disk(config_.disk_mb);
+    obs::Hub& hub = engine_.obs();
+    obs_track_ = hub.tracer().track("node/" + short_name());
+    obs_boots_ = hub.metrics().counter("cluster.boots");
+    obs_switches_ = hub.metrics().counter("cluster.os_switches");
+    obs_hangs_ = hub.metrics().counter("cluster.hangs");
 }
 
 std::string Node::short_name() const {
@@ -40,6 +45,12 @@ void Node::enter(PowerState next) {
     engine_.logger().trace("node/" + short_name(),
                            std::string(power_state_name(state_)) + " -> " +
                                power_state_name(next));
+    obs::Journal& journal = engine_.obs().journal();
+    if (journal.enabled())
+        journal.event("node.state")
+            .str("node", short_name())
+            .str("from", power_state_name(state_))
+            .str("to", power_state_name(next));
     state_ = next;
 }
 
@@ -119,6 +130,9 @@ void Node::stage_bootloader() {
         engine_.logger().warn("node/" + short_name(),
                               "nothing bootable (" + d.via + "); hanging at boot prompt");
         ++stats_.hangs;
+        obs_hangs_.inc();
+        engine_.obs().tracer().instant(obs_track_, "hang",
+                                       {"cause", 0, "nothing-bootable"});
         enter(PowerState::kHung);
         return;
     }
@@ -130,6 +144,9 @@ void Node::stage_booting(const BootDecision& d) {
     if (rng_.chance(config_.timing.hang_probability)) {
         engine_.logger().warn("node/" + short_name(), "boot hang (injected fault)");
         ++stats_.hangs;
+        obs_hangs_.inc();
+        engine_.obs().tracer().instant(obs_track_, "hang",
+                                       {"cause", 0, "injected-fault"});
         enter(PowerState::kHung);
         return;
     }
@@ -142,9 +159,16 @@ void Node::stage_booting(const BootDecision& d) {
 void Node::finish_boot(OsType os) {
     os_ = os;
     ++stats_.boots;
+    obs_boots_.inc();
     // An OS switch means this boot brought up a different OS than the last
     // completed boot did. First boot from factory counts as a plain boot.
-    if (was_up_before_ && previous_up_os_ != os) ++stats_.os_switches;
+    if (was_up_before_ && previous_up_os_ != os) {
+        ++stats_.os_switches;
+        obs_switches_.inc();
+    }
+    // The whole downtime window renders as one bar on the node's trace row.
+    engine_.obs().tracer().complete(obs_track_, "boot", went_down_.ms, engine_.now().ms,
+                                    {"os", 0, os_name(os)});
     previous_up_os_ = os;
     was_up_before_ = true;
     stats_.last_boot_duration = engine_.now() - went_down_;

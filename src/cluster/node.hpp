@@ -159,6 +159,12 @@ private:
     bool was_up_before_ = false;   ///< had reached kUp at least once
     OsType previous_up_os_ = OsType::kNone;  ///< OS of the last completed boot
     NodeStats stats_;
+    // Telemetry (inert when the engine's hub is disabled). The trace track
+    // gives each node its own Gantt row; the counters are cluster-wide.
+    obs::TrackId obs_track_{};
+    obs::Counter obs_boots_;
+    obs::Counter obs_switches_;
+    obs::Counter obs_hangs_;
 };
 
 }  // namespace hc::cluster

@@ -46,7 +46,9 @@ WindowsCommunicator::WindowsCommunicator(sim::Engine& engine, cluster::Network& 
       host_(std::move(host)),
       peer_host_(std::move(peer_host)),
       detector_(detector),
-      task_(engine, interval, [this] { tick(); }) {}
+      task_(engine, interval, [this] { tick(); }) {
+    obs_track_ = engine_.obs().tracer().track("winhead/daemon");
+}
 
 void WindowsCommunicator::start(sim::Duration initial_delay) { task_.start(initial_delay); }
 
@@ -54,7 +56,20 @@ void WindowsCommunicator::stop() { task_.stop(); }
 
 void WindowsCommunicator::tick() {
     ++stats_.polls;
+    obs::Tracer::Span poll = engine_.obs().tracer().span(obs_track_, "poll");
     const QueueSnapshot snap = detector_.check();
+    poll.arg("stuck", snap.record.stuck ? 1 : 0);
+    poll.arg("queued", snap.queued);
+    obs::Journal& journal = engine_.obs().journal();
+    if (journal.enabled())
+        journal.event("detector")
+            .str("side", "windows")
+            .flag("stuck", snap.record.stuck)
+            .num("needed_cpus", snap.record.needed_cpus)
+            .str("stuck_job", snap.record.stuck_job_id)
+            .num("queued", snap.queued)
+            .num("running", snap.running)
+            .num("idle_nodes", snap.idle_nodes);
     const std::string payload = encode_wire(snap, extended_);
     engine_.logger().debug("WINHEAD/communicator",
                            "send queue state: " + snap.record.encode());
@@ -72,7 +87,12 @@ LinuxCommunicator::LinuxCommunicator(sim::Engine& engine, cluster::Network& netw
       pbs_detector_(pbs_detector),
       policy_(policy),
       controller_(controller),
-      cores_per_node_(cores_per_node) {}
+      cores_per_node_(cores_per_node) {
+    obs::Hub& hub = engine_.obs();
+    obs_track_ = hub.tracer().track("linhead/daemon");
+    obs_decisions_ = hub.metrics().counter("core.decisions");
+    obs_watchdog_ = hub.metrics().counter("core.watchdog_firings");
+}
 
 LinuxCommunicator::~LinuxCommunicator() { stop(); }
 
@@ -111,6 +131,13 @@ void LinuxCommunicator::arm_watchdog() {
 
 void LinuxCommunicator::on_watchdog() {
     ++watchdog_firings_;
+    obs_watchdog_.inc();
+    obs::Journal& journal = engine_.obs().journal();
+    if (journal.enabled())
+        journal.event("watchdog")
+            .num("timeout_ms", watchdog_timeout_.ms)
+            .flag("was_stale", peer_stale_);
+    engine_.obs().tracer().instant(obs_track_, "watchdog");
     if (!peer_stale_) {
         peer_stale_ = true;
         engine_.logger().warn("LINHEAD/communicator",
@@ -142,6 +169,9 @@ void LinuxCommunicator::on_windows_record(const std::string& payload) {
         ++stats_.decode_failures;
         engine_.logger().warn("LINHEAD/communicator",
                               "undecodable record: " + decoded.error_message());
+        obs::Journal& journal = engine_.obs().journal();
+        if (journal.enabled())
+            journal.event("record.decode_failure").str("error", decoded.error_message());
         return;
     }
     QueueSnapshot windows_snap;
@@ -156,6 +186,7 @@ void LinuxCommunicator::on_windows_record(const std::string& payload) {
 void LinuxCommunicator::decide_and_act(const QueueSnapshot& windows_snap) {
     // Step 3: fetch the local PBS state.
     ++stats_.polls;
+    obs::Tracer::Span decide_span = engine_.obs().tracer().span(obs_track_, "decide");
     SwitchContext ctx;
     ctx.linux_snap = pbs_detector_.check();
     ctx.windows_snap = windows_snap;
@@ -170,7 +201,27 @@ void LinuxCommunicator::decide_and_act(const QueueSnapshot& windows_snap) {
 
     // Step 4: decide.
     ++stats_.decisions_made;
+    obs_decisions_.inc();
     last_decision_ = policy_.decide(ctx);
+    obs::Journal& journal = engine_.obs().journal();
+    if (journal.enabled()) {
+        journal.event("detector")
+            .str("side", "linux")
+            .flag("stuck", ctx.linux_snap.record.stuck)
+            .num("needed_cpus", ctx.linux_snap.record.needed_cpus)
+            .str("stuck_job", ctx.linux_snap.record.stuck_job_id)
+            .num("queued", ctx.linux_snap.queued)
+            .num("running", ctx.linux_snap.running)
+            .num("idle_nodes", ctx.linux_snap.idle_nodes);
+        // The decision is journalled whether or not it acts: the reason
+        // string carries the *why not* (cooldown, no idle donors, ...).
+        journal.event("decision")
+            .flag("act", last_decision_.act())
+            .str("target", os_name(last_decision_.target))
+            .num("nodes", last_decision_.node_count)
+            .str("reason", last_decision_.reason);
+    }
+    decide_span.arg("act", last_decision_.act() ? 1 : 0);
     engine_.logger().debug("LINHEAD/communicator",
                            "decision: " + (last_decision_.act()
                                                ? std::to_string(last_decision_.node_count) +

@@ -84,6 +84,7 @@ private:
     bool extended_ = true;
     sim::PeriodicTask task_;
     CommunicatorStats stats_;
+    obs::TrackId obs_track_{};  ///< "winhead/daemon" trace row
 };
 
 /// LINHEAD-side daemon: receives the Windows state, fetches the PBS state,
@@ -140,6 +141,9 @@ private:
     std::uint64_t watchdog_firings_ = 0;
     CommunicatorStats stats_;
     SwitchDecision last_decision_;
+    obs::TrackId obs_track_{};  ///< "linhead/daemon" trace row
+    obs::Counter obs_decisions_;
+    obs::Counter obs_watchdog_;
 };
 
 }  // namespace hc::core

@@ -29,9 +29,23 @@ Status v1_fat_switch(Node& node, OsType target) {
 
 }  // namespace
 
+void SwitchController::journal_order(sim::Engine& engine, const SwitchDecision& decision,
+                                     std::string_view side, std::string_view job) {
+    obs_orders_.inc();
+    obs::Journal& journal = engine.obs().journal();
+    if (journal.enabled())
+        journal.event("switch.order")
+            .str("side", side)
+            .str("job", job)
+            .str("target", os_name(decision.target))
+            .str("reason", decision.reason);
+}
+
 ControllerV1::ControllerV1(sim::Engine& engine, cluster::Cluster& cluster, pbs::PbsServer& pbs,
                            winhpc::HpcScheduler& winhpc, RebootLog* log)
-    : engine_(engine), cluster_(cluster), pbs_(pbs), winhpc_(winhpc), log_(log) {}
+    : engine_(engine), cluster_(cluster), pbs_(pbs), winhpc_(winhpc), log_(log) {
+    init_obs(engine_);
+}
 
 Status ControllerV1::execute(const SwitchDecision& decision) {
     if (!decision.act()) return Status::ok_status();
@@ -53,10 +67,12 @@ Status ControllerV1::execute(const SwitchDecision& decision) {
                 return Error{"v1 switch qsub failed: " + id.error_message()};
             }
             ++stats_.switch_jobs_pbs;
+            journal_order(engine_, decision, "pbs", id.value());
         } else {
             auto spec = make_winhpc_switch_spec(engine_, cluster_, decision.target, action, log_);
-            (void)winhpc_.submit_job(std::move(spec));
+            const int jid = winhpc_.submit_job(std::move(spec));
             ++stats_.switch_jobs_winhpc;
+            journal_order(engine_, decision, "winhpc", std::to_string(jid));
         }
     }
     return Status::ok_status();
@@ -72,6 +88,7 @@ ControllerV2::ControllerV2(sim::Engine& engine, cluster::Cluster& cluster, pbs::
       flag_(flag),
       log_(log),
       mode_(mode) {
+    init_obs(engine_);
     if (mode_ == Mode::kPerMac) {
         // Fig 12 design: per-MAC pins are one-shot; clear a node's pin once
         // it has booted, so later manual reboots follow the shared default.
@@ -93,6 +110,9 @@ Status ControllerV2::execute(const SwitchDecision& decision) {
         // switch job itself only reboots.
         flag_.set_flag(decision.target);
         ++stats_.flag_sets;
+        obs::Journal& journal = engine_.obs().journal();
+        if (journal.enabled())
+            journal.event("flag.set").str("target", os_name(decision.target));
         action = SwitchAction{};  // nothing to do on the node
     } else {
         // Fig 12: each switch job reports the node the scheduler picked and
@@ -115,10 +135,12 @@ Status ControllerV2::execute(const SwitchDecision& decision) {
                 return Error{"v2 switch qsub failed: " + id.error_message()};
             }
             ++stats_.switch_jobs_pbs;
+            journal_order(engine_, decision, "pbs", id.value());
         } else {
             auto spec = make_winhpc_switch_spec(engine_, cluster_, decision.target, action, log_);
-            (void)winhpc_.submit_job(std::move(spec));
+            const int jid = winhpc_.submit_job(std::move(spec));
             ++stats_.switch_jobs_winhpc;
+            journal_order(engine_, decision, "winhpc", std::to_string(jid));
         }
     }
     return Status::ok_status();

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "boot/flag.hpp"
 #include "cluster/cluster.hpp"
@@ -40,7 +41,18 @@ public:
     [[nodiscard]] const ControllerStats& stats() const { return stats_; }
 
 protected:
+    /// Register shared telemetry handles; concrete controllers call this
+    /// from their constructors once they have the engine.
+    void init_obs(sim::Engine& engine) {
+        obs_orders_ = engine.obs().metrics().counter("core.switch.orders");
+    }
+    /// Journal one switch order (and count it). `job` is the scheduler-side
+    /// id the order became, or an error note on submit failure.
+    void journal_order(sim::Engine& engine, const SwitchDecision& decision,
+                       std::string_view side, std::string_view job);
+
     ControllerStats stats_;
+    obs::Counter obs_orders_;
 };
 
 /// v1: FAT-partition control files, edited per node by the switch job.

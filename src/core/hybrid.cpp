@@ -61,6 +61,13 @@ HybridCluster::HybridCluster(sim::Engine& engine, HybridConfig config)
 
     build_policy_and_controller();
 
+    obs::Hub& hub = engine_.obs();
+    obs_submitted_ = hub.metrics().counter("workload.jobs.submitted");
+    obs_completed_ = hub.metrics().counter("workload.jobs.completed");
+    // Wait times from seconds to half a day; stuck-queue pathologies land in
+    // the top buckets rather than vanishing.
+    obs_wait_s_ = hub.metrics().histogram("workload.wait_s", 0, 43'200, 96);
+
     pbs_detector_ = std::make_unique<PbsDetector>(pbs_);
     win_detector_ = std::make_unique<WinHpcDetector>(winhpc_, config_.cluster.cores_per_node);
     win_comm_ = std::make_unique<WindowsCommunicator>(
@@ -176,6 +183,7 @@ void HybridCluster::settle(sim::Duration limit) {
 
 void HybridCluster::submit_now(const workload::JobSpec& spec) {
     const std::int64_t submit_unix = engine_.unix_now();
+    obs_submitted_.inc();
     if (spec.os == OsType::kLinux) {
         pbs::JobScript script;
         script.resources.nodes = spec.nodes;
@@ -190,6 +198,8 @@ void HybridCluster::submit_now(const workload::JobSpec& spec) {
             outcome.wait_s = job.stime_unix > 0 ? job.stime_unix - submit_unix : 0;
             outcome.turnaround_s = job.etime_unix - submit_unix;
             outcome.ran_s = job.stime_unix > 0 ? job.etime_unix - job.stime_unix : 0;
+            if (outcome.completed) obs_completed_.inc();
+            obs_wait_s_.observe(static_cast<double>(outcome.wait_s));
             metrics_.add(std::move(outcome));
         };
         auto id = pbs_.submit(script, spec.owner, std::move(behavior));
@@ -213,6 +223,8 @@ void HybridCluster::submit_now(const workload::JobSpec& spec) {
             outcome.wait_s = job.start_unix > 0 ? job.start_unix - submit_unix : 0;
             outcome.turnaround_s = job.end_unix - submit_unix;
             outcome.ran_s = job.start_unix > 0 ? job.end_unix - job.start_unix : 0;
+            if (outcome.completed) obs_completed_.inc();
+            obs_wait_s_.observe(static_cast<double>(outcome.wait_s));
             metrics_.add(std::move(outcome));
         };
         (void)winhpc_.submit_job(std::move(hpc));

@@ -125,6 +125,9 @@ private:
     workload::MetricsCollector metrics_;
     std::vector<std::string> pending_initial_pins_;  ///< MACs pinned for first boot
     bool started_ = false;
+    obs::Counter obs_submitted_;       ///< workload.jobs.submitted
+    obs::Counter obs_completed_;       ///< workload.jobs.completed
+    obs::HistogramHandle obs_wait_s_;  ///< workload.wait_s distribution
 };
 
 }  // namespace hc::core

@@ -15,6 +15,8 @@ const char* scenario_kind_name(ScenarioKind k) {
 ScenarioResult run_scenario(const ScenarioConfig& config,
                             const std::vector<workload::JobSpec>& trace) {
     sim::Engine engine;
+    // Hub first, cluster second: handles latch enabled-ness at registration.
+    engine.obs().configure(config.obs);
 
     HybridConfig hc;
     hc.cluster.node_count = config.node_count;
@@ -74,6 +76,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
     result.controller = hybrid.controller().stats();
     result.windows_daemon = hybrid.windows_daemon().stats();
     result.linux_daemon = hybrid.linux_daemon().stats();
+    if (config.obs.metrics) result.metrics = engine.obs().metrics().snapshot();
+    if (config.obs.trace) result.chrome_trace_json = engine.obs().tracer().chrome_json();
+    if (config.obs.journal) result.journal_jsonl = engine.obs().journal().text();
     return result;
 }
 

@@ -36,6 +36,10 @@ struct ScenarioConfig {
     double message_drop_probability = 0.0;
     double boot_hang_probability = 0.0;
     std::uint64_t seed = 42;
+    /// Telemetry channels to record (all off by default — and free). The
+    /// runner configures the engine's hub before building the cluster, so
+    /// every component comes up instrumented.
+    obs::ObsOptions obs;
 };
 
 struct ScenarioResult {
@@ -44,6 +48,11 @@ struct ScenarioResult {
     ControllerStats controller;
     CommunicatorStats windows_daemon;
     CommunicatorStats linux_daemon;
+    /// Populated for the channels enabled in ScenarioConfig::obs; empty/""
+    /// otherwise.
+    obs::MetricsSnapshot metrics;
+    std::string chrome_trace_json;
+    std::string journal_jsonl;
 };
 
 /// Run `trace` under the scenario and summarise. The engine is created

@@ -66,6 +66,13 @@ void run_switch_on_node(sim::Engine& engine, Cluster& cluster, int node_index, O
                                           "switch action failed: " + status.error_message());
                                   }
                               }
+                              obs::Journal& journal = engine.obs().journal();
+                              if (journal.enabled())
+                                  journal.event("switch.exec")
+                                      .str("node", node.short_name())
+                                      .str("job", job_id)
+                                      .str("target", os_name(target))
+                                      .flag("failed", failed);
                               if (log != nullptr)
                                   log->append(RebootLogEntry{engine.unix_now(), job_id,
                                                              node.short_name(), target, failed});

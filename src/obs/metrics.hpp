@@ -1,0 +1,154 @@
+// Metrics registry: named counters, gauges, and histograms with O(1)
+// hot-path updates through cached handles.
+//
+// Components register their instruments once (at construction) and keep the
+// returned handle; the hot path is then a single null check plus an add —
+// no name lookup, no hashing, no allocation. When the registry is disabled
+// (the default), registration hands out *null* handles whose operations are
+// a lone branch-predictable check, so simulation code can stay instrumented
+// at all times without paying for observability it did not ask for.
+//
+// Because enabled-ness is latched into handles at registration time, enable
+// the registry (via obs::Hub::configure) BEFORE constructing the components
+// you want instrumented. The scenario runner does this for you.
+//
+// Names are hierarchical by dots ("pbs.sched.cycles", "core.switch.orders",
+// "cluster.reboots"); the registry treats them as opaque keys and exports
+// snapshots sorted by name so output is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace hc::obs {
+
+class Registry;
+
+/// Monotonic counter handle. Default-constructed (or disabled-registry)
+/// handles are inert no-ops.
+class Counter {
+public:
+    Counter() = default;
+    void inc(std::uint64_t delta = 1) {
+        if (slot_ != nullptr) *slot_ += delta;
+    }
+    [[nodiscard]] std::uint64_t value() const { return slot_ != nullptr ? *slot_ : 0; }
+    [[nodiscard]] bool live() const { return slot_ != nullptr; }
+
+private:
+    friend class Registry;
+    explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+    std::uint64_t* slot_ = nullptr;
+};
+
+/// Point-in-time value handle (queue depth, free CPUs).
+class Gauge {
+public:
+    Gauge() = default;
+    void set(double v) {
+        if (slot_ != nullptr) *slot_ = v;
+    }
+    void add(double delta) {
+        if (slot_ != nullptr) *slot_ += delta;
+    }
+    [[nodiscard]] double value() const { return slot_ != nullptr ? *slot_ : 0; }
+    [[nodiscard]] bool live() const { return slot_ != nullptr; }
+
+private:
+    friend class Registry;
+    explicit Gauge(double* slot) : slot_(slot) {}
+    double* slot_ = nullptr;
+};
+
+/// Distribution handle backed by util::Histogram.
+class HistogramHandle {
+public:
+    HistogramHandle() = default;
+    void observe(double v) {
+        if (hist_ != nullptr) hist_->add(v);
+    }
+    [[nodiscard]] bool live() const { return hist_ != nullptr; }
+
+private:
+    friend class Registry;
+    explicit HistogramHandle(util::Histogram* hist) : hist_(hist) {}
+    util::Histogram* hist_ = nullptr;
+};
+
+/// Point-in-time copy of everything the registry knows, sorted by name.
+struct MetricsSnapshot {
+    struct CounterValue {
+        std::string name;
+        std::uint64_t value = 0;
+    };
+    struct GaugeValue {
+        std::string name;
+        double value = 0;
+    };
+    struct HistogramValue {
+        std::string name;
+        std::size_t count = 0;
+        double mean = 0, min = 0, max = 0, p50 = 0, p95 = 0;
+    };
+
+    std::vector<CounterValue> counters;
+    std::vector<GaugeValue> gauges;
+    std::vector<HistogramValue> histograms;
+
+    [[nodiscard]] bool empty() const {
+        return counters.empty() && gauges.empty() && histograms.empty();
+    }
+
+    /// Deterministic JSON rendering ({"schema":"hc-metrics/1",...}).
+    [[nodiscard]] std::string to_json() const;
+};
+
+class Registry {
+public:
+    Registry() = default;
+
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// Enable before instrumented components register their handles;
+    /// handles created while disabled stay inert for their lifetime.
+    void set_enabled(bool on) { enabled_ = on; }
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Register (or re-find) an instrument. Same name => same slot, so
+    /// every node's "cluster.reboots" handle feeds one shared counter.
+    [[nodiscard]] Counter counter(const std::string& name);
+    [[nodiscard]] Gauge gauge(const std::string& name);
+    [[nodiscard]] HistogramHandle histogram(const std::string& name, double lo, double hi,
+                                            int buckets);
+
+    /// Providers run at snapshot time only — the way to expose state that
+    /// would be redundant (or too hot) to track incrementally, e.g. the
+    /// engine's event counters or a scheduler's queue depth.
+    void add_provider(std::function<void(Registry&)> provider);
+
+    /// Run the providers, then copy out every instrument. Disabled
+    /// registries return an empty snapshot without running providers.
+    [[nodiscard]] MetricsSnapshot snapshot();
+
+private:
+    bool enabled_ = false;
+    // deques: stable addresses under growth, so handles never dangle.
+    std::deque<std::uint64_t> counter_slots_;
+    std::deque<double> gauge_slots_;
+    std::vector<std::unique_ptr<util::Histogram>> histogram_slots_;
+    std::map<std::string, std::uint64_t*> counters_;
+    std::map<std::string, double*> gauges_;
+    std::map<std::string, util::Histogram*> histograms_;
+    std::vector<std::function<void(Registry&)>> providers_;
+    bool in_snapshot_ = false;
+};
+
+}  // namespace hc::obs

@@ -1,0 +1,19 @@
+#include "obs/obs.hpp"
+
+namespace hc::obs {
+
+void Hub::configure(const ObsOptions& opts) {
+    if (opts.metrics) metrics_.set_enabled(true);
+    if (opts.trace) {
+        tracer_.configure(opts.trace_capacity);
+        tracer_.enable_wall_time(opts.wall_time);
+    }
+    if (opts.journal) journal_.set_enabled(true);
+}
+
+void Hub::set_clock(std::function<std::int64_t()> now_ms) {
+    tracer_.set_clock(now_ms);
+    journal_.set_clock(std::move(now_ms));
+}
+
+}  // namespace hc::obs

@@ -1,0 +1,65 @@
+// hc::obs — the cluster-wide telemetry hub.
+//
+// One Hub bundles the three observability channels:
+//
+//   Registry — named counters / gauges / histograms   (what happened, counted)
+//   Tracer   — sim-time spans, Chrome-trace exporter  (when it happened)
+//   Journal  — structured JSONL decision log          (why it happened)
+//
+// The sim::Engine owns a Hub and wires the sim clock into all three, so any
+// component holding the engine reaches telemetry via `engine.obs()`. All
+// channels are disabled by default and cost only branch-predictable checks;
+// configure() turns on the subset a run asked for.
+//
+// Ordering contract: configure the hub BEFORE constructing the components
+// you want instrumented — metric handles latch enabled-ness at registration
+// and tracer tracks are only handed out while recording is on. The scenario
+// runner and dualboot_sim both follow this.
+#pragma once
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hc::obs {
+
+/// Which channels a run wants, chosen up front (CLI flags / ScenarioConfig).
+struct ObsOptions {
+    bool metrics = false;
+    bool trace = false;
+    bool journal = false;
+    std::size_t trace_capacity = 65536;  ///< ring size when trace is on
+    bool wall_time = false;              ///< add wall_us to spans (non-deterministic)
+
+    [[nodiscard]] bool any() const { return metrics || trace || journal; }
+};
+
+class Hub {
+public:
+    Hub() = default;
+
+    Hub(const Hub&) = delete;
+    Hub& operator=(const Hub&) = delete;
+
+    /// Enable the requested channels. Call before constructing instrumented
+    /// components (see ordering contract above).
+    void configure(const ObsOptions& opts);
+
+    /// Route all three channels' timestamps through one sim clock (ms).
+    void set_clock(std::function<std::int64_t()> now_ms);
+
+    [[nodiscard]] Registry& metrics() { return metrics_; }
+    [[nodiscard]] Tracer& tracer() { return tracer_; }
+    [[nodiscard]] Journal& journal() { return journal_; }
+
+    [[nodiscard]] bool any_enabled() const {
+        return metrics_.enabled() || tracer_.enabled() || journal_.enabled();
+    }
+
+private:
+    Registry metrics_;
+    Tracer tracer_;
+    Journal journal_;
+};
+
+}  // namespace hc::obs

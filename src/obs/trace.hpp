@@ -1,0 +1,140 @@
+// Sim-time tracing spans with a Chrome-trace exporter.
+//
+// Spans are stamped with *simulated* time, so a whole scenario renders in
+// chrome://tracing (or https://ui.perfetto.dev) as a Gantt chart of the
+// cluster: each node, head service, and daemon is a "thread" row; a node's
+// reboot is a bar from shutdown to kUp; a daemon's poll cycle is a tick on
+// its row. Because the timestamps come from the deterministic sim clock,
+// two same-seed runs export byte-identical traces (golden-testable).
+//
+// Recording goes into a bounded ring buffer (oldest spans overwritten, the
+// drop count reported) so tracing a week-long scenario cannot OOM. Event
+// *names must be string literals* (or otherwise outlive the tracer): only
+// the pointer is stored on the hot path. Dynamic names (hostnames) belong
+// in track names, which are registered once and stored as std::string.
+//
+// A disabled tracer (the default) hands out inert spans: begin/end are a
+// single branch each. Optionally wall-clock durations can be captured too
+// (self-profiling); that is off by default because it breaks determinism.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hc::obs {
+
+/// A "thread" row in the exported trace. Invalid ids are safely inert.
+struct TrackId {
+    std::int32_t id = -1;
+    [[nodiscard]] bool valid() const { return id >= 0; }
+};
+
+/// One optional key/value attached to a trace event. String values must be
+/// literals (only the pointer is stored).
+struct TraceArg {
+    const char* key = nullptr;
+    std::int64_t num = 0;
+    const char* str = nullptr;  ///< non-null => string-valued arg
+};
+
+class Tracer {
+public:
+    Tracer() = default;
+
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /// Turn recording on with a ring of `capacity` events.
+    void configure(std::size_t capacity);
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Sim clock in milliseconds (wired by the Hub).
+    void set_clock(std::function<std::int64_t()> now_ms) { clock_ = std::move(now_ms); }
+
+    /// Also record wall-clock span durations (arg "wall_us"). Breaks byte
+    /// determinism; for self-profiling only.
+    void enable_wall_time(bool on) { wall_time_ = on; }
+
+    /// Register (or re-find) a named track. Safe to call when disabled
+    /// (returns an invalid id). Registration order fixes the row order.
+    [[nodiscard]] TrackId track(const std::string& name);
+
+    /// RAII span: records a complete event [construction, destruction].
+    class Span {
+    public:
+        Span() = default;
+        Span(Span&& o) noexcept { *this = std::move(o); }
+        Span& operator=(Span&& o) noexcept;
+        Span(const Span&) = delete;
+        Span& operator=(const Span&) = delete;
+        ~Span() { finish(); }
+
+        /// Attach up to two args before the span closes.
+        void arg(const char* key, std::int64_t value);
+        void arg(const char* key, const char* value);
+
+    private:
+        friend class Tracer;
+        Span(Tracer* tracer, TrackId track, const char* name);
+        void finish();
+
+        Tracer* tracer_ = nullptr;
+        TrackId track_{};
+        const char* name_ = nullptr;
+        std::int64_t begin_ms_ = 0;
+        std::chrono::steady_clock::time_point wall_begin_{};
+        TraceArg a_{}, b_{};
+    };
+
+    [[nodiscard]] Span span(TrackId track, const char* name) {
+        if (!enabled_ || !track.valid()) return Span{};
+        return Span{this, track, name};
+    }
+
+    /// Record a complete event with explicit bounds (for spans whose start
+    /// predates the recording site, e.g. a node's whole downtime window).
+    void complete(TrackId track, const char* name, std::int64_t begin_ms,
+                  std::int64_t end_ms, TraceArg a = {}, TraceArg b = {});
+
+    /// Record an instant (zero-duration) event.
+    void instant(TrackId track, const char* name, TraceArg a = {}, TraceArg b = {});
+
+    [[nodiscard]] std::size_t recorded() const { return recorded_; }
+    [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+    /// Export everything as Chrome-trace JSON ({"traceEvents":[...]}).
+    [[nodiscard]] std::string chrome_json() const;
+
+private:
+    enum class Kind : std::uint8_t { kComplete, kInstant };
+
+    struct Record {
+        std::uint64_t seq = 0;
+        std::int64_t begin_ms = 0;
+        std::int64_t end_ms = 0;
+        std::int64_t wall_us = -1;  ///< -1 = not captured
+        const char* name = nullptr;
+        std::int32_t track = -1;
+        Kind kind = Kind::kComplete;
+        TraceArg a{}, b{};
+    };
+
+    void push(Record&& r);
+    [[nodiscard]] std::int64_t now_ms() const { return clock_ ? clock_() : 0; }
+
+    bool enabled_ = false;
+    bool wall_time_ = false;
+    std::function<std::int64_t()> clock_;
+    std::vector<std::string> tracks_;
+    std::vector<Record> ring_;
+    std::size_t capacity_ = 0;
+    std::size_t next_ = 0;       ///< ring write cursor
+    std::size_t recorded_ = 0;   ///< events currently held
+    std::size_t dropped_ = 0;    ///< events overwritten
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hc::obs

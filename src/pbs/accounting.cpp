@@ -32,6 +32,22 @@ std::string accounting_timestamp(std::int64_t unix_time) {
     return buf;
 }
 
+// User-supplied values (jobname, user) can contain the record's own framing
+// characters: ' ' splits key=value tokens, ';' splits record fields. Percent-
+// escape them on write (same scheme as the workload trace format) so the
+// writer->parser round trip is lossless for any job name.
+std::string escape_value(const std::string& s) {
+    std::string out = util::replace_all(s, "%", "%25");
+    out = util::replace_all(out, " ", "%20");
+    return util::replace_all(out, ";", "%3b");
+}
+
+std::string unescape_value(const std::string& s) {
+    std::string out = util::replace_all(s, "%3b", ";");
+    out = util::replace_all(out, "%20", " ");
+    return util::replace_all(out, "%25", "%");
+}
+
 }  // namespace
 
 const std::string* AccountingRecord::find(const std::string& key) const {
@@ -50,7 +66,8 @@ std::string AccountingLog::format_record(PbsServer::JobEvent event, const Job& j
     line += ';';
 
     const std::string user = job.owner.substr(0, job.owner.find('@'));
-    line += "user=" + user + " group=users jobname=" + job.name + " queue=" + job.queue;
+    line += "user=" + escape_value(user) + " group=users jobname=" + escape_value(job.name) +
+            " queue=" + escape_value(job.queue);
     line += " ctime=" + std::to_string(job.qtime_unix) +
             " qtime=" + std::to_string(job.qtime_unix);
     switch (event) {
@@ -121,7 +138,10 @@ Result<std::vector<AccountingRecord>> parse_accounting_log(const std::string& te
             const auto eq = token.find('=');
             if (eq == std::string::npos)
                 return Error{"bad key=value token: " + token, line_no};
-            rec.fields.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+            // Values are unescaped unconditionally: machine-generated fields
+            // (numbers, host lists) contain no '%' so this is a no-op there.
+            rec.fields.emplace_back(token.substr(0, eq),
+                                    unescape_value(token.substr(eq + 1)));
         }
         records.push_back(std::move(rec));
     }

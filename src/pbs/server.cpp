@@ -42,6 +42,17 @@ bool NodeRecord::has_properties(const std::vector<std::string>& required) const 
 PbsServer::PbsServer(sim::Engine& engine, PbsServerConfig config)
     : engine_(engine), config_(std::move(config)), next_seq_(config_.first_job_seq) {
     util::require(!config_.server_name.empty(), "PbsServer: server_name required");
+    obs::Hub& hub = engine_.obs();
+    obs_cycles_ = hub.metrics().counter("pbs.sched.cycles");
+    obs_track_ = hub.tracer().track("pbs/sched");
+    // Queue-state gauges are computed at snapshot time only, keeping the
+    // scheduler's hot path free of bookkeeping.
+    hub.metrics().add_provider([this](obs::Registry& reg) {
+        reg.gauge("pbs.queue.depth").set(static_cast<double>(queue_order_.size()));
+        reg.gauge("pbs.free_cpus").set(static_cast<double>(free_cpu_agg_));
+        reg.gauge("pbs.jobs.started").set(static_cast<double>(stats_.started));
+        reg.gauge("pbs.jobs.completed").set(static_cast<double>(stats_.completed_normal));
+    });
 }
 
 void PbsServer::attach_node(Node& node) {
@@ -312,9 +323,13 @@ void PbsServer::schedule_cycle() {
         return;
     }
     in_cycle_ = true;
+    // One span covers the whole pass (including re-runs); inert when tracing
+    // is off — this is the bench_p1_hotpath path, keep it lean.
+    obs::Tracer::Span cycle_span = engine_.obs().tracer().span(obs_track_, "cycle");
     do {
         cycle_again_ = false;
         ++stats_.scheduler_cycles;
+        obs_cycles_.inc();
         if (consistency_checks_) verify_incremental_state();
         // Walk the queue head-first; with strict FIFO a blocked head stops
         // the pass (this is what makes a queue "stuck" in the Fig 5 sense).

@@ -225,6 +225,8 @@ private:
     bool in_cycle_ = false;
     bool cycle_again_ = false;
     ServerStats stats_;
+    obs::Counter obs_cycles_;   ///< pbs.sched.cycles (inert when obs is off)
+    obs::TrackId obs_track_{};  ///< "pbs/sched" trace row
 
     std::uint64_t version_ = 0;     ///< monotonic mutation counter
     int total_cpus_ = 0;

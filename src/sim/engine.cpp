@@ -40,6 +40,16 @@ std::string to_string(Duration d) {
 Engine::Engine(std::int64_t unix_epoch)
     : epoch_(unix_epoch >= 0 ? unix_epoch : util::default_sim_epoch()) {
     logger_.set_clock([this] { return now_.whole_seconds(); });
+    obs_.set_clock([this] { return now_.ms; });
+    // Calendar stats are exported at snapshot time only — the dispatch loop
+    // stays untouched (bench_p1_hotpath guards this).
+    obs_.metrics().add_provider([this](obs::Registry& reg) {
+        reg.gauge("sim.events.scheduled").set(static_cast<double>(stats_.scheduled));
+        reg.gauge("sim.events.dispatched").set(static_cast<double>(stats_.dispatched));
+        reg.gauge("sim.events.cancelled").set(static_cast<double>(stats_.cancelled));
+        reg.gauge("sim.events.pending").set(static_cast<double>(live_count_));
+        reg.gauge("sim.now_ms").set(static_cast<double>(now_.ms));
+    });
     reserve(64);
 }
 

@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/time.hpp"
 #include "util/inline_function.hpp"
 #include "util/log.hpp"
@@ -93,6 +94,11 @@ public:
     /// Shared logger; components attach it at construction.
     [[nodiscard]] util::Logger& logger() { return logger_; }
 
+    /// Shared telemetry hub (metrics / tracing / journal), stamped with sim
+    /// time. Disabled by default; configure it before constructing the
+    /// components you want instrumented (see obs/obs.hpp).
+    [[nodiscard]] obs::Hub& obs() { return obs_; }
+
 private:
     /// Heap entries are 24-byte PODs — the callback lives in the slot table —
     /// so sifting the calendar copies plain words, never callables. The heap
@@ -142,6 +148,7 @@ private:
     std::size_t live_count_ = 0;         ///< heap entries that are not tombstones
     EngineStats stats_;
     util::Logger logger_;
+    obs::Hub obs_;
 };
 
 /// A repeating task: reschedules itself every `interval` until stopped.

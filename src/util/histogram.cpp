@@ -16,7 +16,7 @@ Histogram::Histogram(double lo, double hi, int buckets) : lo_(lo), hi_(hi) {
 void Histogram::add(double value) {
     const double span = hi_ - lo_;
     double position = (value - lo_) / span * static_cast<double>(buckets_.size());
-    if (position < 0) position = 0;
+    if (!(position >= 0)) position = 0;  // also catches NaN before the cast
     if (position >= static_cast<double>(buckets_.size()))
         position = static_cast<double>(buckets_.size()) - 1;
     ++buckets_[static_cast<std::size_t>(position)];
@@ -37,7 +37,10 @@ double Histogram::min() const { return min_; }
 double Histogram::max() const { return max_; }
 
 double Histogram::percentile(double p) const {
-    require(p >= 0.0 && p <= 1.0, "Histogram::percentile: p outside [0,1]");
+    // Clamp rather than abort: out-of-range p snaps to the nearest bound
+    // (and NaN to 0), so no rank outside the sample array is ever computed.
+    if (!(p >= 0.0)) p = 0.0;
+    if (p > 1.0) p = 1.0;
     if (samples_.empty()) return 0;
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());

@@ -17,12 +17,15 @@ public:
     void add(double value);
 
     [[nodiscard]] std::size_t count() const { return count_; }
+    /// Empty histograms report 0 for mean/min/max (and percentile): callers
+    /// snapshotting before any sample see zeros, never garbage.
     [[nodiscard]] double mean() const;
     [[nodiscard]] double min() const;
     [[nodiscard]] double max() const;
 
     /// Linear-interpolated percentile from the raw samples (kept, not
-    /// bucket-approximated). p in [0, 1].
+    /// bucket-approximated). p is clamped into [0, 1] — p <= 0 gives the
+    /// minimum, p >= 1 the maximum, NaN the minimum. Returns 0 when empty.
     [[nodiscard]] double percentile(double p) const;
 
     /// One row per bucket: "[ lo,  hi)  ########  12".

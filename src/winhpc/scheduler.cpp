@@ -54,7 +54,17 @@ HpcNodeState HpcNodeRecord::state() const {
 }
 
 HpcScheduler::HpcScheduler(sim::Engine& engine, HpcSchedulerConfig config)
-    : engine_(engine), config_(std::move(config)) {}
+    : engine_(engine), config_(std::move(config)) {
+    obs::Hub& hub = engine_.obs();
+    obs_cycles_ = hub.metrics().counter("winhpc.sched.cycles");
+    obs_track_ = hub.tracer().track("winhpc/sched");
+    hub.metrics().add_provider([this](obs::Registry& reg) {
+        reg.gauge("winhpc.queue.depth").set(static_cast<double>(queue_order_.size()));
+        reg.gauge("winhpc.free_cores").set(static_cast<double>(free_cores()));
+        reg.gauge("winhpc.jobs.started").set(static_cast<double>(stats_.started));
+        reg.gauge("winhpc.jobs.finished").set(static_cast<double>(stats_.finished));
+    });
+}
 
 void HpcScheduler::attach_node(Node& node) {
     util::require(record_for(node) == nullptr, "HpcScheduler::attach_node: already attached");
@@ -222,8 +232,10 @@ void HpcScheduler::schedule_cycle() {
         return;
     }
     in_cycle_ = true;
+    obs::Tracer::Span cycle_span = engine_.obs().tracer().span(obs_track_, "cycle");
     do {
         cycle_again_ = false;
+        obs_cycles_.inc();
         for (auto it = queue_order_.begin(); it != queue_order_.end();) {
             HpcJob* job = nullptr;
             if (auto jit = jobs_.find(*it); jit != jobs_.end()) job = jit->second.get();

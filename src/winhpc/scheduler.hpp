@@ -207,6 +207,8 @@ private:
     bool in_cycle_ = false;
     bool cycle_again_ = false;
     HpcStats stats_;
+    obs::Counter obs_cycles_;   ///< winhpc.sched.cycles (inert when obs is off)
+    obs::TrackId obs_track_{};  ///< "winhpc/sched" trace row
 };
 
 }  // namespace hc::winhpc

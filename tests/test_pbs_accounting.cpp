@@ -4,6 +4,7 @@
 
 #include "cluster/cluster.hpp"
 #include "pbs/accounting.hpp"
+#include "util/rng.hpp"
 #include "util/time_format.hpp"
 
 namespace hc::pbs {
@@ -155,6 +156,96 @@ TEST_F(AccountingFixture, LineCountTracksEvents) {
     submit(1, 1, sim::seconds(5));
     engine.run_all();
     EXPECT_EQ(log.line_count(), 3u);  // Q, S, E
+}
+
+TEST_F(AccountingFixture, JobNamesWithFramingCharactersRoundTrip) {
+    // The record format's own framing characters must survive the
+    // writer -> parser trip inside values.
+    const std::string awkward[] = {
+        "my job",            // token separator
+        "a;b;c",             // record separator
+        "50% done",          // the escape character itself
+        "%20already%3b",     // text that looks pre-escaped
+        "x=y",               // '=' inside a value
+        " lead-and-trail ",  // boundary whitespace
+    };
+    for (const auto& name : awkward) {
+        JobScript script;
+        script.resources.nodes = 1;
+        script.resources.ppn = 1;
+        script.name = name;
+        JobBehavior behavior;
+        behavior.run_time = sim::seconds(30);
+        ASSERT_TRUE(server.submit(script, "sliang", std::move(behavior)).ok());
+    }
+    engine.run_all();
+    const auto records = parse_accounting_log(log.text());
+    ASSERT_TRUE(records.ok()) << records.error_message();
+    std::vector<std::string> names;
+    for (const auto& rec : records.value())
+        if (rec.type == 'Q') names.push_back(*rec.find("jobname"));
+    ASSERT_EQ(names.size(), std::size(awkward));
+    for (std::size_t i = 0; i < names.size(); ++i) EXPECT_EQ(names[i], awkward[i]);
+}
+
+TEST_F(AccountingFixture, RandomizedLifecyclesRoundTripAndSummarise) {
+    // Property test: random job mixes (sizes, runtimes, odd names, deletes,
+    // node-loss aborts/requeues) always produce a log that parses back
+    // losslessly and whose summary matches the server's own counters.
+    util::Rng rng(20120924);  // CLUSTER 2012 — any fixed seed works
+    const std::string alphabet = "abcXYZ019 %;=_.-";
+    std::vector<std::pair<std::string, std::string>> submitted;  // id -> name
+    std::vector<std::string> deletable;
+    for (int i = 0; i < 40; ++i) {
+        JobScript script;
+        script.resources.nodes = 1 + rng.uniform_int(0, 2);
+        script.resources.ppn = 1 + rng.uniform_int(0, 3);
+        script.rerunnable = rng.chance(0.5);
+        std::string name;
+        const int len = 1 + rng.uniform_int(0, 11);
+        for (int c = 0; c < len; ++c)
+            name += alphabet[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<int>(alphabet.size()) - 1))];
+        script.name = name;
+        JobBehavior behavior;
+        behavior.run_time = sim::seconds(30 + rng.uniform_int(0, 1800));
+        auto id = server.submit(script, "sliang", std::move(behavior));
+        ASSERT_TRUE(id.ok());
+        submitted.emplace_back(id.value(), name);
+        if (rng.chance(0.2)) deletable.push_back(id.value());
+        if (rng.chance(0.3)) engine.run_for(sim::minutes(rng.uniform_int(1, 10)));
+        if (rng.chance(0.1)) {
+            // Knock a busy node over: running jobs there abort or requeue.
+            cluster::Node& victim = cluster.node(rng.uniform_int(0, 3));
+            if (victim.is_up()) victim.reboot();
+        }
+    }
+    for (const auto& id : deletable) (void)server.qdel(id);
+    engine.run_all();
+
+    const auto records = parse_accounting_log(log.text());
+    ASSERT_TRUE(records.ok()) << records.error_message();
+    ASSERT_EQ(records.value().size(), log.line_count());
+
+    // Every Q record's jobname survives the trip verbatim.
+    std::size_t q_seen = 0;
+    for (const auto& rec : records.value()) {
+        if (rec.type != 'Q') continue;
+        ASSERT_LT(q_seen, submitted.size());
+        EXPECT_EQ(rec.job_id, submitted[q_seen].first);
+        ASSERT_NE(rec.find("jobname"), nullptr);
+        EXPECT_EQ(*rec.find("jobname"), submitted[q_seen].second);
+        ++q_seen;
+    }
+    EXPECT_EQ(q_seen, submitted.size());
+
+    const AccountingSummary summary = summarise_accounting(records.value());
+    EXPECT_EQ(summary.queued, server.stats().submitted);
+    EXPECT_EQ(summary.started, server.stats().started);
+    EXPECT_EQ(summary.ended, server.stats().completed_normal);
+    EXPECT_EQ(summary.deleted, server.stats().deleted);
+    EXPECT_EQ(summary.aborted, server.stats().aborted_node_failure);
+    EXPECT_EQ(summary.requeued, server.stats().requeued);
 }
 
 }  // namespace

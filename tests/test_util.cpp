@@ -1,6 +1,8 @@
 // Unit tests for hc_util: strings, Result, time formatting, RNG, tables.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/errors.hpp"
 #include "util/histogram.hpp"
 #include "util/log.hpp"
@@ -298,8 +300,8 @@ TEST(Histogram, Validation) {
     EXPECT_THROW(Histogram(5, 5, 3), PreconditionError);
     EXPECT_THROW(Histogram(0, 10, 0), PreconditionError);
     Histogram h(0, 1, 1);
-    EXPECT_THROW((void)h.percentile(1.5), PreconditionError);
-    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);  // empty is safe
+    EXPECT_DOUBLE_EQ(h.percentile(1.5), 0.0);  // out-of-range p clamps, empty is safe
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
 }
 
 // ---------- logging ----------
@@ -361,6 +363,50 @@ TEST(Table, MarkdownRendering) {
     const std::string md = t.render_markdown();
     EXPECT_NE(md.find("| x | y |"), std::string::npos);
     EXPECT_NE(md.find("|---|---|"), std::string::npos);
+}
+
+// ---------- histogram edge cases ----------
+
+TEST(Histogram, EmptyHistogramReportsZeros) {
+    Histogram h(0, 100, 10);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+    EXPECT_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeP) {
+    Histogram h(0, 100, 10);
+    h.add(10);
+    h.add(20);
+    h.add(30);
+    EXPECT_EQ(h.percentile(-0.5), 10.0);  // below 0 -> min
+    EXPECT_EQ(h.percentile(2.0), 30.0);   // above 1 -> max
+    EXPECT_EQ(h.percentile(std::nan("")), 10.0);
+    EXPECT_EQ(h.percentile(0.5), 20.0);   // sane p still interpolates
+}
+
+TEST(Histogram, OutOfRangeSamplesClampToEdgeBuckets) {
+    Histogram h(0, 10, 5);
+    h.add(-1000);  // below lo
+    h.add(1000);   // above hi
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.min(), -1000.0);
+    EXPECT_EQ(h.max(), 1000.0);
+    const std::string rendered = h.render();
+    EXPECT_NE(rendered.find(" 1\n"), std::string::npos);  // one per edge bucket
+}
+
+TEST(Histogram, SingleSamplePercentiles) {
+    Histogram h(0, 10, 5);
+    h.add(7);
+    EXPECT_EQ(h.percentile(0.0), 7.0);
+    EXPECT_EQ(h.percentile(0.5), 7.0);
+    EXPECT_EQ(h.percentile(1.0), 7.0);
+    EXPECT_EQ(h.mean(), 7.0);
 }
 
 }  // namespace

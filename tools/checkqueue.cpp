@@ -2,17 +2,20 @@
 // /dualboot/checkqueue.pl (§III.B.4, Fig 6).
 //
 // Reads `qstat -f` output from a file (or stdin) and prints the detector's
-// wire record plus the Fig 6 debug block. Exit status: 0 = other/running,
+// wire record plus the Fig 6 debug block — or, with --json, a structured
+// object for scripting. Exit status either way: 0 = other/running,
 // 2 = queue stuck (so shell scripts can branch on it).
 //
-//   usage: checkqueue [qstat_f_output.txt] [pbsnodes_output.txt]
+//   usage: checkqueue [--json] [qstat_f_output.txt] [pbsnodes_output.txt]
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "core/detector.hpp"
+#include "obs/json.hpp"
 #include "util/time_format.hpp"
 
 namespace {
@@ -35,19 +38,39 @@ std::string read_file_or_die(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    bool json = false;
+    int arg = 1;
+    if (arg < argc && std::strcmp(argv[arg], "--json") == 0) {
+        json = true;
+        ++arg;
+    }
     std::string qstat_text;
     std::string pbsnodes_text;
-    if (argc >= 2) {
-        qstat_text = read_file_or_die(argv[1]);
+    if (arg < argc) {
+        qstat_text = read_file_or_die(argv[arg++]);
     } else {
         qstat_text = read_all(std::cin);
     }
-    if (argc >= 3) pbsnodes_text = read_file_or_die(argv[2]);
+    if (arg < argc) pbsnodes_text = read_file_or_die(argv[arg]);
 
     hc::core::PbsDetector detector(
         [&qstat_text] { return qstat_text; }, [&pbsnodes_text] { return pbsnodes_text; },
         [] { return hc::util::default_sim_epoch(); });
     const hc::core::QueueSnapshot snap = detector.check();
-    std::fputs(snap.debug_text.c_str(), stdout);
+    if (json) {
+        using hc::obs::json_quote;
+        std::string out = "{\"schema\": \"hc-checkqueue/1\"";
+        out += ", \"stuck\": " + std::string(snap.record.stuck ? "true" : "false");
+        out += ", \"needed_cpus\": " + std::to_string(snap.record.needed_cpus);
+        out += ", \"stuck_job\": " + json_quote(snap.record.stuck_job_id);
+        out += ", \"running\": " + std::to_string(snap.running);
+        out += ", \"queued\": " + std::to_string(snap.queued);
+        out += ", \"idle_nodes\": " + std::to_string(snap.idle_nodes);
+        out += ", \"wire\": " + json_quote(snap.record.encode());
+        out += "}\n";
+        std::fputs(out.c_str(), stdout);
+    } else {
+        std::fputs(snap.debug_text.c_str(), stdout);
+    }
     return snap.record.stuck ? 2 : 0;
 }

@@ -91,9 +91,31 @@ core::PolicyKind parse_policy(const std::string& name) {
     std::exit(1);
 }
 
+void write_file_or_die(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "dualboot-sim: cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    out << content;
+}
+
 int cmd_run(const std::map<std::string, std::string>& flags,
-            const std::vector<workload::JobSpec>& trace) {
+            const std::vector<workload::JobSpec>& trace,
+            bool trace_flag_is_input = false) {
     core::ScenarioConfig cfg;
+    // Telemetry outputs. Under `run` the --trace flag names the input
+    // workload, so the Chrome-trace output is --trace-out there; under
+    // case-study plain --trace works too.
+    const std::string trace_out = flag_or(flags, "trace-out",
+                                          trace_flag_is_input
+                                              ? std::string()
+                                              : flag_or(flags, "trace", std::string()));
+    const std::string metrics_out = flag_or(flags, "metrics", std::string());
+    const std::string journal_out = flag_or(flags, "journal", std::string());
+    cfg.obs.trace = !trace_out.empty();
+    cfg.obs.metrics = !metrics_out.empty();
+    cfg.obs.journal = !journal_out.empty();
     cfg.kind = parse_scenario(flag_or(flags, "scenario", std::string("hybrid")));
     cfg.policy = parse_policy(flag_or(flags, "policy", std::string("fcfs")));
     cfg.node_count = static_cast<int>(flag_or(flags, "nodes", 16.0));
@@ -123,6 +145,18 @@ int cmd_run(const std::map<std::string, std::string>& flags,
     std::printf("switching : %llu OS switches, %llu switch orders\n",
                 static_cast<unsigned long long>(s.os_switches),
                 static_cast<unsigned long long>(result.linux_daemon.switches_ordered));
+    if (!trace_out.empty()) {
+        write_file_or_die(trace_out, result.chrome_trace_json);
+        std::printf("trace     : %s (chrome://tracing)\n", trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+        write_file_or_die(metrics_out, result.metrics.to_json());
+        std::printf("metrics   : %s\n", metrics_out.c_str());
+    }
+    if (!journal_out.empty()) {
+        write_file_or_die(journal_out, result.journal_jsonl);
+        std::printf("journal   : %s\n", journal_out.c_str());
+    }
     return 0;
 }
 
@@ -135,7 +169,9 @@ int main(int argc, char** argv) {
                      "       %s run --trace FILE [--scenario hybrid|static|mono|oracle]\n"
                      "              [--policy P --nodes N --linux-nodes K --hours H\n"
                      "               --poll-minutes M --version v1|v2 --seed S]\n"
-                     "       %s case-study [run flags]\n",
+                     "              [--trace-out T.json --metrics M.json --journal J.jsonl]\n"
+                     "       %s case-study [run flags; --trace T.json writes the "
+                     "chrome trace]\n",
                      argv[0], argv[0], argv[0]);
         return 1;
     }
@@ -167,7 +203,7 @@ int main(int argc, char** argv) {
                          trace.error_message().c_str());
             return 1;
         }
-        return cmd_run(flags, trace.value());
+        return cmd_run(flags, trace.value(), /*trace_flag_is_input=*/true);
     }
 
     std::fprintf(stderr, "dualboot-sim: unknown command %s\n", command.c_str());
