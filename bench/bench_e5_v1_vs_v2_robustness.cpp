@@ -2,12 +2,20 @@
 // switched by any reboot action, including soft reboot and physically power
 // reset. This is an improvement to the initial system."
 //
-// Three fault campaigns on both middleware versions:
+// All fault campaigns are driven through hc::fault plans (the same machinery
+// the fuzzer and `dualboot_sim --faults` use), so each row is replayable
+// from a JSON plan:
 //   (a) random hard power cycles during normal hybrid operation,
 //   (b) Windows reimaging (the MBR-clobber scenario),
-//   (c) lossy head-to-head link.
+//   (c) lossy head-to-head link (plan probabilities.message_drop),
+//   (f) torn boot-control writes + recovery: v1's per-node controlmenu.lst
+//       wedges for good, v2's shared PXE flag is repaired by the sweeper.
 // Also reproduces the PXEGRUB-0.97 dead end: new NICs fall through to local
 // boot, which is why the authors moved to GRUB4DOS.
+//
+// With `--json <path>` the fault-campaign rows are emitted as
+// "hc-bench-json/1" records (survival_rate / mttr_s / recoveries,
+// parameterised by campaign + version) for run-over-run diffing.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -15,6 +23,7 @@
 #include "boot/pxe.hpp"
 #include "core/hybrid.hpp"
 #include "deploy/reimage.hpp"
+#include "fault/plan.hpp"
 
 using namespace hc;
 
@@ -29,23 +38,30 @@ core::HybridConfig base(deploy::MiddlewareVersion version, std::uint64_t seed) {
     return cfg;
 }
 
-/// (a) Power-cycle campaign: does every node come back to a schedulable OS?
+int count_up(core::HybridCluster& hybrid) {
+    int up = 0;
+    for (auto* node : hybrid.cluster().nodes())
+        if (node->is_up()) ++up;
+    return up;
+}
+
+/// (a) Power-cycle campaign: a plan of 12 surprise power resets at 7-minute
+/// intervals, targets drawn from the injector's seeded stream. Does every
+/// node come back to a schedulable OS?
 int power_cycle_campaign(deploy::MiddlewareVersion version, std::uint64_t seed) {
     sim::Engine engine;
-    core::HybridCluster hybrid(engine, base(version, seed));
-    hybrid.start();
-    hybrid.settle();
-    util::Rng rng(seed);
+    auto cfg = base(version, seed);
+    cfg.fault_plan.seed = seed;
     for (int i = 0; i < 12; ++i) {
-        engine.run_for(sim::minutes(7));
-        auto& node = hybrid.cluster().node(static_cast<int>(rng.uniform_int(0, 15)));
-        node.hard_power_cycle();
+        fault::FaultEvent ev;
+        ev.at = sim::minutes(10 + 7 * i);
+        ev.kind = fault::FaultKind::kPowerCycle;
+        cfg.fault_plan.events.push_back(ev);
     }
+    core::HybridCluster hybrid(engine, cfg);
+    hybrid.start();
     engine.run_until(sim::TimePoint{} + sim::hours(6));
-    int recovered = 0;
-    for (auto* node : hybrid.cluster().nodes())
-        if (node->is_up()) ++recovered;
-    return recovered;
+    return count_up(hybrid);
 }
 
 /// (b) Reimage campaign: reimage Windows on 4 nodes mid-operation; how many
@@ -67,11 +83,13 @@ int reimage_campaign(deploy::MiddlewareVersion version, std::uint64_t seed) {
     return linux_booted;
 }
 
-/// (c) Lossy-link campaign: fraction of a Windows-demand burst served.
+/// (c) Lossy-link campaign: fraction of a Windows-demand burst served. The
+/// drop rate rides in the fault plan's probabilistic rates.
 double lossy_link_campaign(deploy::MiddlewareVersion version, double drop, std::uint64_t seed) {
     sim::Engine engine;
     auto cfg = base(version, seed);
-    cfg.message_drop_probability = drop;
+    cfg.fault_plan.seed = seed;
+    cfg.fault_plan.probabilities.message_drop = drop;
     core::HybridCluster hybrid(engine, cfg);
     hybrid.start();
     hybrid.settle();
@@ -87,18 +105,68 @@ double lossy_link_campaign(deploy::MiddlewareVersion version, double drop, std::
     return static_cast<double>(hybrid.winhpc().stats().finished) / 3.0;
 }
 
+/// (f) Torn-control-write campaign — the §III.B fragility head-to-head. Six
+/// nodes each take a torn boot-control write followed by a power reset
+/// through the corrupt menu. Recovery (order watchdog + hung-node sweeper)
+/// is on for both versions; only v2 gives the sweeper something it can
+/// repair (the shared PXE flag menu). v1's per-node controlmenu.lst has no
+/// rewriter, so those nodes stay wedged — the admin walk the paper
+/// describes.
+struct FlagWriteOutcome {
+    int nodes_up = 0;
+    int node_count = 16;
+    fault::SupervisorStats recovery;
+    std::uint64_t corruptions = 0;
+};
+
+FlagWriteOutcome flag_write_campaign(deploy::MiddlewareVersion version, std::uint64_t seed) {
+    sim::Engine engine;
+    auto cfg = base(version, seed);
+    cfg.fault_plan.seed = seed;
+    for (int i = 0; i < 6; ++i) {
+        fault::FaultEvent tear;
+        tear.at = sim::minutes(30 + 20 * i);
+        tear.kind = fault::FaultKind::kControlTornWrite;
+        tear.node = i;  // v1: node i's FAT menu; v2: the shared flag menu
+        cfg.fault_plan.events.push_back(tear);
+        fault::FaultEvent reset;
+        reset.at = tear.at + sim::minutes(1);
+        reset.kind = fault::FaultKind::kPowerCycle;
+        reset.node = i;
+        cfg.fault_plan.events.push_back(reset);
+    }
+    cfg.recovery.enabled = true;
+    core::HybridCluster hybrid(engine, cfg);
+    hybrid.start();
+    engine.run_until(sim::TimePoint{} + sim::hours(8));
+    FlagWriteOutcome out;
+    out.nodes_up = count_up(hybrid);
+    out.node_count = cfg.cluster.node_count;
+    if (hybrid.recovery() != nullptr) out.recovery = hybrid.recovery()->stats();
+    if (hybrid.fault_injector() != nullptr)
+        out.corruptions = hybrid.fault_injector()->stats().control_corruptions;
+    return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     bench::print_header("E5 (§IV.A claims)", "v1 vs v2 robustness under faults",
                         "v2 survives any reboot path; v1 depends on local MBR+FAT state");
+    bench::JsonReport report("E5");
 
     std::printf("(a) 12 random hard power cycles over 6h — nodes back up afterwards:\n");
-    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const int v1 = power_cycle_campaign(deploy::MiddlewareVersion::kV1, seed);
+        const int v2 = power_cycle_campaign(deploy::MiddlewareVersion::kV2, seed);
         std::printf("  seed %llu: v1 %d/16, v2 %d/16\n",
-                    static_cast<unsigned long long>(seed),
-                    power_cycle_campaign(deploy::MiddlewareVersion::kV1, seed),
-                    power_cycle_campaign(deploy::MiddlewareVersion::kV2, seed));
+                    static_cast<unsigned long long>(seed), v1, v2);
+        const std::string seed_str = std::to_string(seed);
+        report.add("survival_rate", v1 / 16.0, "fraction",
+                   {{"campaign", "power_cycle"}, {"version", "v1"}, {"seed", seed_str}});
+        report.add("survival_rate", v2 / 16.0, "fraction",
+                   {{"campaign", "power_cycle"}, {"version", "v2"}, {"seed", seed_str}});
+    }
 
     std::printf(
         "\n(b) Windows reimage on 4 nodes, then power cycle — nodes that can still\n"
@@ -111,23 +179,62 @@ int main() {
 
     std::printf("\n(c) lossy WINHEAD->LINHEAD link — Windows burst served within 8h:\n");
     for (double drop : {0.0, 0.3, 0.6}) {
+        const double v1 = lossy_link_campaign(deploy::MiddlewareVersion::kV1, drop, 5);
+        const double v2 = lossy_link_campaign(deploy::MiddlewareVersion::kV2, drop, 5);
         std::printf("  drop %.0f%%: v1 %3.0f%%, v2 %3.0f%% (fixed-cycle retransmission heals)\n",
-                    drop * 100, lossy_link_campaign(deploy::MiddlewareVersion::kV1, drop, 5) * 100,
-                    lossy_link_campaign(deploy::MiddlewareVersion::kV2, drop, 5) * 100);
+                    drop * 100, v1 * 100, v2 * 100);
     }
 
-    // (e) WINHEAD crash: with the paper's design the control loop freezes;
-    // with our watchdog hardening the Linux daemon stays live.
+    std::printf(
+        "\n(f) 6 torn boot-control writes + power resets, recovery on — v1 tears its\n"
+        "    per-node controlmenu.lst (nothing rewrites it), v2 tears the shared PXE\n"
+        "    flag (sweeper repairs it before re-cycling):\n");
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const auto v1 = flag_write_campaign(deploy::MiddlewareVersion::kV1, seed);
+        const auto v2 = flag_write_campaign(deploy::MiddlewareVersion::kV2, seed);
+        std::printf(
+            "  seed %llu: v1 %2d/%d up, %llu repairs, mttr %5.0fs | "
+            "v2 %2d/%d up, %llu repairs, mttr %5.0fs\n",
+            static_cast<unsigned long long>(seed), v1.nodes_up, v1.node_count,
+            static_cast<unsigned long long>(v1.recovery.flag_repairs),
+            v1.recovery.mean_time_to_recover_s(), v2.nodes_up, v2.node_count,
+            static_cast<unsigned long long>(v2.recovery.flag_repairs),
+            v2.recovery.mean_time_to_recover_s());
+        const std::string seed_str = std::to_string(seed);
+        for (const auto* row : {&v1, &v2}) {
+            const char* version = row == &v1 ? "v1" : "v2";
+            report.add("survival_rate",
+                       static_cast<double>(row->nodes_up) / row->node_count, "fraction",
+                       {{"campaign", "flag_write"}, {"version", version}, {"seed", seed_str}});
+            report.add("mttr_s", row->recovery.mean_time_to_recover_s(), "s",
+                       {{"campaign", "flag_write"}, {"version", version}, {"seed", seed_str}});
+            report.add("recoveries", static_cast<double>(row->recovery.recoveries), "count",
+                       {{"campaign", "flag_write"}, {"version", version}, {"seed", seed_str}});
+            report.add("flag_repairs", static_cast<double>(row->recovery.flag_repairs), "count",
+                       {{"campaign", "flag_write"}, {"version", version}, {"seed", seed_str}});
+        }
+    }
+
+    // (e) WINHEAD crash: a kHeadCrash plan event with a 10h outage (beyond
+    // the horizon, so the init-script respawn never fires — a genuinely dead
+    // box). With the paper's design the control loop freezes; with our
+    // watchdog hardening the Linux daemon stays live.
     std::printf("\n(e) Windows head crash mid-operation (watchdog hardening):\n");
     for (const bool watchdog : {false, true}) {
         sim::Engine engine;
         auto cfg = base(deploy::MiddlewareVersion::kV2, 9);
         if (watchdog) cfg.watchdog_timeout = sim::minutes(15);
+        fault::FaultEvent crash;
+        crash.at = sim::minutes(25);
+        crash.kind = fault::FaultKind::kHeadCrash;
+        crash.side = "windows";
+        crash.duration = sim::hours(10);
+        cfg.fault_plan.events.push_back(crash);
+        cfg.fault_plan.seed = 9;
         core::HybridCluster hybrid(engine, cfg);
         hybrid.start();
         hybrid.settle();
-        engine.run_for(sim::minutes(20));
-        hybrid.windows_daemon().stop();  // WINHEAD dies
+        engine.run_until(sim::TimePoint{} + sim::minutes(26));  // crash has fired
         const auto decisions_at_crash = hybrid.linux_daemon().stats().decisions_made;
         engine.run_until(sim::TimePoint{} + sim::hours(4));
         std::printf("  watchdog %-3s: decisions after crash = %llu, daemon %s\n",
@@ -161,5 +268,8 @@ int main() {
         std::printf("  (\"new models of LAN cards are not supported. Therefore, we needed to\n"
                     "   change our approach.\" — GRUB 0.97 falls through to the local disk)\n");
     }
+
+    const std::string json_path = bench::json_path_from_args(argc, argv);
+    if (!json_path.empty()) (void)report.write(json_path);
     return 0;
 }

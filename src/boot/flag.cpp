@@ -8,7 +8,15 @@ using util::Error;
 using util::Result;
 
 void OsFlagStore::set_flag(OsType os) {
-    pxe_.tftp_root().write(kPxeDefaultMenu, make_eridani_control_menu(os).emit());
+    last_intent_ = os;
+    std::string text = make_eridani_control_menu(os).emit();
+    if (write_fault_) text = write_fault_(text);
+    pxe_.tftp_root().write(kPxeDefaultMenu, std::move(text));
+}
+
+void OsFlagStore::repair() {
+    if (last_intent_ == OsType::kNone) return;
+    pxe_.tftp_root().write(kPxeDefaultMenu, make_eridani_control_menu(last_intent_).emit());
 }
 
 Result<OsType> OsFlagStore::flag() const {

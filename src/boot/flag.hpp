@@ -11,6 +11,8 @@
 // quantifies the herding cost of the flag design.
 #pragma once
 
+#include <functional>
+
 #include "boot/grub_config.hpp"
 #include "boot/pxe.hpp"
 #include "cluster/mac.hpp"
@@ -25,6 +27,17 @@ public:
 
     /// Set the cluster-wide target OS flag (rewrites menu.lst/default).
     void set_flag(cluster::OsType os);
+
+    /// Fault injection: every set_flag() write passes through this hook,
+    /// which may return altered (torn) text to land on disk instead. The
+    /// *intent* is still recorded, so repair() can heal the file.
+    using WriteFault = std::function<std::string(const std::string&)>;
+    void set_write_fault(WriteFault fault) { write_fault_ = std::move(fault); }
+
+    /// Rewrite the shared menu from the last set_flag() intent, bypassing
+    /// the write-fault hook (models a verified fsck-and-rewrite by the
+    /// recovery sweeper). No-op before the first set_flag().
+    void repair();
 
     /// Read the flag back by parsing the shared menu.
     [[nodiscard]] util::Result<cluster::OsType> flag() const;
@@ -45,6 +58,8 @@ private:
     [[nodiscard]] static util::Result<cluster::OsType> parse_menu_os(const std::string& text);
 
     PxeServer& pxe_;
+    WriteFault write_fault_;
+    cluster::OsType last_intent_ = cluster::OsType::kNone;
 };
 
 }  // namespace hc::boot

@@ -110,6 +110,14 @@ BootDecision PxeServer::resolve(const Node& node) const {
         d.via = "pxe:server-down>" + d.via;
         return d;
     }
+    if (request_fault_ && request_fault_(node)) {
+        // This node's exchange was lost (congestion, flaky NIC firmware):
+        // same fallback as an outage, scoped to the one request.
+        BootDecision d = resolve_local_boot(node.disk());
+        d.menu_delay = d.menu_delay + sim::seconds(15);
+        d.via = "pxe:request-dropped>" + d.via;
+        return d;
+    }
     PxeRom rom = rom_for(node.mac());
     if (rom == PxeRom::kPxelinux) {
         // PXELINUX either chains a more capable ROM or quits to local boot.

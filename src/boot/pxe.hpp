@@ -19,6 +19,7 @@
 // experiment E5 reproduces why the authors ended up on GRUB4DOS.
 #pragma once
 
+#include <functional>
 #include <set>
 #include <string>
 
@@ -79,6 +80,12 @@ public:
     void set_online(bool online) { online_ = online; }
     [[nodiscard]] bool online() const { return online_; }
 
+    /// Per-request fault injection: return true to drop this node's
+    /// DHCP/TFTP exchange (it retries, times out, and falls through to
+    /// local boot — same path as a server outage, but per request).
+    using RequestFault = std::function<bool(const cluster::Node&)>;
+    void set_request_fault(RequestFault fault) { request_fault_ = std::move(fault); }
+
     /// Simulated DHCP+TFTP handshake latency added to the boot path.
     void set_handshake_delay(sim::Duration d) { handshake_delay_ = d; }
 
@@ -101,6 +108,7 @@ private:
     std::map<std::string, PxeRom> mac_roms_;
     std::set<std::string> pxegrub_drivers_;
     bool online_ = true;
+    RequestFault request_fault_;
     sim::Duration handshake_delay_ = sim::seconds(4);
 };
 

@@ -14,6 +14,8 @@ Network::Network(sim::Engine& engine, std::uint64_t seed)
         reg.gauge("cluster.net.delivered").set(static_cast<double>(stats_.delivered));
         reg.gauge("cluster.net.dropped_injected")
             .set(static_cast<double>(stats_.dropped_injected));
+        reg.gauge("cluster.net.dropped_partition")
+            .set(static_cast<double>(stats_.dropped_partition));
         reg.gauge("cluster.net.dropped_unbound")
             .set(static_cast<double>(stats_.dropped_unbound));
     });
@@ -39,6 +41,10 @@ bool Network::is_bound(const std::string& host, int port) const {
 void Network::send(const std::string& src_host, int src_port, const std::string& dst_host,
                    int dst_port, std::string payload) {
     ++stats_.sent;
+    if (link_down(src_host, dst_host)) {
+        ++stats_.dropped_partition;
+        return;
+    }
     if (rng_.chance(drop_probability_)) {
         ++stats_.dropped_injected;
         return;
@@ -63,6 +69,19 @@ void Network::set_latency(sim::Duration latency) {
 void Network::set_drop_probability(double p) {
     util::require(p >= 0.0 && p <= 1.0, "Network::set_drop_probability: p outside [0,1]");
     drop_probability_ = p;
+}
+
+void Network::set_link_down(const std::string& a, const std::string& b, bool down) {
+    auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    if (down)
+        severed_links_.insert(std::move(key));
+    else
+        severed_links_.erase(key);
+}
+
+bool Network::link_down(const std::string& a, const std::string& b) const {
+    if (severed_links_.empty()) return false;
+    return severed_links_.contains(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
 }
 
 }  // namespace hc::cluster

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 
 #include "sim/engine.hpp"
@@ -29,7 +30,8 @@ struct Message {
 struct NetworkStats {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
-    std::uint64_t dropped_injected = 0;   ///< lost to fault injection
+    std::uint64_t dropped_injected = 0;   ///< lost to probabilistic fault injection
+    std::uint64_t dropped_partition = 0;  ///< lost to a severed host<->host link
     std::uint64_t dropped_unbound = 0;    ///< no listener at destination
 };
 
@@ -56,6 +58,11 @@ public:
     /// Fault injection: probability each message is silently lost.
     void set_drop_probability(double p);
 
+    /// Fault injection: sever (or restore) the link between two hosts.
+    /// Symmetric; messages either way are dropped at send time while down.
+    void set_link_down(const std::string& a, const std::string& b, bool down);
+    [[nodiscard]] bool link_down(const std::string& a, const std::string& b) const;
+
     [[nodiscard]] const NetworkStats& stats() const { return stats_; }
 
 private:
@@ -64,6 +71,7 @@ private:
     sim::Duration latency_ = sim::milliseconds(2);
     double drop_probability_ = 0.0;
     std::map<std::pair<std::string, int>, Handler> handlers_;
+    std::set<std::pair<std::string, std::string>> severed_links_;  ///< ordered host pairs
     NetworkStats stats_;
 };
 

@@ -8,11 +8,21 @@
 //         rebooting (§III.B).
 //   v2  — the head flips the PXE flag (or, in the abandoned Fig 12 design,
 //         pins the node's MAC) and the switch job merely reboots (§IV.A).
+//
+// The shared base owns the order lifecycle: prepare the boot environment
+// (virtual, per generation), submit one switch job per ordered node, and —
+// when the order watchdog is enabled — track every order until some node
+// comes up in the target OS. An order that times out is reissued with
+// exponential backoff (re-running prepare(), which in v2 re-writes the flag
+// and thereby heals torn writes); after the retry cap it is abandoned and a
+// hung node, if any, gets a hard power cycle. Fire-and-forget orders are the
+// paper-faithful default; the watchdog is the hc::fault hardening.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "boot/flag.hpp"
 #include "cluster/cluster.hpp"
@@ -30,29 +40,81 @@ struct ControllerStats {
     std::uint64_t flag_sets = 0;
     std::uint64_t per_mac_pins = 0;
     std::uint64_t submit_failures = 0;
+    // Order-watchdog lifecycle (all zero with the watchdog disabled).
+    std::uint64_t orders_watched = 0;    ///< pending entries created (incl. reissues)
+    std::uint64_t orders_satisfied = 0;  ///< completed by a node up in the target OS
+    std::uint64_t orders_reissued = 0;   ///< timed out, resubmitted with backoff
+    std::uint64_t orders_abandoned = 0;  ///< timed out past the retry cap
+    std::uint64_t recovery_power_cycles = 0;  ///< hung-node rescues at abandonment
+};
+
+struct OrderWatchdogConfig {
+    sim::Duration timeout = sim::minutes(12);
+    int max_retries = 3;
+    double backoff = 2.0;  ///< timeout multiplier per retry
 };
 
 class SwitchController {
 public:
     virtual ~SwitchController() = default;
+
     /// Execute a decision (Fig 11 steps 4-5). A no-op decision is ignored.
-    [[nodiscard]] virtual util::Status execute(const SwitchDecision& decision) = 0;
+    [[nodiscard]] util::Status execute(const SwitchDecision& decision);
+
     [[nodiscard]] virtual std::string name() const = 0;
     [[nodiscard]] const ControllerStats& stats() const { return stats_; }
 
+    /// Arm the switch-order watchdog. Call once, before orders flow.
+    void enable_order_watchdog(const OrderWatchdogConfig& config);
+    [[nodiscard]] bool watchdog_enabled() const { return wd_enabled_; }
+    /// Orders currently awaiting a node-up in their target OS.
+    [[nodiscard]] std::size_t pending_order_count() const { return pending_.size(); }
+
 protected:
-    /// Register shared telemetry handles; concrete controllers call this
-    /// from their constructors once they have the engine.
-    void init_obs(sim::Engine& engine) {
-        obs_orders_ = engine.obs().metrics().counter("core.switch.orders");
-    }
+    SwitchController(sim::Engine& engine, cluster::Cluster& cluster, pbs::PbsServer& pbs,
+                     winhpc::HpcScheduler& winhpc, RebootLog* log);
+
+    /// Per-decision boot-environment setup, re-run on every watchdog
+    /// reissue (v2 rewrites the flag here — that is what heals torn writes).
+    virtual void prepare(const SwitchDecision& decision) = 0;
+    /// The on-node action each switch job runs before rebooting.
+    [[nodiscard]] virtual SwitchAction make_action(const SwitchDecision& decision) = 0;
+    [[nodiscard]] virtual const char* log_tag() const = 0;
+
     /// Journal one switch order (and count it). `job` is the scheduler-side
     /// id the order became, or an error note on submit failure.
-    void journal_order(sim::Engine& engine, const SwitchDecision& decision,
-                       std::string_view side, std::string_view job);
+    void journal_order(const SwitchDecision& decision, std::string_view side,
+                       std::string_view job);
 
+    sim::Engine& engine_;
+    cluster::Cluster& cluster_;
+    pbs::PbsServer& pbs_;
+    winhpc::HpcScheduler& winhpc_;
+    RebootLog* log_;
     ControllerStats stats_;
     obs::Counter obs_orders_;
+
+private:
+    struct PendingOrder {
+        std::uint64_t id = 0;
+        cluster::OsType target = cluster::OsType::kNone;
+        int retries = 0;
+        sim::EventId timer{};
+        sim::TimePoint issued{};
+    };
+
+    /// Submit one single-node switch job to the donor scheduler and watch it.
+    [[nodiscard]] util::Status submit_one(const SwitchDecision& decision,
+                                          const SwitchAction& action, int retries);
+    void watch_order(cluster::OsType target, int retries);
+    void on_order_timeout(std::uint64_t id);
+    void on_node_up(cluster::OsType os);
+    void rescue_hung_node();
+
+    bool wd_enabled_ = false;
+    OrderWatchdogConfig wd_;
+    std::vector<PendingOrder> pending_;
+    std::uint64_t next_order_id_ = 1;
 };
 
 /// v1: FAT-partition control files, edited per node by the switch job.
@@ -61,15 +123,12 @@ public:
     ControllerV1(sim::Engine& engine, cluster::Cluster& cluster, pbs::PbsServer& pbs,
                  winhpc::HpcScheduler& winhpc, RebootLog* log);
 
-    [[nodiscard]] util::Status execute(const SwitchDecision& decision) override;
     [[nodiscard]] std::string name() const override { return "dualboot-oscar v1 (FAT+GRUB)"; }
 
-private:
-    sim::Engine& engine_;
-    cluster::Cluster& cluster_;
-    pbs::PbsServer& pbs_;
-    winhpc::HpcScheduler& winhpc_;
-    RebootLog* log_;
+protected:
+    void prepare(const SwitchDecision& decision) override;
+    [[nodiscard]] SwitchAction make_action(const SwitchDecision& decision) override;
+    [[nodiscard]] const char* log_tag() const override { return "controller/v1"; }
 };
 
 /// v2: PXE boot control. kGlobalFlag is the shipped Fig 13 design; kPerMac
@@ -82,20 +141,19 @@ public:
                  winhpc::HpcScheduler& winhpc, boot::OsFlagStore& flag, RebootLog* log,
                  Mode mode = Mode::kGlobalFlag);
 
-    [[nodiscard]] util::Status execute(const SwitchDecision& decision) override;
     [[nodiscard]] std::string name() const override {
         return mode_ == Mode::kGlobalFlag ? "dualboot-oscar v2 (PXE flag)"
                                           : "dualboot-oscar v2 (per-MAC menus)";
     }
     [[nodiscard]] Mode mode() const { return mode_; }
 
+protected:
+    void prepare(const SwitchDecision& decision) override;
+    [[nodiscard]] SwitchAction make_action(const SwitchDecision& decision) override;
+    [[nodiscard]] const char* log_tag() const override { return "controller/v2"; }
+
 private:
-    sim::Engine& engine_;
-    cluster::Cluster& cluster_;
-    pbs::PbsServer& pbs_;
-    winhpc::HpcScheduler& winhpc_;
     boot::OsFlagStore& flag_;
-    RebootLog* log_;
     Mode mode_;
 };
 

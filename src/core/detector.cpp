@@ -107,6 +107,7 @@ int PbsDetector::count_idle_nodes(const std::string& pbsnodes_text) {
 QueueSnapshot PbsDetector::check() {
     QueueSnapshot snap;
     std::string qstat = qstat_f_();
+    if (text_fault_) qstat = text_fault_(std::move(qstat));
     std::string nodes = pbsnodes_();
     if (!has_parse_ || qstat != last_qstat_text_) {
         last_parse_ = parse_qstat_f(qstat);

@@ -43,6 +43,12 @@ public:
     [[nodiscard]] QueueSnapshot check() override;
     [[nodiscard]] std::string name() const override { return "checkqueue.pl"; }
 
+    /// Fault injection: mangle the scraped qstat -f text before parsing
+    /// (truncation, garbage, empty string). The detector must degrade to a
+    /// calm "other state" report rather than crash — see check().
+    using TextFault = std::function<std::string(std::string)>;
+    void set_text_fault(TextFault fault) { text_fault_ = std::move(fault); }
+
     /// Parse a qstat -f listing into (running, queued, first-queued id,
     /// first-queued CPUs, first-running job block). Exposed for tests.
     struct QstatParse {
@@ -63,6 +69,7 @@ private:
     TextProvider qstat_f_;
     TextProvider pbsnodes_;
     std::function<std::int64_t()> unix_clock_;
+    TextFault text_fault_;
 
     // Parse cache keyed on string equality: the server memoizes its renders,
     // so steady-state polls see byte-identical text and re-parsing it would

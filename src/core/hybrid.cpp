@@ -32,7 +32,8 @@ HybridCluster::HybridCluster(sim::Engine& engine, HybridConfig config)
       cluster_(engine,
                [&] {
                    cluster::ClusterConfig cc = config_.cluster;
-                   cc.timing.hang_probability = config_.boot_hang_probability;
+                   cc.timing.hang_probability = std::max(
+                       config_.boot_hang_probability, config_.fault_plan.probabilities.boot_hang);
                    return cc;
                }()),
       pbs_(engine,
@@ -49,7 +50,8 @@ HybridCluster::HybridCluster(sim::Engine& engine, HybridConfig config)
     util::require(config_.initial_windows_nodes >= 0 &&
                       config_.initial_windows_nodes <= cluster_.node_count(),
                   "HybridCluster: initial_windows_nodes out of range");
-    cluster_.network().set_drop_probability(config_.message_drop_probability);
+    cluster_.network().set_drop_probability(std::max(
+        config_.message_drop_probability, config_.fault_plan.probabilities.message_drop));
 
     provision_disks();
     wire_boot_environment();
@@ -79,6 +81,33 @@ HybridCluster::HybridCluster(sim::Engine& engine, HybridConfig config)
         *controller_, config_.cluster.cores_per_node);
     if (config_.watchdog_timeout.ms > 0)
         linux_comm_->enable_watchdog(config_.watchdog_timeout);
+
+    if (config_.recovery.enabled) {
+        OrderWatchdogConfig wd;
+        wd.timeout = config_.recovery.order_timeout;
+        wd.max_retries = config_.recovery.order_max_retries;
+        wd.backoff = config_.recovery.order_backoff;
+        controller_->enable_order_watchdog(wd);
+        supervisor_ = std::make_unique<fault::RecoverySupervisor>(engine_, cluster_,
+                                                                  flag_.get(), config_.recovery);
+    }
+    if (!config_.fault_plan.empty()) {
+        injector_ = std::make_unique<fault::FaultInjector>(engine_, cluster_, config_.fault_plan,
+                                                           config_.cluster.seed);
+        if (pxe_) injector_->attach_pxe(*pxe_);
+        if (flag_) injector_->attach_flag(*flag_);
+        // Head-daemon crash/restart handles. The restart path re-binds (the
+        // communicators are restart-safe) and resumes polling after a short
+        // service-recovery delay.
+        injector_->register_head(
+            "linux", fault::FaultInjector::HeadHandle{
+                         [this] { linux_comm_->stop(); },
+                         [this] { (void)linux_comm_->start(); }});
+        injector_->register_head(
+            "windows", fault::FaultInjector::HeadHandle{
+                           [this] { win_comm_->stop(); },
+                           [this] { win_comm_->start(sim::seconds(30)); }});
+    }
 }
 
 void HybridCluster::provision_disks() {
@@ -165,6 +194,8 @@ void HybridCluster::start() {
                                   status.error_message());
     // Let the cluster finish first boot before the first poll fires.
     win_comm_->start(sim::minutes(5));
+    if (injector_) injector_->start();
+    if (supervisor_) supervisor_->start();
 }
 
 void HybridCluster::settle(sim::Duration limit) {

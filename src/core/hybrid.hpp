@@ -20,6 +20,9 @@
 #include "core/policy.hpp"
 #include "core/switch_job.hpp"
 #include "deploy/reimage.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/recovery.hpp"
 #include "pbs/server.hpp"
 #include "sim/engine.hpp"
 #include "winhpc/scheduler.hpp"
@@ -61,6 +64,13 @@ struct HybridConfig {
     sim::Duration watchdog_timeout{};
     double message_drop_probability = 0.0;  ///< fault injection (E5)
     double boot_hang_probability = 0.0;     ///< fault injection (E5)
+    /// Deterministic fault-injection plan (hc::fault). Its probabilistic
+    /// rates are folded into the cluster/network knobs above (max wins);
+    /// scheduled events fire from start().
+    fault::FaultPlan fault_plan;
+    /// Recovery machinery: order watchdog + hung-node sweeper. Disabled by
+    /// default (paper-faithful fire-and-forget).
+    fault::RecoveryOptions recovery;
 };
 
 class HybridCluster {
@@ -87,6 +97,10 @@ public:
     [[nodiscard]] WindowsCommunicator& windows_daemon() { return *win_comm_; }
     [[nodiscard]] LinuxCommunicator& linux_daemon() { return *linux_comm_; }
     [[nodiscard]] RebootLog& reboot_log() { return reboot_log_; }
+    /// Non-null only when the config carried a non-empty fault plan.
+    [[nodiscard]] fault::FaultInjector* fault_injector() { return injector_.get(); }
+    /// Non-null only when config.recovery.enabled.
+    [[nodiscard]] fault::RecoverySupervisor* recovery() { return supervisor_.get(); }
 
     /// Submit one workload job right now (routes by spec.os).
     void submit_now(const workload::JobSpec& spec);
@@ -122,6 +136,8 @@ private:
     std::unique_ptr<WinHpcDetector> win_detector_;
     std::unique_ptr<WindowsCommunicator> win_comm_;
     std::unique_ptr<LinuxCommunicator> linux_comm_;
+    std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<fault::RecoverySupervisor> supervisor_;
     workload::MetricsCollector metrics_;
     std::vector<std::string> pending_initial_pins_;  ///< MACs pinned for first boot
     bool started_ = false;

@@ -30,6 +30,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
     hc.strict_fifo = config.strict_fifo;
     hc.message_drop_probability = config.message_drop_probability;
     hc.boot_hang_probability = config.boot_hang_probability;
+    hc.fault_plan = config.faults;
+    hc.recovery = config.recovery;
 
     switch (config.kind) {
         case ScenarioKind::kBiStableHybrid:
@@ -76,6 +78,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
     result.controller = hybrid.controller().stats();
     result.windows_daemon = hybrid.windows_daemon().stats();
     result.linux_daemon = hybrid.linux_daemon().stats();
+    if (hybrid.fault_injector() != nullptr) result.fault_stats = hybrid.fault_injector()->stats();
+    if (hybrid.recovery() != nullptr) result.recovery_stats = hybrid.recovery()->stats();
     if (config.obs.metrics) result.metrics = engine.obs().metrics().snapshot();
     if (config.obs.trace) result.chrome_trace_json = engine.obs().tracer().chrome_json();
     if (config.obs.journal) result.journal_jsonl = engine.obs().journal().text();

@@ -35,6 +35,9 @@ struct ScenarioConfig {
     sim::Duration horizon = sim::hours(24);
     double message_drop_probability = 0.0;
     double boot_hang_probability = 0.0;
+    /// Deterministic fault plan + recovery machinery (hc::fault).
+    fault::FaultPlan faults;
+    fault::RecoveryOptions recovery;
     std::uint64_t seed = 42;
     /// Telemetry channels to record (all off by default — and free). The
     /// runner configures the engine's hub before building the cluster, so
@@ -48,6 +51,9 @@ struct ScenarioResult {
     ControllerStats controller;
     CommunicatorStats windows_daemon;
     CommunicatorStats linux_daemon;
+    /// Zero-valued unless the scenario carried a fault plan / recovery.
+    fault::InjectorStats fault_stats;
+    fault::SupervisorStats recovery_stats;
     /// Populated for the channels enabled in ScenarioConfig::obs; empty/""
     /// otherwise.
     obs::MetricsSnapshot metrics;

@@ -1,0 +1,239 @@
+#include "fault/injector.hpp"
+
+#include <vector>
+
+#include "boot/grub_config.hpp"
+#include "util/errors.hpp"
+
+namespace hc::fault {
+
+using cluster::Node;
+using cluster::PowerState;
+
+std::string torn_text(const std::string& text) {
+    // Keep the first half, as a partially flushed page would. If the prefix
+    // happens to cut on a clean boundary and still parses, fall back to a
+    // header line GRUB rejects — a torn write must never read as valid.
+    std::string torn = text.substr(0, text.size() / 2);
+    if (boot::GrubConfig::parse(torn).ok()) torn = "default ~torn~\n";
+    return torn;
+}
+
+FaultInjector::FaultInjector(sim::Engine& engine, cluster::Cluster& cluster, FaultPlan plan,
+                             std::uint64_t seed)
+    : engine_(engine),
+      cluster_(cluster),
+      plan_(std::move(plan)),
+      rng_(util::Rng(seed ^ plan_.seed).fork("fault-injector")) {}
+
+void FaultInjector::attach_pxe(boot::PxeServer& pxe) {
+    pxe_ = &pxe;
+    const double p = plan_.probabilities.pxe_drop;
+    if (p <= 0.0) return;
+    pxe.set_request_fault([this, p](const Node& node) {
+        if (!rng_.chance(p)) return false;
+        ++stats_.pxe_drops;
+        obs::Journal& journal = engine_.obs().journal();
+        if (journal.enabled())
+            journal.event("fault.inject")
+                .str("kind", "pxe_drop")
+                .str("target", node.short_name());
+        return true;
+    });
+}
+
+void FaultInjector::attach_flag(boot::OsFlagStore& flag) {
+    flag_ = &flag;
+    const double p = plan_.probabilities.flag_torn_write;
+    if (p <= 0.0) return;
+    flag.set_write_fault([this, p](const std::string& text) {
+        if (!rng_.chance(p)) return text;
+        ++stats_.flag_torn_writes;
+        obs::Journal& journal = engine_.obs().journal();
+        if (journal.enabled())
+            journal.event("fault.inject").str("kind", "flag_torn_write").str("target", "flag");
+        return torn_text(text);
+    });
+}
+
+void FaultInjector::register_head(const std::string& side, HeadHandle handle) {
+    heads_[side] = std::move(handle);
+}
+
+void FaultInjector::start() {
+    util::require(!started_, "FaultInjector::start: already started");
+    started_ = true;
+    for (const FaultEvent& ev : plan_.events) {
+        const sim::TimePoint at =
+            engine_.now() + (ev.at.ms < 0 ? sim::Duration{} : ev.at);
+        engine_.schedule_at(at, [this, ev] { fire(ev); });
+    }
+}
+
+Node* FaultInjector::pick_target(const FaultEvent& ev,
+                                 const std::function<bool(const Node&)>& eligible) {
+    if (ev.node >= 0) {
+        if (ev.node >= cluster_.node_count()) return nullptr;
+        Node& fixed = cluster_.node(ev.node);
+        return eligible(fixed) ? &fixed : nullptr;
+    }
+    std::vector<Node*> candidates;
+    for (Node* node : cluster_.nodes())
+        if (eligible(*node)) candidates.push_back(node);
+    if (candidates.empty()) return nullptr;
+    return candidates[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+}
+
+void FaultInjector::journal_inject(const FaultEvent& ev, const std::string& target) {
+    ++stats_.injected;
+    engine_.logger().warn("fault",
+                          std::string("inject ") + fault_kind_name(ev.kind) + " -> " + target);
+    obs::Journal& journal = engine_.obs().journal();
+    if (journal.enabled()) {
+        auto record = journal.event("fault.inject");
+        record.str("kind", fault_kind_name(ev.kind)).str("target", target);
+        if (ev.duration.ms > 0) record.num("duration_s", ev.duration.whole_seconds());
+    }
+}
+
+void FaultInjector::journal_heal(const FaultEvent& ev, const std::string& target) {
+    obs::Journal& journal = engine_.obs().journal();
+    if (journal.enabled())
+        journal.event("fault.heal")
+            .str("kind", fault_kind_name(ev.kind))
+            .str("target", target);
+}
+
+void FaultInjector::corrupt_control_text(const FaultEvent& ev) {
+    if (flag_ != nullptr && pxe_ != nullptr) {
+        // v2: tear the shared PXE flag menu. Recoverable — the next flag
+        // write (controller prepare, watchdog reissue, or sweeper repair)
+        // replaces the whole file.
+        auto text = pxe_->tftp_root().read(boot::kPxeDefaultMenu);
+        pxe_->tftp_root().write(boot::kPxeDefaultMenu,
+                                torn_text(text ? text.value() : "default 0\n"));
+        ++stats_.control_corruptions;
+        journal_inject(ev, "flag");
+        return;
+    }
+    // v1: tear the target node's own controlmenu.lst on its FAT partition.
+    // Nothing in the v1 design rewrites that file except a switch job that
+    // the scheduler happens to place on this node — the fragility that
+    // motivated v2 (§IV.A).
+    Node* node = pick_target(ev, [](const Node&) { return true; });
+    if (node == nullptr) {
+        ++stats_.skipped;
+        return;
+    }
+    for (auto& partition : node->disk().partitions())
+        if (partition.fs == cluster::FsType::kFat) {
+            auto text = partition.files.read(boot::kControlMenuPath);
+            partition.files.write(boot::kControlMenuPath,
+                                  torn_text(text ? text.value() : "default 0\n"));
+            ++stats_.control_corruptions;
+            journal_inject(ev, node->short_name());
+            return;
+        }
+    ++stats_.skipped;
+}
+
+void FaultInjector::fire(const FaultEvent& ev) {
+    switch (ev.kind) {
+        case FaultKind::kBootHang: {
+            Node* node = pick_target(ev, [](const Node& n) {
+                return n.state() != PowerState::kOff && n.state() != PowerState::kHung;
+            });
+            if (node == nullptr) {
+                ++stats_.skipped;
+                return;
+            }
+            ++stats_.boot_hangs;
+            journal_inject(ev, node->short_name());
+            node->inject_hang();
+            return;
+        }
+        case FaultKind::kNodeCrash: {
+            Node* node = pick_target(ev, [](const Node& n) { return n.is_up(); });
+            if (node == nullptr) {
+                ++stats_.skipped;
+                return;
+            }
+            ++stats_.node_crashes;
+            journal_inject(ev, node->short_name());
+            node->inject_hang();
+            return;
+        }
+        case FaultKind::kPowerCycle: {
+            Node* node = pick_target(ev, [](const Node&) { return true; });
+            if (node == nullptr) {
+                ++stats_.skipped;
+                return;
+            }
+            ++stats_.power_cycles;
+            journal_inject(ev, node->short_name());
+            node->hard_power_cycle();
+            return;
+        }
+        case FaultKind::kControlTornWrite:
+            corrupt_control_text(ev);
+            return;
+        case FaultKind::kPxeOutage: {
+            if (pxe_ == nullptr || !pxe_->online()) {
+                ++stats_.skipped;
+                return;
+            }
+            ++stats_.pxe_outages;
+            journal_inject(ev, "pxe");
+            pxe_->set_online(false);
+            const sim::Duration down = ev.duration.ms > 0 ? ev.duration : sim::minutes(5);
+            engine_.schedule_after(down, [this, ev] {
+                pxe_->set_online(true);
+                journal_heal(ev, "pxe");
+            });
+            return;
+        }
+        case FaultKind::kHeadCrash: {
+            auto it = heads_.find(ev.side);
+            if (it == heads_.end() || !it->second.stop || it->second.down) {
+                ++stats_.skipped;  // unknown side, or already dead
+                return;
+            }
+            ++stats_.head_crashes;
+            journal_inject(ev, ev.side);
+            it->second.down = true;
+            it->second.stop();
+            const sim::Duration down = ev.duration.ms > 0 ? ev.duration : sim::minutes(10);
+            engine_.schedule_after(down, [this, ev] {
+                auto again = heads_.find(ev.side);
+                if (again != heads_.end() && again->second.restart) {
+                    again->second.down = false;
+                    again->second.restart();
+                    journal_heal(ev, ev.side);
+                }
+            });
+            return;
+        }
+        case FaultKind::kPartition: {
+            cluster::Network& net = cluster_.network();
+            const std::string linux_head = cluster_.linux_head_host();
+            const std::string windows_head = cluster_.windows_head_host();
+            if (net.link_down(linux_head, windows_head)) {
+                ++stats_.skipped;
+                return;
+            }
+            ++stats_.partitions;
+            journal_inject(ev, "linhead<->winhead");
+            net.set_link_down(linux_head, windows_head, true);
+            const sim::Duration down = ev.duration.ms > 0 ? ev.duration : sim::minutes(5);
+            engine_.schedule_after(down, [this, ev, linux_head, windows_head] {
+                cluster_.network().set_link_down(linux_head, windows_head, false);
+                journal_heal(ev, "linhead<->winhead");
+            });
+            return;
+        }
+    }
+    ++stats_.skipped;  // unknown kind (future plan versions)
+}
+
+}  // namespace hc::fault

@@ -1,0 +1,97 @@
+// FaultInjector: executes a FaultPlan against a live cluster.
+//
+// The injector sits *below* hc::core — it touches nodes, disks, the PXE
+// stack and the LAN directly, and reaches the head daemons only through
+// opaque stop/restart callbacks registered by whoever owns them (the
+// HybridCluster façade). That keeps the dependency arrow pointing the right
+// way: core consumes fault plans, fault never includes core.
+//
+// Determinism: every probabilistic choice (random target node, per-request
+// PXE drops, per-write flag tears) draws from one forked RNG stream, and
+// every injection is journalled with the sim time, so a (plan, seed) pair
+// replays byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "boot/flag.hpp"
+#include "boot/pxe.hpp"
+#include "cluster/cluster.hpp"
+#include "fault/plan.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace hc::fault {
+
+struct InjectorStats {
+    std::uint64_t injected = 0;  ///< scheduled events actually applied
+    std::uint64_t skipped = 0;   ///< events with no eligible target
+    std::uint64_t boot_hangs = 0;
+    std::uint64_t node_crashes = 0;
+    std::uint64_t power_cycles = 0;
+    std::uint64_t control_corruptions = 0;
+    std::uint64_t pxe_outages = 0;
+    std::uint64_t head_crashes = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t pxe_drops = 0;        ///< probabilistic per-request drops
+    std::uint64_t flag_torn_writes = 0; ///< probabilistic per-write tears
+};
+
+/// Corrupt boot-control menu text as a torn (partially flushed) write would:
+/// keep a prefix, and guarantee the result no longer parses as a GRUB menu.
+[[nodiscard]] std::string torn_text(const std::string& text);
+
+class FaultInjector {
+public:
+    /// Head-daemon lifecycle callbacks ("linux" = LINHEAD, "windows" =
+    /// WINHEAD). `restart` models the init-script respawn; the daemon
+    /// re-discovers all state from queue text, which is why it can be a
+    /// plain start.
+    struct HeadHandle {
+        std::function<void()> stop;
+        std::function<void()> restart;
+        bool down = false;  ///< injector-tracked: a dead daemon can't crash again
+    };
+
+    FaultInjector(sim::Engine& engine, cluster::Cluster& cluster, FaultPlan plan,
+                  std::uint64_t seed);
+
+    /// Arm the probabilistic per-request PXE drop hook (v2 only).
+    void attach_pxe(boot::PxeServer& pxe);
+
+    /// Arm the probabilistic torn-write hook on the flag store (v2 only).
+    void attach_flag(boot::OsFlagStore& flag);
+
+    void register_head(const std::string& side, HeadHandle handle);
+
+    /// Schedule every planned event. Call once, before driving the engine.
+    void start();
+
+    [[nodiscard]] const InjectorStats& stats() const { return stats_; }
+    [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+private:
+    void fire(const FaultEvent& ev);
+    /// Pick the event's target: its fixed index if eligible, else a random
+    /// eligible node. Null when nothing qualifies.
+    cluster::Node* pick_target(const FaultEvent& ev,
+                               const std::function<bool(const cluster::Node&)>& eligible);
+    void corrupt_control_text(const FaultEvent& ev);
+    void journal_inject(const FaultEvent& ev, const std::string& target);
+    void journal_heal(const FaultEvent& ev, const std::string& target);
+
+    sim::Engine& engine_;
+    cluster::Cluster& cluster_;
+    FaultPlan plan_;
+    util::Rng rng_;
+    boot::PxeServer* pxe_ = nullptr;
+    boot::OsFlagStore* flag_ = nullptr;
+    std::map<std::string, HeadHandle> heads_;
+    InjectorStats stats_;
+    bool started_ = false;
+};
+
+}  // namespace hc::fault

@@ -1,0 +1,122 @@
+// hc::fault — deterministic fault plans.
+//
+// A FaultPlan is the complete description of everything that goes wrong in a
+// run: a list of *scheduled* fault events (sim-time-stamped, so replayable
+// byte for byte) plus *probabilistic* fault rates that the injector samples
+// from its own forked RNG stream. Plans serialize to a small JSON document
+// ("hc-fault-plan/1") so the same plan can drive a test, a bench campaign,
+// and `dualboot_sim --faults plan.json` — and so a fuzzer violation can be
+// written out as a one-command repro artifact.
+//
+// The plan deliberately speaks the middleware's own failure vocabulary
+// (§III.B fragile GRUB rewrites, §IV.A PXE flag, Fig 11 head daemons) rather
+// than generic "kill process" verbs; every kind maps onto a seam the real
+// dualboot-oscar deployment exposed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/result.hpp"
+
+namespace hc::fault {
+
+enum class FaultKind {
+    kBootHang,          ///< node freezes where it stands (kernel panic / POST hang)
+    kNodeCrash,         ///< an *up* node dies mid-job (schedulers must recover work)
+    kPowerCycle,        ///< surprise physical power reset (§IV.A.1 must survive this)
+    kControlTornWrite,  ///< boot-control text torn mid-write: v1 controlmenu.lst
+                        ///< on the node's FAT partition, v2 the PXE flag menu
+    kPxeOutage,         ///< DHCP+TFTP head services down for `duration`
+    kHeadCrash,         ///< a head daemon dies; restarts after `duration`
+    kPartition,         ///< LINHEAD <-> WINHEAD link severed for `duration`
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+[[nodiscard]] util::Result<FaultKind> parse_fault_kind(std::string_view name);
+
+/// One scheduled fault. `node == -1` lets the injector pick an eligible node
+/// from its RNG stream (still deterministic for a given seed).
+struct FaultEvent {
+    sim::Duration at{};       ///< offset from simulation start
+    FaultKind kind = FaultKind::kBootHang;
+    int node = -1;            ///< target node index, or -1 = injector picks
+    std::string side;         ///< "linux" | "windows" for kHeadCrash
+    sim::Duration duration{}; ///< outage length (kPxeOutage/kHeadCrash/kPartition)
+};
+
+/// Always-on background fault rates, sampled per opportunity.
+struct FaultProbabilities {
+    double boot_hang = 0.0;        ///< per boot attempt (any version)
+    double pxe_drop = 0.0;         ///< per PXE/TFTP request (v2): DHCP timeout path
+    double flag_torn_write = 0.0;  ///< per flag write (v2): partial menu on disk
+    double message_drop = 0.0;     ///< per head-to-head network message
+
+    [[nodiscard]] bool any() const {
+        return boot_hang > 0 || pxe_drop > 0 || flag_torn_write > 0 || message_drop > 0;
+    }
+};
+
+struct FaultPlan {
+    std::uint64_t seed = 0;  ///< folded into the injector's RNG stream
+    FaultProbabilities probabilities;
+    std::vector<FaultEvent> events;
+
+    [[nodiscard]] bool empty() const { return events.empty() && !probabilities.any(); }
+
+    /// Deterministic emission (stable key order, %.9g reals) — safe for
+    /// byte-identity golden tests and CI repro artifacts.
+    [[nodiscard]] std::string to_json() const;
+};
+
+/// Parse an "hc-fault-plan/1" document. Unknown object keys are ignored
+/// (forward compatibility); unknown fault kinds and malformed JSON are
+/// errors.
+[[nodiscard]] util::Result<FaultPlan> parse_fault_plan(const std::string& json_text);
+
+/// Knobs for the recovery machinery the fault plans exercise. Lives here —
+/// next to the faults — so a single header describes both halves of the
+/// contract the fuzzer checks: "inject anything in this plan, and with
+/// recovery enabled the cluster must converge".
+struct RecoveryOptions {
+    bool enabled = false;
+
+    // Switch-order watchdog (core::SwitchController): an order that has not
+    // been satisfied by a node coming up in the target OS within `timeout`
+    // is reissued with exponential backoff; after `order_max_retries`
+    // reissues it is abandoned and a hung node (if any) is power cycled.
+    sim::Duration order_timeout = sim::minutes(12);
+    int order_max_retries = 3;
+    double order_backoff = 2.0;
+
+    // Hung-node sweeper (fault::RecoverySupervisor): nodes stuck in kHung
+    // longer than `hang_grace` get hard power cycles, backed off
+    // exponentially per node up to `max_backoff`. After `node_failed_after`
+    // fruitless cycles the node is *declared* failed (journalled, counted)
+    // but the sweeper keeps trying at max backoff — a wedged-forever node is
+    // an invariant violation, not a policy choice.
+    sim::Duration sweep_interval = sim::minutes(2);
+    sim::Duration hang_grace = sim::minutes(1);
+    sim::Duration max_backoff = sim::minutes(30);
+    int node_failed_after = 5;
+};
+
+/// Options for the fuzzer's plan generator.
+struct RandomPlanOptions {
+    int node_count = 16;
+    sim::Duration horizon = sim::hours(24);
+    bool v2 = true;       ///< v2-only kinds (PXE outage, torn control writes) allowed
+    int max_events = 10;  ///< at least one event is always generated
+};
+
+/// Derive a randomized—but fully seed-determined—plan. The same (options,
+/// seed) pair always yields the same plan, so a failing fuzz seed is a
+/// complete repro. Only generates faults that are recoverable under
+/// RecoveryOptions (e.g. control-file corruption only when `v2`, outages
+/// always finite).
+[[nodiscard]] FaultPlan make_random_plan(const RandomPlanOptions& options, std::uint64_t seed);
+
+}  // namespace hc::fault

@@ -1,0 +1,90 @@
+#include "fault/recovery.hpp"
+
+#include <algorithm>
+
+namespace hc::fault {
+
+using cluster::Node;
+using cluster::PowerState;
+
+RecoverySupervisor::RecoverySupervisor(sim::Engine& engine, cluster::Cluster& cluster,
+                                       boot::OsFlagStore* flag, RecoveryOptions options)
+    : engine_(engine),
+      cluster_(cluster),
+      flag_(flag),
+      options_(options),
+      episodes_(static_cast<std::size_t>(cluster.node_count())),
+      task_(engine, options.sweep_interval, [this] { sweep(); }) {
+    for (Node* node : cluster_.nodes()) {
+        node->on_up([this](Node& n, cluster::OsType) {
+            Episode& ep = episodes_[static_cast<std::size_t>(n.index())];
+            if (!ep.tracking) return;
+            ++stats_.recoveries;
+            stats_.total_recovery_ms += (engine_.now() - ep.first_seen).ms;
+            obs::Journal& journal = engine_.obs().journal();
+            if (journal.enabled())
+                journal.event("recovery.node_recovered")
+                    .str("node", n.short_name())
+                    .num("cycles", ep.cycles)
+                    .num("downtime_s", (engine_.now() - ep.first_seen).whole_seconds());
+            ep = Episode{};
+        });
+    }
+}
+
+void RecoverySupervisor::start() { task_.start(options_.sweep_interval); }
+
+void RecoverySupervisor::stop() { task_.stop(); }
+
+void RecoverySupervisor::repair_flag_if_corrupt() {
+    if (flag_ == nullptr || flag_->flag().ok()) return;
+    flag_->repair();
+    ++stats_.flag_repairs;
+    obs::Journal& journal = engine_.obs().journal();
+    if (journal.enabled()) journal.event("recovery.flag_repair").str("target", "flag");
+}
+
+void RecoverySupervisor::sweep() {
+    const sim::TimePoint now = engine_.now();
+    for (Node* node : cluster_.nodes()) {
+        Episode& ep = episodes_[static_cast<std::size_t>(node->index())];
+        if (node->state() != PowerState::kHung) continue;
+        if (!ep.tracking) {
+            ep.tracking = true;
+            ep.first_seen = now;
+            ep.next_action = now + options_.hang_grace;
+            ++stats_.hung_nodes_seen;
+        }
+        if (now < ep.next_action) continue;
+
+        // A cycled v2 node re-reads the flag menu at boot; heal it first if
+        // a torn write left it unparseable.
+        repair_flag_if_corrupt();
+
+        ++ep.cycles;
+        ++stats_.power_cycles;
+        engine_.logger().warn("recovery", "power cycling hung node " + node->short_name() +
+                                              " (attempt " + std::to_string(ep.cycles) + ")");
+        obs::Journal& journal = engine_.obs().journal();
+        if (journal.enabled())
+            journal.event("recovery.power_cycle")
+                .str("node", node->short_name())
+                .num("attempt", ep.cycles);
+        if (!ep.declared_failed && ep.cycles >= options_.node_failed_after) {
+            ep.declared_failed = true;
+            ++stats_.nodes_declared_failed;
+            if (journal.enabled())
+                journal.event("recovery.node_failed")
+                    .str("node", node->short_name())
+                    .num("cycles", ep.cycles);
+        }
+        // Exponential backoff per node, capped; retries never stop entirely.
+        const std::int64_t shift = std::min(ep.cycles, 6);
+        const std::int64_t backoff_ms =
+            std::min(options_.hang_grace.ms << shift, options_.max_backoff.ms);
+        ep.next_action = now + sim::milliseconds(std::max<std::int64_t>(backoff_ms, 1));
+        node->hard_power_cycle();
+    }
+}
+
+}  // namespace hc::fault

@@ -1,0 +1,76 @@
+// RecoverySupervisor: the hung-node sweeper.
+//
+// The paper's operational answer to a wedged node was a walk to the machine
+// room; the middleware's answer (and the fuzzer's liveness invariant) is
+// this sweeper: a periodic scan that hard-power-cycles any node stuck in
+// kHung, with per-node exponential backoff. Before cycling a v2 node it
+// fsck-checks the PXE flag menu and rewrites it from the last set intent if
+// a torn write left it unparseable — a power cycle into a corrupt menu would
+// just hang again.
+//
+// The sweeper never gives up: after `node_failed_after` fruitless cycles the
+// node is *declared* failed (journalled, counted — what an operator would
+// page on) but retries continue at max backoff. "A node left kHung forever"
+// must stay an invariant violation, never sweeper policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "boot/flag.hpp"
+#include "cluster/cluster.hpp"
+#include "fault/plan.hpp"
+#include "sim/engine.hpp"
+
+namespace hc::fault {
+
+struct SupervisorStats {
+    std::uint64_t hung_nodes_seen = 0;  ///< distinct hang episodes observed
+    std::uint64_t power_cycles = 0;
+    std::uint64_t flag_repairs = 0;
+    std::uint64_t recoveries = 0;           ///< episodes that ended with the node up
+    std::int64_t total_recovery_ms = 0;     ///< hang-observed -> up, summed
+    std::uint64_t nodes_declared_failed = 0;
+
+    [[nodiscard]] double mean_time_to_recover_s() const {
+        return recoveries == 0 ? 0.0
+                               : static_cast<double>(total_recovery_ms) /
+                                     (1000.0 * static_cast<double>(recoveries));
+    }
+};
+
+class RecoverySupervisor {
+public:
+    /// `flag` may be null (v1 wiring): flag repair is then skipped.
+    RecoverySupervisor(sim::Engine& engine, cluster::Cluster& cluster,
+                       boot::OsFlagStore* flag, RecoveryOptions options);
+
+    void start();
+    void stop();
+
+    [[nodiscard]] const SupervisorStats& stats() const { return stats_; }
+    [[nodiscard]] const RecoveryOptions& options() const { return options_; }
+
+private:
+    void sweep();
+    void repair_flag_if_corrupt();
+
+    /// Per-node episode state, indexed by node index.
+    struct Episode {
+        bool tracking = false;
+        sim::TimePoint first_seen{};
+        sim::TimePoint next_action{};
+        int cycles = 0;
+        bool declared_failed = false;
+    };
+
+    sim::Engine& engine_;
+    cluster::Cluster& cluster_;
+    boot::OsFlagStore* flag_;
+    RecoveryOptions options_;
+    std::vector<Episode> episodes_;
+    sim::PeriodicTask task_;
+    SupervisorStats stats_;
+};
+
+}  // namespace hc::fault

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/scenario.hpp"
+#include "fault/plan.hpp"
 #include "util/strings.hpp"
 #include "util/time_format.hpp"
 #include "workload/generator.hpp"
@@ -129,6 +130,30 @@ int cmd_run(const std::map<std::string, std::string>& flags,
     cfg.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 42.0));
     cfg.fair_share_cooldown = static_cast<int>(flag_or(flags, "cooldown", 0.0));
 
+    // Fault injection: --faults plan.json loads an hc-fault-plan/1 document;
+    // recovery defaults to on when faults are present (use --recovery off
+    // to watch the failure modes unassisted).
+    const std::string faults_path = flag_or(flags, "faults", std::string());
+    if (!faults_path.empty()) {
+        std::ifstream in(faults_path);
+        if (!in) {
+            std::fprintf(stderr, "dualboot-sim: cannot open %s\n", faults_path.c_str());
+            std::exit(1);
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        auto plan = fault::parse_fault_plan(buffer.str());
+        if (!plan.ok()) {
+            std::fprintf(stderr, "dualboot-sim: bad fault plan %s: %s\n", faults_path.c_str(),
+                         plan.error_message().c_str());
+            std::exit(1);
+        }
+        cfg.faults = plan.value();
+    }
+    const std::string recovery =
+        flag_or(flags, "recovery", faults_path.empty() ? std::string("off") : std::string("on"));
+    cfg.recovery.enabled = recovery == "on";
+
     const auto result = core::run_scenario(cfg, trace);
     const auto& s = result.summary;
     std::printf("scenario  : %s\n", result.label.c_str());
@@ -145,6 +170,27 @@ int cmd_run(const std::map<std::string, std::string>& flags,
     std::printf("switching : %llu OS switches, %llu switch orders\n",
                 static_cast<unsigned long long>(s.os_switches),
                 static_cast<unsigned long long>(result.linux_daemon.switches_ordered));
+    if (!faults_path.empty()) {
+        std::printf("faults    : %llu injected (%llu hangs, %llu crashes, %llu torn writes, "
+                    "%llu outages), %llu skipped\n",
+                    static_cast<unsigned long long>(result.fault_stats.injected),
+                    static_cast<unsigned long long>(result.fault_stats.boot_hangs),
+                    static_cast<unsigned long long>(result.fault_stats.node_crashes),
+                    static_cast<unsigned long long>(result.fault_stats.control_corruptions +
+                                                    result.fault_stats.flag_torn_writes),
+                    static_cast<unsigned long long>(result.fault_stats.pxe_outages),
+                    static_cast<unsigned long long>(result.fault_stats.skipped));
+        std::printf("recovery  : %s, %llu power cycles, %llu flag repairs, %llu recoveries, "
+                    "mttr %.0fs, %llu orders reissued, %llu abandoned\n",
+                    cfg.recovery.enabled ? "on" : "off",
+                    static_cast<unsigned long long>(result.recovery_stats.power_cycles +
+                                                    result.controller.recovery_power_cycles),
+                    static_cast<unsigned long long>(result.recovery_stats.flag_repairs),
+                    static_cast<unsigned long long>(result.recovery_stats.recoveries),
+                    result.recovery_stats.mean_time_to_recover_s(),
+                    static_cast<unsigned long long>(result.controller.orders_reissued),
+                    static_cast<unsigned long long>(result.controller.orders_abandoned));
+    }
     if (!trace_out.empty()) {
         write_file_or_die(trace_out, result.chrome_trace_json);
         std::printf("trace     : %s (chrome://tracing)\n", trace_out.c_str());
@@ -169,6 +215,7 @@ int main(int argc, char** argv) {
                      "       %s run --trace FILE [--scenario hybrid|static|mono|oracle]\n"
                      "              [--policy P --nodes N --linux-nodes K --hours H\n"
                      "               --poll-minutes M --version v1|v2 --seed S]\n"
+                     "              [--faults plan.json --recovery on|off]\n"
                      "              [--trace-out T.json --metrics M.json --journal J.jsonl]\n"
                      "       %s case-study [run flags; --trace T.json writes the "
                      "chrome trace]\n",
