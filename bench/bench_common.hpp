@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "sweep/runner.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/time_format.hpp"
@@ -75,9 +76,22 @@ public:
         add(std::move(metric), pct, "%", std::move(params));
     }
 
-    [[nodiscard]] std::string render() const {
-        std::string out = "{\"schema\": \"hc-bench-json/1\", \"bench\": \"" +
-                          json_escape(bench_id_) + "\", \"records\": [";
+    /// Record how the bench's replica sweep executed. Emitted as top-level
+    /// document fields (`replicas`, `threads`, `wall_ms`, `replicas_per_sec`)
+    /// rather than per-record ones: wall-clock varies run to run, and keeping
+    /// it out of `records` preserves the guarantee that the records array is
+    /// byte-identical at any `--threads` count (see render_records()).
+    void set_sweep(const sweep::SweepStats& stats) {
+        sweep_ = stats;
+        has_sweep_ = true;
+    }
+
+    /// The records array alone — everything in it is deterministic
+    /// (simulated-time metrics, fixed params), so two runs of the same bench
+    /// at different thread counts must produce byte-identical output here.
+    /// The sweep invariance test compares exactly this string.
+    [[nodiscard]] std::string render_records() const {
+        std::string out = "[";
         for (std::size_t i = 0; i < records_.size(); ++i) {
             const Record& r = records_[i];
             if (i > 0) out += ",";
@@ -92,7 +106,23 @@ public:
             }
             out += "}}";
         }
-        out += "\n]}\n";
+        out += "\n]";
+        return out;
+    }
+
+    [[nodiscard]] std::string render() const {
+        std::string out = "{\"schema\": \"hc-bench-json/1\", \"bench\": \"" +
+                          json_escape(bench_id_) + "\"";
+        if (has_sweep_) {
+            char buf[160];
+            std::snprintf(buf, sizeof buf,
+                          ", \"replicas\": %zu, \"threads\": %d, \"wall_ms\": %.3f"
+                          ", \"replicas_per_sec\": %.3f",
+                          sweep_.replicas, sweep_.threads, sweep_.wall_ms,
+                          sweep_.replicas_per_sec);
+            out += buf;
+        }
+        out += ", \"records\": " + render_records() + "}\n";
         return out;
     }
 
@@ -119,6 +149,8 @@ private:
     };
     std::string bench_id_;
     std::vector<Record> records_;
+    sweep::SweepStats sweep_{};
+    bool has_sweep_ = false;
 };
 
 /// Parse `--json <path>` from the command line; empty string = flag absent.
@@ -139,6 +171,21 @@ inline bool quick_mode(int argc, char** argv) {
     for (int i = 1; i < argc; ++i)
         if (std::string(argv[i]) == "--quick") return true;
     return false;
+}
+
+/// Parse `--threads N` from the command line; 0 (the default when absent)
+/// means "one per hardware thread" — pass the result straight to hc::sweep,
+/// which resolves 0 via hardware_concurrency().
+inline int threads_from_args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--threads") continue;
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "bench: --threads requires a count\n");
+            std::exit(2);
+        }
+        return std::atoi(argv[i + 1]);
+    }
+    return 0;
 }
 
 inline void print_header(const std::string& id, const std::string& title,
@@ -189,6 +236,28 @@ inline std::vector<std::string> scenario_row(const core::ScenarioResult& r) {
             util::format_duration(static_cast<std::int64_t>(s.p95_wait_s)),
             std::to_string(s.os_switches),
             util::format_fixed(s.switch_overhead * 100.0, 2) + "%"};
+}
+
+/// Append the standard deterministic metrics of one scenario result,
+/// qualified by `params`. All values are simulated-time quantities, so the
+/// emitted records are identical at any `--threads` count — only the
+/// top-level sweep fields (set_sweep) carry wall-clock.
+inline void add_scenario_records(JsonReport& report, const core::ScenarioResult& r,
+                                 const std::vector<std::pair<std::string, std::string>>& params) {
+    const auto& s = r.summary;
+    report.add("utilisation", s.utilisation, "fraction", params);
+    report.add("mean_wait_s", s.mean_wait_s, "s", params);
+    report.add("mean_wait_windows_s", s.mean_wait_windows_s, "s", params);
+    report.add("completed_jobs", static_cast<double>(s.completed), "jobs", params);
+    report.add("os_switches", static_cast<double>(s.os_switches), "switches", params);
+}
+
+/// Footer line every sweep-migrated bench prints: how the replica pool ran.
+inline void print_sweep_stats(const sweep::SweepStats& st) {
+    std::printf("\nsweep: %zu replica(s) on %d thread(s), %.1f ms wall (%.1f replicas/s"
+                ", %llu steal(s))\n",
+                st.replicas, st.threads, st.wall_ms, st.replicas_per_sec,
+                static_cast<unsigned long long>(st.steals));
 }
 
 inline util::Table scenario_table() {

@@ -3,39 +3,55 @@
 // with other one-Linux-schedular hybrid cluster in mono-stable mode."
 //
 // Runs the same mixed trace under both modes and reports Windows-side wait,
-// utilisation, and switch counts.
+// utilisation, and switch counts. The 2×kSeeds scenario runs execute through
+// the hc::sweep pool (`--threads N`, default one per core); results are
+// consumed in slot order, so the table, footer, and every `--json` record are
+// byte-identical at any thread count.
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.hpp"
 
 using namespace hc;
 
-int main() {
+int main(int argc, char** argv) {
     bench::print_header("E2 (§III claim)", "bi-stable vs mono-stable",
                         "bi-stable gives flexibility and speed-up over mono-stable");
 
-    auto table = bench::scenario_table();
-    double bi_wait_sum = 0, mono_wait_sum = 0;
     const int kSeeds = 3;
+    std::vector<sweep::ScenarioReplica> replicas;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-        const auto trace = bench::mixed_trace(0.2, seed, 8.0);
+        // Both modes replay the identical trace; share one copy.
+        auto trace = std::make_shared<const std::vector<workload::JobSpec>>(
+            bench::mixed_trace(0.2, seed, 8.0));
         core::ScenarioConfig bi;
         bi.kind = core::ScenarioKind::kBiStableHybrid;
         bi.policy = core::PolicyKind::kFairShare;
         bi.linux_nodes = 16;
         bi.horizon = sim::hours(40);
         bi.seed = seed;
-        const auto bi_result = core::run_scenario(bi, trace);
-
         core::ScenarioConfig mono = bi;
         mono.kind = core::ScenarioKind::kMonoStable;
-        const auto mono_result = core::run_scenario(mono, trace);
+        replicas.push_back({bi, trace, ""});
+        replicas.push_back({mono, trace, ""});
+    }
+    const auto sweep_out =
+        sweep::run_scenarios(std::move(replicas), bench::threads_from_args(argc, argv));
 
+    auto table = bench::scenario_table();
+    bench::JsonReport report("E2");
+    double bi_wait_sum = 0, mono_wait_sum = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+        const auto& bi_result = sweep_out.results[static_cast<std::size_t>(2 * s)];
+        const auto& mono_result = sweep_out.results[static_cast<std::size_t>(2 * s + 1)];
         table.add_row(bench::scenario_row(bi_result));
         table.add_row(bench::scenario_row(mono_result));
         table.add_rule();
         bi_wait_sum += bi_result.summary.mean_wait_windows_s;
         mono_wait_sum += mono_result.summary.mean_wait_windows_s;
+        const std::string seed_str = std::to_string(s + 1);
+        bench::add_scenario_records(report, bi_result, {{"mode", "bi"}, {"seed", seed_str}});
+        bench::add_scenario_records(report, mono_result, {{"mode", "mono"}, {"seed", seed_str}});
     }
     std::printf("%s", table.render().c_str());
     const double speedup = bi_wait_sum > 0 ? mono_wait_sum / bi_wait_sum : 0;
@@ -46,5 +62,11 @@ int main() {
         util::format_duration(static_cast<std::int64_t>(bi_wait_sum / kSeeds)).c_str(),
         util::format_duration(static_cast<std::int64_t>(mono_wait_sum / kSeeds)).c_str(),
         speedup);
+    bench::print_sweep_stats(sweep_out.stats);
+
+    report.add("windows_wait_speedup", speedup, "x");
+    report.set_sweep(sweep_out.stats);
+    const std::string json_path = bench::json_path_from_args(argc, argv);
+    if (!json_path.empty() && !report.write(json_path)) return 1;
     return 0;
 }

@@ -13,10 +13,15 @@
 // Also reproduces the PXEGRUB-0.97 dead end: new NICs fall through to local
 // boot, which is why the authors moved to GRUB4DOS.
 //
+// Campaigns (a)-(c) and (f) are independent replicas and execute through the
+// hc::sweep pool (`--threads N`; `--quick` shrinks the seed count). Results
+// are consumed in slot order, so output is identical at any thread count.
+//
 // With `--json <path>` the fault-campaign rows are emitted as
 // "hc-bench-json/1" records (survival_rate / mttr_s / recoveries,
 // parameterised by campaign + version) for run-over-run diffing.
 #include <cstdio>
+#include <functional>
 
 #include "bench_common.hpp"
 #include "boot/disk_layouts.hpp"
@@ -48,8 +53,9 @@ int count_up(core::HybridCluster& hybrid) {
 /// (a) Power-cycle campaign: a plan of 12 surprise power resets at 7-minute
 /// intervals, targets drawn from the injector's seeded stream. Does every
 /// node come back to a schedulable OS?
-int power_cycle_campaign(deploy::MiddlewareVersion version, std::uint64_t seed) {
-    sim::Engine engine;
+int power_cycle_campaign(deploy::MiddlewareVersion version, std::uint64_t seed,
+                         util::Arena* arena) {
+    sim::Engine engine(/*unix_epoch=*/-1, arena);
     auto cfg = base(version, seed);
     cfg.fault_plan.seed = seed;
     for (int i = 0; i < 12; ++i) {
@@ -66,8 +72,9 @@ int power_cycle_campaign(deploy::MiddlewareVersion version, std::uint64_t seed) 
 
 /// (b) Reimage campaign: reimage Windows on 4 nodes mid-operation; how many
 /// of them can still boot Linux afterwards (without an admin reinstall)?
-int reimage_campaign(deploy::MiddlewareVersion version, std::uint64_t seed) {
-    sim::Engine engine;
+int reimage_campaign(deploy::MiddlewareVersion version, std::uint64_t seed,
+                     util::Arena* arena) {
+    sim::Engine engine(/*unix_epoch=*/-1, arena);
     core::HybridCluster hybrid(engine, base(version, seed));
     hybrid.start();
     hybrid.settle();
@@ -85,8 +92,9 @@ int reimage_campaign(deploy::MiddlewareVersion version, std::uint64_t seed) {
 
 /// (c) Lossy-link campaign: fraction of a Windows-demand burst served. The
 /// drop rate rides in the fault plan's probabilistic rates.
-double lossy_link_campaign(deploy::MiddlewareVersion version, double drop, std::uint64_t seed) {
-    sim::Engine engine;
+double lossy_link_campaign(deploy::MiddlewareVersion version, double drop, std::uint64_t seed,
+                           util::Arena* arena) {
+    sim::Engine engine(/*unix_epoch=*/-1, arena);
     auto cfg = base(version, seed);
     cfg.fault_plan.seed = seed;
     cfg.fault_plan.probabilities.message_drop = drop;
@@ -119,8 +127,9 @@ struct FlagWriteOutcome {
     std::uint64_t corruptions = 0;
 };
 
-FlagWriteOutcome flag_write_campaign(deploy::MiddlewareVersion version, std::uint64_t seed) {
-    sim::Engine engine;
+FlagWriteOutcome flag_write_campaign(deploy::MiddlewareVersion version, std::uint64_t seed,
+                                     util::Arena* arena) {
+    sim::Engine engine(/*unix_epoch=*/-1, arena);
     auto cfg = base(version, seed);
     cfg.fault_plan.seed = seed;
     for (int i = 0; i < 6; ++i) {
@@ -148,6 +157,13 @@ FlagWriteOutcome flag_write_campaign(deploy::MiddlewareVersion version, std::uin
     return out;
 }
 
+/// One campaign replica's outcome: scalar campaigns fill `value`, the
+/// torn-write campaign fills `flag`.
+struct CampaignResult {
+    double value = 0;
+    FlagWriteOutcome flag;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,10 +171,49 @@ int main(int argc, char** argv) {
                         "v2 survives any reboot path; v1 depends on local MBR+FAT state");
     bench::JsonReport report("E5");
 
+    const std::uint64_t kSeeds = bench::quick_mode(argc, argv) ? 1 : 3;
+    const double kDrops[] = {0.0, 0.3, 0.6};
+    constexpr auto kV1 = deploy::MiddlewareVersion::kV1;
+    constexpr auto kV2 = deploy::MiddlewareVersion::kV2;
+
+    // Build the flat campaign list in print order (v1/v2 pairs per row),
+    // then run every replica through the pool. Slot order == build order, so
+    // the consuming loops below read results exactly as the serial bench
+    // computed them.
+    std::vector<std::function<CampaignResult(util::Arena*)>> tasks;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
+        for (const auto version : {kV1, kV2})
+            tasks.emplace_back([version, seed](util::Arena* a) {
+                return CampaignResult{static_cast<double>(power_cycle_campaign(version, seed, a)),
+                                      {}};
+            });
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
+        for (const auto version : {kV1, kV2})
+            tasks.emplace_back([version, seed](util::Arena* a) {
+                return CampaignResult{static_cast<double>(reimage_campaign(version, seed, a)), {}};
+            });
+    for (const double drop : kDrops)
+        for (const auto version : {kV1, kV2})
+            tasks.emplace_back([version, drop](util::Arena* a) {
+                return CampaignResult{lossy_link_campaign(version, drop, 5, a), {}};
+            });
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
+        for (const auto version : {kV1, kV2})
+            tasks.emplace_back([version, seed](util::Arena* a) {
+                return CampaignResult{0, flag_write_campaign(version, seed, a)};
+            });
+
+    sweep::SweepStats sweep_stats;
+    const auto results = sweep::map_indexed<CampaignResult>(
+        tasks.size(), bench::threads_from_args(argc, argv),
+        [&](std::size_t slot, sweep::WorkerContext& ctx) { return tasks[slot](ctx.arena); },
+        &sweep_stats);
+    std::size_t slot = 0;
+
     std::printf("(a) 12 random hard power cycles over 6h — nodes back up afterwards:\n");
-    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        const int v1 = power_cycle_campaign(deploy::MiddlewareVersion::kV1, seed);
-        const int v2 = power_cycle_campaign(deploy::MiddlewareVersion::kV2, seed);
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const int v1 = static_cast<int>(results[slot++].value);
+        const int v2 = static_cast<int>(results[slot++].value);
         std::printf("  seed %llu: v1 %d/16, v2 %d/16\n",
                     static_cast<unsigned long long>(seed), v1, v2);
         const std::string seed_str = std::to_string(seed);
@@ -171,16 +226,17 @@ int main(int argc, char** argv) {
     std::printf(
         "\n(b) Windows reimage on 4 nodes, then power cycle — nodes that can still\n"
         "    reach Linux without an admin visit:\n");
-    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const int v1 = static_cast<int>(results[slot++].value);
+        const int v2 = static_cast<int>(results[slot++].value);
         std::printf("  seed %llu: v1 %d/4 (MBR clobbered -> Windows only), v2 %d/4 (PXE flag)\n",
-                    static_cast<unsigned long long>(seed),
-                    reimage_campaign(deploy::MiddlewareVersion::kV1, seed),
-                    reimage_campaign(deploy::MiddlewareVersion::kV2, seed));
+                    static_cast<unsigned long long>(seed), v1, v2);
+    }
 
     std::printf("\n(c) lossy WINHEAD->LINHEAD link — Windows burst served within 8h:\n");
-    for (double drop : {0.0, 0.3, 0.6}) {
-        const double v1 = lossy_link_campaign(deploy::MiddlewareVersion::kV1, drop, 5);
-        const double v2 = lossy_link_campaign(deploy::MiddlewareVersion::kV2, drop, 5);
+    for (const double drop : kDrops) {
+        const double v1 = results[slot++].value;
+        const double v2 = results[slot++].value;
         std::printf("  drop %.0f%%: v1 %3.0f%%, v2 %3.0f%% (fixed-cycle retransmission heals)\n",
                     drop * 100, v1 * 100, v2 * 100);
     }
@@ -189,9 +245,9 @@ int main(int argc, char** argv) {
         "\n(f) 6 torn boot-control writes + power resets, recovery on — v1 tears its\n"
         "    per-node controlmenu.lst (nothing rewrites it), v2 tears the shared PXE\n"
         "    flag (sweeper repairs it before re-cycling):\n");
-    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        const auto v1 = flag_write_campaign(deploy::MiddlewareVersion::kV1, seed);
-        const auto v2 = flag_write_campaign(deploy::MiddlewareVersion::kV2, seed);
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const auto v1 = results[slot++].flag;
+        const auto v2 = results[slot++].flag;
         std::printf(
             "  seed %llu: v1 %2d/%d up, %llu repairs, mttr %5.0fs | "
             "v2 %2d/%d up, %llu repairs, mttr %5.0fs\n",
@@ -218,7 +274,8 @@ int main(int argc, char** argv) {
     // (e) WINHEAD crash: a kHeadCrash plan event with a 10h outage (beyond
     // the horizon, so the init-script respawn never fires — a genuinely dead
     // box). With the paper's design the control loop freezes; with our
-    // watchdog hardening the Linux daemon stays live.
+    // watchdog hardening the Linux daemon stays live. Stays serial: the
+    // probe inspects daemon stats mid-run, not just at the horizon.
     std::printf("\n(e) Windows head crash mid-operation (watchdog hardening):\n");
     for (const bool watchdog : {false, true}) {
         sim::Engine engine;
@@ -269,6 +326,8 @@ int main(int argc, char** argv) {
                     "   change our approach.\" — GRUB 0.97 falls through to the local disk)\n");
     }
 
+    bench::print_sweep_stats(sweep_stats);
+    report.set_sweep(sweep_stats);
     const std::string json_path = bench::json_path_from_args(argc, argv);
     if (!json_path.empty()) (void)report.write(json_path);
     return 0;

@@ -5,14 +5,17 @@
 // Ablates the switch policy on the same mixed trace: never / fcfs (paper) /
 // threshold / fair-share / predictive, plus the reboot-as-job design choice
 // itself (scheduler-mediated switching protects running jobs by
-// construction; `never` shows the cost of not switching at all).
+// construction; `never` shows the cost of not switching at all). All
+// 2 seeds × 6 policies run through the hc::sweep pool; slot-order
+// aggregation keeps tables and `--json` records thread-count-invariant.
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.hpp"
 
 using namespace hc;
 
-int main() {
+int main(int argc, char** argv) {
     bench::print_header("E7 (§V future work)", "switch-policy ablation",
                         "the shipped rule is FCFS; better rules are future work");
 
@@ -20,22 +23,21 @@ int main() {
         core::PolicyKind policy;
         int cooldown;
         const char* label;
+        const char* key;  ///< stable param value for JSON records
     } kPolicies[] = {
-        {core::PolicyKind::kNever, 0, "never (no switching)"},
-        {core::PolicyKind::kFcfs, 0, "fcfs (paper)"},
-        {core::PolicyKind::kThreshold, 0, "threshold(2) hysteresis"},
-        {core::PolicyKind::kFairShare, 0, "fair-share"},
-        {core::PolicyKind::kFairShare, 3, "fair-share + cooldown(3)"},
-        {core::PolicyKind::kPredictive, 0, "predictive ewma"},
+        {core::PolicyKind::kNever, 0, "never (no switching)", "never"},
+        {core::PolicyKind::kFcfs, 0, "fcfs (paper)", "fcfs"},
+        {core::PolicyKind::kThreshold, 0, "threshold(2) hysteresis", "threshold"},
+        {core::PolicyKind::kFairShare, 0, "fair-share", "fair_share"},
+        {core::PolicyKind::kFairShare, 3, "fair-share + cooldown(3)", "fair_share_cooldown"},
+        {core::PolicyKind::kPredictive, 0, "predictive ewma", "predictive"},
     };
+    const std::uint64_t kSeeds[] = {3, 9};
 
-    for (std::uint64_t seed : {3u, 9u}) {
-        const auto trace = bench::mixed_trace(0.3, seed, 8.0);
-        const auto stats = workload::compute_trace_stats(trace);
-        std::printf("\ntrace seed %llu: %zu jobs, %.0f%% Windows demand\n",
-                    static_cast<unsigned long long>(seed), stats.jobs,
-                    stats.windows_share() * 100.0);
-        auto table = bench::scenario_table();
+    std::vector<sweep::ScenarioReplica> replicas;
+    for (std::uint64_t seed : kSeeds) {
+        auto trace = std::make_shared<const std::vector<workload::JobSpec>>(
+            bench::mixed_trace(0.3, seed, 8.0));
         for (const auto& entry : kPolicies) {
             core::ScenarioConfig cfg;
             cfg.kind = core::ScenarioKind::kBiStableHybrid;
@@ -44,9 +46,27 @@ int main() {
             cfg.linux_nodes = 16;
             cfg.horizon = sim::hours(40);
             cfg.seed = seed;
-            auto result = core::run_scenario(cfg, trace);
-            result.label = entry.label;
+            replicas.push_back({cfg, trace, entry.label});
+        }
+    }
+    auto sweep_out =
+        sweep::run_scenarios(std::move(replicas), bench::threads_from_args(argc, argv));
+
+    bench::JsonReport report("E7");
+    std::size_t slot = 0;
+    for (std::uint64_t seed : kSeeds) {
+        const auto stats = workload::compute_trace_stats(
+            bench::mixed_trace(0.3, seed, 8.0));
+        std::printf("\ntrace seed %llu: %zu jobs, %.0f%% Windows demand\n",
+                    static_cast<unsigned long long>(seed), stats.jobs,
+                    stats.windows_share() * 100.0);
+        auto table = bench::scenario_table();
+        for (const auto& entry : kPolicies) {
+            const auto& result = sweep_out.results[slot++];
             table.add_row(bench::scenario_row(result));
+            bench::add_scenario_records(
+                report, result,
+                {{"policy", entry.key}, {"seed", std::to_string(seed)}});
         }
         std::printf("%s", table.render().c_str());
     }
@@ -57,5 +77,10 @@ int main() {
         "move blocks of nodes, completing more work at higher utilisation, but under\n"
         "sustained load they flap (high switch counts), which is exactly why the paper\n"
         "lists policy refinement as future work.\n");
+    bench::print_sweep_stats(sweep_out.stats);
+
+    report.set_sweep(sweep_out.stats);
+    const std::string json_path = bench::json_path_from_args(argc, argv);
+    if (!json_path.empty() && !report.write(json_path)) return 1;
     return 0;
 }

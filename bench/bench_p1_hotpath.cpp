@@ -8,6 +8,7 @@
 // be compared (`--quick` shrinks problem sizes for CI smoke runs).
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -201,6 +202,29 @@ double detector_poll_us(bool advance_time, int reps) {
     return elapsed / reps * 1e6;
 }
 
+// ---- replica sweep throughput ----------------------------------------------
+
+// Whole-scenario replicas through the hc::sweep pool: the unit of work for
+// E5 campaigns and the fuzz sweep. Measures end-to-end replicas/s at a given
+// thread count — the number that should scale with cores, since replicas
+// share nothing and each worker's engine calendar rides a recycled arena.
+hc::sweep::SweepStats replica_sweep(std::size_t replica_count, int threads) {
+    auto trace = std::make_shared<const std::vector<workload::JobSpec>>(
+        hc::bench::mixed_trace(0.2, /*seed=*/1, /*rate_per_hour=*/8.0, sim::hours(8)));
+    std::vector<hc::sweep::ScenarioReplica> replicas;
+    replicas.reserve(replica_count);
+    for (std::size_t slot = 0; slot < replica_count; ++slot) {
+        core::ScenarioConfig cfg;
+        cfg.kind = core::ScenarioKind::kBiStableHybrid;
+        cfg.policy = core::PolicyKind::kFairShare;
+        cfg.linux_nodes = 16;
+        cfg.horizon = sim::hours(10);
+        cfg.seed = static_cast<std::uint64_t>(slot) + 1;  // caller-forked seeds
+        replicas.push_back({cfg, trace, ""});
+    }
+    return hc::sweep::run_scenarios(std::move(replicas), threads).stats;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -251,6 +275,29 @@ int main(int argc, char** argv) {
     const double poll_adv = detector_poll_us(true, poll_reps / 5);
     std::printf("  advancing clock (10 min/poll):%10.3f us/poll\n", poll_adv);
     report.add("detector_poll_us", poll_adv, "us", {{"variant", "advancing"}});
+
+    std::printf("\nreplica sweep throughput (scenario runs through hc::sweep):\n");
+    {
+        const std::size_t replica_count = quick ? 16 : 48;
+        const auto serial = replica_sweep(replica_count, 1);
+        std::printf("  1 thread : %7.2f replicas/s  (%zu replicas, %.0f ms)\n",
+                    serial.replicas_per_sec, serial.replicas, serial.wall_ms);
+        report.add("sweep_replicas_per_sec", serial.replicas_per_sec, "replicas/s",
+                   {{"threads", "1"}});
+        const auto pooled = replica_sweep(replica_count, 8);
+        std::printf("  8 threads: %7.2f replicas/s  (%llu steal(s), %.0f ms)\n",
+                    pooled.replicas_per_sec,
+                    static_cast<unsigned long long>(pooled.steals), pooled.wall_ms);
+        report.add("sweep_replicas_per_sec", pooled.replicas_per_sec, "replicas/s",
+                   {{"threads", "8"}});
+        const double speedup = serial.replicas_per_sec > 0
+                                   ? pooled.replicas_per_sec / serial.replicas_per_sec
+                                   : 0.0;
+        std::printf("  speedup  : %7.2fx (bounded by hardware threads: %d available)\n",
+                    speedup, hc::sweep::resolve_threads(0));
+        report.add("sweep_speedup", speedup, "x", {{"threads", "8"}});
+        report.set_sweep(pooled);
+    }
 
     if (!json_path.empty() && !report.write(json_path)) return 1;
     return 0;

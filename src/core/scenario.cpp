@@ -14,7 +14,7 @@ const char* scenario_kind_name(ScenarioKind k) {
 
 ScenarioResult run_scenario(const ScenarioConfig& config,
                             const std::vector<workload::JobSpec>& trace) {
-    sim::Engine engine;
+    sim::Engine engine(/*unix_epoch=*/-1, config.arena);
     // Hub first, cluster second: handles latch enabled-ness at registration.
     engine.obs().configure(config.obs);
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/hybrid.hpp"
+#include "util/arena.hpp"
 #include "workload/metrics.hpp"
 
 namespace hc::core {
@@ -43,6 +44,10 @@ struct ScenarioConfig {
     /// runner configures the engine's hub before building the cluster, so
     /// every component comes up instrumented.
     obs::ObsOptions obs;
+    /// Replica arena backing the engine calendar (hc::sweep workers set
+    /// this; serial callers leave it null for plain heap allocation). Must
+    /// outlive the run and must not be reset during it.
+    util::Arena* arena = nullptr;
 };
 
 struct ScenarioResult {

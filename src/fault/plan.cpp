@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/json.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace hc::fault {
@@ -39,188 +40,11 @@ Result<FaultKind> parse_fault_kind(std::string_view name) {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// A minimal JSON reader. The repo's obs/json.hpp only *emits*; fault plans
-// are the first thing we parse, so this is the project's one JSON reader.
-// Scope is exactly what plans need: objects, arrays, strings (with the
-// escapes our emitter produces), numbers, booleans, null. No surrogate-pair
-// \u decoding (plans are ASCII by construction).
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-    Type type = Type::kNull;
-    bool boolean = false;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;  ///< insertion order
-
-    [[nodiscard]] const JsonValue* find(std::string_view key) const {
-        for (const auto& [k, v] : object)
-            if (k == key) return &v;
-        return nullptr;
-    }
-};
-
-class JsonReader {
-public:
-    explicit JsonReader(const std::string& text) : text_(text) {}
-
-    Result<JsonValue> parse() {
-        auto value = parse_value();
-        if (!value) return value;
-        skip_ws();
-        if (pos_ != text_.size()) return fail("trailing characters after JSON value");
-        return value;
-    }
-
-private:
-    [[nodiscard]] Error fail(const std::string& what) const {
-        int line = 1;
-        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
-            if (text_[i] == '\n') ++line;
-        return Error{what, line};
-    }
-
-    void skip_ws() {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
-            ++pos_;
-    }
-
-    [[nodiscard]] bool eat(char c) {
-        skip_ws();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    Result<JsonValue> parse_value() {
-        skip_ws();
-        if (pos_ >= text_.size()) return fail("unexpected end of input");
-        const char c = text_[pos_];
-        if (c == '{') return parse_object();
-        if (c == '[') return parse_array();
-        if (c == '"') return parse_string();
-        if (c == 't' || c == 'f') return parse_keyword_bool();
-        if (c == 'n') return parse_keyword_null();
-        return parse_number();
-    }
-
-    Result<JsonValue> parse_object() {
-        ++pos_;  // '{'
-        JsonValue value;
-        value.type = JsonValue::Type::kObject;
-        if (eat('}')) return value;
-        while (true) {
-            skip_ws();
-            if (pos_ >= text_.size() || text_[pos_] != '"')
-                return fail("expected string key in object");
-            auto key = parse_string();
-            if (!key) return key;
-            if (!eat(':')) return fail("expected ':' after object key");
-            auto member = parse_value();
-            if (!member) return member;
-            value.object.emplace_back(std::move(key.value().string),
-                                      std::move(member.value()));
-            if (eat(',')) continue;
-            if (eat('}')) return value;
-            return fail("expected ',' or '}' in object");
-        }
-    }
-
-    Result<JsonValue> parse_array() {
-        ++pos_;  // '['
-        JsonValue value;
-        value.type = JsonValue::Type::kArray;
-        if (eat(']')) return value;
-        while (true) {
-            auto element = parse_value();
-            if (!element) return element;
-            value.array.push_back(std::move(element.value()));
-            if (eat(',')) continue;
-            if (eat(']')) return value;
-            return fail("expected ',' or ']' in array");
-        }
-    }
-
-    Result<JsonValue> parse_string() {
-        ++pos_;  // '"'
-        JsonValue value;
-        value.type = JsonValue::Type::kString;
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_++];
-            if (c == '"') return value;
-            if (c == '\\') {
-                if (pos_ >= text_.size()) break;
-                const char esc = text_[pos_++];
-                switch (esc) {
-                    case '"': value.string += '"'; break;
-                    case '\\': value.string += '\\'; break;
-                    case '/': value.string += '/'; break;
-                    case 'n': value.string += '\n'; break;
-                    case 'r': value.string += '\r'; break;
-                    case 't': value.string += '\t'; break;
-                    case 'b': value.string += '\b'; break;
-                    case 'f': value.string += '\f'; break;
-                    default: return fail(std::string("unsupported escape \\") + esc);
-                }
-                continue;
-            }
-            value.string += c;
-        }
-        return fail("unterminated string");
-    }
-
-    Result<JsonValue> parse_keyword_bool() {
-        if (text_.compare(pos_, 4, "true") == 0) {
-            pos_ += 4;
-            JsonValue v;
-            v.type = JsonValue::Type::kBool;
-            v.boolean = true;
-            return v;
-        }
-        if (text_.compare(pos_, 5, "false") == 0) {
-            pos_ += 5;
-            JsonValue v;
-            v.type = JsonValue::Type::kBool;
-            v.boolean = false;
-            return v;
-        }
-        return fail("bad keyword");
-    }
-
-    Result<JsonValue> parse_keyword_null() {
-        if (text_.compare(pos_, 4, "null") == 0) {
-            pos_ += 4;
-            return JsonValue{};
-        }
-        return fail("bad keyword");
-    }
-
-    Result<JsonValue> parse_number() {
-        const char* start = text_.c_str() + pos_;
-        char* end = nullptr;
-        const double parsed = std::strtod(start, &end);
-        if (end == start) return fail("expected JSON value");
-        pos_ += static_cast<std::size_t>(end - start);
-        JsonValue v;
-        v.type = JsonValue::Type::kNumber;
-        v.number = parsed;
-        return v;
-    }
-
-    const std::string& text_;
-    std::size_t pos_ = 0;
-};
-
-double num_or(const JsonValue& obj, std::string_view key, double fallback) {
-    const JsonValue* v = obj.find(key);
-    return v != nullptr && v->type == JsonValue::Type::kNumber ? v->number : fallback;
-}
+// JSON reading moved to util/json.hpp (shared with the sweep-spec parser in
+// dualboot_sim); plans keep local aliases for brevity.
+using util::JsonReader;
+using util::JsonValue;
+using util::json_num_or;
 
 }  // namespace
 
@@ -259,13 +83,13 @@ Result<FaultPlan> parse_fault_plan(const std::string& json_text) {
         return Error{"unsupported fault plan schema: " + schema->string};
 
     FaultPlan plan;
-    plan.seed = static_cast<std::uint64_t>(num_or(root, "seed", 0.0));
+    plan.seed = static_cast<std::uint64_t>(json_num_or(root, "seed", 0.0));
     if (const JsonValue* probs = root.find("probabilities");
         probs != nullptr && probs->type == JsonValue::Type::kObject) {
-        plan.probabilities.boot_hang = num_or(*probs, "boot_hang", 0.0);
-        plan.probabilities.pxe_drop = num_or(*probs, "pxe_drop", 0.0);
-        plan.probabilities.flag_torn_write = num_or(*probs, "flag_torn_write", 0.0);
-        plan.probabilities.message_drop = num_or(*probs, "message_drop", 0.0);
+        plan.probabilities.boot_hang = json_num_or(*probs, "boot_hang", 0.0);
+        plan.probabilities.pxe_drop = json_num_or(*probs, "pxe_drop", 0.0);
+        plan.probabilities.flag_torn_write = json_num_or(*probs, "flag_torn_write", 0.0);
+        plan.probabilities.message_drop = json_num_or(*probs, "message_drop", 0.0);
     }
     const JsonValue* events = root.find("events");
     if (events != nullptr) {
@@ -281,10 +105,10 @@ Result<FaultPlan> parse_fault_plan(const std::string& json_text) {
             if (!parsed_kind) return parsed_kind.error();
             FaultEvent ev;
             ev.kind = parsed_kind.value();
-            ev.at = sim::milliseconds(std::llround(num_or(item, "at_s", 0.0) * 1000.0));
-            ev.node = static_cast<int>(num_or(item, "node", -1.0));
+            ev.at = sim::milliseconds(std::llround(json_num_or(item, "at_s", 0.0) * 1000.0));
+            ev.node = static_cast<int>(json_num_or(item, "node", -1.0));
             ev.duration =
-                sim::milliseconds(std::llround(num_or(item, "duration_s", 0.0) * 1000.0));
+                sim::milliseconds(std::llround(json_num_or(item, "duration_s", 0.0) * 1000.0));
             if (const JsonValue* side = item.find("side");
                 side != nullptr && side->type == JsonValue::Type::kString)
                 ev.side = side->string;

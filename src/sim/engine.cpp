@@ -37,8 +37,13 @@ std::string to_string(Duration d) {
     return buf;
 }
 
-Engine::Engine(std::int64_t unix_epoch)
-    : epoch_(unix_epoch >= 0 ? unix_epoch : util::default_sim_epoch()) {
+Engine::Engine(std::int64_t unix_epoch, util::Arena* arena)
+    : epoch_(unix_epoch >= 0 ? unix_epoch : util::default_sim_epoch()),
+      arena_(arena),
+      heap_(util::ArenaAllocator<Entry>(arena)),
+      slot_meta_(util::ArenaAllocator<SlotMeta>(arena)),
+      slot_fns_(util::ArenaAllocator<Callback>(arena)),
+      free_slots_(util::ArenaAllocator<std::uint32_t>(arena)) {
     logger_.set_clock([this] { return now_.whole_seconds(); });
     obs_.set_clock([this] { return now_.ms; });
     // Calendar stats are exported at snapshot time only — the dispatch loop

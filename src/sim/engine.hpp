@@ -23,6 +23,7 @@
 
 #include "obs/obs.hpp"
 #include "sim/time.hpp"
+#include "util/arena.hpp"
 #include "util/inline_function.hpp"
 #include "util/log.hpp"
 
@@ -51,7 +52,12 @@ public:
 
     /// `unix_epoch` anchors simulated time to a calendar date for the text
     /// layers (qstat timestamps). Defaults to the paper's 2010-04-16.
-    explicit Engine(std::int64_t unix_epoch = -1);
+    /// `arena`, when given, backs the calendar's storage (heap entries, slot
+    /// table, callbacks): a sweep worker resets it between replicas, so
+    /// repeated short runs recycle the same warm pages with no malloc/free.
+    /// The arena must outlive the engine and must not be reset while the
+    /// engine lives.
+    explicit Engine(std::int64_t unix_epoch = -1, util::Arena* arena = nullptr);
 
     Engine(const Engine&) = delete;
     Engine& operator=(const Engine&) = delete;
@@ -93,6 +99,9 @@ public:
 
     /// Shared logger; components attach it at construction.
     [[nodiscard]] util::Logger& logger() { return logger_; }
+
+    /// The replica arena backing the calendar, or nullptr (heap mode).
+    [[nodiscard]] util::Arena* arena() const { return arena_; }
 
     /// Shared telemetry hub (metrics / tracing / journal), stamped with sim
     /// time. Disabled by default; configure it before constructing the
@@ -140,11 +149,15 @@ private:
 
     TimePoint now_{};
     std::int64_t epoch_;
+    util::Arena* arena_;
     std::uint64_t next_seq_ = 1;
-    std::vector<Entry> heap_;            ///< 4-ary min-heap by (at, seq)
-    std::vector<SlotMeta> slot_meta_;
-    std::vector<Callback> slot_fns_;     ///< parallel to slot_meta_
-    std::vector<std::uint32_t> free_slots_;
+    /// Calendar storage rides the replica arena when one is given (the
+    /// allocator falls back to the heap otherwise, costing one null check
+    /// per container reallocation — never per event).
+    std::vector<Entry, util::ArenaAllocator<Entry>> heap_;  ///< 4-ary min-heap by (at, seq)
+    std::vector<SlotMeta, util::ArenaAllocator<SlotMeta>> slot_meta_;
+    std::vector<Callback, util::ArenaAllocator<Callback>> slot_fns_;  ///< parallel to slot_meta_
+    std::vector<std::uint32_t, util::ArenaAllocator<std::uint32_t>> free_slots_;
     std::size_t live_count_ = 0;         ///< heap entries that are not tombstones
     EngineStats stats_;
     util::Logger logger_;

@@ -1,0 +1,160 @@
+#include "sweep/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/errors.hpp"
+
+namespace hc::sweep {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One worker's share of the slot space. A worker pops its own deque from
+/// the front; thieves take from the back. The deque is tiny (indices only)
+/// and replicas are milliseconds-heavy, so a plain mutex per deque is
+/// cheaper than a lock-free Chase-Lev structure and trivially TSan-clean.
+struct WorkerDeque {
+    std::mutex m;
+    std::deque<std::size_t> slots;
+};
+
+}  // namespace
+
+int resolve_threads(int requested) {
+    if (requested > 0) return requested < 256 ? requested : 256;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw < 256 ? hw : 256);
+}
+
+SweepStats run_indexed(std::size_t count, int threads, const ReplicaFn& fn) {
+    util::require(static_cast<bool>(fn), "sweep::run_indexed: null replica function");
+    SweepStats stats;
+    stats.replicas = count;
+    int n = resolve_threads(threads);
+    if (static_cast<std::size_t>(n) > count) n = count == 0 ? 1 : static_cast<int>(count);
+    stats.threads = n;
+    const auto t0 = Clock::now();
+
+    if (n <= 1) {
+        // Serial mode: no pool, no locks — the --threads 1 baseline really
+        // is the pre-sweep serial loop (plus the arena).
+        util::Arena arena;
+        WorkerContext ctx{0, &arena};
+        for (std::size_t slot = 0; slot < count; ++slot) {
+            fn(slot, ctx);
+            arena.reset();
+        }
+    } else {
+        std::vector<WorkerDeque> deques(static_cast<std::size_t>(n));
+        // Deal contiguous runs: worker w starts on the slots nearest its
+        // rank, so with balanced replicas nobody steals at all.
+        for (int w = 0; w < n; ++w) {
+            const std::size_t lo = count * static_cast<std::size_t>(w) / static_cast<std::size_t>(n);
+            const std::size_t hi =
+                count * (static_cast<std::size_t>(w) + 1) / static_cast<std::size_t>(n);
+            for (std::size_t slot = lo; slot < hi; ++slot)
+                deques[static_cast<std::size_t>(w)].slots.push_back(slot);
+        }
+        std::atomic<std::uint64_t> steals{0};
+        std::atomic<bool> failed{false};
+        std::mutex error_mutex;
+        std::exception_ptr first_error;
+
+        auto worker = [&](int me) {
+            util::Arena arena;
+            WorkerContext ctx{me, &arena};
+            for (;;) {
+                if (failed.load(std::memory_order_relaxed)) return;
+                std::size_t slot = 0;
+                bool found = false;
+                bool stolen = false;
+                {
+                    WorkerDeque& mine = deques[static_cast<std::size_t>(me)];
+                    std::lock_guard<std::mutex> lock(mine.m);
+                    if (!mine.slots.empty()) {
+                        slot = mine.slots.front();
+                        mine.slots.pop_front();
+                        found = true;
+                    }
+                }
+                for (int step = 1; !found && step < n; ++step) {
+                    WorkerDeque& victim =
+                        deques[static_cast<std::size_t>((me + step) % n)];
+                    std::lock_guard<std::mutex> lock(victim.m);
+                    if (!victim.slots.empty()) {
+                        slot = victim.slots.back();
+                        victim.slots.pop_back();
+                        found = true;
+                        stolen = true;
+                    }
+                }
+                if (!found) return;
+                if (stolen) steals.fetch_add(1, std::memory_order_relaxed);
+                try {
+                    fn(slot, ctx);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (first_error == nullptr) first_error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                }
+                arena.reset();
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(n) - 1);
+        for (int w = 1; w < n; ++w) pool.emplace_back(worker, w);
+        worker(0);  // the caller's thread is worker 0
+        for (std::thread& t : pool) t.join();
+        stats.steals = steals.load(std::memory_order_relaxed);
+        if (first_error != nullptr) std::rethrow_exception(first_error);
+    }
+
+    const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    stats.wall_ms = wall_s * 1e3;
+    stats.replicas_per_sec =
+        wall_s > 0 ? static_cast<double>(count) / wall_s : 0.0;
+    return stats;
+}
+
+ScenarioReplica make_replica(core::ScenarioConfig config,
+                             std::vector<workload::JobSpec> trace, std::string label) {
+    ScenarioReplica replica;
+    replica.config = config;
+    replica.trace =
+        std::make_shared<const std::vector<workload::JobSpec>>(std::move(trace));
+    replica.label = std::move(label);
+    return replica;
+}
+
+ScenarioSweepResult run_scenarios(std::vector<ScenarioReplica> replicas, int threads) {
+    ScenarioSweepResult out;
+    out.results.resize(replicas.size());
+    static const std::vector<workload::JobSpec> kEmptyTrace;
+    out.stats = run_indexed(
+        replicas.size(), threads, [&](std::size_t slot, WorkerContext& ctx) {
+            const ScenarioReplica& replica = replicas[slot];
+            core::ScenarioConfig config = replica.config;
+            config.arena = ctx.arena;
+            const auto& trace = replica.trace != nullptr ? *replica.trace : kEmptyTrace;
+            core::ScenarioResult result = core::run_scenario(config, trace);
+            if (!replica.label.empty()) result.label = replica.label;
+            out.results[slot] = std::move(result);
+        });
+    // Slot-ordered aggregation on the caller's thread: the merged histogram
+    // is the same object for any thread count.
+    for (const core::ScenarioResult& result : out.results) {
+        util::Histogram h(0, kWaitHistMaxS, kWaitHistBuckets);
+        if (result.summary.completed > 0) h.add(result.summary.mean_wait_s);
+        out.mean_wait_hist.merge(h);
+    }
+    return out;
+}
+
+}  // namespace hc::sweep

@@ -1,0 +1,122 @@
+// hc::sweep — parallel replica execution engine.
+//
+// A replica is one self-contained simulation: a `ScenarioConfig` (which
+// carries its seed and optional fault plan) plus a workload trace, producing
+// a `ScenarioResult`. Replicas share nothing — every one builds its own
+// engine, cluster, and schedulers — so a sweep of N replicas is
+// embarrassingly parallel, and a full E5 robustness campaign or a nightly
+// fuzz run is bounded by cores, not by serial wall-clock.
+//
+// Execution model: a work-stealing thread pool. Slots [0, N) are dealt to
+// workers in contiguous runs; a worker drains its own deque from the front
+// and, when empty, steals from the BACK of a victim's deque (stealing the
+// work farthest from what the victim touches next, classic Cilk-style).
+// Each worker owns a `util::Arena` that replica-scoped allocations (the
+// engine calendar, see sim/engine.hpp) ride on; the arena is reset between
+// replicas, so consecutive runs on a worker recycle the same warm pages and
+// pay zero malloc/free on the arena'd paths.
+//
+// Determinism contract (pinned by tests/test_sweep.cpp):
+//   * replica i's behaviour depends only on its own config — seeds are
+//     forked per replica by the *caller* (seed = first_seed + slot is the
+//     house pattern), never drawn from a shared stream at run time;
+//   * results land in slot-indexed storage (out[i] is always replica i) and
+//     all aggregation — JSON records, fuzz verdict lists,
+//     `util::Histogram::merge` — walks slots in order on the caller's
+//     thread after the pool has joined;
+//   * therefore every output is byte-identical at --threads 1, 8, or any
+//     other count. Thread count is a wall-clock knob, nothing else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/arena.hpp"
+#include "util/histogram.hpp"
+
+namespace hc::sweep {
+
+/// Per-worker state handed to every replica the worker executes. The arena
+/// is reset by the runner after each replica returns.
+struct WorkerContext {
+    int worker = 0;
+    util::Arena* arena = nullptr;
+};
+
+/// Execution envelope of one sweep, for throughput records
+/// (`hc-bench-json/1` documents carry these as top-level fields).
+struct SweepStats {
+    std::size_t replicas = 0;
+    int threads = 1;
+    std::uint64_t steals = 0;  ///< replicas run off another worker's deque
+    double wall_ms = 0;
+    double replicas_per_sec = 0;
+};
+
+/// Resolve a requested thread count: <= 0 means one per hardware thread
+/// (clamped to [1, 256]; never more threads than replicas is applied by the
+/// runner itself).
+[[nodiscard]] int resolve_threads(int requested);
+
+using ReplicaFn = std::function<void(std::size_t slot, WorkerContext&)>;
+
+/// Run `fn(slot, ctx)` for every slot in [0, count) across `threads`
+/// workers. Blocks until all replicas finish. The first exception thrown by
+/// a replica is rethrown here (remaining queued replicas are abandoned).
+SweepStats run_indexed(std::size_t count, int threads, const ReplicaFn& fn);
+
+/// Typed fan-out: collect `fn`'s return values into a slot-indexed vector.
+/// Result must be default-constructible and movable.
+template <class Result, class Fn>
+std::vector<Result> map_indexed(std::size_t count, int threads, Fn&& fn,
+                                SweepStats* stats = nullptr) {
+    std::vector<Result> out(count);
+    SweepStats s = run_indexed(
+        count, threads,
+        [&](std::size_t slot, WorkerContext& ctx) { out[slot] = fn(slot, ctx); });
+    if (stats != nullptr) *stats = s;
+    return out;
+}
+
+// ---- scenario replicas -----------------------------------------------------
+
+/// One scheduled simulation. The trace is shared (read-only) so a sweep of
+/// 100 seeds over the same workload carries one copy, not 100.
+struct ScenarioReplica {
+    core::ScenarioConfig config;
+    std::shared_ptr<const std::vector<workload::JobSpec>> trace;
+    std::string label;  ///< optional override of the result's label
+};
+
+[[nodiscard]] ScenarioReplica make_replica(core::ScenarioConfig config,
+                                           std::vector<workload::JobSpec> trace,
+                                           std::string label = "");
+
+/// Bucketing of the cross-replica wait histogram: mean waits land well
+/// inside [0, 4h) for every scenario in the repo; the edge buckets clamp
+/// the rest.
+inline constexpr double kWaitHistMaxS = 4 * 3600.0;
+inline constexpr int kWaitHistBuckets = 48;
+
+struct ScenarioSweepResult {
+    std::vector<core::ScenarioResult> results;  ///< slot-indexed, replica order
+    SweepStats stats;
+    /// Per-replica mean waits (seconds), merged in slot order via
+    /// Histogram::merge — replicas that completed no jobs contribute an
+    /// empty histogram (a no-op on the merged percentiles).
+    util::Histogram mean_wait_hist{0, kWaitHistMaxS, kWaitHistBuckets};
+};
+
+/// Run every replica through the pool. Each replica's engine rides the
+/// worker's arena; results and the merged histogram are deterministic for
+/// any thread count.
+[[nodiscard]] ScenarioSweepResult run_scenarios(std::vector<ScenarioReplica> replicas,
+                                                int threads);
+
+}  // namespace hc::sweep

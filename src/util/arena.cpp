@@ -1,0 +1,136 @@
+#include "util/arena.hpp"
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "util/errors.hpp"
+
+// ASan hooks: poisoned-on-reset arena memory turns any use-after-reset into
+// an immediate ASan report instead of silent corruption on the next replica.
+#if defined(__SANITIZE_ADDRESS__)
+#define HC_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HC_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef HC_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define HC_ARENA_POISON(p, n) __asan_poison_memory_region((p), (n))
+#define HC_ARENA_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
+#else
+#define HC_ARENA_POISON(p, n) ((void)(p), (void)(n))
+#define HC_ARENA_UNPOISON(p, n) ((void)(p), (void)(n))
+#endif
+
+namespace hc::util {
+
+namespace {
+
+// Bump cursor in 8-byte quanta: keeps every allocation start 8-aligned (the
+// ASan shadow granule) so poison/unpoison boundaries are exact.
+constexpr std::size_t kQuantum = 8;
+
+constexpr std::size_t round_up(std::size_t v, std::size_t align) {
+    return (v + align - 1) & ~(align - 1);
+}
+
+char* aligned_cursor(char* cursor, std::size_t align) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(cursor);
+    return cursor + (round_up(addr, align) - addr);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t block_size)
+    : block_size_(round_up(block_size > 0 ? block_size : kQuantum, kQuantum)) {}
+
+Arena::~Arena() { release(); }
+
+void* Arena::allocate(std::size_t size, std::size_t align) {
+    require(align != 0 && (align & (align - 1)) == 0,
+            "Arena::allocate: alignment must be a power of two");
+    if (align < kQuantum) align = kQuantum;
+    size = round_up(size > 0 ? size : 1, kQuantum);
+    char* p = cursor_ == nullptr ? nullptr : aligned_cursor(cursor_, align);
+    if (p == nullptr || p + size > end_) return allocate_slow(size, align);
+    bytes_used_ += static_cast<std::size_t>(p + size - cursor_);
+    cursor_ = p + size;
+    HC_ARENA_UNPOISON(p, size);
+    return p;
+}
+
+void* Arena::allocate_slow(std::size_t size, std::size_t align) {
+    // Requests the normal geometry cannot satisfy (huge vectors late in a
+    // run) get a dedicated block, freed — not retained — at reset.
+    if (size + align > block_size_) {
+        Block block;
+        block.size = size + align;
+        block.data = static_cast<char*>(::operator new(block.size));
+        bytes_reserved_ += block.size;
+        oversized_.push_back(block);
+        char* p = aligned_cursor(block.data, align);
+        bytes_used_ += size;
+        HC_ARENA_POISON(block.data, block.size);
+        HC_ARENA_UNPOISON(p, size);
+        return p;
+    }
+    // Advance to the next retained block, or mint one. The straggler bytes
+    // left in the previous block stay counted in bytes_used_ (padding).
+    if (cursor_ != nullptr) bytes_used_ += static_cast<std::size_t>(end_ - cursor_);
+    if (current_ + 1 < blocks_.size() || (!blocks_.empty() && cursor_ == nullptr)) {
+        current_ = cursor_ == nullptr ? 0 : current_ + 1;
+    } else {
+        Block block;
+        block.size = block_size_;
+        block.data = static_cast<char*>(::operator new(block.size));
+        HC_ARENA_POISON(block.data, block.size);
+        bytes_reserved_ += block.size;
+        blocks_.push_back(block);
+        current_ = blocks_.size() - 1;
+    }
+    cursor_ = blocks_[current_].data;
+    end_ = cursor_ + blocks_[current_].size;
+    char* p = aligned_cursor(cursor_, align);
+    ensure(p + size <= end_, "Arena: block cannot satisfy aligned request");
+    bytes_used_ += static_cast<std::size_t>(p + size - cursor_);
+    cursor_ = p + size;
+    HC_ARENA_UNPOISON(p, size);
+    return p;
+}
+
+void Arena::reset() {
+    for (const Block& block : oversized_) {
+        HC_ARENA_UNPOISON(block.data, block.size);
+        bytes_reserved_ -= block.size;
+        ::operator delete(block.data);
+    }
+    oversized_.clear();
+    for (const Block& block : blocks_) HC_ARENA_POISON(block.data, block.size);
+    current_ = 0;
+    cursor_ = nullptr;  // next allocate re-enters block 0 via allocate_slow
+    end_ = nullptr;
+    bytes_used_ = 0;
+    ++reset_count_;
+}
+
+void Arena::release() {
+    for (const Block& block : oversized_) {
+        HC_ARENA_UNPOISON(block.data, block.size);
+        ::operator delete(block.data);
+    }
+    oversized_.clear();
+    for (const Block& block : blocks_) {
+        HC_ARENA_UNPOISON(block.data, block.size);
+        ::operator delete(block.data);
+    }
+    blocks_.clear();
+    current_ = 0;
+    cursor_ = nullptr;
+    end_ = nullptr;
+    bytes_used_ = 0;
+    bytes_reserved_ = 0;
+}
+
+}  // namespace hc::util

@@ -1,0 +1,139 @@
+// Monotonic arena allocator for replica-scoped allocations.
+//
+// A sweep worker runs thousands of short-lived simulations back to back;
+// each run's hot allocations (the engine's event calendar above all) share
+// one lifetime — the replica. The arena bump-allocates from reusable blocks
+// and reclaims everything in O(1) at `reset()`, so from the second replica
+// onward a worker touches no malloc/free at all on the arena'd paths and
+// keeps hitting the same warm pages.
+//
+// Contract:
+//   * allocations are never individually freed — `reset()` reclaims the lot
+//     (normal blocks are retained for reuse; oversized ones are returned to
+//     the heap);
+//   * everything allocated from the arena must be destroyed (or be trivially
+//     destructible) before `reset()` — the arena runs no destructors;
+//   * under AddressSanitizer the reclaimed memory is poisoned on `reset()`,
+//     so a use-after-reset is an ASan report, not silent reuse
+//     (tests/test_arena.cpp checks the poisoning is wired);
+//   * not thread-safe — one arena per worker is the intended shape
+//     (sweep::WorkerContext).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace hc::util {
+
+class Arena {
+public:
+    /// `block_size` is the granule of heap requests; allocations larger than
+    /// it get a dedicated oversized block (freed on reset, not retained).
+    explicit Arena(std::size_t block_size = kDefaultBlockSize);
+    ~Arena();
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /// Bump-allocate `size` bytes at `align`. Never returns nullptr (throws
+    /// std::bad_alloc if the heap itself is exhausted). `size` 0 is allowed
+    /// and returns a unique, valid pointer.
+    [[nodiscard]] void* allocate(std::size_t size,
+                                 std::size_t align = alignof(std::max_align_t));
+
+    /// Construct a T in arena storage. The arena never runs ~T: only use
+    /// this for objects destroyed manually or trivially destructible.
+    template <class T, class... Args>
+    [[nodiscard]] T* create(Args&&... args) {
+        return ::new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+    }
+
+    /// Reclaim every allocation at once: rewind to the first block, keep the
+    /// normal blocks for reuse, free the oversized ones. Under ASan the
+    /// retained capacity is poisoned until re-allocated.
+    void reset();
+
+    /// Free every block, retained or not (reset() first to keep capacity).
+    void release();
+
+    [[nodiscard]] std::size_t block_size() const { return block_size_; }
+    /// Bytes handed out since the last reset (including alignment padding).
+    [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
+    /// Total heap bytes currently owned (retained + oversized blocks).
+    [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
+    [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+    [[nodiscard]] std::size_t oversized_block_count() const { return oversized_.size(); }
+    /// Lifetime reset() calls — the sweep runner's replicas-per-arena signal.
+    [[nodiscard]] std::size_t reset_count() const { return reset_count_; }
+
+    static constexpr std::size_t kDefaultBlockSize = 256 * 1024;
+
+private:
+    struct Block {
+        char* data = nullptr;
+        std::size_t size = 0;
+    };
+
+    /// Switch to the next retained block (allocating a fresh one if none is
+    /// left) or, for size > block_size_, mint a dedicated oversized block.
+    [[nodiscard]] void* allocate_slow(std::size_t size, std::size_t align);
+
+    std::vector<Block> blocks_;      ///< normal blocks, bump-allocated in order
+    std::vector<Block> oversized_;   ///< one-off blocks for huge requests
+    std::size_t block_size_;
+    std::size_t current_ = 0;        ///< index into blocks_ being carved
+    char* cursor_ = nullptr;
+    char* end_ = nullptr;
+    std::size_t bytes_used_ = 0;
+    std::size_t bytes_reserved_ = 0;
+    std::size_t reset_count_ = 0;
+};
+
+/// std::allocator-compatible handle over an Arena, with a heap fallback:
+/// a default-constructed (or nullptr-arena) allocator behaves exactly like
+/// std::allocator, so container types can be fixed to
+/// `std::vector<T, ArenaAllocator<T>>` and opt into the arena per instance
+/// (the sim::Engine calendar does exactly this). `deallocate` is a no-op in
+/// arena mode — memory comes back wholesale via Arena::reset().
+template <class T>
+class ArenaAllocator {
+public:
+    using value_type = T;
+    // Moves/copies/swaps carry the arena with the container, so a container
+    // never silently switches allocation source mid-life.
+    using propagate_on_container_copy_assignment = std::true_type;
+    using propagate_on_container_move_assignment = std::true_type;
+    using propagate_on_container_swap = std::true_type;
+    using is_always_equal = std::false_type;
+
+    ArenaAllocator() noexcept = default;
+    explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+    template <class U>
+    ArenaAllocator(const ArenaAllocator<U>& other) noexcept : arena_(other.arena()) {}
+
+    [[nodiscard]] T* allocate(std::size_t n) {
+        if (arena_ != nullptr)
+            return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+        return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+
+    void deallocate(T* p, std::size_t) noexcept {
+        if (arena_ == nullptr) ::operator delete(p);
+        // Arena-backed memory is reclaimed by Arena::reset(), never piecemeal.
+    }
+
+    [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+    template <class U>
+    [[nodiscard]] bool operator==(const ArenaAllocator<U>& other) const noexcept {
+        return arena_ == other.arena();
+    }
+
+private:
+    Arena* arena_ = nullptr;
+};
+
+}  // namespace hc::util

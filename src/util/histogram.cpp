@@ -32,6 +32,29 @@ void Histogram::add(double value) {
     }
 }
 
+void Histogram::merge(const Histogram& other) {
+    require(lo_ == other.lo_ && hi_ == other.hi_ && buckets_.size() == other.buckets_.size(),
+            "Histogram::merge: bucketing mismatch");
+    if (other.count_ == 0) return;  // empty source: nothing to fold in
+    // An empty destination adopts the source's extrema outright — its own
+    // min_/max_ are zero placeholders, not samples, and must not clamp.
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+    // Appending invalidates our sample order unless we had none and the
+    // source is already sorted.
+    const bool still_sorted = samples_.empty() && other.sorted_;
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = still_sorted;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
 double Histogram::mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0; }
 double Histogram::min() const { return min_; }
 double Histogram::max() const { return max_; }

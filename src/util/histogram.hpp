@@ -16,6 +16,15 @@ public:
 
     void add(double value);
 
+    /// Fold `other`'s samples into this histogram. Bucketing (lo, hi, bucket
+    /// count) must match. Merging an empty histogram — in either direction —
+    /// is a no-op on the populated side: count, mean, min/max, and every
+    /// percentile are unchanged (an empty histogram's zero-valued min/max
+    /// placeholders never leak in). This is the deterministic cross-replica
+    /// aggregation primitive: hc::sweep merges per-replica histograms in
+    /// slot order, so the result is identical at any thread count.
+    void merge(const Histogram& other);
+
     [[nodiscard]] std::size_t count() const { return count_; }
     /// Empty histograms report 0 for mean/min/max (and percentile): callers
     /// snapshotting before any sample see zeros, never garbage.

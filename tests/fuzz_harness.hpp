@@ -1,0 +1,200 @@
+// Shared core of the seed-sweep invariant fuzzer: one self-contained
+// replica (`run_one`) plus its deterministic workload and repro writer.
+// Used by test_fuzz_invariants.cpp (the sweep itself, through the hc::sweep
+// pool) and test_sweep.cpp (the thread-count-invariance golden tests, which
+// compare verdict lists produced at different --threads settings).
+//
+// Invariants checked after each run:
+//   1. node conservation — every node is in exactly one power state and the
+//      cluster never gains or loses nodes;
+//   2. liveness — with recovery enabled, no node is left kHung at the end
+//      (the sweeper never gives up, so a wedged node is a bug);
+//   3. order drain — no switch order stays in flight forever: after the
+//      post-horizon grace the watchdog has satisfied, reissued-to-success,
+//      or abandoned every order;
+//   4. job accounting — every PBS/WinHPC job is accounted: terminal
+//      completions plus still-live jobs equal submissions;
+//   5. engine sanity — sim time is monotone (run_until lands exactly on the
+//      horizon) and the event calendar's conservation identity holds.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/hybrid.hpp"
+#include "fault/plan.hpp"
+#include "pbs/server.hpp"
+#include "util/arena.hpp"
+#include "winhpc/scheduler.hpp"
+
+namespace hc::fault {
+
+struct FuzzRunConfig {
+    std::uint64_t seed = 0;
+    bool recovery = true;
+    int node_count = 8;
+    sim::Duration horizon = sim::hours(12);
+    /// Post-horizon grace with no new workload: outages heal and the
+    /// watchdog/sweeper converge. Must exceed the slowest recovery chain
+    /// (last job completion -> decision -> order timeout * 2^retries ->
+    /// boot). Cheap to oversize: a quiescent cluster is a handful of
+    /// events per sim-minute.
+    sim::Duration drain = sim::hours(12);
+};
+
+struct FuzzOutcome {
+    FaultPlan plan;
+    std::vector<std::string> violations;
+};
+
+/// Deterministic workload derived from the seed: enough queue pressure on
+/// both sides to keep switch decisions (and thus orders) flowing.
+inline std::vector<workload::JobSpec> make_workload(std::uint64_t seed,
+                                                    const FuzzRunConfig& cfg) {
+    util::Rng rng = util::Rng(seed).fork("fuzz-workload");
+    std::vector<workload::JobSpec> trace;
+    const int jobs = static_cast<int>(rng.uniform_int(10, 30));
+    for (int i = 0; i < jobs; ++i) {
+        workload::JobSpec spec;
+        spec.app = i % 2 == 0 ? "DL_POLY" : "matlab";
+        spec.os = rng.chance(0.35) ? cluster::OsType::kWindows : cluster::OsType::kLinux;
+        spec.nodes = static_cast<int>(rng.uniform_int(1, 2));
+        spec.ppn = 4;
+        spec.owner = "sliang";
+        spec.runtime = sim::minutes(rng.uniform_int(10, 90));
+        spec.submit = sim::TimePoint{} +
+                      sim::minutes(rng.uniform_int(0, cfg.horizon.ms / 60'000 / 2));
+        trace.push_back(spec);
+    }
+    return trace;
+}
+
+/// One fuzz replica: build a random plan from the seed, run the full hybrid
+/// cluster over it, check every invariant. Entirely self-contained — state
+/// depends only on `cfg` — so replicas parallelise freely; `arena` (may be
+/// null) backs the engine calendar when run under a sweep worker.
+inline FuzzOutcome run_one(const FuzzRunConfig& cfg, util::Arena* arena = nullptr) {
+    FuzzOutcome outcome;
+    RandomPlanOptions plan_options;
+    plan_options.node_count = cfg.node_count;
+    plan_options.horizon = cfg.horizon;
+    plan_options.v2 = true;
+    outcome.plan = make_random_plan(plan_options, cfg.seed);
+
+    sim::Engine engine(/*unix_epoch=*/-1, arena);
+    core::HybridConfig hc;
+    hc.cluster.node_count = cfg.node_count;
+    hc.cluster.seed = cfg.seed;
+    hc.version = deploy::MiddlewareVersion::kV2;
+    hc.poll_interval = sim::minutes(10);
+    hc.fault_plan = outcome.plan;
+    hc.recovery.enabled = cfg.recovery;
+    core::HybridCluster hybrid(engine, hc);
+    hybrid.start();
+    hybrid.replay(make_workload(cfg.seed, cfg));
+
+    const sim::TimePoint horizon_end = sim::TimePoint{} + cfg.horizon;
+    engine.run_until(horizon_end);
+    auto check = [&](bool ok, const std::string& what) {
+        if (!ok) outcome.violations.push_back(what);
+    };
+    check(engine.now() == horizon_end, "sim clock not monotone to horizon");
+    // Quiesce: no new workload, outages heal, watchdog/sweeper converge.
+    engine.run_until(horizon_end + cfg.drain);
+
+    // 1. Node conservation.
+    int by_state = 0;
+    int hung = 0;
+    for (auto* node : hybrid.cluster().nodes()) {
+        switch (node->state()) {
+            case cluster::PowerState::kOff:
+            case cluster::PowerState::kShuttingDown:
+            case cluster::PowerState::kFirmware:
+            case cluster::PowerState::kBootLoader:
+            case cluster::PowerState::kBootingOs:
+            case cluster::PowerState::kUp: ++by_state; break;
+            case cluster::PowerState::kHung:
+                ++by_state;
+                ++hung;
+                break;
+        }
+    }
+    check(by_state == cfg.node_count, "node lost: " + std::to_string(by_state) + "/" +
+                                          std::to_string(cfg.node_count) + " accounted");
+
+    // 2. Liveness under recovery.
+    if (cfg.recovery)
+        check(hung == 0, std::to_string(hung) + " node(s) left kHung despite recovery");
+
+    // 3. Order drain.
+    if (cfg.recovery)
+        check(hybrid.controller().pending_order_count() == 0,
+              std::to_string(hybrid.controller().pending_order_count()) +
+                  " switch order(s) still in flight after drain");
+
+    // 4. Job accounting, both schedulers.
+    {
+        const pbs::ServerStats& s = hybrid.pbs().stats();
+        std::uint64_t live = 0;
+        for (const pbs::Job* job : hybrid.pbs().all_jobs())
+            if (job->state != pbs::JobState::kCompleted) ++live;
+        check(s.completed_normal + s.deleted + s.aborted_node_failure + s.killed_walltime +
+                      live ==
+                  s.submitted,
+              "pbs job accounting mismatch");
+        const winhpc::HpcStats& w = hybrid.winhpc().stats();
+        const std::uint64_t w_live =
+            static_cast<std::uint64_t>(hybrid.winhpc().queued_job_count()) +
+            static_cast<std::uint64_t>(hybrid.winhpc().running_job_count());
+        check(w.finished + w.failed_node_loss + w.canceled + w.killed_runtime_limit + w_live ==
+                  w.submitted,
+              "winhpc job accounting mismatch");
+    }
+
+    // 5. Engine conservation identity.
+    {
+        const sim::EngineStats& es = engine.stats();
+        check(es.scheduled == es.dispatched + es.cancelled + engine.pending_events(),
+              "engine event conservation violated");
+    }
+    return outcome;
+}
+
+/// Persist a failing seed as a standalone repro artifact.
+inline void write_repro(const FuzzRunConfig& cfg, const FuzzOutcome& outcome) {
+    std::error_code ec;
+    std::filesystem::create_directories("fuzz_failures", ec);
+    const std::string stem = "fuzz_failures/seed_" + std::to_string(cfg.seed);
+    std::ofstream plan_file(stem + ".plan.json");
+    plan_file << outcome.plan.to_json();
+    std::ofstream note(stem + ".txt");
+    note << "seed: " << cfg.seed << "\n"
+         << "repro: HC_FUZZ_REPRO_SEED=" << cfg.seed << " ./test_fuzz_invariants\n"
+         << "or:    dualboot_sim run --version v2 --faults " << stem << ".plan.json\n"
+         << "violations:\n";
+    for (const std::string& v : outcome.violations) note << "  - " << v << "\n";
+}
+
+/// Render slot-indexed outcomes as the canonical verdict list — one line per
+/// seed, violations inline. This string is the golden artifact the
+/// invariance tests compare across thread counts: it must depend only on
+/// (first_seed, count), never on execution order.
+inline std::string format_verdicts(std::uint64_t first_seed,
+                                   const std::vector<FuzzOutcome>& outcomes) {
+    std::string out;
+    for (std::size_t slot = 0; slot < outcomes.size(); ++slot) {
+        out += "seed " + std::to_string(first_seed + slot) + ": ";
+        if (outcomes[slot].violations.empty()) {
+            out += "ok";
+        } else {
+            out += "FAIL";
+            for (const std::string& v : outcomes[slot].violations) out += "; " + v;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace hc::fault

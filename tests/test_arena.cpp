@@ -1,0 +1,180 @@
+// util::Arena — the replica allocator under hc::sweep workers.
+//
+// The properties pinned here are the ones the sweep runner leans on:
+// alignment for any type, block reuse across reset() (the "second replica
+// is allocation-free" claim), a dedicated-block fallback for oversized
+// requests, and — under AddressSanitizer — poisoning of reclaimed memory so
+// a use-after-reset is a crash, not silent cross-replica contamination.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/arena.hpp"
+#include "util/errors.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define HC_TEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HC_TEST_ASAN 1
+#endif
+#endif
+#ifdef HC_TEST_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace hc::util {
+namespace {
+
+TEST(Arena, AllocationsDoNotOverlapAndAreWritable) {
+    Arena arena(4096);
+    std::vector<std::pair<char*, std::size_t>> chunks;
+    for (int i = 0; i < 200; ++i) {
+        const std::size_t size = 1 + static_cast<std::size_t>(i) % 97;
+        char* p = static_cast<char*>(arena.allocate(size));
+        std::memset(p, i & 0xff, size);
+        chunks.emplace_back(p, size);
+    }
+    // Every chunk still holds its fill pattern: nothing overlapped.
+    for (int i = 0; i < 200; ++i) {
+        const auto& [p, size] = chunks[static_cast<std::size_t>(i)];
+        for (std::size_t b = 0; b < size; ++b)
+            ASSERT_EQ(static_cast<unsigned char>(p[b]), i & 0xff);
+    }
+    EXPECT_GT(arena.bytes_used(), 0u);
+    EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(Arena, RespectsAlignment) {
+    Arena arena(4096);
+    (void)arena.allocate(1);  // misalign the cursor on purpose
+    for (const std::size_t align : {8u, 16u, 32u, 64u, 128u}) {
+        void* p = arena.allocate(24, align);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+            << "requested alignment " << align;
+        (void)arena.allocate(3);  // re-misalign between iterations
+    }
+}
+
+TEST(Arena, CreateConstructsAlignedObjects) {
+    struct alignas(64) Wide {
+        double payload[4];
+    };
+    Arena arena;
+    Wide* w = arena.create<Wide>();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % 64, 0u);
+    int* n = arena.create<int>(41);
+    EXPECT_EQ(*n + 1, 42);
+}
+
+TEST(Arena, ResetReusesTheSameBlocks) {
+    Arena arena(4096);
+    void* first = arena.allocate(64);
+    for (int i = 0; i < 100; ++i) (void)arena.allocate(128);
+    const std::size_t reserved_after_round_one = arena.bytes_reserved();
+    const std::size_t blocks = arena.block_count();
+
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.reset_count(), 1u);
+    // Same first pointer, same blocks, no new heap memory: the second
+    // "replica" runs entirely in recycled storage.
+    void* again = arena.allocate(64);
+    EXPECT_EQ(again, first);
+    for (int i = 0; i < 100; ++i) (void)arena.allocate(128);
+    EXPECT_EQ(arena.bytes_reserved(), reserved_after_round_one);
+    EXPECT_EQ(arena.block_count(), blocks);
+}
+
+TEST(Arena, OversizedRequestsGetDedicatedBlocksFreedOnReset) {
+    Arena arena(1024);
+    char* big = static_cast<char*>(arena.allocate(16 * 1024));
+    std::memset(big, 0x5a, 16 * 1024);  // must be fully writable
+    EXPECT_EQ(arena.oversized_block_count(), 1u);
+    // Normal allocation still works alongside the oversized block.
+    void* small = arena.allocate(16);
+    EXPECT_NE(small, nullptr);
+    const std::size_t reserved_with_big = arena.bytes_reserved();
+    arena.reset();
+    EXPECT_EQ(arena.oversized_block_count(), 0u);
+    EXPECT_LT(arena.bytes_reserved(), reserved_with_big);  // big block returned
+}
+
+TEST(Arena, ZeroSizeAllocationsAreDistinct) {
+    Arena arena;
+    void* a = arena.allocate(0);
+    void* b = arena.allocate(0);
+    EXPECT_NE(a, nullptr);
+    EXPECT_NE(a, b);
+}
+
+TEST(Arena, RejectsNonPowerOfTwoAlignment) {
+    Arena arena;
+    EXPECT_THROW((void)arena.allocate(8, 24), PreconditionError);
+    EXPECT_THROW((void)arena.allocate(8, 0), PreconditionError);
+}
+
+// The ASan contract: reset() poisons retained capacity, allocate() unpoisons
+// exactly what it hands out. Under a sanitized build a read through a stale
+// pointer after reset() is an immediate use-after-poison report; this test
+// checks the wiring is live without dereferencing (which would abort).
+TEST(Arena, PoisonsReclaimedMemoryOnResetUnderAsan) {
+#ifdef HC_TEST_ASAN
+    Arena arena(4096);
+    char* p = static_cast<char*>(arena.allocate(64));
+    EXPECT_FALSE(__asan_address_is_poisoned(p));
+    EXPECT_FALSE(__asan_address_is_poisoned(p + 63));
+    arena.reset();
+    EXPECT_TRUE(__asan_address_is_poisoned(p)) << "stale replica memory must be poisoned";
+    // Re-allocating the same range unpoisons it again.
+    char* again = static_cast<char*>(arena.allocate(64));
+    EXPECT_EQ(again, p);
+    EXPECT_FALSE(__asan_address_is_poisoned(again));
+#else
+    GTEST_SKIP() << "AddressSanitizer not enabled in this build";
+#endif
+}
+
+TEST(ArenaAllocator, VectorGrowsInsideArenaAndFallsBackWithout) {
+    Arena arena;
+    std::vector<int, ArenaAllocator<int>> in_arena{ArenaAllocator<int>(&arena)};
+    for (int i = 0; i < 10'000; ++i) in_arena.push_back(i);
+    for (int i = 0; i < 10'000; ++i) ASSERT_EQ(in_arena[static_cast<std::size_t>(i)], i);
+    EXPECT_GT(arena.bytes_used(), 10'000 * sizeof(int));
+
+    std::vector<int, ArenaAllocator<int>> on_heap;  // default: heap fallback
+    for (int i = 0; i < 1'000; ++i) on_heap.push_back(i);
+    EXPECT_EQ(on_heap.back(), 999);
+    EXPECT_NE(in_arena.get_allocator(), on_heap.get_allocator());
+}
+
+// The production shape: an Engine whose calendar rides a worker arena must
+// behave identically to a heap-backed one, replica after replica on the
+// same (reset) arena.
+TEST(ArenaEngine, CalendarOnArenaMatchesHeapAcrossResets) {
+    auto run = [](util::Arena* arena) {
+        sim::Engine engine(-1, arena);
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 2'000; ++i) {
+            const auto id = engine.schedule_after(sim::milliseconds(i % 37),
+                                                  [&fired] { ++fired; });
+            if (i % 3 == 0) engine.cancel(id);
+        }
+        engine.run_all();
+        return std::pair<std::uint64_t, std::uint64_t>{fired, engine.stats().dispatched};
+    };
+    const auto heap_result = run(nullptr);
+    Arena arena;
+    for (int replica = 0; replica < 3; ++replica) {
+        EXPECT_EQ(run(&arena), heap_result) << "replica " << replica;
+        arena.reset();
+    }
+    EXPECT_EQ(arena.reset_count(), 3u);
+}
+
+}  // namespace
+}  // namespace hc::util

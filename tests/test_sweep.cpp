@@ -1,0 +1,176 @@
+// hc::sweep — pool behaviour and the determinism contract.
+//
+// The headline guarantee (pinned by the *ByteIdenticalAcrossThreads tests):
+// every sweep output — fuzz verdict lists, bench JSON records, merged
+// histograms — is byte-identical at --threads 1 and --threads 4. Thread
+// count is a wall-clock knob, nothing else. The remaining tests pin the
+// pool mechanics the guarantee rests on: slot-indexed results, threads
+// clamped to replicas, arenas reset between replicas, first-exception
+// propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fuzz_harness.hpp"
+#include "sweep/runner.hpp"
+
+namespace hc::sweep {
+namespace {
+
+// ---- pool mechanics --------------------------------------------------------
+
+TEST(SweepRunner, ResolveThreadsClampsSanely) {
+    EXPECT_EQ(resolve_threads(5), 5);
+    EXPECT_EQ(resolve_threads(256), 256);
+    EXPECT_EQ(resolve_threads(10'000), 256);
+    EXPECT_GE(resolve_threads(0), 1);   // hardware default
+    EXPECT_GE(resolve_threads(-3), 1);  // negative = hardware default
+}
+
+TEST(SweepRunner, MapIndexedIsSlotIndexed) {
+    SweepStats stats;
+    const auto out = map_indexed<std::size_t>(
+        100, 4, [](std::size_t slot, WorkerContext&) { return slot * slot; }, &stats);
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+    EXPECT_EQ(stats.replicas, 100u);
+    EXPECT_EQ(stats.threads, 4);
+    EXPECT_GT(stats.wall_ms, 0.0);
+    EXPECT_GT(stats.replicas_per_sec, 0.0);
+}
+
+TEST(SweepRunner, ThreadsNeverExceedReplicas) {
+    const SweepStats stats = run_indexed(3, 8, [](std::size_t, WorkerContext&) {});
+    EXPECT_EQ(stats.threads, 3);
+}
+
+TEST(SweepRunner, EveryReplicaRunsExactlyOnce) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h.store(0);
+    (void)run_indexed(hits.size(), 7, [&](std::size_t slot, WorkerContext&) {
+        hits[slot].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+}
+
+TEST(SweepRunner, WorkerArenaIsFreshForEachReplica) {
+    std::atomic<int> dirty{0};
+    (void)run_indexed(32, 4, [&](std::size_t, WorkerContext& ctx) {
+        ASSERT_NE(ctx.arena, nullptr);
+        // The runner resets the arena after every replica, so each one
+        // starts from an empty (fully recycled) allocator.
+        if (ctx.arena->bytes_used() != 0) dirty.fetch_add(1);
+        (void)ctx.arena->allocate(4096);
+    });
+    EXPECT_EQ(dirty.load(), 0);
+}
+
+TEST(SweepRunner, FirstExceptionPropagatesToCaller) {
+    EXPECT_THROW(run_indexed(64, 4,
+                             [](std::size_t slot, WorkerContext&) {
+                                 if (slot == 17) throw std::runtime_error("replica 17 boom");
+                             }),
+                 std::runtime_error);
+    // The pool is not poisoned: a subsequent sweep on fresh workers is fine.
+    const SweepStats stats = run_indexed(8, 4, [](std::size_t, WorkerContext&) {});
+    EXPECT_EQ(stats.replicas, 8u);
+}
+
+// ---- determinism golden tests ----------------------------------------------
+
+// Fuzz verdict lists: the quick-shard artifact must not depend on the
+// thread count. Three disjoint seed bases, 8 seeds each, threads 1 vs 4.
+TEST(SweepDeterminism, FuzzVerdictsByteIdenticalAcrossThreads) {
+    for (const std::uint64_t first_seed : {1ull, 501ull, 2001ull}) {
+        auto shard = [first_seed](int threads) {
+            const auto outcomes = map_indexed<fault::FuzzOutcome>(
+                8, threads, [&](std::size_t slot, WorkerContext& ctx) {
+                    fault::FuzzRunConfig cfg;
+                    cfg.seed = first_seed + slot;
+                    return fault::run_one(cfg, ctx.arena);
+                });
+            return fault::format_verdicts(first_seed, outcomes);
+        };
+        const std::string serial = shard(1);
+        const std::string pooled = shard(4);
+        EXPECT_EQ(serial, pooled) << "verdict list diverged at first_seed " << first_seed;
+        // And the shard is actually green — the golden string is "all ok".
+        EXPECT_EQ(serial.find("FAIL"), std::string::npos) << serial;
+    }
+}
+
+// Bench JSON records: the full E2-shaped record array (per-scenario metrics
+// + histogram percentiles) must render byte-identically at any thread
+// count. Only the top-level sweep envelope (wall_ms etc.) may differ.
+TEST(SweepDeterminism, BenchJsonRecordsByteIdenticalAcrossThreads) {
+    auto render = [](int threads) {
+        auto trace = std::make_shared<const std::vector<workload::JobSpec>>(
+            bench::mixed_trace(0.2, /*seed=*/1, /*rate_per_hour=*/6.0, sim::hours(8)));
+        std::vector<ScenarioReplica> replicas;
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            core::ScenarioConfig cfg;
+            cfg.kind = core::ScenarioKind::kBiStableHybrid;
+            cfg.policy = core::PolicyKind::kFairShare;
+            cfg.linux_nodes = 16;
+            cfg.horizon = sim::hours(10);
+            cfg.seed = seed;
+            replicas.push_back({cfg, trace, ""});
+        }
+        auto out = run_scenarios(std::move(replicas), threads);
+        bench::JsonReport report("sweep-test");
+        for (std::size_t slot = 0; slot < out.results.size(); ++slot)
+            bench::add_scenario_records(report, out.results[slot],
+                                        {{"seed", std::to_string(slot + 1)}});
+        report.add("wait_p50", out.mean_wait_hist.percentile(0.5), "s", {});
+        report.add("wait_p95", out.mean_wait_hist.percentile(0.95), "s", {});
+        report.add("wait_count", static_cast<double>(out.mean_wait_hist.count()), "count", {});
+        report.set_sweep(out.stats);  // must NOT leak into render_records()
+        return report.render_records();
+    };
+    const std::string serial = render(1);
+    const std::string pooled = render(4);
+    EXPECT_EQ(serial, pooled);
+    EXPECT_NE(serial.find("\"metric\": \"utilisation\""), std::string::npos);
+    EXPECT_NE(serial.find("\"metric\": \"wait_p95\""), std::string::npos);
+}
+
+// The scenario-level view of the same contract: labels, summaries, and the
+// merged histogram all match slot-for-slot.
+TEST(SweepDeterminism, RunScenariosResultsMatchAcrossThreads) {
+    auto sweep_once = [](int threads) {
+        auto trace = std::make_shared<const std::vector<workload::JobSpec>>(
+            bench::mixed_trace(0.2, /*seed=*/2, /*rate_per_hour=*/6.0, sim::hours(8)));
+        std::vector<ScenarioReplica> replicas;
+        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+            core::ScenarioConfig cfg;
+            cfg.kind = seed % 2 == 1 ? core::ScenarioKind::kBiStableHybrid
+                                     : core::ScenarioKind::kMonoStable;
+            cfg.linux_nodes = 16;
+            cfg.horizon = sim::hours(10);
+            cfg.seed = seed;
+            replicas.push_back({cfg, trace, "replica-" + std::to_string(seed)});
+        }
+        return run_scenarios(std::move(replicas), threads);
+    };
+    const auto a = sweep_once(1);
+    const auto b = sweep_once(4);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_EQ(a.results[i].label, b.results[i].label);
+        EXPECT_EQ(a.results[i].summary.completed, b.results[i].summary.completed);
+        EXPECT_DOUBLE_EQ(a.results[i].summary.utilisation, b.results[i].summary.utilisation);
+        EXPECT_DOUBLE_EQ(a.results[i].summary.mean_wait_s, b.results[i].summary.mean_wait_s);
+        EXPECT_EQ(a.results[i].summary.os_switches, b.results[i].summary.os_switches);
+    }
+    EXPECT_EQ(a.mean_wait_hist.count(), b.mean_wait_hist.count());
+    EXPECT_DOUBLE_EQ(a.mean_wait_hist.percentile(0.5), b.mean_wait_hist.percentile(0.5));
+    EXPECT_DOUBLE_EQ(a.mean_wait_hist.mean(), b.mean_wait_hist.mean());
+}
+
+}  // namespace
+}  // namespace hc::sweep

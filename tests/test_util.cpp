@@ -296,6 +296,60 @@ TEST(Histogram, PercentilesInterpolate) {
     EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
 }
 
+TEST(Histogram, MergeEmptyIntoPopulatedIsNoOp) {
+    Histogram h(0, 100, 10);
+    for (int i = 1; i <= 100; ++i) h.add(i);
+    const Histogram empty(0, 100, 10);
+    h.merge(empty);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+    // Percentiles stay stable: the empty side's zero min/max must not leak.
+    EXPECT_NEAR(h.percentile(0.5), 50.5, 0.01);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(Histogram, MergePopulatedIntoEmptyCopiesEverything) {
+    Histogram donor(0, 100, 10);
+    for (int i = 1; i <= 100; ++i) donor.add(i);
+    Histogram h(0, 100, 10);
+    h.merge(donor);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_NEAR(h.percentile(0.5), 50.5, 0.01);
+    EXPECT_NEAR(h.percentile(0.95), 95.05, 0.1);
+    // Donor untouched.
+    EXPECT_EQ(donor.count(), 100u);
+    EXPECT_NEAR(donor.percentile(0.5), 50.5, 0.01);
+}
+
+TEST(Histogram, MergeCombinesDisjointRanges) {
+    Histogram lowhalf(0, 100, 10);
+    Histogram highhalf(0, 100, 10);
+    for (int i = 1; i <= 50; ++i) lowhalf.add(i);
+    for (int i = 51; i <= 100; ++i) highhalf.add(i);
+    // Percentile query before merging forces a sort — merge must cope with a
+    // sorted-then-appended sample buffer.
+    EXPECT_NEAR(lowhalf.percentile(0.5), 25.5, 0.01);
+    lowhalf.merge(highhalf);
+    EXPECT_EQ(lowhalf.count(), 100u);
+    EXPECT_DOUBLE_EQ(lowhalf.min(), 1.0);
+    EXPECT_DOUBLE_EQ(lowhalf.max(), 100.0);
+    EXPECT_NEAR(lowhalf.mean(), 50.5, 1e-9);
+    EXPECT_NEAR(lowhalf.percentile(0.5), 50.5, 0.01);
+}
+
+TEST(Histogram, MergeRejectsBucketingMismatch) {
+    Histogram a(0, 100, 10);
+    Histogram b(0, 50, 10);
+    Histogram c(0, 100, 20);
+    EXPECT_THROW(a.merge(b), PreconditionError);
+    EXPECT_THROW(a.merge(c), PreconditionError);
+}
+
 TEST(Histogram, Validation) {
     EXPECT_THROW(Histogram(5, 5, 3), PreconditionError);
     EXPECT_THROW(Histogram(0, 10, 0), PreconditionError);

@@ -7,19 +7,25 @@
 //   dualboot-sim run --trace trace.txt --scenario hybrid --policy fair-share
 //   dualboot-sim run --trace trace.txt --scenario static --linux-nodes 12
 //   dualboot-sim case-study                 # the §IV.B MDCS trace, inline
+//   dualboot-sim sweep --spec spec.json --threads 4   # N-seed parallel sweep
 //
 // Scenarios: hybrid | static | mono | oracle.
 // Policies : fcfs | threshold | fair-share | predictive | never | calendar.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "core/scenario.hpp"
 #include "fault/plan.hpp"
+#include "sweep/runner.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
 #include "util/time_format.hpp"
 #include "workload/generator.hpp"
 #include "workload/metrics.hpp"
@@ -206,6 +212,147 @@ int cmd_run(const std::map<std::string, std::string>& flags,
     return 0;
 }
 
+// ---- sweep: N-seed parallel replica sweep from an hc-sweep-spec/1 file ----
+//
+//   {"schema": "hc-sweep-spec/1",
+//    "scenario": "hybrid", "policy": "fair-share",
+//    "nodes": 16, "linux_nodes": 16, "hours": 20, "poll_minutes": 10,
+//    "version": "v2", "first_seed": 1, "seed_count": 8,
+//    "recovery": "off", "faults": "plan.json",          <- both optional
+//    "workload": {"rate_per_hour": 8, "max_nodes": 4,
+//                 "runtime_scale": 0.25, "trace_seed": 42}}
+//
+// One workload trace is generated from the workload block and shared across
+// all replicas; each replica runs the scenario at seed first_seed + i through
+// the hc::sweep pool. Output (table, aggregates) is identical at any
+// --threads count — only the throughput line changes.
+int cmd_sweep(const std::string& spec_path, const std::map<std::string, std::string>& flags) {
+    std::ifstream in(spec_path);
+    if (!in) {
+        std::fprintf(stderr, "dualboot-sim: cannot open %s\n", spec_path.c_str());
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    auto parsed = util::JsonReader(text).parse();
+    if (!parsed.ok() || parsed.value().type != util::JsonValue::Type::kObject ||
+        util::json_str_or(parsed.value(), "schema", "") != "hc-sweep-spec/1") {
+        std::fprintf(stderr, "dualboot-sim: bad sweep spec %s: %s\n", spec_path.c_str(),
+                     parsed.ok() ? "missing schema hc-sweep-spec/1"
+                                 : parsed.error_message().c_str());
+        return 1;
+    }
+    const util::JsonValue& spec = parsed.value();
+
+    core::ScenarioConfig base;
+    base.kind = parse_scenario(util::json_str_or(spec, "scenario", "hybrid"));
+    base.policy = parse_policy(util::json_str_or(spec, "policy", "fcfs"));
+    base.node_count = static_cast<int>(util::json_num_or(spec, "nodes", 16));
+    base.linux_nodes =
+        static_cast<int>(util::json_num_or(spec, "linux_nodes", base.node_count));
+    base.version = util::json_str_or(spec, "version", "v2") == "v1"
+                       ? deploy::MiddlewareVersion::kV1
+                       : deploy::MiddlewareVersion::kV2;
+    base.poll_interval = sim::minutes(util::json_num_or(spec, "poll_minutes", 10));
+    base.horizon = sim::hours(util::json_num_or(spec, "hours", 20));
+    base.fair_share_cooldown = static_cast<int>(util::json_num_or(spec, "cooldown", 0));
+
+    // Optional fault plan, resolved relative to the spec file's directory so
+    // specs can ship next to their plans.
+    const std::string faults_rel = util::json_str_or(spec, "faults", "");
+    if (!faults_rel.empty()) {
+        std::filesystem::path faults_path(faults_rel);
+        if (faults_path.is_relative())
+            faults_path = std::filesystem::path(spec_path).parent_path() / faults_path;
+        std::ifstream fin(faults_path);
+        if (!fin) {
+            std::fprintf(stderr, "dualboot-sim: cannot open fault plan %s\n",
+                         faults_path.string().c_str());
+            return 1;
+        }
+        std::ostringstream fbuf;
+        fbuf << fin.rdbuf();
+        auto plan = fault::parse_fault_plan(fbuf.str());
+        if (!plan.ok()) {
+            std::fprintf(stderr, "dualboot-sim: bad fault plan %s: %s\n",
+                         faults_path.string().c_str(), plan.error_message().c_str());
+            return 1;
+        }
+        base.faults = plan.value();
+    }
+    base.recovery.enabled =
+        util::json_str_or(spec, "recovery", faults_rel.empty() ? "off" : "on") == "on";
+
+    // Shared workload trace (one copy across all replicas).
+    workload::GeneratorConfig wl;
+    std::uint64_t trace_seed = 42;
+    if (const util::JsonValue* w = spec.find("workload");
+        w != nullptr && w->type == util::JsonValue::Type::kObject) {
+        wl.arrival_rate_per_hour = util::json_num_or(*w, "rate_per_hour", 8.0);
+        wl.max_nodes = static_cast<int>(util::json_num_or(*w, "max_nodes", 4));
+        wl.runtime_scale = util::json_num_or(*w, "runtime_scale", 0.25);
+        trace_seed = static_cast<std::uint64_t>(util::json_num_or(*w, "trace_seed", 42));
+    }
+    wl.horizon = base.horizon;
+    workload::WorkloadGenerator gen(workload::AppCatalog::huddersfield(), wl, trace_seed);
+    auto trace = std::make_shared<const std::vector<workload::JobSpec>>(gen.generate());
+
+    const auto first_seed = static_cast<std::uint64_t>(util::json_num_or(spec, "first_seed", 1));
+    const auto seed_count = static_cast<std::uint64_t>(util::json_num_or(spec, "seed_count", 4));
+    if (seed_count == 0) {
+        std::fprintf(stderr, "dualboot-sim: seed_count must be >= 1\n");
+        return 1;
+    }
+    std::vector<sweep::ScenarioReplica> replicas;
+    replicas.reserve(seed_count);
+    for (std::uint64_t i = 0; i < seed_count; ++i) {
+        core::ScenarioConfig cfg = base;
+        cfg.seed = first_seed + i;  // caller-forked per-replica seed
+        replicas.push_back({cfg, trace, "seed " + std::to_string(cfg.seed)});
+    }
+
+    const int threads = static_cast<int>(flag_or(flags, "threads", 0.0));
+    const auto out = sweep::run_scenarios(std::move(replicas), threads);
+
+    std::printf("sweep     : %s x %llu seeds (%llu..%llu), %zu jobs/replica\n",
+                core::scenario_kind_name(base.kind),
+                static_cast<unsigned long long>(seed_count),
+                static_cast<unsigned long long>(first_seed),
+                static_cast<unsigned long long>(first_seed + seed_count - 1), trace->size());
+    util::Table table({"replica", "done", "util", "mean wait", "wait(W)", "switches"});
+    table.set_alignment({util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight, util::Align::kRight});
+    double util_sum = 0;
+    std::size_t completed_sum = 0, submitted_sum = 0;
+    for (const auto& r : out.results) {
+        const auto& s = r.summary;
+        table.add_row({r.label, std::to_string(s.completed) + "/" + std::to_string(s.submitted),
+                       util::format_fixed(s.utilisation * 100.0, 1) + "%",
+                       util::format_duration(static_cast<std::int64_t>(s.mean_wait_s)),
+                       util::format_duration(static_cast<std::int64_t>(s.mean_wait_windows_s)),
+                       std::to_string(s.os_switches)});
+        util_sum += s.utilisation;
+        completed_sum += s.completed;
+        submitted_sum += s.submitted;
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("aggregate : %zu/%zu jobs completed, mean utilisation %.1f%%, "
+                "wait p50 %s / p95 %s across replicas\n",
+                completed_sum, submitted_sum,
+                util_sum / static_cast<double>(out.results.size()) * 100.0,
+                util::format_duration(
+                    static_cast<std::int64_t>(out.mean_wait_hist.percentile(0.5))).c_str(),
+                util::format_duration(
+                    static_cast<std::int64_t>(out.mean_wait_hist.percentile(0.95))).c_str());
+    std::printf("pool      : %zu replica(s) on %d thread(s), %.1f ms wall "
+                "(%.1f replicas/s, %llu steal(s))\n",
+                out.stats.replicas, out.stats.threads, out.stats.wall_ms,
+                out.stats.replicas_per_sec,
+                static_cast<unsigned long long>(out.stats.steals));
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -218,14 +365,25 @@ int main(int argc, char** argv) {
                      "              [--faults plan.json --recovery on|off]\n"
                      "              [--trace-out T.json --metrics M.json --journal J.jsonl]\n"
                      "       %s case-study [run flags; --trace T.json writes the "
-                     "chrome trace]\n",
-                     argv[0], argv[0], argv[0]);
+                     "chrome trace]\n"
+                     "       %s sweep --spec spec.json [--threads N]   "
+                     "(hc-sweep-spec/1 parallel sweep)\n",
+                     argv[0], argv[0], argv[0], argv[0]);
         return 1;
     }
     const std::string command = argv[1];
     auto flags = parse_flags(argc, argv, 2);
 
     if (command == "generate") return cmd_generate(flags);
+
+    if (command == "sweep") {
+        const std::string spec = flag_or(flags, "spec", std::string());
+        if (spec.empty()) {
+            std::fprintf(stderr, "dualboot-sim sweep: --spec FILE is required\n");
+            return 1;
+        }
+        return cmd_sweep(spec, flags);
+    }
 
     if (command == "case-study")
         return cmd_run(flags, workload::mdcs_ga_case_study(
