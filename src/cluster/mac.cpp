@@ -8,8 +8,9 @@
 namespace hc::cluster {
 
 Mac Mac::for_node_index(int index) {
-    util::require(index >= 0 && index <= 0xFFFF, "Mac::for_node_index: index out of range");
+    util::require(index >= 0 && index <= 0xFFFFFF, "Mac::for_node_index: index out of range");
     std::array<std::uint8_t, 6> b{0x02, 0x00, 0x00, 0x00, 0x00, 0x00};
+    b[3] = static_cast<std::uint8_t>((index >> 16) & 0xFF);
     b[4] = static_cast<std::uint8_t>((index >> 8) & 0xFF);
     b[5] = static_cast<std::uint8_t>(index & 0xFF);
     return Mac(b);

@@ -20,6 +20,11 @@ PbsDetector::PbsDetector(const pbs::PbsServer& server)
           [&server] { return server.pbsnodes_output(); },
           [&server] { return const_cast<pbs::PbsServer&>(server).engine().unix_now(); }) {}
 
+PbsDetector::PbsDetector(const pbs::PbsServer& server, bool incremental)
+    : PbsDetector(server) {
+    if (incremental) doc_server_ = &server;
+}
+
 Result<PbsDetector::QstatParse> PbsDetector::parse_qstat_f(const std::string& text) {
     QstatParse parse;
     std::string current_id;
@@ -105,7 +110,14 @@ int PbsDetector::count_idle_nodes(const std::string& pbsnodes_text) {
 }
 
 QueueSnapshot PbsDetector::check() {
-    QueueSnapshot snap;
+    ++poll_stats_.polls;
+    // Text faults mangle a whole scraped string, so they force the
+    // whole-string path; the streaming mode has nothing to mangle.
+    if (doc_server_ != nullptr && !text_fault_) return check_incremental();
+    return check_full_text();
+}
+
+QueueSnapshot PbsDetector::check_full_text() {
     std::string qstat = qstat_f_();
     if (text_fault_) qstat = text_fault_(std::move(qstat));
     std::string nodes = pbsnodes_();
@@ -119,7 +131,114 @@ QueueSnapshot PbsDetector::check() {
         last_pbsnodes_text_ = std::move(nodes);
         has_idle_ = true;
     }
-    const auto& parsed = last_parse_;
+    return snapshot_from_parse(last_parse_, last_idle_nodes_);
+}
+
+PbsDetector::JobStanza PbsDetector::parse_job_stanza(const std::string& text) {
+    JobStanza s;
+    for (const std::string& raw : util::split_lines(text)) {
+        const std::string line(util::trim(raw));
+        if (line.rfind("Job Id:", 0) == 0) {
+            s.id = std::string(util::trim(line.substr(7)));
+            continue;
+        }
+        const auto eq = line.find(" = ");
+        if (eq == std::string::npos) continue;
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 3);
+        if (key == "job_state" && !value.empty()) s.state = value[0];
+        else if (key == "Job_Name") s.name = value;
+        else if (key == "Job_Owner") s.owner = value;
+        else if (key == "Resource_List.nodes") s.nodes_spec = value;
+    }
+    return s;
+}
+
+void PbsDetector::apply_job_chunk(std::uint64_t key, const util::TextDocument::Chunk* chunk) {
+    if (chunk == nullptr) {  // stanza removed: job left the listing
+        queued_keys_.erase(key);
+        running_keys_.erase(key);
+        job_stanzas_.erase(key);
+        return;
+    }
+    JobStanza s = parse_job_stanza(chunk->text);
+    ++poll_stats_.stanza_parses;
+    queued_keys_.erase(key);
+    running_keys_.erase(key);
+    if (s.state == 'Q') queued_keys_.insert(key);
+    if (s.state == 'R' || s.state == 'E') running_keys_.insert(key);
+    job_stanzas_[key] = std::move(s);
+}
+
+void PbsDetector::apply_node_chunk(std::uint64_t key, const util::TextDocument::Chunk* chunk) {
+    if (chunk == nullptr) {
+        if (auto it = node_idle_.find(key); it != node_idle_.end()) {
+            idle_count_ -= it->second ? 1 : 0;
+            node_idle_.erase(it);
+        }
+        return;
+    }
+    const bool idle = count_idle_nodes(chunk->text) > 0;
+    ++poll_stats_.stanza_parses;
+    auto [it, inserted] = node_idle_.try_emplace(key, false);
+    idle_count_ += (idle ? 1 : 0) - (it->second ? 1 : 0);
+    it->second = idle;
+}
+
+QueueSnapshot PbsDetector::check_incremental() {
+    const util::TextDocument& qdoc = doc_server_->qstat_f_document();
+    const util::TextDocument& ndoc = doc_server_->pbsnodes_document();
+    if (doc_synced_ && qdoc.changed_since(qstat_doc_version_, changed_buf_)) {
+        for (std::uint64_t key : changed_buf_) apply_job_chunk(key, qdoc.find(key));
+    } else {
+        // First poll, or the journal was trimmed past us: walk everything.
+        ++poll_stats_.resyncs;
+        job_stanzas_.clear();
+        queued_keys_.clear();
+        running_keys_.clear();
+        for (const auto& [key, chunk] : qdoc.chunks()) apply_job_chunk(key, &chunk);
+    }
+    qstat_doc_version_ = qdoc.version();
+    if (doc_synced_ && ndoc.changed_since(nodes_doc_version_, changed_buf_)) {
+        for (std::uint64_t key : changed_buf_) apply_node_chunk(key, ndoc.find(key));
+    } else {
+        ++poll_stats_.resyncs;
+        node_idle_.clear();
+        idle_count_ = 0;
+        for (const auto& [key, chunk] : ndoc.chunks()) apply_node_chunk(key, &chunk);
+    }
+    nodes_doc_version_ = ndoc.version();
+    doc_synced_ = true;
+
+    // Rebuild the same QstatParse the whole-string parser would produce:
+    // document order is seq order, so the smallest queued/running key is the
+    // first stanza of that state in the assembled text.
+    QstatParse p;
+    p.running = static_cast<int>(running_keys_.size());
+    p.queued = static_cast<int>(queued_keys_.size());
+    if (!queued_keys_.empty()) {
+        const JobStanza& s = job_stanzas_[*queued_keys_.begin()];
+        p.first_queued_id = s.id;
+        auto rl = pbs::ResourceList::parse("nodes=" + s.nodes_spec);
+        if (!rl) {
+            return snapshot_from_parse(
+                Error{"bad Resource_List.nodes for " + s.id + ": " + rl.error_message()},
+                idle_count_);
+        }
+        p.first_queued_cpus = rl.value().total_cpus();
+    }
+    if (!running_keys_.empty()) {
+        const JobStanza& s = job_stanzas_[*running_keys_.begin()];
+        p.first_running_id = s.id;
+        p.first_running_name = s.name;
+        p.first_running_owner = s.owner;
+    }
+    return snapshot_from_parse(p, idle_count_);
+}
+
+QueueSnapshot PbsDetector::snapshot_from_parse(const util::Result<QstatParse>& parsed,
+                                               int idle_nodes) {
+    QueueSnapshot snap;
     if (!parsed) {
         // A scrape failure reads as "other state" — the daemon must never
         // crash on odd scheduler output; it just reports not-stuck.
@@ -130,7 +249,7 @@ QueueSnapshot PbsDetector::check() {
     const QstatParse& p = parsed.value();
     snap.running = p.running;
     snap.queued = p.queued;
-    snap.idle_nodes = last_idle_nodes_;
+    snap.idle_nodes = idle_nodes;
     snap.record.stuck = p.running == 0 && p.queued > 0;
     if (snap.record.stuck) {
         snap.record.needed_cpus = p.first_queued_cpus;
@@ -168,7 +287,7 @@ QueueSnapshot WinHpcDetector::check() {
     QueueSnapshot snap;
     snap.running = scheduler_.running_job_count();
     snap.queued = scheduler_.queued_job_count();
-    snap.idle_nodes = static_cast<int>(scheduler_.fully_idle_nodes().size());
+    snap.idle_nodes = scheduler_.fully_idle_count();
     snap.record.stuck = snap.running == 0 && snap.queued > 0;
     if (snap.record.stuck) {
         const winhpc::HpcJob* first = scheduler_.first_queued_job();

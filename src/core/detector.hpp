@@ -10,9 +10,13 @@
 //    programs to fetch the data").
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "core/queue_state.hpp"
 #include "pbs/server.hpp"
@@ -40,6 +44,13 @@ public:
     /// Convenience wiring to a live server — still via its text layer only.
     explicit PbsDetector(const pbs::PbsServer& server);
 
+    /// Streaming wiring to a live server: consume the server's chunked text
+    /// documents and re-parse only the stanzas that changed since the last
+    /// poll (falling back to a full walk when the change journal was
+    /// trimmed). Still a scraper — it reads stanza *text*, never server
+    /// internals — and produces snapshots identical to the full-text path.
+    PbsDetector(const pbs::PbsServer& server, bool incremental);
+
     [[nodiscard]] QueueSnapshot check() override;
     [[nodiscard]] std::string name() const override { return "checkqueue.pl"; }
 
@@ -65,11 +76,52 @@ public:
     /// Count fully idle (state = free, no jobs line) nodes in pbsnodes text.
     [[nodiscard]] static int count_idle_nodes(const std::string& pbsnodes_text);
 
+    /// Work counters for the streaming path; the scale tests pin these (a
+    /// steady-state poll parses zero stanzas).
+    struct PollStats {
+        std::uint64_t polls = 0;
+        std::uint64_t stanza_parses = 0;  ///< job + node stanzas (re-)parsed
+        std::uint64_t resyncs = 0;        ///< full document walks
+    };
+    [[nodiscard]] const PollStats& poll_stats() const { return poll_stats_; }
+
 private:
+    /// Per-stanza parse of one qstat -f job block.
+    struct JobStanza {
+        std::string id;
+        std::string name;
+        std::string owner;
+        std::string nodes_spec;
+        char state = '?';
+    };
+
+    [[nodiscard]] QueueSnapshot check_full_text();
+    [[nodiscard]] QueueSnapshot check_incremental();
+    [[nodiscard]] QueueSnapshot snapshot_from_parse(const util::Result<QstatParse>& parsed,
+                                                    int idle_nodes);
+    void apply_job_chunk(std::uint64_t key, const util::TextDocument::Chunk* chunk);
+    void apply_node_chunk(std::uint64_t key, const util::TextDocument::Chunk* chunk);
+    [[nodiscard]] static JobStanza parse_job_stanza(const std::string& text);
+
     TextProvider qstat_f_;
     TextProvider pbsnodes_;
     std::function<std::int64_t()> unix_clock_;
     TextFault text_fault_;
+
+    // Streaming mode (null when scraping whole strings). Aggregates are
+    // maintained incrementally from per-chunk parses, so a poll's cost is
+    // proportional to what changed, not to cluster or queue size.
+    const pbs::PbsServer* doc_server_ = nullptr;
+    bool doc_synced_ = false;
+    std::uint64_t qstat_doc_version_ = 0;
+    std::uint64_t nodes_doc_version_ = 0;
+    std::map<std::uint64_t, JobStanza> job_stanzas_;  ///< by chunk key (job seq)
+    std::set<std::uint64_t> queued_keys_;             ///< state Q
+    std::set<std::uint64_t> running_keys_;            ///< state R or E
+    std::map<std::uint64_t, bool> node_idle_;         ///< chunk key → counted idle
+    int idle_count_ = 0;
+    std::vector<std::uint64_t> changed_buf_;
+    PollStats poll_stats_;
 
     // Parse cache keyed on string equality: the server memoizes its renders,
     // so steady-state polls see byte-identical text and re-parsing it would

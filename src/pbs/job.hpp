@@ -76,6 +76,18 @@ struct Job {
 
     JobBehavior behavior;
 
+    // Intrusive membership in the server's eligible-to-run FCFS list (seq
+    // order, state == kQueued only). Maintained by PbsServer exclusively;
+    // held/deleted/started jobs are unlinked eagerly so a scheduler pass
+    // walks only jobs it could actually start.
+    Job* queue_prev = nullptr;
+    Job* queue_next = nullptr;
+    bool in_eligible_queue = false;
+
+    /// Set when this job's qstat -f stanza needs re-rendering; cleared by
+    /// the text layer once the chunk is patched.
+    bool text_dirty = false;
+
     /// "node16.../3+node16.../2+..." as qstat -f prints it (Fig 8).
     [[nodiscard]] std::string exec_host_string() const;
 

@@ -48,52 +48,155 @@ PbsServer::PbsServer(sim::Engine& engine, PbsServerConfig config)
     // Queue-state gauges are computed at snapshot time only, keeping the
     // scheduler's hot path free of bookkeeping.
     hub.metrics().add_provider([this](obs::Registry& reg) {
-        reg.gauge("pbs.queue.depth").set(static_cast<double>(queue_order_.size()));
+        reg.gauge("pbs.queue.depth").set(static_cast<double>(eligible_count_));
         reg.gauge("pbs.free_cpus").set(static_cast<double>(free_cpu_agg_));
         reg.gauge("pbs.jobs.started").set(static_cast<double>(stats_.started));
         reg.gauge("pbs.jobs.completed").set(static_cast<double>(stats_.completed_normal));
     });
 }
 
+std::size_t PbsServer::record_index_for(const Node& node) const {
+    auto it = node_index_.find(&node);
+    return it == node_index_.end() ? static_cast<std::size_t>(-1) : it->second;
+}
+
 void PbsServer::attach_node(Node& node) {
-    util::require(record_for(node) == nullptr, "PbsServer::attach_node: node already attached");
+    util::require(record_index_for(node) == static_cast<std::size_t>(-1),
+                  "PbsServer::attach_node: node already attached");
+    const std::size_t idx = nodes_.size();
     NodeRecord rec;
     rec.node = &node;
     rec.cpu_owner.assign(static_cast<std::size_t>(node.np()), std::string{});
     rec.free_count = node.np();
     rec.idle_since_unix = engine_.unix_now();
     nodes_.push_back(std::move(rec));
+    node_index_[&node] = idx;
+    name_index_[node.hostname()] = idx;
+    name_index_[node.short_name()] = idx;
     total_cpus_ += node.np();
-    set_schedulable(nodes_.back(), nodes_.back().reachable());
+    set_schedulable(idx, nodes_[idx].reachable());
+    touch_node(idx);
     node.on_up([this](Node& n, OsType os) { handle_node_up(n, os); });
     node.on_down([this](Node& n) { handle_node_down(n); });
     mark_mutation();
 }
 
-void PbsServer::mark_mutation() {
-    ++version_;
-    idle_dirty_ = true;
+void PbsServer::mark_mutation() { ++version_; }
+
+void PbsServer::touch_node(std::size_t idx) {
+    NodeRecord& rec = nodes_[idx];
+    rec.last_report_unix = engine_.unix_now();
+    if (!rec.text_dirty) {
+        rec.text_dirty = true;
+        dirty_nodes_.push_back(static_cast<int>(idx));
+    }
 }
 
-void PbsServer::adjust_free(NodeRecord& rec, int delta) {
+void PbsServer::touch_job(Job& job) {
+    if (!job.text_dirty) {
+        job.text_dirty = true;
+        dirty_job_seqs_.push_back(job.seq);
+    }
+}
+
+void PbsServer::update_node_sets(std::size_t idx) {
+    NodeRecord& rec = nodes_[idx];
+    const bool want_free = rec.in_free_agg && rec.free_count > 0;
+    if (want_free != rec.in_free_set) {
+        if (want_free)
+            free_nodes_.insert(static_cast<int>(idx));
+        else
+            free_nodes_.erase(static_cast<int>(idx));
+        rec.in_free_set = want_free;
+    }
+    const bool want_idle = rec.in_free_agg && rec.used_cpus() == 0;
+    if (want_idle != rec.in_idle_set) {
+        if (want_idle)
+            idle_nodes_.insert(static_cast<int>(idx));
+        else
+            idle_nodes_.erase(static_cast<int>(idx));
+        rec.in_idle_set = want_idle;
+    }
+}
+
+void PbsServer::adjust_free(std::size_t idx, int delta) {
+    NodeRecord& rec = nodes_[idx];
     rec.free_count += delta;
     util::ensure(rec.free_count >= 0 &&
                      rec.free_count <= static_cast<int>(rec.cpu_owner.size()),
                  "PbsServer::adjust_free: free count out of range");
     if (rec.in_free_agg) free_cpu_agg_ += delta;
+    update_node_sets(idx);
+    touch_node(idx);
 }
 
-void PbsServer::set_schedulable(NodeRecord& rec, bool schedulable) {
+void PbsServer::set_schedulable(std::size_t idx, bool schedulable) {
+    NodeRecord& rec = nodes_[idx];
     const bool want = schedulable && !rec.offline;
-    if (rec.in_free_agg == want) return;
-    rec.in_free_agg = want;
-    free_cpu_agg_ += want ? rec.free_count : -rec.free_count;
+    if (rec.in_free_agg != want) {
+        rec.in_free_agg = want;
+        free_cpu_agg_ += want ? rec.free_count : -rec.free_count;
+    }
+    update_node_sets(idx);
+    touch_node(idx);
+}
+
+// ---- eligible-queue intrusive list ---------------------------------------
+
+void PbsServer::queue_push_back(Job& job) {
+    util::ensure(!job.in_eligible_queue, "queue_push_back: already linked");
+    job.queue_prev = queue_tail_;
+    job.queue_next = nullptr;
+    if (queue_tail_ != nullptr)
+        queue_tail_->queue_next = &job;
+    else
+        queue_head_ = &job;
+    queue_tail_ = &job;
+    job.in_eligible_queue = true;
+    ++eligible_count_;
+}
+
+void PbsServer::queue_insert_by_seq(Job& job) {
+    util::ensure(!job.in_eligible_queue, "queue_insert_by_seq: already linked");
+    Job* after = queue_head_;
+    while (after != nullptr && after->seq < job.seq) after = after->queue_next;
+    // Insert before `after` (nullptr = append at tail).
+    job.queue_next = after;
+    job.queue_prev = after != nullptr ? after->queue_prev : queue_tail_;
+    if (job.queue_prev != nullptr)
+        job.queue_prev->queue_next = &job;
+    else
+        queue_head_ = &job;
+    if (after != nullptr)
+        after->queue_prev = &job;
+    else
+        queue_tail_ = &job;
+    job.in_eligible_queue = true;
+    ++eligible_count_;
+}
+
+void PbsServer::queue_unlink(Job& job) {
+    if (!job.in_eligible_queue) return;
+    if (job.queue_prev != nullptr)
+        job.queue_prev->queue_next = job.queue_next;
+    else
+        queue_head_ = job.queue_next;
+    if (job.queue_next != nullptr)
+        job.queue_next->queue_prev = job.queue_prev;
+    else
+        queue_tail_ = job.queue_prev;
+    job.queue_prev = nullptr;
+    job.queue_next = nullptr;
+    job.in_eligible_queue = false;
+    --eligible_count_;
+    ++queue_unlinks_;
 }
 
 void PbsServer::verify_incremental_state() const {
     int agg = 0;
     int total = 0;
-    for (const auto& rec : nodes_) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const NodeRecord& rec = nodes_[i];
         int free = 0;
         for (const auto& owner : rec.cpu_owner)
             if (owner.empty()) ++free;
@@ -104,15 +207,72 @@ void PbsServer::verify_incremental_state() const {
                      "consistency: in_free_agg diverged from node state");
         if (should_count) agg += free;
         total += static_cast<int>(rec.cpu_owner.size());
+        // Index maps point back at this record.
+        auto pit = node_index_.find(rec.node);
+        util::ensure(pit != node_index_.end() && pit->second == i,
+                     "consistency: node_index_ diverged");
+        auto nit = name_index_.find(rec.node->hostname());
+        util::ensure(nit != name_index_.end() && nit->second == i,
+                     "consistency: name_index_ diverged");
+        // Candidate-set membership matches the brute-force predicate.
+        util::ensure(rec.in_free_set == (should_count && free > 0),
+                     "consistency: free-node set membership diverged");
+        util::ensure(rec.in_free_set ==
+                         (free_nodes_.count(static_cast<int>(i)) != 0),
+                     "consistency: free-node set flag diverged from set");
+        const bool should_idle = should_count && rec.used_cpus() == 0;
+        util::ensure(rec.in_idle_set == should_idle,
+                     "consistency: idle-node set membership diverged");
+        util::ensure(rec.in_idle_set ==
+                         (idle_nodes_.count(static_cast<int>(i)) != 0),
+                     "consistency: idle-node set flag diverged from set");
+        // A clean stanza must equal a fresh render of the record.
+        if (!rec.text_dirty) {
+            const auto* chunk = pbsnodes_doc_.find(static_cast<util::TextDocument::Key>(i));
+            util::ensure(chunk != nullptr && chunk->text == render_node_stanza(rec),
+                         "consistency: clean pbsnodes stanza diverged from state");
+        }
     }
     util::ensure(agg == free_cpu_agg_, "consistency: free-CPU aggregate diverged");
     util::ensure(total == total_cpus_, "consistency: total-CPU count diverged");
-}
 
-NodeRecord* PbsServer::record_for(const Node& node) {
-    for (auto& rec : nodes_)
-        if (rec.node == &node) return &rec;
-    return nullptr;
+    // active_by_seq_ holds exactly the non-completed jobs.
+    std::size_t active = 0;
+    for (const auto& [id, job] : jobs_) {
+        if (job->state == JobState::kCompleted) continue;
+        ++active;
+        auto it = active_by_seq_.find(job->seq);
+        util::ensure(it != active_by_seq_.end() && it->second == job.get(),
+                     "consistency: active_by_seq_ missing an active job");
+        if (!job->text_dirty) {
+            const auto* chunk = qstat_f_doc_.find(job->seq);
+            util::ensure(chunk != nullptr && chunk->text == render_job_stanza(*job),
+                         "consistency: clean qstat -f stanza diverged from state");
+        }
+    }
+    util::ensure(active == active_by_seq_.size(),
+                 "consistency: active_by_seq_ holds stale entries");
+
+    // Eligible list: strictly increasing seq, kQueued only, symmetric links.
+    std::size_t linked = 0;
+    const Job* prev = nullptr;
+    for (const Job* j = queue_head_; j != nullptr; j = j->queue_next) {
+        util::ensure(j->in_eligible_queue, "consistency: linked job missing flag");
+        util::ensure(j->state == JobState::kQueued,
+                     "consistency: non-queued job in eligible list");
+        util::ensure(j->queue_prev == prev, "consistency: eligible list links broken");
+        util::ensure(prev == nullptr || prev->seq < j->seq,
+                     "consistency: eligible list out of seq order");
+        prev = j;
+        ++linked;
+    }
+    util::ensure(prev == queue_tail_, "consistency: eligible tail diverged");
+    util::ensure(linked == eligible_count_, "consistency: eligible count diverged");
+    std::size_t queued = 0;
+    for (const auto& [_, job] : active_by_seq_)
+        if (job->state == JobState::kQueued) ++queued;
+    util::ensure(queued == eligible_count_,
+                 "consistency: a queued job is missing from the eligible list");
 }
 
 std::string PbsServer::make_job_id() {
@@ -149,12 +309,15 @@ Result<std::string> PbsServer::submit(const JobScript& script, const std::string
                           "PBS_O_PATH=/usr/kerberos/bin:/usr/local/bin:/usr/bin:/bin"};
 
     const std::string id = job->id;
-    queue_order_.push_back(id);
+    Job* raw = job.get();
     jobs_[id] = std::move(job);
+    active_by_seq_[raw->seq] = raw;
+    queue_push_back(*raw);  // new seqs are monotonic, so append keeps order
+    touch_job(*raw);
     ++stats_.submitted;
     mark_mutation();
     engine_.logger().debug("pbs/" + config_.server_name, "qsub " + id);
-    emit_event(JobEvent::kQueued, *jobs_[id]);
+    emit_event(JobEvent::kQueued, *raw);
     request_cycle();
     return id;
 }
@@ -165,10 +328,6 @@ Status PbsServer::qdel(const std::string& job_id) {
     switch (job->state) {
         case JobState::kQueued:
         case JobState::kHeld:
-            queue_order_.erase(std::remove(queue_order_.begin(), queue_order_.end(), job_id),
-                               queue_order_.end());
-            finish_job(*job, CompletionKind::kDeleted);
-            return Status::ok_status();
         case JobState::kRunning:
         case JobState::kExiting:
             finish_job(*job, CompletionKind::kDeleted);
@@ -185,6 +344,8 @@ Status PbsServer::qhold(const std::string& job_id) {
     if (job->state != JobState::kQueued)
         return Error{"qhold: job not in a holdable state: " + job_id};
     job->state = JobState::kHeld;
+    queue_unlink(*job);  // held jobs are invisible to the scheduler walk
+    touch_job(*job);
     mark_mutation();
     engine_.logger().debug("pbs/" + config_.server_name, "hold " + job_id);
     // Holding the head job can unblock the rest of a strict-FIFO queue.
@@ -197,6 +358,8 @@ Status PbsServer::qrls(const std::string& job_id) {
     if (job == nullptr) return Error{"qrls: unknown job " + job_id};
     if (job->state != JobState::kHeld) return Error{"qrls: job not held: " + job_id};
     job->state = JobState::kQueued;
+    queue_insert_by_seq(*job);  // back to its arrival slot
+    touch_job(*job);
     mark_mutation();
     engine_.logger().debug("pbs/" + config_.server_name, "release " + job_id);
     request_cycle();
@@ -204,16 +367,14 @@ Status PbsServer::qrls(const std::string& job_id) {
 }
 
 Status PbsServer::set_node_offline(const std::string& hostname, bool offline) {
-    for (auto& rec : nodes_) {
-        if (rec.node->hostname() == hostname || rec.node->short_name() == hostname) {
-            rec.offline = offline;
-            set_schedulable(rec, rec.reachable());
-            mark_mutation();
-            if (!offline) request_cycle();
-            return Status::ok_status();
-        }
-    }
-    return Error{"unknown node: " + hostname};
+    auto it = name_index_.find(hostname);
+    if (it == name_index_.end()) return Error{"unknown node: " + hostname};
+    NodeRecord& rec = nodes_[it->second];
+    rec.offline = offline;
+    set_schedulable(it->second, rec.reachable());
+    mark_mutation();
+    if (!offline) request_cycle();
+    return Status::ok_status();
 }
 
 Job* PbsServer::find_job(const std::string& job_id) {
@@ -228,22 +389,17 @@ const Job* PbsServer::find_job(const std::string& job_id) const {
 
 std::vector<const Job*> PbsServer::queued_jobs() const {
     std::vector<const Job*> out;
-    for (const auto& id : queue_order_) {
-        auto it = jobs_.find(id);
-        if (it != jobs_.end() && it->second->state == JobState::kQueued)
-            out.push_back(it->second.get());
-    }
+    out.reserve(eligible_count_);
+    for (const Job* j = queue_head_; j != nullptr; j = j->queue_next) out.push_back(j);
     return out;
 }
 
 std::vector<const Job*> PbsServer::running_jobs() const {
     std::vector<const Job*> out;
-    for (const auto& [_, job] : jobs_)
+    for (const auto& [_, job] : active_by_seq_)
         if (job->state == JobState::kRunning || job->state == JobState::kExiting)
-            out.push_back(job.get());
-    std::sort(out.begin(), out.end(),
-              [](const Job* a, const Job* b) { return a->seq < b->seq; });
-    return out;
+            out.push_back(job);
+    return out;  // active_by_seq_ iterates in seq order already
 }
 
 std::vector<const Job*> PbsServer::all_jobs() const {
@@ -256,12 +412,13 @@ std::vector<const Job*> PbsServer::all_jobs() const {
 }
 
 const std::vector<const NodeRecord*>& PbsServer::fully_idle_nodes() const {
-    if (idle_dirty_) {
+    // Materialise from the incrementally maintained set; the set tracks
+    // in_free_agg && used == 0, which is exactly kFree with all cpus idle.
+    if (idle_cache_version_ != version_) {
         idle_cache_.clear();
-        for (const auto& rec : nodes_)
-            if (rec.state() == NodeState::kFree && rec.used_cpus() == 0)
-                idle_cache_.push_back(&rec);
-        idle_dirty_ = false;
+        idle_cache_.reserve(idle_nodes_.size());
+        for (int idx : idle_nodes_) idle_cache_.push_back(&nodes_[static_cast<std::size_t>(idx)]);
+        idle_cache_version_ = version_;
     }
     return idle_cache_;
 }
@@ -280,17 +437,16 @@ void PbsServer::emit_event(JobEvent event, const Job& job) {
 
 std::optional<std::vector<int>> PbsServer::try_place(const Job& job) const {
     // Each of the `nodes` chunks goes on a distinct node with >= ppn free
-    // cpus and the required properties. free_cpus() is the incrementally
-    // maintained count, so the scan is O(nodes), not O(nodes x cores).
+    // cpus and the required properties. Candidates come from the free-node
+    // set (ascending index, same visit order as a full scan), so the cost is
+    // O(candidates), independent of cluster size when the cluster is busy.
     std::vector<int> chosen;
-    for (std::size_t i = 0; i < nodes_.size() && static_cast<int>(chosen.size()) < job.resources.nodes;
-         ++i) {
-        const NodeRecord& rec = nodes_[i];
-        const NodeState s = rec.state();
-        if (s != NodeState::kFree) continue;
+    for (int idx : free_nodes_) {
+        if (static_cast<int>(chosen.size()) >= job.resources.nodes) break;
+        const NodeRecord& rec = nodes_[static_cast<std::size_t>(idx)];
         if (rec.free_cpus() < job.resources.ppn) continue;
         if (!rec.has_properties(job.resources.properties)) continue;
-        chosen.push_back(static_cast<int>(i));
+        chosen.push_back(idx);
     }
     if (static_cast<int>(chosen.size()) < job.resources.nodes) return std::nullopt;
     return chosen;
@@ -331,20 +487,14 @@ void PbsServer::schedule_cycle() {
         ++stats_.scheduler_cycles;
         obs_cycles_.inc();
         if (consistency_checks_) verify_incremental_state();
-        // Walk the queue head-first; with strict FIFO a blocked head stops
-        // the pass (this is what makes a queue "stuck" in the Fig 5 sense).
-        for (auto it = queue_order_.begin(); it != queue_order_.end();) {
-            Job* job = find_job(*it);
-            if (job != nullptr && job->state == JobState::kHeld) {
-                // Held jobs keep their slot but are skipped, and (TORQUE
-                // behaviour) do not block the rest of a strict-FIFO queue.
-                ++it;
-                continue;
-            }
-            if (job == nullptr || job->state != JobState::kQueued) {
-                it = queue_order_.erase(it);
-                continue;
-            }
+        // Walk the eligible list head-first. Held jobs were unlinked at
+        // qhold time, so (TORQUE behaviour) they neither block nor slow a
+        // strict-FIFO pass; with strict FIFO a blocked head stops the pass
+        // (this is what makes a queue "stuck" in the Fig 5 sense).
+        Job* next = queue_head_;
+        while (next != nullptr) {
+            Job* job = next;
+            next = job->queue_next;
             // Aggregate early-exit: the free-CPU total is an upper bound on
             // what any placement can use, so a request above it cannot fit
             // and the node scan is skipped. In the stuck steady state this
@@ -359,11 +509,18 @@ void PbsServer::schedule_cycle() {
             }
             if (!placement.has_value()) {
                 if (config_.strict_fifo) break;
-                ++it;
                 continue;
             }
-            it = queue_order_.erase(it);
+            // start_job runs the job's on_start hook, which may mutate the
+            // queue (qdel/qhold of any job — including `next`). Detect that
+            // via the unlink epoch and restart the pass from the new head.
+            const std::uint64_t unlinks_before = queue_unlinks_;
+            queue_unlink(*job);
             start_job(*job, *placement);
+            if (queue_unlinks_ != unlinks_before + 1) {
+                cycle_again_ = true;
+                break;
+            }
         }
     } while (cycle_again_);
     in_cycle_ = false;
@@ -389,11 +546,12 @@ void PbsServer::start_job(Job& job, const std::vector<int>& record_indices) {
             ++assigned;
         }
         util::ensure(assigned == job.resources.ppn, "start_job: placement raced allocation");
-        adjust_free(rec, -assigned);
+        adjust_free(static_cast<std::size_t>(idx), -assigned);
         job.exec_node_indices.push_back(rec.node->index());
         job.exec_record_indices.push_back(idx);
     }
     ++stats_.started;
+    touch_job(job);
     mark_mutation();
     engine_.logger().debug("pbs/" + config_.server_name,
                            "run " + job.id + " on " + job.exec_host_string());
@@ -435,12 +593,25 @@ void PbsServer::release_allocation(Job& job) {
             }
         }
         if (freed > 0) {
-            adjust_free(rec, freed);
-            if (rec.used_cpus() == 0) rec.idle_since_unix = engine_.unix_now();
+            if (rec.used_cpus() == freed) rec.idle_since_unix = engine_.unix_now();
+            adjust_free(static_cast<std::size_t>(idx), freed);
         }
     }
     job.exec_slots.clear();
     job.exec_record_indices.clear();
+}
+
+void PbsServer::purge_completed() {
+    if (config_.completed_retention == 0) return;
+    while (completed_order_.size() > config_.completed_retention) {
+        const std::string id = std::move(completed_order_.front());
+        completed_order_.pop_front();
+        auto it = jobs_.find(id);
+        util::ensure(it != jobs_.end() && it->second->state == JobState::kCompleted,
+                     "purge_completed: retention queue out of sync");
+        jobs_.erase(it);
+        ++stats_.purged;
+    }
 }
 
 void PbsServer::finish_job(Job& job, CompletionKind kind) {
@@ -453,10 +624,15 @@ void PbsServer::finish_job(Job& job, CompletionKind kind) {
         engine_.cancel(it->second);
         walltime_events_.erase(it);
     }
+    queue_unlink(job);  // no-op unless the job was still queued
     release_allocation(job);
     job.state = JobState::kCompleted;
     job.completion = kind;
     job.etime_unix = engine_.unix_now();
+    active_by_seq_.erase(job.seq);
+    removed_job_seqs_.push_back(job.seq);  // drop its qstat -f stanza
+    job.text_dirty = false;  // completed jobs never re-render
+    completed_order_.push_back(job.id);
     mark_mutation();
     switch (kind) {
         case CompletionKind::kNormal: ++stats_.completed_normal; break;
@@ -477,15 +653,20 @@ void PbsServer::finish_job(Job& job, CompletionKind kind) {
     if (job.behavior.on_finish) job.behavior.on_finish(job);
     for (const auto& fn : terminal_subscribers_) fn(job);
     request_cycle();
+    // Last: `job` may be destroyed here (it is completed, so it is purge
+    // eligible). Nothing below may touch it.
+    purge_completed();
 }
 
 void PbsServer::handle_node_up(Node& node, OsType os) {
-    NodeRecord* rec = record_for(node);
-    util::ensure(rec != nullptr, "handle_node_up: unknown node");
-    set_schedulable(*rec, rec->reachable());
+    const std::size_t idx = record_index_for(node);
+    util::ensure(idx != static_cast<std::size_t>(-1), "handle_node_up: unknown node");
+    NodeRecord& rec = nodes_[idx];
+    set_schedulable(idx, rec.reachable());
     mark_mutation();
     if (os == OsType::kLinux) {
-        rec->idle_since_unix = engine_.unix_now();
+        rec.idle_since_unix = engine_.unix_now();
+        touch_node(idx);
         request_cycle();
     }
     // A node that came up in Windows stays kDown from PBS's point of view;
@@ -494,11 +675,12 @@ void PbsServer::handle_node_up(Node& node, OsType os) {
 }
 
 void PbsServer::handle_node_down(Node& node) {
-    NodeRecord* rec = record_for(node);
-    util::ensure(rec != nullptr, "handle_node_down: unknown node");
+    const std::size_t idx = record_index_for(node);
+    util::ensure(idx != static_cast<std::size_t>(-1), "handle_node_down: unknown node");
+    NodeRecord* rec = &nodes_[idx];
     // Drop the node from the free-CPU aggregate *before* releasing victim
     // allocations, so the frees below don't count toward schedulable CPUs.
-    set_schedulable(*rec, false);
+    set_schedulable(idx, false);
     mark_mutation();
     // Abort or requeue every job with an allocation on this node.
     std::vector<std::string> victims;
@@ -527,14 +709,9 @@ void PbsServer::handle_node_down(Node& node) {
             job->exec_node_indices.clear();
             ++job->requeue_count;
             ++stats_.requeued;
-            // Reinsert preserving seq (arrival) order among queued ids.
-            auto pos = queue_order_.begin();
-            while (pos != queue_order_.end()) {
-                const Job* other = find_job(*pos);
-                if (other != nullptr && other->seq > job->seq) break;
-                ++pos;
-            }
-            queue_order_.insert(pos, id);
+            // Reinsert preserving seq (arrival) order among queued jobs.
+            queue_insert_by_seq(*job);
+            touch_job(*job);
             engine_.logger().info("pbs/" + config_.server_name,
                                   "requeued " + id + " after node failure");
             emit_event(JobEvent::kRequeued, *job);

@@ -4,6 +4,13 @@
 // following the rule 'first-come first-serve'"), and the text command layer
 // (pbsnodes / qstat -f) the detector scrapes because "PBS does not provide
 // APIs for other programs".
+//
+// State is indexed for 100k-node / million-job scale: node lookups go
+// through hash maps (never a pointer scan), placement pops candidates from
+// an ordered free-node set instead of walking every record, the scheduler
+// walks an intrusive list of eligible queued jobs only, and the text layer
+// re-renders just the stanzas whose backing state moved (see
+// util::TextDocument and DESIGN.md "Indexed scheduler state").
 #pragma once
 
 #include <cstdint>
@@ -12,14 +19,19 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/node.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pbs/job.hpp"
 #include "pbs/job_script.hpp"
 #include "sim/engine.hpp"
 #include "util/result.hpp"
+#include "util/text_document.hpp"
 
 namespace hc::pbs {
 
@@ -45,6 +57,15 @@ struct NodeRecord {
     // free_cpus() and the placement scan never re-count cpu_owner.
     int free_count = 0;       ///< cached number of empty cpu_owner slots
     bool in_free_agg = false; ///< contributing to the server's free-CPU total
+    bool in_free_set = false; ///< member of the placement candidate set
+    bool in_idle_set = false; ///< member of the fully-idle set
+
+    /// Sim time of this node's last status report (the mom heartbeat the
+    /// stanza's rectime/idletime/netload fields embed). Refreshed whenever
+    /// the node's visible state changes, so a stanza is a pure function of
+    /// the record — the precondition for incremental re-rendering.
+    std::int64_t last_report_unix = 0;
+    bool text_dirty = false;  ///< stanza needs re-rendering
 
     [[nodiscard]] int free_cpus() const { return free_count; }
     [[nodiscard]] int used_cpus() const {
@@ -64,6 +85,14 @@ struct ServerStats {
     std::uint64_t killed_walltime = 0;
     std::uint64_t requeued = 0;
     std::uint64_t scheduler_cycles = 0;
+    std::uint64_t purged = 0;  ///< completed records dropped by retention
+};
+
+/// Text-layer work counters: how many stanzas were actually re-rendered.
+/// The scale tests pin these — a steady-state poll must render nothing.
+struct TextStats {
+    std::uint64_t node_stanza_renders = 0;
+    std::uint64_t job_stanza_renders = 0;
 };
 
 struct PbsServerConfig {
@@ -72,6 +101,11 @@ struct PbsServerConfig {
     bool strict_fifo = true;       ///< pure FCFS: blocked head blocks the queue
     bool enforce_walltime = true;
     std::uint64_t first_job_seq = 1185;  ///< ids start near the paper's listings
+    /// Completed-job records retained before the oldest are purged from the
+    /// server (0 = keep everything, the TORQUE-ish default). Million-job
+    /// arrival streams set this so resident memory tracks the *active* set,
+    /// not the lifetime total.
+    std::size_t completed_retention = 0;
 };
 
 class PbsServer {
@@ -109,7 +143,7 @@ public:
     /// qrls: release a held job back to eligible-to-run.
     [[nodiscard]] util::Status qrls(const std::string& job_id);
 
-    /// Administrative node control (pbsnodes -o / -c).
+    /// Administrative node control (pbsnodes -o / -c). O(1) name lookup.
     [[nodiscard]] util::Status set_node_offline(const std::string& hostname, bool offline);
 
     [[nodiscard]] Job* find_job(const std::string& job_id);
@@ -126,7 +160,7 @@ public:
     /// maintained incrementally on allocate/release and node transitions.
     [[nodiscard]] int free_cpus() const { return free_cpu_agg_; }
     /// Nodes in kFree with *all* cpus idle — candidates for an OS switch.
-    /// Cached; recomputed only after a mutation dirtied it.
+    /// Materialised from the incrementally maintained idle-node set.
     [[nodiscard]] const std::vector<const NodeRecord*>& fully_idle_nodes() const;
 
     /// Monotonic mutation counter: bumps on every externally visible state
@@ -135,8 +169,8 @@ public:
     [[nodiscard]] std::uint64_t version() const { return version_; }
 
     /// Test hook: cross-check every incremental shortcut against the
-    /// original brute-force logic (placement rescans, aggregate recounts)
-    /// and throw on divergence. Used by the golden determinism test.
+    /// original brute-force logic (placement rescans, aggregate recounts,
+    /// index-set membership, text-chunk freshness) and throw on divergence.
     void enable_consistency_checks(bool on) { consistency_checks_ = on; }
 
     [[nodiscard]] const ServerStats& stats() const { return stats_; }
@@ -164,14 +198,32 @@ public:
 
     // ---- text command layer (Figs 7 & 8), implemented in text_output.cpp ----
 
-    /// `pbsnodes` (all nodes, long format).
-    [[nodiscard]] std::string pbsnodes_output() const;
+    /// `pbsnodes` (all nodes, long format). Assembled from the chunk
+    /// document; only dirty stanzas are re-rendered first.
+    [[nodiscard]] const std::string& pbsnodes_output() const;
 
     /// `qstat -f` (full display of queued + running jobs, id order).
-    [[nodiscard]] std::string qstat_f_output() const;
+    [[nodiscard]] const std::string& qstat_f_output() const;
 
     /// Plain `qstat` (the brief table users run by hand).
     [[nodiscard]] std::string qstat_output() const;
+
+    /// Chunked views of the same outputs for incremental consumers (the
+    /// detector): one chunk per node / per active job, stamped per change.
+    /// Refreshes dirty stanzas on access, exactly like the string API.
+    [[nodiscard]] const util::TextDocument& pbsnodes_document() const;
+    [[nodiscard]] const util::TextDocument& qstat_f_document() const;
+
+    [[nodiscard]] const TextStats& text_stats() const { return text_stats_; }
+    [[nodiscard]] const util::TextDocument::Stats& pbsnodes_doc_stats() const {
+        return pbsnodes_doc_.stats();
+    }
+
+    /// Reference renders that rebuild the full output from primary state,
+    /// bypassing every document/dirty-tracking shortcut. The churn tests
+    /// compare these byte-for-byte against the incremental assembly.
+    [[nodiscard]] std::string debug_full_render_pbsnodes() const;
+    [[nodiscard]] std::string debug_full_render_qstat_f() const;
 
 private:
     friend struct PbsTextFormatter;
@@ -183,39 +235,62 @@ private:
     void handle_node_up(cluster::Node& node, cluster::OsType os);
     void handle_node_down(cluster::Node& node);
     [[nodiscard]] std::optional<std::vector<int>> try_place(const Job& job) const;
-    [[nodiscard]] NodeRecord* record_for(const cluster::Node& node);
+    /// Index of the record for `node`, or npos when not attached. O(1).
+    [[nodiscard]] std::size_t record_index_for(const cluster::Node& node) const;
     void request_cycle();
 
-    /// Bump the mutation counter and dirty the derived caches.
+    /// Bump the mutation counter.
     void mark_mutation();
-    /// Adjust a record's free count by `delta` and keep the aggregate exact.
-    void adjust_free(NodeRecord& rec, int delta);
+    /// Adjust a record's free count by `delta`, keep the aggregate exact,
+    /// and update candidate-set membership + the node's dirty stanza.
+    void adjust_free(std::size_t idx, int delta);
     /// Add/remove the record from the free-CPU aggregate (idempotent).
-    void set_schedulable(NodeRecord& rec, bool schedulable);
-    /// Brute-force recount of free counts and the aggregate; throws on
-    /// divergence from the incremental state (consistency-check hook).
+    void set_schedulable(std::size_t idx, bool schedulable);
+    /// Recompute free/idle set membership for the record from its counters.
+    void update_node_sets(std::size_t idx);
+    /// Mark the node's stanza dirty and refresh its report timestamp.
+    void touch_node(std::size_t idx);
+    /// Mark the job's qstat -f stanza dirty.
+    void touch_job(Job& job);
+    /// Drop the oldest completed records beyond the configured retention.
+    void purge_completed();
+
+    // ---- eligible-queue intrusive list (seq order, kQueued only) ----
+    void queue_push_back(Job& job);
+    void queue_insert_by_seq(Job& job);
+    void queue_unlink(Job& job);
+
+    /// Brute-force recount of free counts, aggregates, set memberships, the
+    /// eligible list, and chunk freshness; throws on divergence from the
+    /// incremental state (consistency-check hook).
     void verify_incremental_state() const;
     [[nodiscard]] std::optional<std::vector<int>> try_place_bruteforce(const Job& job) const;
 
-    // ---- cached text rendering (text_output.cpp) ----
-    struct TextCache {
-        std::uint64_t version = ~0ull;  ///< server version the text was built at
-        std::int64_t now_unix = -1;     ///< sim time it was built at
-        bool time_sensitive = false;    ///< render embeds the current clock
-        std::string text;
-    };
-    [[nodiscard]] const std::string& cached_text(TextCache& cache,
-                                                 std::string (PbsServer::*render)(bool&) const) const;
-    [[nodiscard]] std::string render_pbsnodes(bool& time_sensitive) const;
-    [[nodiscard]] std::string render_qstat_f(bool& time_sensitive) const;
+    // ---- incremental text rendering (text_output.cpp) ----
+    /// Render the stanza for one node / one active job.
+    [[nodiscard]] std::string render_node_stanza(const NodeRecord& rec) const;
+    [[nodiscard]] std::string render_job_stanza(const Job& job) const;
     [[nodiscard]] std::string render_qstat(bool& time_sensitive) const;
+    /// Patch every dirty stanza into the documents (lazy, on output access).
+    void refresh_documents() const;
 
     sim::Engine& engine_;
     PbsServerConfig config_;
     std::uint64_t next_seq_;
     std::vector<NodeRecord> nodes_;
+    std::unordered_map<const cluster::Node*, std::size_t> node_index_;  ///< ptr → record
+    std::unordered_map<std::string, std::size_t> name_index_;  ///< hostname/short → record
     std::map<std::string, std::unique_ptr<Job>> jobs_;   ///< by id
-    std::deque<std::string> queue_order_;                ///< queued ids, FCFS order
+    std::map<std::uint64_t, Job*> active_by_seq_;        ///< non-completed, seq order
+    std::deque<std::string> completed_order_;            ///< completion order (retention)
+
+    // Eligible queued jobs (state kQueued), seq order. Head/tail of the
+    // intrusive list threaded through Job::queue_prev/queue_next.
+    Job* queue_head_ = nullptr;
+    Job* queue_tail_ = nullptr;
+    std::size_t eligible_count_ = 0;
+    std::uint64_t queue_unlinks_ = 0;  ///< guards cycle iteration vs. reentrant removal
+
     std::map<std::string, sim::EventId> completion_events_;
     std::map<std::string, sim::EventId> walltime_events_;
     void emit_event(JobEvent event, const Job& job);
@@ -232,10 +307,30 @@ private:
     int total_cpus_ = 0;
     int free_cpu_agg_ = 0;          ///< free CPUs on schedulable nodes
     bool consistency_checks_ = false;
-    mutable bool idle_dirty_ = true;
+
+    // Placement candidates (schedulable, free_cpus > 0) and fully-idle
+    // nodes, by record index. Ordered so placement visits nodes in the same
+    // ascending-index order as the original full scan.
+    std::set<int> free_nodes_;
+    std::set<int> idle_nodes_;
     mutable std::vector<const NodeRecord*> idle_cache_;
-    mutable TextCache pbsnodes_cache_;
-    mutable TextCache qstat_f_cache_;
+    mutable std::uint64_t idle_cache_version_ = ~0ull;
+
+    // Dirty stanzas awaiting re-render (consumed by refresh_documents).
+    mutable std::vector<int> dirty_nodes_;
+    mutable std::vector<std::uint64_t> dirty_job_seqs_;
+    mutable std::vector<std::uint64_t> removed_job_seqs_;
+    mutable util::TextDocument pbsnodes_doc_;
+    mutable util::TextDocument qstat_f_doc_;
+    mutable TextStats text_stats_;
+
+    // Brief qstat stays a whole-string memoized render (human-facing only).
+    struct TextCache {
+        std::uint64_t version = ~0ull;  ///< server version the text was built at
+        std::int64_t now_unix = -1;     ///< sim time it was built at
+        bool time_sensitive = false;    ///< render embeds the current clock
+        std::string text;
+    };
     mutable TextCache qstat_cache_;
 };
 

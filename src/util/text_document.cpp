@@ -1,0 +1,67 @@
+#include "util/text_document.hpp"
+
+#include <algorithm>
+
+namespace hc::util {
+
+namespace {
+// Below this many journal entries no trim ever happens; above it, the log is
+// halved whenever it also exceeds twice the live chunk count, so the journal
+// stays proportional to the document while bounding per-poll catch-up work.
+constexpr std::size_t kJournalFloorEntries = 1024;
+}  // namespace
+
+void TextDocument::journal(Key key) {
+    ++version_;
+    log_.emplace_back(version_, key);
+    if (log_.size() > kJournalFloorEntries && log_.size() > 2 * chunks_.size()) {
+        const std::size_t drop = log_.size() / 2;
+        journal_floor_ = log_[drop - 1].first;
+        log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(drop));
+        ++stats_.log_trims;
+    }
+}
+
+void TextDocument::set(Key key, std::string text) {
+    auto [it, inserted] = chunks_.try_emplace(key);
+    if (!inserted && it->second.text == text) return;  // byte-identical: no-op
+    total_bytes_ += text.size() - it->second.text.size();
+    it->second.text = std::move(text);
+    journal(key);
+    it->second.stamp = version_;
+    ++stats_.sets;
+}
+
+void TextDocument::erase(Key key) {
+    auto it = chunks_.find(key);
+    if (it == chunks_.end()) return;
+    total_bytes_ -= it->second.text.size();
+    chunks_.erase(it);
+    journal(key);
+    ++stats_.erases;
+}
+
+bool TextDocument::changed_since(std::uint64_t since, std::vector<Key>& out) const {
+    out.clear();
+    if (since < journal_floor_) return false;  // trimmed past `since`: resync
+    // First journal entry with version > since (the log is version-sorted).
+    auto it = std::upper_bound(log_.begin(), log_.end(), since,
+                               [](std::uint64_t v, const auto& entry) { return v < entry.first; });
+    for (; it != log_.end(); ++it) out.push_back(it->second);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return true;
+}
+
+const std::string& TextDocument::text() const {
+    if (assembled_version_ != version_) {
+        assembled_.clear();
+        assembled_.reserve(total_bytes_);
+        for (const auto& [_, chunk] : chunks_) assembled_ += chunk.text;
+        assembled_version_ = version_;
+        ++stats_.assemblies;
+    }
+    return assembled_;
+}
+
+}  // namespace hc::util

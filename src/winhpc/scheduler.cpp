@@ -34,15 +34,6 @@ const char* hpc_node_state_name(HpcNodeState s) {
     return "?";
 }
 
-int HpcNodeRecord::free_cores() const {
-    int free = 0;
-    for (int owner : core_owner)
-        if (owner == 0) ++free;
-    return free;
-}
-
-int HpcNodeRecord::used_cores() const { return static_cast<int>(core_owner.size()) - free_cores(); }
-
 bool HpcNodeRecord::reachable() const {
     return node != nullptr && node->is_up() && node->os() == OsType::kWindows;
 }
@@ -59,28 +50,185 @@ HpcScheduler::HpcScheduler(sim::Engine& engine, HpcSchedulerConfig config)
     obs_cycles_ = hub.metrics().counter("winhpc.sched.cycles");
     obs_track_ = hub.tracer().track("winhpc/sched");
     hub.metrics().add_provider([this](obs::Registry& reg) {
-        reg.gauge("winhpc.queue.depth").set(static_cast<double>(queue_order_.size()));
-        reg.gauge("winhpc.free_cores").set(static_cast<double>(free_cores()));
+        reg.gauge("winhpc.queue.depth").set(static_cast<double>(queued_count_));
+        reg.gauge("winhpc.free_cores").set(static_cast<double>(free_core_agg_));
         reg.gauge("winhpc.jobs.started").set(static_cast<double>(stats_.started));
         reg.gauge("winhpc.jobs.finished").set(static_cast<double>(stats_.finished));
     });
 }
 
+std::size_t HpcScheduler::record_index_for(const Node& node) const {
+    auto it = node_index_.find(&node);
+    return it == node_index_.end() ? static_cast<std::size_t>(-1) : it->second;
+}
+
 void HpcScheduler::attach_node(Node& node) {
-    util::require(record_for(node) == nullptr, "HpcScheduler::attach_node: already attached");
+    util::require(record_index_for(node) == static_cast<std::size_t>(-1),
+                  "HpcScheduler::attach_node: already attached");
+    const std::size_t idx = nodes_.size();
     HpcNodeRecord rec;
     rec.node = &node;
     rec.node_template = config_.node_template;
     rec.core_owner.assign(static_cast<std::size_t>(node.np()), 0);
+    rec.free_count = node.np();
     nodes_.push_back(std::move(rec));
+    node_index_[&node] = idx;
+    name_index_[node.hostname()] = idx;
+    name_index_[node.short_name()] = idx;
+    total_cores_ += node.np();
+    update_node_state(idx);
     node.on_up([this](Node& n, OsType os) { handle_node_up(n, os); });
     node.on_down([this](Node& n) { handle_node_down(n); });
 }
 
-HpcNodeRecord* HpcScheduler::record_for(const Node& node) {
-    for (auto& rec : nodes_)
-        if (rec.node == &node) return &rec;
-    return nullptr;
+void HpcScheduler::update_node_state(std::size_t idx) {
+    HpcNodeRecord& rec = nodes_[idx];
+    // Online == reachable and not admin-paused; Draining/Offline/Unreachable
+    // nodes neither count free cores nor accept placements.
+    const bool online = rec.reachable() && !rec.admin_offline;
+    if (online != rec.in_online_agg) {
+        rec.in_online_agg = online;
+        free_core_agg_ += online ? rec.free_count : -rec.free_count;
+    }
+    const bool want_free = online && rec.free_count > 0;
+    if (want_free != rec.in_free_set) {
+        if (want_free)
+            free_nodes_.insert(static_cast<int>(idx));
+        else
+            free_nodes_.erase(static_cast<int>(idx));
+        rec.in_free_set = want_free;
+    }
+    const bool want_idle = online && rec.used_cores() == 0;
+    if (want_idle != rec.in_idle_set) {
+        if (want_idle)
+            idle_nodes_.insert(static_cast<int>(idx));
+        else
+            idle_nodes_.erase(static_cast<int>(idx));
+        rec.in_idle_set = want_idle;
+    }
+}
+
+void HpcScheduler::adjust_free(std::size_t idx, int delta) {
+    HpcNodeRecord& rec = nodes_[idx];
+    rec.free_count += delta;
+    util::ensure(rec.free_count >= 0 &&
+                     rec.free_count <= static_cast<int>(rec.core_owner.size()),
+                 "HpcScheduler::adjust_free: free count out of range");
+    if (rec.in_online_agg) free_core_agg_ += delta;
+    update_node_state(idx);
+}
+
+// ---- queued-job intrusive list -------------------------------------------
+
+void HpcScheduler::queue_push_back(HpcJob& job) {
+    util::ensure(!job.in_queue, "queue_push_back: already linked");
+    job.queue_prev = queue_tail_;
+    job.queue_next = nullptr;
+    if (queue_tail_ != nullptr)
+        queue_tail_->queue_next = &job;
+    else
+        queue_head_ = &job;
+    queue_tail_ = &job;
+    job.in_queue = true;
+    ++queued_count_;
+}
+
+void HpcScheduler::queue_insert_by_id(HpcJob& job) {
+    util::ensure(!job.in_queue, "queue_insert_by_id: already linked");
+    HpcJob* after = queue_head_;
+    while (after != nullptr && after->id < job.id) after = after->queue_next;
+    job.queue_next = after;
+    job.queue_prev = after != nullptr ? after->queue_prev : queue_tail_;
+    if (job.queue_prev != nullptr)
+        job.queue_prev->queue_next = &job;
+    else
+        queue_head_ = &job;
+    if (after != nullptr)
+        after->queue_prev = &job;
+    else
+        queue_tail_ = &job;
+    job.in_queue = true;
+    ++queued_count_;
+}
+
+void HpcScheduler::queue_unlink(HpcJob& job) {
+    if (!job.in_queue) return;
+    if (job.queue_prev != nullptr)
+        job.queue_prev->queue_next = job.queue_next;
+    else
+        queue_head_ = job.queue_next;
+    if (job.queue_next != nullptr)
+        job.queue_next->queue_prev = job.queue_prev;
+    else
+        queue_tail_ = job.queue_prev;
+    job.queue_prev = nullptr;
+    job.queue_next = nullptr;
+    job.in_queue = false;
+    --queued_count_;
+    ++queue_unlinks_;
+}
+
+void HpcScheduler::verify_incremental_state() const {
+    int agg = 0;
+    int total = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const HpcNodeRecord& rec = nodes_[i];
+        int free = 0;
+        for (int owner : rec.core_owner)
+            if (owner == 0) ++free;
+        util::ensure(free == rec.free_count,
+                     "consistency: cached free count diverged from core_owner");
+        const bool online = rec.reachable() && !rec.admin_offline;
+        util::ensure(rec.in_online_agg == online,
+                     "consistency: in_online_agg diverged from node state");
+        util::ensure(online == (rec.state() == HpcNodeState::kOnline),
+                     "consistency: online predicate diverged from state()");
+        if (online) agg += free;
+        total += static_cast<int>(rec.core_owner.size());
+        auto pit = node_index_.find(rec.node);
+        util::ensure(pit != node_index_.end() && pit->second == i,
+                     "consistency: node_index_ diverged");
+        auto nit = name_index_.find(rec.node->hostname());
+        util::ensure(nit != name_index_.end() && nit->second == i,
+                     "consistency: name_index_ diverged");
+        util::ensure(rec.in_free_set == (online && free > 0),
+                     "consistency: free-node set membership diverged");
+        util::ensure(rec.in_free_set == (free_nodes_.count(static_cast<int>(i)) != 0),
+                     "consistency: free-node set flag diverged from set");
+        const bool idle = online && rec.used_cores() == 0;
+        util::ensure(rec.in_idle_set == idle,
+                     "consistency: idle-node set membership diverged");
+        util::ensure(rec.in_idle_set == (idle_nodes_.count(static_cast<int>(i)) != 0),
+                     "consistency: idle-node set flag diverged from set");
+    }
+    util::ensure(agg == free_core_agg_, "consistency: free-core aggregate diverged");
+    util::ensure(total == total_cores_, "consistency: total-core count diverged");
+
+    // Queued list: strictly increasing ids, kQueued only, symmetric links,
+    // and it covers every queued job. Running count matches reality.
+    std::size_t linked = 0;
+    const HpcJob* prev = nullptr;
+    for (const HpcJob* j = queue_head_; j != nullptr; j = j->queue_next) {
+        util::ensure(j->in_queue, "consistency: linked job missing flag");
+        util::ensure(j->state == HpcJobState::kQueued,
+                     "consistency: non-queued job in queued list");
+        util::ensure(j->queue_prev == prev, "consistency: queued list links broken");
+        util::ensure(prev == nullptr || prev->id < j->id,
+                     "consistency: queued list out of id order");
+        prev = j;
+        ++linked;
+    }
+    util::ensure(prev == queue_tail_, "consistency: queued tail diverged");
+    util::ensure(linked == queued_count_, "consistency: queued count diverged");
+    std::size_t queued = 0;
+    std::size_t running = 0;
+    for (const auto& [_, job] : jobs_) {
+        if (job->state == HpcJobState::kQueued) ++queued;
+        if (job->state == HpcJobState::kRunning) ++running;
+    }
+    util::ensure(queued == queued_count_,
+                 "consistency: a queued job is missing from the queued list");
+    util::ensure(running == running_count_, "consistency: running count diverged");
 }
 
 int HpcScheduler::submit_job(HpcJobSpec spec) {
@@ -107,8 +255,9 @@ int HpcScheduler::submit_job(HpcJobSpec spec) {
     job->submit_unix = engine_.unix_now();
     job->state = HpcJobState::kQueued;
     const int id = job->id;
+    HpcJob* raw = job.get();
     jobs_[id] = std::move(job);
-    queue_order_.push_back(id);
+    queue_push_back(*raw);  // ids are monotonic, so append keeps order
     ++stats_.submitted;
     engine_.logger().debug("winhpc/" + config_.cluster_name, "submit job " + std::to_string(id));
     schedule_cycle();
@@ -119,14 +268,10 @@ Status HpcScheduler::cancel_job(int id) {
     auto it = jobs_.find(id);
     if (it == jobs_.end()) return Error{"cancel_job: unknown job " + std::to_string(id)};
     HpcJob& job = *it->second;
-    if (job.state == HpcJobState::kQueued) {
-        queue_order_.erase(std::remove(queue_order_.begin(), queue_order_.end(), id),
-                           queue_order_.end());
-        finish_job(job, HpcJobState::kCanceled, "canceled while queued");
-        return Status::ok_status();
-    }
-    if (job.state == HpcJobState::kRunning) {
-        finish_job(job, HpcJobState::kCanceled, "canceled while running");
+    if (job.state == HpcJobState::kQueued || job.state == HpcJobState::kRunning) {
+        finish_job(job, HpcJobState::kCanceled,
+                   job.state == HpcJobState::kQueued ? "canceled while queued"
+                                                     : "canceled while running");
         return Status::ok_status();
     }
     return Error{"cancel_job: job not active"};
@@ -144,59 +289,20 @@ std::vector<const HpcJob*> HpcScheduler::get_jobs(std::optional<HpcJobState> fil
     return out;
 }
 
-int HpcScheduler::queued_job_count() const {
-    int count = 0;
-    for (int id : queue_order_) {
-        const HpcJob* job = get_job(id);
-        if (job != nullptr && job->state == HpcJobState::kQueued) ++count;
-    }
-    return count;
-}
-
-int HpcScheduler::running_job_count() const {
-    int count = 0;
-    for (const auto& [_, job] : jobs_)
-        if (job->state == HpcJobState::kRunning) ++count;
-    return count;
-}
-
-const HpcJob* HpcScheduler::first_queued_job() const {
-    for (int id : queue_order_) {
-        const HpcJob* job = get_job(id);
-        if (job != nullptr && job->state == HpcJobState::kQueued) return job;
-    }
-    return nullptr;
-}
-
-int HpcScheduler::total_cores() const {
-    int total = 0;
-    for (const auto& rec : nodes_) total += static_cast<int>(rec.core_owner.size());
-    return total;
-}
-
-int HpcScheduler::free_cores() const {
-    int total = 0;
-    for (const auto& rec : nodes_)
-        if (rec.state() == HpcNodeState::kOnline) total += rec.free_cores();
-    return total;
-}
-
 std::vector<const HpcNodeRecord*> HpcScheduler::fully_idle_nodes() const {
     std::vector<const HpcNodeRecord*> out;
-    for (const auto& rec : nodes_)
-        if (rec.state() == HpcNodeState::kOnline && rec.used_cores() == 0) out.push_back(&rec);
+    out.reserve(idle_nodes_.size());
+    for (int idx : idle_nodes_) out.push_back(&nodes_[static_cast<std::size_t>(idx)]);
     return out;
 }
 
 Status HpcScheduler::set_node_online(const std::string& name, bool online) {
-    for (auto& rec : nodes_) {
-        if (rec.node->hostname() == name || rec.node->short_name() == name) {
-            rec.admin_offline = !online;
-            if (online) schedule_cycle();
-            return Status::ok_status();
-        }
-    }
-    return Error{"unknown node: " + name};
+    auto it = name_index_.find(name);
+    if (it == name_index_.end()) return Error{"unknown node: " + name};
+    nodes_[it->second].admin_offline = !online;
+    update_node_state(it->second);
+    if (online) schedule_cycle();
+    return Status::ok_status();
 }
 
 void HpcScheduler::on_job_terminal(std::function<void(const HpcJob&)> fn) {
@@ -204,23 +310,52 @@ void HpcScheduler::on_job_terminal(std::function<void(const HpcJob&)> fn) {
 }
 
 std::optional<std::vector<int>> HpcScheduler::try_place(const HpcJob& job) const {
+    // Candidates come from the incrementally maintained sets (ascending
+    // index, the same visit order as a full scan): node-unit jobs want fully
+    // idle Online nodes, core-unit jobs accumulate free cores.
+    std::vector<int> chosen;
+    if (job.unit == JobUnitType::kNode) {
+        for (int idx : idle_nodes_) {
+            chosen.push_back(idx);
+            if (static_cast<int>(chosen.size()) == job.min_resources) return chosen;
+        }
+        return std::nullopt;
+    }
+    int cores_found = 0;
+    for (int idx : free_nodes_) {
+        const HpcNodeRecord& rec = nodes_[static_cast<std::size_t>(idx)];
+        chosen.push_back(idx);
+        cores_found += rec.free_cores();
+        if (cores_found >= job.min_resources) return chosen;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<int>> HpcScheduler::try_place_bruteforce(const HpcJob& job) const {
+    // The pre-optimization placement logic, kept as the reference for the
+    // consistency-check hook: recounts core_owner and re-derives state().
     std::vector<int> chosen;
     if (job.unit == JobUnitType::kNode) {
         for (std::size_t i = 0; i < nodes_.size(); ++i) {
             const HpcNodeRecord& rec = nodes_[i];
-            if (rec.state() != HpcNodeState::kOnline || rec.used_cores() > 0) continue;
+            int used = 0;
+            for (int owner : rec.core_owner)
+                if (owner != 0) ++used;
+            if (rec.state() != HpcNodeState::kOnline || used > 0) continue;
             chosen.push_back(static_cast<int>(i));
             if (static_cast<int>(chosen.size()) == job.min_resources) return chosen;
         }
         return std::nullopt;
     }
-    // Core unit: accumulate free cores across online nodes.
     int cores_found = 0;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         const HpcNodeRecord& rec = nodes_[i];
-        if (rec.state() != HpcNodeState::kOnline || rec.free_cores() == 0) continue;
+        int free = 0;
+        for (int owner : rec.core_owner)
+            if (owner == 0) ++free;
+        if (rec.state() != HpcNodeState::kOnline || free == 0) continue;
         chosen.push_back(static_cast<int>(i));
-        cores_found += rec.free_cores();
+        cores_found += free;
         if (cores_found >= job.min_resources) return chosen;
     }
     return std::nullopt;
@@ -236,21 +371,40 @@ void HpcScheduler::schedule_cycle() {
     do {
         cycle_again_ = false;
         obs_cycles_.inc();
-        for (auto it = queue_order_.begin(); it != queue_order_.end();) {
-            HpcJob* job = nullptr;
-            if (auto jit = jobs_.find(*it); jit != jobs_.end()) job = jit->second.get();
-            if (job == nullptr || job->state != HpcJobState::kQueued) {
-                it = queue_order_.erase(it);
-                continue;
+        if (consistency_checks_) verify_incremental_state();
+        HpcJob* next = queue_head_;
+        while (next != nullptr) {
+            HpcJob* job = next;
+            next = job->queue_next;
+            // Aggregate early-exit: a node-unit job cannot fit when fewer
+            // idle nodes exist than it asks for; a core-unit job cannot fit
+            // past the free-core total. Skips the candidate walk entirely in
+            // the stuck steady state.
+            const bool may_fit =
+                job->unit == JobUnitType::kNode
+                    ? job->min_resources <= static_cast<int>(idle_nodes_.size())
+                    : job->min_resources <= free_core_agg_;
+            std::optional<std::vector<int>> placement;
+            if (may_fit) placement = try_place(*job);
+            if (consistency_checks_) {
+                const auto reference = try_place_bruteforce(*job);
+                util::ensure(placement == reference,
+                             "consistency: incremental placement diverged from brute force");
             }
-            auto placement = try_place(*job);
             if (!placement.has_value()) {
                 if (config_.strict_fifo) break;
-                ++it;
                 continue;
             }
-            it = queue_order_.erase(it);
+            // start_job runs the job's on_start hook, which may mutate the
+            // queue (cancel of any job — including `next`). Detect that via
+            // the unlink epoch and restart the pass from the new head.
+            const std::uint64_t unlinks_before = queue_unlinks_;
+            queue_unlink(*job);
             start_job(*job, *placement);
+            if (queue_unlinks_ != unlinks_before + 1) {
+                cycle_again_ = true;
+                break;
+            }
         }
     } while (cycle_again_);
     in_cycle_ = false;
@@ -259,20 +413,24 @@ void HpcScheduler::schedule_cycle() {
 void HpcScheduler::start_job(HpcJob& job, const std::vector<int>& record_indices) {
     job.state = HpcJobState::kRunning;
     job.start_unix = engine_.unix_now();
+    ++running_count_;
     int cores_needed = job.unit == JobUnitType::kCore ? job.min_resources : 0;
     for (int idx : record_indices) {
         HpcNodeRecord& rec = nodes_[static_cast<std::size_t>(idx)];
         int to_take = job.unit == JobUnitType::kNode
                           ? static_cast<int>(rec.core_owner.size())
                           : std::min(cores_needed, rec.free_cores());
+        const int taking = to_take;
         for (std::size_t c = 0; c < rec.core_owner.size() && to_take > 0; ++c) {
             if (rec.core_owner[c] != 0) continue;
             rec.core_owner[c] = job.id;
             --to_take;
             if (job.unit == JobUnitType::kCore) --cores_needed;
         }
+        adjust_free(static_cast<std::size_t>(idx), -(taking - to_take));
         job.allocated_node_indices.push_back(rec.node->index());
         job.allocated_node_names.push_back(rec.node->short_name());
+        job.allocated_record_indices.push_back(idx);
     }
     ++stats_.started;
     engine_.logger().debug("winhpc/" + config_.cluster_name,
@@ -335,11 +493,22 @@ void HpcScheduler::launch_next_task(int job_id) {
 }
 
 void HpcScheduler::release_allocation(HpcJob& job) {
-    for (auto& rec : nodes_)
-        for (auto& owner : rec.core_owner)
-            if (owner == job.id) owner = 0;
+    // O(allocated): only the records the job actually ran on are touched,
+    // instead of rescanning every core_owner vector in the cluster.
+    for (int idx : job.allocated_record_indices) {
+        HpcNodeRecord& rec = nodes_[static_cast<std::size_t>(idx)];
+        int freed = 0;
+        for (auto& owner : rec.core_owner) {
+            if (owner == job.id) {
+                owner = 0;
+                ++freed;
+            }
+        }
+        if (freed > 0) adjust_free(static_cast<std::size_t>(idx), freed);
+    }
     job.allocated_node_indices.clear();
     job.allocated_node_names.clear();
+    job.allocated_record_indices.clear();
 }
 
 void HpcScheduler::finish_job(HpcJob& job, HpcJobState terminal, const char* why) {
@@ -359,6 +528,8 @@ void HpcScheduler::finish_job(HpcJob& job, HpcJobState terminal, const char* why
         engine_.cancel(it->second);
         limit_events_.erase(it);
     }
+    queue_unlink(job);  // no-op unless the job was still queued
+    if (job.state == HpcJobState::kRunning) --running_count_;
     release_allocation(job);
     job.state = terminal;
     job.end_unix = engine_.unix_now();
@@ -394,29 +565,31 @@ void HpcScheduler::requeue_job(HpcJob& job) {
     }
     job.tasks_finished = 0;
     job.next_task_index = 0;
+    if (job.state == HpcJobState::kRunning) --running_count_;
     job.state = HpcJobState::kQueued;
     job.start_unix = 0;
     ++job.requeue_count;
     ++stats_.requeued;
     // Preserve submission order among queued jobs.
-    auto pos = queue_order_.begin();
-    while (pos != queue_order_.end()) {
-        const HpcJob* other = get_job(*pos);
-        if (other != nullptr && other->id > job.id) break;
-        ++pos;
-    }
-    queue_order_.insert(pos, job.id);
+    queue_insert_by_id(job);
 }
 
-void HpcScheduler::handle_node_up(Node& /*node*/, OsType os) {
+void HpcScheduler::handle_node_up(Node& node, OsType os) {
+    const std::size_t idx = record_index_for(node);
+    util::ensure(idx != static_cast<std::size_t>(-1), "handle_node_up: unknown node");
+    update_node_state(idx);
     if (os == OsType::kWindows) schedule_cycle();
 }
 
 void HpcScheduler::handle_node_down(Node& node) {
-    HpcNodeRecord* rec = record_for(node);
-    util::ensure(rec != nullptr, "handle_node_down: unknown node");
+    const std::size_t idx = record_index_for(node);
+    util::ensure(idx != static_cast<std::size_t>(-1), "handle_node_down: unknown node");
+    HpcNodeRecord& rec = nodes_[idx];
+    // Drop the node from the free-core aggregate *before* releasing victim
+    // allocations, so the frees below don't count toward Online cores.
+    update_node_state(idx);
     std::vector<int> victims;
-    for (int owner : rec->core_owner)
+    for (int owner : rec.core_owner)
         if (owner != 0 && std::find(victims.begin(), victims.end(), owner) == victims.end())
             victims.push_back(owner);
     for (int id : victims) {

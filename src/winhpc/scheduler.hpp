@@ -9,12 +9,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/node.hpp"
@@ -93,6 +94,7 @@ struct HpcJob {
     std::int64_t end_unix = 0;
     std::vector<int> allocated_node_indices;
     std::vector<std::string> allocated_node_names;
+    std::vector<int> allocated_record_indices;  ///< scheduler records (release fast path)
     int requeue_count = 0;
     sim::Duration run_time{};
     std::vector<HpcTask> tasks;   ///< empty for implicit single-activity jobs
@@ -101,6 +103,13 @@ struct HpcJob {
     std::optional<sim::Duration> runtime_limit;
     std::function<void(HpcJob&)> on_start;
     std::function<void(HpcJob&)> on_finish;
+
+    // Intrusive membership in the scheduler's queued-job FCFS list (id
+    // order). Maintained by HpcScheduler exclusively; started/canceled jobs
+    // are unlinked eagerly so a pass walks only startable jobs.
+    HpcJob* queue_prev = nullptr;
+    HpcJob* queue_next = nullptr;
+    bool in_queue = false;
 
     /// CPUs this job books (the Fig 5 [Needed CPUs] field on the Windows
     /// side). Node-unit jobs count cores_per_node per node.
@@ -116,8 +125,17 @@ struct HpcNodeRecord {
     std::string node_template = "Eridani Compute";
     std::vector<int> core_owner;  ///< job id per core (0 = free)
 
-    [[nodiscard]] int free_cores() const;
-    [[nodiscard]] int used_cores() const;
+    // Incrementally maintained by the scheduler, so core queries and the
+    // placement scan never re-count core_owner.
+    int free_count = 0;         ///< cached number of zero core_owner slots
+    bool in_online_agg = false; ///< contributing to the free-core aggregate
+    bool in_free_set = false;   ///< member of the core-placement candidate set
+    bool in_idle_set = false;   ///< member of the fully-idle set
+
+    [[nodiscard]] int free_cores() const { return free_count; }
+    [[nodiscard]] int used_cores() const {
+        return static_cast<int>(core_owner.size()) - free_count;
+    }
     [[nodiscard]] bool reachable() const;  ///< up and running Windows
     [[nodiscard]] HpcNodeState state() const;
 };
@@ -159,18 +177,27 @@ public:
     [[nodiscard]] std::vector<const HpcJob*> get_jobs(
         std::optional<HpcJobState> filter = std::nullopt) const;
 
-    /// SDK-style queue metrics (what the Windows detector reads).
-    [[nodiscard]] int queued_job_count() const;
-    [[nodiscard]] int running_job_count() const;
-    [[nodiscard]] const HpcJob* first_queued_job() const;
+    /// SDK-style queue metrics (what the Windows detector reads). All O(1):
+    /// the counts are maintained incrementally, not recomputed per call.
+    [[nodiscard]] int queued_job_count() const { return static_cast<int>(queued_count_); }
+    [[nodiscard]] int running_job_count() const { return static_cast<int>(running_count_); }
+    [[nodiscard]] const HpcJob* first_queued_job() const { return queue_head_; }
 
     [[nodiscard]] const std::vector<HpcNodeRecord>& node_records() const { return nodes_; }
-    [[nodiscard]] int total_cores() const;
-    [[nodiscard]] int free_cores() const;
+    [[nodiscard]] int total_cores() const { return total_cores_; }
+    /// Free cores across Online nodes. O(1): incrementally maintained.
+    [[nodiscard]] int free_cores() const { return free_core_agg_; }
     /// Online nodes with zero allocation — OS-switch candidates.
     [[nodiscard]] std::vector<const HpcNodeRecord*> fully_idle_nodes() const;
+    /// O(1) count of the above (the detector only needs the number).
+    [[nodiscard]] int fully_idle_count() const { return static_cast<int>(idle_nodes_.size()); }
 
     [[nodiscard]] util::Status set_node_online(const std::string& name, bool online);
+
+    /// Test hook: cross-check every incremental shortcut (cached counts,
+    /// aggregates, set membership, the queued list) against a brute-force
+    /// recount each cycle and throw on divergence.
+    void enable_consistency_checks(bool on) { consistency_checks_ = on; }
 
     [[nodiscard]] const HpcStats& stats() const { return stats_; }
     [[nodiscard]] sim::Engine& engine() { return engine_; }
@@ -192,14 +219,41 @@ private:
     void handle_node_down(cluster::Node& node);
     void requeue_job(HpcJob& job);
     [[nodiscard]] std::optional<std::vector<int>> try_place(const HpcJob& job) const;
-    [[nodiscard]] HpcNodeRecord* record_for(const cluster::Node& node);
+    [[nodiscard]] std::optional<std::vector<int>> try_place_bruteforce(const HpcJob& job) const;
+    /// Index of the record for `node`, or npos when not attached. O(1).
+    [[nodiscard]] std::size_t record_index_for(const cluster::Node& node) const;
+    /// Adjust a record's cached free count and the Online aggregate.
+    void adjust_free(std::size_t idx, int delta);
+    /// Re-evaluate the record's Online membership and set memberships after
+    /// a reachability / admin / allocation change.
+    void update_node_state(std::size_t idx);
+    void verify_incremental_state() const;
+
+    // ---- queued-job intrusive list (id order) ----
+    void queue_push_back(HpcJob& job);
+    void queue_insert_by_id(HpcJob& job);
+    void queue_unlink(HpcJob& job);
 
     sim::Engine& engine_;
     HpcSchedulerConfig config_;
     int next_id_ = 1;
     std::vector<HpcNodeRecord> nodes_;
+    std::unordered_map<const cluster::Node*, std::size_t> node_index_;  ///< ptr → record
+    std::unordered_map<std::string, std::size_t> name_index_;  ///< hostname/short → record
     std::map<int, std::unique_ptr<HpcJob>> jobs_;
-    std::deque<int> queue_order_;
+
+    HpcJob* queue_head_ = nullptr;
+    HpcJob* queue_tail_ = nullptr;
+    std::size_t queued_count_ = 0;
+    std::size_t running_count_ = 0;
+    std::uint64_t queue_unlinks_ = 0;  ///< guards cycle iteration vs. reentrant removal
+
+    int total_cores_ = 0;
+    int free_core_agg_ = 0;  ///< free cores on Online nodes
+    std::set<int> free_nodes_;  ///< Online, free_cores > 0 (core-unit candidates)
+    std::set<int> idle_nodes_;  ///< Online, used_cores == 0 (node-unit candidates)
+    bool consistency_checks_ = false;
+
     std::map<int, sim::EventId> completion_events_;
     std::map<int, std::vector<sim::EventId>> task_events_;  ///< pending task completions
     std::map<int, sim::EventId> limit_events_;

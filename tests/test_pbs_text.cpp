@@ -199,7 +199,7 @@ TEST_F(TextFixture, CachedOutputsRefreshAfterMutation) {
     EXPECT_NE(server.qstat_f_output().find("Job Id: " + id), std::string::npos);
 }
 
-TEST_F(TextFixture, TimeSensitiveOutputsTickWithoutMutations) {
+TEST_F(TextFixture, BriefQstatTicksButPbsnodesIsHeartbeatStable) {
     JobScript script;
     script.resources.ppn = 1;
     JobBehavior behavior;
@@ -208,13 +208,22 @@ TEST_F(TextFixture, TimeSensitiveOutputsTickWithoutMutations) {
     const std::uint64_t v = server.version();
     const std::string qstat_before = server.qstat_output();
     const std::string nodes_before = server.pbsnodes_output();
+    const auto renders_before = server.text_stats().node_stanza_renders;
     engine.run_for(sim::minutes(5));  // nothing schedules: version unchanged
     ASSERT_EQ(server.version(), v);
-    // Time Use and rectime/idletime embed the clock, so the text must move
-    // even though no mutation occurred.
+    // The brief qstat's Time Use column embeds the clock, so that text must
+    // move even though no mutation occurred.
     EXPECT_NE(server.qstat_output(), qstat_before);
     EXPECT_NE(server.qstat_output().find("00:05:00"), std::string::npos);
+    // pbsnodes, by contrast, reports mom heartbeats: rectime/idletime come
+    // from each node's last report, so with no state change the output is
+    // byte-stable and no stanza is re-rendered.
+    EXPECT_EQ(server.pbsnodes_output(), nodes_before);
+    EXPECT_EQ(server.text_stats().node_stanza_renders, renders_before);
+    // A real mutation moves the heartbeat again.
+    ASSERT_TRUE(server.set_node_offline("enode02.eridani.qgg.hud.ac.uk", true).ok());
     EXPECT_NE(server.pbsnodes_output(), nodes_before);
+    EXPECT_GT(server.text_stats().node_stanza_renders, renders_before);
 }
 
 }  // namespace
