@@ -19,7 +19,7 @@ std::vector<workload::JobSpec> qgg_week(std::uint64_t seed) {
     // Steady campus demand plus a Friday render surge that swamps the
     // dedicated Windows cluster.
     workload::GeneratorConfig cfg;
-    cfg.arrival_rate_per_hour = 6;
+    cfg.arrival.rate_per_hour = 6;
     cfg.horizon = sim::days(5);
     cfg.max_nodes = 4;
     cfg.runtime_scale = 0.25;

@@ -203,7 +203,7 @@ inline std::vector<workload::JobSpec> mixed_trace(double windows_share, std::uin
                                                   double rate_per_hour = 10.0,
                                                   sim::Duration horizon = sim::hours(20)) {
     workload::GeneratorConfig cfg;
-    cfg.arrival_rate_per_hour = rate_per_hour;
+    cfg.arrival.rate_per_hour = rate_per_hour;
     cfg.horizon = horizon;
     cfg.max_nodes = 4;
     cfg.runtime_scale = 0.25;

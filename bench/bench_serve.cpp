@@ -1,0 +1,123 @@
+// SERVE — the submission-service front door under client-fleet load.
+//
+// ISSUE 7 acceptance: one process owning a long-lived engine + cluster +
+// scheduler must sustain thousands of concurrent client sessions. The sweep
+// here crosses fleet size (100 / 1k / 10k clients) with cluster size (1k /
+// 100k nodes) and reports wall throughput plus the deterministic service
+// ledger — accepted / rejected / p99 latency / detector staleness — so a
+// perf regression is attributable to "more work" vs "same work, slower".
+// `--quick` shortens the simulated horizon only; the record identities are
+// mode-invariant for the bench_check gate.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/runner.hpp"
+#include "serve/spec.hpp"
+#include "sweep/runner.hpp"
+
+using namespace hc;
+
+namespace {
+
+serve::ServeSpec make_spec(int clients, int nodes, bool quick) {
+    serve::ServeSpec spec;
+    spec.clients = clients;
+    spec.nodes = nodes;
+    spec.hours = quick ? 0.25 : 2.0;
+    spec.seed = 7;
+    spec.arrival.rate_per_hour = 2.0;
+    spec.runtime_scale = 0.25;
+    return spec;
+}
+
+void add_serve_records(bench::JsonReport& report, const serve::ServeResult& result,
+                       int clients, int nodes) {
+    const std::vector<std::pair<std::string, std::string>> p = {
+        {"clients", std::to_string(clients)}, {"nodes", std::to_string(nodes)}};
+    const auto& c = result.counters;
+    const double wall_req_per_sec =
+        result.wall_ms > 0
+            ? static_cast<double>(c.service.requests) / (result.wall_ms / 1e3)
+            : 0.0;
+    report.add("serve_requests_per_sec", wall_req_per_sec, "req/s", p);
+    report.add("serve_submissions_per_sim_hour", result.submissions_per_sim_hour(),
+               "jobs/h", p);
+    report.add("serve_requests", static_cast<double>(c.service.requests), "count", p);
+    report.add("serve_accepted", static_cast<double>(c.service.accepted), "count", p);
+    report.add("serve_rejected", static_cast<double>(c.service.rejected()), "count", p);
+    report.add("serve_submit_p99_ms", result.submit_latency_ms(0.99), "ms", p);
+    report.add("serve_query_p99_ms", result.query_latency_ms(0.99), "ms", p);
+    report.add("serve_staleness_mean_s", result.staleness_mean_s(), "s", p);
+    report.add("serve_inbox_high_water", static_cast<double>(c.service.channel_high_water),
+               "count", p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool quick = bench::quick_mode(argc, argv);
+    const int threads = bench::threads_from_args(argc, argv);
+    const std::string json_path = bench::json_path_from_args(argc, argv);
+    bench::JsonReport report("SERVE");
+
+    bench::print_header("SERVE (submission service)",
+                        "client fleets of 100 / 1k / 10k on 1k / 100k nodes",
+                        "one long-lived engine per run; every request answered");
+
+    for (int nodes : {1'000, 100'000}) {
+        for (int clients : {100, 1'000, 10'000}) {
+            const serve::ServeSpec spec = make_spec(clients, nodes, quick);
+            const serve::ServeResult result = serve::run_serve(spec);
+            const auto& c = result.counters;
+            std::printf("\n-- %d client(s) x %d node(s), %.2f h --\n", clients, nodes,
+                        spec.hours);
+            std::printf("  requests:   %8llu (%llu accepted, %llu rejected)\n",
+                        static_cast<unsigned long long>(c.service.requests),
+                        static_cast<unsigned long long>(c.service.accepted),
+                        static_cast<unsigned long long>(c.service.rejected()));
+            std::printf("  latency:    submit p99 %.1f ms, query p99 %.1f ms\n",
+                        result.submit_latency_ms(0.99), result.query_latency_ms(0.99));
+            std::printf("  staleness:  %.1f s mean\n", result.staleness_mean_s());
+            std::printf("  wall:       %8.1f ms (%.0f requests/s)\n", result.wall_ms,
+                        result.wall_ms > 0 ? static_cast<double>(c.service.requests) /
+                                                 (result.wall_ms / 1e3)
+                                           : 0.0);
+            add_serve_records(report, result, clients, nodes);
+        }
+    }
+
+    // Replica fleets through hc::sweep: the campaign shape a parameter study
+    // over admission policies would use. Per-slot results are deterministic
+    // (pinned by tests/test_serve.cpp); only the wall-clock envelope varies.
+    {
+        const std::size_t replicas = quick ? 4 : 16;
+        sweep::SweepStats stats;
+        auto results = sweep::map_indexed<serve::ServeResult>(
+            replicas, threads,
+            [&](std::size_t slot, sweep::WorkerContext& ctx) {
+                serve::ServeSpec spec = make_spec(200, 256, quick);
+                spec.seed = 100 + slot;
+                return serve::run_serve(spec, ctx.arena);
+            },
+            &stats);
+        std::uint64_t total_requests = 0;
+        for (const auto& r : results) total_requests += r.counters.service.requests;
+        const double req_per_sec =
+            stats.wall_ms > 0 ? static_cast<double>(total_requests) / (stats.wall_ms / 1e3)
+                              : 0.0;
+        std::printf("\nsweep: %zu fleet replica(s) x 200 clients: %.0f requests/s aggregate\n",
+                    replicas, req_per_sec);
+        bench::print_sweep_stats(stats);
+        // No params: quick and full runs use different replica counts, and
+        // the record identity must be mode-invariant for bench_check.
+        report.add("serve_sweep_requests_per_sec", req_per_sec, "req/s", {});
+        report.set_sweep(stats);
+    }
+
+    if (!json_path.empty() && !report.write(json_path)) return 1;
+    return 0;
+}

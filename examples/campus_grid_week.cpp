@@ -21,7 +21,7 @@ int main() {
     // Seven days of campus demand from the Table I catalogue. Runtimes are
     // scaled so the example finishes in about a second of wall time.
     workload::GeneratorConfig gen_cfg;
-    gen_cfg.arrival_rate_per_hour = 3;
+    gen_cfg.arrival.rate_per_hour = 3;
     gen_cfg.horizon = sim::days(7);
     gen_cfg.max_nodes = 4;
     gen_cfg.runtime_scale = 0.35;

@@ -32,7 +32,7 @@ int main() {
     // An afternoon of steady Linux MD plus a 3ds Max render deadline: 20
     // Backburner jobs land within an hour — more than vega can chew.
     workload::GeneratorConfig gen_cfg;
-    gen_cfg.arrival_rate_per_hour = 5;
+    gen_cfg.arrival.rate_per_hour = 5;
     gen_cfg.horizon = sim::hours(8);
     gen_cfg.runtime_scale = 0.3;
     workload::WorkloadGenerator generator(workload::AppCatalog::huddersfield(), gen_cfg, 99);

@@ -239,6 +239,7 @@ QueueSnapshot PbsDetector::check_incremental() {
 QueueSnapshot PbsDetector::snapshot_from_parse(const util::Result<QstatParse>& parsed,
                                                int idle_nodes) {
     QueueSnapshot snap;
+    snap.checked_unix = unix_clock_ ? unix_clock_() : -1;
     if (!parsed) {
         // A scrape failure reads as "other state" — the daemon must never
         // crash on odd scheduler output; it just reports not-stuck.
@@ -285,6 +286,8 @@ WinHpcDetector::WinHpcDetector(const winhpc::HpcScheduler& scheduler, int cores_
 
 QueueSnapshot WinHpcDetector::check() {
     QueueSnapshot snap;
+    snap.checked_unix =
+        const_cast<winhpc::HpcScheduler&>(scheduler_).engine().unix_now();
     snap.running = scheduler_.running_job_count();
     snap.queued = scheduler_.queued_job_count();
     snap.idle_nodes = scheduler_.fully_idle_count();

@@ -45,6 +45,10 @@ struct QueueSnapshot {
     int running = 0;   ///< jobs currently executing
     int queued = 0;    ///< jobs waiting
     int idle_nodes = 0;    ///< fully idle nodes on this side (switch candidates)
+    /// Simulated wall-clock (Unix seconds) when the detector computed this
+    /// snapshot. Consumers that cache snapshots (hc::serve) report their
+    /// staleness as `now - checked_unix`. -1 = detector had no clock.
+    std::int64_t checked_unix = -1;
     std::string debug_text;  ///< the Fig 6 human-readable block
 };
 

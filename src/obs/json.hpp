@@ -1,52 +1,17 @@
-// Minimal JSON emission helpers shared by the obs exporters.
+// JSON emission helpers for the obs exporters.
 //
-// Everything obs writes (metrics snapshots, Chrome traces, journal lines)
-// must be byte-deterministic for a given simulation seed, so these helpers
-// avoid locale-dependent formatting and iterate containers in stable order.
+// The implementations moved to util/json_out.hpp so non-obs layers (the
+// shared queue-status renderer, hc::serve responses) can emit JSON without
+// depending on obs; this header keeps the hc::obs spellings alive for the
+// existing exporters and callers.
 #pragma once
 
-#include <cstdio>
-#include <string>
-#include <string_view>
+#include "util/json_out.hpp"
 
 namespace hc::obs {
 
-/// Escape a string for inclusion inside JSON double quotes.
-inline void json_append_escaped(std::string& out, std::string_view s) {
-    for (char c : s) {
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            case '\r': out += "\\r"; break;
-            case '\t': out += "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                    out += buf;
-                } else {
-                    out += c;
-                }
-        }
-    }
-}
-
-[[nodiscard]] inline std::string json_quote(std::string_view s) {
-    std::string out;
-    out.reserve(s.size() + 2);
-    out += '"';
-    json_append_escaped(out, s);
-    out += '"';
-    return out;
-}
-
-/// Shortest round-trip-safe decimal rendering of a double ("%.9g" keeps the
-/// bench emitter's convention; integral values render without an exponent).
-[[nodiscard]] inline std::string json_number(double v) {
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.9g", v);
-    return buf;
-}
+using util::json_append_escaped;
+using util::json_number;
+using util::json_quote;
 
 }  // namespace hc::obs

@@ -66,6 +66,7 @@ MetricsSnapshot Registry::snapshot() {
         h.max = hist->max();
         h.p50 = hist->percentile(0.50);
         h.p95 = hist->percentile(0.95);
+        h.p99 = hist->percentile(0.99);
         snap.histograms.push_back(std::move(h));
     }
     return snap;
@@ -90,7 +91,7 @@ std::string MetricsSnapshot::to_json() const {
         out += "\n  " + json_quote(h.name) + ": {\"count\": " + std::to_string(h.count) +
                ", \"mean\": " + json_number(h.mean) + ", \"min\": " + json_number(h.min) +
                ", \"max\": " + json_number(h.max) + ", \"p50\": " + json_number(h.p50) +
-               ", \"p95\": " + json_number(h.p95) + "}";
+               ", \"p95\": " + json_number(h.p95) + ", \"p99\": " + json_number(h.p99) + "}";
     }
     out += "}}\n";
     return out;

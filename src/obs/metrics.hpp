@@ -95,7 +95,7 @@ struct MetricsSnapshot {
     struct HistogramValue {
         std::string name;
         std::size_t count = 0;
-        double mean = 0, min = 0, max = 0, p50 = 0, p95 = 0;
+        double mean = 0, min = 0, max = 0, p50 = 0, p95 = 0, p99 = 0;
     };
 
     std::vector<CounterValue> counters;

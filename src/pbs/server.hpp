@@ -151,6 +151,10 @@ public:
 
     /// Jobs currently queued, in service (arrival) order.
     [[nodiscard]] std::vector<const Job*> queued_jobs() const;
+    /// Number of eligible queued jobs. O(1): the intrusive queue keeps a
+    /// live count, so admission control (hc::serve overload shedding) can
+    /// consult depth every cycle without materialising the job list.
+    [[nodiscard]] std::size_t queued_count() const { return eligible_count_; }
     [[nodiscard]] std::vector<const Job*> running_jobs() const;
     [[nodiscard]] std::vector<const Job*> all_jobs() const;
 

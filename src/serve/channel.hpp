@@ -1,0 +1,62 @@
+// Bounded MPSC request channel.
+//
+// The service's inbox: every client session pushes, the service drains at
+// cycle boundaries. "Multi-producer" here means many *sessions* — the
+// simulation is single-threaded, so no locking; the bound is the point.
+// try_push refuses when full (the caller turns that into a kQueueFull
+// rejection), which is what makes admission backpressure explicit instead
+// of an unbounded queue quietly absorbing overload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace hc::serve {
+
+template <typename T>
+class BoundedChannel {
+public:
+    explicit BoundedChannel(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Enqueue, or refuse when at capacity.
+    [[nodiscard]] bool try_push(T item) {
+        if (items_.size() >= capacity_) {
+            ++refused_;
+            return false;
+        }
+        items_.push_back(std::move(item));
+        ++pushed_;
+        if (items_.size() > high_water_) high_water_ = items_.size();
+        return true;
+    }
+
+    /// Move up to `max` items (FIFO) into `out`, appending.
+    std::size_t drain(std::size_t max, std::vector<T>& out) {
+        std::size_t n = 0;
+        while (n < max && !items_.empty()) {
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+            ++n;
+        }
+        return n;
+    }
+
+    [[nodiscard]] std::size_t size() const { return items_.size(); }
+    [[nodiscard]] bool empty() const { return items_.empty(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+    [[nodiscard]] std::uint64_t refused() const { return refused_; }
+    [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+    std::uint64_t pushed_ = 0;
+    std::uint64_t refused_ = 0;
+    std::size_t high_water_ = 0;
+};
+
+}  // namespace hc::serve

@@ -1,0 +1,104 @@
+#include "serve/client_sim.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/errors.hpp"
+
+namespace hc::serve {
+
+ClientFleet::ClientFleet(sim::Engine& engine, SubmissionService& service,
+                         workload::AppCatalog catalog, FleetConfig config)
+    : engine_(engine),
+      service_(service),
+      catalog_(std::move(catalog)),
+      config_(config),
+      arrivals_(config.arrival) {
+    util::require(config_.clients > 0, "fleet: clients must be positive");
+    util::require(config_.max_job_nodes > 0, "fleet: max_job_nodes must be positive");
+    util::require(config_.runtime_scale > 0, "fleet: runtime_scale must be positive");
+    weights_.reserve(catalog_.apps().size());
+    for (const auto& app : catalog_.apps()) weights_.push_back(app.demand_weight);
+    const util::Rng base(config_.seed);
+    sessions_.reserve(static_cast<std::size_t>(config_.clients));
+    clients_.reserve(static_cast<std::size_t>(config_.clients));
+    for (int i = 0; i < config_.clients; ++i) {
+        sessions_.push_back(std::make_unique<InProcSession>());
+        clients_.emplace_back(base.fork("client-" + std::to_string(i)));
+    }
+}
+
+void ClientFleet::start() {
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+        clients_[i].id = service_.connect(*sessions_[i], "user" + std::to_string(i));
+        schedule_next(i);
+    }
+}
+
+void ClientFleet::schedule_next(std::size_t index) {
+    const double gap_s = arrivals_.next_gap_s(clients_[index].rng, engine_.now().seconds());
+    const sim::Duration gap = sim::seconds(gap_s);
+    if ((engine_.now() + gap).ms >= config_.horizon.ms) return;  // fleet goes quiet here
+    engine_.schedule_after(gap, [this, index] { on_arrival(index); });
+}
+
+void ClientFleet::on_arrival(std::size_t index) {
+    Client& client = clients_[index];
+    const auto& app = catalog_.apps()[client.rng.weighted_index(weights_)];
+
+    // Sample the job shape the same way the trace generator does, then
+    // render it as the script the paper's users would qsub.
+    const int hi = std::min(app.max_nodes, config_.max_job_nodes);
+    const int lo = std::min(app.min_nodes, hi);
+    const int nodes = static_cast<int>(client.rng.uniform_int(lo, hi));
+    const double run_s = std::max(
+        30.0 * config_.runtime_scale,
+        client.rng.lognormal_median(app.runtime_median_s * config_.runtime_scale,
+                                    app.runtime_sigma));
+    std::string script = "#!/bin/bash\n#PBS -N " + app.name + "\n#PBS -l nodes=" +
+                         std::to_string(nodes) + ":ppn=" + std::to_string(config_.ppn) +
+                         "\n./" + app.name + "\n";
+    service_.submit(client.id, std::move(script), sim::seconds(run_s));
+    ++counters_.submits;
+
+    // Follow-ups: "how is my job" some seconds later, and the occasional
+    // whole-queue look. Draw order is fixed (status, checkqueue, next gap)
+    // so the stream is reproducible.
+    if (client.rng.chance(config_.query_ratio)) {
+        const double delay_s = client.rng.uniform(5.0, 300.0);
+        engine_.schedule_after(sim::seconds(delay_s), [this, index] {
+            const std::string& job = sessions_[index]->last_job_id();
+            if (job.empty()) {
+                service_.check_queue(clients_[index].id);
+                ++counters_.checkqueues;
+            } else {
+                service_.query_status(clients_[index].id, job);
+                ++counters_.status_queries;
+            }
+        });
+    }
+    if (client.rng.chance(config_.checkqueue_ratio)) {
+        const double delay_s = client.rng.uniform(1.0, 60.0);
+        engine_.schedule_after(sim::seconds(delay_s), [this, index] {
+            service_.check_queue(clients_[index].id);
+            ++counters_.checkqueues;
+        });
+    }
+    schedule_next(index);
+}
+
+SessionStats ClientFleet::aggregate_sessions() const {
+    SessionStats total;
+    for (const auto& session : sessions_) {
+        const SessionStats& s = session->stats();
+        total.accepted += s.accepted;
+        total.rejected += s.rejected;
+        total.job_infos += s.job_infos;
+        total.queue_infos += s.queue_infos;
+        for (int r = 0; r < kRejectReasonCount; ++r)
+            total.rejects_by_reason[r] += s.rejects_by_reason[r];
+    }
+    return total;
+}
+
+}  // namespace hc::serve

@@ -1,0 +1,91 @@
+// The simulated client fleet: thousands of concurrent sessions.
+//
+// Each client is an independent arrival process (workload::ArrivalProcess)
+// over its own forked Rng stream, submitting qsub-style scripts sampled
+// from the application catalogue and following up with status / checkqueue
+// queries. Clients share nothing but the service's front door, so fleet
+// behaviour is deterministic: event order depends only on (seed, config),
+// never on wall-clock or thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/catalog.hpp"
+
+namespace hc::serve {
+
+struct FleetConfig {
+    int clients = 100;
+    workload::ArrivalSpec arrival;   ///< per-client submission process
+    double query_ratio = 0.5;        ///< P(status follow-up per submission)
+    double checkqueue_ratio = 0.1;   ///< P(checkqueue follow-up per submission)
+    int max_job_nodes = 4;           ///< cap node requests (cluster-placeable)
+    int ppn = 4;
+    double runtime_scale = 1.0;
+    /// Absolute quiet deadline (since simulation start, not fleet start):
+    /// no arrivals fire at or after it. The runner sets it to boot-settle
+    /// time + the spec's hours.
+    sim::Duration horizon = sim::hours(2);
+    std::uint64_t seed = 7;
+};
+
+/// Deterministic fleet-side totals (what clients *sent*; the service's
+/// counters say what happened to it).
+struct FleetCounters {
+    std::uint64_t submits = 0;
+    std::uint64_t status_queries = 0;
+    std::uint64_t checkqueues = 0;
+
+    [[nodiscard]] std::uint64_t requests() const {
+        return submits + status_queries + checkqueues;
+    }
+    [[nodiscard]] bool operator==(const FleetCounters&) const = default;
+};
+
+class ClientFleet {
+public:
+    ClientFleet(sim::Engine& engine, SubmissionService& service, workload::AppCatalog catalog,
+                FleetConfig config);
+
+    ClientFleet(const ClientFleet&) = delete;
+    ClientFleet& operator=(const ClientFleet&) = delete;
+
+    /// Connect every client and schedule its first arrival.
+    void start();
+
+    [[nodiscard]] const FleetCounters& counters() const { return counters_; }
+    /// Slot-ordered aggregate of every session's stats.
+    [[nodiscard]] SessionStats aggregate_sessions() const;
+    [[nodiscard]] const std::vector<std::unique_ptr<InProcSession>>& sessions() const {
+        return sessions_;
+    }
+
+private:
+    struct Client {
+        int id = -1;              ///< service connection id
+        util::Rng rng;
+        explicit Client(util::Rng r) : rng(std::move(r)) {}
+    };
+
+    void on_arrival(std::size_t index);
+    void schedule_next(std::size_t index);
+
+    sim::Engine& engine_;
+    SubmissionService& service_;
+    workload::AppCatalog catalog_;
+    FleetConfig config_;
+    workload::ArrivalProcess arrivals_;
+    std::vector<double> weights_;  ///< catalogue demand weights, precomputed
+    std::vector<std::unique_ptr<InProcSession>> sessions_;
+    std::vector<Client> clients_;
+    FleetCounters counters_;
+};
+
+}  // namespace hc::serve

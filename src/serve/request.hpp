@@ -1,0 +1,68 @@
+// hc::serve request/response types.
+//
+// The service front door speaks a tiny message protocol: clients enqueue
+// Requests, the service answers with Responses at cycle boundaries. The
+// types are transport-agnostic — today requests ride an in-process bounded
+// channel (channel.hpp) and responses come back through a Session
+// (session.hpp); a socket transport serialises the same structs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace hc::serve {
+
+enum class RequestKind {
+    kSubmit,      ///< payload = qsub-style script text
+    kStatus,      ///< payload = job id
+    kCheckQueue,  ///< no payload; answered from the cached detector snapshot
+};
+
+[[nodiscard]] const char* request_kind_name(RequestKind k);
+
+/// Why a request was turned away. Typed so clients can distinguish "back
+/// off" (kQueueFull, kRateLimited, kOverloadShed) from "your fault"
+/// (kBadScript, kUnknownJob).
+enum class RejectReason {
+    kNone,
+    kQueueFull,     ///< service inbox at capacity — admission backpressure
+    kRateLimited,   ///< per-client token bucket empty
+    kOverloadShed,  ///< backend queue beyond the shed threshold
+    kBadScript,     ///< submit payload failed to parse
+    kUnknownJob,    ///< status query for an id the backend has never seen
+};
+
+inline constexpr int kRejectReasonCount = 6;
+
+[[nodiscard]] const char* reject_reason_name(RejectReason r);
+
+struct Request {
+    RequestKind kind = RequestKind::kSubmit;
+    int client = -1;                ///< connection id assigned by connect()
+    std::uint64_t request_id = 0;   ///< service-wide, monotonically assigned
+    sim::TimePoint enqueued{};      ///< when the client posted it
+    std::string payload;
+    sim::Duration run_time{};       ///< submit only: the script's natural run time
+};
+
+enum class ResponseStatus {
+    kAccepted,   ///< submit admitted; body = job id
+    kRejected,   ///< any kind; reject says why
+    kJobInfo,    ///< status answer; body = JSON {"job": ..., "state": ...}
+    kQueueInfo,  ///< checkqueue answer; body = shared hc-checkqueue/1 JSON
+};
+
+struct Response {
+    RequestKind kind = RequestKind::kSubmit;
+    std::uint64_t request_id = 0;
+    ResponseStatus status = ResponseStatus::kRejected;
+    RejectReason reject = RejectReason::kNone;
+    std::string body;
+    /// Enqueue-to-answer delay in simulated time (zero for requests
+    /// rejected at the door).
+    sim::Duration latency{};
+};
+
+}  // namespace hc::serve

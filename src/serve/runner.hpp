@@ -1,0 +1,73 @@
+// One-call serve run: build the testbed, run the fleet, collect results.
+//
+// Splits outputs the same way hc::sweep and the benches do:
+//  * ServeCounters — pure simulated-domain totals. Deterministic: a fixed
+//    spec produces byte-identical counters (and render_report(false) text)
+//    on every run, at any thread count, which tests/test_serve.cpp pins.
+//  * wall-clock (wall_ms, wall submissions/sec) — measured here, reported
+//    only by the CLI/bench layers, never asserted on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/queue_state.hpp"
+#include "obs/metrics.hpp"
+#include "serve/backend.hpp"
+#include "serve/client_sim.hpp"
+#include "serve/service.hpp"
+#include "serve/spec.hpp"
+#include "util/arena.hpp"
+
+namespace hc::serve {
+
+/// Everything deterministic one serve run produced.
+struct ServeCounters {
+    ServiceCounters service;
+    FleetCounters fleet;
+    SessionStats sessions;     ///< slot-ordered aggregate over all clients
+    BackendTotals backend;
+    std::uint64_t backend_queued_final = 0;  ///< queue depth after the horizon
+    std::int64_t staleness_at_end_s = -1;    ///< snapshot age at shutdown poll
+    std::int64_t final_unix = 0;
+
+    [[nodiscard]] bool operator==(const ServeCounters& o) const {
+        if (!(service == o.service) || !(fleet == o.fleet) || !(backend == o.backend) ||
+            backend_queued_final != o.backend_queued_final ||
+            staleness_at_end_s != o.staleness_at_end_s || final_unix != o.final_unix ||
+            sessions.accepted != o.sessions.accepted ||
+            sessions.rejected != o.sessions.rejected ||
+            sessions.job_infos != o.sessions.job_infos ||
+            sessions.queue_infos != o.sessions.queue_infos)
+            return false;
+        for (int r = 0; r < kRejectReasonCount; ++r)
+            if (sessions.rejects_by_reason[r] != o.sessions.rejects_by_reason[r]) return false;
+        return true;
+    }
+};
+
+struct ServeResult {
+    ServeCounters counters;
+    obs::MetricsSnapshot metrics;
+    core::QueueSnapshot last_snapshot;
+    double sim_hours = 0;
+    double wall_ms = 0;  ///< NOT deterministic; excluded from render(false)
+
+    /// Deterministic quantities derived from counters/metrics.
+    [[nodiscard]] double submissions_per_sim_hour() const;
+    [[nodiscard]] double query_latency_ms(double percentile) const;
+    [[nodiscard]] double submit_latency_ms(double percentile) const;
+    [[nodiscard]] double staleness_mean_s() const;
+
+    /// Multi-line human/golden report. With include_wall = false the text
+    /// depends only on (spec, seed) — the determinism tests compare it
+    /// byte-for-byte across thread counts and replicas.
+    [[nodiscard]] std::string render_report(bool include_wall) const;
+};
+
+/// Build the spec's cluster + backend, run the client fleet against the
+/// service, drain, and collect. `arena` optionally backs the engine
+/// calendar (the sweep-worker pattern).
+[[nodiscard]] ServeResult run_serve(const ServeSpec& spec, util::Arena* arena = nullptr);
+
+}  // namespace hc::serve

@@ -1,0 +1,264 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+
+#include "util/errors.hpp"
+#include "util/json_out.hpp"
+#include "util/status_json.hpp"
+
+namespace hc::serve {
+
+const char* request_kind_name(RequestKind k) {
+    switch (k) {
+        case RequestKind::kSubmit: return "submit";
+        case RequestKind::kStatus: return "status";
+        case RequestKind::kCheckQueue: return "checkqueue";
+    }
+    return "?";
+}
+
+const char* reject_reason_name(RejectReason r) {
+    switch (r) {
+        case RejectReason::kNone: return "none";
+        case RejectReason::kQueueFull: return "queue-full";
+        case RejectReason::kRateLimited: return "rate-limited";
+        case RejectReason::kOverloadShed: return "overload-shed";
+        case RejectReason::kBadScript: return "bad-script";
+        case RejectReason::kUnknownJob: return "unknown-job";
+    }
+    return "?";
+}
+
+SubmissionService::SubmissionService(sim::Engine& engine, Backend& backend,
+                                     ServiceConfig config)
+    : engine_(engine),
+      backend_(backend),
+      config_(config),
+      inbox_(config.admission.queue_capacity),
+      detector_(backend.make_detector()),
+      cycle_task_(engine, config.cycle, [this] { run_cycle(); }),
+      poll_task_(engine, config.poll, [this] { poll_detector(); }) {
+    util::require(config_.admission.queue_capacity > 0, "serve: queue_capacity must be > 0");
+    util::require(config_.admission.max_batch > 0, "serve: max_batch must be > 0");
+    util::require(config_.admission.per_client_rate_per_min > 0,
+                  "serve: per_client_rate_per_min must be > 0");
+    util::require(config_.admission.burst_tokens >= 1, "serve: burst_tokens must be >= 1");
+    auto& metrics = engine.obs().metrics();
+    submit_latency_ms_ = metrics.histogram("serve.submit.latency_ms", 0, 60'000, 120);
+    query_latency_ms_ = metrics.histogram("serve.query.latency_ms", 0, 60'000, 120);
+    staleness_s_ = metrics.histogram("serve.detector.staleness_s", 0, 3600, 72);
+    obs_requests_ = metrics.counter("serve.requests");
+    obs_accepted_ = metrics.counter("serve.accepted");
+    obs_rejected_ = metrics.counter("serve.rejected");
+    inbox_depth_ = metrics.gauge("serve.inbox.depth");
+}
+
+int SubmissionService::connect(Session& session, std::string user) {
+    ClientRecord record;
+    record.session = &session;
+    record.user = std::move(user);
+    record.tokens = config_.admission.burst_tokens;
+    record.refilled = engine_.now();
+    clients_.push_back(std::move(record));
+    return static_cast<int>(clients_.size()) - 1;
+}
+
+void SubmissionService::start() {
+    poll_detector();  // serve the first checkqueue from a real snapshot
+    cycle_task_.start_aligned();
+    poll_task_.start(config_.poll);
+}
+
+void SubmissionService::stop() {
+    if (cycle_task_.running()) cycle_task_.stop();
+    if (poll_task_.running()) poll_task_.stop();
+}
+
+void SubmissionService::submit(int client, std::string script_text, sim::Duration run_time) {
+    enqueue(RequestKind::kSubmit, client, std::move(script_text), run_time);
+}
+
+void SubmissionService::query_status(int client, std::string job_id) {
+    enqueue(RequestKind::kStatus, client, std::move(job_id), {});
+}
+
+void SubmissionService::check_queue(int client) {
+    enqueue(RequestKind::kCheckQueue, client, {}, {});
+}
+
+bool SubmissionService::take_token(ClientRecord& client) {
+    const sim::Duration since = engine_.now() - client.refilled;
+    client.tokens =
+        std::min(config_.admission.burst_tokens,
+                 client.tokens + config_.admission.per_client_rate_per_min *
+                                     (since.seconds() / 60.0));
+    client.refilled = engine_.now();
+    if (client.tokens < 1.0) return false;
+    client.tokens -= 1.0;
+    return true;
+}
+
+void SubmissionService::enqueue(RequestKind kind, int client, std::string payload,
+                                sim::Duration run_time) {
+    util::require(client >= 0 && client < static_cast<int>(clients_.size()),
+                  "serve: unknown client id");
+    const std::uint64_t request_id = next_request_id_++;
+    ++counters_.requests;
+    obs_requests_.inc();
+    if (!take_token(clients_[static_cast<std::size_t>(client)])) {
+        reject_now(kind, client, request_id, RejectReason::kRateLimited);
+        return;
+    }
+    Request request;
+    request.kind = kind;
+    request.client = client;
+    request.request_id = request_id;
+    request.enqueued = engine_.now();
+    request.payload = std::move(payload);
+    request.run_time = run_time;
+    if (!cycle_task_.running()) {
+        // The batching loop is not ticking (pre-start or post-stop), so the
+        // request would sit in the inbox forever. Answer it synchronously —
+        // shutdown-window stragglers still get a response, at zero latency.
+        serve_one(request);
+        return;
+    }
+    if (!inbox_.try_push(std::move(request)))
+        reject_now(kind, client, request_id, RejectReason::kQueueFull);
+}
+
+void SubmissionService::reject_now(RequestKind kind, int client, std::uint64_t request_id,
+                                   RejectReason why) {
+    Request stub;
+    stub.kind = kind;
+    stub.client = client;
+    stub.request_id = request_id;
+    stub.enqueued = engine_.now();
+    Response response;
+    response.kind = kind;
+    response.request_id = request_id;
+    response.status = ResponseStatus::kRejected;
+    response.reject = why;
+    response.body = reject_reason_name(why);
+    respond(stub, std::move(response));
+}
+
+void SubmissionService::respond(const Request& request, Response response) {
+    if (response.status == ResponseStatus::kRejected) {
+        obs_rejected_.inc();
+        switch (response.reject) {
+            case RejectReason::kQueueFull: ++counters_.rejected_queue_full; break;
+            case RejectReason::kRateLimited: ++counters_.rejected_rate_limited; break;
+            case RejectReason::kOverloadShed: ++counters_.rejected_shed; break;
+            case RejectReason::kBadScript: ++counters_.rejected_bad_script; break;
+            case RejectReason::kUnknownJob: ++counters_.rejected_unknown_job; break;
+            case RejectReason::kNone: break;
+        }
+    }
+    clients_[static_cast<std::size_t>(request.client)].session->deliver(response);
+}
+
+void SubmissionService::serve_one(const Request& request) {
+    const sim::Duration latency = engine_.now() - request.enqueued;
+    Response response;
+    response.kind = request.kind;
+    response.request_id = request.request_id;
+    response.latency = latency;
+    switch (request.kind) {
+        case RequestKind::kSubmit: {
+            submit_latency_ms_.observe(static_cast<double>(latency.ms));
+            if (backend_.queued() >= config_.admission.max_backend_queue) {
+                response.status = ResponseStatus::kRejected;
+                response.reject = RejectReason::kOverloadShed;
+                response.body = reject_reason_name(response.reject);
+                break;
+            }
+            auto job_id =
+                backend_.submit(request.payload,
+                                clients_[static_cast<std::size_t>(request.client)].user,
+                                request.run_time);
+            if (!job_id.ok()) {
+                response.status = ResponseStatus::kRejected;
+                response.reject = RejectReason::kBadScript;
+                response.body = job_id.error_message();
+                break;
+            }
+            response.status = ResponseStatus::kAccepted;
+            response.body = job_id.value();
+            ++counters_.accepted;
+            obs_accepted_.inc();
+            break;
+        }
+        case RequestKind::kStatus: {
+            query_latency_ms_.observe(static_cast<double>(latency.ms));
+            const std::string state = backend_.job_state(request.payload);
+            if (state.empty()) {
+                response.status = ResponseStatus::kRejected;
+                response.reject = RejectReason::kUnknownJob;
+                response.body = reject_reason_name(response.reject);
+                break;
+            }
+            response.status = ResponseStatus::kJobInfo;
+            response.body = "{\"job\": " + util::json_quote(request.payload) +
+                            ", \"state\": " + util::json_quote(state) + "}";
+            ++counters_.job_infos;
+            break;
+        }
+        case RequestKind::kCheckQueue: {
+            query_latency_ms_.observe(static_cast<double>(latency.ms));
+            const std::int64_t staleness = snapshot_staleness_s();
+            if (staleness >= 0) staleness_s_.observe(static_cast<double>(staleness));
+            util::QueueStatusFields fields;
+            fields.stuck = snapshot_.record.stuck;
+            fields.needed_cpus = snapshot_.record.needed_cpus;
+            fields.stuck_job = snapshot_.record.stuck_job_id;
+            fields.running = snapshot_.running;
+            fields.queued = snapshot_.queued;
+            fields.idle_nodes = snapshot_.idle_nodes;
+            fields.wire = snapshot_.record.encode();
+            const util::JsonExtras extras = {
+                {"staleness_s", std::to_string(staleness)},
+                {"free_cpus", std::to_string(backend_.free_cpus())},
+            };
+            response.status = ResponseStatus::kQueueInfo;
+            response.body = util::render_queue_status_json("hc-checkqueue/1", fields, extras);
+            ++counters_.queue_infos;
+            break;
+        }
+    }
+    respond(request, std::move(response));
+}
+
+void SubmissionService::run_cycle() {
+    ++counters_.cycles;
+    drain(config_.admission.max_batch);
+    inbox_depth_.set(static_cast<double>(inbox_.size()));
+}
+
+void SubmissionService::drain(std::size_t max) {
+    batch_.clear();
+    const std::size_t n = inbox_.drain(max, batch_);
+    counters_.max_cycle_batch = std::max<std::uint64_t>(counters_.max_cycle_batch, n);
+    for (const Request& request : batch_) serve_one(request);
+}
+
+void SubmissionService::flush() {
+    while (!inbox_.empty()) drain(inbox_.size());
+}
+
+void SubmissionService::poll_detector() {
+    snapshot_ = detector_->check();
+    ++counters_.polls;
+}
+
+const ServiceCounters& SubmissionService::counters() const {
+    counters_.channel_high_water = inbox_.high_water();
+    return counters_;
+}
+
+std::int64_t SubmissionService::snapshot_staleness_s() const {
+    if (snapshot_.checked_unix < 0) return -1;
+    return engine_.unix_now() - snapshot_.checked_unix;
+}
+
+}  // namespace hc::serve

@@ -1,0 +1,157 @@
+// The submission service: a long-running front door over one scheduler.
+//
+// Architecture (DESIGN.md "The serve loop"):
+//
+//   sessions --submit/status/checkqueue--> BoundedChannel (admission)
+//                                              |
+//                 cycle task (PeriodicTask, aligned to cycle boundaries)
+//                                              |
+//                            drain <= max_batch requests -> Backend
+//                                              |
+//                            Response ---> Session::deliver
+//
+// Admission control happens in two places:
+//  * at the door (synchronously, latency 0): per-client token buckets
+//    (kRateLimited) and the channel bound (kQueueFull);
+//  * at drain time: backend queue depth beyond the shed threshold turns
+//    submits away (kOverloadShed) — queries still get answered, because a
+//    scheduler under load is exactly when "where is my job" matters.
+//
+// A separate PeriodicTask polls the backend's queue-state detector on the
+// paper's daemon cadence; status/checkqueue responses are answered from the
+// cached snapshot, whose age is reported as `staleness_s`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/queue_state.hpp"
+#include "obs/obs.hpp"
+#include "serve/backend.hpp"
+#include "serve/channel.hpp"
+#include "serve/request.hpp"
+#include "serve/session.hpp"
+#include "sim/engine.hpp"
+
+namespace hc::serve {
+
+struct AdmissionConfig {
+    std::size_t queue_capacity = 8192;     ///< channel bound (kQueueFull past it)
+    std::size_t max_batch = 4096;          ///< requests served per cycle
+    double per_client_rate_per_min = 30;   ///< token bucket refill rate
+    double burst_tokens = 10;              ///< token bucket depth
+    std::size_t max_backend_queue = 20000; ///< shed submits beyond this depth
+};
+
+struct ServiceConfig {
+    sim::Duration cycle = sim::seconds(1);
+    sim::Duration poll = sim::minutes(5);  ///< detector cadence (§IV.A.3)
+    AdmissionConfig admission;
+};
+
+/// Deterministic service-side counters: byte-identical for a fixed seed at
+/// any thread count (the test_serve golden bar).
+struct ServiceCounters {
+    std::uint64_t requests = 0;   ///< everything that reached the door
+    std::uint64_t accepted = 0;
+    std::uint64_t job_infos = 0;
+    std::uint64_t queue_infos = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_rate_limited = 0;
+    std::uint64_t rejected_shed = 0;
+    std::uint64_t rejected_bad_script = 0;
+    std::uint64_t rejected_unknown_job = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t polls = 0;
+    std::uint64_t max_cycle_batch = 0;    ///< largest single drain
+    std::uint64_t channel_high_water = 0;
+
+    [[nodiscard]] std::uint64_t rejected() const {
+        return rejected_queue_full + rejected_rate_limited + rejected_shed +
+               rejected_bad_script + rejected_unknown_job;
+    }
+    [[nodiscard]] std::uint64_t answered() const {
+        return accepted + job_infos + queue_infos + rejected();
+    }
+
+    [[nodiscard]] bool operator==(const ServiceCounters&) const = default;
+};
+
+class SubmissionService {
+public:
+    SubmissionService(sim::Engine& engine, Backend& backend, ServiceConfig config);
+
+    SubmissionService(const SubmissionService&) = delete;
+    SubmissionService& operator=(const SubmissionService&) = delete;
+
+    /// Register a session; returns the connection id the client passes to
+    /// submit/query calls. Sessions must outlive the service.
+    int connect(Session& session, std::string user);
+
+    /// Begin the cycle and detector-poll tasks, aligned to cycle boundaries.
+    void start();
+    void stop();
+
+    // Client entry points (the in-process transport).
+    void submit(int client, std::string script_text, sim::Duration run_time);
+    void query_status(int client, std::string job_id);
+    void check_queue(int client);
+
+    /// Drain everything still queued, ignoring max_batch — shutdown flush so
+    /// no request is silently dropped.
+    void flush();
+
+    /// Poll the detector now (also runs on the periodic cadence).
+    void poll_detector();
+
+    [[nodiscard]] const ServiceCounters& counters() const;
+    [[nodiscard]] const core::QueueSnapshot& last_snapshot() const { return snapshot_; }
+    /// Age of the cached snapshot in simulated seconds (-1 before any poll).
+    [[nodiscard]] std::int64_t snapshot_staleness_s() const;
+    [[nodiscard]] std::size_t session_count() const { return clients_.size(); }
+    [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+private:
+    struct ClientRecord {
+        Session* session = nullptr;
+        std::string user;
+        double tokens = 0;
+        sim::TimePoint refilled{};
+    };
+
+    /// Token-bucket admission; false = out of tokens (kRateLimited).
+    [[nodiscard]] bool take_token(ClientRecord& client);
+    /// Common door path: rate-limit, then channel push, else reject now.
+    void enqueue(RequestKind kind, int client, std::string payload, sim::Duration run_time);
+    void reject_now(RequestKind kind, int client, std::uint64_t request_id, RejectReason why);
+    void respond(const Request& request, Response response);
+    void serve_one(const Request& request);
+    void run_cycle();
+    void drain(std::size_t max);
+
+    sim::Engine& engine_;
+    Backend& backend_;
+    ServiceConfig config_;
+    BoundedChannel<Request> inbox_;
+    std::vector<ClientRecord> clients_;
+    std::unique_ptr<core::Detector> detector_;
+    core::QueueSnapshot snapshot_;
+    std::uint64_t next_request_id_ = 1;
+    mutable ServiceCounters counters_;
+    std::vector<Request> batch_;  ///< drain scratch, reused across cycles
+    sim::PeriodicTask cycle_task_;
+    sim::PeriodicTask poll_task_;
+
+    // Observability (inert when the hub is off).
+    obs::HistogramHandle query_latency_ms_;
+    obs::HistogramHandle submit_latency_ms_;
+    obs::HistogramHandle staleness_s_;
+    obs::Counter obs_requests_;
+    obs::Counter obs_accepted_;
+    obs::Counter obs_rejected_;
+    obs::Gauge inbox_depth_;
+};
+
+}  // namespace hc::serve

@@ -1,0 +1,66 @@
+// Client sessions: where responses go.
+//
+// The service only ever talks to the Session interface, so the transport is
+// swappable: InProcSession is a function call away (the simulated fleet); a
+// socket transport would serialise the Response instead. One session = one
+// connected client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace hc::serve {
+
+class Session {
+public:
+    virtual ~Session() = default;
+    virtual void deliver(const Response& response) = 0;
+};
+
+/// What one simulated client has seen, accumulated by its session.
+struct SessionStats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t job_infos = 0;
+    std::uint64_t queue_infos = 0;
+    std::uint64_t rejects_by_reason[kRejectReasonCount] = {};
+
+    [[nodiscard]] std::uint64_t responses() const {
+        return accepted + rejected + job_infos + queue_infos;
+    }
+};
+
+/// The in-process transport: responses land synchronously in the client's
+/// mailbox. Remembers the most recent accepted job id so the fleet can ask
+/// "how is my last job doing" without modelling client-side persistence.
+class InProcSession final : public Session {
+public:
+    void deliver(const Response& response) override {
+        switch (response.status) {
+            case ResponseStatus::kAccepted:
+                ++stats_.accepted;
+                last_job_id_ = response.body;
+                break;
+            case ResponseStatus::kRejected:
+                ++stats_.rejected;
+                ++stats_.rejects_by_reason[static_cast<int>(response.reject)];
+                break;
+            case ResponseStatus::kJobInfo: ++stats_.job_infos; break;
+            case ResponseStatus::kQueueInfo: ++stats_.queue_infos; break;
+        }
+        last_body_ = response.body;
+    }
+
+    [[nodiscard]] const SessionStats& stats() const { return stats_; }
+    [[nodiscard]] const std::string& last_job_id() const { return last_job_id_; }
+    [[nodiscard]] const std::string& last_body() const { return last_body_; }
+
+private:
+    SessionStats stats_;
+    std::string last_job_id_;
+    std::string last_body_;
+};
+
+}  // namespace hc::serve

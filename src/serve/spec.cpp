@@ -1,0 +1,100 @@
+#include "serve/spec.hpp"
+
+#include "util/json.hpp"
+
+namespace hc::serve {
+
+ServiceConfig ServeSpec::service_config() const {
+    ServiceConfig cfg;
+    cfg.cycle = sim::seconds(cycle_seconds);
+    cfg.poll = sim::minutes(poll_minutes);
+    cfg.admission = admission;
+    return cfg;
+}
+
+FleetConfig ServeSpec::fleet_config() const {
+    FleetConfig cfg;
+    cfg.clients = clients;
+    cfg.arrival = arrival;
+    cfg.query_ratio = query_ratio;
+    cfg.checkqueue_ratio = checkqueue_ratio;
+    cfg.max_job_nodes = max_job_nodes;
+    cfg.runtime_scale = runtime_scale;
+    cfg.seed = seed;
+    return cfg;
+}
+
+util::Result<ServeSpec> parse_serve_spec(const std::string& text) {
+    auto parsed = util::JsonReader(text).parse();
+    if (!parsed.ok()) return parsed.error();
+    const util::JsonValue& root = parsed.value();
+    if (root.type != util::JsonValue::Type::kObject)
+        return util::Error{"serve spec: top level must be an object"};
+    if (util::json_str_or(root, "schema", "") != "hc-serve-spec/1")
+        return util::Error{"serve spec: missing schema hc-serve-spec/1"};
+
+    ServeSpec spec;
+    spec.clients = static_cast<int>(util::json_num_or(root, "clients", spec.clients));
+    spec.nodes = static_cast<int>(util::json_num_or(root, "nodes", spec.nodes));
+    spec.hours = util::json_num_or(root, "hours", spec.hours);
+    spec.seed = static_cast<std::uint64_t>(util::json_num_or(
+        root, "seed", static_cast<double>(spec.seed)));
+    const std::string backend = util::json_str_or(root, "backend", "pbs");
+    if (backend == "pbs") {
+        spec.backend = BackendKind::kPbs;
+    } else if (backend == "winhpc") {
+        spec.backend = BackendKind::kWinHpc;
+    } else {
+        return util::Error{"serve spec: backend must be \"pbs\" or \"winhpc\""};
+    }
+    spec.cycle_seconds = util::json_num_or(root, "cycle_seconds", spec.cycle_seconds);
+    spec.poll_minutes = util::json_num_or(root, "poll_minutes", spec.poll_minutes);
+    spec.retention = static_cast<std::size_t>(util::json_num_or(
+        root, "retention", static_cast<double>(spec.retention)));
+    spec.query_ratio = util::json_num_or(root, "query_ratio", spec.query_ratio);
+    spec.checkqueue_ratio =
+        util::json_num_or(root, "checkqueue_ratio", spec.checkqueue_ratio);
+    spec.max_job_nodes =
+        static_cast<int>(util::json_num_or(root, "max_job_nodes", spec.max_job_nodes));
+    spec.runtime_scale = util::json_num_or(root, "runtime_scale", spec.runtime_scale);
+
+    if (const util::JsonValue* a = root.find("admission"); a != nullptr) {
+        if (a->type != util::JsonValue::Type::kObject)
+            return util::Error{"serve spec: admission must be an object"};
+        AdmissionConfig& adm = spec.admission;
+        adm.queue_capacity = static_cast<std::size_t>(util::json_num_or(
+            *a, "queue_capacity", static_cast<double>(adm.queue_capacity)));
+        adm.max_batch = static_cast<std::size_t>(
+            util::json_num_or(*a, "max_batch", static_cast<double>(adm.max_batch)));
+        adm.per_client_rate_per_min =
+            util::json_num_or(*a, "per_client_rate_per_min", adm.per_client_rate_per_min);
+        adm.burst_tokens = util::json_num_or(*a, "burst_tokens", adm.burst_tokens);
+        adm.max_backend_queue = static_cast<std::size_t>(util::json_num_or(
+            *a, "max_backend_queue", static_cast<double>(adm.max_backend_queue)));
+    }
+    if (const util::JsonValue* a = root.find("arrival"); a != nullptr) {
+        if (a->type != util::JsonValue::Type::kObject)
+            return util::Error{"serve spec: arrival must be an object"};
+        auto arrival = workload::parse_arrival_spec(*a);
+        if (!arrival.ok()) return arrival.error();
+        spec.arrival = arrival.value();
+    }
+
+    if (spec.clients < 1) return util::Error{"serve spec: clients must be >= 1"};
+    if (spec.nodes < 1) return util::Error{"serve spec: nodes must be >= 1"};
+    if (spec.hours <= 0) return util::Error{"serve spec: hours must be > 0"};
+    if (spec.cycle_seconds <= 0) return util::Error{"serve spec: cycle_seconds must be > 0"};
+    if (spec.poll_minutes <= 0) return util::Error{"serve spec: poll_minutes must be > 0"};
+    if (spec.admission.queue_capacity == 0 || spec.admission.max_batch == 0)
+        return util::Error{"serve spec: admission bounds must be >= 1"};
+    if (spec.admission.per_client_rate_per_min <= 0 || spec.admission.burst_tokens < 1)
+        return util::Error{"serve spec: per-client rate knobs must be positive"};
+    if (spec.query_ratio < 0 || spec.query_ratio > 1 || spec.checkqueue_ratio < 0 ||
+        spec.checkqueue_ratio > 1)
+        return util::Error{"serve spec: ratios must be within [0, 1]"};
+    if (spec.max_job_nodes < 1) return util::Error{"serve spec: max_job_nodes must be >= 1"};
+    if (spec.runtime_scale <= 0) return util::Error{"serve spec: runtime_scale must be > 0"};
+    return spec;
+}
+
+}  // namespace hc::serve

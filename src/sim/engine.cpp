@@ -220,6 +220,12 @@ void PeriodicTask::start(Duration initial_delay) {
     arm(initial_delay);
 }
 
+void PeriodicTask::start_aligned() {
+    const std::int64_t now = engine_.now().ms;
+    const std::int64_t next = ((now / interval_.ms) + 1) * interval_.ms;
+    start(Duration{next - now});
+}
+
 void PeriodicTask::stop() {
     if (!running_) return;
     running_ = false;

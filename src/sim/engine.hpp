@@ -179,6 +179,11 @@ public:
 
     /// Begin ticking. First tick fires after `initial_delay`.
     void start(Duration initial_delay = {});
+    /// Begin ticking with the first tick at the next whole multiple of the
+    /// interval (cycle-*boundary* semantics: a 1s cycle started at t=2.4s
+    /// first fires at t=3s). hc::serve uses this so request batches always
+    /// close on round cycle edges regardless of when the service came up.
+    void start_aligned();
     void stop();
     [[nodiscard]] bool running() const { return running_; }
     [[nodiscard]] Duration interval() const { return interval_; }

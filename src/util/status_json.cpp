@@ -1,0 +1,23 @@
+#include "util/status_json.hpp"
+
+#include "util/json_out.hpp"
+
+namespace hc::util {
+
+std::string render_queue_status_json(const std::string& schema,
+                                     const QueueStatusFields& fields,
+                                     const JsonExtras& extras) {
+    std::string out = "{\"schema\": " + json_quote(schema);
+    out += ", \"stuck\": " + std::string(fields.stuck ? "true" : "false");
+    out += ", \"needed_cpus\": " + std::to_string(fields.needed_cpus);
+    out += ", \"stuck_job\": " + json_quote(fields.stuck_job);
+    out += ", \"running\": " + std::to_string(fields.running);
+    out += ", \"queued\": " + std::to_string(fields.queued);
+    out += ", \"idle_nodes\": " + std::to_string(fields.idle_nodes);
+    out += ", \"wire\": " + json_quote(fields.wire);
+    for (const auto& [key, raw] : extras) out += ", " + json_quote(key) + ": " + raw;
+    out += "}";
+    return out;
+}
+
+}  // namespace hc::util

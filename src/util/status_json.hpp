@@ -1,0 +1,44 @@
+// Shared queue-status JSON rendering.
+//
+// The standalone `checkqueue --json` tool and the hc::serve checkqueue /
+// status responses describe the same thing — one detector poll of a queue —
+// and must agree on field names so scripts written against one keep working
+// against the other. This helper is the single place those field names
+// live; both callers build a QueueStatusFields and render it.
+//
+// Field order is fixed (schema, stuck, needed_cpus, stuck_job, running,
+// queued, idle_nodes, wire, then any extras) so rendered documents are
+// byte-deterministic.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hc::util {
+
+/// The facts one detector poll establishes, in wire-schema terms. Plain
+/// values only — util cannot see core::QueueSnapshot; callers copy the
+/// fields across (the names match one-to-one).
+struct QueueStatusFields {
+    bool stuck = false;
+    int needed_cpus = 0;
+    std::string stuck_job = "none";
+    int running = 0;
+    int queued = 0;
+    int idle_nodes = 0;
+    std::string wire;  ///< the Fig 5 fixed-format record
+};
+
+/// Extra `"key": <raw json>` members appended after the shared fields
+/// (serve adds staleness, free CPUs, ...). Values are emitted verbatim, so
+/// callers quote strings themselves (util::json_quote).
+using JsonExtras = std::vector<std::pair<std::string, std::string>>;
+
+/// Render one flat JSON object: {"schema": <schema>, "stuck": ..., ...}.
+/// No trailing newline — callers decide framing (file vs JSONL response).
+[[nodiscard]] std::string render_queue_status_json(const std::string& schema,
+                                                   const QueueStatusFields& fields,
+                                                   const JsonExtras& extras = {});
+
+}  // namespace hc::util

@@ -1,0 +1,48 @@
+#include "workload/arrival.hpp"
+
+#include <cmath>
+
+namespace hc::workload {
+
+double ArrivalSpec::multiplier_at(double sim_hours) const {
+    double m = 1.0;
+    if (!diurnal.empty()) {
+        const double day_hour = std::fmod(sim_hours, 24.0);
+        auto idx = static_cast<std::size_t>(day_hour);
+        if (idx >= diurnal.size()) idx = diurnal.size() - 1;
+        m *= diurnal[idx];
+    }
+    if (burst_every_hours > 0.0 && burst_hours > 0.0 && burst_factor != 1.0) {
+        const double phase = std::fmod(sim_hours, burst_every_hours);
+        if (phase < burst_hours) m *= burst_factor;
+    }
+    // Clamp so a zero-valued diurnal hour never stalls the sampler forever —
+    // "effectively nobody submits" is 1/1000 of the base rate, not zero.
+    return m > 1e-3 ? m : 1e-3;
+}
+
+util::Result<ArrivalSpec> parse_arrival_spec(const util::JsonValue& obj) {
+    ArrivalSpec spec;
+    spec.rate_per_hour = util::json_num_or(obj, "rate_per_hour", spec.rate_per_hour);
+    spec.burst_factor = util::json_num_or(obj, "burst_factor", spec.burst_factor);
+    spec.burst_hours = util::json_num_or(obj, "burst_hours", spec.burst_hours);
+    spec.burst_every_hours =
+        util::json_num_or(obj, "burst_every_hours", spec.burst_every_hours);
+    if (spec.rate_per_hour <= 0) return util::Error{"arrival: rate_per_hour must be > 0"};
+    if (spec.burst_factor <= 0) return util::Error{"arrival: burst_factor must be > 0"};
+    if (spec.burst_hours < 0 || spec.burst_every_hours < 0)
+        return util::Error{"arrival: burst windows must be >= 0"};
+    if (const util::JsonValue* d = obj.find("diurnal"); d != nullptr) {
+        if (d->type != util::JsonValue::Type::kArray || d->array.size() != 24)
+            return util::Error{"arrival: diurnal must be an array of 24 multipliers"};
+        spec.diurnal.reserve(24);
+        for (const auto& v : d->array) {
+            if (v.type != util::JsonValue::Type::kNumber || v.number < 0)
+                return util::Error{"arrival: diurnal multipliers must be numbers >= 0"};
+            spec.diurnal.push_back(v.number);
+        }
+    }
+    return spec;
+}
+
+}  // namespace hc::workload

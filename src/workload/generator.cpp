@@ -11,7 +11,7 @@ using cluster::OsType;
 WorkloadGenerator::WorkloadGenerator(AppCatalog catalog, GeneratorConfig config,
                                      std::uint64_t seed)
     : catalog_(std::move(catalog)), config_(config), rng_(util::Rng(seed).fork("workload")) {
-    util::require(config_.arrival_rate_per_hour > 0, "WorkloadGenerator: rate must be positive");
+    util::require(config_.arrival.rate_per_hour > 0, "WorkloadGenerator: rate must be positive");
     util::require(config_.horizon.ms > 0, "WorkloadGenerator: horizon must be positive");
     util::require(config_.runtime_scale > 0, "WorkloadGenerator: runtime_scale must be positive");
 }
@@ -51,11 +51,11 @@ std::vector<JobSpec> WorkloadGenerator::generate() {
     weights.reserve(catalog_.apps().size());
     for (const auto& app : catalog_.apps()) weights.push_back(app.demand_weight);
 
-    const double mean_gap_s = 3600.0 / config_.arrival_rate_per_hour;
+    const ArrivalProcess arrivals(config_.arrival);
     double t = 0;
     const double horizon_s = config_.horizon.seconds();
     while (true) {
-        t += rng_.exponential(mean_gap_s);
+        t += arrivals.next_gap_s(rng_, t);
         if (t >= horizon_s) break;
         const auto& app = catalog_.apps()[rng_.weighted_index(weights)];
         trace.push_back(sample_job(app, sim::TimePoint{} + sim::seconds(t)));

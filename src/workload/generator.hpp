@@ -14,6 +14,7 @@
 #include "cluster/os.hpp"
 #include "sim/time.hpp"
 #include "util/rng.hpp"
+#include "workload/arrival.hpp"
 #include "workload/catalog.hpp"
 
 namespace hc::workload {
@@ -44,7 +45,11 @@ enum class FlexiblePolicy {
 };
 
 struct GeneratorConfig {
-    double arrival_rate_per_hour = 8.0;
+    /// Arrival process (rate, bursts, diurnal shape). The flat default
+    /// reproduces the historical fixed 8/hour Poisson stream bit-for-bit;
+    /// serve specs and sweep specs load richer shapes from JSON through
+    /// workload::parse_arrival_spec so every stream shares these knobs.
+    ArrivalSpec arrival;
     sim::Duration horizon = sim::hours(24);
     FlexiblePolicy flexible_policy = FlexiblePolicy::kSplit;
     int cores_per_node = 4;

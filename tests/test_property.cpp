@@ -104,7 +104,7 @@ class TraceRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(TraceRoundTrip, SerialiseParseIsFixpoint) {
     workload::GeneratorConfig cfg;
-    cfg.arrival_rate_per_hour = 30;
+    cfg.arrival.rate_per_hour = 30;
     cfg.horizon = sim::hours(4);
     workload::WorkloadGenerator gen(workload::AppCatalog::huddersfield(), cfg, GetParam());
     const auto trace = gen.generate();
@@ -424,7 +424,7 @@ TEST_P(HybridSweep, RandomMixedWorkloadAlwaysCompletes) {
     hybrid.settle();
 
     workload::GeneratorConfig gcfg;
-    gcfg.arrival_rate_per_hour = 4;
+    gcfg.arrival.rate_per_hour = 4;
     gcfg.horizon = sim::hours(8);
     gcfg.max_nodes = 4;
     gcfg.runtime_scale = 0.08;  // keep jobs short so the horizon suffices
@@ -459,7 +459,7 @@ class CatalogShares : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(CatalogShares, EmpiricalMixTracksCatalogueWeights) {
     workload::GeneratorConfig cfg;
-    cfg.arrival_rate_per_hour = 120;
+    cfg.arrival.rate_per_hour = 120;
     cfg.horizon = sim::hours(24);
     cfg.flexible_policy = workload::FlexiblePolicy::kPreferLinux;
     const auto catalog = workload::AppCatalog::huddersfield();

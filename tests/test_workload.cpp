@@ -70,7 +70,7 @@ TEST(Catalog, RenderTableListsEveryApp) {
 
 GeneratorConfig fast_config() {
     GeneratorConfig cfg;
-    cfg.arrival_rate_per_hour = 20;
+    cfg.arrival.rate_per_hour = 20;
     cfg.horizon = sim::hours(8);
     return cfg;
 }

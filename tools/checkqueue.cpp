@@ -15,7 +15,7 @@
 #include <string>
 
 #include "core/detector.hpp"
-#include "obs/json.hpp"
+#include "util/status_json.hpp"
 #include "util/time_format.hpp"
 
 namespace {
@@ -58,16 +58,18 @@ int main(int argc, char** argv) {
         [] { return hc::util::default_sim_epoch(); });
     const hc::core::QueueSnapshot snap = detector.check();
     if (json) {
-        using hc::obs::json_quote;
-        std::string out = "{\"schema\": \"hc-checkqueue/1\"";
-        out += ", \"stuck\": " + std::string(snap.record.stuck ? "true" : "false");
-        out += ", \"needed_cpus\": " + std::to_string(snap.record.needed_cpus);
-        out += ", \"stuck_job\": " + json_quote(snap.record.stuck_job_id);
-        out += ", \"running\": " + std::to_string(snap.running);
-        out += ", \"queued\": " + std::to_string(snap.queued);
-        out += ", \"idle_nodes\": " + std::to_string(snap.idle_nodes);
-        out += ", \"wire\": " + json_quote(snap.record.encode());
-        out += "}\n";
+        // Rendered by the shared helper so the field names stay in lockstep
+        // with hc::serve's checkqueue responses (one schema, one writer).
+        hc::util::QueueStatusFields fields;
+        fields.stuck = snap.record.stuck;
+        fields.needed_cpus = snap.record.needed_cpus;
+        fields.stuck_job = snap.record.stuck_job_id;
+        fields.running = snap.running;
+        fields.queued = snap.queued;
+        fields.idle_nodes = snap.idle_nodes;
+        fields.wire = snap.record.encode();
+        const std::string out =
+            hc::util::render_queue_status_json("hc-checkqueue/1", fields) + "\n";
         std::fputs(out.c_str(), stdout);
     } else {
         std::fputs(snap.debug_text.c_str(), stdout);

@@ -22,6 +22,7 @@
 
 #include "core/scenario.hpp"
 #include "fault/plan.hpp"
+#include "serve/runner.hpp"
 #include "sweep/runner.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
@@ -68,7 +69,7 @@ std::string flag_or(const std::map<std::string, std::string>& flags, const std::
 
 int cmd_generate(const std::map<std::string, std::string>& flags) {
     workload::GeneratorConfig cfg;
-    cfg.arrival_rate_per_hour = flag_or(flags, "rate", 8.0);
+    cfg.arrival.rate_per_hour = flag_or(flags, "rate", 8.0);
     cfg.horizon = sim::hours(flag_or(flags, "hours", 24.0));
     cfg.max_nodes = static_cast<int>(flag_or(flags, "max-nodes", 4.0));
     cfg.runtime_scale = flag_or(flags, "runtime-scale", 1.0);
@@ -284,12 +285,20 @@ int cmd_sweep(const std::string& spec_path, const std::map<std::string, std::str
     base.recovery.enabled =
         util::json_str_or(spec, "recovery", faults_rel.empty() ? "off" : "on") == "on";
 
-    // Shared workload trace (one copy across all replicas).
+    // Shared workload trace (one copy across all replicas). The arrival
+    // knobs (rate, bursts, diurnal shape) parse through the same
+    // workload::parse_arrival_spec as hc-serve-spec/1 documents.
     workload::GeneratorConfig wl;
     std::uint64_t trace_seed = 42;
     if (const util::JsonValue* w = spec.find("workload");
         w != nullptr && w->type == util::JsonValue::Type::kObject) {
-        wl.arrival_rate_per_hour = util::json_num_or(*w, "rate_per_hour", 8.0);
+        auto arrival = workload::parse_arrival_spec(*w);
+        if (!arrival.ok()) {
+            std::fprintf(stderr, "dualboot-sim: bad sweep spec %s: %s\n", spec_path.c_str(),
+                         arrival.error_message().c_str());
+            return 1;
+        }
+        wl.arrival = arrival.value();
         wl.max_nodes = static_cast<int>(util::json_num_or(*w, "max_nodes", 4));
         wl.runtime_scale = util::json_num_or(*w, "runtime_scale", 0.25);
         trace_seed = static_cast<std::uint64_t>(util::json_num_or(*w, "trace_seed", 42));
@@ -353,6 +362,40 @@ int cmd_sweep(const std::string& spec_path, const std::map<std::string, std::str
     return 0;
 }
 
+// ---- serve: long-running submission service from an hc-serve-spec/1 file --
+//
+// Builds the spec's cluster + scheduler backend in one process, connects the
+// simulated client fleet, and runs the service until the spec's horizon —
+// reporting sustained submissions, query tail latency, and detector
+// staleness from the hc::obs metrics the service maintains.
+int cmd_serve(const std::string& spec_path, const std::map<std::string, std::string>& flags) {
+    std::ifstream in(spec_path);
+    if (!in) {
+        std::fprintf(stderr, "dualboot-sim: cannot open %s\n", spec_path.c_str());
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto spec = serve::parse_serve_spec(buffer.str());
+    if (!spec.ok()) {
+        std::fprintf(stderr, "dualboot-sim: bad serve spec %s: %s\n", spec_path.c_str(),
+                     spec.error_message().c_str());
+        return 1;
+    }
+    const serve::ServeSpec& s = spec.value();
+    std::printf("serve     : %d client(s) on %d %s node(s), %.2f h, seed %llu\n", s.clients,
+                s.nodes, s.backend == serve::BackendKind::kPbs ? "pbs" : "winhpc", s.hours,
+                static_cast<unsigned long long>(s.seed));
+    const auto result = serve::run_serve(s);
+    std::fputs(result.render_report(/*include_wall=*/true).c_str(), stdout);
+    const std::string metrics_out = flag_or(flags, "metrics", std::string());
+    if (!metrics_out.empty()) {
+        write_file_or_die(metrics_out, result.metrics.to_json());
+        std::printf("metrics   : %s\n", metrics_out.c_str());
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -367,8 +410,10 @@ int main(int argc, char** argv) {
                      "       %s case-study [run flags; --trace T.json writes the "
                      "chrome trace]\n"
                      "       %s sweep --spec spec.json [--threads N]   "
-                     "(hc-sweep-spec/1 parallel sweep)\n",
-                     argv[0], argv[0], argv[0], argv[0]);
+                     "(hc-sweep-spec/1 parallel sweep)\n"
+                     "       %s serve --spec spec.json [--metrics M.json]   "
+                     "(hc-serve-spec/1 submission service)\n",
+                     argv[0], argv[0], argv[0], argv[0], argv[0]);
         return 1;
     }
     const std::string command = argv[1];
@@ -383,6 +428,15 @@ int main(int argc, char** argv) {
             return 1;
         }
         return cmd_sweep(spec, flags);
+    }
+
+    if (command == "serve") {
+        const std::string spec = flag_or(flags, "spec", std::string());
+        if (spec.empty()) {
+            std::fprintf(stderr, "dualboot-sim serve: --spec FILE is required\n");
+            return 1;
+        }
+        return cmd_serve(spec, flags);
     }
 
     if (command == "case-study")
