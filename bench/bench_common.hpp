@@ -86,6 +86,16 @@ public:
         has_sweep_ = true;
     }
 
+    /// Record the forked (warm-started) path's envelope: snapshot size, fork
+    /// count, and the prefix/suffix sim-time split. Emitted as top-level
+    /// document fields next to the sweep ones — kept out of `records` so the
+    /// records array stays byte-identical whether a campaign ran forked or
+    /// cold (the equality the golden tests pin).
+    void set_fork(const sweep::ForkStats& stats) {
+        fork_ = stats;
+        has_fork_ = true;
+    }
+
     /// The records array alone — everything in it is deterministic
     /// (simulated-time metrics, fixed params), so two runs of the same bench
     /// at different thread counts must produce byte-identical output here.
@@ -122,6 +132,16 @@ public:
                           sweep_.replicas_per_sec);
             out += buf;
         }
+        if (has_fork_) {
+            char buf[200];
+            std::snprintf(buf, sizeof buf,
+                          ", \"fork_prefixes\": %d, \"forks\": %llu"
+                          ", \"snapshot_bytes\": %zu, \"prefix_sim_s\": %.3f"
+                          ", \"suffix_sim_s\": %.3f",
+                          fork_.prefixes, static_cast<unsigned long long>(fork_.forks),
+                          fork_.snapshot_bytes, fork_.prefix_sim_s, fork_.suffix_sim_s);
+            out += buf;
+        }
         out += ", \"records\": " + render_records() + "}\n";
         return out;
     }
@@ -151,6 +171,8 @@ private:
     std::vector<Record> records_;
     sweep::SweepStats sweep_{};
     bool has_sweep_ = false;
+    sweep::ForkStats fork_{};
+    bool has_fork_ = false;
 };
 
 /// Parse `--json <path>` from the command line; empty string = flag absent.
@@ -258,6 +280,14 @@ inline void print_sweep_stats(const sweep::SweepStats& st) {
                 ", %llu steal(s))\n",
                 st.replicas, st.threads, st.wall_ms, st.replicas_per_sec,
                 static_cast<unsigned long long>(st.steals));
+}
+
+/// Footer line for forked campaigns: how the warm-start amortised.
+inline void print_fork_stats(const sweep::ForkStats& fs) {
+    std::printf("fork : %d prefix(es), %llu fork(s), snapshot %zu B, "
+                "prefix %.0f sim-s / suffix %.0f sim-s\n",
+                fs.prefixes, static_cast<unsigned long long>(fs.forks), fs.snapshot_bytes,
+                fs.prefix_sim_s, fs.suffix_sim_s);
 }
 
 inline util::Table scenario_table() {

@@ -13,9 +13,14 @@
 // Also reproduces the PXEGRUB-0.97 dead end: new NICs fall through to local
 // boot, which is why the authors moved to GRUB4DOS.
 //
-// Campaigns (a)-(c) and (f) are independent replicas and execute through the
-// hc::sweep pool (`--threads N`; `--quick` shrinks the seed count). Results
-// are consumed in slot order, so output is identical at any thread count.
+// The plan-driven campaigns (a) and (f) are warm-started: per middleware
+// version, one healthy world (construction + first boot) runs once per
+// sweep worker, and each seed's fault plan is armed on a restored
+// snapshot/fork just before its first injection — the seeds share the
+// prefix and diverge at injection time. Campaigns (b) and (c) stay
+// independent replicas on the plain pool (`--threads N`; `--quick` shrinks
+// the seed count). Results are consumed in slot order, so output is
+// identical at any thread count.
 //
 // With `--json <path>` the fault-campaign rows are emitted as
 // "hc-bench-json/1" records (survival_rate / mttr_s / recoveries,
@@ -50,24 +55,70 @@ int count_up(core::HybridCluster& hybrid) {
     return up;
 }
 
+/// A bare warm-startable world (engine + hybrid) for the forked campaigns.
+struct FaultWorld {
+    FaultWorld(const core::HybridConfig& cfg, util::Arena* arena)
+        : engine(/*unix_epoch=*/-1, arena), hybrid(engine, cfg) {
+        hybrid.start();
+    }
+    struct Snapshot {
+        sim::Engine::Snapshot engine;
+        core::HybridCluster::SavedState world;
+        [[nodiscard]] std::size_t bytes() const { return engine.bytes(); }
+    };
+    [[nodiscard]] Snapshot snapshot() { return {engine.snapshot(), hybrid.save_state()}; }
+    void restore(const Snapshot& s) {
+        engine.restore(s.engine);
+        hybrid.restore_state(s.world);
+    }
+    sim::Engine engine;
+    core::HybridCluster hybrid;
+};
+
+/// Fold one forked campaign's envelope into the bench-wide totals.
+void fold_fork_stats(sweep::ForkStats& total, const sweep::ForkStats& fs) {
+    total.prefixes += fs.prefixes;
+    total.forks += fs.forks;
+    if (fs.snapshot_bytes > total.snapshot_bytes) total.snapshot_bytes = fs.snapshot_bytes;
+    total.prefix_sim_s += fs.prefix_sim_s;
+    total.suffix_sim_s += fs.suffix_sim_s;
+}
+
 /// (a) Power-cycle campaign: a plan of 12 surprise power resets at 7-minute
 /// intervals, targets drawn from the injector's seeded stream. Does every
-/// node come back to a schedulable OS?
-int power_cycle_campaign(deploy::MiddlewareVersion version, std::uint64_t seed,
-                         util::Arena* arena) {
-    sim::Engine engine(/*unix_epoch=*/-1, arena);
-    auto cfg = base(version, seed);
-    cfg.fault_plan.seed = seed;
-    for (int i = 0; i < 12; ++i) {
-        fault::FaultEvent ev;
-        ev.at = sim::minutes(10 + 7 * i);
-        ev.kind = fault::FaultKind::kPowerCycle;
-        cfg.fault_plan.events.push_back(ev);
-    }
-    core::HybridCluster hybrid(engine, cfg);
-    hybrid.start();
-    engine.run_until(sim::TimePoint{} + sim::hours(6));
-    return count_up(hybrid);
+/// node come back to a schedulable OS? Forked: the healthy first 9 minutes
+/// run once per worker; each seed's plan is armed on a restored fork one
+/// minute before its first reset.
+std::vector<int> power_cycle_campaign(deploy::MiddlewareVersion version,
+                                      std::uint64_t seeds, int threads,
+                                      sweep::ForkStats& fork_total) {
+    sweep::ForkStats fs;
+    auto out = sweep::run_forked(
+        seeds, threads,
+        [version](sweep::WorkerContext& ctx) {
+            auto world = std::make_unique<FaultWorld>(base(version, /*seed=*/1), ctx.arena);
+            world->engine.run_until(sim::TimePoint{} + sim::minutes(9));
+            return world;
+        },
+        [](FaultWorld& world, std::size_t slot) {
+            const std::uint64_t seed = slot + 1;
+            fault::FaultPlan plan;
+            plan.seed = seed;
+            for (int i = 0; i < 12; ++i) {
+                fault::FaultEvent ev;
+                ev.at = sim::minutes(1 + 7 * i);  // absolute minutes 10, 17, ...
+                ev.kind = fault::FaultKind::kPowerCycle;
+                plan.events.push_back(ev);
+            }
+            world.hybrid.arm_faults(plan, seed);
+            world.engine.run_until(sim::TimePoint{} + sim::hours(6));
+            return count_up(world.hybrid);
+        },
+        &fs);
+    fs.prefix_sim_s = 9 * 60.0;
+    fs.suffix_sim_s = 6 * 3600.0 - fs.prefix_sim_s;
+    fold_fork_stats(fork_total, fs);
+    return out;
 }
 
 /// (b) Reimage campaign: reimage Windows on 4 nodes mid-operation; how many
@@ -127,42 +178,51 @@ struct FlagWriteOutcome {
     std::uint64_t corruptions = 0;
 };
 
-FlagWriteOutcome flag_write_campaign(deploy::MiddlewareVersion version, std::uint64_t seed,
-                                     util::Arena* arena) {
-    sim::Engine engine(/*unix_epoch=*/-1, arena);
-    auto cfg = base(version, seed);
-    cfg.fault_plan.seed = seed;
-    for (int i = 0; i < 6; ++i) {
-        fault::FaultEvent tear;
-        tear.at = sim::minutes(30 + 20 * i);
-        tear.kind = fault::FaultKind::kControlTornWrite;
-        tear.node = i;  // v1: node i's FAT menu; v2: the shared flag menu
-        cfg.fault_plan.events.push_back(tear);
-        fault::FaultEvent reset;
-        reset.at = tear.at + sim::minutes(1);
-        reset.kind = fault::FaultKind::kPowerCycle;
-        reset.node = i;
-        cfg.fault_plan.events.push_back(reset);
-    }
-    cfg.recovery.enabled = true;
-    core::HybridCluster hybrid(engine, cfg);
-    hybrid.start();
-    engine.run_until(sim::TimePoint{} + sim::hours(8));
-    FlagWriteOutcome out;
-    out.nodes_up = count_up(hybrid);
-    out.node_count = cfg.cluster.node_count;
-    if (hybrid.recovery() != nullptr) out.recovery = hybrid.recovery()->stats();
-    if (hybrid.fault_injector() != nullptr)
-        out.corruptions = hybrid.fault_injector()->stats().control_corruptions;
+std::vector<FlagWriteOutcome> flag_write_campaign(deploy::MiddlewareVersion version,
+                                                  std::uint64_t seeds, int threads,
+                                                  sweep::ForkStats& fork_total) {
+    sweep::ForkStats fs;
+    auto out = sweep::run_forked(
+        seeds, threads,
+        [version](sweep::WorkerContext& ctx) {
+            auto cfg = base(version, /*seed=*/1);
+            cfg.recovery.enabled = true;  // sweeper up from the start, as before
+            auto world = std::make_unique<FaultWorld>(cfg, ctx.arena);
+            world->engine.run_until(sim::TimePoint{} + sim::minutes(29));
+            return world;
+        },
+        [](FaultWorld& world, std::size_t slot) {
+            const std::uint64_t seed = slot + 1;
+            fault::FaultPlan plan;
+            plan.seed = seed;
+            for (int i = 0; i < 6; ++i) {
+                fault::FaultEvent tear;
+                tear.at = sim::minutes(1 + 20 * i);  // absolute minutes 30, 50, ...
+                tear.kind = fault::FaultKind::kControlTornWrite;
+                tear.node = i;  // v1: node i's FAT menu; v2: the shared flag menu
+                plan.events.push_back(tear);
+                fault::FaultEvent reset;
+                reset.at = tear.at + sim::minutes(1);
+                reset.kind = fault::FaultKind::kPowerCycle;
+                reset.node = i;
+                plan.events.push_back(reset);
+            }
+            world.hybrid.arm_faults(plan, seed);
+            world.engine.run_until(sim::TimePoint{} + sim::hours(8));
+            FlagWriteOutcome out;
+            out.nodes_up = count_up(world.hybrid);
+            out.node_count = world.hybrid.cluster().node_count();
+            if (world.hybrid.recovery() != nullptr) out.recovery = world.hybrid.recovery()->stats();
+            if (world.hybrid.forked_injector() != nullptr)
+                out.corruptions = world.hybrid.forked_injector()->stats().control_corruptions;
+            return out;
+        },
+        &fs);
+    fs.prefix_sim_s = 29 * 60.0;
+    fs.suffix_sim_s = 8 * 3600.0 - fs.prefix_sim_s;
+    fold_fork_stats(fork_total, fs);
     return out;
 }
-
-/// One campaign replica's outcome: scalar campaigns fill `value`, the
-/// torn-write campaign fills `flag`.
-struct CampaignResult {
-    double value = 0;
-    FlagWriteOutcome flag;
-};
 
 }  // namespace
 
@@ -176,44 +236,39 @@ int main(int argc, char** argv) {
     constexpr auto kV1 = deploy::MiddlewareVersion::kV1;
     constexpr auto kV2 = deploy::MiddlewareVersion::kV2;
 
-    // Build the flat campaign list in print order (v1/v2 pairs per row),
-    // then run every replica through the pool. Slot order == build order, so
-    // the consuming loops below read results exactly as the serial bench
-    // computed them.
-    std::vector<std::function<CampaignResult(util::Arena*)>> tasks;
+    const int threads = bench::threads_from_args(argc, argv);
+
+    // (a) and (f) are warm-started fork campaigns (one per version, seeds as
+    // suffixes); (b) and (c) stay independent replicas on the plain pool.
+    sweep::ForkStats fork_total;
+    const auto power_v1 = power_cycle_campaign(kV1, kSeeds, threads, fork_total);
+    const auto power_v2 = power_cycle_campaign(kV2, kSeeds, threads, fork_total);
+
+    std::vector<std::function<double(util::Arena*)>> tasks;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
         for (const auto version : {kV1, kV2})
             tasks.emplace_back([version, seed](util::Arena* a) {
-                return CampaignResult{static_cast<double>(power_cycle_campaign(version, seed, a)),
-                                      {}};
-            });
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
-        for (const auto version : {kV1, kV2})
-            tasks.emplace_back([version, seed](util::Arena* a) {
-                return CampaignResult{static_cast<double>(reimage_campaign(version, seed, a)), {}};
+                return static_cast<double>(reimage_campaign(version, seed, a));
             });
     for (const double drop : kDrops)
         for (const auto version : {kV1, kV2})
             tasks.emplace_back([version, drop](util::Arena* a) {
-                return CampaignResult{lossy_link_campaign(version, drop, 5, a), {}};
+                return lossy_link_campaign(version, drop, 5, a);
             });
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed)
-        for (const auto version : {kV1, kV2})
-            tasks.emplace_back([version, seed](util::Arena* a) {
-                return CampaignResult{0, flag_write_campaign(version, seed, a)};
-            });
-
     sweep::SweepStats sweep_stats;
-    const auto results = sweep::map_indexed<CampaignResult>(
-        tasks.size(), bench::threads_from_args(argc, argv),
+    const auto results = sweep::map_indexed<double>(
+        tasks.size(), threads,
         [&](std::size_t slot, sweep::WorkerContext& ctx) { return tasks[slot](ctx.arena); },
         &sweep_stats);
+
+    const auto flag_v1 = flag_write_campaign(kV1, kSeeds, threads, fork_total);
+    const auto flag_v2 = flag_write_campaign(kV2, kSeeds, threads, fork_total);
     std::size_t slot = 0;
 
     std::printf("(a) 12 random hard power cycles over 6h — nodes back up afterwards:\n");
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-        const int v1 = static_cast<int>(results[slot++].value);
-        const int v2 = static_cast<int>(results[slot++].value);
+        const int v1 = power_v1[seed - 1];
+        const int v2 = power_v2[seed - 1];
         std::printf("  seed %llu: v1 %d/16, v2 %d/16\n",
                     static_cast<unsigned long long>(seed), v1, v2);
         const std::string seed_str = std::to_string(seed);
@@ -227,16 +282,16 @@ int main(int argc, char** argv) {
         "\n(b) Windows reimage on 4 nodes, then power cycle — nodes that can still\n"
         "    reach Linux without an admin visit:\n");
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-        const int v1 = static_cast<int>(results[slot++].value);
-        const int v2 = static_cast<int>(results[slot++].value);
+        const int v1 = static_cast<int>(results[slot++]);
+        const int v2 = static_cast<int>(results[slot++]);
         std::printf("  seed %llu: v1 %d/4 (MBR clobbered -> Windows only), v2 %d/4 (PXE flag)\n",
                     static_cast<unsigned long long>(seed), v1, v2);
     }
 
     std::printf("\n(c) lossy WINHEAD->LINHEAD link — Windows burst served within 8h:\n");
     for (const double drop : kDrops) {
-        const double v1 = results[slot++].value;
-        const double v2 = results[slot++].value;
+        const double v1 = results[slot++];
+        const double v2 = results[slot++];
         std::printf("  drop %.0f%%: v1 %3.0f%%, v2 %3.0f%% (fixed-cycle retransmission heals)\n",
                     drop * 100, v1 * 100, v2 * 100);
     }
@@ -246,8 +301,8 @@ int main(int argc, char** argv) {
         "    per-node controlmenu.lst (nothing rewrites it), v2 tears the shared PXE\n"
         "    flag (sweeper repairs it before re-cycling):\n");
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-        const auto v1 = results[slot++].flag;
-        const auto v2 = results[slot++].flag;
+        const auto v1 = flag_v1[seed - 1];
+        const auto v2 = flag_v2[seed - 1];
         std::printf(
             "  seed %llu: v1 %2d/%d up, %llu repairs, mttr %5.0fs | "
             "v2 %2d/%d up, %llu repairs, mttr %5.0fs\n",
@@ -327,7 +382,9 @@ int main(int argc, char** argv) {
     }
 
     bench::print_sweep_stats(sweep_stats);
+    bench::print_fork_stats(fork_total);
     report.set_sweep(sweep_stats);
+    report.set_fork(fork_total);
     const std::string json_path = bench::json_path_from_args(argc, argv);
     if (!json_path.empty()) (void)report.write(json_path);
     return 0;

@@ -1,0 +1,220 @@
+// P3 — snapshot/fork perf: what warm-starting a campaign actually buys.
+//
+// An E7-shaped campaign (one long shared prefix, N divergent suffixes —
+// policy switches and fault-plan arms) is run twice: cold (every variant
+// replays the prefix) and forked (the prefix runs once per worker, every
+// variant resumes from a restored snapshot). The bench records
+//   - the microcosts: snapshot capture, restore, calendar-image bytes;
+//   - end-to-end campaign wall time, cold vs forked, at 1 and 4 threads;
+//   - the speedup, which must stay >= 3x at 1 thread for a 90%-prefix
+//     campaign (the per-replica amortisation the design promises).
+// The forked results are byte-compared against the cold ones on every run;
+// a mismatch writes both record sets next to the binary as repro artifacts
+// and fails the bench — this is the golden-path determinism check running
+// on real bench workloads, not test fixtures.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/scenario.hpp"
+#include "fault/plan.hpp"
+#include "sweep/runner.hpp"
+
+using namespace hc;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <class F>
+double time_ms(F&& f) {
+    const auto t0 = Clock::now();
+    f();
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// The ablation grid: 6 policy variants + 10 fault-plan variants, all
+/// diverging at the same late fork point. Mixed on purpose — the two
+/// divergence kinds exercise different restore paths (policy rebuild vs
+/// injector arming).
+sweep::ForkCampaign make_campaign(bool quick) {
+    sweep::ForkCampaign campaign;
+    campaign.base.kind = core::ScenarioKind::kBiStableHybrid;
+    campaign.base.policy = core::PolicyKind::kFcfs;
+    campaign.base.linux_nodes = 16;
+    campaign.base.horizon = quick ? sim::hours(6) : sim::hours(40);
+    campaign.base.recovery.enabled = true;
+    campaign.base.seed = 5;
+    campaign.trace = std::make_shared<const std::vector<workload::JobSpec>>(
+        bench::mixed_trace(0.3, /*seed=*/5, /*rate_per_hour=*/8.0, campaign.base.horizon));
+    // Fork at 90% of the horizon: the long-prefix shape the design targets.
+    campaign.fork_at =
+        sim::TimePoint{} + sim::Duration{campaign.base.horizon.ms * 9 / 10};
+
+    const struct {
+        core::PolicyKind policy;
+        const char* key;
+    } kPolicies[] = {
+        {core::PolicyKind::kNever, "never"},
+        {core::PolicyKind::kFcfs, "fcfs"},
+        {core::PolicyKind::kThreshold, "threshold"},
+        {core::PolicyKind::kFairShare, "fair_share"},
+        {core::PolicyKind::kFairShare, "fair_share_cooldown"},
+        {core::PolicyKind::kPredictive, "predictive"},
+    };
+    for (const auto& entry : kPolicies) {
+        const int cooldown = std::string(entry.key) == "fair_share_cooldown" ? 3 : -1;
+        campaign.variants.push_back(
+            [policy = entry.policy, cooldown](core::ScenarioWorld& world) {
+                world.hybrid().set_policy(policy, cooldown);
+            });
+        campaign.labels.push_back(std::string("policy/") + entry.key);
+    }
+    const sim::Duration tail{campaign.base.horizon.ms / 10};
+    for (std::uint64_t seed = 100; seed < 110; ++seed) {
+        campaign.variants.push_back([tail, seed](core::ScenarioWorld& world) {
+            fault::RandomPlanOptions opts;
+            opts.node_count = world.config().node_count;
+            opts.horizon = tail;  // event offsets are relative to arm time
+            opts.v2 = true;
+            world.hybrid().arm_faults(fault::make_random_plan(opts, seed), seed);
+        });
+        campaign.labels.push_back("faults/" + std::to_string(seed));
+    }
+    return campaign;
+}
+
+/// Canonical bytes of a campaign's results — the equality surface shared
+/// with the test_sweep goldens.
+std::string campaign_record_bytes(const std::vector<core::ScenarioResult>& results) {
+    bench::JsonReport report("P3-equality");
+    for (const auto& r : results)
+        bench::add_scenario_records(report, r, {{"variant", r.label}});
+    return report.render_records();
+}
+
+/// Cold control: every variant replays the whole prefix in its own world.
+std::vector<core::ScenarioResult> run_cold(const sweep::ForkCampaign& campaign,
+                                           int threads) {
+    return sweep::map_indexed<core::ScenarioResult>(
+        campaign.variants.size(), threads,
+        [&](std::size_t slot, sweep::WorkerContext& ctx) {
+            core::ScenarioConfig cfg = campaign.base;
+            cfg.arena = ctx.arena;
+            core::ScenarioWorld world(cfg, *campaign.trace);
+            world.run_until(campaign.fork_at);
+            campaign.variants[slot](world);
+            world.run_until(world.horizon_end());
+            core::ScenarioResult result = world.finish();
+            if (!campaign.labels[slot].empty()) result.label = campaign.labels[slot];
+            return result;
+        });
+}
+
+/// On divergence, persist both record sets so the failure is a one-file
+/// diff rather than a vanished CI run.
+void write_mismatch_artifacts(const std::string& cold, const std::string& forked,
+                              int threads) {
+    const std::string stem = "p3_fork_mismatch_t" + std::to_string(threads);
+    std::ofstream(stem + "_cold.json") << cold << "\n";
+    std::ofstream(stem + "_forked.json") << forked << "\n";
+    std::fprintf(stderr,
+                 "FORKED-VS-COLD MISMATCH at --threads %d: records differ.\n"
+                 "  repro artifacts: %s_cold.json / %s_forked.json\n",
+                 threads, stem.c_str(), stem.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool quick = bench::quick_mode(argc, argv);
+    const std::string json_path = bench::json_path_from_args(argc, argv);
+    bench::JsonReport report("P3");
+
+    bench::print_header("P3 (perf trajectory)", "engine snapshot/fork",
+                        "run the shared prefix once, fan out N suffixes");
+
+    const sweep::ForkCampaign campaign = make_campaign(quick);
+    const std::size_t variants = campaign.variants.size();
+    std::printf("campaign: %zu variants, horizon %lld h, fork at 90%% of horizon\n",
+                variants, static_cast<long long>(campaign.base.horizon.ms / 3'600'000));
+
+    // ---- microcosts: capture, restore, image footprint ---------------------
+    {
+        core::ScenarioWorld world(campaign.base, *campaign.trace);
+        world.run_until(campaign.fork_at);
+        const int reps = quick ? 20 : 200;
+        // Throwaway first capture warms the calendar vectors; the kept one
+        // below is what every restore rewinds to.
+        double snap_ms = 0;
+        for (int i = 0; i < reps; ++i) {
+            const double ms = time_ms([&] { auto s = world.snapshot(); (void)s; });
+            snap_ms += ms;
+        }
+        auto snap = world.snapshot();
+        double restore_ms = 0;
+        for (int i = 0; i < reps; ++i)
+            restore_ms += time_ms([&] { world.restore(snap); });
+        const double snapshot_us = snap_ms / reps * 1e3;
+        const double restore_us = restore_ms / reps * 1e3;
+        std::printf("\nmicrocosts at the fork point (%d reps):\n", reps);
+        std::printf("  snapshot capture: %10.2f us\n", snapshot_us);
+        std::printf("  restore         : %10.2f us\n", restore_us);
+        std::printf("  calendar image  : %10zu B\n", snap.bytes());
+        report.add("snapshot_us", snapshot_us, "us", {});
+        report.add("restore_us", restore_us, "us", {});
+        report.add("snapshot_bytes", static_cast<double>(snap.bytes()), "B", {});
+    }
+
+    // ---- end-to-end campaign: cold vs forked, byte-compared ----------------
+    bool mismatch = false;
+    sweep::ForkStats fork_stats;
+    sweep::SweepStats forked_sweep;
+    std::printf("\nend-to-end campaign (%zu variants):\n", variants);
+    for (const int threads : {1, 4}) {
+        std::vector<core::ScenarioResult> cold_results;
+        const double cold_ms =
+            time_ms([&] { cold_results = run_cold(campaign, threads); });
+        sweep::ScenarioSweepResult forked_out;
+        sweep::ForkStats fs;
+        const double forked_ms = time_ms(
+            [&] { forked_out = sweep::run_forked_scenarios(campaign, threads, &fs); });
+
+        const std::string cold_bytes = campaign_record_bytes(cold_results);
+        const std::string forked_bytes = campaign_record_bytes(forked_out.results);
+        if (forked_bytes != cold_bytes) {
+            write_mismatch_artifacts(cold_bytes, forked_bytes, threads);
+            mismatch = true;
+        }
+
+        const double speedup = forked_ms > 0 ? cold_ms / forked_ms : 0.0;
+        std::printf("  %d thread(s): cold %8.1f ms, forked %8.1f ms -> %5.2fx "
+                    "(%d prefix(es), %llu forks)%s\n",
+                    threads, cold_ms, forked_ms, speedup, fs.prefixes,
+                    static_cast<unsigned long long>(fs.forks),
+                    forked_bytes == cold_bytes ? "" : "  [MISMATCH]");
+        const std::string t = std::to_string(threads);
+        report.add("campaign_ms", cold_ms, "ms", {{"path", "cold"}, {"threads", t}});
+        report.add("campaign_ms", forked_ms, "ms", {{"path", "forked"}, {"threads", t}});
+        report.add("fork_speedup", speedup, "x", {{"threads", t}});
+        fork_stats = fs;
+        forked_sweep = forked_out.stats;
+    }
+
+    std::printf("\nshape check: at 1 thread the forked path pays the %zu-variant\n"
+                "campaign's prefix once instead of %zu times, so the speedup\n"
+                "approaches 1/(1 - prefix share); threads dilute it because every\n"
+                "worker re-runs the prefix for its own snapshot.\n",
+                variants, variants);
+    bench::print_sweep_stats(forked_sweep);
+    bench::print_fork_stats(fork_stats);
+    report.set_sweep(forked_sweep);
+    report.set_fork(fork_stats);
+
+    if (!json_path.empty() && !report.write(json_path)) return 1;
+    return mismatch ? 1 : 0;
+}

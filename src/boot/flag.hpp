@@ -54,6 +54,19 @@ public:
     /// Number of per-MAC menu files currently present.
     [[nodiscard]] std::size_t pinned_count() const;
 
+    /// World-snapshot hook: the write-fault closure and the last intent.
+    /// The menu files themselves live in the PXE server's TFTP tree and are
+    /// captured by PxeServer::save_state().
+    struct SavedState {
+        WriteFault write_fault;
+        cluster::OsType last_intent = cluster::OsType::kNone;
+    };
+    [[nodiscard]] SavedState save_state() const { return {write_fault_, last_intent_}; }
+    void restore_state(const SavedState& s) {
+        write_fault_ = s.write_fault;
+        last_intent_ = s.last_intent;
+    }
+
 private:
     [[nodiscard]] static util::Result<cluster::OsType> parse_menu_os(const std::string& text);
 

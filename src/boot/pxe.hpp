@@ -98,6 +98,35 @@ public:
     /// Build the Node::BootResolver for v2 wiring (PXE first).
     [[nodiscard]] cluster::Node::BootResolver make_resolver();
 
+    /// World-snapshot hook: the whole TFTP tree (menus, per-MAC pins) plus
+    /// ROM config, the outage switch, and the per-request fault hook (a
+    /// copyable closure whose RNG lives in the FaultInjector, snapshotted
+    /// there).
+    struct SavedState {
+        cluster::FileStore tftp;
+        PxeRom default_rom = PxeRom::kGrub4dos;
+        PxeRom pxelinux_chain = PxeRom::kNone;
+        std::map<std::string, PxeRom> mac_roms;
+        std::set<std::string> pxegrub_drivers;
+        bool online = true;
+        RequestFault request_fault;
+        sim::Duration handshake_delay{};
+    };
+    [[nodiscard]] SavedState save_state() const {
+        return {tftp_,  default_rom_,   pxelinux_chain_, mac_roms_,
+                pxegrub_drivers_, online_, request_fault_, handshake_delay_};
+    }
+    void restore_state(const SavedState& s) {
+        tftp_ = s.tftp;
+        default_rom_ = s.default_rom;
+        pxelinux_chain_ = s.pxelinux_chain;
+        mac_roms_ = s.mac_roms;
+        pxegrub_drivers_ = s.pxegrub_drivers;
+        online_ = s.online;
+        request_fault_ = s.request_fault;
+        handshake_delay_ = s.handshake_delay;
+    }
+
 private:
     [[nodiscard]] cluster::BootDecision resolve_grub4dos(const cluster::Node& node) const;
     [[nodiscard]] cluster::BootDecision resolve_pxegrub(const cluster::Node& node) const;

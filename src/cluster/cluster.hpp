@@ -62,6 +62,23 @@ public:
     /// Compute-node hostname for a 0-based index: "enode01.<domain>".
     [[nodiscard]] static std::string node_hostname(int index, const std::string& domain);
 
+    /// World-snapshot hook: every node's mutable state plus the LAN's.
+    struct SavedState {
+        std::vector<Node::SavedState> nodes;
+        Network::SavedState network;
+    };
+    [[nodiscard]] SavedState save_state() const {
+        SavedState s;
+        s.nodes.reserve(nodes_.size());
+        for (const auto& node : nodes_) s.nodes.push_back(node->save_state());
+        s.network = network_.save_state();
+        return s;
+    }
+    void restore_state(const SavedState& s) {
+        for (std::size_t i = 0; i < nodes_.size(); ++i) nodes_[i]->restore_state(s.nodes[i]);
+        network_.restore_state(s.network);
+    }
+
 private:
     sim::Engine& engine_;
     ClusterConfig config_;

@@ -65,6 +65,27 @@ public:
 
     [[nodiscard]] const NetworkStats& stats() const { return stats_; }
 
+    /// World-snapshot hook: loss/partition knobs, RNG stream and counters.
+    /// In-flight messages live in the engine calendar, not here; bound
+    /// handlers are wiring and survive restore untouched.
+    struct SavedState {
+        util::Rng rng{0};
+        sim::Duration latency{};
+        double drop_probability = 0.0;
+        std::set<std::pair<std::string, std::string>> severed_links;
+        NetworkStats stats;
+    };
+    [[nodiscard]] SavedState save_state() const {
+        return {rng_, latency_, drop_probability_, severed_links_, stats_};
+    }
+    void restore_state(const SavedState& s) {
+        rng_ = s.rng;
+        latency_ = s.latency;
+        drop_probability_ = s.drop_probability;
+        severed_links_ = s.severed_links;
+        stats_ = s.stats;
+    }
+
 private:
     sim::Engine& engine_;
     util::Rng rng_;

@@ -137,6 +137,46 @@ public:
     /// panicked). Valid when not kOff.
     void inject_hang();
 
+    /// Fault injection: change the per-boot hang probability mid-run (the
+    /// forked fault campaigns arm probabilistic plans after the shared
+    /// prefix). Draw counts are unchanged — the boot path always samples the
+    /// hang roll — so flipping this does not perturb the RNG stream.
+    void set_boot_hang_probability(double p) { config_.timing.hang_probability = p; }
+
+    /// World-snapshot hook (see DESIGN.md "Snapshot / fork"): everything
+    /// mutable outside the engine calendar. The in-flight stage event id
+    /// stays valid because Engine::restore() reproduces slots/generations
+    /// exactly. Wiring (resolver, up/down handlers, obs) is not state.
+    struct SavedState {
+        util::Rng rng{0};
+        Disk disk;
+        PowerState state = PowerState::kOff;
+        OsType os = OsType::kNone;
+        double hang_probability = 0.0;
+        sim::EventId pending{};
+        sim::TimePoint went_down{};
+        bool was_up_before = false;
+        OsType previous_up_os = OsType::kNone;
+        NodeStats stats;
+    };
+    [[nodiscard]] SavedState save_state() const {
+        return {rng_,     disk_,      state_,          os_,
+                config_.timing.hang_probability,       pending_, went_down_,
+                was_up_before_, previous_up_os_, stats_};
+    }
+    void restore_state(const SavedState& s) {
+        rng_ = s.rng;
+        disk_ = s.disk;
+        state_ = s.state;
+        os_ = s.os;
+        config_.timing.hang_probability = s.hang_probability;
+        pending_ = s.pending;
+        went_down_ = s.went_down;
+        was_up_before_ = s.was_up_before;
+        previous_up_os_ = s.previous_up_os;
+        stats_ = s.stats;
+    }
+
 private:
     void enter(PowerState next);
     void begin_boot_sequence();                 ///< -> kFirmware

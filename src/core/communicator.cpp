@@ -85,7 +85,7 @@ LinuxCommunicator::LinuxCommunicator(sim::Engine& engine, cluster::Network& netw
       network_(network),
       host_(std::move(host)),
       pbs_detector_(pbs_detector),
-      policy_(policy),
+      policy_(&policy),
       controller_(controller),
       cores_per_node_(cores_per_node) {
     obs::Hub& hub = engine_.obs();
@@ -202,7 +202,7 @@ void LinuxCommunicator::decide_and_act(const QueueSnapshot& windows_snap) {
     // Step 4: decide.
     ++stats_.decisions_made;
     obs_decisions_.inc();
-    last_decision_ = policy_.decide(ctx);
+    last_decision_ = policy_->decide(ctx);
     obs::Journal& journal = engine_.obs().journal();
     if (journal.enabled()) {
         journal.event("detector")

@@ -75,6 +75,21 @@ public:
 
     [[nodiscard]] const CommunicatorStats& stats() const { return stats_; }
 
+    /// World-snapshot hook: the polling task's pending event plus counters.
+    struct SavedState {
+        bool extended = true;
+        sim::PeriodicTask::SavedState task;
+        CommunicatorStats stats;
+    };
+    [[nodiscard]] SavedState save_state() const {
+        return {extended_, task_.save_state(), stats_};
+    }
+    void restore_state(const SavedState& s) {
+        extended_ = s.extended;
+        task_.restore_state(s.task);
+        stats_ = s.stats;
+    }
+
 private:
     sim::Engine& engine_;
     cluster::Network& network_;
@@ -122,6 +137,32 @@ public:
     /// True while the peer is considered silent.
     [[nodiscard]] bool peer_stale() const { return peer_stale_; }
 
+    /// Swap the decision policy. The forked E7 ablation runs the shared
+    /// prefix under one policy, forks, then installs a different policy per
+    /// suffix; the caller keeps the policy object alive.
+    void set_policy(SwitchPolicy& policy) { policy_ = &policy; }
+    [[nodiscard]] SwitchPolicy& policy() { return *policy_; }
+
+    /// World-snapshot hook: watchdog arm state + counters + last decision.
+    /// The policy object itself is snapshotted separately via save_blob().
+    struct SavedState {
+        sim::EventId watchdog_event{};
+        bool peer_stale = false;
+        std::uint64_t watchdog_firings = 0;
+        CommunicatorStats stats;
+        SwitchDecision last_decision;
+    };
+    [[nodiscard]] SavedState save_state() const {
+        return {watchdog_event_, peer_stale_, watchdog_firings_, stats_, last_decision_};
+    }
+    void restore_state(const SavedState& s) {
+        watchdog_event_ = s.watchdog_event;
+        peer_stale_ = s.peer_stale;
+        watchdog_firings_ = s.watchdog_firings;
+        stats_ = s.stats;
+        last_decision_ = s.last_decision;
+    }
+
 private:
     void decide_and_act(const QueueSnapshot& windows_snap);
     void arm_watchdog();
@@ -131,7 +172,7 @@ private:
     cluster::Network& network_;
     std::string host_;
     Detector& pbs_detector_;
-    SwitchPolicy& policy_;
+    SwitchPolicy* policy_;  ///< never null; swappable via set_policy()
     SwitchController& controller_;
     int cores_per_node_;
     bool bound_ = false;

@@ -115,6 +115,22 @@ private:
     OrderWatchdogConfig wd_;
     std::vector<PendingOrder> pending_;
     std::uint64_t next_order_id_ = 1;
+
+public:
+    /// World-snapshot hook: counters plus the watchdog's pending-order table
+    /// (the timer EventIds stay valid because Engine::restore() rebuilds the
+    /// calendar with identical slot/generation ids).
+    struct SavedState {
+        ControllerStats stats;
+        std::vector<PendingOrder> pending;
+        std::uint64_t next_order_id = 1;
+    };
+    [[nodiscard]] SavedState save_state() const { return {stats_, pending_, next_order_id_}; }
+    void restore_state(const SavedState& s) {
+        stats_ = s.stats;
+        pending_ = s.pending;
+        next_order_id_ = s.next_order_id;
+    }
 };
 
 /// v1: FAT-partition control files, edited per node by the switch job.

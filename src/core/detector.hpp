@@ -133,6 +133,52 @@ private:
     std::string last_pbsnodes_text_;
     int last_idle_nodes_ = 0;
     bool has_idle_ = false;
+
+public:
+    /// World-snapshot hook: the streaming cursor (doc versions + per-stanza
+    /// aggregates) and the parse caches. Restoring alongside the server's
+    /// own restore keeps the incremental path's "parse only what changed"
+    /// guarantee intact across a fork.
+    struct SavedState {
+        bool doc_synced = false;
+        std::uint64_t qstat_doc_version = 0;
+        std::uint64_t nodes_doc_version = 0;
+        std::map<std::uint64_t, JobStanza> job_stanzas;
+        std::set<std::uint64_t> queued_keys;
+        std::set<std::uint64_t> running_keys;
+        std::map<std::uint64_t, bool> node_idle;
+        int idle_count = 0;
+        PollStats poll_stats;
+        std::string last_qstat_text;
+        util::Result<QstatParse> last_parse{QstatParse{}};
+        bool has_parse = false;
+        std::string last_pbsnodes_text;
+        int last_idle_nodes = 0;
+        bool has_idle = false;
+    };
+    [[nodiscard]] SavedState save_state() const {
+        return {doc_synced_,      qstat_doc_version_, nodes_doc_version_, job_stanzas_,
+                queued_keys_,     running_keys_,      node_idle_,         idle_count_,
+                poll_stats_,      last_qstat_text_,   last_parse_,        has_parse_,
+                last_pbsnodes_text_, last_idle_nodes_, has_idle_};
+    }
+    void restore_state(const SavedState& s) {
+        doc_synced_ = s.doc_synced;
+        qstat_doc_version_ = s.qstat_doc_version;
+        nodes_doc_version_ = s.nodes_doc_version;
+        job_stanzas_ = s.job_stanzas;
+        queued_keys_ = s.queued_keys;
+        running_keys_ = s.running_keys;
+        node_idle_ = s.node_idle;
+        idle_count_ = s.idle_count;
+        poll_stats_ = s.poll_stats;
+        last_qstat_text_ = s.last_qstat_text;
+        last_parse_ = s.last_parse;
+        has_parse_ = s.has_parse;
+        last_pbsnodes_text_ = s.last_pbsnodes_text;
+        last_idle_nodes_ = s.last_idle_nodes;
+        has_idle_ = s.has_idle;
+    }
 };
 
 /// The SDK-based Windows detector.

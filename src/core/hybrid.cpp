@@ -153,26 +153,105 @@ void HybridCluster::wire_boot_environment() {
     }
 }
 
-void HybridCluster::build_policy_and_controller() {
-    switch (config_.policy) {
-        case PolicyKind::kFcfs: policy_ = std::make_unique<FcfsPolicy>(); break;
+std::unique_ptr<SwitchPolicy> HybridCluster::make_policy(PolicyKind kind) const {
+    switch (kind) {
+        case PolicyKind::kFcfs: return std::make_unique<FcfsPolicy>();
         case PolicyKind::kThreshold:
-            policy_ = std::make_unique<ThresholdPolicy>(config_.threshold_consecutive);
-            break;
+            return std::make_unique<ThresholdPolicy>(config_.threshold_consecutive);
         case PolicyKind::kFairShare:
-            policy_ = std::make_unique<FairSharePolicy>(config_.fair_share_cooldown);
-            break;
-        case PolicyKind::kPredictive: policy_ = std::make_unique<PredictivePolicy>(); break;
+            return std::make_unique<FairSharePolicy>(config_.fair_share_cooldown);
+        case PolicyKind::kPredictive: return std::make_unique<PredictivePolicy>();
         case PolicyKind::kMonoStable:
-            policy_ = std::make_unique<MonoStablePolicy>(cluster_.node_count());
-            break;
-        case PolicyKind::kNever: policy_ = std::make_unique<NeverSwitchPolicy>(); break;
+            return std::make_unique<MonoStablePolicy>(cluster_.node_count());
+        case PolicyKind::kNever: return std::make_unique<NeverSwitchPolicy>();
         case PolicyKind::kCalendar:
-            policy_ = std::make_unique<CalendarPolicy>(
+            return std::make_unique<CalendarPolicy>(
                 std::make_unique<FcfsPolicy>(), config_.calendar_start_hour,
                 config_.calendar_end_hour, config_.calendar_windows_nodes);
-            break;
     }
+    util::require(false, "make_policy: unknown PolicyKind");
+    return nullptr;
+}
+
+void HybridCluster::set_policy(PolicyKind kind, int fair_share_cooldown) {
+    config_.policy = kind;
+    if (fair_share_cooldown >= 0) config_.fair_share_cooldown = fair_share_cooldown;
+    policy_ = make_policy(kind);
+    if (linux_comm_) linux_comm_->set_policy(*policy_);
+}
+
+void HybridCluster::arm_faults(const fault::FaultPlan& plan, std::uint64_t seed) {
+    util::require(started_, "HybridCluster::arm_faults: call start() first");
+    fork_injector_ = std::make_unique<fault::FaultInjector>(engine_, cluster_, plan, seed);
+    const double base_drop = std::max(config_.message_drop_probability,
+                                      config_.fault_plan.probabilities.message_drop);
+    cluster_.network().set_drop_probability(
+        std::max(base_drop, plan.probabilities.message_drop));
+    const double base_hang =
+        std::max(config_.boot_hang_probability, config_.fault_plan.probabilities.boot_hang);
+    for (Node* node : cluster_.nodes())
+        node->set_boot_hang_probability(std::max(base_hang, plan.probabilities.boot_hang));
+    if (pxe_) fork_injector_->attach_pxe(*pxe_);
+    if (flag_) fork_injector_->attach_flag(*flag_);
+    fork_injector_->register_head(
+        "linux", fault::FaultInjector::HeadHandle{[this] { linux_comm_->stop(); },
+                                                  [this] { (void)linux_comm_->start(); }});
+    fork_injector_->register_head(
+        "windows", fault::FaultInjector::HeadHandle{[this] { win_comm_->stop(); },
+                                                    [this] { win_comm_->start(sim::seconds(30)); }});
+    fork_injector_->start();
+}
+
+HybridCluster::SavedState HybridCluster::save_state() const {
+    SavedState s;
+    s.cluster = cluster_.save_state();
+    s.pbs = pbs_.save_state();
+    s.winhpc = winhpc_.save_state();
+    if (pxe_) s.pxe = pxe_->save_state();
+    if (flag_) s.flag = flag_->save_state();
+    s.reboot_log = reboot_log_.save_state();
+    s.policy_kind = config_.policy;
+    s.fair_share_cooldown = config_.fair_share_cooldown;
+    s.policy_blob = policy_->save_blob();
+    s.controller = controller_->save_state();
+    s.pbs_detector = pbs_detector_->save_state();
+    s.win_comm = win_comm_->save_state();
+    s.linux_comm = linux_comm_->save_state();
+    if (injector_) s.injector = injector_->save_state();
+    if (supervisor_) s.supervisor = supervisor_->save_state();
+    s.metrics = metrics_.save_state();
+    s.pending_initial_pins = pending_initial_pins_;
+    s.started = started_;
+    return s;
+}
+
+void HybridCluster::restore_state(const SavedState& s) {
+    // A post-fork injector's scheduled events died with the calendar restore,
+    // and its probabilistic hooks are overwritten below by the saved ones.
+    fork_injector_.reset();
+    cluster_.restore_state(s.cluster);
+    pbs_.restore_state(s.pbs);
+    winhpc_.restore_state(s.winhpc);
+    if (pxe_ && s.pxe) pxe_->restore_state(*s.pxe);
+    if (flag_ && s.flag) flag_->restore_state(*s.flag);
+    reboot_log_.restore_state(s.reboot_log);
+    // Rebuild the policy object outright — a forked suffix may have changed
+    // kind *or* knobs via set_policy(); dynamic state lives in the blob.
+    set_policy(s.policy_kind, s.fair_share_cooldown);
+    policy_->restore_blob(s.policy_blob);
+    controller_->restore_state(s.controller);
+    pbs_detector_->restore_state(s.pbs_detector);
+    win_comm_->restore_state(s.win_comm);
+    linux_comm_->restore_state(s.linux_comm);
+    if (injector_ && s.injector) injector_->restore_state(*s.injector);
+    if (supervisor_ && s.supervisor) supervisor_->restore_state(*s.supervisor);
+    metrics_.restore_state(s.metrics);
+    pending_initial_pins_ = s.pending_initial_pins;
+    started_ = s.started;
+}
+
+void HybridCluster::build_policy_and_controller() {
+    policy_ = make_policy(config_.policy);
     if (config_.version == MiddlewareVersion::kV1) {
         controller_ =
             std::make_unique<ControllerV1>(engine_, cluster_, pbs_, winhpc_, &reboot_log_);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "boot/flag.hpp"
@@ -117,10 +118,61 @@ public:
     /// the engine until the first boot completes or `limit` elapses.
     void settle(sim::Duration limit = sim::minutes(10));
 
+    // ---- divergence knobs (the forked-suffix API) ----------------------
+    //
+    // Both are exact-replay safe: a cold run that calls the same knob at the
+    // same sim time behaves byte-identically to a forked suffix, which is
+    // what the forked-vs-cold golden tests pin.
+
+    /// Swap the decision policy at runtime (forked E7 ablation: run the
+    /// shared prefix under one policy, fork, install a different policy per
+    /// suffix). Builds a fresh policy object for `kind` from the config's
+    /// tuning knobs and re-points the Linux daemon at it.
+    /// `fair_share_cooldown >= 0` overrides the config's cooldown knob first
+    /// (the E7 ablation's fair-share-with-cooldown variant).
+    void set_policy(PolicyKind kind, int fair_share_cooldown = -1);
+
+    /// Arm an extra fault campaign *now* (forked E5: share a healthy warm-up
+    /// prefix, diverge at injection time). Scheduled event offsets are
+    /// relative to this call; probabilistic rates fold into the
+    /// cluster/network knobs (max wins) like construction-time plans. The
+    /// injector's RNG is derived from `seed` only, so identical (plan, seed,
+    /// arm-time) triples replay identically.
+    void arm_faults(const fault::FaultPlan& plan, std::uint64_t seed);
+
+    /// The injector created by the last arm_faults(), if any.
+    [[nodiscard]] fault::FaultInjector* forked_injector() { return fork_injector_.get(); }
+
+    /// World-snapshot hook: everything mutable outside the engine calendar.
+    /// Pair with Engine::snapshot()/restore() — see core::ScenarioWorld.
+    struct SavedState {
+        cluster::Cluster::SavedState cluster;
+        pbs::PbsServer::SavedState pbs;
+        winhpc::HpcScheduler::SavedState winhpc;
+        std::optional<boot::PxeServer::SavedState> pxe;
+        std::optional<boot::OsFlagStore::SavedState> flag;
+        RebootLog::SavedState reboot_log;
+        PolicyKind policy_kind = PolicyKind::kFcfs;
+        int fair_share_cooldown = 0;
+        std::vector<double> policy_blob;
+        SwitchController::SavedState controller;
+        PbsDetector::SavedState pbs_detector;
+        WindowsCommunicator::SavedState win_comm;
+        LinuxCommunicator::SavedState linux_comm;
+        std::optional<fault::FaultInjector::SavedState> injector;
+        std::optional<fault::RecoverySupervisor::SavedState> supervisor;
+        workload::MetricsCollector::SavedState metrics;
+        std::vector<std::string> pending_initial_pins;
+        bool started = false;
+    };
+    [[nodiscard]] SavedState save_state() const;
+    void restore_state(const SavedState& s);
+
 private:
     void provision_disks();
     void wire_boot_environment();
     void build_policy_and_controller();
+    [[nodiscard]] std::unique_ptr<SwitchPolicy> make_policy(PolicyKind kind) const;
 
     sim::Engine& engine_;
     HybridConfig config_;
@@ -137,6 +189,7 @@ private:
     std::unique_ptr<WindowsCommunicator> win_comm_;
     std::unique_ptr<LinuxCommunicator> linux_comm_;
     std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<fault::FaultInjector> fork_injector_;  ///< armed post-fork via arm_faults()
     std::unique_ptr<fault::RecoverySupervisor> supervisor_;
     workload::MetricsCollector metrics_;
     std::vector<std::string> pending_initial_pins_;  ///< MACs pinned for first boot

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/os.hpp"
 #include "core/queue_state.hpp"
@@ -39,6 +40,13 @@ public:
     virtual ~SwitchPolicy() = default;
     [[nodiscard]] virtual SwitchDecision decide(const SwitchContext& ctx) = 0;
     [[nodiscard]] virtual std::string name() const = 0;
+
+    /// World-snapshot hooks: a policy's mutable state is a handful of
+    /// numeric accumulators (streak counters, EWMA demand, cooldown), so the
+    /// snapshot format is a flat double blob. Stateless policies keep the
+    /// empty default; CalendarPolicy forwards to its base.
+    [[nodiscard]] virtual std::vector<double> save_blob() const { return {}; }
+    virtual void restore_blob(const std::vector<double>& blob) { (void)blob; }
 };
 
 /// Nodes needed to satisfy `cpus` at `cores_per_node` per node.
@@ -62,6 +70,14 @@ public:
     [[nodiscard]] SwitchDecision decide(const SwitchContext& ctx) override;
     [[nodiscard]] std::string name() const override;
 
+    [[nodiscard]] std::vector<double> save_blob() const override {
+        return {static_cast<double>(linux_streak_), static_cast<double>(windows_streak_)};
+    }
+    void restore_blob(const std::vector<double>& blob) override {
+        linux_streak_ = static_cast<int>(blob.at(0));
+        windows_streak_ = static_cast<int>(blob.at(1));
+    }
+
 private:
     int required_;
     int linux_streak_ = 0;
@@ -82,6 +98,13 @@ public:
     [[nodiscard]] SwitchDecision decide(const SwitchContext& ctx) override;
     [[nodiscard]] std::string name() const override;
 
+    [[nodiscard]] std::vector<double> save_blob() const override {
+        return {static_cast<double>(cooldown_remaining_)};
+    }
+    void restore_blob(const std::vector<double>& blob) override {
+        cooldown_remaining_ = static_cast<int>(blob.at(0));
+    }
+
 private:
     int cooldown_polls_;
     int cooldown_remaining_ = 0;
@@ -94,6 +117,14 @@ public:
     explicit PredictivePolicy(double alpha = 0.5, double act_threshold_cpus = 2.0);
     [[nodiscard]] SwitchDecision decide(const SwitchContext& ctx) override;
     [[nodiscard]] std::string name() const override { return "predictive-ewma"; }
+
+    [[nodiscard]] std::vector<double> save_blob() const override {
+        return {linux_demand_ewma_, windows_demand_ewma_};
+    }
+    void restore_blob(const std::vector<double>& blob) override {
+        linux_demand_ewma_ = blob.at(0);
+        windows_demand_ewma_ = blob.at(1);
+    }
 
 private:
     double alpha_;
@@ -126,6 +157,9 @@ public:
 
     /// True when `unix_time` falls inside the daily reservation window.
     [[nodiscard]] bool in_window(std::int64_t unix_time) const;
+
+    [[nodiscard]] std::vector<double> save_blob() const override { return base_->save_blob(); }
+    void restore_blob(const std::vector<double>& blob) override { base_->restore_blob(blob); }
 
 private:
     std::unique_ptr<SwitchPolicy> base_;

@@ -12,12 +12,11 @@ const char* scenario_kind_name(ScenarioKind k) {
     return "?";
 }
 
-ScenarioResult run_scenario(const ScenarioConfig& config,
-                            const std::vector<workload::JobSpec>& trace) {
-    sim::Engine engine(/*unix_epoch=*/-1, config.arena);
-    // Hub first, cluster second: handles latch enabled-ness at registration.
-    engine.obs().configure(config.obs);
+namespace {
 
+/// Translate a ScenarioConfig into the HybridCluster wiring (shared by
+/// run_scenario() and ScenarioWorld).
+HybridConfig make_hybrid_config(const ScenarioConfig& config) {
     HybridConfig hc;
     hc.cluster.node_count = config.node_count;
     hc.cluster.cores_per_node = config.cores_per_node;
@@ -55,35 +54,81 @@ ScenarioResult run_scenario(const ScenarioConfig& config,
             break;
         }
     }
+    return hc;
+}
 
-    HybridCluster hybrid(engine, hc);
-    hybrid.start();
-    hybrid.settle();
+}  // namespace
+
+ScenarioWorld::ScenarioWorld(const ScenarioConfig& config,
+                             const std::vector<workload::JobSpec>& trace)
+    : config_(config),
+      trace_size_(trace.size()),
+      engine_(/*unix_epoch=*/-1, config.arena),
+      hybrid_((engine_.obs().configure(config.obs), engine_), make_hybrid_config(config)) {
+    // (Hub configured first, cluster second — via the comma expression above
+    // — so handles latch enabled-ness at registration.)
+    hybrid_.start();
+    hybrid_.settle();
     // Replay relative to t=0 of the trace; submissions before "now" (the
     // settling period) fire immediately.
-    hybrid.replay(trace);
-    engine.run_until(sim::TimePoint{} + config.horizon);
+    hybrid_.replay(trace);
+}
 
+ScenarioWorld::Snapshot ScenarioWorld::snapshot() {
+    return Snapshot{engine_.snapshot(), hybrid_.save_state()};
+}
+
+void ScenarioWorld::restore(const Snapshot& snap) {
+    engine_.restore(snap.engine);
+    hybrid_.restore_state(snap.world);
+}
+
+ScenarioResult ScenarioWorld::finish() {
     ScenarioResult result;
-    result.label = std::string(scenario_kind_name(config.kind)) + "/" +
-                   policy_kind_name(hc.policy);
-    result.summary = hybrid.metrics().summarise(hybrid.counters(), config.horizon.seconds());
+    result.label = std::string(scenario_kind_name(config_.kind)) + "/" +
+                   policy_kind_name(hybrid_.config().policy);
+    result.summary = hybrid_.metrics().summarise(hybrid_.counters(), config_.horizon.seconds());
     // Jobs still queued/running at the horizon never produced an outcome;
     // count them in the denominator so "done" reflects real throughput.
-    result.summary.submitted = trace.size();
+    result.summary.submitted = trace_size_;
     result.summary.completion_rate =
-        trace.empty() ? 0
-                      : static_cast<double>(result.summary.completed) /
-                            static_cast<double>(trace.size());
-    result.controller = hybrid.controller().stats();
-    result.windows_daemon = hybrid.windows_daemon().stats();
-    result.linux_daemon = hybrid.linux_daemon().stats();
-    if (hybrid.fault_injector() != nullptr) result.fault_stats = hybrid.fault_injector()->stats();
-    if (hybrid.recovery() != nullptr) result.recovery_stats = hybrid.recovery()->stats();
-    if (config.obs.metrics) result.metrics = engine.obs().metrics().snapshot();
-    if (config.obs.trace) result.chrome_trace_json = engine.obs().tracer().chrome_json();
-    if (config.obs.journal) result.journal_jsonl = engine.obs().journal().text();
+        trace_size_ == 0 ? 0
+                         : static_cast<double>(result.summary.completed) /
+                               static_cast<double>(trace_size_);
+    result.controller = hybrid_.controller().stats();
+    result.windows_daemon = hybrid_.windows_daemon().stats();
+    result.linux_daemon = hybrid_.linux_daemon().stats();
+    if (hybrid_.fault_injector() != nullptr) result.fault_stats = hybrid_.fault_injector()->stats();
+    if (hybrid_.forked_injector() != nullptr) {
+        // A post-fork campaign reports through the same stats block; the two
+        // injectors never coexist with overlapping counters in our benches,
+        // but sum defensively so nothing is silently dropped.
+        const fault::InjectorStats& f = hybrid_.forked_injector()->stats();
+        fault::InjectorStats& out = result.fault_stats;
+        out.injected += f.injected;
+        out.skipped += f.skipped;
+        out.boot_hangs += f.boot_hangs;
+        out.node_crashes += f.node_crashes;
+        out.power_cycles += f.power_cycles;
+        out.control_corruptions += f.control_corruptions;
+        out.pxe_outages += f.pxe_outages;
+        out.head_crashes += f.head_crashes;
+        out.partitions += f.partitions;
+        out.pxe_drops += f.pxe_drops;
+        out.flag_torn_writes += f.flag_torn_writes;
+    }
+    if (hybrid_.recovery() != nullptr) result.recovery_stats = hybrid_.recovery()->stats();
+    if (config_.obs.metrics) result.metrics = engine_.obs().metrics().snapshot();
+    if (config_.obs.trace) result.chrome_trace_json = engine_.obs().tracer().chrome_json();
+    if (config_.obs.journal) result.journal_jsonl = engine_.obs().journal().text();
     return result;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            const std::vector<workload::JobSpec>& trace) {
+    ScenarioWorld world(config, trace);
+    world.run_until(world.horizon_end());
+    return world.finish();
 }
 
 }  // namespace hc::core

@@ -71,4 +71,61 @@ struct ScenarioResult {
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config,
                                           const std::vector<workload::JobSpec>& trace);
 
+/// A scenario broken into phases so callers can checkpoint mid-run.
+///
+/// Construction builds the engine + cluster, starts the daemons, settles
+/// first boot, and schedules the trace — exactly what run_scenario() does
+/// before driving the clock. The caller then drives time with run_until(),
+/// may snapshot() at any quiet point, diverge (hybrid().set_policy(),
+/// hybrid().arm_faults()), and later restore() back to the snapshot to fan
+/// out another suffix. finish() summarises at the configured horizon.
+///
+/// Determinism contract: a restore()d world re-executes byte-identically to
+/// a cold world that reached the same point the same way — the engine
+/// calendar (slots, generations, seq numbers), every RNG stream, and all
+/// scheduler/detector/text state round-trip exactly.
+class ScenarioWorld {
+public:
+    ScenarioWorld(const ScenarioConfig& config, const std::vector<workload::JobSpec>& trace);
+
+    ScenarioWorld(const ScenarioWorld&) = delete;
+    ScenarioWorld& operator=(const ScenarioWorld&) = delete;
+
+    [[nodiscard]] sim::Engine& engine() { return engine_; }
+    [[nodiscard]] HybridCluster& hybrid() { return hybrid_; }
+    [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+
+    /// Drive the clock to an absolute sim time (idempotent when in the past
+    /// — construction itself advances the clock through settling, so an
+    /// early fork point may already be behind now()).
+    void run_until(sim::TimePoint t) {
+        if (t > engine_.now()) engine_.run_until(t);
+    }
+    /// The scenario's configured end of time: sim epoch + horizon.
+    [[nodiscard]] sim::TimePoint horizon_end() const {
+        return sim::TimePoint{} + config_.horizon;
+    }
+
+    /// Whole-world checkpoint: engine calendar image + every component's
+    /// SavedState. Move-only (the calendar image is arena/heap backed).
+    struct Snapshot {
+        sim::Engine::Snapshot engine;
+        HybridCluster::SavedState world;
+        /// Calendar-image footprint (the dominant term; component states
+        /// are ordinary heap copies not counted here).
+        [[nodiscard]] std::size_t bytes() const { return engine.bytes(); }
+    };
+    [[nodiscard]] Snapshot snapshot();
+    void restore(const Snapshot& snap);
+
+    /// Summarise now (normally at horizon_end()), mirroring run_scenario().
+    [[nodiscard]] ScenarioResult finish();
+
+private:
+    ScenarioConfig config_;
+    std::size_t trace_size_ = 0;
+    sim::Engine engine_;
+    HybridCluster hybrid_;
+};
+
 }  // namespace hc::core

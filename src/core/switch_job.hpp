@@ -43,6 +43,11 @@ public:
     [[nodiscard]] const std::vector<RebootLogEntry>& entries() const { return entries_; }
     [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+    /// World-snapshot hook.
+    using SavedState = std::vector<RebootLogEntry>;
+    [[nodiscard]] SavedState save_state() const { return entries_; }
+    void restore_state(const SavedState& s) { entries_ = s; }
+
 private:
     std::vector<RebootLogEntry> entries_;
 };

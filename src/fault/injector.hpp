@@ -73,6 +73,31 @@ public:
     [[nodiscard]] const InjectorStats& stats() const { return stats_; }
     [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
+    /// World-snapshot hook: the RNG stream (probabilistic hooks keep
+    /// drawing identically after restore), counters, and the heads'
+    /// injector-tracked down flags. Scheduled events live in the engine
+    /// calendar; the stop/restart closures are wiring and survive restore.
+    struct SavedState {
+        util::Rng rng{0};
+        InjectorStats stats;
+        bool started = false;
+        std::map<std::string, bool> heads_down;
+    };
+    [[nodiscard]] SavedState save_state() const {
+        SavedState s{rng_, stats_, started_, {}};
+        for (const auto& [side, handle] : heads_) s.heads_down.emplace(side, handle.down);
+        return s;
+    }
+    void restore_state(const SavedState& s) {
+        rng_ = s.rng;
+        stats_ = s.stats;
+        started_ = s.started;
+        for (auto& [side, handle] : heads_) {
+            const auto it = s.heads_down.find(side);
+            if (it != s.heads_down.end()) handle.down = it->second;
+        }
+    }
+
 private:
     void fire(const FaultEvent& ev);
     /// Pick the event's target: its fixed index if eligible, else a random

@@ -71,6 +71,21 @@ private:
     std::vector<Episode> episodes_;
     sim::PeriodicTask task_;
     SupervisorStats stats_;
+
+public:
+    /// World-snapshot hook: per-node episode tracking, the sweep task's
+    /// pending event, and counters.
+    struct SavedState {
+        std::vector<Episode> episodes;
+        sim::PeriodicTask::SavedState task;
+        SupervisorStats stats;
+    };
+    [[nodiscard]] SavedState save_state() const { return {episodes_, task_.save_state(), stats_}; }
+    void restore_state(const SavedState& s) {
+        episodes_ = s.episodes;
+        task_.restore_state(s.task);
+        stats_ = s.stats;
+    }
 };
 
 }  // namespace hc::fault

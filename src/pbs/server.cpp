@@ -722,4 +722,81 @@ void PbsServer::handle_node_down(Node& node) {
     request_cycle();
 }
 
+PbsServer::SavedState PbsServer::save_state() const {
+    util::require(!in_cycle_, "PbsServer::save_state: cannot snapshot mid-cycle");
+    SavedState s;
+    s.next_seq = next_seq_;
+    s.nodes = nodes_;
+    for (const auto& [id, job] : jobs_) s.jobs.emplace(id, *job);
+    for (const Job* j = queue_head_; j != nullptr; j = j->queue_next)
+        s.eligible_order.push_back(j->id);
+    s.completed_order = completed_order_;
+    s.queue_unlinks = queue_unlinks_;
+    s.completion_events = completion_events_;
+    s.walltime_events = walltime_events_;
+    s.stats = stats_;
+    s.version = version_;
+    s.free_cpu_agg = free_cpu_agg_;
+    s.free_nodes = free_nodes_;
+    s.idle_nodes = idle_nodes_;
+    s.dirty_nodes = dirty_nodes_;
+    s.dirty_job_seqs = dirty_job_seqs_;
+    s.removed_job_seqs = removed_job_seqs_;
+    s.pbsnodes_doc = pbsnodes_doc_;
+    s.qstat_f_doc = qstat_f_doc_;
+    s.text_stats = text_stats_;
+    s.qstat_cache = qstat_cache_;
+    return s;
+}
+
+void PbsServer::restore_state(const SavedState& s) {
+    util::require(!in_cycle_, "PbsServer::restore_state: cannot restore mid-cycle");
+    next_seq_ = s.next_seq;
+    nodes_ = s.nodes;
+    jobs_.clear();
+    active_by_seq_.clear();
+    for (const auto& [id, job] : s.jobs) {
+        auto copy = std::make_unique<Job>(job);
+        copy->queue_prev = nullptr;  // relinked below from the saved order
+        copy->queue_next = nullptr;
+        jobs_.emplace(id, std::move(copy));
+    }
+    for (auto& [id, job] : jobs_)
+        if (job->state != JobState::kCompleted) active_by_seq_[job->seq] = job.get();
+    queue_head_ = nullptr;
+    queue_tail_ = nullptr;
+    eligible_count_ = 0;
+    for (const std::string& id : s.eligible_order) {
+        Job* job = jobs_.at(id).get();
+        job->in_eligible_queue = true;
+        job->queue_prev = queue_tail_;
+        if (queue_tail_ != nullptr)
+            queue_tail_->queue_next = job;
+        else
+            queue_head_ = job;
+        queue_tail_ = job;
+        ++eligible_count_;
+    }
+    completed_order_ = s.completed_order;
+    queue_unlinks_ = s.queue_unlinks;
+    completion_events_ = s.completion_events;
+    walltime_events_ = s.walltime_events;
+    in_cycle_ = false;
+    cycle_again_ = false;
+    stats_ = s.stats;
+    version_ = s.version;
+    free_cpu_agg_ = s.free_cpu_agg;
+    free_nodes_ = s.free_nodes;
+    idle_nodes_ = s.idle_nodes;
+    idle_cache_.clear();
+    idle_cache_version_ = ~0ull;  // derived cache: rebuilt lazily on demand
+    dirty_nodes_ = s.dirty_nodes;
+    dirty_job_seqs_ = s.dirty_job_seqs;
+    removed_job_seqs_ = s.removed_job_seqs;
+    pbsnodes_doc_ = s.pbsnodes_doc;
+    qstat_f_doc_ = s.qstat_f_doc;
+    text_stats_ = s.text_stats;
+    qstat_cache_ = s.qstat_cache;
+}
+
 }  // namespace hc::pbs

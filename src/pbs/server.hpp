@@ -336,6 +336,41 @@ private:
         std::string text;
     };
     mutable TextCache qstat_cache_;
+
+public:
+    /// World-snapshot hook (DESIGN.md "Snapshot / fork"). Captures every
+    /// mutable field — job records (deep copies), the eligible-queue order,
+    /// node records, index sets, pending completion/walltime EventIds, the
+    /// incremental text documents and their dirty lists — so a restore
+    /// resumes byte-identically, including qstat/pbsnodes document versions
+    /// the detector streams against. Node/name indices and subscribers are
+    /// construction wiring and are left untouched. Must be taken/restored
+    /// outside a scheduler cycle, paired with an Engine::restore() of the
+    /// calendar the EventIds point into.
+    struct SavedState {
+        std::uint64_t next_seq = 0;
+        std::vector<NodeRecord> nodes;
+        std::map<std::string, Job> jobs;
+        std::vector<std::string> eligible_order;  ///< head→tail id list
+        std::deque<std::string> completed_order;
+        std::uint64_t queue_unlinks = 0;
+        std::map<std::string, sim::EventId> completion_events;
+        std::map<std::string, sim::EventId> walltime_events;
+        ServerStats stats;
+        std::uint64_t version = 0;
+        int free_cpu_agg = 0;
+        std::set<int> free_nodes;
+        std::set<int> idle_nodes;
+        std::vector<int> dirty_nodes;
+        std::vector<std::uint64_t> dirty_job_seqs;
+        std::vector<std::uint64_t> removed_job_seqs;
+        util::TextDocument pbsnodes_doc;
+        util::TextDocument qstat_f_doc;
+        TextStats text_stats;
+        TextCache qstat_cache;
+    };
+    [[nodiscard]] SavedState save_state() const;
+    void restore_state(const SavedState& s);
 };
 
 }  // namespace hc::pbs

@@ -1,6 +1,8 @@
 #include "sim/engine.hpp"
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "util/errors.hpp"
 #include "util/time_format.hpp"
@@ -204,6 +206,67 @@ bool Engine::step() {
     if (heap_.empty()) return false;
     dispatch_top();
     return true;
+}
+
+Engine::Snapshot Engine::snapshot() {
+    // A slot is "in the calendar" iff it is not on the free list; of those,
+    // only non-cancelled slots hold callbacks that can still run, so only
+    // they must be clonable.
+    std::vector<bool> free_slot(slot_meta_.size(), false);
+    for (const std::uint32_t slot : free_slots_) free_slot[slot] = true;
+    std::size_t unclonable = 0;
+    for (std::size_t slot = 0; slot < slot_meta_.size(); ++slot)
+        if (!free_slot[slot] && !slot_meta_[slot].cancelled &&
+            !slot_fns_[slot].clonable())
+            ++unclonable;
+    util::require(unclonable == 0,
+                  "Engine::snapshot: " + std::to_string(unclonable) +
+                      " pending callback(s) have move-only captures and cannot be "
+                      "cloned into a snapshot");
+
+    Snapshot snap(arena_);
+    snap.owner_ = this;
+    snap.now_ = now_;
+    snap.next_seq_ = next_seq_;
+    snap.live_count_ = live_count_;
+    snap.stats_ = stats_;
+    snap.heap_.assign(heap_.begin(), heap_.end());
+    snap.slot_meta_.assign(slot_meta_.begin(), slot_meta_.end());
+    snap.free_slots_.assign(free_slots_.begin(), free_slots_.end());
+    snap.slot_fns_.reserve(slot_fns_.size());
+    for (std::size_t slot = 0; slot < slot_fns_.size(); ++slot) {
+        const bool live = !free_slot[slot] && !slot_meta_[slot].cancelled;
+        snap.slot_fns_.push_back(live ? slot_fns_[slot].clone() : Callback{});
+    }
+    if (arena_ != nullptr) {
+        // Watermark *above* the image: every restore rewinds to here, so the
+        // image survives while all post-snapshot allocations are reclaimed.
+        snap.checkpoint_ = arena_->checkpoint();
+        snap.has_checkpoint_ = true;
+    }
+    return snap;
+}
+
+void Engine::restore(const Snapshot& snap) {
+    util::require(snap.owner_ == this,
+                  "Engine::restore: snapshot was taken from a different engine");
+    // Drop the current calendar *before* rewinding: slot_fns_ may hold
+    // heap-mode callbacks whose payloads must be destroyed, and in arena
+    // mode the vectors' buffers are about to be poisoned.
+    heap_ = decltype(heap_)(util::ArenaAllocator<Entry>(arena_));
+    slot_meta_ = decltype(slot_meta_)(util::ArenaAllocator<SlotMeta>(arena_));
+    slot_fns_ = decltype(slot_fns_)(util::ArenaAllocator<Callback>(arena_));
+    free_slots_ = decltype(free_slots_)(util::ArenaAllocator<std::uint32_t>(arena_));
+    if (snap.has_checkpoint_) arena_->rewind(snap.checkpoint_);
+    heap_.assign(snap.heap_.begin(), snap.heap_.end());
+    slot_meta_.assign(snap.slot_meta_.begin(), snap.slot_meta_.end());
+    free_slots_.assign(snap.free_slots_.begin(), snap.free_slots_.end());
+    slot_fns_.reserve(snap.slot_fns_.size());
+    for (const Callback& fn : snap.slot_fns_) slot_fns_.push_back(fn.clone());
+    now_ = snap.now_;
+    next_seq_ = snap.next_seq_;
+    live_count_ = snap.live_count_;
+    stats_ = snap.stats_;
 }
 
 PeriodicTask::PeriodicTask(Engine& engine, Duration interval, Tick tick)

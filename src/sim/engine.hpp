@@ -108,6 +108,31 @@ public:
     /// components you want instrumented (see obs/obs.hpp).
     [[nodiscard]] obs::Hub& obs() { return obs_; }
 
+    class Snapshot;
+
+    /// Capture the full calendar — heap entries (tombstones included), the
+    /// slot/generation table, the free list, pending callbacks, sim clock,
+    /// seq counter and stats — into an image. In arena mode the image's
+    /// storage is carved from the replica arena and an Arena::Checkpoint is
+    /// recorded just above it, so restore() is a cursor rewind plus a flat
+    /// copy, not a deep heap walk.
+    ///
+    /// Preconditions: every *live* pending callback must be clonable()
+    /// (copy-constructible capture) — throws PreconditionError naming the
+    /// offender count otherwise. The snapshot must be destroyed before the
+    /// backing arena is reset or released.
+    [[nodiscard]] Snapshot snapshot();
+
+    /// Rewind this engine to `snap` (restore-in-place). Calendar, clock, seq
+    /// counter, slot generations and stats come back exactly, so EventIds
+    /// held by components stay valid and the resumed run is byte-identical
+    /// to a run that never left the snapshot point. May be called any number
+    /// of times on the same snapshot; in arena mode each call reclaims all
+    /// arena allocations made since snapshot() (including by components).
+    /// Does not touch the logger or obs hub (observability is not sim
+    /// state). `snap` must have been taken from this engine.
+    void restore(const Snapshot& snap);
+
 private:
     /// Heap entries are 24-byte PODs — the callback lives in the slot table —
     /// so sifting the calendar copies plain words, never callables. The heap
@@ -164,6 +189,47 @@ private:
     obs::Hub obs_;
 };
 
+/// The image Engine::snapshot() produces. Move-only; owns deep clones of the
+/// pending callbacks (cancelled slots keep an empty placeholder — their
+/// callback can never run, only their tombstone metadata matters). Destroy
+/// before resetting/releasing the arena that backs it.
+class Engine::Snapshot {
+public:
+    Snapshot(Snapshot&&) noexcept = default;
+    Snapshot& operator=(Snapshot&&) noexcept = default;
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    /// Sim clock at capture (the fork point).
+    [[nodiscard]] TimePoint now() const { return now_; }
+    /// Approximate image footprint, for the sweep fork-stats report.
+    [[nodiscard]] std::size_t bytes() const {
+        return heap_.size() * sizeof(Entry) + slot_meta_.size() * sizeof(SlotMeta) +
+               slot_fns_.size() * sizeof(Callback) +
+               free_slots_.size() * sizeof(std::uint32_t);
+    }
+
+private:
+    friend class Engine;
+    explicit Snapshot(util::Arena* arena)
+        : heap_(util::ArenaAllocator<Entry>(arena)),
+          slot_meta_(util::ArenaAllocator<SlotMeta>(arena)),
+          slot_fns_(util::ArenaAllocator<Callback>(arena)),
+          free_slots_(util::ArenaAllocator<std::uint32_t>(arena)) {}
+
+    const Engine* owner_ = nullptr;
+    TimePoint now_{};
+    std::uint64_t next_seq_ = 1;
+    std::size_t live_count_ = 0;
+    EngineStats stats_;
+    std::vector<Entry, util::ArenaAllocator<Entry>> heap_;
+    std::vector<SlotMeta, util::ArenaAllocator<SlotMeta>> slot_meta_;
+    std::vector<Callback, util::ArenaAllocator<Callback>> slot_fns_;
+    std::vector<std::uint32_t, util::ArenaAllocator<std::uint32_t>> free_slots_;
+    bool has_checkpoint_ = false;
+    util::Arena::Checkpoint checkpoint_;  ///< watermark just above the image
+};
+
 /// A repeating task: reschedules itself every `interval` until stopped.
 /// Models the daemons' fixed polling cycles ("per 5 mins" in Fig 1,
 /// "e.g. 10mins" in §IV.A.3).
@@ -190,6 +256,19 @@ public:
 
     /// Change the cycle length; takes effect from the next scheduling.
     void set_interval(Duration interval);
+
+    /// World-snapshot hook: the armed-event id and running flag are the only
+    /// mutable state. The EventId is only valid together with an exact
+    /// Engine::restore() of the calendar it points into.
+    struct SavedState {
+        EventId pending{};
+        bool running = false;
+    };
+    [[nodiscard]] SavedState save_state() const { return {pending_, running_}; }
+    void restore_state(const SavedState& s) {
+        pending_ = s.pending;
+        running_ = s.running;
+    }
 
 private:
     void arm(Duration delay);

@@ -32,8 +32,11 @@ int resolve_threads(int requested) {
     return hw == 0 ? 1 : static_cast<int>(hw < 256 ? hw : 256);
 }
 
-SweepStats run_indexed(std::size_t count, int threads, const ReplicaFn& fn) {
-    util::require(static_cast<bool>(fn), "sweep::run_indexed: null replica function");
+namespace detail {
+
+SweepStats run_pool(std::size_t count, int threads, const ReplicaFn& fn,
+                    const PoolHooks& hooks) {
+    util::require(static_cast<bool>(fn), "sweep::run_pool: null replica function");
     SweepStats stats;
     stats.replicas = count;
     int n = resolve_threads(threads);
@@ -46,10 +49,21 @@ SweepStats run_indexed(std::size_t count, int threads, const ReplicaFn& fn) {
         // is the pre-sweep serial loop (plus the arena).
         util::Arena arena;
         WorkerContext ctx{0, &arena};
-        for (std::size_t slot = 0; slot < count; ++slot) {
-            fn(slot, ctx);
-            arena.reset();
+        bool opened = false;
+        try {
+            for (std::size_t slot = 0; slot < count; ++slot) {
+                if (!opened && hooks.open) {
+                    hooks.open(ctx);
+                    opened = true;
+                }
+                fn(slot, ctx);
+                if (hooks.reset_arena_between) arena.reset();
+            }
+        } catch (...) {
+            if (opened && hooks.close) hooks.close(ctx);
+            throw;
         }
+        if ((opened || !hooks.open) && hooks.close) hooks.close(ctx);
     } else {
         std::vector<WorkerDeque> deques(static_cast<std::size_t>(n));
         // Deal contiguous runs: worker w starts on the slots nearest its
@@ -69,8 +83,9 @@ SweepStats run_indexed(std::size_t count, int threads, const ReplicaFn& fn) {
         auto worker = [&](int me) {
             util::Arena arena;
             WorkerContext ctx{me, &arena};
+            bool opened = false;
             for (;;) {
-                if (failed.load(std::memory_order_relaxed)) return;
+                if (failed.load(std::memory_order_relaxed)) break;
                 std::size_t slot = 0;
                 bool found = false;
                 bool stolen = false;
@@ -94,16 +109,31 @@ SweepStats run_indexed(std::size_t count, int threads, const ReplicaFn& fn) {
                         stolen = true;
                     }
                 }
-                if (!found) return;
+                if (!found) break;
                 if (stolen) steals.fetch_add(1, std::memory_order_relaxed);
                 try {
+                    // Lazy open: a worker whose whole deque was stolen never
+                    // pays for a prefix it will not use.
+                    if (!opened && hooks.open) {
+                        hooks.open(ctx);
+                        opened = true;
+                    }
                     fn(slot, ctx);
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(error_mutex);
                     if (first_error == nullptr) first_error = std::current_exception();
                     failed.store(true, std::memory_order_relaxed);
                 }
-                arena.reset();
+                if (hooks.reset_arena_between) arena.reset();
+            }
+            if ((opened || !hooks.open) && hooks.close) {
+                try {
+                    hooks.close(ctx);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (first_error == nullptr) first_error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                }
             }
         };
 
@@ -121,6 +151,12 @@ SweepStats run_indexed(std::size_t count, int threads, const ReplicaFn& fn) {
     stats.replicas_per_sec =
         wall_s > 0 ? static_cast<double>(count) / wall_s : 0.0;
     return stats;
+}
+
+}  // namespace detail
+
+SweepStats run_indexed(std::size_t count, int threads, const ReplicaFn& fn) {
+    return detail::run_pool(count, threads, fn, detail::PoolHooks{});
 }
 
 ScenarioReplica make_replica(core::ScenarioConfig config,
@@ -149,6 +185,45 @@ ScenarioSweepResult run_scenarios(std::vector<ScenarioReplica> replicas, int thr
         });
     // Slot-ordered aggregation on the caller's thread: the merged histogram
     // is the same object for any thread count.
+    for (const core::ScenarioResult& result : out.results) {
+        util::Histogram h(0, kWaitHistMaxS, kWaitHistBuckets);
+        if (result.summary.completed > 0) h.add(result.summary.mean_wait_s);
+        out.mean_wait_hist.merge(h);
+    }
+    return out;
+}
+
+ScenarioSweepResult run_forked_scenarios(const ForkCampaign& campaign, int threads,
+                                         ForkStats* fork_stats) {
+    util::require(campaign.labels.empty() ||
+                      campaign.labels.size() == campaign.variants.size(),
+                  "run_forked_scenarios: labels must be empty or match variants");
+    static const std::vector<workload::JobSpec> kEmptyTrace;
+    ScenarioSweepResult out;
+    ForkStats fs;
+    out.results = run_forked(
+        campaign.variants.size(), threads,
+        [&](WorkerContext& ctx) {
+            core::ScenarioConfig config = campaign.base;
+            config.arena = ctx.arena;
+            const auto& trace =
+                campaign.trace != nullptr ? *campaign.trace : kEmptyTrace;
+            auto world = std::make_unique<core::ScenarioWorld>(config, trace);
+            world->run_until(campaign.fork_at);
+            return world;
+        },
+        [&](core::ScenarioWorld& world, std::size_t slot) {
+            campaign.variants[slot](world);
+            world.run_until(world.horizon_end());
+            core::ScenarioResult result = world.finish();
+            if (!campaign.labels.empty() && !campaign.labels[slot].empty())
+                result.label = campaign.labels[slot];
+            return result;
+        },
+        &fs, &out.stats);
+    fs.prefix_sim_s = campaign.fork_at.seconds();
+    fs.suffix_sim_s = (sim::TimePoint{} + campaign.base.horizon - campaign.fork_at).seconds();
+    if (fork_stats != nullptr) *fork_stats = fs;
     for (const core::ScenarioResult& result : out.results) {
         util::Histogram h(0, kWaitHistMaxS, kWaitHistBuckets);
         if (result.summary.completed > 0) h.add(result.summary.mean_wait_s);

@@ -71,6 +71,108 @@ using ReplicaFn = std::function<void(std::size_t slot, WorkerContext&)>;
 /// a replica is rethrown here (remaining queued replicas are abandoned).
 SweepStats run_indexed(std::size_t count, int threads, const ReplicaFn& fn);
 
+namespace detail {
+
+/// Per-worker lifecycle hooks for run_pool. `open` runs lazily on a worker's
+/// thread just before its first replica (a worker that never claims a slot
+/// never pays it); `close` runs before the worker's arena is destroyed, on
+/// every exit path. With `reset_arena_between` false the worker's arena
+/// carries state across replicas (the forked path's snapshot image lives
+/// there) — open/fn/close must manage lifetimes themselves.
+struct PoolHooks {
+    std::function<void(WorkerContext&)> open;
+    std::function<void(WorkerContext&)> close;
+    bool reset_arena_between = true;
+};
+
+SweepStats run_pool(std::size_t count, int threads, const ReplicaFn& fn,
+                    const PoolHooks& hooks);
+
+}  // namespace detail
+
+/// Execution envelope of one forked (warm-started) sweep.
+struct ForkStats {
+    int prefixes = 0;               ///< shared prefixes executed (one per active worker)
+    std::uint64_t forks = 0;        ///< suffixes launched from a restored snapshot
+    std::size_t snapshot_bytes = 0; ///< max calendar-image footprint across workers
+    double prefix_sim_s = 0;        ///< sim-time covered once by the shared prefix
+    double suffix_sim_s = 0;        ///< sim-time re-run per suffix
+};
+
+/// Copy-on-write fan-out: run a shared prefix ONCE per worker, then deal N
+/// divergent suffixes across the pool, each starting from a restored
+/// snapshot of the prefix instead of a cold replay.
+///
+/// `prefix(ctx)` builds a world on the worker's arena and drives it to the
+/// divergence point, returning something unique_ptr-like with
+/// `->snapshot()` / `->restore(snap)` (core::ScenarioWorld is the house
+/// type). `suffix(world, slot)` applies slot's divergence, drives to the
+/// end, and returns that slot's result. Determinism contract (pinned by the
+/// forked-vs-cold goldens): `prefix` must not depend on the worker id —
+/// every worker builds the same world — and `suffix` only on its slot, so
+/// results are byte-identical at any thread count, steals included.
+///
+/// Worker lifetime: the snapshot image and the world both ride the worker
+/// arena, which is NOT reset between suffixes (restore() rewinds to the
+/// snapshot watermark instead, reclaiming each suffix's garbage in O(1)).
+template <class PrefixFn, class SuffixFn>
+auto run_forked(std::size_t count, int threads, PrefixFn&& prefix, SuffixFn&& suffix,
+                ForkStats* fork_stats = nullptr, SweepStats* stats = nullptr) {
+    using WorldPtr = decltype(prefix(std::declval<WorkerContext&>()));
+    using World = typename WorldPtr::element_type;
+    using Snapshot = decltype(std::declval<World&>().snapshot());
+    using Result = decltype(suffix(std::declval<World&>(), std::size_t{0}));
+
+    int n = resolve_threads(threads);
+    if (static_cast<std::size_t>(n) > count) n = count == 0 ? 1 : static_cast<int>(count);
+
+    struct Session {
+        WorldPtr world{};
+        std::unique_ptr<Snapshot> snap;
+        std::uint64_t forks = 0;
+        std::size_t snapshot_bytes = 0;
+    };
+    std::vector<Session> sessions(static_cast<std::size_t>(n));
+    std::vector<Result> out(count);
+
+    detail::PoolHooks hooks;
+    hooks.reset_arena_between = false;
+    hooks.open = [&](WorkerContext& ctx) {
+        Session& s = sessions[static_cast<std::size_t>(ctx.worker)];
+        s.world = prefix(ctx);
+        // The image is allocated below the arena watermark recorded inside
+        // snapshot(), so every later restore() rewind preserves it.
+        s.snap = std::make_unique<Snapshot>(s.world->snapshot());
+        s.snapshot_bytes = s.snap->bytes();
+    };
+    hooks.close = [&](WorkerContext& ctx) {
+        // Destroy world + snapshot before the worker arena goes away.
+        Session& s = sessions[static_cast<std::size_t>(ctx.worker)];
+        s.snap.reset();
+        s.world = WorldPtr{};
+    };
+    const SweepStats sw = detail::run_pool(
+        count, n,
+        [&](std::size_t slot, WorkerContext& ctx) {
+            Session& s = sessions[static_cast<std::size_t>(ctx.worker)];
+            s.world->restore(*s.snap);
+            ++s.forks;
+            out[slot] = suffix(*s.world, slot);
+        },
+        hooks);
+    if (stats != nullptr) *stats = sw;
+    if (fork_stats != nullptr) {
+        ForkStats fs;
+        for (const Session& s : sessions) {
+            if (s.snapshot_bytes > 0 || s.forks > 0) ++fs.prefixes;
+            fs.forks += s.forks;
+            if (s.snapshot_bytes > fs.snapshot_bytes) fs.snapshot_bytes = s.snapshot_bytes;
+        }
+        *fork_stats = fs;
+    }
+    return out;
+}
+
 /// Typed fan-out: collect `fn`'s return values into a slot-indexed vector.
 /// Result must be default-constructible and movable.
 template <class Result, class Fn>
@@ -118,5 +220,29 @@ struct ScenarioSweepResult {
 /// any thread count.
 [[nodiscard]] ScenarioSweepResult run_scenarios(std::vector<ScenarioReplica> replicas,
                                                 int threads);
+
+// ---- forked scenario campaigns ---------------------------------------------
+
+/// A campaign that shares one simulated prefix: the base scenario runs cold
+/// to `fork_at`, is snapshotted, and each variant's divergence closure is
+/// applied to a restored copy before running out to the base horizon.
+/// Variant closures must be deterministic functions of their slot (the
+/// house pattern captures only values) — they run once per suffix, on
+/// whichever worker claimed the slot.
+struct ForkCampaign {
+    core::ScenarioConfig base;
+    std::shared_ptr<const std::vector<workload::JobSpec>> trace;
+    sim::TimePoint fork_at{};  ///< absolute sim time of the divergence point
+    std::vector<std::function<void(core::ScenarioWorld&)>> variants;
+    std::vector<std::string> labels;  ///< optional, parallel to variants
+};
+
+/// Run a ForkCampaign through run_forked(): the prefix executes once per
+/// worker, every variant suffix starts from the snapshot. Results are
+/// slot-indexed by variant and byte-identical to cold runs that apply the
+/// same divergence at the same sim time.
+[[nodiscard]] ScenarioSweepResult run_forked_scenarios(const ForkCampaign& campaign,
+                                                       int threads,
+                                                       ForkStats* fork_stats = nullptr);
 
 }  // namespace hc::sweep

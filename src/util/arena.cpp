@@ -100,6 +100,54 @@ void* Arena::allocate_slow(std::size_t size, std::size_t align) {
     return p;
 }
 
+Arena::Checkpoint Arena::checkpoint() const {
+    Checkpoint cp;
+    cp.null_cursor = cursor_ == nullptr;
+    if (!cp.null_cursor) {
+        cp.block_index = current_;
+        cp.cursor_offset = static_cast<std::size_t>(cursor_ - blocks_[current_].data);
+    }
+    cp.bytes_used = bytes_used_;
+    cp.oversized_count = oversized_.size();
+    cp.reset_count = reset_count_;
+    return cp;
+}
+
+void Arena::rewind(const Checkpoint& cp) {
+    require(cp.reset_count == reset_count_,
+            "Arena::rewind: checkpoint predates a reset() — stale watermark");
+    require(cp.oversized_count <= oversized_.size(),
+            "Arena::rewind: checkpoint records more oversized blocks than live");
+    require(cp.null_cursor || cp.block_index < blocks_.size(),
+            "Arena::rewind: checkpoint block index out of range");
+    // Oversized blocks minted above the watermark go back to the heap.
+    for (std::size_t i = cp.oversized_count; i < oversized_.size(); ++i) {
+        HC_ARENA_UNPOISON(oversized_[i].data, oversized_[i].size);
+        bytes_reserved_ -= oversized_[i].size;
+        ::operator delete(oversized_[i].data);
+    }
+    oversized_.resize(cp.oversized_count);
+    if (cp.null_cursor) {
+        // Captured before any bump allocation since the last reset: reclaim
+        // (and re-poison) every retained block.
+        for (const Block& block : blocks_) HC_ARENA_POISON(block.data, block.size);
+        current_ = 0;
+        cursor_ = nullptr;
+        end_ = nullptr;
+    } else {
+        // Re-poison the reclaimed region: the tail of the watermark block
+        // plus every retained block carved after it. Anything below the
+        // watermark (the snapshot image) stays addressable.
+        current_ = cp.block_index;
+        cursor_ = blocks_[current_].data + cp.cursor_offset;
+        end_ = blocks_[current_].data + blocks_[current_].size;
+        HC_ARENA_POISON(cursor_, static_cast<std::size_t>(end_ - cursor_));
+        for (std::size_t i = current_ + 1; i < blocks_.size(); ++i)
+            HC_ARENA_POISON(blocks_[i].data, blocks_[i].size);
+    }
+    bytes_used_ = cp.bytes_used;
+}
+
 void Arena::reset() {
     for (const Block& block : oversized_) {
         HC_ARENA_UNPOISON(block.data, block.size);

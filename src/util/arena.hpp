@@ -53,8 +53,31 @@ public:
 
     /// Reclaim every allocation at once: rewind to the first block, keep the
     /// normal blocks for reuse, free the oversized ones. Under ASan the
-    /// retained capacity is poisoned until re-allocated.
+    /// retained capacity is poisoned until re-allocated. Invalidates any
+    /// outstanding Checkpoint (rewind() guards against stale ones).
     void reset();
+
+    /// A bump-cursor watermark: everything allocated before checkpoint()
+    /// survives a rewind(), everything after is reclaimed. This is what makes
+    /// an engine snapshot image cheap to restore from — the image sits below
+    /// the watermark and each forked suffix's allocations sit above it.
+    struct Checkpoint {
+        std::size_t block_index = 0;
+        std::size_t cursor_offset = 0;  ///< into blocks_[block_index]
+        std::size_t bytes_used = 0;
+        std::size_t oversized_count = 0;  ///< oversized blocks live at capture
+        std::size_t reset_count = 0;      ///< guard: stale after reset()
+        bool null_cursor = true;          ///< captured before any allocation
+    };
+
+    [[nodiscard]] Checkpoint checkpoint() const;
+
+    /// Roll the cursor back to `cp`: oversized blocks minted since are freed,
+    /// retained-block space above the watermark is reclaimed (and re-poisoned
+    /// under ASan, so stale suffix pointers fault loudly). Rewinding to the
+    /// same checkpoint repeatedly is the forked-suffix loop's core operation.
+    /// Throws PreconditionError if the arena was reset() since capture.
+    void rewind(const Checkpoint& cp);
 
     /// Free every block, retained or not (reset() first to keep capacity).
     void release();

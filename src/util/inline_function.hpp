@@ -13,6 +13,12 @@
 //   * invoking an empty InlineFunction is undefined — callers check with
 //     operator bool at the API boundary (Engine::schedule_at does), not per
 //     dispatch.
+//
+// Snapshot support: a callable whose capture is copy-constructible can be
+// duplicated with clone() (the engine snapshot does this for every pending
+// calendar entry). Callables with move-only captures still schedule fine —
+// they just report clonable() == false, and Engine::snapshot() refuses with
+// a descriptive error instead of slicing them.
 #pragma once
 
 #include <cstddef>
@@ -73,6 +79,24 @@ public:
         }
     }
 
+    /// True when clone() is allowed: empty, or the stored callable's capture
+    /// is copy-constructible.
+    [[nodiscard]] bool clonable() const noexcept {
+        return vtable_ == nullptr || vtable_->copy != nullptr;
+    }
+
+    /// Duplicate the stored callable (precondition: clonable()). The clone is
+    /// independent — heap-mode payloads are deep-copied, inline payloads are
+    /// copy-constructed into the new buffer.
+    [[nodiscard]] InlineFunction clone() const {
+        InlineFunction out;
+        if (vtable_ != nullptr) {
+            vtable_->copy(out.storage_, storage_);
+            out.vtable_ = vtable_;
+        }
+        return out;
+    }
+
     /// True when a callable of type D would be stored without allocating.
     template <class D>
     [[nodiscard]] static constexpr bool fits_inline() {
@@ -85,7 +109,30 @@ private:
         R (*invoke)(void*, Args&&...);
         void (*relocate)(void* dst, void* src);  ///< move-construct dst, destroy src
         void (*destroy)(void*);
+        void (*copy)(void* dst, const void* src);  ///< nullptr: capture not copyable
     };
+
+    template <class D>
+    static constexpr auto inline_copy_fn() {
+        using Fn = void (*)(void*, const void*);
+        if constexpr (std::is_copy_constructible_v<D>)
+            return Fn{[](void* dst, const void* src) {
+                ::new (dst) D(*static_cast<const D*>(src));
+            }};
+        else
+            return Fn{nullptr};
+    }
+
+    template <class D>
+    static constexpr auto heap_copy_fn() {
+        using Fn = void (*)(void*, const void*);
+        if constexpr (std::is_copy_constructible_v<D>)
+            return Fn{[](void* dst, const void* src) {
+                ::new (dst) D*(new D(**static_cast<D* const*>(src)));
+            }};
+        else
+            return Fn{nullptr};
+    }
 
     template <class D>
     static constexpr VTable inline_vtable{
@@ -97,6 +144,7 @@ private:
             static_cast<D*>(src)->~D();
         },
         [](void* s) { static_cast<D*>(s)->~D(); },
+        inline_copy_fn<D>(),
     };
 
     template <class D>
@@ -106,6 +154,7 @@ private:
         },
         [](void* dst, void* src) { ::new (dst) D*(*static_cast<D**>(src)); },
         [](void* s) { delete *static_cast<D**>(s); },
+        heap_copy_fn<D>(),
     };
 
     void steal(InlineFunction& other) noexcept {

@@ -618,4 +618,62 @@ std::string HpcScheduler::node_list_output() const {
     return out;
 }
 
+HpcScheduler::SavedState HpcScheduler::save_state() const {
+    util::require(!in_cycle_, "HpcScheduler::save_state: cannot snapshot mid-cycle");
+    SavedState s;
+    s.next_id = next_id_;
+    s.nodes = nodes_;
+    for (const auto& [id, job] : jobs_) s.jobs.emplace(id, *job);
+    for (const HpcJob* j = queue_head_; j != nullptr; j = j->queue_next)
+        s.queue_order.push_back(j->id);
+    s.running_count = running_count_;
+    s.queue_unlinks = queue_unlinks_;
+    s.free_core_agg = free_core_agg_;
+    s.free_nodes = free_nodes_;
+    s.idle_nodes = idle_nodes_;
+    s.completion_events = completion_events_;
+    s.task_events = task_events_;
+    s.limit_events = limit_events_;
+    s.stats = stats_;
+    return s;
+}
+
+void HpcScheduler::restore_state(const SavedState& s) {
+    util::require(!in_cycle_, "HpcScheduler::restore_state: cannot restore mid-cycle");
+    next_id_ = s.next_id;
+    nodes_ = s.nodes;
+    jobs_.clear();
+    for (const auto& [id, job] : s.jobs) {
+        auto copy = std::make_unique<HpcJob>(job);
+        copy->queue_prev = nullptr;  // relinked below from the saved order
+        copy->queue_next = nullptr;
+        jobs_.emplace(id, std::move(copy));
+    }
+    queue_head_ = nullptr;
+    queue_tail_ = nullptr;
+    queued_count_ = 0;
+    for (const int id : s.queue_order) {
+        HpcJob* job = jobs_.at(id).get();
+        job->in_queue = true;
+        job->queue_prev = queue_tail_;
+        if (queue_tail_ != nullptr)
+            queue_tail_->queue_next = job;
+        else
+            queue_head_ = job;
+        queue_tail_ = job;
+        ++queued_count_;
+    }
+    running_count_ = s.running_count;
+    queue_unlinks_ = s.queue_unlinks;
+    free_core_agg_ = s.free_core_agg;
+    free_nodes_ = s.free_nodes;
+    idle_nodes_ = s.idle_nodes;
+    completion_events_ = s.completion_events;
+    task_events_ = s.task_events;
+    limit_events_ = s.limit_events;
+    in_cycle_ = false;
+    cycle_again_ = false;
+    stats_ = s.stats;
+}
+
 }  // namespace hc::winhpc

@@ -263,6 +263,28 @@ private:
     HpcStats stats_;
     obs::Counter obs_cycles_;   ///< winhpc.sched.cycles (inert when obs is off)
     obs::TrackId obs_track_{};  ///< "winhpc/sched" trace row
+
+public:
+    /// World-snapshot hook, mirroring PbsServer::SavedState: deep job
+    /// copies, the queued-list order, node records, index sets, and the
+    /// pending completion/task/limit EventIds. Pair with Engine::restore().
+    struct SavedState {
+        int next_id = 1;
+        std::vector<HpcNodeRecord> nodes;
+        std::map<int, HpcJob> jobs;
+        std::vector<int> queue_order;  ///< head→tail job-id list
+        std::size_t running_count = 0;
+        std::uint64_t queue_unlinks = 0;
+        int free_core_agg = 0;
+        std::set<int> free_nodes;
+        std::set<int> idle_nodes;
+        std::map<int, sim::EventId> completion_events;
+        std::map<int, std::vector<sim::EventId>> task_events;
+        std::map<int, sim::EventId> limit_events;
+        HpcStats stats;
+    };
+    [[nodiscard]] SavedState save_state() const;
+    void restore_state(const SavedState& s);
 };
 
 }  // namespace hc::winhpc

@@ -68,6 +68,11 @@ public:
     /// window used for utilisation.
     [[nodiscard]] Summary summarise(const ClusterCounters& counters, double horizon_s) const;
 
+    /// World-snapshot hook.
+    using SavedState = std::vector<JobOutcome>;
+    [[nodiscard]] SavedState save_state() const { return outcomes_; }
+    void restore_state(const SavedState& s) { outcomes_ = s; }
+
 private:
     std::vector<JobOutcome> outcomes_;
 };

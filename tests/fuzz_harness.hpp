@@ -71,30 +71,19 @@ inline std::vector<workload::JobSpec> make_workload(std::uint64_t seed,
     return trace;
 }
 
-/// One fuzz replica: build a random plan from the seed, run the full hybrid
-/// cluster over it, check every invariant. Entirely self-contained — state
-/// depends only on `cfg` — so replicas parallelise freely; `arena` (may be
-/// null) backs the engine calendar when run under a sweep worker.
-inline FuzzOutcome run_one(const FuzzRunConfig& cfg, util::Arena* arena = nullptr) {
-    FuzzOutcome outcome;
+/// The seed's random plan (shared by the cold and forked replica shapes).
+inline FaultPlan make_plan(const FuzzRunConfig& cfg) {
     RandomPlanOptions plan_options;
     plan_options.node_count = cfg.node_count;
     plan_options.horizon = cfg.horizon;
     plan_options.v2 = true;
-    outcome.plan = make_random_plan(plan_options, cfg.seed);
+    return make_random_plan(plan_options, cfg.seed);
+}
 
-    sim::Engine engine(/*unix_epoch=*/-1, arena);
-    core::HybridConfig hc;
-    hc.cluster.node_count = cfg.node_count;
-    hc.cluster.seed = cfg.seed;
-    hc.version = deploy::MiddlewareVersion::kV2;
-    hc.poll_interval = sim::minutes(10);
-    hc.fault_plan = outcome.plan;
-    hc.recovery.enabled = cfg.recovery;
-    core::HybridCluster hybrid(engine, hc);
-    hybrid.start();
-    hybrid.replay(make_workload(cfg.seed, cfg));
-
+/// Drive a started, loaded, fault-armed world to the horizon, quiesce, and
+/// check every invariant. Appends violations to `outcome`.
+inline void run_and_check_invariants(sim::Engine& engine, core::HybridCluster& hybrid,
+                                     const FuzzRunConfig& cfg, FuzzOutcome& outcome) {
     const sim::TimePoint horizon_end = sim::TimePoint{} + cfg.horizon;
     engine.run_until(horizon_end);
     auto check = [&](bool ok, const std::string& what) {
@@ -159,6 +148,75 @@ inline FuzzOutcome run_one(const FuzzRunConfig& cfg, util::Arena* arena = nullpt
         check(es.scheduled == es.dispatched + es.cancelled + engine.pending_events(),
               "engine event conservation violated");
     }
+}
+
+/// One fuzz replica: build a random plan from the seed, run the full hybrid
+/// cluster over it, check every invariant. Entirely self-contained — state
+/// depends only on `cfg` — so replicas parallelise freely; `arena` (may be
+/// null) backs the engine calendar when run under a sweep worker.
+inline FuzzOutcome run_one(const FuzzRunConfig& cfg, util::Arena* arena = nullptr) {
+    FuzzOutcome outcome;
+    outcome.plan = make_plan(cfg);
+
+    sim::Engine engine(/*unix_epoch=*/-1, arena);
+    core::HybridConfig hc;
+    hc.cluster.node_count = cfg.node_count;
+    hc.cluster.seed = cfg.seed;
+    hc.version = deploy::MiddlewareVersion::kV2;
+    hc.poll_interval = sim::minutes(10);
+    hc.fault_plan = outcome.plan;
+    hc.recovery.enabled = cfg.recovery;
+    core::HybridCluster hybrid(engine, hc);
+    hybrid.start();
+    hybrid.replay(make_workload(cfg.seed, cfg));
+    run_and_check_invariants(engine, hybrid, cfg, outcome);
+    return outcome;
+}
+
+/// The forked replica shape: one healthy world (fixed cluster seed, no
+/// baked-in plan) built once per sweep worker; each seed's workload + random
+/// plan is applied to a restored fork at t=0 via the divergence API
+/// (arm_faults + replay). Same invariant set as run_one — per-seed diversity
+/// comes from the plan and the workload, the cluster build is shared.
+struct FuzzWorld {
+    FuzzWorld(const FuzzRunConfig& cfg, util::Arena* arena)
+        : engine(/*unix_epoch=*/-1, arena), hybrid(engine, world_config(cfg)) {
+        hybrid.start();
+    }
+
+    static core::HybridConfig world_config(const FuzzRunConfig& cfg) {
+        core::HybridConfig hc;
+        hc.cluster.node_count = cfg.node_count;
+        hc.cluster.seed = 1;  // shared prefix: must not depend on the fuzz seed
+        hc.version = deploy::MiddlewareVersion::kV2;
+        hc.poll_interval = sim::minutes(10);
+        hc.recovery.enabled = cfg.recovery;
+        return hc;
+    }
+
+    struct Snapshot {
+        sim::Engine::Snapshot engine;
+        core::HybridCluster::SavedState world;
+        [[nodiscard]] std::size_t bytes() const { return engine.bytes(); }
+    };
+    [[nodiscard]] Snapshot snapshot() { return {engine.snapshot(), hybrid.save_state()}; }
+    void restore(const Snapshot& s) {
+        engine.restore(s.engine);
+        hybrid.restore_state(s.world);
+    }
+
+    sim::Engine engine;
+    core::HybridCluster hybrid;
+};
+
+/// One forked suffix: arm the seed's plan on the restored world, replay the
+/// seed's workload, drive to the horizon and judge. Deterministic per seed.
+inline FuzzOutcome run_forked_suffix(FuzzWorld& world, const FuzzRunConfig& cfg) {
+    FuzzOutcome outcome;
+    outcome.plan = make_plan(cfg);
+    world.hybrid.arm_faults(outcome.plan, cfg.seed);
+    world.hybrid.replay(make_workload(cfg.seed, cfg));
+    run_and_check_invariants(world.engine, world.hybrid, cfg, outcome);
     return outcome;
 }
 

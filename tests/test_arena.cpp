@@ -139,6 +139,80 @@ TEST(Arena, PoisonsReclaimedMemoryOnResetUnderAsan) {
 #endif
 }
 
+// ---- checkpoint / rewind (the snapshot-image watermark) --------------------
+
+TEST(ArenaCheckpoint, RewindReclaimsEverythingAboveTheWatermark) {
+    Arena arena(4096);
+    char* image = static_cast<char*>(arena.allocate(256));
+    std::memset(image, 0x42, 256);
+    const Arena::Checkpoint cp = arena.checkpoint();
+    const std::size_t used_at_cp = arena.bytes_used();
+
+    // Rewinding to the same watermark repeatedly is the forked-suffix loop:
+    // each round's garbage — spilled blocks and oversized one-offs alike —
+    // comes back, and the image below the watermark is untouched.
+    for (int round = 0; round < 3; ++round) {
+        char* suffix = static_cast<char*>(arena.allocate(512));
+        std::memset(suffix, 0x7f, 512);
+        for (int i = 0; i < 40; ++i) (void)arena.allocate(512);  // spill blocks
+        (void)arena.allocate(32 * 1024);                         // oversized
+        EXPECT_GE(arena.oversized_block_count(), 1u);
+
+        arena.rewind(cp);
+        EXPECT_EQ(arena.bytes_used(), used_at_cp) << "round " << round;
+        EXPECT_EQ(arena.oversized_block_count(), 0u) << "round " << round;
+        for (std::size_t b = 0; b < 256; ++b)
+            ASSERT_EQ(static_cast<unsigned char>(image[b]), 0x42u) << "round " << round;
+        // The bump cursor is back at the watermark: the next allocation
+        // lands exactly where the first suffix allocation did.
+        char* again = static_cast<char*>(arena.allocate(512));
+        EXPECT_EQ(again, suffix);
+        arena.rewind(cp);
+    }
+}
+
+TEST(ArenaCheckpoint, NullCursorCheckpointRewindsToEmpty) {
+    Arena arena(4096);
+    const Arena::Checkpoint cp = arena.checkpoint();  // before any allocation
+    void* first = arena.allocate(64);
+    (void)arena.allocate(8 * 1024);  // oversized
+    arena.rewind(cp);
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.oversized_block_count(), 0u);
+    EXPECT_EQ(arena.allocate(64), first);  // block 0 re-entered from the top
+}
+
+TEST(ArenaCheckpoint, StaleCheckpointAfterResetIsRejected) {
+    Arena arena(4096);
+    (void)arena.allocate(64);
+    const Arena::Checkpoint cp = arena.checkpoint();
+    arena.reset();
+    EXPECT_THROW(arena.rewind(cp), PreconditionError);
+}
+
+// The rewind/ASan contract (the fork loop's memory-safety story): rewinding
+// re-poisons the reclaimed region, so a pointer a suffix leaked into the
+// next fork faults loudly instead of silently reading the new fork's data.
+// Memory below the watermark — the snapshot image — stays addressable.
+TEST(ArenaCheckpoint, RewindRepoisonsReclaimedMemoryUnderAsan) {
+#ifdef HC_TEST_ASAN
+    Arena arena(4096);
+    char* image = static_cast<char*>(arena.allocate(64));
+    const Arena::Checkpoint cp = arena.checkpoint();
+    char* suffix = static_cast<char*>(arena.allocate(64));
+    EXPECT_FALSE(__asan_address_is_poisoned(suffix));
+    arena.rewind(cp);
+    EXPECT_FALSE(__asan_address_is_poisoned(image)) << "image must stay addressable";
+    EXPECT_TRUE(__asan_address_is_poisoned(suffix)) << "stale suffix memory must be poisoned";
+    // The next fork's allocation of the same range unpoisons it again.
+    char* again = static_cast<char*>(arena.allocate(64));
+    EXPECT_EQ(again, suffix);
+    EXPECT_FALSE(__asan_address_is_poisoned(again));
+#else
+    GTEST_SKIP() << "AddressSanitizer not enabled in this build";
+#endif
+}
+
 TEST(ArenaAllocator, VectorGrowsInsideArenaAndFallsBackWithout) {
     Arena arena;
     std::vector<int, ArenaAllocator<int>> in_arena{ArenaAllocator<int>(&arena)};

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,35 @@ void sweep(std::uint64_t first_seed, std::uint64_t count) {
 }
 
 TEST(FuzzInvariants, QuickShard) { sweep(/*first_seed=*/1, /*count=*/50); }
+
+// The warm-started shard: the same invariants through the snapshot/fork
+// path. One healthy world per worker, every seed's plan + workload armed on
+// a restored fork — so this shard doubles as an integration fuzz of
+// Engine::restore + the component SavedState round-trip under arbitrary
+// fault plans.
+TEST(FuzzInvariants, QuickShardForked) {
+    constexpr std::uint64_t kFirstSeed = 1;
+    constexpr std::size_t kCount = 50;
+    const auto outcomes = sweep::run_forked(
+        kCount, fuzz_threads(),
+        [](sweep::WorkerContext& ctx) {
+            FuzzRunConfig cfg;
+            return std::make_unique<FuzzWorld>(cfg, ctx.arena);
+        },
+        [](FuzzWorld& world, std::size_t slot) {
+            FuzzRunConfig cfg;
+            cfg.seed = kFirstSeed + slot;
+            return run_forked_suffix(world, cfg);
+        });
+    std::uint64_t failures = 0;
+    for (std::size_t slot = 0; slot < outcomes.size(); ++slot) {
+        for (const std::string& v : outcomes[slot].violations) {
+            ++failures;
+            ADD_FAILURE() << "forked seed " << kFirstSeed + slot << ": " << v;
+        }
+    }
+    EXPECT_EQ(failures, 0u);
+}
 
 // The full sweep: HC_FUZZ_SEEDS=500 ctest -L fuzz  (nightly, sanitized).
 TEST(FuzzInvariants, FullSweep) {

@@ -172,5 +172,133 @@ TEST(SweepDeterminism, RunScenariosResultsMatchAcrossThreads) {
     EXPECT_DOUBLE_EQ(a.mean_wait_hist.mean(), b.mean_wait_hist.mean());
 }
 
+// ---- forked-vs-cold goldens ------------------------------------------------
+
+// The warm-start guarantee: a campaign run through run_forked_scenarios()
+// (shared prefix, snapshot, fan-out) renders byte-identically to cold runs
+// that apply the same divergence at the same sim time — at any thread count,
+// steals included.
+
+std::string campaign_record_bytes(const std::vector<core::ScenarioResult>& results) {
+    bench::JsonReport report("fork-golden");
+    for (std::size_t slot = 0; slot < results.size(); ++slot)
+        bench::add_scenario_records(report, results[slot],
+                                    {{"slot", std::to_string(slot)}});
+    return report.render_records();
+}
+
+/// Cold reference: a fresh world per variant, same divergence at fork_at,
+/// no snapshot anywhere near it.
+std::string cold_campaign_bytes(const ForkCampaign& campaign) {
+    std::vector<core::ScenarioResult> results;
+    for (std::size_t slot = 0; slot < campaign.variants.size(); ++slot) {
+        core::ScenarioWorld world(campaign.base, *campaign.trace);
+        world.run_until(campaign.fork_at);
+        campaign.variants[slot](world);
+        world.run_until(world.horizon_end());
+        core::ScenarioResult result = world.finish();
+        if (!campaign.labels.empty() && !campaign.labels[slot].empty())
+            result.label = campaign.labels[slot];
+        results.push_back(std::move(result));
+    }
+    return campaign_record_bytes(results);
+}
+
+void expect_forked_matches_cold(const ForkCampaign& campaign, const char* what) {
+    const std::string cold = cold_campaign_bytes(campaign);
+    for (const int threads : {1, 4, 8}) {
+        ForkStats fs;
+        const auto out = run_forked_scenarios(campaign, threads, &fs);
+        EXPECT_EQ(campaign_record_bytes(out.results), cold)
+            << what << " diverged from cold at --threads " << threads;
+        EXPECT_EQ(fs.forks, campaign.variants.size()) << what;
+        EXPECT_GE(fs.prefixes, 1) << what;
+        EXPECT_GT(fs.snapshot_bytes, 0u) << what;
+        EXPECT_DOUBLE_EQ(fs.prefix_sim_s, campaign.fork_at.seconds()) << what;
+    }
+}
+
+// E2-shaped: the scenario-comparison workload, including an identity variant
+// (pure snapshot round-trip) next to real divergences.
+TEST(ForkedVsCold, E2ShapedCampaignByteIdentical) {
+    ForkCampaign campaign;
+    campaign.base.kind = core::ScenarioKind::kBiStableHybrid;
+    campaign.base.policy = core::PolicyKind::kFairShare;
+    campaign.base.linux_nodes = 12;
+    campaign.base.horizon = sim::hours(6);
+    campaign.base.message_drop_probability = 0.05;
+    campaign.base.boot_hang_probability = 0.02;
+    campaign.base.seed = 21;
+    campaign.trace = std::make_shared<const std::vector<workload::JobSpec>>(
+        bench::mixed_trace(0.25, /*seed=*/21, /*rate_per_hour=*/8.0, sim::hours(5)));
+    campaign.fork_at = sim::TimePoint{} + sim::hours(4);
+    campaign.variants.push_back([](core::ScenarioWorld&) {});  // identity
+    for (const auto policy : {core::PolicyKind::kFcfs, core::PolicyKind::kThreshold}) {
+        campaign.variants.push_back(
+            [policy](core::ScenarioWorld& w) { w.hybrid().set_policy(policy); });
+    }
+    expect_forked_matches_cold(campaign, "E2-shaped campaign");
+}
+
+// E5-shaped: robustness campaign — suffixes diverge by arming different
+// fault plans at injection time, recovery machinery running.
+TEST(ForkedVsCold, E5ShapedFaultCampaignByteIdentical) {
+    ForkCampaign campaign;
+    campaign.base.kind = core::ScenarioKind::kBiStableHybrid;
+    campaign.base.linux_nodes = 12;
+    campaign.base.horizon = sim::hours(6);
+    campaign.base.recovery.enabled = true;
+    campaign.base.seed = 23;
+    campaign.trace = std::make_shared<const std::vector<workload::JobSpec>>(
+        bench::mixed_trace(0.3, /*seed=*/23, /*rate_per_hour=*/8.0, sim::hours(5)));
+    campaign.fork_at = sim::TimePoint{} + sim::hours(2);
+    for (std::uint64_t fault_seed = 301; fault_seed <= 304; ++fault_seed) {
+        campaign.variants.push_back([fault_seed](core::ScenarioWorld& w) {
+            fault::RandomPlanOptions opts;
+            opts.horizon = sim::hours(3);
+            w.hybrid().arm_faults(fault::make_random_plan(opts, fault_seed), fault_seed);
+        });
+        campaign.labels.push_back("faults-" + std::to_string(fault_seed));
+    }
+    expect_forked_matches_cold(campaign, "E5-shaped fault campaign");
+}
+
+// E7-shaped: policy ablation — one prefix, every policy as a suffix.
+TEST(ForkedVsCold, E7ShapedPolicyAblationByteIdentical) {
+    ForkCampaign campaign;
+    campaign.base.kind = core::ScenarioKind::kBiStableHybrid;
+    campaign.base.policy = core::PolicyKind::kFcfs;
+    campaign.base.linux_nodes = 12;
+    campaign.base.horizon = sim::hours(6);
+    campaign.base.seed = 29;
+    campaign.trace = std::make_shared<const std::vector<workload::JobSpec>>(
+        bench::mixed_trace(0.3, /*seed=*/29, /*rate_per_hour=*/8.0, sim::hours(5)));
+    campaign.fork_at = sim::TimePoint{} + sim::hours(4);
+    for (const auto policy :
+         {core::PolicyKind::kFcfs, core::PolicyKind::kThreshold,
+          core::PolicyKind::kFairShare, core::PolicyKind::kPredictive}) {
+        campaign.variants.push_back(
+            [policy](core::ScenarioWorld& w) { w.hybrid().set_policy(policy); });
+        campaign.labels.push_back(std::string("ablation/") + core::policy_kind_name(policy));
+    }
+    expect_forked_matches_cold(campaign, "E7-shaped policy ablation");
+}
+
+// The fork envelope rides the report top level only — records (the
+// comparison surface) must not change when set_fork is attached.
+TEST(ForkedVsCold, ForkStatsStayOutOfRecordBytes) {
+    bench::JsonReport report("fork-envelope");
+    report.add("m", 1.0, "count", {});
+    const std::string before = report.render_records();
+    ForkStats fs;
+    fs.prefixes = 2;
+    fs.forks = 8;
+    fs.snapshot_bytes = 4096;
+    report.set_fork(fs);
+    EXPECT_EQ(report.render_records(), before);
+    EXPECT_NE(report.render().find("\"forks\": 8"), std::string::npos);
+    EXPECT_NE(report.render().find("\"snapshot_bytes\": 4096"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hc::sweep

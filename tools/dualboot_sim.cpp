@@ -227,6 +227,43 @@ int cmd_run(const std::map<std::string, std::string>& flags,
 // all replicas; each replica runs the scenario at seed first_seed + i through
 // the hc::sweep pool. Output (table, aggregates) is identical at any
 // --threads count — only the throughput line changes.
+//
+// An optional `fork` block switches the sweep to a warm-started campaign:
+// one world (seed first_seed) runs the shared prefix to `prefix_hours`, is
+// snapshotted, and every variant resumes from a restored fork. Variants
+// install a policy or arm a fault plan at the fork point (plan event times
+// are offsets relative to it):
+//
+//   "fork": {"prefix_hours": 16,
+//            "variants": [{"label": "stay-fcfs", "policy": "fcfs"},
+//                         {"policy": "fair-share", "cooldown": 3},
+//                         {"faults": "late_plan.json", "seed": 7}]}
+
+/// Load an hc-fault-plan/1 document, resolving relative paths against the
+/// spec file's directory (specs ship next to their plans).
+bool load_fault_plan(const std::string& rel, const std::string& spec_path,
+                     fault::FaultPlan& out) {
+    std::filesystem::path path(rel);
+    if (path.is_relative())
+        path = std::filesystem::path(spec_path).parent_path() / path;
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "dualboot-sim: cannot open fault plan %s\n",
+                     path.string().c_str());
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto plan = fault::parse_fault_plan(buf.str());
+    if (!plan.ok()) {
+        std::fprintf(stderr, "dualboot-sim: bad fault plan %s: %s\n", path.string().c_str(),
+                     plan.error_message().c_str());
+        return false;
+    }
+    out = plan.value();
+    return true;
+}
+
 int cmd_sweep(const std::string& spec_path, const std::map<std::string, std::string>& flags) {
     std::ifstream in(spec_path);
     if (!in) {
@@ -262,26 +299,7 @@ int cmd_sweep(const std::string& spec_path, const std::map<std::string, std::str
     // Optional fault plan, resolved relative to the spec file's directory so
     // specs can ship next to their plans.
     const std::string faults_rel = util::json_str_or(spec, "faults", "");
-    if (!faults_rel.empty()) {
-        std::filesystem::path faults_path(faults_rel);
-        if (faults_path.is_relative())
-            faults_path = std::filesystem::path(spec_path).parent_path() / faults_path;
-        std::ifstream fin(faults_path);
-        if (!fin) {
-            std::fprintf(stderr, "dualboot-sim: cannot open fault plan %s\n",
-                         faults_path.string().c_str());
-            return 1;
-        }
-        std::ostringstream fbuf;
-        fbuf << fin.rdbuf();
-        auto plan = fault::parse_fault_plan(fbuf.str());
-        if (!plan.ok()) {
-            std::fprintf(stderr, "dualboot-sim: bad fault plan %s: %s\n",
-                         faults_path.string().c_str(), plan.error_message().c_str());
-            return 1;
-        }
-        base.faults = plan.value();
-    }
+    if (!faults_rel.empty() && !load_fault_plan(faults_rel, spec_path, base.faults)) return 1;
     base.recovery.enabled =
         util::json_str_or(spec, "recovery", faults_rel.empty() ? "off" : "on") == "on";
 
@@ -313,6 +331,101 @@ int cmd_sweep(const std::string& spec_path, const std::map<std::string, std::str
         std::fprintf(stderr, "dualboot-sim: seed_count must be >= 1\n");
         return 1;
     }
+    const int threads = static_cast<int>(flag_or(flags, "threads", 0.0));
+
+    // Warm-started campaign: `fork` replaces the seed fan-out (the shared
+    // prefix runs at first_seed; per-variant diversity comes only from the
+    // divergence applied at the fork point).
+    if (const util::JsonValue* fork = spec.find("fork"); fork != nullptr) {
+        if (fork->type != util::JsonValue::Type::kObject) {
+            std::fprintf(stderr, "dualboot-sim: bad sweep spec %s: fork must be an object\n",
+                         spec_path.c_str());
+            return 1;
+        }
+        const double horizon_h = static_cast<double>(base.horizon.ms) / 3'600'000.0;
+        const double prefix_h = util::json_num_or(*fork, "prefix_hours", horizon_h / 2);
+        sweep::ForkCampaign campaign;
+        campaign.base = base;
+        campaign.base.seed = first_seed;
+        campaign.trace = trace;
+        campaign.fork_at = sim::TimePoint{} + sim::hours(prefix_h);
+        const util::JsonValue* variants = fork->find("variants");
+        if (variants == nullptr || variants->type != util::JsonValue::Type::kArray ||
+            variants->array.empty()) {
+            std::fprintf(stderr,
+                         "dualboot-sim: bad sweep spec %s: fork.variants must be a "
+                         "non-empty array\n",
+                         spec_path.c_str());
+            return 1;
+        }
+        for (const util::JsonValue& v : variants->array) {
+            if (v.type != util::JsonValue::Type::kObject) {
+                std::fprintf(stderr,
+                             "dualboot-sim: bad sweep spec %s: fork variant must be an "
+                             "object\n",
+                             spec_path.c_str());
+                return 1;
+            }
+            const std::string policy_name = util::json_str_or(v, "policy", "");
+            const std::string plan_rel = util::json_str_or(v, "faults", "");
+            std::string label = util::json_str_or(v, "label", "");
+            if (!policy_name.empty()) {
+                const core::PolicyKind policy = parse_policy(policy_name);
+                const int cooldown = static_cast<int>(util::json_num_or(v, "cooldown", -1));
+                campaign.variants.push_back([policy, cooldown](core::ScenarioWorld& world) {
+                    world.hybrid().set_policy(policy, cooldown);
+                });
+                if (label.empty()) label = policy_name;
+            } else if (!plan_rel.empty()) {
+                fault::FaultPlan plan;
+                if (!load_fault_plan(plan_rel, spec_path, plan)) return 1;
+                const auto seed =
+                    static_cast<std::uint64_t>(util::json_num_or(v, "seed", 1));
+                campaign.variants.push_back([plan, seed](core::ScenarioWorld& world) {
+                    world.hybrid().arm_faults(plan, seed);
+                });
+                if (label.empty()) label = "faults-" + std::to_string(seed);
+            } else {
+                std::fprintf(stderr,
+                             "dualboot-sim: bad sweep spec %s: fork variant needs "
+                             "\"policy\" or \"faults\"\n",
+                             spec_path.c_str());
+                return 1;
+            }
+            campaign.labels.push_back(label);
+        }
+
+        sweep::ForkStats fs;
+        const auto out = sweep::run_forked_scenarios(campaign, threads, &fs);
+        std::printf("sweep     : %s forked campaign, %zu variant(s), prefix %.1f h of "
+                    "%.1f h, %zu jobs\n",
+                    core::scenario_kind_name(base.kind), campaign.variants.size(), prefix_h,
+                    horizon_h, trace->size());
+        util::Table table({"variant", "done", "util", "mean wait", "wait(W)", "switches"});
+        table.set_alignment({util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                             util::Align::kRight, util::Align::kRight, util::Align::kRight});
+        for (const auto& r : out.results) {
+            const auto& s = r.summary;
+            table.add_row({r.label,
+                           std::to_string(s.completed) + "/" + std::to_string(s.submitted),
+                           util::format_fixed(s.utilisation * 100.0, 1) + "%",
+                           util::format_duration(static_cast<std::int64_t>(s.mean_wait_s)),
+                           util::format_duration(
+                               static_cast<std::int64_t>(s.mean_wait_windows_s)),
+                           std::to_string(s.os_switches)});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("pool      : %zu replica(s) on %d thread(s), %.1f ms wall "
+                    "(%.1f replicas/s, %llu steal(s))\n",
+                    out.stats.replicas, out.stats.threads, out.stats.wall_ms,
+                    out.stats.replicas_per_sec,
+                    static_cast<unsigned long long>(out.stats.steals));
+        std::printf("fork      : %d prefix(es), %llu fork(s), snapshot %zu B, "
+                    "prefix %.0f sim-s / suffix %.0f sim-s\n",
+                    fs.prefixes, static_cast<unsigned long long>(fs.forks),
+                    fs.snapshot_bytes, fs.prefix_sim_s, fs.suffix_sim_s);
+        return 0;
+    }
     std::vector<sweep::ScenarioReplica> replicas;
     replicas.reserve(seed_count);
     for (std::uint64_t i = 0; i < seed_count; ++i) {
@@ -321,7 +434,6 @@ int cmd_sweep(const std::string& spec_path, const std::map<std::string, std::str
         replicas.push_back({cfg, trace, "seed " + std::to_string(cfg.seed)});
     }
 
-    const int threads = static_cast<int>(flag_or(flags, "threads", 0.0));
     const auto out = sweep::run_scenarios(std::move(replicas), threads);
 
     std::printf("sweep     : %s x %llu seeds (%llu..%llu), %zu jobs/replica\n",
