@@ -1,0 +1,223 @@
+// E10 — elastic cloud bursting: reaction time and cost vs burst latency.
+//
+// Two axes, both deterministic (values depend only on seeds and sim time):
+//
+//  * Decision ablation — 16-node hybrid worlds under the burst-aware policy,
+//    swept over provision latency x queue mix x seed through hc::sweep. The
+//    cluster starts all-Linux so Windows arrivals stick (§III.B.4 stuck =
+//    zero running + jobs queued); rule 1 switches first, and the anti-flap
+//    cooldown is when bursting earns its keep. Measures request-to-ready
+//    reaction, accrued cost, and the Windows-side wait the rented capacity
+//    buys down.
+//
+//  * Backend at scale — 1k / 10k / 100k-node clusters with the elastic
+//    partition attached beside the full scheduler record set. A 32-node
+//    burst is driven directly through the backend (at these scales the
+//    on-prem donor always has idle nodes, so the decision loop correctly
+//    never rents); measures provision reaction, the idle-timeout
+//    scale-down, and ledger conservation as the record base grows 100x.
+//
+// `--json <path>` emits the hc-bench-json/1 record set; `--quick` shrinks
+// horizons only, so the record identities match a full run (bench_check).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cloud/cloud.hpp"
+#include "cluster/cluster.hpp"
+#include "pbs/server.hpp"
+
+using namespace hc;
+
+namespace {
+
+constexpr double kProvisionLatenciesS[] = {30, 120, 600};
+
+struct MixPoint {
+    const char* label;
+    double windows_share;
+};
+// 0.2 sits below mixed_trace's 0.25 flexible-policy knee, so the two mixes
+// genuinely differ (prefer-Windows vs split flexible jobs).
+constexpr MixPoint kMixes[] = {{"windows-heavy", 0.6}, {"balanced", 0.2}};
+
+constexpr std::uint64_t kFirstSeed = 1;
+constexpr std::uint64_t kSeedCount = 2;
+
+/// One decision-ablation replica config: a 16-node all-Linux start so the
+/// Windows queue sticks, with the elastic partition armed.
+core::ScenarioConfig ablation_config(double provision_s, std::uint64_t seed,
+                                     sim::Duration horizon) {
+    core::ScenarioConfig cfg;
+    cfg.kind = core::ScenarioKind::kBiStableHybrid;
+    cfg.policy = core::PolicyKind::kBurstAware;
+    cfg.node_count = 16;
+    cfg.linux_nodes = 16;
+    cfg.poll_interval = sim::minutes(10);
+    cfg.horizon = horizon;
+    cfg.seed = seed;
+    cfg.burst_cooldown_polls = 2;
+    cfg.burst_drain_estimate_s = 600;
+    cfg.cloud.max_burst = 8;
+    cfg.cloud.provision_delay = sim::seconds(provision_s);
+    cfg.cloud.idle_timeout = sim::minutes(30);
+    cfg.cloud.sweep_interval = sim::minutes(1);
+    return cfg;
+}
+
+struct ScalePoint {
+    double build_ms = 0;       ///< wall-clock (top-of-report only, not asserted)
+    double reaction_s = 0;     ///< mean request -> kUp
+    double node_hours = 0;     ///< ledger at the end of the drain
+    double cost = 0;
+    std::uint64_t provisioned = 0;
+    std::uint64_t released = 0;
+};
+
+/// Burst 32 nodes against an N-node scheduler record set and let the
+/// idle-timeout sweep take them back.
+ScalePoint measure_backend_scale(int nodes, double provision_s) {
+    ScalePoint point;
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    sim::Engine engine(-1);
+    engine.logger().set_min_level(util::LogLevel::kError);
+    engine.reserve(static_cast<std::size_t>(nodes) / 4 + 256);
+    cluster::ClusterConfig cluster_cfg;
+    cluster_cfg.node_count = nodes;
+    cluster::Cluster cluster(engine, cluster_cfg);
+    pbs::PbsServer server(engine, pbs::PbsServerConfig{});
+    for (auto* node : cluster.nodes()) server.attach_node(*node);
+
+    cloud::CloudConfig cc;
+    cc.max_burst = 32;
+    cc.provision_delay = sim::seconds(provision_s);
+    cc.idle_timeout = sim::minutes(10);
+    cc.sweep_interval = sim::minutes(1);
+    cloud::CloudBackend backend(engine, cc, nodes);
+    for (auto* node : backend.nodes())
+        node->set_boot_resolver([](const cluster::Node&) {
+            cluster::BootDecision decision;
+            decision.os = cluster::OsType::kLinux;
+            return decision;
+        });
+    backend.attach(&server, nullptr);
+    point.build_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+
+    backend.start();
+    (void)backend.request_burst(cluster::OsType::kLinux, 32);
+    // Long enough for the slowest provision (600 s) + boot + the 10-minute
+    // idle timeout to release every instance.
+    engine.run_for(sim::hours(2));
+    backend.stop();
+
+    point.reaction_s = backend.stats().mean_reaction_s();
+    point.node_hours = backend.accrued_node_hours(engine.now());
+    point.cost = backend.accrued_cost(engine.now());
+    point.provisioned = backend.stats().provisions_completed;
+    point.released = backend.stats().releases;
+    return point;
+}
+
+std::string fmt1(double v) { return util::format_fixed(v, 1); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool quick = bench::quick_mode(argc, argv);
+    const int threads = bench::threads_from_args(argc, argv);
+    const std::string json_path = bench::json_path_from_args(argc, argv);
+    bench::JsonReport report("E10");
+
+    bench::print_header("E10 (cloud burst)",
+                        "elastic partition: reaction time and cost vs burst latency",
+                        "switch when the donor can spare nodes; rent only when it cannot");
+
+    // ---- decision ablation: provision latency x queue mix x seed ----------
+    const sim::Duration horizon = sim::hours(quick ? 8 : 24);
+    struct Combo {
+        const char* mix;
+        double provision_s;
+        std::uint64_t seed;
+    };
+    std::vector<Combo> combos;
+    std::vector<sweep::ScenarioReplica> replicas;
+    for (const MixPoint& mix : kMixes) {
+        // One trace per mix, shared by every latency/seed replica of it.
+        auto trace = std::make_shared<const std::vector<workload::JobSpec>>(
+            bench::mixed_trace(mix.windows_share, 42, 12.0, horizon));
+        for (double provision_s : kProvisionLatenciesS) {
+            for (std::uint64_t s = 0; s < kSeedCount; ++s) {
+                const std::uint64_t seed = kFirstSeed + s;
+                combos.push_back({mix.label, provision_s, seed});
+                replicas.push_back({ablation_config(provision_s, seed, horizon), trace,
+                                    std::string(mix.label) + "/p" +
+                                        std::to_string(static_cast<int>(provision_s)) + "s/seed" +
+                                        std::to_string(seed)});
+            }
+        }
+    }
+    const auto out = sweep::run_scenarios(std::move(replicas), threads);
+
+    util::Table table({"variant", "bursts", "provisioned", "reaction", "node-hrs", "cost",
+                       "wait(W)", "done"});
+    table.set_alignment({util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight});
+    for (std::size_t i = 0; i < out.results.size(); ++i) {
+        const core::ScenarioResult& r = out.results[i];
+        const Combo& c = combos[i];
+        table.add_row({r.label, std::to_string(r.cloud_stats.burst_requests),
+                       std::to_string(r.cloud_stats.provisions_completed),
+                       fmt1(r.cloud_stats.mean_reaction_s()) + "s", fmt1(r.cloud_node_hours),
+                       "$" + util::format_fixed(r.cloud_cost, 2),
+                       util::format_duration(
+                           static_cast<std::int64_t>(r.summary.mean_wait_windows_s)),
+                       std::to_string(r.summary.completed) + "/" +
+                           std::to_string(r.summary.submitted)});
+        const std::vector<std::pair<std::string, std::string>> p = {
+            {"nodes", "16"},
+            {"mix", c.mix},
+            {"provision_s", std::to_string(static_cast<int>(c.provision_s))},
+            {"seed", std::to_string(c.seed)}};
+        report.add("cloud_reaction_s", r.cloud_stats.mean_reaction_s(), "s", p);
+        report.add("cloud_cost", r.cloud_cost, "$", p);
+        report.add("cloud_bursts", static_cast<double>(r.cloud_stats.burst_requests),
+                   "count", p);
+        report.add("cloud_provisioned",
+                   static_cast<double>(r.cloud_stats.provisions_completed), "count", p);
+        report.add("mean_wait_windows_s", r.summary.mean_wait_windows_s, "s", p);
+        report.add("completed_jobs", static_cast<double>(r.summary.completed), "jobs", p);
+    }
+    std::printf("%s", table.render().c_str());
+    bench::print_sweep_stats(out.stats);
+    report.set_sweep(out.stats);
+
+    // ---- backend at scale: 1k / 10k / 100k node record bases --------------
+    std::printf("\n-- backend at scale (32-node burst, 10-min idle timeout) --\n");
+    for (int nodes : {1'000, 10'000, 100'000}) {
+        for (double provision_s : kProvisionLatenciesS) {
+            const ScalePoint point = measure_backend_scale(nodes, provision_s);
+            std::printf("  %6d nodes, provision %4.0fs: build %8.1f ms, reaction %6.1f s, "
+                        "%llu provisioned / %llu released, %.2f node-hours ($%.2f)\n",
+                        nodes, provision_s, point.build_ms, point.reaction_s,
+                        static_cast<unsigned long long>(point.provisioned),
+                        static_cast<unsigned long long>(point.released), point.node_hours,
+                        point.cost);
+            const std::vector<std::pair<std::string, std::string>> p = {
+                {"nodes", std::to_string(nodes)},
+                {"provision_s", std::to_string(static_cast<int>(provision_s))}};
+            report.add("burst_reaction_s", point.reaction_s, "s", p);
+            report.add("burst_cost", point.cost, "$", p);
+            report.add("burst_released", static_cast<double>(point.released), "count", p);
+            report.add("build_ms", point.build_ms, "ms", p);
+        }
+    }
+
+    if (!json_path.empty() && !report.write(json_path)) return 1;
+    return 0;
+}

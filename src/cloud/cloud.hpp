@@ -1,0 +1,182 @@
+// CloudBackend: the elastic third partition beside the two fixed pools.
+//
+// The paper's trade-off is reboot-to-rebalance between a Linux pool and a
+// Windows pool of *fixed* total size. The modern answer (Slurm-GCP hybrid
+// deployments; the Stampede2 virtualization study) adds a third option:
+// *burst* — rent a cloud node, pay provisioning latency and per-node-hour
+// cost, and return it after a period of not being used. This backend models
+// exactly that partition:
+//
+//   - a quota of `max_burst` instance slots, each backed by a full
+//     cluster::Node so the boot machine, fault plans, and the snapshot/fork
+//     contract work unchanged (an unprovisioned slot is simply kOff);
+//   - provisioning latency as a cold-boot delay distribution (the firmware
+//     stage models instance create + image fetch, with jitter), and
+//     provisioning *failures* as boot hangs — which makes them visible to
+//     the hc::fault RecoverySupervisor like any other wedged node;
+//   - a per-node-hour cost ledger: a billing session opens at request time
+//     and closes at release, so accrued cost == node-hours rented whether
+//     or not the provision ever came up (you pay for a wedged instance);
+//   - idle-timeout scale-down: a periodic sweep releases instances that
+//     have sat fully idle in every attached scheduler for `idle_timeout`.
+//
+// Cloud nodes attach to the same PBS/WinHPC schedulers as the on-prem
+// nodes, so placement, switch jobs, and the decision loop see them as
+// first-class capacity; only the money meter knows the difference.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "pbs/server.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "winhpc/scheduler.hpp"
+
+namespace hc::cloud {
+
+struct CloudConfig {
+    int max_burst = 0;            ///< instance-slot quota; 0 = partition disabled
+    int cores_per_node = 4;
+    /// Mean instance-create + image-fetch latency (the dominant term of a
+    /// cold burst; the OS boot stages add their usual time on top).
+    sim::Duration provision_delay = sim::minutes(2);
+    double provision_jitter = 0.25;            ///< multiplicative uniform jitter
+    double provision_failure_probability = 0;  ///< provision hangs (needs recovery)
+    sim::Duration idle_timeout = sim::minutes(30);  ///< release after this long idle
+    sim::Duration sweep_interval = sim::minutes(1); ///< idle-scan cadence
+    double price_per_node_hour = 0.32;  ///< the cost meter's unit price
+    std::string domain = "burst.hc.cloud";
+    std::uint64_t seed = 77;
+};
+
+struct CloudStats {
+    std::uint64_t burst_requests = 0;        ///< request_burst() calls asking > 0 nodes
+    std::uint64_t nodes_requested = 0;       ///< provisions initiated
+    std::uint64_t provisions_completed = 0;  ///< provisions that reached kUp
+    std::uint64_t quota_denied = 0;          ///< nodes asked for beyond the cap
+    std::uint64_t releases = 0;              ///< idle-timeout scale-downs
+    std::int64_t total_reaction_ms = 0;      ///< request -> first kUp, summed
+
+    /// Mean request-to-up latency over completed provisions.
+    [[nodiscard]] double mean_reaction_s() const {
+        return provisions_completed == 0
+                   ? 0.0
+                   : static_cast<double>(total_reaction_ms) /
+                         (1000.0 * static_cast<double>(provisions_completed));
+    }
+};
+
+class CloudBackend {
+public:
+    /// Hook run at provision time, before power-on: the boot environment
+    /// (HybridCluster) uses it to aim the node at the requested OS (per-MAC
+    /// PXE pin in v2, control-file default in v1).
+    using ProvisionHook = std::function<void(cluster::Node&, cluster::OsType)>;
+
+    /// Node indices run from `index_base` (the on-prem node count) so cloud
+    /// hostnames, MACs, and scheduler records never collide with the fixed
+    /// pools'.
+    CloudBackend(sim::Engine& engine, CloudConfig config, int index_base);
+
+    CloudBackend(const CloudBackend&) = delete;
+    CloudBackend& operator=(const CloudBackend&) = delete;
+
+    [[nodiscard]] const CloudConfig& config() const { return config_; }
+    [[nodiscard]] int slot_count() const { return static_cast<int>(nodes_.size()); }
+    [[nodiscard]] cluster::Node& node(int slot) { return *nodes_.at(static_cast<std::size_t>(slot)); }
+    [[nodiscard]] std::vector<cluster::Node*> nodes();
+
+    /// Register the slots with the schedulers (either may be null: hc::serve
+    /// runs a single-OS world). Call once, after the on-prem nodes attached,
+    /// and before start().
+    void attach(pbs::PbsServer* pbs, winhpc::HpcScheduler* winhpc);
+
+    void set_provision_hook(ProvisionHook hook) { provision_hook_ = std::move(hook); }
+
+    /// Begin the idle-timeout sweep. Idempotent per world lifetime.
+    void start();
+    void stop();
+
+    /// Provision up to `count` instances aimed at `target`. Returns how many
+    /// were actually started; the shortfall (quota exhausted) is counted in
+    /// stats().quota_denied — the burst analogue of "no idle donor".
+    int request_burst(cluster::OsType target, int count);
+
+    /// Force-release one provisioned slot right now (tests / teardown).
+    void release(int slot);
+
+    // ---- decision-layer queries (fill SwitchContext::cloud) -------------
+    /// Unprovisioned slots available to a new burst.
+    [[nodiscard]] int available_burst() const;
+    /// Provisioned slots that are up and fully idle in every scheduler.
+    [[nodiscard]] int idle_count() const;
+    /// Provisions requested but not yet up.
+    [[nodiscard]] int provisioning_count() const;
+    /// Provisioned slots (billing), up or not.
+    [[nodiscard]] int active_count() const;
+    /// Expected request-to-ready latency for a fresh burst (mean provision
+    /// delay plus a Linux boot; the policy's latency-vs-drain gate).
+    [[nodiscard]] double expected_burst_latency_s() const;
+
+    // ---- cost ledger ----------------------------------------------------
+    /// Milliseconds of rented node time as of `now`: closed sessions plus
+    /// every open session's elapsed time. Conservation invariant: this only
+    /// grows, and equals the sum of (release - request) spans exactly.
+    [[nodiscard]] std::int64_t accrued_ms(sim::TimePoint now) const;
+    [[nodiscard]] double accrued_node_hours(sim::TimePoint now) const {
+        return static_cast<double>(accrued_ms(now)) / 3'600'000.0;
+    }
+    [[nodiscard]] double accrued_cost(sim::TimePoint now) const {
+        return accrued_node_hours(now) * config_.price_per_node_hour;
+    }
+
+    [[nodiscard]] const CloudStats& stats() const { return stats_; }
+
+    /// World-snapshot hook: slot bookkeeping, every node's state, the sweep
+    /// task, and the counters. Wiring (hook, scheduler attach) is not state.
+    struct Instance {
+        cluster::OsType target = cluster::OsType::kNone;  ///< kNone = unprovisioned
+        bool provision_pending = false;  ///< requested, not yet seen kUp
+        sim::TimePoint requested{};
+        bool billing = false;
+        sim::TimePoint session_start{};
+        bool idle_tracked = false;
+        sim::TimePoint idle_since{};
+    };
+    struct SavedState {
+        std::vector<Instance> instances;
+        std::vector<cluster::Node::SavedState> nodes;
+        sim::PeriodicTask::SavedState task;
+        std::int64_t billed_ms = 0;
+        CloudStats stats;
+    };
+    [[nodiscard]] SavedState save_state() const;
+    void restore_state(const SavedState& s);
+
+private:
+    void sweep();
+    void provision(int slot, cluster::OsType target);
+    [[nodiscard]] bool busy(int slot) const;
+
+    sim::Engine& engine_;
+    CloudConfig config_;
+    std::vector<std::unique_ptr<cluster::Node>> nodes_;
+    std::vector<Instance> instances_;
+    pbs::PbsServer* pbs_ = nullptr;
+    winhpc::HpcScheduler* winhpc_ = nullptr;
+    std::size_t pbs_base_ = 0;  ///< our slot 0's record index in pbs_
+    std::size_t win_base_ = 0;
+    ProvisionHook provision_hook_;
+    sim::PeriodicTask task_;
+    std::int64_t billed_ms_ = 0;  ///< closed billing sessions, summed
+    CloudStats stats_;
+    obs::Counter obs_provisions_;  ///< cloud.provisions
+    obs::Counter obs_releases_;    ///< cloud.releases
+};
+
+}  // namespace hc::cloud

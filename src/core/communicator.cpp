@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "cloud/cloud.hpp"
 #include "util/strings.hpp"
 
 namespace hc::core {
@@ -198,6 +199,13 @@ void LinuxCommunicator::decide_and_act(const QueueSnapshot& windows_snap) {
             nodes_for_cpus(ctx.linux_snap.record.needed_cpus, cores_per_node_);
     ctx.cores_per_node = cores_per_node_;
     ctx.now_unix = engine_.unix_now();
+    if (cloud_ != nullptr) {
+        ctx.cloud.enabled = true;
+        ctx.cloud.idle = cloud_->idle_count();
+        ctx.cloud.provisioning = cloud_->provisioning_count();
+        ctx.cloud.available_burst = cloud_->available_burst();
+        ctx.cloud.burst_latency_s = cloud_->expected_burst_latency_s();
+    }
 
     // Step 4: decide.
     ++stats_.decisions_made;
@@ -215,11 +223,18 @@ void LinuxCommunicator::decide_and_act(const QueueSnapshot& windows_snap) {
             .num("idle_nodes", ctx.linux_snap.idle_nodes);
         // The decision is journalled whether or not it acts: the reason
         // string carries the *why not* (cooldown, no idle donors, ...).
-        journal.event("decision")
-            .flag("act", last_decision_.act())
+        obs::Journal::Record decision_event = journal.event("decision");
+        decision_event.flag("act", last_decision_.act())
             .str("target", os_name(last_decision_.target))
             .num("nodes", last_decision_.node_count)
             .str("reason", last_decision_.reason);
+        // Burst fields ride along only in cloud-armed worlds so the
+        // pre-cloud journal goldens stay byte-identical.
+        if (cloud_ != nullptr)
+            decision_event.flag("burst", last_decision_.burst())
+                .num("burst_nodes", last_decision_.burst_count)
+                .num("cloud_available", ctx.cloud.available_burst)
+                .num("cloud_provisioning", ctx.cloud.provisioning);
     }
     decide_span.arg("act", last_decision_.act() ? 1 : 0);
     engine_.logger().debug("LINHEAD/communicator",
@@ -228,6 +243,11 @@ void LinuxCommunicator::decide_and_act(const QueueSnapshot& windows_snap) {
                                                      " -> " + os_name(last_decision_.target)
                                                : std::string("none")) +
                                " (" + last_decision_.reason + ")");
+    // Step 5b: provision cloud capacity when the policy asked to burst.
+    if (cloud_ != nullptr && last_decision_.burst()) {
+        ++stats_.bursts_ordered;
+        (void)cloud_->request_burst(last_decision_.target, last_decision_.burst_count);
+    }
     if (!last_decision_.act()) return;
 
     // Step 5: send the reboot orders via the controller.

@@ -28,6 +28,10 @@
 #include "core/policy.hpp"
 #include "sim/engine.hpp"
 
+namespace hc::cloud {
+class CloudBackend;
+}
+
 namespace hc::core {
 
 /// Encode a snapshot for the wire. When `extended`, the record is padded to
@@ -54,6 +58,7 @@ struct CommunicatorStats {
     std::uint64_t decode_failures = 0;
     std::uint64_t decisions_made = 0;
     std::uint64_t switches_ordered = 0;  ///< decisions with act() == true
+    std::uint64_t bursts_ordered = 0;    ///< decisions with burst() == true
 };
 
 /// WINHEAD-side daemon: the fixed-cycle poller/sender (Fig 11 steps 1-2).
@@ -143,6 +148,11 @@ public:
     void set_policy(SwitchPolicy& policy) { policy_ = &policy; }
     [[nodiscard]] SwitchPolicy& policy() { return *policy_; }
 
+    /// Wire the elastic cloud partition: fills SwitchContext::cloud before
+    /// each decision and executes burst orders. Null (the default) keeps the
+    /// paper's two-pool world — and the exact pre-cloud journal shape.
+    void set_cloud(cloud::CloudBackend* cloud) { cloud_ = cloud; }
+
     /// World-snapshot hook: watchdog arm state + counters + last decision.
     /// The policy object itself is snapshotted separately via save_blob().
     struct SavedState {
@@ -174,6 +184,7 @@ private:
     Detector& pbs_detector_;
     SwitchPolicy* policy_;  ///< never null; swappable via set_policy()
     SwitchController& controller_;
+    cloud::CloudBackend* cloud_ = nullptr;  ///< null = no elastic partition
     int cores_per_node_;
     bool bound_ = false;
     sim::Duration watchdog_timeout_{};  ///< 0 = disabled

@@ -22,6 +22,7 @@ const char* policy_kind_name(PolicyKind p) {
         case PolicyKind::kMonoStable: return "mono-stable";
         case PolicyKind::kNever: return "never";
         case PolicyKind::kCalendar: return "calendar";
+        case PolicyKind::kBurstAware: return "burst-aware";
     }
     return "?";
 }
@@ -61,6 +62,47 @@ HybridCluster::HybridCluster(sim::Engine& engine, HybridConfig config)
         winhpc_.attach_node(*node);
     }
 
+    // The elastic partition attaches *after* the fixed pools so scheduler
+    // placement (ascending record order) prefers on-prem capacity and cloud
+    // record indices are a stable node_count + slot.
+    if (config_.cloud.max_burst > 0) {
+        cloud::CloudConfig cc = config_.cloud;
+        cc.cores_per_node = config_.cluster.cores_per_node;
+        cc.provision_failure_probability = std::max(
+            cc.provision_failure_probability, config_.fault_plan.probabilities.boot_hang);
+        cloud_ = std::make_unique<cloud::CloudBackend>(engine_, cc, cluster_.node_count());
+        for (Node* node : cloud_->nodes()) {
+            if (config_.version == MiddlewareVersion::kV1) {
+                node->set_boot_resolver(boot::make_local_boot_resolver());
+            } else {
+                node->disk() = boot::make_v2_disk();
+                node->set_boot_resolver(pxe_->make_resolver());
+                // Provision pins are one-shot like the initial-OS pins:
+                // cleared on first up so later switch reboots follow the
+                // shared flag.
+                node->on_up([this](Node& n, OsType) {
+                    auto it = std::find(pending_initial_pins_.begin(),
+                                        pending_initial_pins_.end(), n.mac().to_string());
+                    if (it != pending_initial_pins_.end()) {
+                        flag_->clear_node_target(n.mac());
+                        pending_initial_pins_.erase(it);
+                    }
+                });
+            }
+        }
+        cloud_->set_provision_hook([this](Node& node, OsType target) {
+            if (config_.version == MiddlewareVersion::kV1) {
+                boot::V1DiskOptions opts;
+                opts.control_default = target;
+                node.disk() = boot::make_v1_dualboot_disk(opts);
+            } else {
+                flag_->set_node_target(node.mac(), target);
+                pending_initial_pins_.push_back(node.mac().to_string());
+            }
+        });
+        cloud_->attach(&pbs_, &winhpc_);
+    }
+
     build_policy_and_controller();
 
     obs::Hub& hub = engine_.obs();
@@ -81,6 +123,7 @@ HybridCluster::HybridCluster(sim::Engine& engine, HybridConfig config)
         *controller_, config_.cluster.cores_per_node);
     if (config_.watchdog_timeout.ms > 0)
         linux_comm_->enable_watchdog(config_.watchdog_timeout);
+    if (cloud_) linux_comm_->set_cloud(cloud_.get());
 
     if (config_.recovery.enabled) {
         OrderWatchdogConfig wd;
@@ -90,6 +133,11 @@ HybridCluster::HybridCluster(sim::Engine& engine, HybridConfig config)
         controller_->enable_order_watchdog(wd);
         supervisor_ = std::make_unique<fault::RecoverySupervisor>(engine_, cluster_,
                                                                   flag_.get(), config_.recovery);
+        // The sweeper must cover the elastic partition too: a fault firing
+        // during a pending provision leaves the instance kHung (still
+        // billing) with no operator to walk to it.
+        if (cloud_)
+            for (Node* node : cloud_->nodes()) supervisor_->watch(*node);
     }
     if (!config_.fault_plan.empty()) {
         injector_ = std::make_unique<fault::FaultInjector>(engine_, cluster_, config_.fault_plan,
@@ -168,6 +216,9 @@ std::unique_ptr<SwitchPolicy> HybridCluster::make_policy(PolicyKind kind) const 
             return std::make_unique<CalendarPolicy>(
                 std::make_unique<FcfsPolicy>(), config_.calendar_start_hour,
                 config_.calendar_end_hour, config_.calendar_windows_nodes);
+        case PolicyKind::kBurstAware:
+            return std::make_unique<BurstAwarePolicy>(config_.burst_cooldown_polls,
+                                                      config_.burst_drain_estimate_s);
     }
     util::require(false, "make_policy: unknown PolicyKind");
     return nullptr;
@@ -191,6 +242,12 @@ void HybridCluster::arm_faults(const fault::FaultPlan& plan, std::uint64_t seed)
         std::max(config_.boot_hang_probability, config_.fault_plan.probabilities.boot_hang);
     for (Node* node : cluster_.nodes())
         node->set_boot_hang_probability(std::max(base_hang, plan.probabilities.boot_hang));
+    if (cloud_) {
+        const double cloud_base = std::max(config_.cloud.provision_failure_probability,
+                                           config_.fault_plan.probabilities.boot_hang);
+        for (Node* node : cloud_->nodes())
+            node->set_boot_hang_probability(std::max(cloud_base, plan.probabilities.boot_hang));
+    }
     if (pxe_) fork_injector_->attach_pxe(*pxe_);
     if (flag_) fork_injector_->attach_flag(*flag_);
     fork_injector_->register_head(
@@ -217,6 +274,7 @@ HybridCluster::SavedState HybridCluster::save_state() const {
     s.pbs_detector = pbs_detector_->save_state();
     s.win_comm = win_comm_->save_state();
     s.linux_comm = linux_comm_->save_state();
+    if (cloud_) s.cloud = cloud_->save_state();
     if (injector_) s.injector = injector_->save_state();
     if (supervisor_) s.supervisor = supervisor_->save_state();
     s.metrics = metrics_.save_state();
@@ -243,6 +301,7 @@ void HybridCluster::restore_state(const SavedState& s) {
     pbs_detector_->restore_state(s.pbs_detector);
     win_comm_->restore_state(s.win_comm);
     linux_comm_->restore_state(s.linux_comm);
+    if (cloud_ && s.cloud) cloud_->restore_state(*s.cloud);
     if (injector_ && s.injector) injector_->restore_state(*s.injector);
     if (supervisor_ && s.supervisor) supervisor_->restore_state(*s.supervisor);
     metrics_.restore_state(s.metrics);
@@ -273,6 +332,7 @@ void HybridCluster::start() {
                                   status.error_message());
     // Let the cluster finish first boot before the first poll fires.
     win_comm_->start(sim::minutes(5));
+    if (cloud_) cloud_->start();
     if (injector_) injector_->start();
     if (supervisor_) supervisor_->start();
 }

@@ -14,6 +14,7 @@
 
 #include "boot/flag.hpp"
 #include "boot/pxe.hpp"
+#include "cloud/cloud.hpp"
 #include "cluster/cluster.hpp"
 #include "core/communicator.hpp"
 #include "core/controller.hpp"
@@ -39,7 +40,8 @@ enum class PolicyKind {
     kPredictive,
     kMonoStable,
     kNever,
-    kCalendar,  ///< daily Windows reservation over an FCFS base
+    kCalendar,    ///< daily Windows reservation over an FCFS base
+    kBurstAware,  ///< switch-vs-burst arbitration over the elastic partition
 };
 
 [[nodiscard]] const char* policy_kind_name(PolicyKind p);
@@ -56,6 +58,11 @@ struct HybridConfig {
     int calendar_start_hour = 9;        ///< for PolicyKind::kCalendar
     int calendar_end_hour = 17;
     int calendar_windows_nodes = 4;
+    int burst_cooldown_polls = 2;         ///< for PolicyKind::kBurstAware
+    double burst_drain_estimate_s = 600;  ///< per-queued-job drain estimate
+    /// Elastic cloud partition beside the two fixed pools. max_burst == 0
+    /// (the default) leaves the paper's two-pool world untouched.
+    cloud::CloudConfig cloud;
     /// Scheduler discipline. Strict FIFO is what TORQUE's default scheduler
     /// does (and what makes queues go "stuck"); false enables naive backfill
     /// (later jobs may start around a blocked head) — an ablation knob.
@@ -98,6 +105,8 @@ public:
     [[nodiscard]] WindowsCommunicator& windows_daemon() { return *win_comm_; }
     [[nodiscard]] LinuxCommunicator& linux_daemon() { return *linux_comm_; }
     [[nodiscard]] RebootLog& reboot_log() { return reboot_log_; }
+    /// Non-null only when config.cloud.max_burst > 0.
+    [[nodiscard]] cloud::CloudBackend* cloud() { return cloud_.get(); }
     /// Non-null only when the config carried a non-empty fault plan.
     [[nodiscard]] fault::FaultInjector* fault_injector() { return injector_.get(); }
     /// Non-null only when config.recovery.enabled.
@@ -159,6 +168,7 @@ public:
         PbsDetector::SavedState pbs_detector;
         WindowsCommunicator::SavedState win_comm;
         LinuxCommunicator::SavedState linux_comm;
+        std::optional<cloud::CloudBackend::SavedState> cloud;
         std::optional<fault::FaultInjector::SavedState> injector;
         std::optional<fault::RecoverySupervisor::SavedState> supervisor;
         workload::MetricsCollector::SavedState metrics;
@@ -188,6 +198,7 @@ private:
     std::unique_ptr<WinHpcDetector> win_detector_;
     std::unique_ptr<WindowsCommunicator> win_comm_;
     std::unique_ptr<LinuxCommunicator> linux_comm_;
+    std::unique_ptr<cloud::CloudBackend> cloud_;
     std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<fault::FaultInjector> fork_injector_;  ///< armed post-fork via arm_faults()
     std::unique_ptr<fault::RecoverySupervisor> supervisor_;

@@ -176,6 +176,113 @@ SwitchDecision PredictivePolicy::decide(const SwitchContext& ctx) {
     return d;
 }
 
+BurstAwarePolicy::BurstAwarePolicy(int switch_cooldown_polls, double est_drain_s_per_job)
+    : cooldown_polls_(switch_cooldown_polls), est_drain_s_per_job_(est_drain_s_per_job) {
+    util::require(cooldown_polls_ >= 0, "BurstAwarePolicy: cooldown_polls must be >= 0");
+    util::require(est_drain_s_per_job_ > 0,
+                  "BurstAwarePolicy: est_drain_s_per_job must be positive");
+}
+
+std::string BurstAwarePolicy::name() const {
+    return "burst-aware(cd=" + std::to_string(cooldown_polls_) + ")";
+}
+
+SwitchDecision BurstAwarePolicy::decide(const SwitchContext& ctx) {
+    const bool linux_stuck = ctx.linux_snap.record.stuck;
+    const bool windows_stuck = ctx.windows_snap.record.stuck;
+    SwitchDecision d;
+
+    if (!linux_stuck && !windows_stuck) {
+        if (cooldown_remaining_ > 0) --cooldown_remaining_;
+        d.reason = "no queue stuck";
+        return d;
+    }
+
+    // Don't re-burst for capacity already on its way: each poll only covers
+    // the need the in-flight provisions leave unmet.
+    auto burstable = [&](int needed) {
+        const int unmet = needed - ctx.cloud.provisioning;
+        return std::min(std::max(unmet, 0), ctx.cloud.available_burst);
+    };
+
+    if (linux_stuck && windows_stuck) {
+        // No donor either way (the paper's dead end); only the cloud can
+        // help. Serve the larger need first (tie goes to Linux).
+        if (cooldown_remaining_ > 0) --cooldown_remaining_;
+        const bool linux_first =
+            ctx.linux_snap.record.needed_cpus >= ctx.windows_snap.record.needed_cpus;
+        const QueueSnapshot& snap = linux_first ? ctx.linux_snap : ctx.windows_snap;
+        const int needed =
+            std::max(1, nodes_for_cpus(snap.record.needed_cpus, ctx.cores_per_node));
+        const int burst = ctx.cloud.enabled ? burstable(needed) : 0;
+        if (burst > 0) {
+            d.target = linux_first ? OsType::kLinux : OsType::kWindows;
+            d.burst_count = burst;
+            d.reason = "both queues stuck; bursting " + std::to_string(burst) + " cloud nodes";
+        } else {
+            d.reason = "both queues stuck; no donor and no burst quota";
+        }
+        return d;
+    }
+
+    const OsType needy = linux_stuck ? OsType::kLinux : OsType::kWindows;
+    const QueueSnapshot& needy_snap = linux_stuck ? ctx.linux_snap : ctx.windows_snap;
+    const QueueSnapshot& donor_snap = linux_stuck ? ctx.windows_snap : ctx.linux_snap;
+    const int needed =
+        std::max(1, nodes_for_cpus(needy_snap.record.needed_cpus, ctx.cores_per_node));
+
+    if (cooldown_remaining_ > 0) {
+        // Rule 2: the switch channel is blocked; bursting is the only lever.
+        --cooldown_remaining_;
+        const int burst = ctx.cloud.enabled ? burstable(needed) : 0;
+        if (burst > 0) {
+            d.target = needy;
+            d.burst_count = burst;
+            d.reason = "switch cooldown (" + std::to_string(cooldown_remaining_ + 1) +
+                       " polls left); bursting " + std::to_string(burst) + " cloud nodes";
+        } else {
+            d.reason = "switch cooldown; no burst quota";
+        }
+        return d;
+    }
+
+    // Rule 1: switch what the donor can spare.
+    const int switched = std::min(needed, std::max(donor_snap.idle_nodes, 0));
+    if (switched > 0) {
+        d.target = needy;
+        d.node_count = switched;
+        d.reason = "switching " + std::to_string(switched) + " idle donor nodes for " +
+                   needy_snap.record.stuck_job_id;
+        cooldown_remaining_ = cooldown_polls_;
+    }
+
+    // Rule 3: burst the shortfall only if the instances would arrive before
+    // the queue drains on its own.
+    const int shortfall = needed - switched;
+    if (shortfall > 0 && ctx.cloud.enabled) {
+        const double drain_s =
+            static_cast<double>(std::max(needy_snap.queued, 1)) * est_drain_s_per_job_;
+        const int burst = burstable(needed) > shortfall ? shortfall : burstable(needed);
+        if (burst <= 0) {
+            d.reason += (d.reason.empty() ? std::string() : "; ") +
+                        "burst quota exhausted or provisions in flight";
+        } else if (ctx.cloud.burst_latency_s <= drain_s) {
+            d.target = needy;
+            d.burst_count = burst;
+            d.reason += (d.reason.empty() ? std::string() : "; ") + "bursting " +
+                        std::to_string(burst) + " cloud nodes";
+        } else {
+            d.reason += (d.reason.empty() ? std::string() : "; ") + "burst latency " +
+                        std::to_string(ctx.cloud.burst_latency_s) +
+                        "s exceeds predicted drain " + std::to_string(drain_s) + "s";
+        }
+    }
+    if (d.reason.empty())
+        d.reason = linux_stuck ? "linux stuck but windows side has no idle nodes"
+                               : "windows stuck but linux side has no idle nodes";
+    return d;
+}
+
 CalendarPolicy::CalendarPolicy(std::unique_ptr<SwitchPolicy> base, int start_hour, int end_hour,
                                int windows_nodes)
     : base_(std::move(base)),

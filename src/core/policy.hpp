@@ -17,21 +17,37 @@
 
 namespace hc::core {
 
+/// What the decision layer knows about the elastic cloud partition. All
+/// zeros with enabled=false when no CloudBackend is wired (the paper's
+/// two-pool world), which every pre-burst policy ignores.
+struct CloudContext {
+    bool enabled = false;
+    int idle = 0;             ///< provisioned, up, and fully idle cloud nodes
+    int provisioning = 0;     ///< bursts requested but not yet up
+    int available_burst = 0;  ///< unprovisioned quota left
+    double burst_latency_s = 0;  ///< expected request-to-ready latency
+};
+
 /// Everything the Linux-head daemon knows when it decides (Fig 11 step 4).
 struct SwitchContext {
     QueueSnapshot linux_snap;
     QueueSnapshot windows_snap;
+    CloudContext cloud;
     int cores_per_node = 4;
     std::int64_t now_unix = 0;
 };
 
 struct SwitchDecision {
     cluster::OsType target = cluster::OsType::kNone;  ///< kNone = do nothing
-    int node_count = 0;
+    int node_count = 0;   ///< idle donor nodes to reboot into `target`
+    int burst_count = 0;  ///< cloud nodes to provision aimed at `target`
     std::string reason;
 
     [[nodiscard]] bool act() const {
         return target != cluster::OsType::kNone && node_count > 0;
+    }
+    [[nodiscard]] bool burst() const {
+        return target != cluster::OsType::kNone && burst_count > 0;
     }
 };
 
@@ -131,6 +147,41 @@ private:
     double threshold_;
     double linux_demand_ewma_ = 0;
     double windows_demand_ewma_ = 0;
+};
+
+/// Switch-vs-burst arbitration over the FCFS stuck signal. Three rules:
+///
+///   1. Reboot-to-rebalance is the cheap lever, so when the donor has idle
+///      nodes and the switch channel is open, switch (and start an anti-flap
+///      cooldown like FairSharePolicy's).
+///   2. While the cooldown blocks the switch channel, a stuck queue bursts
+///      instead — renting capacity is exactly what the elastic partition is
+///      for when on-prem rebalancing is unavailable.
+///   3. A burst must beat the queue: any shortfall (donor idle exhausted)
+///      bursts only if the expected provision latency is below the
+///      predicted drain time (queued jobs x `est_drain_s_per_job`);
+///      otherwise the jobs would finish before the instances arrive and the
+///      money is wasted.
+///
+/// Without a wired cloud (ctx.cloud.enabled == false) this degrades to FCFS
+/// with a switch cooldown.
+class BurstAwarePolicy : public SwitchPolicy {
+public:
+    explicit BurstAwarePolicy(int switch_cooldown_polls = 2, double est_drain_s_per_job = 600.0);
+    [[nodiscard]] SwitchDecision decide(const SwitchContext& ctx) override;
+    [[nodiscard]] std::string name() const override;
+
+    [[nodiscard]] std::vector<double> save_blob() const override {
+        return {static_cast<double>(cooldown_remaining_)};
+    }
+    void restore_blob(const std::vector<double>& blob) override {
+        cooldown_remaining_ = static_cast<int>(blob.at(0));
+    }
+
+private:
+    int cooldown_polls_;
+    double est_drain_s_per_job_;
+    int cooldown_remaining_ = 0;
 };
 
 /// Ablation for E7: never switch (what a static cluster's "policy" is).

@@ -26,6 +26,9 @@ HybridConfig make_hybrid_config(const ScenarioConfig& config) {
     hc.initial_windows_nodes = config.node_count - config.linux_nodes;
     hc.policy = config.policy;
     hc.fair_share_cooldown = config.fair_share_cooldown;
+    hc.burst_cooldown_polls = config.burst_cooldown_polls;
+    hc.burst_drain_estimate_s = config.burst_drain_estimate_s;
+    hc.cloud = config.cloud;
     hc.strict_fifo = config.strict_fifo;
     hc.message_drop_probability = config.message_drop_probability;
     hc.boot_hang_probability = config.boot_hang_probability;
@@ -118,6 +121,12 @@ ScenarioResult ScenarioWorld::finish() {
         out.flag_torn_writes += f.flag_torn_writes;
     }
     if (hybrid_.recovery() != nullptr) result.recovery_stats = hybrid_.recovery()->stats();
+    if (hybrid_.cloud() != nullptr) {
+        result.cloud_enabled = true;
+        result.cloud_stats = hybrid_.cloud()->stats();
+        result.cloud_node_hours = hybrid_.cloud()->accrued_node_hours(engine_.now());
+        result.cloud_cost = hybrid_.cloud()->accrued_cost(engine_.now());
+    }
     if (config_.obs.metrics) result.metrics = engine_.obs().metrics().snapshot();
     if (config_.obs.trace) result.chrome_trace_json = engine_.obs().tracer().chrome_json();
     if (config_.obs.journal) result.journal_jsonl = engine_.obs().journal().text();

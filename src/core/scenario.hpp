@@ -31,6 +31,10 @@ struct ScenarioConfig {
     deploy::MiddlewareVersion version = deploy::MiddlewareVersion::kV2;
     PolicyKind policy = PolicyKind::kFcfs;
     int fair_share_cooldown = 0;
+    int burst_cooldown_polls = 2;         ///< for PolicyKind::kBurstAware
+    double burst_drain_estimate_s = 600;  ///< per-queued-job drain estimate
+    /// Elastic cloud partition (max_burst == 0 keeps the two-pool world).
+    cloud::CloudConfig cloud;
     bool strict_fifo = true;
     sim::Duration poll_interval = sim::minutes(10);
     sim::Duration horizon = sim::hours(24);
@@ -59,6 +63,11 @@ struct ScenarioResult {
     /// Zero-valued unless the scenario carried a fault plan / recovery.
     fault::InjectorStats fault_stats;
     fault::SupervisorStats recovery_stats;
+    /// Populated only when the scenario armed a cloud partition.
+    bool cloud_enabled = false;
+    cloud::CloudStats cloud_stats;
+    double cloud_node_hours = 0;  ///< rented node-hours at the horizon
+    double cloud_cost = 0;        ///< accrued cost at the horizon
     /// Populated for the channels enabled in ScenarioConfig::obs; empty/""
     /// otherwise.
     obs::MetricsSnapshot metrics;

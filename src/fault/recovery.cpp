@@ -10,26 +10,32 @@ using cluster::PowerState;
 RecoverySupervisor::RecoverySupervisor(sim::Engine& engine, cluster::Cluster& cluster,
                                        boot::OsFlagStore* flag, RecoveryOptions options)
     : engine_(engine),
-      cluster_(cluster),
       flag_(flag),
       options_(options),
-      episodes_(static_cast<std::size_t>(cluster.node_count())),
       task_(engine, options.sweep_interval, [this] { sweep(); }) {
-    for (Node* node : cluster_.nodes()) {
-        node->on_up([this](Node& n, cluster::OsType) {
-            Episode& ep = episodes_[static_cast<std::size_t>(n.index())];
-            if (!ep.tracking) return;
-            ++stats_.recoveries;
-            stats_.total_recovery_ms += (engine_.now() - ep.first_seen).ms;
-            obs::Journal& journal = engine_.obs().journal();
-            if (journal.enabled())
-                journal.event("recovery.node_recovered")
-                    .str("node", n.short_name())
-                    .num("cycles", ep.cycles)
-                    .num("downtime_s", (engine_.now() - ep.first_seen).whole_seconds());
-            ep = Episode{};
-        });
-    }
+    for (Node* node : cluster.nodes()) watch(*node);
+}
+
+void RecoverySupervisor::watch(Node& node) {
+    const std::size_t slot = watched_.size();
+    watched_.push_back(&node);
+    episodes_.emplace_back();
+    // Episode slots are positional, not node-index based: watched nodes may
+    // come from outside the fixed cluster (cloud instances), whose indices
+    // start past the cluster's range.
+    node.on_up([this, slot](Node& n, cluster::OsType) {
+        Episode& ep = episodes_[slot];
+        if (!ep.tracking) return;
+        ++stats_.recoveries;
+        stats_.total_recovery_ms += (engine_.now() - ep.first_seen).ms;
+        obs::Journal& journal = engine_.obs().journal();
+        if (journal.enabled())
+            journal.event("recovery.node_recovered")
+                .str("node", n.short_name())
+                .num("cycles", ep.cycles)
+                .num("downtime_s", (engine_.now() - ep.first_seen).whole_seconds());
+        ep = Episode{};
+    });
 }
 
 void RecoverySupervisor::start() { task_.start(options_.sweep_interval); }
@@ -46,8 +52,9 @@ void RecoverySupervisor::repair_flag_if_corrupt() {
 
 void RecoverySupervisor::sweep() {
     const sim::TimePoint now = engine_.now();
-    for (Node* node : cluster_.nodes()) {
-        Episode& ep = episodes_[static_cast<std::size_t>(node->index())];
+    for (std::size_t slot = 0; slot < watched_.size(); ++slot) {
+        Node* node = watched_[slot];
+        Episode& ep = episodes_[slot];
         if (node->state() != PowerState::kHung) continue;
         if (!ep.tracking) {
             ep.tracking = true;

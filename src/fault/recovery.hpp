@@ -41,9 +41,17 @@ struct SupervisorStats {
 
 class RecoverySupervisor {
 public:
-    /// `flag` may be null (v1 wiring): flag repair is then skipped.
+    /// `flag` may be null (v1 wiring): flag repair is then skipped. Every
+    /// cluster node is watched from construction.
     RecoverySupervisor(sim::Engine& engine, cluster::Cluster& cluster,
                        boot::OsFlagStore* flag, RecoveryOptions options);
+
+    /// Add a node outside the fixed cluster to the sweep (elastic cloud
+    /// slots: a fault firing during a pending provision leaves the instance
+    /// kHung exactly like an on-prem node, and must be cycled the same way).
+    /// Call during world construction, before the first save_state(), so the
+    /// episode vector's size is stable across snapshot/restore.
+    void watch(cluster::Node& node);
 
     void start();
     void stop();
@@ -55,7 +63,7 @@ private:
     void sweep();
     void repair_flag_if_corrupt();
 
-    /// Per-node episode state, indexed by node index.
+    /// Per-node episode state, parallel to `watched_`.
     struct Episode {
         bool tracking = false;
         sim::TimePoint first_seen{};
@@ -65,9 +73,9 @@ private:
     };
 
     sim::Engine& engine_;
-    cluster::Cluster& cluster_;
     boot::OsFlagStore* flag_;
     RecoveryOptions options_;
+    std::vector<cluster::Node*> watched_;
     std::vector<Episode> episodes_;
     sim::PeriodicTask task_;
     SupervisorStats stats_;

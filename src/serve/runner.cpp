@@ -96,6 +96,15 @@ std::string ServeResult::render_report(bool include_wall) const {
                 query_latency_ms(0.99));
     append_line(out, "detector  : staleness mean %.1f s, at end %lld s\n", staleness_mean_s(),
                 static_cast<long long>(counters.staleness_at_end_s));
+    if (counters.cloud_enabled)
+        append_line(out,
+                    "cloud     : %llu bursts, %llu provisioned, %llu released, "
+                    "%.2f node-hours ($%.2f)\n",
+                    static_cast<unsigned long long>(counters.cloud.burst_requests),
+                    static_cast<unsigned long long>(counters.cloud.provisions_completed),
+                    static_cast<unsigned long long>(counters.cloud.releases),
+                    static_cast<double>(counters.cloud_billed_ms) / 3'600'000.0,
+                    counters.cloud_cost);
     append_line(out, "sim rate  : %.1f accepted submissions/sim-hour over %.2f h\n",
                 submissions_per_sim_hour(), sim_hours);
     if (include_wall)
@@ -148,15 +157,56 @@ ServeResult run_serve(const ServeSpec& spec, util::Arena* arena) {
     }
     engine.run_all();  // boot-settle: every node up before the door opens
 
+    // Elastic partition: attach after the fixed pool so on-prem capacity
+    // fills first, and aim every cloud boot at the backend's OS.
+    std::unique_ptr<cloud::CloudBackend> cloud_backend;
+    std::unique_ptr<sim::PeriodicTask> burst_task;
+    if (spec.cloud.max_burst > 0) {
+        cloud::CloudConfig cloud_cfg;
+        cloud_cfg.max_burst = spec.cloud.max_burst;
+        cloud_cfg.cores_per_node = cluster_cfg.cores_per_node;
+        cloud_cfg.provision_delay = sim::seconds(spec.cloud.provision_s);
+        cloud_cfg.provision_jitter = 0;  // match the jitter-free serve cluster
+        cloud_cfg.idle_timeout = sim::seconds(spec.cloud.idle_timeout_min * 60.0);
+        cloud_cfg.sweep_interval = sim::seconds(spec.cloud.sweep_s);
+        cloud_cfg.price_per_node_hour = spec.cloud.price_per_node_hour;
+        cloud_cfg.seed = spec.seed;
+        cloud_backend = std::make_unique<cloud::CloudBackend>(engine, cloud_cfg, spec.nodes);
+        for (auto* node : cloud_backend->nodes())
+            node->set_boot_resolver([boot_os](const cluster::Node&) {
+                cluster::BootDecision decision;
+                decision.os = boot_os;
+                return decision;
+            });
+        cloud_backend->attach(pbs_server.get(), hpc_scheduler.get());
+        cloud_backend->start();
+    }
+
     SubmissionService service(engine, *backend, spec.service_config());
     FleetConfig fleet_cfg = spec.fleet_config();
     fleet_cfg.horizon = (engine.now() - sim::TimePoint{}) + sim::hours(spec.hours);
     ClientFleet fleet(engine, service, workload::AppCatalog::huddersfield(), fleet_cfg);
     service.start();
     fleet.start();
+    if (cloud_backend != nullptr) {
+        // Gentle autoscaler: one provision per sweep while the backend queue
+        // stays above the threshold; the idle sweep scales back down.
+        Backend* raw_backend = backend.get();
+        cloud::CloudBackend* raw_cloud = cloud_backend.get();
+        burst_task = std::make_unique<sim::PeriodicTask>(
+            engine, sim::seconds(spec.cloud.sweep_s),
+            [raw_backend, raw_cloud, boot_os, threshold = spec.cloud.queue_threshold] {
+                if (raw_backend->queued() > threshold) (void)raw_cloud->request_burst(boot_os, 1);
+            });
+        burst_task->start(sim::seconds(spec.cloud.sweep_s));
+    }
 
     engine.run_until(sim::TimePoint{} + fleet_cfg.horizon);
     service.stop();
+    // Stop the periodic cloud machinery before the drain or run_all() would
+    // chase their reschedules forever.
+    if (burst_task != nullptr) burst_task->stop();
+    if (cloud_backend != nullptr) cloud_backend->stop();
     service.flush();   // pending submits answered so their jobs can still run
     engine.run_all();  // drain: admitted work finishes, late follow-ups enqueue
     service.flush();   // answer the stragglers — every request gets a response
@@ -171,6 +221,12 @@ ServeResult run_serve(const ServeSpec& spec, util::Arena* arena) {
     result.counters.backend_queued_final = backend->queued();
     result.counters.staleness_at_end_s = staleness_at_end;
     result.counters.final_unix = engine.unix_now();
+    if (cloud_backend != nullptr) {
+        result.counters.cloud_enabled = true;
+        result.counters.cloud = cloud_backend->stats();
+        result.counters.cloud_billed_ms = cloud_backend->accrued_ms(engine.now());
+        result.counters.cloud_cost = cloud_backend->accrued_cost(engine.now());
+    }
     result.metrics = engine.obs().metrics().snapshot();
     result.last_snapshot = service.last_snapshot();
     result.sim_hours = spec.hours;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cloud/cloud.hpp"
 #include "core/queue_state.hpp"
 #include "obs/metrics.hpp"
 #include "serve/backend.hpp"
@@ -30,6 +31,12 @@ struct ServeCounters {
     std::uint64_t backend_queued_final = 0;  ///< queue depth after the horizon
     std::int64_t staleness_at_end_s = -1;    ///< snapshot age at shutdown poll
     std::int64_t final_unix = 0;
+    /// Cloud partition totals; all zero (and the report line absent) when
+    /// the spec leaves max_burst at 0.
+    bool cloud_enabled = false;
+    cloud::CloudStats cloud;
+    std::int64_t cloud_billed_ms = 0;  ///< rented node time after the drain
+    double cloud_cost = 0;             ///< accrued cost after the drain
 
     [[nodiscard]] bool operator==(const ServeCounters& o) const {
         if (!(service == o.service) || !(fleet == o.fleet) || !(backend == o.backend) ||
@@ -39,6 +46,14 @@ struct ServeCounters {
             sessions.rejected != o.sessions.rejected ||
             sessions.job_infos != o.sessions.job_infos ||
             sessions.queue_infos != o.sessions.queue_infos)
+            return false;
+        if (cloud_enabled != o.cloud_enabled || cloud_billed_ms != o.cloud_billed_ms ||
+            cloud_cost != o.cloud_cost || cloud.burst_requests != o.cloud.burst_requests ||
+            cloud.nodes_requested != o.cloud.nodes_requested ||
+            cloud.provisions_completed != o.cloud.provisions_completed ||
+            cloud.quota_denied != o.cloud.quota_denied ||
+            cloud.releases != o.cloud.releases ||
+            cloud.total_reaction_ms != o.cloud.total_reaction_ms)
             return false;
         for (int r = 0; r < kRejectReasonCount; ++r)
             if (sessions.rejects_by_reason[r] != o.sessions.rejects_by_reason[r]) return false;

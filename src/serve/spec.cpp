@@ -79,6 +79,20 @@ util::Result<ServeSpec> parse_serve_spec(const std::string& text) {
         if (!arrival.ok()) return arrival.error();
         spec.arrival = arrival.value();
     }
+    if (const util::JsonValue* c = root.find("cloud"); c != nullptr) {
+        if (c->type != util::JsonValue::Type::kObject)
+            return util::Error{"serve spec: cloud must be an object"};
+        ServeCloudSpec& cl = spec.cloud;
+        cl.max_burst = static_cast<int>(
+            util::json_num_or(*c, "max_burst", static_cast<double>(cl.max_burst)));
+        cl.provision_s = util::json_num_or(*c, "provision_s", cl.provision_s);
+        cl.idle_timeout_min = util::json_num_or(*c, "idle_timeout_min", cl.idle_timeout_min);
+        cl.price_per_node_hour =
+            util::json_num_or(*c, "price_per_node_hour", cl.price_per_node_hour);
+        cl.queue_threshold = static_cast<std::size_t>(util::json_num_or(
+            *c, "queue_threshold", static_cast<double>(cl.queue_threshold)));
+        cl.sweep_s = util::json_num_or(*c, "sweep_s", cl.sweep_s);
+    }
 
     if (spec.clients < 1) return util::Error{"serve spec: clients must be >= 1"};
     if (spec.nodes < 1) return util::Error{"serve spec: nodes must be >= 1"};
@@ -94,6 +108,11 @@ util::Result<ServeSpec> parse_serve_spec(const std::string& text) {
         return util::Error{"serve spec: ratios must be within [0, 1]"};
     if (spec.max_job_nodes < 1) return util::Error{"serve spec: max_job_nodes must be >= 1"};
     if (spec.runtime_scale <= 0) return util::Error{"serve spec: runtime_scale must be > 0"};
+    if (spec.cloud.max_burst < 0) return util::Error{"serve spec: cloud.max_burst must be >= 0"};
+    if (spec.cloud.max_burst > 0 &&
+        (spec.cloud.provision_s <= 0 || spec.cloud.idle_timeout_min <= 0 ||
+         spec.cloud.sweep_s <= 0 || spec.cloud.price_per_node_hour < 0))
+        return util::Error{"serve spec: cloud knobs must be positive"};
     return spec;
 }
 

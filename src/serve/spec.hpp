@@ -10,6 +10,9 @@
 //    "arrival": {"rate_per_hour": 2, "burst_factor": 3,
 //                "burst_hours": 0.25, "burst_every_hours": 1,
 //                "diurnal": [ ...24 multipliers... ]},   // all optional
+//    "cloud": {"max_burst": 32, "provision_s": 120, "idle_timeout_min": 30,
+//              "price_per_node_hour": 0.32, "queue_threshold": 64,
+//              "sweep_s": 30},                           // optional
 //    "query_ratio": 0.5, "checkqueue_ratio": 0.1,
 //    "max_job_nodes": 4, "runtime_scale": 0.25}
 //
@@ -29,6 +32,20 @@ namespace hc::serve {
 
 enum class BackendKind { kPbs, kWinHpc };
 
+/// Elastic partition behind the submission service: while the backend's
+/// queue depth stays above `queue_threshold`, one cloud node is provisioned
+/// per `sweep_s` tick (a deliberately gentle ramp), and the idle-timeout
+/// scale-down returns capacity once the rush is over. max_burst == 0 (the
+/// default) disables the partition and keeps pre-cloud reports identical.
+struct ServeCloudSpec {
+    int max_burst = 0;
+    double provision_s = 120;
+    double idle_timeout_min = 30;
+    double price_per_node_hour = 0.32;
+    std::size_t queue_threshold = 64;
+    double sweep_s = 30;
+};
+
 struct ServeSpec {
     int clients = 100;
     int nodes = 1000;
@@ -40,6 +57,7 @@ struct ServeSpec {
     std::size_t retention = 1024;  ///< completed-job records the backend keeps
     AdmissionConfig admission;
     workload::ArrivalSpec arrival;
+    ServeCloudSpec cloud;
     double query_ratio = 0.5;
     double checkqueue_ratio = 0.1;
     int max_job_nodes = 4;

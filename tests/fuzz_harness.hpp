@@ -15,7 +15,11 @@
 //   4. job accounting — every PBS/WinHPC job is accounted: terminal
 //      completions plus still-live jobs equal submissions;
 //   5. engine sanity — sim time is monotone (run_until lands exactly on the
-//      horizon) and the event calendar's conservation identity holds.
+//      horizon) and the event calendar's conservation identity holds;
+//   6. cloud accounting (armed worlds) — the burst quota is a hard cap,
+//      instance slots are conserved across burst/scale-down/restore, no
+//      provision stays pending under recovery, and the cost ledger is
+//      monotone and exactly linear in the open-session count.
 #pragma once
 
 #include <filesystem>
@@ -35,6 +39,10 @@ struct FuzzRunConfig {
     std::uint64_t seed = 0;
     bool recovery = true;
     int node_count = 8;
+    /// > 0 arms the elastic cloud partition (that many instance slots) under
+    /// the burst-aware policy, adding the rent/scale-down/recover state
+    /// machine to the fuzzed surface.
+    int cloud_burst = 0;
     sim::Duration horizon = sim::hours(12);
     /// Post-horizon grace with no new workload: outages heal and the
     /// watchdog/sweeper converge. Must exceed the slowest recovery chain
@@ -71,6 +79,21 @@ inline std::vector<workload::JobSpec> make_workload(std::uint64_t seed,
     return trace;
 }
 
+/// Arm the elastic partition on a fuzz world config. The backend seed is
+/// fixed so the FuzzWorld shared prefix never depends on the fuzz seed;
+/// per-seed diversity still reaches the cloud path through the plan's
+/// probabilistic boot hangs (arm_faults folds them into the cloud nodes)
+/// and the workload that decides when the policy rents.
+inline void arm_cloud(core::HybridConfig& hc, const FuzzRunConfig& cfg) {
+    if (cfg.cloud_burst <= 0) return;
+    hc.policy = core::PolicyKind::kBurstAware;
+    hc.cloud.max_burst = cfg.cloud_burst;
+    hc.cloud.provision_delay = sim::seconds(90);
+    hc.cloud.idle_timeout = sim::minutes(20);
+    hc.cloud.sweep_interval = sim::minutes(1);
+    hc.cloud.seed = 1;
+}
+
 /// The seed's random plan (shared by the cold and forked replica shapes).
 inline FaultPlan make_plan(const FuzzRunConfig& cfg) {
     RandomPlanOptions plan_options;
@@ -90,6 +113,9 @@ inline void run_and_check_invariants(sim::Engine& engine, core::HybridCluster& h
         if (!ok) outcome.violations.push_back(what);
     };
     check(engine.now() == horizon_end, "sim clock not monotone to horizon");
+    cloud::CloudBackend* cloudp = hybrid.cloud();
+    const std::int64_t accrued_horizon =
+        cloudp != nullptr ? cloudp->accrued_ms(engine.now()) : 0;
     // Quiesce: no new workload, outages heal, watchdog/sweeper converge.
     engine.run_until(horizon_end + cfg.drain);
 
@@ -148,6 +174,35 @@ inline void run_and_check_invariants(sim::Engine& engine, core::HybridCluster& h
         check(es.scheduled == es.dispatched + es.cancelled + engine.pending_events(),
               "engine event conservation violated");
     }
+
+    // 6. Elastic-partition accounting (armed worlds only): the quota is a
+    //    hard cap; every slot is conserved (provisions minus releases is
+    //    exactly the provisioned count, so a burst can neither lose a slot
+    //    nor double-place one); recovery leaves no provision pending; and
+    //    the money ledger never shrinks and extrapolates exactly linearly
+    //    in the open-session count.
+    if (cloudp != nullptr) {
+        const cloud::CloudStats& cs = cloudp->stats();
+        check(cloudp->active_count() <= cloudp->config().max_burst,
+              "cloud quota overrun: " + std::to_string(cloudp->active_count()) + " active of " +
+                  std::to_string(cloudp->config().max_burst));
+        check(cs.nodes_requested >= cs.releases, "cloud released more slots than provisioned");
+        check(static_cast<std::int64_t>(cs.nodes_requested) -
+                      static_cast<std::int64_t>(cs.releases) ==
+                  cloudp->active_count(),
+              "cloud slot leak: requested " + std::to_string(cs.nodes_requested) +
+                  ", released " + std::to_string(cs.releases) + ", active " +
+                  std::to_string(cloudp->active_count()));
+        if (cfg.recovery)
+            check(cloudp->provisioning_count() == 0,
+                  std::to_string(cloudp->provisioning_count()) +
+                      " cloud provision(s) still pending after drain");
+        const std::int64_t accrued_end = cloudp->accrued_ms(engine.now());
+        check(accrued_end >= accrued_horizon, "cloud ledger shrank across the drain");
+        const std::int64_t probe = cloudp->accrued_ms(engine.now() + sim::hours(1));
+        check(probe == accrued_end + cloudp->active_count() * sim::hours(1).ms,
+              "cloud ledger not linear in open sessions");
+    }
 }
 
 /// One fuzz replica: build a random plan from the seed, run the full hybrid
@@ -166,6 +221,7 @@ inline FuzzOutcome run_one(const FuzzRunConfig& cfg, util::Arena* arena = nullpt
     hc.poll_interval = sim::minutes(10);
     hc.fault_plan = outcome.plan;
     hc.recovery.enabled = cfg.recovery;
+    arm_cloud(hc, cfg);
     core::HybridCluster hybrid(engine, hc);
     hybrid.start();
     hybrid.replay(make_workload(cfg.seed, cfg));
@@ -191,6 +247,7 @@ struct FuzzWorld {
         hc.version = deploy::MiddlewareVersion::kV2;
         hc.poll_interval = sim::minutes(10);
         hc.recovery.enabled = cfg.recovery;
+        arm_cloud(hc, cfg);  // cloud knobs are seed-independent by construction
         return hc;
     }
 

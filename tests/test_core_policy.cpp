@@ -253,5 +253,119 @@ TEST(Never, NeverActs) {
     EXPECT_EQ(policy.name(), "never");
 }
 
+// ---------- BurstAware (switch-vs-burst arbitration) ----------
+
+SwitchContext with_cloud(SwitchContext ctx, int available, int provisioning,
+                         double latency_s) {
+    ctx.cloud.enabled = true;
+    ctx.cloud.available_burst = available;
+    ctx.cloud.provisioning = provisioning;
+    ctx.cloud.burst_latency_s = latency_s;
+    return ctx;
+}
+
+TEST(BurstAware, SwitchPreferredWhenDonorHasIdleNodes) {
+    BurstAwarePolicy policy(2);
+    // Windows stuck needing 2 nodes; Linux can donate both — rule 1 covers
+    // the whole need, so no money is spent.
+    const auto d = policy.decide(with_cloud(make_ctx(false, 0, 4, true, 8, 0), 8, 0, 300));
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.target, OsType::kWindows);
+    EXPECT_EQ(d.node_count, 2);
+    EXPECT_FALSE(d.burst());
+}
+
+TEST(BurstAware, BurstsWhileSwitchCooldownBlocks) {
+    BurstAwarePolicy policy(2);
+    const auto ctx = with_cloud(make_ctx(false, 0, 4, true, 8, 0), 8, 0, 300);
+    ASSERT_TRUE(policy.decide(ctx).act());  // switch, arms the cooldown
+    // Still stuck on the next poll: the switch channel is closed, so rule 2
+    // rents the capacity instead.
+    const auto d = policy.decide(ctx);
+    EXPECT_FALSE(d.act());
+    ASSERT_TRUE(d.burst());
+    EXPECT_EQ(d.target, OsType::kWindows);
+    EXPECT_EQ(d.burst_count, 2);
+    EXPECT_NE(d.reason.find("cooldown"), std::string::npos);
+}
+
+TEST(BurstAware, BurstsShortfallWhenDonorRunsOut) {
+    BurstAwarePolicy policy(2);
+    // Needs 4 nodes, donor spares 1: switch 1 and burst the other 3.
+    const auto d = policy.decide(with_cloud(make_ctx(false, 0, 1, true, 16, 0), 8, 0, 300));
+    ASSERT_TRUE(d.act());
+    EXPECT_EQ(d.node_count, 1);
+    ASSERT_TRUE(d.burst());
+    EXPECT_EQ(d.burst_count, 3);
+}
+
+TEST(BurstAware, SwitchPreferredWhenBurstLatencyExceedsDrain) {
+    BurstAwarePolicy policy(0, /*est_drain_s_per_job=*/60);
+    // One queued job drains in ~60 s; a 300 s provision would arrive after
+    // the queue emptied itself — rule 3 keeps the wallet shut.
+    SwitchContext ctx = with_cloud(make_ctx(false, 0, 0, true, 8, 0), 8, 0, 300);
+    const auto d = policy.decide(ctx);
+    EXPECT_FALSE(d.burst());
+    EXPECT_NE(d.reason.find("exceeds predicted drain"), std::string::npos);
+}
+
+TEST(BurstAware, BothStuckBurstsForLargerNeed) {
+    BurstAwarePolicy policy(2);
+    const auto d = policy.decide(with_cloud(make_ctx(true, 4, 0, true, 12, 0), 8, 0, 300));
+    EXPECT_FALSE(d.act());  // no donor either way
+    ASSERT_TRUE(d.burst());
+    EXPECT_EQ(d.target, OsType::kWindows);  // 12 cpus > 4 cpus
+    EXPECT_EQ(d.burst_count, 3);
+}
+
+TEST(BurstAware, QuotaExhaustedCannotBurst) {
+    BurstAwarePolicy policy(2);
+    const auto d = policy.decide(with_cloud(make_ctx(true, 4, 0, true, 4, 0), 0, 0, 300));
+    EXPECT_FALSE(d.act());
+    EXPECT_FALSE(d.burst());
+}
+
+TEST(BurstAware, InFlightProvisionsAreNotReBursted) {
+    BurstAwarePolicy policy(2);
+    // Needs 3 nodes and 3 provisions are already on their way: bursting
+    // again would double-rent.
+    const auto d = policy.decide(with_cloud(make_ctx(true, 12, 0, true, 0, 0), 8, 3, 300));
+    EXPECT_FALSE(d.burst());
+}
+
+TEST(BurstAware, DegradesToFcfsWithCooldownWithoutCloud) {
+    BurstAwarePolicy policy(1);
+    const auto ctx = make_ctx(false, 0, 4, true, 8, 0);  // cloud.enabled = false
+    ASSERT_TRUE(policy.decide(ctx).act());
+    const auto d = policy.decide(ctx);  // cooldown poll
+    EXPECT_FALSE(d.act());
+    EXPECT_FALSE(d.burst());
+    EXPECT_TRUE(policy.decide(ctx).act());  // cooldown expired
+}
+
+TEST(BurstAware, CooldownRoundTripsThroughBlob) {
+    BurstAwarePolicy policy(3);
+    const auto ctx = with_cloud(make_ctx(false, 0, 4, true, 8, 0), 8, 0, 300);
+    ASSERT_TRUE(policy.decide(ctx).act());  // cooldown_remaining = 3
+    BurstAwarePolicy restored(3);
+    restored.restore_blob(policy.save_blob());
+    const auto d = restored.decide(ctx);
+    EXPECT_FALSE(d.act());
+    EXPECT_TRUE(d.burst());
+}
+
+TEST(BurstAware, NameIncludesCooldown) {
+    EXPECT_EQ(BurstAwarePolicy(2).name(), "burst-aware(cd=2)");
+    EXPECT_THROW(BurstAwarePolicy(-1), util::PreconditionError);
+    EXPECT_THROW(BurstAwarePolicy(2, 0), util::PreconditionError);
+}
+
+TEST(Never, NeverBurstsEvenWithCloudArmed) {
+    NeverSwitchPolicy policy;
+    const auto d = policy.decide(with_cloud(make_ctx(true, 16, 0, true, 16, 0), 8, 0, 60));
+    EXPECT_FALSE(d.act());
+    EXPECT_FALSE(d.burst());
+}
+
 }  // namespace
 }  // namespace hc::core

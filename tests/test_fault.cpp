@@ -11,6 +11,7 @@
 #include "boot/grub_config.hpp"
 #include "boot/local_boot.hpp"
 #include "boot/pxe.hpp"
+#include "cloud/cloud.hpp"
 #include "cluster/cluster.hpp"
 #include "core/controller.hpp"
 #include "core/detector.hpp"
@@ -560,6 +561,54 @@ TEST_F(SweeperFixture, NeverGivesUpAfterDeclaringFailure) {
     engine.run_for(sim::minutes(30));
     // Retries continue at capped backoff even after the declaration.
     EXPECT_GT(supervisor.stats().power_cycles, cycles_at_declare);
+}
+
+// A fault landing during a pending cloud provision: the instance hangs in
+// the elastic partition — *outside* the fixed cluster the supervisor was
+// built around — so it is only rescued because the world construction
+// watch()es every cloud slot. The billing meter keeps running through the
+// wedge (you pay for a broken instance), and once the supervisor
+// power-cycles it the provision completes with a reaction time that covers
+// the whole outage.
+TEST_F(SweeperFixture, TornProvisionIsRescuedByTheSupervisor) {
+    wire_v2_and_boot();
+    cloud::CloudConfig cc;
+    cc.max_burst = 2;
+    cc.provision_delay = sim::minutes(2);
+    cc.provision_jitter = 0;
+    cloud::CloudBackend backend(engine, cc, /*index_base=*/4);
+    for (auto* node : backend.nodes()) {
+        node->disk() = boot::make_v2_disk();  // image, like HybridCluster wires it
+        node->set_boot_resolver(pxe.make_resolver());
+    }
+
+    RecoverySupervisor supervisor(engine, cluster, flag.get(), quick_options());
+    for (auto* node : backend.nodes()) supervisor.watch(*node);
+    supervisor.start();
+    backend.start();
+
+    // Wedge the provision: every boot attempt hangs, including the
+    // supervisor's retry cycles, until the outage clears below.
+    backend.node(0).set_boot_hang_probability(1.0);
+    ASSERT_EQ(backend.request_burst(OsType::kLinux, 1), 1);
+    engine.run_for(sim::minutes(5));
+    EXPECT_FALSE(backend.node(0).is_up());
+    EXPECT_GE(backend.node(0).stats().hangs, 1u);
+    EXPECT_EQ(backend.provisioning_count(), 1);  // request still open
+    EXPECT_GT(backend.accrued_ms(engine.now()), 0);
+
+    // The underlying outage clears; the sweeper's next cycle boots clean.
+    backend.node(0).set_boot_hang_probability(0);
+    engine.run_for(sim::minutes(15));
+    EXPECT_TRUE(backend.node(0).is_up());
+    EXPECT_EQ(backend.provisioning_count(), 0);
+    EXPECT_EQ(backend.stats().provisions_completed, 1u);
+    EXPECT_GE(supervisor.stats().power_cycles, 1u);
+    EXPECT_GE(supervisor.stats().recoveries, 1u);
+    // Reaction time spans request -> rescue -> up, not just the clean boot.
+    EXPECT_GE(backend.stats().total_reaction_ms, sim::minutes(5).ms);
+    supervisor.stop();
+    backend.stop();
 }
 
 // ---------- detector degradation ----------

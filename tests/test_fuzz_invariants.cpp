@@ -36,11 +36,12 @@ int fuzz_threads() {
     return std::atoi(env);
 }
 
-void sweep(std::uint64_t first_seed, std::uint64_t count) {
+void sweep(std::uint64_t first_seed, std::uint64_t count, int cloud_burst = 0) {
     const auto outcomes = sweep::map_indexed<FuzzOutcome>(
         count, fuzz_threads(), [&](std::size_t slot, sweep::WorkerContext& ctx) {
             FuzzRunConfig cfg;
             cfg.seed = first_seed + slot;  // caller-forked: depends only on the slot
+            cfg.cloud_burst = cloud_burst;
             return run_one(cfg, ctx.arena);
         });
     std::uint64_t failures = 0;
@@ -58,6 +59,14 @@ void sweep(std::uint64_t first_seed, std::uint64_t count) {
 }
 
 TEST(FuzzInvariants, QuickShard) { sweep(/*first_seed=*/1, /*count=*/50); }
+
+// Cloud-armed shard: the same invariant set plus the elastic-partition
+// checks (quota cap, slot conservation, pending-provision drain, ledger
+// linearity) over worlds where the burst-aware policy may rent mid-fault.
+// Disjoint seed base so it explores plans the plain shard never saw.
+TEST(FuzzInvariants, QuickShardCloud) {
+    sweep(/*first_seed=*/200, /*count=*/25, /*cloud_burst=*/4);
+}
 
 // The warm-started shard: the same invariants through the snapshot/fork
 // path. One healthy world per worker, every seed's plan + workload armed on
@@ -83,6 +92,36 @@ TEST(FuzzInvariants, QuickShardForked) {
         for (const std::string& v : outcomes[slot].violations) {
             ++failures;
             ADD_FAILURE() << "forked seed " << kFirstSeed + slot << ": " << v;
+        }
+    }
+    EXPECT_EQ(failures, 0u);
+}
+
+// Forked + cloud-armed: the shared prefix carries a started CloudBackend
+// (sweep task armed, slots registered with both schedulers), so every
+// restore exercises the backend's SavedState round-trip before the seed's
+// plan and workload drive bursts, scale-downs, and recoveries on top.
+TEST(FuzzInvariants, QuickShardForkedCloud) {
+    constexpr std::uint64_t kFirstSeed = 300;
+    constexpr std::size_t kCount = 25;
+    const auto outcomes = sweep::run_forked(
+        kCount, fuzz_threads(),
+        [](sweep::WorkerContext& ctx) {
+            FuzzRunConfig cfg;
+            cfg.cloud_burst = 4;
+            return std::make_unique<FuzzWorld>(cfg, ctx.arena);
+        },
+        [](FuzzWorld& world, std::size_t slot) {
+            FuzzRunConfig cfg;
+            cfg.seed = kFirstSeed + slot;
+            cfg.cloud_burst = 4;
+            return run_forked_suffix(world, cfg);
+        });
+    std::uint64_t failures = 0;
+    for (std::size_t slot = 0; slot < outcomes.size(); ++slot) {
+        for (const std::string& v : outcomes[slot].violations) {
+            ++failures;
+            ADD_FAILURE() << "forked cloud seed " << kFirstSeed + slot << ": " << v;
         }
     }
     EXPECT_EQ(failures, 0u);

@@ -333,5 +333,114 @@ TEST(ScenarioSnapshot, FaultArmDivergenceMatchesColdArm) {
     }
 }
 
+// ---- cloud-armed worlds ----------------------------------------------------
+
+/// record_bytes plus the cloud ledger: burst counters, reaction times, and
+/// the money meter join the equality surface, so a restore that loses a
+/// billing session, a pending provision, or an idle-tracking mark shows up
+/// as a byte diff rather than a silent drift.
+std::string cloud_record_bytes(const core::ScenarioResult& result) {
+    bench::JsonReport report("snapshot-cloud-test");
+    bench::add_scenario_records(report, result, {});
+    report.add("cloud_bursts", static_cast<double>(result.cloud_stats.burst_requests),
+               "count", {});
+    report.add("cloud_provisioned",
+               static_cast<double>(result.cloud_stats.provisions_completed), "count", {});
+    report.add("cloud_denied", static_cast<double>(result.cloud_stats.quota_denied),
+               "count", {});
+    report.add("cloud_releases", static_cast<double>(result.cloud_stats.releases), "count",
+               {});
+    report.add("cloud_reaction_ms",
+               static_cast<double>(result.cloud_stats.total_reaction_ms), "ms", {});
+    report.add("cloud_node_hours", result.cloud_node_hours, "h", {});
+    report.add("cloud_cost", result.cloud_cost, "$", {});
+    return report.render_records();
+}
+
+/// An E10-shaped world: all-Linux start so Windows arrivals stick and the
+/// burst-aware policy actually rents, with the fault RNG streams hot too.
+core::ScenarioConfig cloud_config(std::uint64_t seed) {
+    core::ScenarioConfig cfg;
+    cfg.kind = core::ScenarioKind::kBiStableHybrid;
+    cfg.policy = core::PolicyKind::kBurstAware;
+    cfg.node_count = 16;
+    cfg.linux_nodes = 16;
+    cfg.poll_interval = sim::minutes(10);
+    cfg.horizon = sim::hours(8);
+    cfg.message_drop_probability = 0.05;
+    cfg.boot_hang_probability = 0.02;
+    cfg.seed = seed;
+    cfg.cloud.max_burst = 6;
+    cfg.cloud.provision_delay = sim::seconds(90);
+    cfg.cloud.idle_timeout = sim::minutes(20);
+    cfg.cloud.sweep_interval = sim::minutes(1);
+    return cfg;
+}
+
+TEST(ScenarioSnapshot, CloudWorldRoundTripMatchesColdRunByteForByte) {
+    const core::ScenarioConfig cfg = cloud_config(23);
+    const auto trace = bench::mixed_trace(0.6, /*seed=*/23, /*rate_per_hour=*/12.0,
+                                          sim::hours(6));
+    const core::ScenarioResult cold_result = core::run_scenario(cfg, trace);
+    // The fork point (4 h) sits mid-campaign: rented instances, open billing
+    // sessions, and possibly an in-flight provision all cross the snapshot.
+    ASSERT_TRUE(cold_result.cloud_enabled);
+    ASSERT_GT(cold_result.cloud_stats.nodes_requested, 0u)
+        << "workload never drove a burst — the golden would not cover the cloud path";
+    const std::string cold = cloud_record_bytes(cold_result);
+
+    util::Arena arena;
+    core::ScenarioConfig warm_cfg = cfg;
+    warm_cfg.arena = &arena;
+    core::ScenarioWorld world(warm_cfg, trace);
+    world.run_until(sim::TimePoint{} + sim::hours(4));
+    auto snap = world.snapshot();
+
+    world.run_until(world.horizon_end());
+    EXPECT_EQ(cloud_record_bytes(world.finish()), cold)
+        << "phased cloud run diverged from run_scenario";
+    for (int round = 0; round < 2; ++round) {
+        world.restore(snap);
+        world.run_until(world.horizon_end());
+        EXPECT_EQ(cloud_record_bytes(world.finish()), cold)
+            << "restored cloud suffix " << round;
+    }
+}
+
+TEST(ScenarioSnapshot, CloudWorldFaultArmDivergenceMatchesColdArm) {
+    core::ScenarioConfig cfg = cloud_config(29);
+    cfg.recovery.enabled = true;
+    const auto trace = bench::mixed_trace(0.6, /*seed=*/29, /*rate_per_hour=*/12.0,
+                                          sim::hours(6));
+    const auto fork_at = sim::TimePoint{} + sim::hours(3);
+
+    auto plan_for = [](std::uint64_t seed) {
+        fault::RandomPlanOptions opts;
+        opts.horizon = sim::hours(5);
+        return fault::make_random_plan(opts, seed);
+    };
+    auto cold_with = [&](std::uint64_t fault_seed) {
+        core::ScenarioWorld world(cfg, trace);
+        world.run_until(fork_at);
+        world.hybrid().arm_faults(plan_for(fault_seed), fault_seed);
+        world.run_until(world.horizon_end());
+        return cloud_record_bytes(world.finish());
+    };
+
+    util::Arena arena;
+    core::ScenarioConfig warm_cfg = cfg;
+    warm_cfg.arena = &arena;
+    core::ScenarioWorld world(warm_cfg, trace);
+    world.run_until(fork_at);
+    auto snap = world.snapshot();
+    for (const std::uint64_t fault_seed : {303ull, 404ull}) {
+        world.restore(snap);
+        world.hybrid().arm_faults(plan_for(fault_seed), fault_seed);
+        world.run_until(world.horizon_end());
+        EXPECT_EQ(cloud_record_bytes(world.finish()), cold_with(fault_seed))
+            << "cloud world, fault seed " << fault_seed;
+    }
+}
+
 }  // namespace
 }  // namespace hc

@@ -6,11 +6,24 @@
 //   dualboot-sim generate --rate 8 --hours 24 --seed 7 > trace.txt
 //   dualboot-sim run --trace trace.txt --scenario hybrid --policy fair-share
 //   dualboot-sim run --trace trace.txt --scenario static --linux-nodes 12
+//   dualboot-sim run --trace trace.txt --policy burst-aware --cloud cloud.json
 //   dualboot-sim case-study                 # the §IV.B MDCS trace, inline
 //   dualboot-sim sweep --spec spec.json --threads 4   # N-seed parallel sweep
 //
 // Scenarios: hybrid | static | mono | oracle.
-// Policies : fcfs | threshold | fair-share | predictive | never | calendar.
+// Policies : fcfs | threshold | fair-share | predictive | never | calendar |
+//            burst-aware.
+//
+// --cloud names an hc-cloud-spec/1 document arming the elastic partition:
+//
+//   {"schema": "hc-cloud-spec/1",
+//    "max_burst": 8, "provision_s": 120, "provision_jitter": 0.25,
+//    "provision_failure": 0, "idle_timeout_min": 30, "sweep_s": 60,
+//    "price_per_node_hour": 0.32, "cooldown_polls": 2,
+//    "drain_estimate_s": 600, "cloud_seed": 77}
+//
+// Sweep specs embed the same knobs inline as a "cloud" object (no schema
+// field needed there — the sweep spec's own schema covers it).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -95,8 +108,61 @@ core::PolicyKind parse_policy(const std::string& name) {
     if (name == "predictive") return core::PolicyKind::kPredictive;
     if (name == "never") return core::PolicyKind::kNever;
     if (name == "calendar") return core::PolicyKind::kCalendar;
+    if (name == "burst-aware") return core::PolicyKind::kBurstAware;
     std::fprintf(stderr, "dualboot-sim: unknown policy %s\n", name.c_str());
     std::exit(1);
+}
+
+/// Apply an hc-cloud-spec/1 document (or a sweep spec's inline "cloud"
+/// object) to a scenario config: the elastic-partition knobs plus the
+/// burst-aware policy tuning that rides along with them.
+void apply_cloud_block(const util::JsonValue& c, core::ScenarioConfig& cfg) {
+    cfg.cloud.max_burst =
+        static_cast<int>(util::json_num_or(c, "max_burst", cfg.cloud.max_burst));
+    cfg.cloud.provision_delay =
+        sim::seconds(util::json_num_or(c, "provision_s", cfg.cloud.provision_delay.seconds()));
+    cfg.cloud.provision_jitter =
+        util::json_num_or(c, "provision_jitter", cfg.cloud.provision_jitter);
+    cfg.cloud.provision_failure_probability =
+        util::json_num_or(c, "provision_failure", cfg.cloud.provision_failure_probability);
+    cfg.cloud.idle_timeout = sim::seconds(
+        util::json_num_or(c, "idle_timeout_min", cfg.cloud.idle_timeout.seconds() / 60.0) *
+        60.0);
+    cfg.cloud.sweep_interval =
+        sim::seconds(util::json_num_or(c, "sweep_s", cfg.cloud.sweep_interval.seconds()));
+    cfg.cloud.price_per_node_hour =
+        util::json_num_or(c, "price_per_node_hour", cfg.cloud.price_per_node_hour);
+    cfg.cloud.seed = static_cast<std::uint64_t>(
+        util::json_num_or(c, "cloud_seed", static_cast<double>(cfg.cloud.seed)));
+    cfg.burst_cooldown_polls =
+        static_cast<int>(util::json_num_or(c, "cooldown_polls", cfg.burst_cooldown_polls));
+    cfg.burst_drain_estimate_s =
+        util::json_num_or(c, "drain_estimate_s", cfg.burst_drain_estimate_s);
+}
+
+bool load_cloud_spec(const std::string& path, core::ScenarioConfig& cfg) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "dualboot-sim: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto parsed = util::JsonReader(buf.str()).parse();
+    if (!parsed.ok() || parsed.value().type != util::JsonValue::Type::kObject ||
+        util::json_str_or(parsed.value(), "schema", "") != "hc-cloud-spec/1") {
+        std::fprintf(stderr, "dualboot-sim: bad cloud spec %s: %s\n", path.c_str(),
+                     parsed.ok() ? "missing schema hc-cloud-spec/1"
+                                 : parsed.error_message().c_str());
+        return false;
+    }
+    apply_cloud_block(parsed.value(), cfg);
+    if (cfg.cloud.max_burst <= 0) {
+        std::fprintf(stderr, "dualboot-sim: cloud spec %s: max_burst must be >= 1\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
 }
 
 void write_file_or_die(const std::string& path, const std::string& content) {
@@ -136,6 +202,11 @@ int cmd_run(const std::map<std::string, std::string>& flags,
     cfg.horizon = sim::hours(flag_or(flags, "hours", 40.0));
     cfg.seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 42.0));
     cfg.fair_share_cooldown = static_cast<int>(flag_or(flags, "cooldown", 0.0));
+
+    // Elastic partition: --cloud spec.json arms max_burst cloud slots beside
+    // the fixed pools (pair with --policy burst-aware for the decision side).
+    const std::string cloud_path = flag_or(flags, "cloud", std::string());
+    if (!cloud_path.empty() && !load_cloud_spec(cloud_path, cfg)) std::exit(1);
 
     // Fault injection: --faults plan.json loads an hc-fault-plan/1 document;
     // recovery defaults to on when faults are present (use --recovery off
@@ -177,6 +248,15 @@ int cmd_run(const std::map<std::string, std::string>& flags,
     std::printf("switching : %llu OS switches, %llu switch orders\n",
                 static_cast<unsigned long long>(s.os_switches),
                 static_cast<unsigned long long>(result.linux_daemon.switches_ordered));
+    if (result.cloud_enabled)
+        std::printf("cloud     : %llu bursts (%llu denied), %llu provisioned, %llu released, "
+                    "mean reaction %.0f s, %.2f node-hours ($%.2f)\n",
+                    static_cast<unsigned long long>(result.cloud_stats.burst_requests),
+                    static_cast<unsigned long long>(result.cloud_stats.quota_denied),
+                    static_cast<unsigned long long>(result.cloud_stats.provisions_completed),
+                    static_cast<unsigned long long>(result.cloud_stats.releases),
+                    result.cloud_stats.mean_reaction_s(), result.cloud_node_hours,
+                    result.cloud_cost);
     if (!faults_path.empty()) {
         std::printf("faults    : %llu injected (%llu hangs, %llu crashes, %llu torn writes, "
                     "%llu outages), %llu skipped\n",
@@ -295,6 +375,16 @@ int cmd_sweep(const std::string& spec_path, const std::map<std::string, std::str
     base.poll_interval = sim::minutes(util::json_num_or(spec, "poll_minutes", 10));
     base.horizon = sim::hours(util::json_num_or(spec, "hours", 20));
     base.fair_share_cooldown = static_cast<int>(util::json_num_or(spec, "cooldown", 0));
+
+    // Optional inline elastic-partition block (same knobs as hc-cloud-spec/1).
+    if (const util::JsonValue* c = spec.find("cloud"); c != nullptr) {
+        if (c->type != util::JsonValue::Type::kObject) {
+            std::fprintf(stderr, "dualboot-sim: bad sweep spec %s: cloud must be an object\n",
+                         spec_path.c_str());
+            return 1;
+        }
+        apply_cloud_block(*c, base);
+    }
 
     // Optional fault plan, resolved relative to the spec file's directory so
     // specs can ship next to their plans.
@@ -458,6 +548,22 @@ int cmd_sweep(const std::string& spec_path, const std::map<std::string, std::str
         submitted_sum += s.submitted;
     }
     std::printf("%s", table.render().c_str());
+    if (base.cloud.max_burst > 0) {
+        std::uint64_t bursts = 0, provisioned = 0, released = 0;
+        double node_hours = 0, cost = 0;
+        for (const auto& r : out.results) {
+            bursts += r.cloud_stats.burst_requests;
+            provisioned += r.cloud_stats.provisions_completed;
+            released += r.cloud_stats.releases;
+            node_hours += r.cloud_node_hours;
+            cost += r.cloud_cost;
+        }
+        std::printf("cloud     : %llu bursts, %llu provisioned, %llu released, "
+                    "%.2f node-hours ($%.2f) across replicas\n",
+                    static_cast<unsigned long long>(bursts),
+                    static_cast<unsigned long long>(provisioned),
+                    static_cast<unsigned long long>(released), node_hours, cost);
+    }
     std::printf("aggregate : %zu/%zu jobs completed, mean utilisation %.1f%%, "
                 "wait p50 %s / p95 %s across replicas\n",
                 completed_sum, submitted_sum,
@@ -517,7 +623,8 @@ int main(int argc, char** argv) {
                      "       %s run --trace FILE [--scenario hybrid|static|mono|oracle]\n"
                      "              [--policy P --nodes N --linux-nodes K --hours H\n"
                      "               --poll-minutes M --version v1|v2 --seed S]\n"
-                     "              [--faults plan.json --recovery on|off]\n"
+                     "              [--faults plan.json --recovery on|off "
+                     "--cloud cloud.json]\n"
                      "              [--trace-out T.json --metrics M.json --journal J.jsonl]\n"
                      "       %s case-study [run flags; --trace T.json writes the "
                      "chrome trace]\n"
