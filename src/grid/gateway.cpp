@@ -4,20 +4,13 @@
 
 namespace hc::grid {
 
-const char* routing_rule_name(RoutingRule rule) {
-    switch (rule) {
-        case RoutingRule::kFirstCapable: return "first-capable";
-        case RoutingRule::kRoundRobin: return "round-robin";
-        case RoutingRule::kLeastPressure: return "least-pressure";
-    }
-    return "?";
-}
-
 GridGateway::GridGateway(sim::Engine& engine, RoutingRule rule)
     : engine_(engine), rule_(rule) {}
 
 GridMember& GridGateway::add_member(std::unique_ptr<GridMember> member) {
     util::require(member != nullptr, "add_member: null member");
+    util::require(!member->owns_engine(),
+                  "add_member: shard members belong on a FederatedGrid, not a gateway");
     members_.push_back(std::move(member));
     return *members_.back();
 }
@@ -55,17 +48,13 @@ GridMember* GridGateway::route(const workload::JobSpec& spec) {
             break;
         }
         case RoutingRule::kLeastPressure: {
-            double best_pressure = 0;
-            int best_free = -1;
+            MemberLoad best;
             for (auto& member : members_) {
                 if (!member->capable(spec.os)) continue;
                 const MemberLoad load = member->load(spec.os);
-                const double pressure = load.pressure();
-                if (chosen == nullptr || pressure < best_pressure ||
-                    (pressure == best_pressure && load.free_cpus > best_free)) {
+                if (chosen == nullptr || beats_under_least_pressure(load, best)) {
                     chosen = member.get();
-                    best_pressure = pressure;
-                    best_free = load.free_cpus;
+                    best = load;
                 }
             }
             break;
@@ -82,32 +71,44 @@ GridMember* GridGateway::route(const workload::JobSpec& spec) {
     return chosen;
 }
 
-void GridGateway::replay(const std::vector<workload::JobSpec>& trace) {
-    for (const auto& spec : trace) {
-        const sim::TimePoint at = spec.submit < engine_.now() ? engine_.now() : spec.submit;
-        engine_.schedule_at(at, [this, spec] { (void)route(spec); });
+void GridGateway::replay(std::vector<workload::JobSpec> trace) {
+    util::require(replay_cursor_ >= replay_trace_.size(),
+                  "GridGateway::replay: a replay is already in flight");
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        util::require(trace[i - 1].submit <= trace[i].submit,
+                      "GridGateway::replay: trace must be sorted by submit time "
+                      "(workload::sort_trace)");
     }
+    if (trace.empty()) return;
+    replay_trace_ = std::move(trace);
+    replay_cursor_ = 0;
+    arm_replay();
+}
+
+void GridGateway::arm_replay() {
+    const sim::TimePoint due = replay_trace_[replay_cursor_].submit;
+    const sim::TimePoint at = due < engine_.now() ? engine_.now() : due;
+    engine_.schedule_at(at, [this] { pump_replay(); });
+}
+
+void GridGateway::pump_replay() {
+    while (replay_cursor_ < replay_trace_.size() &&
+           replay_trace_[replay_cursor_].submit <= engine_.now()) {
+        (void)route(replay_trace_[replay_cursor_]);
+        ++replay_cursor_;
+    }
+    if (replay_cursor_ < replay_trace_.size()) arm_replay();
+}
+
+GridSummary GridGateway::grid_report(double horizon_s) {
+    std::vector<GridMember*> ptrs;
+    ptrs.reserve(members_.size());
+    for (auto& member : members_) ptrs.push_back(member.get());
+    return summarise_grid(ptrs, stats_.routed, stats_.rejected, horizon_s);
 }
 
 workload::Summary GridGateway::grid_summary(double horizon_s) {
-    workload::MetricsCollector merged;
-    workload::ClusterCounters counters;
-    for (auto& member : members_) {
-        for (const auto& outcome : member->metrics().outcomes()) merged.add(outcome);
-        const auto member_counters = member->cluster().counters();
-        counters.total_cores += member_counters.total_cores;
-        counters.cores_per_node = member_counters.cores_per_node;
-        counters.os_switches += member_counters.os_switches;
-        counters.reboots += member_counters.reboots;
-        counters.reboot_downtime_s += member_counters.reboot_downtime_s;
-    }
-    workload::Summary summary = merged.summarise(counters, horizon_s);
-    summary.submitted = stats_.routed + stats_.rejected;
-    summary.completion_rate =
-        summary.submitted > 0
-            ? static_cast<double>(summary.completed) / static_cast<double>(summary.submitted)
-            : 0;
-    return summary;
+    return grid_report(horizon_s).total;
 }
 
 }  // namespace hc::grid

@@ -1,24 +1,21 @@
 // The campus-grid gateway: routes incoming jobs to member clusters.
 //
-// Models the QGG submission front end. Three routing rules, from dumbest to
-// the one a real grid broker approximates:
-//   kFirstCapable — first member that can run the job's OS
-//   kRoundRobin   — rotate among capable members
-//   kLeastPressure— member with the least queued-work-per-capacity for the
-//                   job's OS (free capacity breaks ties)
+// Models the QGG submission front end on a single shared engine: every
+// member registered here lives on the caller's calendar and the gateway
+// routes each job the instant it arrives. (The sharded, parallel variant is
+// grid::FederatedGrid — same rules, epoch-batched.) Routing rules live in
+// grid/routing.hpp.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "grid/member.hpp"
+#include "grid/routing.hpp"
+#include "grid/summary.hpp"
 #include "workload/metrics.hpp"
 
 namespace hc::grid {
-
-enum class RoutingRule { kFirstCapable, kRoundRobin, kLeastPressure };
-
-[[nodiscard]] const char* routing_rule_name(RoutingRule rule);
 
 struct GatewayStats {
     std::size_t routed = 0;
@@ -45,8 +42,14 @@ public:
     /// can serve the job's OS (counted as rejected).
     GridMember* route(const workload::JobSpec& spec);
 
-    /// Schedule a whole trace through the gateway by submit time.
-    void replay(const std::vector<workload::JobSpec>& trace);
+    /// Stream a whole trace through the gateway by submit time. The trace
+    /// must be sorted by submit (workload::sort_trace); pass by value so the
+    /// gateway owns it for the duration (move in to avoid the copy).
+    /// Instead of materialising one scheduled closure per job, a single
+    /// cursor event walks the trace, routing every job due at its wake time
+    /// and re-arming itself at the next submit — O(1) live closures for a
+    /// million-job trace. One replay may be in flight at a time.
+    void replay(std::vector<workload::JobSpec> trace);
 
     [[nodiscard]] const GatewayStats& stats() const { return stats_; }
 
@@ -54,12 +57,20 @@ public:
     /// grid-wide summary over `horizon_s`.
     [[nodiscard]] workload::Summary grid_summary(double horizon_s);
 
+    /// Full ledger: grid total plus per-member breakdown.
+    [[nodiscard]] GridSummary grid_report(double horizon_s);
+
 private:
+    void arm_replay();
+    void pump_replay();
+
     sim::Engine& engine_;
     RoutingRule rule_;
     std::vector<std::unique_ptr<GridMember>> members_;
     std::size_t rr_cursor_ = 0;
     GatewayStats stats_;
+    std::vector<workload::JobSpec> replay_trace_;
+    std::size_t replay_cursor_ = 0;
 };
 
 }  // namespace hc::grid

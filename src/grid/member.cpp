@@ -15,34 +15,72 @@ const char* grid_member_kind_name(GridMember::Kind kind) {
     return "?";
 }
 
-GridMember::GridMember(sim::Engine& engine, std::string name, Kind kind, int nodes,
-                       core::PolicyKind hybrid_policy)
-    : name_(std::move(name)), kind_(kind) {
+util::Result<GridMember::Kind> parse_member_kind(const std::string& name) {
+    if (name == "dedicated-linux") return GridMember::Kind::kDedicatedLinux;
+    if (name == "dedicated-windows") return GridMember::Kind::kDedicatedWindows;
+    if (name == "hybrid") return GridMember::Kind::kHybrid;
+    return util::Error{"unknown member kind '" + name +
+                       "' (expected dedicated-linux, dedicated-windows, or hybrid)"};
+}
+
+namespace {
+
+core::HybridConfig member_config(const std::string& name, GridMember::Kind kind, int nodes,
+                                 core::PolicyKind hybrid_policy, int cores_per_node) {
     util::require(nodes > 0, "GridMember: nodes must be positive");
+    util::require(cores_per_node > 0, "GridMember: cores_per_node must be positive");
     core::HybridConfig config;
     config.cluster.node_count = nodes;
+    config.cluster.cores_per_node = cores_per_node;
     // Distinct domains/head hostnames keep the members' simulated LANs and
     // logs tellable apart.
-    config.cluster.domain = name_ + ".qgg.hud.ac.uk";
-    config.cluster.linux_head_host = name_ + ".qgg.hud.ac.uk";
-    config.cluster.windows_head_host = "win-" + name_ + ".qgg.hud.ac.uk";
-    switch (kind_) {
-        case Kind::kDedicatedLinux:
+    config.cluster.domain = name + ".qgg.hud.ac.uk";
+    config.cluster.linux_head_host = name + ".qgg.hud.ac.uk";
+    config.cluster.windows_head_host = "win-" + name + ".qgg.hud.ac.uk";
+    switch (kind) {
+        case GridMember::Kind::kDedicatedLinux:
             config.policy = core::PolicyKind::kNever;
             config.initial_windows_nodes = 0;
             break;
-        case Kind::kDedicatedWindows:
+        case GridMember::Kind::kDedicatedWindows:
             config.policy = core::PolicyKind::kNever;
             config.initial_windows_nodes = nodes;
             break;
-        case Kind::kHybrid:
+        case GridMember::Kind::kHybrid:
             config.policy = hybrid_policy;
             config.fair_share_cooldown = 2;
             config.initial_windows_nodes = 0;
             config.poll_interval = sim::minutes(10);
             break;
     }
-    hybrid_ = std::make_unique<core::HybridCluster>(engine, config);
+    return config;
+}
+
+}  // namespace
+
+GridMember::GridMember(sim::Engine& engine, std::string name, Kind kind, int nodes,
+                       core::PolicyKind hybrid_policy, int cores_per_node)
+    : name_(std::move(name)),
+      kind_(kind),
+      nodes_(nodes),
+      cores_per_node_(cores_per_node),
+      engine_(engine) {
+    hybrid_ = std::make_unique<core::HybridCluster>(
+        engine_, member_config(name_, kind_, nodes_, hybrid_policy, cores_per_node_));
+}
+
+GridMember::GridMember(std::string name, Kind kind, int nodes,
+                       core::PolicyKind hybrid_policy, int cores_per_node,
+                       std::int64_t unix_epoch)
+    : name_(std::move(name)),
+      kind_(kind),
+      nodes_(nodes),
+      cores_per_node_(cores_per_node),
+      arena_(std::make_unique<util::Arena>()),
+      owned_engine_(std::make_unique<sim::Engine>(unix_epoch, arena_.get())),
+      engine_(*owned_engine_) {
+    hybrid_ = std::make_unique<core::HybridCluster>(
+        engine_, member_config(name_, kind_, nodes_, hybrid_policy, cores_per_node_));
 }
 
 void GridMember::start() {

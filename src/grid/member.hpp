@@ -6,27 +6,21 @@
 // resources). This module models grid members as schedulable pools a gateway
 // can route jobs to: dedicated single-OS clusters and the dualboot-oscar
 // hybrid, each wrapping a fully simulated HybridCluster.
+//
+// A member can either borrow the caller's engine (the original serial
+// gateway path: every member shares one calendar) or own a private
+// engine + arena (the sharded FederatedGrid path: each member is an
+// independently advanceable shard).
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "core/hybrid.hpp"
+#include "grid/routing.hpp"
+#include "util/arena.hpp"
 
 namespace hc::grid {
-
-/// Point-in-time load figures a gateway uses for routing.
-struct MemberLoad {
-    int capable_cpus = 0;   ///< cpus that can (eventually) serve the given OS
-    int free_cpus = 0;      ///< cpus idle right now on that OS
-    int queued_cpus = 0;    ///< cpus requested by jobs waiting for that OS
-    /// Routing pressure: waiting work per unit of capable capacity.
-    [[nodiscard]] double pressure() const {
-        return capable_cpus > 0 ? static_cast<double>(queued_cpus) /
-                                      static_cast<double>(capable_cpus)
-                                : 1e9;
-    }
-};
 
 /// One member cluster of the campus grid.
 class GridMember {
@@ -34,14 +28,32 @@ public:
     /// kind: dedicated clusters serve exactly one OS; the hybrid serves both.
     enum class Kind { kDedicatedLinux, kDedicatedWindows, kHybrid };
 
+    /// Borrowed-engine member: shares `engine` with the caller (and any other
+    /// members registered on the same GridGateway).
     GridMember(sim::Engine& engine, std::string name, Kind kind, int nodes,
-               core::PolicyKind hybrid_policy = core::PolicyKind::kFairShare);
+               core::PolicyKind hybrid_policy = core::PolicyKind::kFairShare,
+               int cores_per_node = 4);
+
+    /// Shard member: owns a private Arena + Engine so a FederatedGrid can
+    /// advance it on any worker thread without touching other members.
+    /// `unix_epoch` seeds the engine clock (same value across shards keeps
+    /// their wall-clock renderings aligned).
+    GridMember(std::string name, Kind kind, int nodes,
+               core::PolicyKind hybrid_policy = core::PolicyKind::kFairShare,
+               int cores_per_node = 4, std::int64_t unix_epoch = -1);
 
     GridMember(const GridMember&) = delete;
     GridMember& operator=(const GridMember&) = delete;
 
     [[nodiscard]] const std::string& name() const { return name_; }
     [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] int nodes() const { return nodes_; }
+    [[nodiscard]] int cores_per_node() const { return cores_per_node_; }
+
+    /// The engine this member runs on (borrowed or owned).
+    [[nodiscard]] sim::Engine& engine() { return engine_; }
+    /// True when this member owns its engine (shard mode).
+    [[nodiscard]] bool owns_engine() const { return owned_engine_ != nullptr; }
 
     /// Bring the member online (power on, start daemons, settle).
     void start();
@@ -62,10 +74,23 @@ public:
 private:
     std::string name_;
     Kind kind_;
+    int nodes_ = 0;
+    int cores_per_node_ = 4;
+    // Declaration order is destruction-safety: hybrid_ (last declared, first
+    // destroyed) references engine_, which may alias owned_engine_, whose
+    // calendar allocates from arena_.
+    std::unique_ptr<util::Arena> arena_;
+    std::unique_ptr<sim::Engine> owned_engine_;
+    sim::Engine& engine_;
     std::unique_ptr<core::HybridCluster> hybrid_;
     std::size_t jobs_received_ = 0;
 };
 
 [[nodiscard]] const char* grid_member_kind_name(GridMember::Kind kind);
+
+/// Inverse of the spec-facing kind spelling: "dedicated-linux",
+/// "dedicated-windows", "hybrid". (grid_member_kind_name renders the hybrid
+/// with its long display suffix; parse accepts the bare token.)
+[[nodiscard]] util::Result<GridMember::Kind> parse_member_kind(const std::string& name);
 
 }  // namespace hc::grid

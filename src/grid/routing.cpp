@@ -1,0 +1,98 @@
+#include "grid/routing.hpp"
+
+#include "util/errors.hpp"
+
+namespace hc::grid {
+
+const char* routing_rule_name(RoutingRule rule) {
+    switch (rule) {
+        case RoutingRule::kFirstCapable: return "first-capable";
+        case RoutingRule::kRoundRobin: return "round-robin";
+        case RoutingRule::kLeastPressure: return "least-pressure";
+    }
+    return "?";
+}
+
+util::Result<RoutingRule> parse_routing_rule(const std::string& name) {
+    if (name == "first-capable") return RoutingRule::kFirstCapable;
+    if (name == "round-robin") return RoutingRule::kRoundRobin;
+    if (name == "least-pressure") return RoutingRule::kLeastPressure;
+    return util::Error{"unknown routing rule '" + name +
+                       "' (expected first-capable, round-robin, or least-pressure)"};
+}
+
+bool beats_under_least_pressure(const MemberLoad& a, const MemberLoad& b) {
+    const double pa = a.pressure();
+    const double pb = b.pressure();
+    // +inf vs +inf compares neither < nor >, so two incapable candidates fall
+    // through to the free-cpu tie-break (both 0) and neither wins — the scan
+    // order then keeps the earlier member.
+    if (pa < pb) return true;
+    if (pb < pa) return false;
+    return a.free_cpus > b.free_cpus;
+}
+
+RoutingTable::RoutingTable(RoutingRule rule, std::size_t member_count)
+    : rule_(rule), members_(member_count), slots_(member_count * 2) {
+    util::require(member_count > 0, "RoutingTable: no members");
+}
+
+RoutingTable::Slot& RoutingTable::slot(std::size_t member, cluster::OsType os) {
+    util::require(member < members_, "RoutingTable: member index out of range");
+    util::require(os == cluster::OsType::kLinux || os == cluster::OsType::kWindows,
+                  "RoutingTable: os must be linux or windows");
+    const std::size_t lane = os == cluster::OsType::kLinux ? 0 : 1;
+    return slots_[member * 2 + lane];
+}
+
+void RoutingTable::set_load(std::size_t member, cluster::OsType os, bool capable,
+                            MemberLoad load) {
+    Slot& s = slot(member, os);
+    s.capable = capable;
+    s.load = load;
+}
+
+std::size_t RoutingTable::route(cluster::OsType os, int cpus) {
+    util::require(cpus > 0, "RoutingTable::route: cpus must be positive");
+    std::size_t chosen = kRejected;
+    switch (rule_) {
+        case RoutingRule::kFirstCapable:
+            for (std::size_t i = 0; i < members_; ++i) {
+                if (slot(i, os).capable) {
+                    chosen = i;
+                    break;
+                }
+            }
+            break;
+        case RoutingRule::kRoundRobin:
+            for (std::size_t probe = 0; probe < members_; ++probe) {
+                const std::size_t i = (rr_cursor_ + probe) % members_;
+                if (slot(i, os).capable) {
+                    chosen = i;
+                    rr_cursor_ = (rr_cursor_ + probe + 1) % members_;
+                    break;
+                }
+            }
+            break;
+        case RoutingRule::kLeastPressure:
+            for (std::size_t i = 0; i < members_; ++i) {
+                const Slot& s = slot(i, os);
+                if (!s.capable) continue;
+                if (chosen == kRejected ||
+                    beats_under_least_pressure(s.load, slot(chosen, os).load)) {
+                    chosen = i;
+                }
+            }
+            break;
+    }
+    if (chosen == kRejected) return kRejected;
+    // Account the job against the snapshot so the next arrival in this epoch
+    // sees it: idle cpus absorb what they can, the remainder queues.
+    MemberLoad& load = slot(chosen, os).load;
+    const int absorbed = cpus < load.free_cpus ? cpus : load.free_cpus;
+    load.free_cpus -= absorbed;
+    load.queued_cpus += cpus - absorbed;
+    return chosen;
+}
+
+}  // namespace hc::grid

@@ -1,0 +1,74 @@
+#include "grid/summary.hpp"
+
+#include <cstdio>
+
+#include "util/errors.hpp"
+
+namespace hc::grid {
+
+GridSummary summarise_grid(const std::vector<GridMember*>& members, std::size_t routed,
+                           std::size_t rejected, double horizon_s) {
+    util::require(!members.empty(), "summarise_grid: no members");
+    GridSummary grid;
+    grid.routed = routed;
+    grid.rejected = rejected;
+
+    workload::MetricsCollector merged;
+    workload::ClusterCounters counters;
+    counters.cores_per_node = 0;  // heterogeneous: overhead computed below instead
+    double downtime_core_s = 0;
+    for (GridMember* member : members) {
+        util::require(member != nullptr, "summarise_grid: null member");
+        const auto member_counters = member->cluster().counters();
+
+        MemberSummary ms;
+        ms.name = member->name();
+        ms.kind = member->kind();
+        ms.nodes = member->nodes();
+        ms.cores_per_node = member_counters.cores_per_node;
+        ms.jobs_received = member->jobs_received();
+        ms.summary = member->metrics().summarise(member_counters, horizon_s);
+        grid.members.push_back(std::move(ms));
+
+        for (const auto& outcome : member->metrics().outcomes()) merged.add(outcome);
+        counters.total_cores += member_counters.total_cores;
+        counters.os_switches += member_counters.os_switches;
+        counters.reboots += member_counters.reboots;
+        counters.reboot_downtime_s += member_counters.reboot_downtime_s;
+        // Each member's node-seconds of downtime idle that member's own core
+        // width — convert before mixing members with different widths.
+        downtime_core_s += static_cast<double>(member_counters.reboot_downtime_s) *
+                           static_cast<double>(member_counters.cores_per_node);
+    }
+
+    grid.total = merged.summarise(counters, horizon_s);
+    if (counters.total_cores > 0) {
+        grid.total.switch_overhead =
+            downtime_core_s / (static_cast<double>(counters.total_cores) * horizon_s);
+    }
+    grid.total.submitted = routed + rejected;
+    grid.total.completion_rate = grid.total.submitted > 0
+                                     ? static_cast<double>(grid.total.completed) /
+                                           static_cast<double>(grid.total.submitted)
+                                     : 0;
+    return grid;
+}
+
+std::string render_grid_ledger(const GridSummary& grid) {
+    std::string out;
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "grid total: routed %zu  rejected %zu\n", grid.routed,
+                  grid.rejected);
+    out += buf;
+    out += workload::render_summary("  [grid]", grid.total);
+    for (const auto& ms : grid.members) {
+        std::snprintf(buf, sizeof buf, "member %-12s %-18s %6d x %d cpu  received %zu\n",
+                      ms.name.c_str(), grid_member_kind_name(ms.kind), ms.nodes,
+                      ms.cores_per_node, ms.jobs_received);
+        out += buf;
+        out += workload::render_summary("  [" + ms.name + "]", ms.summary);
+    }
+    return out;
+}
+
+}  // namespace hc::grid

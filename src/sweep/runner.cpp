@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -154,6 +155,106 @@ SweepStats run_pool(std::size_t count, int threads, const ReplicaFn& fn,
 }
 
 }  // namespace detail
+
+struct TaskPool::Shared {
+    std::mutex m;
+    std::condition_variable start;
+    std::condition_variable done;
+    std::uint64_t round = 0;           ///< bumped per parallel_for; workers wake on change
+    std::size_t count = 0;             ///< indices in the current round
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    int active = 0;                    ///< helper workers still inside the round
+    bool stop = false;
+    std::exception_ptr first_error;
+};
+
+TaskPool::TaskPool(int threads) : threads_(resolve_threads(threads)) {
+    if (threads_ <= 1) return;
+    shared_ = std::make_unique<Shared>();
+    workers_.reserve(static_cast<std::size_t>(threads_) - 1);
+    for (int w = 1; w < threads_; ++w) workers_.emplace_back([this] { worker_loop(); });
+}
+
+TaskPool::~TaskPool() {
+    if (shared_ != nullptr) {
+        {
+            std::lock_guard<std::mutex> lock(shared_->m);
+            shared_->stop = true;
+        }
+        shared_->start.notify_all();
+        for (std::thread& t : workers_) t.join();
+    }
+}
+
+/// Claim-and-run loop shared by the caller and the parked workers: indices
+/// come off one atomic cursor; a thrown exception flips `failed`, which
+/// abandons everything still unclaimed.
+void TaskPool::drain_round(Shared& s) {
+    for (;;) {
+        if (s.failed.load(std::memory_order_relaxed)) return;
+        const std::size_t index = s.cursor.fetch_add(1, std::memory_order_relaxed);
+        if (index >= s.count) return;
+        try {
+            (*s.fn)(index);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(s.m);
+            if (s.first_error == nullptr) s.first_error = std::current_exception();
+            s.failed.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+void TaskPool::worker_loop() {
+    Shared& s = *shared_;
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(s.m);
+            s.start.wait(lock, [&] { return s.stop || s.round != seen; });
+            if (s.stop) return;
+            seen = s.round;
+        }
+        drain_round(s);
+        {
+            std::lock_guard<std::mutex> lock(s.m);
+            if (--s.active == 0) s.done.notify_all();
+        }
+    }
+}
+
+void TaskPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+    util::require(static_cast<bool>(fn), "TaskPool::parallel_for: null function");
+    ++rounds_;
+    if (shared_ == nullptr) {
+        // Serial pool: plain inline loop, no synchronisation at all.
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    Shared& s = *shared_;
+    {
+        std::lock_guard<std::mutex> lock(s.m);
+        s.count = count;
+        s.fn = &fn;
+        s.cursor.store(0, std::memory_order_relaxed);
+        s.failed.store(false, std::memory_order_relaxed);
+        s.first_error = nullptr;
+        s.active = threads_ - 1;
+        ++s.round;
+    }
+    s.start.notify_all();
+    drain_round(s);  // the caller's thread participates
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(s.m);
+        s.done.wait(lock, [&] { return s.active == 0; });
+        s.fn = nullptr;
+        error = s.first_error;
+        s.first_error = nullptr;
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+}
 
 SweepStats run_indexed(std::size_t count, int threads, const ReplicaFn& fn) {
     return detail::run_pool(count, threads, fn, detail::PoolHooks{});

@@ -33,6 +33,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -89,6 +90,50 @@ SweepStats run_pool(std::size_t count, int threads, const ReplicaFn& fn,
                     const PoolHooks& hooks);
 
 }  // namespace detail
+
+/// A persistent barrier pool for repeated small fan-outs.
+///
+/// run_pool spawns and joins its threads per call, which is the right shape
+/// for one sweep of milliseconds-heavy replicas but ruinous for a caller
+/// that fans out every simulated epoch (FederatedGrid runs thousands of
+/// epochs; thread creation would dwarf the shard work). TaskPool keeps its
+/// workers parked on a condition variable between rounds: parallel_for
+/// wakes them, indices are claimed from a shared atomic cursor, and the
+/// call returns once every index has run (a full barrier).
+///
+/// Determinism contract: parallel_for guarantees nothing about WHICH thread
+/// runs an index or in what order — callers must make fn(i) depend only on
+/// i (the FederatedGrid shards share nothing), exactly like run_indexed.
+/// With threads <= 1 no threads are ever created and fn runs inline, so the
+/// --threads 1 baseline is the plain serial loop.
+class TaskPool {
+public:
+    explicit TaskPool(int threads);
+    ~TaskPool();
+
+    TaskPool(const TaskPool&) = delete;
+    TaskPool& operator=(const TaskPool&) = delete;
+
+    [[nodiscard]] int threads() const { return threads_; }
+    /// Rounds executed so far (parallel_for calls).
+    [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+    /// Run fn(index) for every index in [0, count); blocks until all have
+    /// returned. The caller's thread participates. The first exception
+    /// thrown is rethrown here after the barrier (remaining unclaimed
+    /// indices are abandoned on failure).
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+private:
+    struct Shared;
+    static void drain_round(Shared& s);
+    void worker_loop();
+
+    int threads_ = 1;
+    std::uint64_t rounds_ = 0;
+    std::unique_ptr<Shared> shared_;
+    std::vector<std::thread> workers_;
+};
 
 /// Execution envelope of one forked (warm-started) sweep.
 struct ForkStats {

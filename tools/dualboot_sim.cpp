@@ -35,6 +35,7 @@
 
 #include "core/scenario.hpp"
 #include "fault/plan.hpp"
+#include "grid/federation.hpp"
 #include "serve/runner.hpp"
 #include "sweep/runner.hpp"
 #include "util/json.hpp"
@@ -580,6 +581,147 @@ int cmd_sweep(const std::string& spec_path, const std::map<std::string, std::str
     return 0;
 }
 
+// ---- grid: sharded campus-grid federation from an hc-grid-spec/1 file ----
+//
+//   {"schema": "hc-grid-spec/1",
+//    "routing": "least-pressure", "epoch_minutes": 10,
+//    "hours": 24, "threads": 2,
+//    "members": [{"name": "tauceti", "kind": "dedicated-linux", "nodes": 16},
+//                {"name": "vega", "kind": "dedicated-windows", "nodes": 8},
+//                {"name": "eridani", "kind": "hybrid", "nodes": 16,
+//                 "policy": "fair-share", "cores_per_node": 4}],
+//    "workload": {"rate_per_hour": 6, "max_nodes": 4,
+//                 "runtime_scale": 0.25, "trace_seed": 42}}
+//
+// Every member runs as an independent shard (own engine + arena) advanced in
+// parallel by grid::FederatedGrid; routing happens at epoch boundaries. The
+// grid ledger is byte-identical at any --threads count — threads only move
+// the wall-clock line.
+int cmd_grid(const std::string& spec_path, const std::map<std::string, std::string>& flags) {
+    std::ifstream in(spec_path);
+    if (!in) {
+        std::fprintf(stderr, "dualboot-sim: cannot open %s\n", spec_path.c_str());
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = util::JsonReader(buffer.str()).parse();
+    if (!parsed.ok() || parsed.value().type != util::JsonValue::Type::kObject ||
+        util::json_str_or(parsed.value(), "schema", "") != "hc-grid-spec/1") {
+        std::fprintf(stderr, "dualboot-sim: bad grid spec %s: %s\n", spec_path.c_str(),
+                     parsed.ok() ? "missing schema hc-grid-spec/1"
+                                 : parsed.error_message().c_str());
+        return 1;
+    }
+    const util::JsonValue& spec = parsed.value();
+
+    const auto routing = grid::parse_routing_rule(
+        util::json_str_or(spec, "routing", "least-pressure"));
+    if (!routing.ok()) {
+        std::fprintf(stderr, "dualboot-sim: bad grid spec %s: %s\n", spec_path.c_str(),
+                     routing.error_message().c_str());
+        return 1;
+    }
+    grid::FederationConfig config;
+    config.rule = routing.value();
+    config.epoch = sim::minutes(util::json_num_or(spec, "epoch_minutes", 10));
+    if (config.epoch.ms <= 0) {
+        std::fprintf(stderr, "dualboot-sim: bad grid spec %s: epoch_minutes must be > 0\n",
+                     spec_path.c_str());
+        return 1;
+    }
+    const double hours = util::json_num_or(spec, "hours", 24);
+    // The CLI flag wins over the spec's suggestion, matching `sweep`.
+    config.threads = static_cast<int>(
+        flag_or(flags, "threads", util::json_num_or(spec, "threads", 1)));
+
+    const util::JsonValue* members = spec.find("members");
+    if (members == nullptr || members->type != util::JsonValue::Type::kArray ||
+        members->array.empty()) {
+        std::fprintf(stderr,
+                     "dualboot-sim: bad grid spec %s: members must be a non-empty array\n",
+                     spec_path.c_str());
+        return 1;
+    }
+    grid::FederatedGrid fed(config);
+    for (const util::JsonValue& m : members->array) {
+        if (m.type != util::JsonValue::Type::kObject) {
+            std::fprintf(stderr, "dualboot-sim: bad grid spec %s: member must be an object\n",
+                         spec_path.c_str());
+            return 1;
+        }
+        grid::MemberSpec member;
+        member.name = util::json_str_or(m, "name", "");
+        const auto kind = grid::parse_member_kind(util::json_str_or(m, "kind", "hybrid"));
+        if (member.name.empty() || !kind.ok()) {
+            std::fprintf(stderr, "dualboot-sim: bad grid spec %s: %s\n", spec_path.c_str(),
+                         member.name.empty() ? "member needs a name"
+                                             : kind.error_message().c_str());
+            return 1;
+        }
+        member.kind = kind.value();
+        member.nodes = static_cast<int>(util::json_num_or(m, "nodes", 16));
+        member.hybrid_policy = parse_policy(util::json_str_or(m, "policy", "fair-share"));
+        member.cores_per_node = static_cast<int>(util::json_num_or(m, "cores_per_node", 4));
+        fed.add_member(std::move(member));
+    }
+
+    // Shared arrival knobs (workload::parse_arrival_spec) — the same block
+    // hc-sweep-spec/1 and hc-serve-spec/1 use.
+    workload::GeneratorConfig wl;
+    std::uint64_t trace_seed = 42;
+    if (const util::JsonValue* w = spec.find("workload");
+        w != nullptr && w->type == util::JsonValue::Type::kObject) {
+        auto arrival = workload::parse_arrival_spec(*w);
+        if (!arrival.ok()) {
+            std::fprintf(stderr, "dualboot-sim: bad grid spec %s: %s\n", spec_path.c_str(),
+                         arrival.error_message().c_str());
+            return 1;
+        }
+        wl.arrival = arrival.value();
+        wl.max_nodes = static_cast<int>(util::json_num_or(*w, "max_nodes", 4));
+        wl.runtime_scale = util::json_num_or(*w, "runtime_scale", 0.25);
+        trace_seed = static_cast<std::uint64_t>(util::json_num_or(*w, "trace_seed", 42));
+    }
+    wl.horizon = sim::hours(hours);
+    workload::WorkloadGenerator gen(workload::AppCatalog::huddersfield(), wl, trace_seed);
+    auto trace = gen.generate();
+
+    fed.start();
+    fed.run(trace, sim::TimePoint{} + sim::hours(hours));
+    const grid::GridSummary report = fed.report(sim::hours(hours).seconds());
+
+    std::printf("grid      : %zu member(s), routing %s, epoch %.0f min, %zu jobs\n",
+                fed.member_count(), grid::routing_rule_name(config.rule),
+                static_cast<double>(config.epoch.ms) / 60000.0, trace.size());
+    util::Table table({"member", "kind", "nodes", "received", "done", "util", "mean wait"});
+    table.set_alignment({util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                         util::Align::kRight});
+    for (const auto& ms : report.members) {
+        table.add_row({ms.name, grid_member_kind_name(ms.kind),
+                       std::to_string(ms.nodes) + "x" + std::to_string(ms.cores_per_node),
+                       std::to_string(ms.jobs_received),
+                       std::to_string(ms.summary.completed),
+                       util::format_fixed(ms.summary.utilisation * 100.0, 1) + "%",
+                       util::format_duration(
+                           static_cast<std::int64_t>(ms.summary.mean_wait_s))});
+    }
+    std::printf("%s", table.render().c_str());
+    const auto& total = report.total;
+    std::printf("aggregate : %zu/%zu jobs completed, utilisation %.1f%%, mean wait %s, "
+                "%llu switch(es)\n",
+                total.completed, total.submitted, total.utilisation * 100.0,
+                util::format_duration(static_cast<std::int64_t>(total.mean_wait_s)).c_str(),
+                static_cast<unsigned long long>(total.os_switches));
+    const auto& fs = fed.stats();
+    std::printf("federation: %zu epoch(s), %zu routed / %zu rejected, %zu message(s) on "
+                "%d thread(s), %.1f ms wall (%.1f epochs/s)\n",
+                fs.epochs, fs.routed, fs.rejected, fs.messages, fs.threads, fs.wall_ms,
+                fs.wall_ms > 0 ? static_cast<double>(fs.epochs) / (fs.wall_ms / 1e3) : 0.0);
+    return 0;
+}
+
 // ---- serve: long-running submission service from an hc-serve-spec/1 file --
 //
 // Builds the spec's cluster + scheduler backend in one process, connects the
@@ -630,9 +772,11 @@ int main(int argc, char** argv) {
                      "chrome trace]\n"
                      "       %s sweep --spec spec.json [--threads N]   "
                      "(hc-sweep-spec/1 parallel sweep)\n"
+                     "       %s grid --spec spec.json [--threads N]   "
+                     "(hc-grid-spec/1 sharded federation)\n"
                      "       %s serve --spec spec.json [--metrics M.json]   "
                      "(hc-serve-spec/1 submission service)\n",
-                     argv[0], argv[0], argv[0], argv[0], argv[0]);
+                     argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
         return 1;
     }
     const std::string command = argv[1];
@@ -647,6 +791,15 @@ int main(int argc, char** argv) {
             return 1;
         }
         return cmd_sweep(spec, flags);
+    }
+
+    if (command == "grid") {
+        const std::string spec = flag_or(flags, "spec", std::string());
+        if (spec.empty()) {
+            std::fprintf(stderr, "dualboot-sim grid: --spec FILE is required\n");
+            return 1;
+        }
+        return cmd_grid(spec, flags);
     }
 
     if (command == "serve") {
